@@ -1,0 +1,30 @@
+//! A reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! BDDs are the workhorse substrate for the logic-level techniques in the
+//! DAC'95 survey: exact signal probabilities (power estimation), don't-care
+//! sets (§III.A.1), observability conditions for guarded evaluation
+//! (§III.C.4, \[44\]) and the universal quantification that derives
+//! precomputation logic (§III.C.4, \[30\]).
+//!
+//! The manager is an arena: nodes are interned in a unique table and never
+//! freed (experiments here are small enough that GC is unnecessary).
+//!
+//! # Example
+//!
+//! ```
+//! use bdd::Bdd;
+//!
+//! let mut mgr = Bdd::new();
+//! let a = mgr.var(0);
+//! let b = mgr.var(1);
+//! let f = mgr.and(a, b);
+//! assert_eq!(mgr.eval(f, &[true, true]), true);
+//! assert_eq!(mgr.eval(f, &[true, false]), false);
+//! // P(a & b) with P(a)=0.5, P(b)=0.25:
+//! let p = mgr.probability(f, &[0.5, 0.25]);
+//! assert!((p - 0.125).abs() < 1e-12);
+//! ```
+
+mod manager;
+
+pub use manager::{Bdd, BddStats, Ref};

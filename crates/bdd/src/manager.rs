@@ -1,0 +1,889 @@
+//! The BDD manager: unique table, ITE with memoization, quantification,
+//! composition, counting and probability evaluation.
+
+use std::collections::HashMap;
+
+/// Reference to a BDD node. Copyable and cheap; only meaningful together
+/// with the [`Bdd`] manager that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant-false function.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant-true function.
+    pub const TRUE: Ref = Ref(1);
+
+    /// Whether this is one of the two terminal nodes.
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// For terminals, the constant value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-terminal references.
+    pub fn const_value(self) -> bool {
+        match self.0 {
+            0 => false,
+            1 => true,
+            _ => panic!("not a terminal"),
+        }
+    }
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// Size statistics of a manager, see [`Bdd::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddStats {
+    /// Total interned nodes (including the two terminals).
+    pub nodes: usize,
+    /// Number of distinct variables seen.
+    pub vars: usize,
+    /// Entries in the ITE cache.
+    pub cache_entries: usize,
+}
+
+/// A reduced ordered BDD manager (arena + unique table + ITE cache).
+///
+/// Variables are `u32` indices ordered by value: smaller indices are closer
+/// to the root. All functions returned by the manager are canonical: two
+/// [`Ref`]s are equal iff the Boolean functions are equal.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), Ref>,
+    num_vars: u32,
+}
+
+impl Default for Bdd {
+    fn default() -> Bdd {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// Create an empty manager.
+    pub fn new() -> Bdd {
+        let nodes = vec![
+            Node {
+                var: TERMINAL_VAR,
+                lo: Ref::FALSE,
+                hi: Ref::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Ref::TRUE,
+                hi: Ref::TRUE,
+            },
+        ];
+        Bdd {
+            nodes,
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            num_vars: 0,
+        }
+    }
+
+    /// The constant function `value`.
+    pub fn constant(&self, value: bool) -> Ref {
+        if value {
+            Ref::TRUE
+        } else {
+            Ref::FALSE
+        }
+    }
+
+    /// The projection function of variable `index`.
+    pub fn var(&mut self, index: u32) -> Ref {
+        self.mk(index, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// The negated projection of variable `index`.
+    pub fn nvar(&mut self, index: u32) -> Ref {
+        self.mk(index, Ref::TRUE, Ref::FALSE)
+    }
+
+    /// Number of variables the manager has seen.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Manager statistics.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            vars: self.num_vars as usize,
+            cache_entries: self.ite_cache.len(),
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        self.num_vars = self.num_vars.max(var + 1);
+        if let Some(&id) = self.unique.get(&(var, lo.0, hi.0)) {
+            return Ref(id);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo.0, hi.0), id);
+        Ref(id)
+    }
+
+    fn node(&self, r: Ref) -> Node {
+        self.nodes[r.0 as usize]
+    }
+
+    /// Top variable of `f` ([`u32::MAX`] for terminals).
+    pub fn top_var(&self, f: Ref) -> u32 {
+        self.node(f).var
+    }
+
+    /// Low (variable = 0) cofactor of the root node.
+    pub fn low(&self, f: Ref) -> Ref {
+        self.node(f).lo
+    }
+
+    /// High (variable = 1) cofactor of the root node.
+    pub fn high(&self, f: Ref) -> Ref {
+        self.node(f).hi
+    }
+
+    // ------------------------------------------------------------------
+    // Core operations
+    // ------------------------------------------------------------------
+
+    /// If-then-else: `ite(f, g, h) = f·g + f'·h`. All other Boolean
+    /// operations are derived from this.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f == Ref::TRUE {
+            return g;
+        }
+        if f == Ref::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Ref::TRUE && h == Ref::FALSE {
+            return f;
+        }
+        let key = (f.0, g.0, h.0);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let fv = self.node(f).var;
+        let gv = self.node(g).var;
+        let hv = self.node(h).var;
+        let v = fv.min(gv).min(hv);
+        let (f0, f1) = self.cofactors_at(f, v);
+        let (g0, g1) = self.cofactors_at(g, v);
+        let (h0, h1) = self.cofactors_at(h, v);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(v, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    fn cofactors_at(&self, f: Ref, v: u32) -> (Ref, Ref) {
+        let n = self.node(f);
+        if n.var == v {
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        self.ite(f, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::FALSE)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, Ref::TRUE, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, g, ng)
+    }
+
+    /// Implication `f -> g`.
+    pub fn implies(&mut self, f: Ref, g: Ref) -> Ref {
+        self.ite(f, g, Ref::TRUE)
+    }
+
+    /// n-ary conjunction.
+    pub fn and_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        fs.into_iter().fold(Ref::TRUE, |acc, f| self.and(acc, f))
+    }
+
+    /// n-ary disjunction.
+    pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
+        fs.into_iter().fold(Ref::FALSE, |acc, f| self.or(acc, f))
+    }
+
+    // ------------------------------------------------------------------
+    // Structural operations
+    // ------------------------------------------------------------------
+
+    /// Restrict variable `var` to `value` (Shannon cofactor).
+    pub fn restrict(&mut self, f: Ref, var: u32, value: bool) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            return f; // var does not appear
+        }
+        if n.var == var {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(n.lo, var, value);
+        let hi = self.restrict(n.hi, var, value);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Existential quantification over one variable.
+    pub fn exists(&mut self, f: Ref, var: u32) -> Ref {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.or(f0, f1)
+    }
+
+    /// Universal quantification over one variable.
+    pub fn forall(&mut self, f: Ref, var: u32) -> Ref {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.and(f0, f1)
+    }
+
+    /// Existential quantification over a set of variables.
+    pub fn exists_many(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        vars.iter().fold(f, |acc, &v| self.exists(acc, v))
+    }
+
+    /// Universal quantification over a set of variables.
+    pub fn forall_many(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        vars.iter().fold(f, |acc, &v| self.forall(acc, v))
+    }
+
+    /// Boolean difference `∂f/∂var = f|var=0 XOR f|var=1`.
+    ///
+    /// The probability of the Boolean difference is the core of
+    /// transition-density power estimation.
+    pub fn boolean_difference(&mut self, f: Ref, var: u32) -> Ref {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.xor(f0, f1)
+    }
+
+    /// Substitute function `g` for variable `var` in `f`.
+    pub fn compose(&mut self, f: Ref, var: u32, g: Ref) -> Ref {
+        let f0 = self.restrict(f, var, false);
+        let f1 = self.restrict(f, var, true);
+        self.ite(g, f1, f0)
+    }
+
+    /// Support: the set of variables `f` depends on, ascending.
+    pub fn support(&self, f: Ref) -> Vec<u32> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !visited.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            seen.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Number of nodes in the graph of `f` (excluding terminals).
+    pub fn size(&self, f: Ref) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !visited.insert(r) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(r);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation / counting
+    // ------------------------------------------------------------------
+
+    /// Evaluate `f` on an assignment (index `i` gives variable `i`).
+    ///
+    /// Variables beyond the slice default to `false`.
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut r = f;
+        while !r.is_const() {
+            let n = self.node(r);
+            let v = assignment.get(n.var as usize).copied().unwrap_or(false);
+            r = if v { n.hi } else { n.lo };
+        }
+        r.const_value()
+    }
+
+    /// Number of satisfying assignments over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars` is smaller than some variable index in `f`'s
+    /// support.
+    pub fn sat_count(&self, f: Ref, nvars: u32) -> f64 {
+        fn go(mgr: &Bdd, f: Ref, nvars: u32, memo: &mut HashMap<u32, f64>) -> f64 {
+            if f == Ref::FALSE {
+                return 0.0;
+            }
+            if f == Ref::TRUE {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&f.0) {
+                return c;
+            }
+            let n = mgr.node(f);
+            assert!(n.var < nvars, "variable {} outside domain {nvars}", n.var);
+            let lo_var = if n.lo.is_const() { nvars } else { mgr.node(n.lo).var };
+            let hi_var = if n.hi.is_const() { nvars } else { mgr.node(n.hi).var };
+            let lo = go(mgr, n.lo, nvars, memo) * 2f64.powi((lo_var - n.var - 1) as i32);
+            let hi = go(mgr, n.hi, nvars, memo) * 2f64.powi((hi_var - n.var - 1) as i32);
+            let c = lo + hi;
+            memo.insert(f.0, c);
+            c
+        }
+        let mut memo = HashMap::new();
+        let top = if f.is_const() { nvars } else { self.node(f).var };
+        go(self, f, nvars, &mut memo) * 2f64.powi(top as i32)
+    }
+
+    /// Exact signal probability of `f` given independent per-variable
+    /// one-probabilities `p` (index `i` gives `P(var_i = 1)`).
+    ///
+    /// Variables beyond the slice default to probability 0.5.
+    pub fn probability(&self, f: Ref, p: &[f64]) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        self.prob_rec(f, p, &mut memo)
+    }
+
+    fn prob_rec(&self, f: Ref, p: &[f64], memo: &mut HashMap<u32, f64>) -> f64 {
+        if f == Ref::FALSE {
+            return 0.0;
+        }
+        if f == Ref::TRUE {
+            return 1.0;
+        }
+        if let Some(&v) = memo.get(&f.0) {
+            return v;
+        }
+        let n = self.node(f);
+        let pv = p.get(n.var as usize).copied().unwrap_or(0.5);
+        let lo = self.prob_rec(n.lo, p, memo);
+        let hi = self.prob_rec(n.hi, p, memo);
+        let result = (1.0 - pv) * lo + pv * hi;
+        memo.insert(f.0, result);
+        result
+    }
+
+    /// One satisfying assignment of `f` (as `(var, value)` pairs for the
+    /// variables on the chosen path), or `None` if unsatisfiable.
+    pub fn any_sat(&self, f: Ref) -> Option<Vec<(u32, bool)>> {
+        if f == Ref::FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut r = f;
+        while !r.is_const() {
+            let n = self.node(r);
+            if n.hi != Ref::FALSE {
+                path.push((n.var, true));
+                r = n.hi;
+            } else {
+                path.push((n.var, false));
+                r = n.lo;
+            }
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut mgr = Bdd::new();
+        assert_eq!(mgr.constant(true), Ref::TRUE);
+        assert_eq!(mgr.constant(false), Ref::FALSE);
+        let a = mgr.var(0);
+        let a2 = mgr.var(0);
+        assert_eq!(a, a2, "canonicity of projections");
+        let na = mgr.not(a);
+        assert_eq!(mgr.nvar(0), na);
+        assert_ne!(a, na);
+    }
+
+    #[test]
+    fn truth_tables() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let and = mgr.and(a, b);
+        let or = mgr.or(a, b);
+        let xor = mgr.xor(a, b);
+        for bits in 0u32..4 {
+            let assignment = [bits & 1 == 1, bits >> 1 & 1 == 1];
+            assert_eq!(mgr.eval(and, &assignment), assignment[0] && assignment[1]);
+            assert_eq!(mgr.eval(or, &assignment), assignment[0] || assignment[1]);
+            assert_eq!(mgr.eval(xor, &assignment), assignment[0] ^ assignment[1]);
+        }
+    }
+
+    #[test]
+    fn canonicity_detects_equivalence() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        // De Morgan: !(a & b) == !a | !b
+        let ab = mgr.and(a, b);
+        let lhs = mgr.not(ab);
+        let na = mgr.not(a);
+        let nb = mgr.not(b);
+        let rhs = mgr.or(na, nb);
+        assert_eq!(lhs, rhs);
+        // Distribution: a & (b | c) == a&b | a&c
+        let c = mgr.var(2);
+        let bc = mgr.or(b, c);
+        let l = mgr.and(a, bc);
+        let ab = mgr.and(a, b);
+        let ac = mgr.and(a, c);
+        let r = mgr.or(ab, ac);
+        assert_eq!(l, r);
+    }
+
+    #[test]
+    fn double_negation() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.xor(a, b);
+        let nf = mgr.not(f);
+        assert_eq!(mgr.not(nf), f);
+    }
+
+    #[test]
+    fn restrict_and_compose() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let f = {
+            let bc = mgr.or(b, c);
+            mgr.and(a, bc)
+        };
+        // f|a=0 == 0, f|a=1 == b|c
+        assert_eq!(mgr.restrict(f, 0, false), Ref::FALSE);
+        let bc = mgr.or(b, c);
+        assert_eq!(mgr.restrict(f, 0, true), bc);
+        // compose b := a gives a & (a | c) = a
+        let g = mgr.compose(f, 1, a);
+        assert_eq!(g, a);
+    }
+
+    #[test]
+    fn quantification() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        // ∃b. a&b == a ; ∀b. a&b == 0
+        assert_eq!(mgr.exists(f, 1), a);
+        assert_eq!(mgr.forall(f, 1), Ref::FALSE);
+        let g = mgr.or(a, b);
+        // ∀b. a|b == a ; ∃b. a|b == 1
+        assert_eq!(mgr.forall(g, 1), a);
+        assert_eq!(mgr.exists(g, 1), Ref::TRUE);
+        // Multi-variable forms.
+        assert_eq!(mgr.exists_many(f, &[0, 1]), Ref::TRUE);
+        assert_eq!(mgr.forall_many(f, &[0, 1]), Ref::FALSE);
+    }
+
+    #[test]
+    fn boolean_difference_of_and() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        // ∂(a&b)/∂a = b
+        assert_eq!(mgr.boolean_difference(f, 0), b);
+        // ∂(a xor b)/∂a = 1
+        let g = mgr.xor(a, b);
+        assert_eq!(mgr.boolean_difference(g, 0), Ref::TRUE);
+    }
+
+    #[test]
+    fn sat_count_small() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let f = mgr.and(a, b);
+        assert_eq!(mgr.sat_count(f, 3), 2.0); // a&b over 3 vars: 2 assignments
+        let g = mgr.or_all([a, b, c]);
+        assert_eq!(mgr.sat_count(g, 3), 7.0);
+        assert_eq!(mgr.sat_count(Ref::TRUE, 3), 8.0);
+        assert_eq!(mgr.sat_count(Ref::FALSE, 3), 0.0);
+    }
+
+    #[test]
+    fn probability_uniform_matches_sat_count() {
+        let mut mgr = Bdd::new();
+        let vars: Vec<Ref> = (0..4).map(|i| mgr.var(i)).collect();
+        let ab = mgr.and(vars[0], vars[1]);
+        let cd = mgr.and(vars[2], vars[3]);
+        let f = mgr.or(ab, cd);
+        let p = mgr.probability(f, &[0.5; 4]);
+        let count = mgr.sat_count(f, 4);
+        assert!((p - count / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_biased() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.or(a, b);
+        // P(a|b) = 1 - (1-0.1)(1-0.2) = 0.28
+        let p = mgr.probability(f, &[0.1, 0.2]);
+        assert!((p - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_and_size() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let c = mgr.var(2);
+        let f = mgr.xor(a, c);
+        assert_eq!(mgr.support(f), vec![0, 2]);
+        assert!(mgr.size(f) >= 2);
+        assert_eq!(mgr.support(Ref::TRUE), Vec::<u32>::new());
+        assert_eq!(mgr.size(Ref::FALSE), 0);
+    }
+
+    #[test]
+    fn any_sat_finds_assignment() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let nb = mgr.not(b);
+        let f = mgr.and(a, nb);
+        let sat = mgr.any_sat(f).unwrap();
+        let mut assignment = vec![false; 2];
+        for (v, val) in sat {
+            assignment[v as usize] = val;
+        }
+        assert!(mgr.eval(f, &assignment));
+        assert_eq!(mgr.any_sat(Ref::FALSE), None);
+    }
+
+    #[test]
+    fn adder_bit_is_canonical() {
+        // sum bit of full adder built two different ways.
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let cin = mgr.var(2);
+        let ab = mgr.xor(a, b);
+        let s1 = mgr.xor(ab, cin);
+        let bc = mgr.xor(b, cin);
+        let s2 = mgr.xor(a, bc);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn stats_reflect_growth() {
+        let mut mgr = Bdd::new();
+        let initial = mgr.stats().nodes;
+        let vars: Vec<Ref> = (0..8).map(|i| mgr.var(i)).collect();
+        let _f = mgr.and_all(vars);
+        let s = mgr.stats();
+        assert!(s.nodes > initial);
+        assert_eq!(s.vars, 8);
+    }
+}
+
+impl Bdd {
+    /// Rebuild `roots` in a fresh manager under a new variable order.
+    ///
+    /// `position[v]` gives the level the old variable `v` occupies in the
+    /// new manager (a permutation of `0..n`). Returns the new manager and
+    /// the translated roots, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is not a permutation covering every variable in
+    /// the roots' support.
+    pub fn rebuild_with_order(&self, roots: &[Ref], position: &[u32]) -> (Bdd, Vec<Ref>) {
+        {
+            let mut seen = vec![false; position.len()];
+            for &p in position {
+                assert!(
+                    (p as usize) < position.len() && !seen[p as usize],
+                    "position must be a permutation"
+                );
+                seen[p as usize] = true;
+            }
+        }
+        let mut out = Bdd::new();
+        let mut memo: HashMap<u32, Ref> = HashMap::new();
+        let mut translated = Vec::with_capacity(roots.len());
+        for &root in roots {
+            let r = self.rebuild_rec(root, position, &mut out, &mut memo);
+            translated.push(r);
+        }
+        (out, translated)
+    }
+
+    fn rebuild_rec(
+        &self,
+        f: Ref,
+        position: &[u32],
+        out: &mut Bdd,
+        memo: &mut HashMap<u32, Ref>,
+    ) -> Ref {
+        if f.is_const() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f.0) {
+            return r;
+        }
+        let node = self.node(f);
+        assert!(
+            (node.var as usize) < position.len(),
+            "variable {} outside the permutation",
+            node.var
+        );
+        let lo = self.rebuild_rec(node.lo, position, out, memo);
+        let hi = self.rebuild_rec(node.hi, position, out, memo);
+        let v = out.var(position[node.var as usize]);
+        let r = out.ite(v, hi, lo);
+        memo.insert(f.0, r);
+        r
+    }
+
+    /// Total node count of a set of roots (shared nodes counted once).
+    pub fn size_many(&self, roots: &[Ref]) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack: Vec<Ref> = roots.to_vec();
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r.is_const() || !visited.insert(r) {
+                continue;
+            }
+            count += 1;
+            let n = self.node(r);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        count
+    }
+
+    /// Greedy sifting-style reordering example:
+    ///
+    /// ```
+    /// use bdd::Bdd;
+    ///
+    /// // x0·x3 + x1·x4 + x2·x5 is large under the interleaved order...
+    /// let mut mgr = Bdd::new();
+    /// let mut f = bdd::Ref::FALSE;
+    /// for (a, b) in [(0, 3), (1, 4), (2, 5)] {
+    ///     let (va, vb) = (mgr.var(a), mgr.var(b));
+    ///     let t = mgr.and(va, vb);
+    ///     f = mgr.or(f, t);
+    /// }
+    /// let (sifted, roots, _) = mgr.sift(&[f], 6);
+    /// // ...and linear (6 nodes) once sifting pairs the variables up.
+    /// assert_eq!(sifted.size_many(&roots), 6);
+    /// ```
+    ///
+    /// Greedy sifting-style reordering: repeatedly move one variable to the    /// Greedy sifting-style reordering: repeatedly move one variable to the
+    /// position that minimizes the shared node count of `roots`, until no
+    /// single move helps. Practical for up to ~16 variables (each trial
+    /// rebuilds the graphs).
+    ///
+    /// Returns the reordered manager, the translated roots, and the final
+    /// `position[old_var] = new_level` permutation.
+    pub fn sift(&self, roots: &[Ref], num_vars: usize) -> (Bdd, Vec<Ref>, Vec<u32>) {
+        let n = num_vars;
+        let mut position: Vec<u32> = (0..n as u32).collect();
+        let (mut best_mgr, mut best_roots) = self.rebuild_with_order(roots, &position);
+        let mut best_size = best_mgr.size_many(&best_roots);
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for var in 0..n {
+                for target in 0..n as u32 {
+                    // Re-read each time: an accepted move changes the level.
+                    let current_level = position[var];
+                    if target == current_level {
+                        continue;
+                    }
+                    // Move `var` to level `target`, shifting the others.
+                    let mut candidate = position.clone();
+                    for p in candidate.iter_mut() {
+                        if *p > current_level && *p <= target {
+                            *p -= 1;
+                        } else if *p >= target && *p < current_level {
+                            *p += 1;
+                        }
+                    }
+                    candidate[var] = target;
+                    let (mgr, new_roots) = self.rebuild_with_order(roots, &candidate);
+                    let size = mgr.size_many(&new_roots);
+                    if size < best_size {
+                        best_size = size;
+                        best_mgr = mgr;
+                        best_roots = new_roots;
+                        position = candidate;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        (best_mgr, best_roots, position)
+    }
+}
+
+#[cfg(test)]
+mod reorder_tests {
+    use super::*;
+
+    /// f = x0·x1 + x2·x3 + x4·x5 — linear under the natural order,
+    /// exponential under the interleaved order (x0,x2,x4,x1,x3,x5).
+    fn chain_function(mgr: &mut Bdd, pairs: &[(u32, u32)]) -> Ref {
+        let mut f = Ref::FALSE;
+        for &(a, b) in pairs {
+            let va = mgr.var(a);
+            let vb = mgr.var(b);
+            let t = mgr.and(va, vb);
+            f = mgr.or(f, t);
+        }
+        f
+    }
+
+    #[test]
+    fn rebuild_preserves_function() {
+        let mut mgr = Bdd::new();
+        let f = chain_function(&mut mgr, &[(0, 1), (2, 3), (4, 5)]);
+        // Reverse the variable order.
+        let position: Vec<u32> = (0..6).rev().collect();
+        let (new_mgr, roots) = mgr.rebuild_with_order(&[f], &position);
+        let g = roots[0];
+        for bits in 0u32..64 {
+            let old_env: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            // In the new manager, old var v lives at level position[v].
+            let mut new_env = vec![false; 6];
+            for v in 0..6 {
+                new_env[position[v] as usize] = old_env[v];
+            }
+            assert_eq!(new_mgr.eval(g, &new_env), mgr.eval(f, &old_env), "{bits:06b}");
+        }
+    }
+
+    #[test]
+    fn good_order_is_linear_bad_is_larger() {
+        // Natural (paired) order.
+        let mut good = Bdd::new();
+        let fg = chain_function(&mut good, &[(0, 1), (2, 3), (4, 5)]);
+        // Interleaved order: pair partners maximally separated.
+        let mut bad = Bdd::new();
+        let fb = chain_function(&mut bad, &[(0, 3), (1, 4), (2, 5)]);
+        assert!(
+            bad.size(fb) > good.size(fg),
+            "interleaved {} vs paired {}",
+            bad.size(fb),
+            good.size(fg)
+        );
+    }
+
+    #[test]
+    fn sifting_recovers_linear_size() {
+        let mut bad = Bdd::new();
+        let f = chain_function(&mut bad, &[(0, 3), (1, 4), (2, 5)]);
+        let before = bad.size(f);
+        let (sifted, roots, position) = bad.sift(&[f], 6);
+        let after = sifted.size_many(&roots);
+        assert!(after < before, "sifting {before} -> {after}");
+        // The optimum for a 3-pair chain is 6 internal nodes.
+        assert_eq!(after, 6, "sifting should find the pairing order");
+        // And the function is preserved.
+        for bits in 0u32..64 {
+            let old_env: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let mut new_env = vec![false; 6];
+            for v in 0..6 {
+                new_env[position[v] as usize] = old_env[v];
+            }
+            assert_eq!(sifted.eval(roots[0], &new_env), bad.eval(f, &old_env));
+        }
+    }
+
+    #[test]
+    fn sift_multiple_roots_shares_nodes() {
+        let mut mgr = Bdd::new();
+        let f = chain_function(&mut mgr, &[(0, 2), (1, 3)]);
+        let v0 = mgr.var(0);
+        let g = mgr.and(f, v0);
+        let (sifted, roots, _) = mgr.sift(&[f, g], 4);
+        assert_eq!(roots.len(), 2);
+        assert!(sifted.size_many(&roots) <= mgr.size_many(&[f, g]));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_bad_permutation() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        mgr.rebuild_with_order(&[f], &[0, 0]);
+    }
+}

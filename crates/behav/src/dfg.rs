@@ -1,0 +1,294 @@
+//! Data-flow graphs for behavioral synthesis.
+
+use netlist::Rng64;
+
+/// Operation kinds in a data-flow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// External input (one value per iteration).
+    Input,
+    /// Compile-time constant.
+    Const(i64),
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Output sink.
+    Output,
+}
+
+impl OpKind {
+    /// Whether this kind executes on a functional unit.
+    pub fn is_compute(self) -> bool {
+        matches!(self, OpKind::Add | OpKind::Sub | OpKind::Mul)
+    }
+}
+
+/// Handle to a DFG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: OpKind,
+    inputs: Vec<OpId>,
+}
+
+/// A data-flow graph (pure feed-forward; loop bodies are unrolled
+/// iterations).
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+    inputs: Vec<OpId>,
+    outputs: Vec<OpId>,
+}
+
+impl Dfg {
+    /// Create an empty graph.
+    pub fn new() -> Dfg {
+        Dfg::default()
+    }
+
+    /// Add an input node.
+    pub fn input(&mut self) -> OpId {
+        let id = self.push(OpKind::Input, vec![]);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Add a constant node.
+    pub fn constant(&mut self, value: i64) -> OpId {
+        self.push(OpKind::Const(value), vec![])
+    }
+
+    /// Add a binary operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-compute kinds or out-of-range operands.
+    pub fn op(&mut self, kind: OpKind, a: OpId, b: OpId) -> OpId {
+        assert!(kind.is_compute(), "op() is for compute kinds");
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len());
+        self.push(kind, vec![a, b])
+    }
+
+    /// Mark a node as an output.
+    pub fn output(&mut self, src: OpId) -> OpId {
+        let id = self.push(OpKind::Output, vec![src]);
+        self.outputs.push(id);
+        id
+    }
+
+    fn push(&mut self, kind: OpKind, inputs: Vec<OpId>) -> OpId {
+        let id = OpId(self.nodes.len());
+        self.nodes.push(Node { kind, inputs });
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The kind of a node.
+    pub fn kind(&self, id: OpId) -> OpKind {
+        self.nodes[id.0].kind
+    }
+
+    /// Operand nodes of `id`.
+    pub fn operands(&self, id: OpId) -> &[OpId] {
+        &self.nodes[id.0].inputs
+    }
+
+    /// All compute nodes, in id order (which is topological by
+    /// construction).
+    pub fn compute_ops(&self) -> Vec<OpId> {
+        (0..self.nodes.len())
+            .map(OpId)
+            .filter(|&id| self.kind(id).is_compute())
+            .collect()
+    }
+
+    /// Input nodes.
+    pub fn inputs(&self) -> &[OpId] {
+        &self.inputs
+    }
+
+    /// Output nodes.
+    pub fn outputs(&self) -> &[OpId] {
+        &self.outputs
+    }
+
+    /// Evaluate one iteration on concrete input values (wrapping i64
+    /// arithmetic). Returns per-node values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_values` has the wrong width.
+    pub fn eval(&self, input_values: &[i64]) -> Vec<i64> {
+        assert_eq!(input_values.len(), self.inputs.len(), "input width");
+        let mut values = vec![0i64; self.nodes.len()];
+        let mut next_input = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node.kind {
+                OpKind::Input => {
+                    let v = input_values[next_input];
+                    next_input += 1;
+                    v
+                }
+                OpKind::Const(c) => c,
+                OpKind::Add => values[node.inputs[0].0].wrapping_add(values[node.inputs[1].0]),
+                OpKind::Sub => values[node.inputs[0].0].wrapping_sub(values[node.inputs[1].0]),
+                OpKind::Mul => values[node.inputs[0].0].wrapping_mul(values[node.inputs[1].0]),
+                OpKind::Output => values[node.inputs[0].0],
+            };
+        }
+        values
+    }
+
+    /// Evaluate many iterations; returns per-node value traces
+    /// (`traces[node][iteration]`), the raw material for the
+    /// correlation-aware binding cost.
+    pub fn traces(&self, input_stream: &[Vec<i64>]) -> Vec<Vec<i64>> {
+        let mut traces = vec![Vec::with_capacity(input_stream.len()); self.nodes.len()];
+        for inputs in input_stream {
+            let values = self.eval(inputs);
+            for (i, v) in values.into_iter().enumerate() {
+                traces[i].push(v);
+            }
+        }
+        traces
+    }
+}
+
+/// An `n`-tap FIR filter: `y = Σ c_i · x_i` (the taps arrive as separate
+/// inputs; delay-line registers are outside the DFG).
+pub fn fir(taps: usize, coefficients: &[i64]) -> Dfg {
+    assert_eq!(coefficients.len(), taps, "one coefficient per tap");
+    let mut g = Dfg::new();
+    let xs: Vec<OpId> = (0..taps).map(|_| g.input()).collect();
+    let cs: Vec<OpId> = coefficients.iter().map(|&c| g.constant(c)).collect();
+    let products: Vec<OpId> = xs
+        .iter()
+        .zip(cs.iter())
+        .map(|(&x, &c)| g.op(OpKind::Mul, x, c))
+        .collect();
+    // Balanced adder tree.
+    let mut layer = products;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(g.op(OpKind::Add, pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    g.output(layer[0]);
+    g
+}
+
+/// A biquad IIR section (direct form I over the current window):
+/// `y = b0·x0 + b1·x1 + b2·x2 − a1·y1 − a2·y2`.
+pub fn biquad(b: [i64; 3], a: [i64; 2]) -> Dfg {
+    let mut g = Dfg::new();
+    let x: Vec<OpId> = (0..3).map(|_| g.input()).collect();
+    let y: Vec<OpId> = (0..2).map(|_| g.input()).collect();
+    let bc: Vec<OpId> = b.iter().map(|&c| g.constant(c)).collect();
+    let ac: Vec<OpId> = a.iter().map(|&c| g.constant(c)).collect();
+    let feed: Vec<OpId> = (0..3).map(|i| g.op(OpKind::Mul, x[i], bc[i])).collect();
+    let back: Vec<OpId> = (0..2).map(|i| g.op(OpKind::Mul, y[i], ac[i])).collect();
+    let s1 = g.op(OpKind::Add, feed[0], feed[1]);
+    let s2 = g.op(OpKind::Add, s1, feed[2]);
+    let s3 = g.op(OpKind::Sub, s2, back[0]);
+    let s4 = g.op(OpKind::Sub, s3, back[1]);
+    g.output(s4);
+    g
+}
+
+/// A random expression DAG with roughly `adds` additions and `muls`
+/// multiplications over `inputs` inputs (deterministic by seed).
+pub fn random_dfg(inputs: usize, adds: usize, muls: usize, seed: u64) -> Dfg {
+    let mut rng = Rng64::new(seed);
+    let mut g = Dfg::new();
+    let mut pool: Vec<OpId> = (0..inputs).map(|_| g.input()).collect();
+    let mut kinds: Vec<OpKind> = Vec::new();
+    kinds.extend(std::iter::repeat_n(OpKind::Add, adds));
+    kinds.extend(std::iter::repeat_n(OpKind::Mul, muls));
+    rng.shuffle(&mut kinds);
+    for kind in kinds {
+        let a = pool[rng.range(0, pool.len())];
+        let b = pool[rng.range(0, pool.len())];
+        let id = g.op(kind, a, b);
+        pool.push(id);
+    }
+    let last = *pool.last().expect("nonempty");
+    g.output(last);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_evaluates_dot_product() {
+        let g = fir(4, &[1, 2, 3, 4]);
+        let values = g.eval(&[10, 20, 30, 40]);
+        let y = values[g.outputs()[0].0];
+        assert_eq!(y, 10 + 40 + 90 + 160);
+    }
+
+    #[test]
+    fn biquad_evaluates() {
+        let g = biquad([1, 2, 1], [1, 1]);
+        // y = x0 + 2 x1 + x2 - y1 - y2
+        let values = g.eval(&[5, 3, 2, 4, 1]);
+        let y = values[g.outputs()[0].0];
+        assert_eq!(y, 5 + 6 + 2 - 4 - 1);
+    }
+
+    #[test]
+    fn traces_collect_per_node() {
+        let g = fir(2, &[1, 1]);
+        let stream = vec![vec![1, 2], vec![3, 4]];
+        let traces = g.traces(&stream);
+        let out = g.outputs()[0].0;
+        assert_eq!(traces[out], vec![3, 7]);
+    }
+
+    #[test]
+    fn random_dfg_is_deterministic() {
+        let a = random_dfg(4, 5, 5, 9);
+        let b = random_dfg(4, 5, 5, 9);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.eval(&[1, 2, 3, 4]), b.eval(&[1, 2, 3, 4]));
+        assert_eq!(a.compute_ops().len(), 10);
+    }
+
+    #[test]
+    fn op_counts() {
+        let g = fir(8, &[1; 8]);
+        let muls = g
+            .compute_ops()
+            .iter()
+            .filter(|&&o| g.kind(o) == OpKind::Mul)
+            .count();
+        let adds = g
+            .compute_ops()
+            .iter()
+            .filter(|&&o| g.kind(o) == OpKind::Add)
+            .count();
+        assert_eq!(muls, 8);
+        assert_eq!(adds, 7);
+    }
+}

@@ -1,0 +1,218 @@
+//! Memory-oriented control-flow transformations (survey §IV.B, \[14\]).
+//!
+//! "The memories impact power in two ways. First, memory accesses consume
+//! a lot of power, especially if the access is off-chip, and second, the
+//! greater the size of memory, the greater is the capacitance that
+//! switches per access. Control flow transformations, such as loop
+//! reordering are presented to try to minimize the memory component."
+//!
+//! The model: a large off-chip array traversed by a loop nest, with a
+//! small on-chip line buffer. Row-major traversal of a row-major array
+//! reuses buffered lines; column-major traversal misses on every access.
+//! [`LoopNest`] generates the access trace; [`MemorySystem`] replays it
+//! and reports energy.
+
+/// Traversal order of a 2-D loop nest over `rows × cols` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traversal {
+    /// `for i in rows { for j in cols { a[i][j] } }` — matches row-major
+    /// layout.
+    RowMajor,
+    /// `for j in cols { for i in rows { a[i][j] } }` — strided.
+    ColumnMajor,
+    /// Row-major with `tile × tile` blocking.
+    Tiled {
+        /// Tile edge length.
+        tile: usize,
+    },
+}
+
+/// A rectangular loop nest over a row-major array.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopNest {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Traversal order.
+    pub order: Traversal,
+}
+
+impl LoopNest {
+    /// The address trace (element indices in row-major layout).
+    pub fn trace(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        match self.order {
+            Traversal::RowMajor => {
+                for i in 0..self.rows {
+                    for j in 0..self.cols {
+                        out.push(i * self.cols + j);
+                    }
+                }
+            }
+            Traversal::ColumnMajor => {
+                for j in 0..self.cols {
+                    for i in 0..self.rows {
+                        out.push(i * self.cols + j);
+                    }
+                }
+            }
+            Traversal::Tiled { tile } => {
+                let tile = tile.max(1);
+                for bi in (0..self.rows).step_by(tile) {
+                    for bj in (0..self.cols).step_by(tile) {
+                        for i in bi..(bi + tile).min(self.rows) {
+                            for j in bj..(bj + tile).min(self.cols) {
+                                out.push(i * self.cols + j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A two-level memory: off-chip array + on-chip line buffer.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    /// Elements per line (buffer granularity).
+    pub line_elems: usize,
+    /// Number of buffered lines (fully associative, LRU).
+    pub lines: usize,
+    /// Energy per off-chip access (line fill), pJ.
+    pub offchip_energy: f64,
+    /// Energy per on-chip buffer access, pJ.
+    pub onchip_energy: f64,
+}
+
+impl Default for MemorySystem {
+    fn default() -> MemorySystem {
+        MemorySystem {
+            line_elems: 8,
+            lines: 4,
+            offchip_energy: 120.0,
+            onchip_energy: 2.5,
+        }
+    }
+}
+
+/// Result of replaying a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryReport {
+    /// Total accesses.
+    pub accesses: usize,
+    /// Off-chip line fills.
+    pub offchip: usize,
+    /// Total energy (pJ).
+    pub energy: f64,
+}
+
+impl MemorySystem {
+    /// Replay an element-index trace through the buffer.
+    pub fn replay(&self, trace: &[usize]) -> MemoryReport {
+        let mut buffer: Vec<usize> = Vec::new(); // LRU: back = most recent
+        let mut offchip = 0usize;
+        for &addr in trace {
+            let line = addr / self.line_elems;
+            if let Some(pos) = buffer.iter().position(|&l| l == line) {
+                buffer.remove(pos);
+                buffer.push(line);
+            } else {
+                offchip += 1;
+                if buffer.len() == self.lines {
+                    buffer.remove(0);
+                }
+                buffer.push(line);
+            }
+        }
+        MemoryReport {
+            accesses: trace.len(),
+            offchip,
+            energy: trace.len() as f64 * self.onchip_energy
+                + offchip as f64 * self.offchip_energy,
+        }
+    }
+
+    /// Per-access energy scaled by memory size: bigger arrays switch more
+    /// bit-line capacitance per access (the survey's second effect). A
+    /// crude `√size` word-line/bit-line model.
+    pub fn offchip_energy_for_size(&self, elements: usize) -> f64 {
+        self.offchip_energy * (elements as f64 / 4096.0).sqrt().max(0.25)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nest(order: Traversal) -> LoopNest {
+        LoopNest {
+            rows: 32,
+            cols: 32,
+            order,
+        }
+    }
+
+    #[test]
+    fn traces_cover_all_elements_once() {
+        for order in [
+            Traversal::RowMajor,
+            Traversal::ColumnMajor,
+            Traversal::Tiled { tile: 8 },
+        ] {
+            let mut t = nest(order).trace();
+            assert_eq!(t.len(), 1024);
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 1024, "{order:?} must touch every element once");
+        }
+    }
+
+    #[test]
+    fn row_major_reuses_lines() {
+        let mem = MemorySystem::default();
+        let row = mem.replay(&nest(Traversal::RowMajor).trace());
+        let col = mem.replay(&nest(Traversal::ColumnMajor).trace());
+        // Row-major: one fill per line = 1024/8 = 128 fills.
+        assert_eq!(row.offchip, 128);
+        // Column-major: buffer (4 lines) can't hold a column's worth of
+        // rows: almost every access misses.
+        assert!(col.offchip > 900, "col misses {}", col.offchip);
+        assert!(col.energy > 5.0 * row.energy);
+    }
+
+    #[test]
+    fn tiling_helps_column_friendly_sizes() {
+        // With a tile that fits the buffer rows, tiled traversal fills each
+        // line once per tile-row rather than once per element.
+        let mem = MemorySystem::default();
+        let tiled = mem.replay(&nest(Traversal::Tiled { tile: 4 }).trace());
+        let col = mem.replay(&nest(Traversal::ColumnMajor).trace());
+        assert!(tiled.offchip < col.offchip);
+    }
+
+    #[test]
+    fn energy_decomposition() {
+        let mem = MemorySystem {
+            line_elems: 4,
+            lines: 2,
+            offchip_energy: 100.0,
+            onchip_energy: 1.0,
+        };
+        // 8 sequential accesses over 2 lines: 2 fills.
+        let trace: Vec<usize> = (0..8).collect();
+        let report = mem.replay(&trace);
+        assert_eq!(report.offchip, 2);
+        assert!((report.energy - (8.0 + 200.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_memories_cost_more_per_access() {
+        let mem = MemorySystem::default();
+        let small = mem.offchip_energy_for_size(1 << 10);
+        let big = mem.offchip_energy_for_size(1 << 16);
+        assert!(big > 3.0 * small);
+    }
+}

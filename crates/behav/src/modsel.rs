@@ -1,0 +1,279 @@
+//! Module selection over a power/delay library (survey §IV.B, \[17\]).
+//!
+//! "If a number of modules, with a range of power/delay costs, is
+//! available for implementing the given operation types, an appropriate
+//! choice of modules can lead to lower power costs for the same
+//! performance." Fast units (carry-select adders, Booth multipliers) burn
+//! more energy per operation than slow ones (ripple adders, array
+//! multipliers); the selector assigns slow units to off-critical ops using
+//! their scheduling mobility.
+
+use std::collections::HashMap;
+
+use crate::dfg::{Dfg, OpId, OpKind};
+use crate::sched::{asap_with, Schedule};
+
+/// One module implementation option.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleOption {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Latency in control steps.
+    pub latency: usize,
+    /// Energy per operation (switched capacitance proxy, fF).
+    pub energy: f64,
+}
+
+/// The implementation library per op class.
+#[derive(Debug, Clone)]
+pub struct ModuleLibrary {
+    /// Adder/subtractor options.
+    pub adders: Vec<ModuleOption>,
+    /// Multiplier options.
+    pub multipliers: Vec<ModuleOption>,
+}
+
+impl Default for ModuleLibrary {
+    fn default() -> ModuleLibrary {
+        ModuleLibrary {
+            adders: vec![
+                ModuleOption {
+                    name: "add_ripple",
+                    latency: 2,
+                    energy: 60.0,
+                },
+                ModuleOption {
+                    name: "add_fast",
+                    latency: 1,
+                    energy: 110.0,
+                },
+            ],
+            multipliers: vec![
+                ModuleOption {
+                    name: "mul_array",
+                    latency: 3,
+                    energy: 420.0,
+                },
+                ModuleOption {
+                    name: "mul_fast",
+                    latency: 2,
+                    energy: 700.0,
+                },
+            ],
+        }
+    }
+}
+
+impl ModuleLibrary {
+    /// Options for an op kind.
+    pub fn options(&self, kind: OpKind) -> &[ModuleOption] {
+        match kind {
+            OpKind::Add | OpKind::Sub => &self.adders,
+            OpKind::Mul => &self.multipliers,
+            _ => &[],
+        }
+    }
+
+    /// The fastest option per kind.
+    pub fn fastest(&self, kind: OpKind) -> ModuleOption {
+        *self
+            .options(kind)
+            .iter()
+            .min_by_key(|o| o.latency)
+            .expect("library covers kind")
+    }
+
+    /// The lowest-energy option per kind.
+    pub fn cheapest(&self, kind: OpKind) -> ModuleOption {
+        *self
+            .options(kind)
+            .iter()
+            .min_by(|a, b| a.energy.partial_cmp(&b.energy).expect("finite"))
+            .expect("library covers kind")
+    }
+}
+
+/// A module assignment: chosen option per op plus the resulting schedule.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Option chosen per compute op.
+    pub choice: HashMap<OpId, ModuleOption>,
+    /// Unconstrained (ASAP) schedule under the chosen latencies.
+    pub schedule: Schedule,
+    /// Total energy per iteration.
+    pub energy: f64,
+}
+
+fn total_energy(choice: &HashMap<OpId, ModuleOption>) -> f64 {
+    choice.values().map(|o| o.energy).sum()
+}
+
+/// Select modules to meet `deadline` control steps with minimal energy.
+///
+/// Strategy: start with every op on its fastest option (maximum slack),
+/// then greedily downgrade the op whose energy saving is largest among
+/// those whose downgrade keeps the critical path within the deadline.
+///
+/// Returns `None` if even all-fastest misses the deadline.
+pub fn select_modules(g: &Dfg, library: &ModuleLibrary, deadline: usize) -> Option<Selection> {
+    let mut choice: HashMap<OpId, ModuleOption> = g
+        .compute_ops()
+        .into_iter()
+        .map(|op| (op, library.fastest(g.kind(op))))
+        .collect();
+    let schedule_for = |choice: &HashMap<OpId, ModuleOption>| -> Schedule {
+        // Custom ASAP honoring per-op latencies.
+        let mut start: HashMap<OpId, usize> = HashMap::new();
+        let mut length = 0;
+        for op in g.compute_ops() {
+            let t = g
+                .operands(op)
+                .iter()
+                .map(|&src| {
+                    if g.kind(src).is_compute() {
+                        start[&src] + choice[&src].latency
+                    } else {
+                        0
+                    }
+                })
+                .max()
+                .unwrap_or(0);
+            start.insert(op, t);
+            length = length.max(t + choice[&op].latency);
+        }
+        Schedule { start, length }
+    };
+    if schedule_for(&choice).length > deadline {
+        return None;
+    }
+    // Greedy downgrades.
+    loop {
+        let mut best: Option<(OpId, ModuleOption, f64)> = None;
+        for op in g.compute_ops() {
+            let current = choice[&op];
+            for &option in library.options(g.kind(op)) {
+                if option.latency <= current.latency || option.energy >= current.energy {
+                    continue; // only strictly slower-and-cheaper moves
+                }
+                let mut trial = choice.clone();
+                trial.insert(op, option);
+                if schedule_for(&trial).length <= deadline {
+                    let saving = current.energy - option.energy;
+                    if best.map(|(_, _, s)| saving > s).unwrap_or(true) {
+                        best = Some((op, option, saving));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((op, option, _)) => {
+                choice.insert(op, option);
+            }
+            None => break,
+        }
+    }
+    let schedule = schedule_for(&choice);
+    let energy = total_energy(&choice);
+    Some(Selection {
+        choice,
+        schedule,
+        energy,
+    })
+}
+
+/// Convenience: the all-fastest and all-cheapest corner selections.
+pub fn corner_energies(g: &Dfg, library: &ModuleLibrary) -> (f64, f64) {
+    let fast: f64 = g
+        .compute_ops()
+        .iter()
+        .map(|&op| library.fastest(g.kind(op)).energy)
+        .sum();
+    let cheap: f64 = g
+        .compute_ops()
+        .iter()
+        .map(|&op| library.cheapest(g.kind(op)).energy)
+        .sum();
+    (fast, cheap)
+}
+
+/// Critical-path length with every op on its fastest / cheapest option.
+pub fn corner_lengths(g: &Dfg, library: &ModuleLibrary) -> (usize, usize) {
+    let fast = asap_with(g, &|k: OpKind| {
+        if k.is_compute() {
+            library.fastest(k).latency
+        } else {
+            0
+        }
+    })
+    .length;
+    let slow = asap_with(g, &|k: OpKind| {
+        if k.is_compute() {
+            library.cheapest(k).latency
+        } else {
+            0
+        }
+    })
+    .length;
+    (fast, slow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::{fir, random_dfg};
+
+    #[test]
+    fn deadline_sweep_trades_energy() {
+        let g = fir(8, &[1; 8]);
+        let lib = ModuleLibrary::default();
+        let (fast_len, slow_len) = corner_lengths(&g, &lib);
+        assert!(fast_len < slow_len);
+        let mut last_energy = f64::INFINITY;
+        let mut energies = Vec::new();
+        for deadline in fast_len..=slow_len {
+            let sel = select_modules(&g, &lib, deadline).expect("feasible");
+            assert!(sel.schedule.length <= deadline);
+            energies.push(sel.energy);
+            assert!(sel.energy <= last_energy + 1e-9, "monotone in deadline");
+            last_energy = sel.energy;
+        }
+        // The loosest deadline reaches the all-cheapest corner.
+        let (_, cheap) = corner_energies(&g, &lib);
+        assert!((energies.last().unwrap() - cheap).abs() < 1e-9);
+        // The tightest costs strictly more.
+        assert!(energies[0] > cheap);
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let g = fir(4, &[1; 4]);
+        let lib = ModuleLibrary::default();
+        let (fast_len, _) = corner_lengths(&g, &lib);
+        assert!(select_modules(&g, &lib, fast_len - 1).is_none());
+        assert!(select_modules(&g, &lib, fast_len).is_some());
+    }
+
+    #[test]
+    fn off_critical_ops_get_slow_units() {
+        // FIR with one long chain: ops off the critical path downgrade.
+        let g = random_dfg(6, 10, 6, 7);
+        let lib = ModuleLibrary::default();
+        let (fast_len, _) = corner_lengths(&g, &lib);
+        let sel = select_modules(&g, &lib, fast_len + 2).expect("feasible");
+        let slow_count = sel
+            .choice
+            .values()
+            .filter(|o| o.name == "add_ripple" || o.name == "mul_array")
+            .count();
+        assert!(slow_count > 0, "some op should downgrade with slack");
+    }
+
+    #[test]
+    fn library_corners() {
+        let lib = ModuleLibrary::default();
+        assert_eq!(lib.fastest(OpKind::Add).name, "add_fast");
+        assert_eq!(lib.cheapest(OpKind::Add).name, "add_ripple");
+        assert_eq!(lib.fastest(OpKind::Mul).name, "mul_fast");
+        assert_eq!(lib.cheapest(OpKind::Mul).name, "mul_array");
+    }
+}

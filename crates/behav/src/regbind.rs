@@ -1,0 +1,341 @@
+//! Register binding: variables to registers, minimizing switched
+//! capacitance (survey §IV.B, \[33\]\[34\]).
+//!
+//! "The allocation and assignment processes map ... variables to
+//! registers ... the sequence of operations (variables) mapped to each
+//! functional unit (register) affect the total switched capacitance."
+//!
+//! [`left_edge`] gives the classical minimum-register assignment (interval
+//! graphs are perfect, so the left-edge algorithm is optimal in register
+//! count); [`bind_low_power`] keeps the same register count but chooses
+//! *which* compatible variables share a register so that consecutive
+//! occupants have similar value traces.
+
+use std::collections::HashMap;
+
+use crate::dfg::{Dfg, OpId, OpKind};
+use crate::sched::Schedule;
+
+/// A variable's lifetime in control steps: `[birth, death)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lifetime {
+    /// The producing node (compute op or primary input).
+    pub var: OpId,
+    /// First step the value exists (producer finish time).
+    pub birth: usize,
+    /// First step the value is dead (after its last consumer starts).
+    pub death: usize,
+}
+
+/// Compute the lifetime of every value that must live in a register:
+/// compute-op results plus primary inputs (alive from step 0).
+///
+/// Values never consumed die immediately after birth (still need a
+/// register for one step if they feed an output).
+pub fn lifetimes(g: &Dfg, schedule: &Schedule, latency: &impl Fn(OpKind) -> usize) -> Vec<Lifetime> {
+    let mut last_use: HashMap<OpId, usize> = HashMap::new();
+    for op in g.compute_ops() {
+        for &src in g.operands(op) {
+            let t = schedule.start[&op];
+            let entry = last_use.entry(src).or_insert(t);
+            *entry = (*entry).max(t);
+        }
+    }
+    // Outputs hold their source until the end of the schedule.
+    for &out in g.outputs() {
+        let src = g.operands(out)[0];
+        let entry = last_use.entry(src).or_insert(schedule.length);
+        *entry = (*entry).max(schedule.length);
+    }
+    let mut result = Vec::new();
+    for id in 0..g.len() {
+        let op = OpId(id);
+        let kind = g.kind(op);
+        let birth = match kind {
+            OpKind::Input => 0,
+            k if k.is_compute() => schedule.start[&op] + latency(k),
+            _ => continue, // constants are hardwired, outputs are sinks
+        };
+        let death = last_use.get(&op).copied().unwrap_or(birth).max(birth) + 1;
+        result.push(Lifetime {
+            var: op,
+            birth,
+            death,
+        });
+    }
+    result
+}
+
+/// Maximum number of simultaneously-live values (the register lower bound).
+pub fn max_overlap(lifetimes: &[Lifetime]) -> usize {
+    let horizon = lifetimes.iter().map(|l| l.death).max().unwrap_or(0);
+    (0..horizon)
+        .map(|t| {
+            lifetimes
+                .iter()
+                .filter(|l| l.birth <= t && t < l.death)
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Left-edge register allocation: returns `register[i]` for each lifetime,
+/// using the minimum possible number of registers.
+pub fn left_edge(lifetimes: &[Lifetime]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..lifetimes.len()).collect();
+    order.sort_by_key(|&i| (lifetimes[i].birth, lifetimes[i].death));
+    let mut reg_free_at: Vec<usize> = Vec::new(); // per register: next free step
+    let mut assignment = vec![usize::MAX; lifetimes.len()];
+    for &i in &order {
+        let l = lifetimes[i];
+        match reg_free_at
+            .iter_mut()
+            .enumerate()
+            .find(|(_, free)| **free <= l.birth)
+        {
+            Some((r, free)) => {
+                *free = l.death;
+                assignment[i] = r;
+            }
+            None => {
+                assignment[i] = reg_free_at.len();
+                reg_free_at.push(l.death);
+            }
+        }
+    }
+    assignment
+}
+
+/// Toggle cost of a register assignment: for each register, the Hamming
+/// distance between the value traces of consecutive occupants (averaged
+/// over iterations), plus the toggling of each value while resident (which
+/// is assignment-independent and therefore omitted).
+pub fn register_cost(
+    lifetimes: &[Lifetime],
+    assignment: &[usize],
+    traces: &[Vec<i64>],
+) -> f64 {
+    let iterations = traces.first().map(|t| t.len()).unwrap_or(0).max(1);
+    let regs = assignment.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut per_reg: Vec<Vec<usize>> = vec![Vec::new(); regs];
+    for (i, &r) in assignment.iter().enumerate() {
+        per_reg[r].push(i);
+    }
+    let mut total = 0u64;
+    for occupants in &mut per_reg {
+        occupants.sort_by_key(|&i| lifetimes[i].birth);
+        for pair in occupants.windows(2) {
+            let a = lifetimes[pair[0]].var;
+            let b = lifetimes[pair[1]].var;
+            for k in 0..iterations {
+                total += ((traces[a.0][k] ^ traces[b.0][k]) as u64).count_ones() as u64;
+            }
+        }
+    }
+    total as f64 / iterations as f64
+}
+
+/// Whether an assignment is legal (no two overlapping lifetimes share a
+/// register).
+pub fn is_legal(lifetimes: &[Lifetime], assignment: &[usize]) -> bool {
+    for i in 0..lifetimes.len() {
+        for j in i + 1..lifetimes.len() {
+            if assignment[i] != assignment[j] {
+                continue;
+            }
+            let (a, b) = (lifetimes[i], lifetimes[j]);
+            if a.birth < b.death && b.birth < a.death {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Activity-aware register binding with the left-edge register count:
+/// greedy assignment in birth order, choosing among free registers the one
+/// whose previous occupant's trace is closest, then pairwise-move
+/// polishing against [`register_cost`].
+pub fn bind_low_power(
+    lifetimes: &[Lifetime],
+    traces: &[Vec<i64>],
+) -> Vec<usize> {
+    let iterations = traces.first().map(|t| t.len()).unwrap_or(0).max(1);
+    let num_regs = left_edge(lifetimes).iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut order: Vec<usize> = (0..lifetimes.len()).collect();
+    order.sort_by_key(|&i| (lifetimes[i].birth, lifetimes[i].death));
+    let mut reg_free_at = vec![0usize; num_regs];
+    let mut reg_last: Vec<Option<OpId>> = vec![None; num_regs];
+    let mut assignment = vec![usize::MAX; lifetimes.len()];
+    for &i in &order {
+        let l = lifetimes[i];
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..num_regs {
+            if reg_free_at[r] > l.birth {
+                continue;
+            }
+            let affinity = match reg_last[r] {
+                None => 0.0,
+                Some(prev) => {
+                    let mut d = 0u64;
+                    for k in 0..iterations {
+                        d += ((traces[prev.0][k] ^ traces[l.var.0][k]) as u64).count_ones()
+                            as u64;
+                    }
+                    -(d as f64) / iterations as f64
+                }
+            };
+            if best.map(|(_, a)| affinity > a).unwrap_or(true) {
+                best = Some((r, affinity));
+            }
+        }
+        let (r, _) = best.expect("left-edge count suffices");
+        assignment[i] = r;
+        reg_free_at[r] = l.death;
+        reg_last[r] = Some(l.var);
+    }
+    // Pairwise-move polishing.
+    let mut best_cost = register_cost(lifetimes, &assignment, traces);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..lifetimes.len() {
+            let current = assignment[i];
+            for r in 0..num_regs {
+                if r == current {
+                    continue;
+                }
+                assignment[i] = r;
+                if is_legal(lifetimes, &assignment) {
+                    let cost = register_cost(lifetimes, &assignment, traces);
+                    if cost < best_cost - 1e-9 {
+                        best_cost = cost;
+                        improved = true;
+                        continue;
+                    }
+                }
+                assignment[i] = current;
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::{fir, Dfg};
+    use crate::sched::{default_latency, list_schedule, Resources};
+    use netlist::Rng64;
+
+    fn fir_setup() -> (Dfg, Schedule, Vec<Lifetime>) {
+        let g = fir(6, &[1, -2, 3, -4, 5, -6]);
+        let schedule = list_schedule(
+            &g,
+            Resources {
+                adders: 2,
+                multipliers: 2,
+            },
+        );
+        let lt = lifetimes(&g, &schedule, &default_latency);
+        (g, schedule, lt)
+    }
+
+    #[test]
+    fn lifetimes_are_well_formed() {
+        let (g, schedule, lt) = fir_setup();
+        for l in &lt {
+            assert!(l.birth < l.death, "{:?}", l);
+            assert!(l.death <= schedule.length + 1);
+        }
+        // Every compute op and input has a lifetime.
+        assert_eq!(lt.len(), g.compute_ops().len() + g.inputs().len());
+    }
+
+    #[test]
+    fn left_edge_matches_max_overlap() {
+        let (_, _, lt) = fir_setup();
+        let assignment = left_edge(&lt);
+        assert!(is_legal(&lt, &assignment));
+        let regs = assignment.iter().copied().max().unwrap() + 1;
+        // Interval graphs are perfect: left-edge hits the clique bound.
+        assert_eq!(regs, max_overlap(&lt));
+    }
+
+    #[test]
+    fn low_power_binding_is_legal_and_no_more_registers() {
+        let (g, _, lt) = fir_setup();
+        let mut rng = Rng64::new(7);
+        let stream: Vec<Vec<i64>> = (0..150)
+            .map(|_| {
+                (0..g.inputs().len())
+                    .map(|_| rng.next_below(1024) as i64 - 512)
+                    .collect()
+            })
+            .collect();
+        let traces = g.traces(&stream);
+        let le = left_edge(&lt);
+        let lp = bind_low_power(&lt, &traces);
+        assert!(is_legal(&lt, &lp));
+        let le_regs = le.iter().copied().max().unwrap() + 1;
+        let lp_regs = lp.iter().copied().max().unwrap() + 1;
+        assert!(lp_regs <= le_regs);
+        let cost_le = register_cost(&lt, &le, &traces);
+        let cost_lp = register_cost(&lt, &lp, &traces);
+        assert!(
+            cost_lp <= cost_le + 1e-9,
+            "low-power {cost_lp} vs left-edge {cost_le}"
+        );
+    }
+
+    #[test]
+    fn correlated_variables_share_registers() {
+        // Two slow-changing inputs and two fast ones, alternating in time:
+        // the low-power binder should pair like with like.
+        let mut g = Dfg::new();
+        let slow_a = g.input();
+        let slow_b = g.input();
+        let fast_a = g.input();
+        let fast_b = g.input();
+        use crate::dfg::OpKind;
+        let s1 = g.op(OpKind::Add, slow_a, slow_a);
+        let f1 = g.op(OpKind::Add, fast_a, fast_a);
+        let s2 = g.op(OpKind::Add, slow_b, s1);
+        let f2 = g.op(OpKind::Add, fast_b, f1);
+        let top = g.op(OpKind::Add, s2, f2);
+        g.output(top);
+        let schedule = list_schedule(&g, Resources { adders: 1, multipliers: 1 });
+        let lt = lifetimes(&g, &schedule, &default_latency);
+        let mut rng = Rng64::new(3);
+        let stream: Vec<Vec<i64>> = (0..200)
+            .map(|_| {
+                vec![
+                    rng.next_below(4) as i64,
+                    rng.next_below(4) as i64,
+                    (rng.next_u64() & 0xFFFF) as i64,
+                    (rng.next_u64() & 0xFFFF) as i64,
+                ]
+            })
+            .collect();
+        let traces = g.traces(&stream);
+        let le = left_edge(&lt);
+        let lp = bind_low_power(&lt, &traces);
+        assert!(register_cost(&lt, &lp, &traces) <= register_cost(&lt, &le, &traces) + 1e-9);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let lt = vec![
+            Lifetime { var: OpId(0), birth: 0, death: 3 },
+            Lifetime { var: OpId(1), birth: 2, death: 5 },
+            Lifetime { var: OpId(2), birth: 3, death: 6 },
+        ];
+        assert!(!is_legal(&lt, &[0, 0, 1])); // 0 and 1 overlap at step 2
+        assert!(is_legal(&lt, &[0, 1, 0])); // 0 dies at 3, 2 born at 3
+        assert_eq!(max_overlap(&lt), 2);
+        let assignment = left_edge(&lt);
+        assert!(is_legal(&lt, &assignment));
+        assert_eq!(assignment.iter().max().unwrap() + 1, 2);
+    }
+}

@@ -1,0 +1,545 @@
+//! Scheduling: ASAP, ALAP, mobility and resource-constrained list
+//! scheduling.
+
+use std::collections::HashMap;
+
+use crate::dfg::{Dfg, OpId, OpKind};
+
+/// Per-op latency in control steps.
+pub fn default_latency(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Add | OpKind::Sub => 1,
+        OpKind::Mul => 2,
+        _ => 0,
+    }
+}
+
+/// A schedule: start control step per compute op.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Start step per op (only compute ops present).
+    pub start: HashMap<OpId, usize>,
+    /// Total schedule length in control steps.
+    pub length: usize,
+}
+
+impl Schedule {
+    /// Ops starting at each control step.
+    pub fn by_step(&self) -> Vec<Vec<OpId>> {
+        let mut steps = vec![Vec::new(); self.length];
+        for (&op, &s) in &self.start {
+            steps[s].push(op);
+        }
+        for list in &mut steps {
+            list.sort_unstable();
+        }
+        steps
+    }
+}
+
+/// Earliest step `op` can start given scheduled operands; `usize::MAX`
+/// when some compute operand is not scheduled yet.
+fn ready_time(g: &Dfg, op: OpId, start: &HashMap<OpId, usize>, latency: &impl Fn(OpKind) -> usize) -> usize {
+    g.operands(op)
+        .iter()
+        .map(|&src| match g.kind(src) {
+            k if k.is_compute() => match start.get(&src) {
+                Some(&s) => s + latency(k),
+                None => usize::MAX,
+            },
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// As-soon-as-possible schedule (unlimited resources).
+pub fn asap(g: &Dfg) -> Schedule {
+    asap_with(g, &default_latency)
+}
+
+/// ASAP with a custom latency function.
+pub fn asap_with(g: &Dfg, latency: &impl Fn(OpKind) -> usize) -> Schedule {
+    let mut start = HashMap::new();
+    let mut length = 0;
+    for op in g.compute_ops() {
+        let t = ready_time(g, op, &start, latency);
+        start.insert(op, t);
+        length = length.max(t + latency(g.kind(op)));
+    }
+    Schedule { start, length }
+}
+
+/// As-late-as-possible schedule for a given length.
+///
+/// # Panics
+///
+/// Panics if `length` is below the critical path.
+pub fn alap(g: &Dfg, length: usize) -> Schedule {
+    alap_with(g, length, &default_latency)
+}
+
+/// ALAP with a custom latency function.
+pub fn alap_with(g: &Dfg, length: usize, latency: &impl Fn(OpKind) -> usize) -> Schedule {
+    let asap_sched = asap_with(g, latency);
+    assert!(
+        length >= asap_sched.length,
+        "length {length} below critical path {}",
+        asap_sched.length
+    );
+    // Process in reverse topological (reverse id) order.
+    let ops = g.compute_ops();
+    // Consumers map.
+    let mut consumers: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for &op in &ops {
+        for &src in g.operands(op) {
+            if g.kind(src).is_compute() {
+                consumers.entry(src).or_default().push(op);
+            }
+        }
+    }
+    // Output ops must finish by `length`.
+    let mut start = HashMap::new();
+    for &op in ops.iter().rev() {
+        let lat = latency(g.kind(op));
+        let latest_finish = consumers
+            .get(&op)
+            .map(|cons| {
+                cons.iter()
+                    .map(|c| start[c])
+                    .min()
+                    .expect("consumers nonempty")
+            })
+            .unwrap_or(length);
+        let s = latest_finish - lat;
+        start.insert(op, s);
+    }
+    Schedule { start, length }
+}
+
+/// Mobility (slack) per op: `alap_start − asap_start`.
+pub fn mobility(g: &Dfg, length: usize) -> HashMap<OpId, usize> {
+    let a = asap(g);
+    let l = alap(g, length);
+    a.start
+        .iter()
+        .map(|(&op, &s)| (op, l.start[&op] - s))
+        .collect()
+}
+
+/// Resource constraints: how many units of each class are available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resources {
+    /// Adders (handle Add and Sub).
+    pub adders: usize,
+    /// Multipliers.
+    pub multipliers: usize,
+}
+
+fn unit_class(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Add | OpKind::Sub => 0,
+        OpKind::Mul => 1,
+        _ => usize::MAX,
+    }
+}
+
+/// Resource-constrained list scheduling (priority = longest path to sink).
+///
+/// ```
+/// use behav::dfg::fir;
+/// use behav::sched::{asap, list_schedule, Resources};
+///
+/// let kernel = fir(8, &[1; 8]);
+/// let unconstrained = asap(&kernel);
+/// let constrained = list_schedule(&kernel, Resources { adders: 1, multipliers: 1 });
+/// assert!(constrained.length > unconstrained.length);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a resource count is zero while ops of that class exist.
+pub fn list_schedule(g: &Dfg, resources: Resources) -> Schedule {
+    list_schedule_with(g, resources, &default_latency)
+}
+
+/// List scheduling with a custom latency function.
+pub fn list_schedule_with(
+    g: &Dfg,
+    resources: Resources,
+    latency: &impl Fn(OpKind) -> usize,
+) -> Schedule {
+    let ops = g.compute_ops();
+    for &op in &ops {
+        let class = unit_class(g.kind(op));
+        let available = [resources.adders, resources.multipliers][class];
+        assert!(available > 0, "no units for {:?}", g.kind(op));
+    }
+    // Priority: critical-path distance to any output.
+    let mut priority: HashMap<OpId, usize> = HashMap::new();
+    let mut consumers: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for &op in &ops {
+        for &src in g.operands(op) {
+            if g.kind(src).is_compute() {
+                consumers.entry(src).or_default().push(op);
+            }
+        }
+    }
+    for &op in ops.iter().rev() {
+        let downstream = consumers
+            .get(&op)
+            .map(|cons| cons.iter().map(|c| priority[c]).max().unwrap_or(0))
+            .unwrap_or(0);
+        priority.insert(op, downstream + latency(g.kind(op)));
+    }
+    let mut start: HashMap<OpId, usize> = HashMap::new();
+    let mut unscheduled: Vec<OpId> = ops.clone();
+    let mut busy_until: Vec<Vec<usize>> = vec![
+        vec![0; resources.adders],
+        vec![0; resources.multipliers],
+    ];
+    let mut step = 0usize;
+    let mut length = 0usize;
+    while !unscheduled.is_empty() {
+        // Ready ops at this step, highest priority first.
+        let mut ready: Vec<OpId> = unscheduled
+            .iter()
+            .copied()
+            .filter(|&op| ready_time(g, op, &start, latency) <= step)
+            .collect();
+        ready.sort_by_key(|op| std::cmp::Reverse(priority[op]));
+        for op in ready {
+            let class = unit_class(g.kind(op));
+            // A unit free at this step?
+            if let Some(unit) = busy_until[class].iter_mut().find(|b| **b <= step) {
+                *unit = step + latency(g.kind(op));
+                start.insert(op, step);
+                length = length.max(step + latency(g.kind(op)));
+                unscheduled.retain(|&o| o != op);
+            }
+        }
+        step += 1;
+        assert!(step < 10_000, "scheduler failed to make progress");
+    }
+    Schedule { start, length }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::{fir, random_dfg};
+
+    fn assert_valid(g: &Dfg, sched: &Schedule, resources: Option<Resources>) {
+        // Dependences respected.
+        for (&op, &s) in &sched.start {
+            for &src in g.operands(op) {
+                if g.kind(src).is_compute() {
+                    let finish = sched.start[&src] + default_latency(g.kind(src));
+                    assert!(s >= finish, "op {op:?} starts before operand finishes");
+                }
+            }
+            assert!(s + default_latency(g.kind(op)) <= sched.length);
+        }
+        // Resource bounds respected.
+        if let Some(r) = resources {
+            for step in 0..sched.length {
+                let occupied = |class: usize| -> usize {
+                    sched
+                        .start
+                        .iter()
+                        .filter(|(&op, &s)| {
+                            unit_class(g.kind(op)) == class
+                                && s <= step
+                                && step < s + default_latency(g.kind(op))
+                        })
+                        .count()
+                };
+                assert!(occupied(0) <= r.adders, "step {step} adders");
+                assert!(occupied(1) <= r.multipliers, "step {step} multipliers");
+            }
+        }
+    }
+
+    #[test]
+    fn asap_fir_critical_path() {
+        let g = fir(8, &[1; 8]);
+        let sched = asap(&g);
+        // mul (2) + 3 levels of adds (3) = 5.
+        assert_eq!(sched.length, 5);
+        assert_valid(&g, &sched, None);
+    }
+
+    #[test]
+    fn alap_pushes_late() {
+        let g = fir(4, &[1; 4]);
+        let a = asap(&g);
+        let l = alap(&g, a.length + 3);
+        assert_valid(&g, &l, None);
+        // Every op's ALAP start is >= its ASAP start.
+        for (&op, &s) in &l.start {
+            assert!(s >= a.start[&op]);
+        }
+    }
+
+    #[test]
+    fn mobility_zero_on_critical_path() {
+        let g = fir(4, &[1; 4]);
+        let a = asap(&g);
+        let m = mobility(&g, a.length);
+        // At least one op is critical.
+        assert!(m.values().any(|&s| s == 0));
+        // With slack added, everything gains mobility.
+        let m2 = mobility(&g, a.length + 2);
+        for (op, &s) in &m2 {
+            assert_eq!(s, m[op] + 2);
+        }
+    }
+
+    #[test]
+    fn list_schedule_respects_resources() {
+        let g = fir(8, &[1; 8]);
+        for r in [
+            Resources { adders: 1, multipliers: 1 },
+            Resources { adders: 2, multipliers: 2 },
+            Resources { adders: 7, multipliers: 8 },
+        ] {
+            let sched = list_schedule(&g, r);
+            assert_valid(&g, &sched, Some(r));
+        }
+    }
+
+    #[test]
+    fn more_resources_never_slower() {
+        let g = random_dfg(6, 12, 8, 3);
+        let slow = list_schedule(&g, Resources { adders: 1, multipliers: 1 });
+        let fast = list_schedule(&g, Resources { adders: 4, multipliers: 4 });
+        assert!(fast.length <= slow.length);
+        // Unlimited resources reach the ASAP length.
+        let unlimited = list_schedule(&g, Resources { adders: 64, multipliers: 64 });
+        assert_eq!(unlimited.length, asap(&g).length);
+    }
+
+    #[test]
+    fn single_multiplier_serializes() {
+        let g = fir(4, &[1; 4]);
+        let sched = list_schedule(&g, Resources { adders: 1, multipliers: 1 });
+        // 4 muls of latency 2 on one unit: at least 8 steps for them alone.
+        assert!(sched.length >= 8, "length {}", sched.length);
+        assert_valid(&g, &sched, Some(Resources { adders: 1, multipliers: 1 }));
+    }
+
+    #[test]
+    fn by_step_covers_all_ops() {
+        let g = fir(4, &[1; 4]);
+        let sched = asap(&g);
+        let steps = sched.by_step();
+        let total: usize = steps.iter().map(|s| s.len()).sum();
+        assert_eq!(total, g.compute_ops().len());
+    }
+}
+
+/// Force-directed scheduling (Paulin–Knight style), as used by the
+/// behavioral-synthesis systems the survey cites (\[7\]\[27\]).
+///
+/// Ops are assigned to steps inside their mobility windows so that the
+/// *distribution graphs* (expected resource usage per step, per unit
+/// class) stay as flat as possible — flat usage means fewer units, less
+/// multiplexing, and lower switched capacitance for the same latency.
+///
+/// # Panics
+///
+/// Panics if `length` is below the critical path.
+pub fn force_directed(g: &Dfg, length: usize) -> Schedule {
+    let asap_sched = asap(g);
+    assert!(
+        length >= asap_sched.length,
+        "length {length} below critical path {}",
+        asap_sched.length
+    );
+    let alap_sched = alap(g, length);
+    let ops = g.compute_ops();
+    // Current window [lo, hi] per op (inclusive start steps).
+    let mut lo: HashMap<OpId, usize> = ops.iter().map(|&o| (o, asap_sched.start[&o])).collect();
+    let mut hi: HashMap<OpId, usize> = ops.iter().map(|&o| (o, alap_sched.start[&o])).collect();
+    let mut fixed: HashMap<OpId, usize> = HashMap::new();
+
+    // Successor/predecessor maps for window propagation.
+    let mut preds: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    let mut succs: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for &op in &ops {
+        for &src in g.operands(op) {
+            if g.kind(src).is_compute() {
+                preds.entry(op).or_default().push(src);
+                succs.entry(src).or_default().push(op);
+            }
+        }
+    }
+
+    // Distribution graph: expected occupancy per (class, step).
+    let distribution = |lo: &HashMap<OpId, usize>, hi: &HashMap<OpId, usize>| -> Vec<Vec<f64>> {
+        let mut dg = vec![vec![0.0; length]; 2];
+        for &op in &ops {
+            let class = unit_class(g.kind(op));
+            let window = hi[&op] - lo[&op] + 1;
+            let p = 1.0 / window as f64;
+            let lat = default_latency(g.kind(op));
+            for s in lo[&op]..=hi[&op] {
+                for t in s..(s + lat).min(length) {
+                    dg[class][t] += p;
+                }
+            }
+        }
+        dg
+    };
+
+    while fixed.len() < ops.len() {
+        let dg = distribution(&lo, &hi);
+        // Pick the unfixed op/step pair with the smallest self-force:
+        // force = sum over occupied steps of (DG[t] - average over window).
+        let mut best: Option<(OpId, usize, f64)> = None;
+        for &op in &ops {
+            if fixed.contains_key(&op) {
+                continue;
+            }
+            let class = unit_class(g.kind(op));
+            let lat = default_latency(g.kind(op));
+            let window = hi[&op] - lo[&op] + 1;
+            // Average DG contribution over the window.
+            let avg: f64 = (lo[&op]..=hi[&op])
+                .map(|s| {
+                    (s..(s + lat).min(length))
+                        .map(|t| dg[class][t])
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+                / window as f64;
+            for s in lo[&op]..=hi[&op] {
+                let here: f64 = (s..(s + lat).min(length)).map(|t| dg[class][t]).sum();
+                let force = here - avg;
+                if best
+                    .as_ref()
+                    .map(|&(_, _, bf)| force < bf - 1e-12)
+                    .unwrap_or(true)
+                {
+                    best = Some((op, s, force));
+                }
+            }
+        }
+        let (op, step, _) = best.expect("some op unfixed");
+        fixed.insert(op, step);
+        lo.insert(op, step);
+        hi.insert(op, step);
+        // Propagate the tightened window through the dependences.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &o in &ops {
+                let lat_pred = |p: OpId| default_latency(g.kind(p));
+                if let Some(ps) = preds.get(&o) {
+                    let min_start = ps
+                        .iter()
+                        .map(|&p| lo[&p] + lat_pred(p))
+                        .max()
+                        .unwrap_or(0);
+                    if min_start > lo[&o] {
+                        lo.insert(o, min_start);
+                        changed = true;
+                    }
+                }
+                if let Some(ss) = succs.get(&o) {
+                    let lat = default_latency(g.kind(o));
+                    let max_start = ss.iter().map(|&s| hi[&s]).min().unwrap_or(length) - lat;
+                    if max_start < hi[&o] {
+                        hi.insert(o, max_start);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    Schedule {
+        start: fixed,
+        length,
+    }
+}
+
+/// Peak concurrent usage per unit class of a schedule (a proxy for the
+/// number of units an allocator must provide).
+pub fn peak_usage(g: &Dfg, schedule: &Schedule) -> [usize; 2] {
+    let mut peak = [0usize; 2];
+    for step in 0..schedule.length {
+        let mut used = [0usize; 2];
+        for (&op, &s) in &schedule.start {
+            let lat = default_latency(g.kind(op));
+            if s <= step && step < s + lat {
+                used[unit_class(g.kind(op))] += 1;
+            }
+        }
+        for c in 0..2 {
+            peak[c] = peak[c].max(used[c]);
+        }
+    }
+    peak
+}
+
+#[cfg(test)]
+mod fds_tests {
+    use super::*;
+    use crate::dfg::{fir, random_dfg};
+
+    fn assert_dependences(g: &Dfg, sched: &Schedule) {
+        for (&op, &s) in &sched.start {
+            for &src in g.operands(op) {
+                if g.kind(src).is_compute() {
+                    assert!(s >= sched.start[&src] + default_latency(g.kind(src)));
+                }
+            }
+            assert!(s + default_latency(g.kind(op)) <= sched.length);
+        }
+    }
+
+    #[test]
+    fn fds_is_valid_at_critical_length() {
+        let g = fir(8, &[1; 8]);
+        let len = asap(&g).length;
+        let sched = force_directed(&g, len);
+        assert_dependences(&g, &sched);
+        assert_eq!(sched.start.len(), g.compute_ops().len());
+    }
+
+    #[test]
+    fn fds_flattens_usage_with_slack() {
+        let g = fir(8, &[1; 8]);
+        let len = asap(&g).length + 4;
+        let fds = force_directed(&g, len);
+        assert_dependences(&g, &fds);
+        let greedy = asap(&g);
+        let peak_fds = peak_usage(&g, &fds);
+        let peak_asap = peak_usage(&g, &greedy);
+        // With 4 steps of slack FDS needs no more multipliers than ASAP
+        // (which fires all 8 at step 0) — typically far fewer.
+        assert!(
+            peak_fds[1] < peak_asap[1],
+            "FDS multiplier peak {} vs ASAP {}",
+            peak_fds[1],
+            peak_asap[1]
+        );
+    }
+
+    #[test]
+    fn fds_valid_on_random_dags() {
+        for seed in [2u64, 4, 8] {
+            let g = random_dfg(5, 10, 6, seed);
+            let len = asap(&g).length + 3;
+            let sched = force_directed(&g, len);
+            assert_dependences(&g, &sched);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below critical path")]
+    fn fds_rejects_too_short() {
+        let g = fir(4, &[1; 4]);
+        force_directed(&g, asap(&g).length - 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion wrappers around the exhibit regenerators: one bench per
+//! table/figure so `cargo bench` exercises the full harness (time to
+//! regenerate each exhibit). The printed rows themselves come from the
+//! `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
+fn bench_exhibits(c: &mut Criterion) {
+    // The heavier exhibits (BDD-based E7, sweep-based E4/E6) are run once
+    // per iteration like the rest; criterion's small sample budget keeps
+    // total time bounded.
+    for (id, _title, run) in bench::all_experiments() {
+        c.bench_function(&format!("exhibit/{id}"), |b| {
+            b.iter(|| black_box(run()).len())
+        });
+    }
+}
+
+criterion_group! {
+    name = experiments;
+    config = config();
+    targets = bench_exhibits
+}
+criterion_main!(experiments);

@@ -1,0 +1,111 @@
+//! Criterion benchmarks of the framework's algorithmic kernels: the
+//! substrate operations every experiment leans on. Sample counts are kept
+//! small so `cargo bench --workspace` finishes quickly; the exp_* binaries
+//! are the scientific harness, these benches track engineering regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200))
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    use power::exact::circuit_bdds;
+    let (adder, _) = netlist::gen::ripple_adder(12);
+    c.bench_function("bdd/build_adder12", |b| {
+        b.iter(|| black_box(circuit_bdds(&adder)).mgr.num_vars())
+    });
+    let bdds = circuit_bdds(&adder);
+    let probs = vec![0.5; 24];
+    c.bench_function("bdd/probabilities_adder12", |b| {
+        b.iter(|| black_box(bdds.probabilities(&probs)))
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    use sim::comb::CombSim;
+    use sim::event::{DelayModel, EventSim};
+    use sim::stimulus::Stimulus;
+    let (mult, _) = netlist::gen::array_multiplier(8);
+    let patterns = Stimulus::uniform(16).patterns(256, 3);
+    let comb = CombSim::new(&mult);
+    c.bench_function("sim/bit_parallel_mult8_256cyc", |b| {
+        b.iter(|| black_box(comb.activity(&patterns)).cycles)
+    });
+    let event = EventSim::new(&mult, &DelayModel::Unit);
+    let short = Stimulus::uniform(16).patterns(64, 3);
+    c.bench_function("sim/event_driven_mult8_64cyc", |b| {
+        b.iter(|| black_box(event.activity(&short)).total.cycles)
+    });
+}
+
+fn bench_logicopt(c: &mut Criterion) {
+    use logicopt::balance::balance_paths;
+    use logicopt::mapping::{map, standard_library, MapObjective};
+    let (mult, _) = netlist::gen::array_multiplier(6);
+    c.bench_function("logicopt/balance_mult6", |b| {
+        b.iter(|| black_box(balance_paths(&mult)).1.buffers_added)
+    });
+    let (adder, _) = netlist::gen::ripple_adder(8);
+    let library = standard_library();
+    let probs = vec![0.5; 16];
+    c.bench_function("logicopt/map_power_adder8", |b| {
+        b.iter(|| black_box(map(&adder, &library, MapObjective::Power, &probs)).cover.len())
+    });
+}
+
+fn bench_seqopt(c: &mut Criterion) {
+    use seqopt::encoding::encode_low_power;
+    use seqopt::retime::correlator;
+    use seqopt::stg::Stg;
+    let stg = Stg::random(12, 2, 2, 7);
+    let probs = vec![0.25; 4];
+    c.bench_function("seqopt/encode_low_power_12_states", |b| {
+        b.iter(|| black_box(encode_low_power(&stg, &probs)).len())
+    });
+    let g = correlator();
+    c.bench_function("seqopt/min_period_retiming_correlator", |b| {
+        b.iter(|| black_box(g.min_period_retiming()).0)
+    });
+}
+
+fn bench_behav_soft(c: &mut Criterion) {
+    use behav::dfg::fir;
+    use behav::sched::{list_schedule, Resources};
+    use soft::energy::CpuModel;
+    use soft::schedule::{schedule_low_power, synthetic_workload};
+    let g = fir(16, &[1; 16]);
+    c.bench_function("behav/list_schedule_fir16", |b| {
+        b.iter(|| {
+            black_box(list_schedule(
+                &g,
+                Resources {
+                    adders: 2,
+                    multipliers: 2,
+                },
+            ))
+            .length
+        })
+    });
+    let workload = synthetic_workload(64);
+    let dsp = CpuModel::dsp_core();
+    c.bench_function("soft/schedule_512_instrs", |b| {
+        b.iter_batched(
+            || workload.clone(),
+            |w| black_box(schedule_low_power(&w, &dsp)).0.len(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_bdd, bench_sim, bench_logicopt, bench_seqopt, bench_behav_soft
+}
+criterion_main!(kernels);

@@ -1,0 +1,4 @@
+//! Regenerates exhibit EA: ablations of the framework's design choices.
+fn main() {
+    println!("{}", bench::exps::ablations::ablations());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E20: architecture-level estimation.
+fn main() {
+    println!("{}", bench::exps::foundation::arch_estimation());
+}

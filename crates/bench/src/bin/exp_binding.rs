@@ -1,0 +1,4 @@
+//! Regenerates exhibit E15: module selection and binding.
+fn main() {
+    println!("{}", bench::exps::arch::binding());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E13: bus encodings.
+fn main() {
+    println!("{}", bench::exps::logic_seq::bus_coding());
+}

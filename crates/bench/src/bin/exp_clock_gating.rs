@@ -1,0 +1,4 @@
+//! Regenerates exhibit E12: gated clocks.
+fn main() {
+    println!("{}", bench::exps::logic_seq::clock_gating());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E7: don't-care optimization.
+fn main() {
+    println!("{}", bench::exps::logic_comb::dontcare());
+}

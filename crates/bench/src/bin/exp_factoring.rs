@@ -1,0 +1,4 @@
+//! Regenerates exhibit E8: power-aware kernel extraction.
+fn main() {
+    println!("{}", bench::exps::logic_comb::factoring());
+}

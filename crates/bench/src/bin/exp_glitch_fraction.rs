@@ -1,0 +1,4 @@
+//! Regenerates exhibit E3: spurious-transition fraction.
+fn main() {
+    println!("{}", bench::exps::logic_comb::glitch_fraction());
+}

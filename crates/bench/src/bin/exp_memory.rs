@@ -1,0 +1,4 @@
+//! Regenerates exhibit E16: memory traversal power.
+fn main() {
+    println!("{}", bench::exps::arch::memory());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E4: path balancing tradeoff.
+fn main() {
+    println!("{}", bench::exps::logic_comb::path_balance());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E1: power decomposition.
+fn main() {
+    println!("{}", bench::exps::foundation::power_breakdown());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E2: precomputation comparator (Fig. 1).
+fn main() {
+    println!("{}", bench::exps::logic_seq::precomputation());
+}

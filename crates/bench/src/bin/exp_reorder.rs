@@ -1,0 +1,4 @@
+//! Regenerates exhibit E5: transistor reordering.
+fn main() {
+    println!("{}", bench::exps::circuit_level::reorder());
+}

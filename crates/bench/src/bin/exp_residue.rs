@@ -1,0 +1,4 @@
+//! Regenerates exhibit E19: one-hot residue arithmetic.
+fn main() {
+    println!("{}", bench::exps::logic_seq::residue());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E11: retiming for low power.
+fn main() {
+    println!("{}", bench::exps::logic_seq::retiming());
+}

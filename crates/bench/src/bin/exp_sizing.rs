@@ -1,0 +1,4 @@
+//! Regenerates exhibit E6: slack-based transistor sizing.
+fn main() {
+    println!("{}", bench::exps::circuit_level::sizing());
+}

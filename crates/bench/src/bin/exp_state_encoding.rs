@@ -1,0 +1,4 @@
+//! Regenerates exhibit E10: low-power state encoding.
+fn main() {
+    println!("{}", bench::exps::logic_seq::state_encoding());
+}

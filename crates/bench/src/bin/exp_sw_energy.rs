@@ -1,0 +1,4 @@
+//! Regenerates exhibit E17: instruction-level energy.
+fn main() {
+    println!("{}", bench::exps::software::sw_energy());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E18: instruction scheduling.
+fn main() {
+    println!("{}", bench::exps::software::sw_scheduling());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E9: technology mapping objectives.
+fn main() {
+    println!("{}", bench::exps::logic_comb::techmap());
+}

@@ -1,0 +1,4 @@
+//! Regenerates exhibit E14: transformations + voltage scaling.
+fn main() {
+    println!("{}", bench::exps::arch::voltage_scaling());
+}

@@ -1,0 +1,121 @@
+//! E5 and E6: circuit-level experiments (transistor reordering, sizing).
+
+use crate::table::{f, pct, Table};
+use circuit::reorder::{InputSignal, Objective, SeriesStack};
+use circuit::sizing::SizedCircuit;
+use netlist::gen;
+use netlist::Rng64;
+use sim::comb::CombSim;
+use sim::stimulus::Stimulus;
+
+/// E5 — transistor reordering inside complex gates.
+///
+/// Paper claim (§II.A, \[32\]\[42\]): "Moderate improvements in power and
+/// delay can be obtained by a judicious ordering of transistors within
+/// individual complex gates."
+pub fn reorder() -> String {
+    let mut rng = Rng64::new(9);
+    let mut t = Table::new(&[
+        "stack",
+        "delay (worst order)",
+        "delay (opt)",
+        "energy (worst order)",
+        "energy (opt)",
+        "power saving",
+    ]);
+    let mut savings = Vec::new();
+    for fanin in [3usize, 4, 5, 6] {
+        let inputs: Vec<InputSignal> = (0..fanin)
+            .map(|_| InputSignal {
+                probability: 0.05 + 0.9 * rng.next_f64(),
+                arrival: 3.0 * rng.next_f64(),
+                toggle: rng.next_f64() * 0.5,
+            })
+            .collect();
+        let stack = SeriesStack::new(inputs);
+        // Worst order: enumerate all permutations and take the maxima.
+        let identity: Vec<usize> = (0..fanin).collect();
+        let mut worst_delay = stack.cost(&identity).delay;
+        let mut worst_energy = stack.cost(&identity).internal_energy;
+        let mut order = identity.clone();
+        permute(&mut order, 0, &mut |o: &Vec<usize>| {
+            let c = stack.cost(o);
+            worst_delay = worst_delay.max(c.delay);
+            worst_energy = worst_energy.max(c.internal_energy);
+        });
+        let (_, best_delay) = stack.optimize(Objective::Delay);
+        let (_, best_power) = stack.optimize(Objective::Power);
+        let saving = 1.0 - best_power.internal_energy / worst_energy.max(1e-12);
+        savings.push(saving);
+        t.row(&[
+            format!("NAND{fanin}"),
+            f(worst_delay, 2),
+            f(best_delay.delay, 2),
+            f(worst_energy, 4),
+            f(best_power.internal_energy, 4),
+            pct(saving),
+        ]);
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    format!(
+        "E5  Transistor reordering in series stacks\n\
+         paper: moderate power and delay improvements from judicious ordering\n\n{}\n\
+         average internal-node energy saving vs worst ordering: {}\n",
+        t.render(),
+        pct(avg)
+    )
+}
+
+fn permute(order: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&Vec<usize>)) {
+    if k == order.len() {
+        visit(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, visit);
+        order.swap(k, i);
+    }
+}
+
+/// E6 — slack-based transistor sizing under a delay constraint.
+///
+/// Paper claim (§II.B, \[42\]\[3\]): gates with slack are shrunk until slack
+/// is zero or minimum size; power drops as the constraint loosens.
+pub fn sizing() -> String {
+    let (nl, _) = gen::array_multiplier(4);
+    let activity =
+        CombSim::new(&nl).activity(&Stimulus::uniform(8).patterns(512, 5));
+    let fastest = SizedCircuit::new(&nl, 4.0).timing(1e9).critical;
+    let full = SizedCircuit::new(&nl, 4.0).switched_capacitance(&activity);
+    let mut t = Table::new(&[
+        "delay constraint",
+        "critical delay",
+        "switched cap (fF/cycle)",
+        "vs all-fast",
+        "gates at min size",
+    ]);
+    for margin in [1.0f64, 1.02, 1.05, 1.1, 1.2, 1.5] {
+        let constraint = fastest * margin;
+        let mut c = SizedCircuit::new(&nl, 4.0);
+        c.downsize_for_power(constraint);
+        let cap = c.switched_capacitance(&activity);
+        let at_min = c
+            .sizes
+            .iter()
+            .filter(|&&s| (s - 1.0).abs() < 1e-9)
+            .count();
+        t.row(&[
+            format!("{:.2}x", margin),
+            f(c.timing(1e9).critical, 2),
+            f(cap, 1),
+            pct(cap / full - 1.0),
+            format!("{at_min}/{}", c.sizes.len()),
+        ]);
+    }
+    format!(
+        "E6  Slack-based sizing of a 4x4 multiplier (start: all gates 4x)\n\
+         paper: relax the delay constraint -> shrink off-critical gates -> less power\n\n{}",
+        t.render()
+    )
+}

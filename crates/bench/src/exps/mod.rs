@@ -1,0 +1,9 @@
+//! The experiment implementations, grouped by abstraction level.
+
+pub mod ablations;
+pub mod arch;
+pub mod circuit_level;
+pub mod foundation;
+pub mod logic_comb;
+pub mod logic_seq;
+pub mod software;

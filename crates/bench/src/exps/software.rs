@@ -1,0 +1,185 @@
+//! E17 and E18: software-level experiments.
+
+use crate::table::{f, pct, Table};
+use netlist::Rng64;
+use soft::codegen::{compile_memory_stack, compile_registers, Expr};
+use soft::energy::CpuModel;
+use soft::isa::OpClass;
+use soft::schedule::{compact_pairs, schedule_low_power, synthetic_workload};
+
+fn random_expr(depth: usize, rng: &mut Rng64) -> Expr {
+    if depth == 0 || rng.chance(0.25) {
+        if rng.flip() {
+            Expr::Var(rng.range(0, 16) as u16)
+        } else {
+            Expr::Const(rng.range(0, 64) as i64)
+        }
+    } else {
+        let x = Box::new(random_expr(depth - 1, rng));
+        let y = Box::new(random_expr(depth - 1, rng));
+        match rng.range(0, 3) {
+            0 => Expr::Add(x, y),
+            1 => Expr::Sub(x, y),
+            _ => Expr::Mul(x, y),
+        }
+    }
+}
+
+/// E17 — instruction-level energy: codegen and register allocation.
+///
+/// Paper claims (§V, \[45\]\[46\]): register operands are much cheaper than
+/// memory operands; "faster code almost always implies lower energy code".
+pub fn sw_energy() -> String {
+    let mut rng = Rng64::new(41);
+    let cpu = CpuModel::big_cpu();
+    let mut t = Table::new(&[
+        "expression",
+        "mem-stack cycles",
+        "reg cycles",
+        "mem-stack nJ",
+        "reg nJ",
+        "energy saving",
+    ]);
+    let mut faster_cheaper = 0;
+    let mut total = 0;
+    for i in 0..8 {
+        let expr = random_expr(4, &mut rng);
+        let mem_code = compile_memory_stack(&expr, 64);
+        let reg_code = compile_registers(&expr, 64);
+        let em = cpu.program_energy(&mem_code);
+        let er = cpu.program_energy(&reg_code);
+        if mem_code.len() != reg_code.len() {
+            total += 1;
+            if (reg_code.len() < mem_code.len()) == (er < em) {
+                faster_cheaper += 1;
+            }
+        }
+        t.row(&[
+            format!("expr-{i} ({} ops)", expr.ops()),
+            mem_code.len().to_string(),
+            reg_code.len().to_string(),
+            f(em, 1),
+            f(er, 1),
+            pct(1.0 - er / em),
+        ]);
+    }
+    // Algorithm choice ([49]): naive vs Horner polynomial evaluation.
+    use soft::codegen::{polynomial_horner, polynomial_naive};
+    let mut t2 = Table::new(&[
+        "degree",
+        "naive cycles",
+        "Horner cycles",
+        "naive nJ",
+        "Horner nJ",
+        "energy ratio",
+    ]);
+    for degree in [2usize, 4, 6, 8] {
+        let naive = compile_registers(&polynomial_naive(degree, 0, 8), 64);
+        let horner = compile_registers(&polynomial_horner(degree, 0, 8), 64);
+        let en = cpu.program_energy(&naive);
+        let eh = cpu.program_energy(&horner);
+        t2.row(&[
+            degree.to_string(),
+            naive.len().to_string(),
+            horner.len().to_string(),
+            f(en, 1),
+            f(eh, 1),
+            format!("{:.2}x", en / eh),
+        ]);
+    }
+    // Loop vs unrolled MAC kernel (dynamic streams; branches cost cycles
+    // and energy every trip).
+    use soft::programs::{dynamic_cycles, dynamic_energy, mac_loop, mac_unrolled};
+    let dsp = CpuModel::dsp_core();
+    let mut t3 = Table::new(&[
+        "iterations",
+        "loop cycles",
+        "unrolled cycles",
+        "loop nJ",
+        "unrolled nJ",
+        "code size ratio",
+    ]);
+    for n in [8i64, 32, 128] {
+        let looped = mac_loop(n, 0);
+        let unrolled = mac_unrolled(n, 0);
+        t3.row(&[
+            n.to_string(),
+            dynamic_cycles(&looped).to_string(),
+            dynamic_cycles(&unrolled).to_string(),
+            f(dynamic_energy(&looped, &dsp), 1),
+            f(dynamic_energy(&unrolled, &dsp), 1),
+            format!("{:.1}x", unrolled.len() as f64 / looped.len() as f64),
+        ]);
+    }
+    format!(
+        "E17  Instruction-level energy: memory-stack vs register-allocated code\n\
+         paper: register operands are much cheaper than memory operands;\n\
+         faster code almost always implies lower energy code\n\n{}\n\
+         'faster is cheaper' held on {faster_cheaper}/{total} differing pairs\n\n\
+         algorithm choice ([49]): naive vs Horner polynomial evaluation\n\n{}\n\
+         loop unrolling (DSP): control overhead vs code size\n\n{}",
+        t.render(),
+        t2.render(),
+        t3.render()
+    )
+}
+
+/// E18 — instruction scheduling and DSP compaction.
+///
+/// Paper claims (§V, \[40\]\[23\]\[46\]): reordering to reduce control-path
+/// switching "may not be an important issue for large general purpose
+/// CPUs", but "does have an impact in the case of a smaller DSP
+/// processor"; pairing/compaction helps the DSP further.
+pub fn sw_scheduling() -> String {
+    let workload = synthetic_workload(128);
+    let mut t = Table::new(&[
+        "core",
+        "overhead share (Mul<->Mem)",
+        "baseline nJ",
+        "scheduled nJ",
+        "scheduling gain",
+    ]);
+    let mut gains = Vec::new();
+    for cpu in [CpuModel::big_cpu(), CpuModel::dsp_core()] {
+        let before = cpu.program_energy(&workload);
+        let (scheduled, _) = schedule_low_power(&workload, &cpu);
+        let after = cpu.program_energy(&scheduled);
+        let gain = 1.0 - after / before;
+        gains.push(gain);
+        t.row(&[
+            cpu.name.to_string(),
+            pct(cpu.overhead_fraction(OpClass::Mul, OpClass::Mem)),
+            f(before, 1),
+            f(after, 1),
+            pct(gain),
+        ]);
+    }
+    // DSP pairing: compaction exploits adjacent ALU/Mem sites in program
+    // order (the overhead-driven scheduler groups classes, destroying pair
+    // sites, so the compiler applies compaction first and then schedules
+    // the compacted stream).
+    let dsp = CpuModel::dsp_core();
+    let compacted = compact_pairs(&workload);
+    let (pair_sched, _) = schedule_low_power(&compacted, &dsp);
+    let e_base = dsp.program_energy(&workload);
+    let e_pair = dsp.program_energy(&compacted);
+    let e_pair_sched = dsp.program_energy(&pair_sched);
+    format!(
+        "E18  Low-power instruction scheduling: big CPU vs DSP\n\
+         paper: reordering matters on the small DSP, is marginal on the big CPU;\n\
+         pairing/compaction helps the DSP further ([23])\n\n{}\n\
+         DSP pairing: {} -> {} instructions, {:.1} -> {:.1} nJ ({}); then\n\
+         scheduling the paired stream: {:.1} nJ ({} total vs baseline)\n\
+         big-CPU scheduling gain {} vs DSP {}\n",
+        t.render(),
+        workload.len(),
+        compacted.len(),
+        e_base,
+        e_pair,
+        pct(1.0 - e_pair / e_base),
+        e_pair_sched,
+        pct(1.0 - e_pair_sched / e_base),
+        pct(gains[0]),
+        pct(gains[1]),
+    )
+}

@@ -1,0 +1,359 @@
+//! Transistor reordering inside a complex CMOS gate (survey §II.A).
+//!
+//! A series stack (the N-network of a NAND/AOI gate) has parasitic internal
+//! nodes between adjacent transistors. Which input drives which position
+//! changes both timing and power:
+//!
+//! * **Delay**: when the latest-arriving input is adjacent to the output,
+//!   the rest of the stack has already discharged, so the remaining Elmore
+//!   delay is minimal ("late arriving signals should be placed closer to
+//!   the output").
+//! * **Power**: internal node `j` is discharged exactly when every
+//!   transistor between it and the rail conducts, so its one-probability is
+//!   the product of those input probabilities; placing low-probability
+//!   inputs near the rail keeps the internal nodes quiet.
+//!
+//! [`SeriesStack::optimize`] searches orderings exhaustively up to 8 inputs
+//! and greedily beyond, optimizing delay, power or a weighted mix.
+
+/// Statistics of one gate input signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputSignal {
+    /// Probability the input is 1 (transistor ON in the N-network).
+    pub probability: f64,
+    /// Arrival time of the signal (same units as [`SeriesStack::tau`]).
+    pub arrival: f64,
+    /// Transitions per cycle on the input.
+    pub toggle: f64,
+}
+
+/// What the reordering pass should minimize.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimize worst-case gate completion time.
+    Delay,
+    /// Minimize internal-node switched energy.
+    Power,
+    /// Minimize `weight·delay_norm + (1−weight)·power_norm`.
+    Weighted {
+        /// Weight on delay (0 = pure power, 1 = pure delay).
+        weight: f64,
+    },
+}
+
+/// A series transistor stack (order index 0 is adjacent to the output).
+#[derive(Debug, Clone)]
+pub struct SeriesStack {
+    /// The input signals, in an arbitrary canonical order.
+    pub inputs: Vec<InputSignal>,
+    /// RC time constant of one transistor driving one node cap.
+    pub tau: f64,
+    /// Internal node capacitance relative to the output node (0..1).
+    pub internal_cap_ratio: f64,
+}
+
+/// An ordering of stack positions: `order[k]` = index into
+/// [`SeriesStack::inputs`] of the transistor at distance `k` from the
+/// output.
+pub type Order = Vec<usize>;
+
+/// Evaluation of one ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderCost {
+    /// Worst-case completion time of the stack.
+    pub delay: f64,
+    /// Internal-node switched capacitance per cycle (energy proxy).
+    pub internal_energy: f64,
+}
+
+impl SeriesStack {
+    /// A stack with default parasitics (`tau = 1`, internal caps 30% of the
+    /// output cap — typical for drain/source diffusion).
+    pub fn new(inputs: Vec<InputSignal>) -> SeriesStack {
+        SeriesStack {
+            inputs,
+            tau: 1.0,
+            internal_cap_ratio: 0.3,
+        }
+    }
+
+    /// Number of transistors in the stack.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Evaluate an ordering.
+    ///
+    /// Delay model: if the transistor at distance `k` from the output is
+    /// the last to arrive, the output still has to discharge through `k`
+    /// internal nodes plus the output node:
+    /// `completion = arrival + tau·(1 + r·k)`.
+    ///
+    /// Power model: internal node at distance `j` (between positions `j-1`
+    /// and `j`) is discharged when all transistors at distance `≥ j`
+    /// conduct; with one-probability `q_j = Π p`, the node switches
+    /// `2·q_j·(1−q_j)` per cycle on a capacitance `r·C_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..len`.
+    pub fn cost(&self, order: &Order) -> OrderCost {
+        let n = self.inputs.len();
+        assert_eq!(order.len(), n, "order length");
+        let mut seen = vec![false; n];
+        for &i in order {
+            assert!(!seen[i], "order must be a permutation");
+            seen[i] = true;
+        }
+        let r = self.internal_cap_ratio;
+        let delay = order
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| self.inputs[i].arrival + self.tau * (1.0 + r * k as f64))
+            .fold(0.0f64, f64::max);
+        // Internal nodes at distances 1..n-1 from the output.
+        let mut internal_energy = 0.0;
+        for j in 1..n {
+            let q: f64 = order[j..].iter().map(|&i| self.inputs[i].probability).product();
+            internal_energy += r * 2.0 * q * (1.0 - q);
+        }
+        OrderCost {
+            delay,
+            internal_energy,
+        }
+    }
+
+    fn objective_value(&self, cost: OrderCost, objective: Objective, norm: OrderCost) -> f64 {
+        match objective {
+            Objective::Delay => cost.delay,
+            Objective::Power => cost.internal_energy,
+            Objective::Weighted { weight } => {
+                let d = if norm.delay > 0.0 { cost.delay / norm.delay } else { 0.0 };
+                let p = if norm.internal_energy > 0.0 {
+                    cost.internal_energy / norm.internal_energy
+                } else {
+                    0.0
+                };
+                weight * d + (1.0 - weight) * p
+            }
+        }
+    }
+
+    /// Find the best ordering for the given objective.
+    ///
+    /// ```
+    /// use circuit::reorder::{InputSignal, Objective, SeriesStack};
+    ///
+    /// let stack = SeriesStack::new(vec![
+    ///     InputSignal { probability: 0.9, arrival: 0.0, toggle: 0.3 },
+    ///     InputSignal { probability: 0.1, arrival: 2.0, toggle: 0.3 },
+    /// ]);
+    /// let (order, _) = stack.optimize(Objective::Delay);
+    /// // The late-arriving input (index 1) goes next to the output.
+    /// assert_eq!(order[0], 1);
+    /// ```
+    ///
+    /// Exhaustive for `len() ≤ 8`; beyond that a greedy heuristic (sort by
+    /// arrival for delay, by probability for power) refined with pairwise
+    /// swaps.
+    pub fn optimize(&self, objective: Objective) -> (Order, OrderCost) {
+        let n = self.inputs.len();
+        let identity: Order = (0..n).collect();
+        if n <= 1 {
+            let cost = self.cost(&identity);
+            return (identity, cost);
+        }
+        let norm = self.cost(&identity);
+        if n <= 8 {
+            let mut best = identity.clone();
+            let mut best_cost = self.cost(&best);
+            let mut best_val = self.objective_value(best_cost, objective, norm);
+            let mut order = identity;
+            permute(&mut order, 0, &mut |candidate: &Order| {
+                let cost = self.cost(candidate);
+                let val = self.objective_value(cost, objective, norm);
+                if val < best_val - 1e-15 {
+                    best_val = val;
+                    best = candidate.clone();
+                    best_cost = cost;
+                }
+            });
+            (best, best_cost)
+        } else {
+            // Greedy seed.
+            let mut order = (0..n).collect::<Order>();
+            match objective {
+                Objective::Delay => {
+                    // Latest arrival nearest the output (position 0).
+                    order.sort_by(|&a, &b| {
+                        self.inputs[b]
+                            .arrival
+                            .partial_cmp(&self.inputs[a].arrival)
+                            .expect("finite arrivals")
+                    });
+                }
+                _ => {
+                    // Lowest probability nearest the rail (last position).
+                    order.sort_by(|&a, &b| {
+                        self.inputs[b]
+                            .probability
+                            .partial_cmp(&self.inputs[a].probability)
+                            .expect("finite probabilities")
+                    });
+                }
+            }
+            // Pairwise-swap refinement.
+            let mut best_cost = self.cost(&order);
+            let mut best_val = self.objective_value(best_cost, objective, norm);
+            let mut improved = true;
+            while improved {
+                improved = false;
+                for i in 0..n {
+                    for j in i + 1..n {
+                        order.swap(i, j);
+                        let cost = self.cost(&order);
+                        let val = self.objective_value(cost, objective, norm);
+                        if val < best_val - 1e-15 {
+                            best_val = val;
+                            best_cost = cost;
+                            improved = true;
+                        } else {
+                            order.swap(i, j);
+                        }
+                    }
+                }
+            }
+            (order, best_cost)
+        }
+    }
+}
+
+fn permute(order: &mut Order, k: usize, visit: &mut impl FnMut(&Order)) {
+    if k == order.len() {
+        visit(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, visit);
+        order.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack3() -> SeriesStack {
+        SeriesStack::new(vec![
+            InputSignal {
+                probability: 0.9,
+                arrival: 0.0,
+                toggle: 0.2,
+            },
+            InputSignal {
+                probability: 0.5,
+                arrival: 2.0,
+                toggle: 0.5,
+            },
+            InputSignal {
+                probability: 0.1,
+                arrival: 1.0,
+                toggle: 0.2,
+            },
+        ])
+    }
+
+    #[test]
+    fn delay_optimum_puts_late_signal_at_output() {
+        let stack = stack3();
+        let (order, cost) = stack.optimize(Objective::Delay);
+        // Input 1 arrives last: must sit at position 0 (next to output).
+        assert_eq!(order[0], 1);
+        // And the optimum is no worse than the identity order.
+        assert!(cost.delay <= stack.cost(&vec![0, 1, 2]).delay + 1e-12);
+    }
+
+    #[test]
+    fn power_optimum_puts_low_probability_at_rail() {
+        let stack = stack3();
+        let (order, cost) = stack.optimize(Objective::Power);
+        // Input 2 (p = 0.1) belongs at the rail end.
+        assert_eq!(*order.last().unwrap(), 2);
+        let worst = stack.cost(&vec![2, 0, 1]); // low-prob at output: noisy nodes
+        assert!(cost.internal_energy < worst.internal_energy);
+    }
+
+    #[test]
+    fn weighted_interpolates() {
+        let stack = stack3();
+        let (_, d) = stack.optimize(Objective::Delay);
+        let (_, p) = stack.optimize(Objective::Power);
+        let (_, w) = stack.optimize(Objective::Weighted { weight: 0.5 });
+        assert!(w.delay >= d.delay - 1e-12);
+        assert!(w.internal_energy >= p.internal_energy - 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_matches_brute_force_on_4() {
+        let stack = SeriesStack::new(
+            (0..4)
+                .map(|i| InputSignal {
+                    probability: 0.2 + 0.2 * i as f64,
+                    arrival: (3 - i) as f64 * 0.7,
+                    toggle: 0.3,
+                })
+                .collect(),
+        );
+        let (_, best) = stack.optimize(Objective::Power);
+        // Check optimality by full enumeration here too.
+        let mut order: Order = (0..4).collect();
+        let mut min = f64::INFINITY;
+        permute(&mut order, 0, &mut |o: &Order| {
+            min = min.min(stack.cost(o).internal_energy);
+        });
+        assert!((best.internal_energy - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_large_stack_improves_on_identity() {
+        let inputs: Vec<InputSignal> = (0..10)
+            .map(|i| InputSignal {
+                probability: ((i * 37) % 10) as f64 / 10.0 + 0.05,
+                arrival: ((i * 13) % 7) as f64,
+                toggle: 0.4,
+            })
+            .collect();
+        let stack = SeriesStack::new(inputs);
+        let identity: Order = (0..10).collect();
+        let id_cost = stack.cost(&identity);
+        let (_, d) = stack.optimize(Objective::Delay);
+        let (_, p) = stack.optimize(Objective::Power);
+        assert!(d.delay <= id_cost.delay + 1e-12);
+        assert!(p.internal_energy <= id_cost.internal_energy + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_non_permutation() {
+        let stack = stack3();
+        stack.cost(&vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn single_transistor_trivial() {
+        let stack = SeriesStack::new(vec![InputSignal {
+            probability: 0.5,
+            arrival: 1.0,
+            toggle: 0.5,
+        }]);
+        let (order, cost) = stack.optimize(Objective::Delay);
+        assert_eq!(order, vec![0]);
+        assert!(cost.internal_energy.abs() < 1e-12); // no internal nodes
+    }
+}

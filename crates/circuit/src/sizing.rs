@@ -1,0 +1,409 @@
+//! Slack-based transistor sizing under a delay constraint (survey §II.B).
+//!
+//! Each gate gets a continuous size factor `s ≥ 1` (1 = minimum size).
+//! Bigger gates drive their load faster but present more input capacitance
+//! to their fanins and switch more capacitance themselves:
+//!
+//! * gate delay: `d = d0 · (1 + γ · load / s)` where
+//!   `load = Σ sink pin caps (scaled by sink size) + wire`,
+//! * switched capacitance: `(intrinsic·s + load)` per toggle.
+//!
+//! The survey's recipe (\[42\]\[3\]): compute slack at every gate; while some
+//! gate has positive slack, shrink it until slack reaches zero or minimum
+//! size — and conversely upsize critical gates if the constraint is
+//! violated (TILOS-style).
+
+use netlist::{NetId, Netlist};
+use power::model::{PowerParams, PowerReport};
+use sim::ActivityProfile;
+
+/// A netlist with per-gate continuous size factors and timing/power views.
+#[derive(Debug)]
+pub struct SizedCircuit<'a> {
+    nl: &'a Netlist,
+    order: Vec<NetId>,
+    fanouts: Vec<Vec<NetId>>,
+    /// Size factor per net (1.0 = minimum size; sources stay 1.0).
+    pub sizes: Vec<f64>,
+    gamma: f64,
+}
+
+/// Timing snapshot of a sized circuit.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Arrival time per net.
+    pub arrival: Vec<f64>,
+    /// Slack per net (against the constraint used to compute it).
+    pub slack: Vec<f64>,
+    /// Worst arrival over primary outputs (critical delay).
+    pub critical: f64,
+}
+
+impl<'a> SizedCircuit<'a> {
+    /// Wrap a combinational netlist with all gates at the maximum size
+    /// `initial_size` (the "fast but hot" starting point the downsizing
+    /// pass then relaxes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential or cyclic.
+    pub fn new(nl: &'a Netlist, initial_size: f64) -> SizedCircuit<'a> {
+        assert!(nl.is_combinational(), "sizing operates on combinational logic");
+        let order = nl.topo_order().expect("acyclic");
+        let fanouts = nl.fanouts();
+        let sizes = nl
+            .iter_nets()
+            .map(|net| {
+                if nl.kind(net).is_source() {
+                    1.0
+                } else {
+                    initial_size.max(1.0)
+                }
+            })
+            .collect();
+        SizedCircuit {
+            nl,
+            order,
+            fanouts,
+            sizes,
+            gamma: 0.3,
+        }
+    }
+
+    fn load(&self, net: NetId) -> f64 {
+        let wire = 1.0 + 0.5 * self.fanouts[net.index()].len() as f64;
+        wire
+            + self.fanouts[net.index()]
+                .iter()
+                .map(|&sink| self.nl.kind(sink).input_cap() * self.sizes[sink.index()])
+                .sum::<f64>()
+    }
+
+    fn gate_delay(&self, net: NetId) -> f64 {
+        let kind = self.nl.kind(net);
+        if kind.is_source() {
+            return 0.0;
+        }
+        let d0 = kind.base_delay(self.nl.fanins(net).len());
+        d0 * (1.0 + self.gamma * self.load(net) / self.sizes[net.index()])
+    }
+
+    /// Static timing analysis against a required time `constraint` at every
+    /// primary output.
+    pub fn timing(&self, constraint: f64) -> Timing {
+        let n = self.nl.len();
+        let mut arrival = vec![0.0f64; n];
+        for &net in &self.order {
+            if self.nl.kind(net).is_source() {
+                continue;
+            }
+            let input_arrival = self
+                .nl
+                .fanins(net)
+                .iter()
+                .map(|x| arrival[x.index()])
+                .fold(0.0f64, f64::max);
+            arrival[net.index()] = input_arrival + self.gate_delay(net);
+        }
+        let critical = self
+            .nl
+            .outputs()
+            .iter()
+            .map(|(net, _)| arrival[net.index()])
+            .fold(0.0f64, f64::max);
+        // Required times propagate backwards.
+        let mut required = vec![f64::INFINITY; n];
+        for (net, _) in self.nl.outputs() {
+            required[net.index()] = constraint;
+        }
+        for &net in self.order.iter().rev() {
+            let r = required[net.index()];
+            if r.is_finite() {
+                let own = self.gate_delay(net);
+                for &fi in self.nl.fanins(net) {
+                    required[fi.index()] = required[fi.index()].min(r - own);
+                }
+            }
+        }
+        let slack = (0..n)
+            .map(|i| {
+                if required[i].is_finite() {
+                    required[i] - arrival[i]
+                } else {
+                    constraint - arrival[i]
+                }
+            })
+            .collect();
+        Timing {
+            arrival,
+            slack,
+            critical,
+        }
+    }
+
+    /// Switched capacitance per cycle under `activity`, honoring sizes.
+    pub fn switched_capacitance(&self, activity: &ActivityProfile) -> f64 {
+        let mut total = 0.0;
+        for net in self.nl.iter_nets() {
+            let kind = self.nl.kind(net);
+            let intrinsic = kind.intrinsic_cap(self.nl.fanins(net).len());
+            let cap = intrinsic * self.sizes[net.index()] + self.load(net);
+            total += cap * activity.toggles[net.index()];
+        }
+        total
+    }
+
+    /// Full power report under `activity`.
+    pub fn power(&self, activity: &ActivityProfile, params: &PowerParams) -> PowerReport {
+        let cap = self.switched_capacitance(activity);
+        let transitions: f64 = activity.toggles.iter().sum();
+        PowerReport::from_raw(self.nl, cap, transitions, params)
+    }
+
+    /// Downsize gates with positive slack until every gate is at zero slack
+    /// or minimum size (the survey's §II.B recipe). Returns the number of
+    /// gates changed.
+    ///
+    /// `constraint` is the required arrival time at the outputs; if the
+    /// circuit cannot meet it even fully upsized, the pass leaves the
+    /// critical path at maximum size and shrinks the rest.
+    pub fn downsize_for_power(&mut self, constraint: f64) -> usize {
+        let mut changed = 0;
+        // Iterate: shrink in small steps, most-slack-first, revert on
+        // violation. Converges because sizes only decrease.
+        let shrink = 0.8;
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let timing = self.timing(constraint);
+            // Candidate gates sorted by slack, largest first.
+            let mut candidates: Vec<NetId> = self
+                .nl
+                .iter_nets()
+                .filter(|&net| {
+                    !self.nl.kind(net).is_source()
+                        && self.sizes[net.index()] > 1.0
+                        && timing.slack[net.index()] > 1e-9
+                })
+                .collect();
+            candidates.sort_by(|&a, &b| {
+                timing.slack[b.index()]
+                    .partial_cmp(&timing.slack[a.index()])
+                    .expect("finite slack")
+            });
+            for net in candidates {
+                let old = self.sizes[net.index()];
+                let candidate = (old * shrink).max(1.0);
+                self.sizes[net.index()] = candidate;
+                let t = self.timing(constraint);
+                if t.critical <= constraint + 1e-9 {
+                    changed += 1;
+                    progress = true;
+                } else {
+                    self.sizes[net.index()] = old;
+                }
+            }
+        }
+        changed
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::gen::{array_multiplier, ripple_adder};
+    use sim::comb::CombSim;
+    use sim::stimulus::Stimulus;
+
+    fn activity_of(nl: &Netlist, cycles: usize) -> ActivityProfile {
+        CombSim::new(nl).activity(&Stimulus::uniform(nl.num_inputs()).patterns(cycles, 7))
+    }
+
+    #[test]
+    fn timing_monotone_in_size() {
+        let (nl, _) = ripple_adder(6);
+        let big = SizedCircuit::new(&nl, 4.0);
+        let small = SizedCircuit::new(&nl, 1.0);
+        let tb = big.timing(1e9).critical;
+        let ts = small.timing(1e9).critical;
+        assert!(tb < ts, "bigger gates are faster: {tb} vs {ts}");
+    }
+
+    #[test]
+    fn power_monotone_in_size() {
+        let (nl, _) = ripple_adder(6);
+        let activity = activity_of(&nl, 256);
+        let big = SizedCircuit::new(&nl, 4.0);
+        let small = SizedCircuit::new(&nl, 1.0);
+        assert!(big.switched_capacitance(&activity) > small.switched_capacitance(&activity));
+    }
+
+    #[test]
+    fn downsizing_saves_power_meeting_constraint() {
+        let (nl, _) = ripple_adder(8);
+        let activity = activity_of(&nl, 256);
+        let mut circuit = SizedCircuit::new(&nl, 4.0);
+        let fastest = circuit.timing(1e9).critical;
+        let before = circuit.switched_capacitance(&activity);
+        // Allow 40% timing margin.
+        let constraint = fastest * 1.4;
+        let changed = circuit.downsize_for_power(constraint);
+        assert!(changed > 0, "some gates must shrink");
+        let after = circuit.switched_capacitance(&activity);
+        assert!(after < before, "power must drop: {after} vs {before}");
+        assert!(circuit.timing(constraint).critical <= constraint + 1e-9);
+    }
+
+    #[test]
+    fn looser_constraint_means_lower_power() {
+        let (nl, _) = array_multiplier(4);
+        let activity = activity_of(&nl, 256);
+        let fastest = SizedCircuit::new(&nl, 4.0).timing(1e9).critical;
+        let mut caps = Vec::new();
+        for margin in [1.05, 1.3, 2.0] {
+            let mut c = SizedCircuit::new(&nl, 4.0);
+            c.downsize_for_power(fastest * margin);
+            caps.push(c.switched_capacitance(&activity));
+        }
+        assert!(caps[0] >= caps[1] && caps[1] >= caps[2], "{caps:?}");
+        assert!(caps[2] < caps[0], "loosest should strictly beat tightest");
+    }
+
+    #[test]
+    fn tight_constraint_keeps_critical_path_fat() {
+        let (nl, _) = ripple_adder(6);
+        let mut circuit = SizedCircuit::new(&nl, 4.0);
+        let fastest = circuit.timing(1e9).critical;
+        circuit.downsize_for_power(fastest); // zero margin
+        // Constraint still met (we never make it worse than the start).
+        assert!(circuit.timing(fastest).critical <= fastest + 1e-9);
+        // Some gate stays above minimum size (the carry chain).
+        assert!(circuit.sizes.iter().any(|&s| s > 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn slack_signs_are_sensible() {
+        let (nl, _) = ripple_adder(4);
+        let circuit = SizedCircuit::new(&nl, 2.0);
+        let critical = circuit.timing(1e9).critical;
+        let tight = circuit.timing(critical);
+        // On-path gates have ~zero slack; all slacks non-negative.
+        assert!(tight.slack.iter().all(|&s| s > -1e-9));
+        let loose = circuit.timing(critical * 2.0);
+        assert!(loose.slack.iter().all(|&s| s >= critical - 1e-9 || s > 0.0));
+    }
+
+    #[test]
+    fn power_report_integrates() {
+        let (nl, _) = ripple_adder(4);
+        let activity = activity_of(&nl, 128);
+        let circuit = SizedCircuit::new(&nl, 2.0);
+        let report = circuit.power(&activity, &PowerParams::default());
+        assert!(report.total() > 0.0);
+        assert!(report.switching_fraction() > 0.5);
+    }
+}
+
+impl<'a> SizedCircuit<'a> {
+    /// TILOS-style upsizing: while the constraint is violated, upsize the
+    /// critical-path gate with the best delay-reduction-per-added-
+    /// capacitance ratio. Returns `true` if the constraint was met.
+    ///
+    /// `max_size` bounds individual gates (drive strengths beyond ~8x stop
+    /// paying off in real libraries).
+    pub fn upsize_for_speed(&mut self, constraint: f64, max_size: f64) -> bool {
+        let step = 1.25;
+        loop {
+            let timing = self.timing(constraint);
+            if timing.critical <= constraint + 1e-9 {
+                return true;
+            }
+            // Candidates: gates on a critical path (zero slack) below max.
+            let critical: Vec<NetId> = self
+                .nl
+                .iter_nets()
+                .filter(|&net| {
+                    !self.nl.kind(net).is_source()
+                        && timing.slack[net.index()] < 1e-9
+                        && self.sizes[net.index()] * step <= max_size + 1e-9
+                })
+                .collect();
+            if critical.is_empty() {
+                return false; // stuck: nothing left to upsize
+            }
+            let mut best: Option<(NetId, f64)> = None;
+            for &net in &critical {
+                let old = self.sizes[net.index()];
+                self.sizes[net.index()] = old * step;
+                let new_critical = self.timing(constraint).critical;
+                self.sizes[net.index()] = old;
+                let gain = timing.critical - new_critical;
+                // Cost: the capacitance the upsizing adds (intrinsic growth).
+                let kind = self.nl.kind(net);
+                let cost = kind.intrinsic_cap(self.nl.fanins(net).len()) * old * (step - 1.0);
+                let ratio = gain / cost.max(1e-9);
+                if best.map(|(_, r)| ratio > r).unwrap_or(true) {
+                    best = Some((net, ratio));
+                }
+            }
+            let (chosen, ratio) = best.expect("critical nonempty");
+            if ratio <= 0.0 {
+                return false; // no move helps
+            }
+            self.sizes[chosen.index()] *= step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod upsize_tests {
+    use super::*;
+    use netlist::gen::ripple_adder;
+    use sim::comb::CombSim;
+    use sim::stimulus::Stimulus;
+
+    #[test]
+    fn upsizing_meets_a_reachable_constraint() {
+        let (nl, _) = ripple_adder(8);
+        let fastest = SizedCircuit::new(&nl, 8.0).timing(1e9).critical;
+        let slowest = SizedCircuit::new(&nl, 1.0).timing(1e9).critical;
+        let target = 0.5 * (fastest + slowest);
+        let mut c = SizedCircuit::new(&nl, 1.0);
+        assert!(c.timing(target).critical > target, "starts violated");
+        assert!(c.upsize_for_speed(target, 8.0), "constraint reachable");
+        assert!(c.timing(target).critical <= target + 1e-9);
+        // Only some gates were upsized.
+        let upsized = c.sizes.iter().filter(|&&s| s > 1.0 + 1e-9).count();
+        assert!(upsized > 0 && upsized < c.sizes.len(), "{upsized} upsized");
+    }
+
+    #[test]
+    fn unreachable_constraint_reported() {
+        let (nl, _) = ripple_adder(6);
+        let fastest = SizedCircuit::new(&nl, 8.0).timing(1e9).critical;
+        let mut c = SizedCircuit::new(&nl, 1.0);
+        assert!(!c.upsize_for_speed(fastest * 0.5, 8.0));
+    }
+
+    #[test]
+    fn upsize_then_downsize_round_trip_saves_power() {
+        // The full §II.B loop: upsize to meet timing, then shave slack.
+        let (nl, _) = ripple_adder(6);
+        let activity =
+            CombSim::new(&nl).activity(&Stimulus::uniform(12).patterns(256, 3));
+        let fastest = SizedCircuit::new(&nl, 8.0).timing(1e9).critical;
+        let target = fastest * 1.3;
+        let mut c = SizedCircuit::new(&nl, 1.0);
+        assert!(c.upsize_for_speed(target, 8.0));
+        let after_upsize = c.switched_capacitance(&activity);
+        c.downsize_for_power(target);
+        let after_downsize = c.switched_capacitance(&activity);
+        assert!(c.timing(target).critical <= target + 1e-9);
+        assert!(after_downsize <= after_upsize + 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Behavioral flow: module selection, correlation-aware binding and
+//! voltage scaling for a DSP kernel under a throughput constraint.
+
+use behav::binding::{bind_low_power, bind_round_robin, binding_cost};
+use behav::dfg::Dfg;
+use behav::modsel::{select_modules, ModuleLibrary};
+use behav::sched::{default_latency, list_schedule, Resources};
+use behav::transform::{voltage_scaling_comparison, DesignPoint};
+
+/// Configuration of the behavioral flow.
+#[derive(Debug, Clone)]
+pub struct BehavFlowConfig {
+    /// Functional units for the direct implementation.
+    pub resources: Resources,
+    /// Unrolling factor for the transformed implementation.
+    pub unroll: usize,
+    /// Functional units for the unrolled implementation.
+    pub resources_unrolled: Resources,
+    /// Average switched capacitance per operation (fF).
+    pub cap_per_op: f64,
+    /// Relative capacitance overhead of the transformation.
+    pub capacitance_overhead: f64,
+    /// Required sample period (ns).
+    pub sample_period_ns: f64,
+    /// Value-trace iterations for the binding cost.
+    pub trace_iterations: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for BehavFlowConfig {
+    fn default() -> BehavFlowConfig {
+        BehavFlowConfig {
+            resources: Resources {
+                adders: 2,
+                multipliers: 2,
+            },
+            unroll: 4,
+            resources_unrolled: Resources {
+                adders: 8,
+                multipliers: 8,
+            },
+            cap_per_op: 100.0,
+            capacitance_overhead: 0.2,
+            sample_period_ns: 320.0,
+            trace_iterations: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of the behavioral flow.
+#[derive(Debug)]
+pub struct BehavFlowResult {
+    /// Direct implementation design point (if feasible at 5 V).
+    pub direct: Option<DesignPoint>,
+    /// Transformed (unrolled + voltage-scaled) design point.
+    pub transformed: Option<DesignPoint>,
+    /// Module-selection energy at the schedule deadline (fF proxy).
+    pub module_energy: Option<f64>,
+    /// Binding cost, round-robin baseline (toggles/iteration).
+    pub binding_cost_baseline: f64,
+    /// Binding cost, correlation-aware (toggles/iteration).
+    pub binding_cost_optimized: f64,
+}
+
+/// Run the behavioral flow on a DFG.
+pub fn optimize_kernel(g: &Dfg, config: &BehavFlowConfig) -> BehavFlowResult {
+    // Voltage-scaling comparison (E14).
+    let (direct, transformed) = voltage_scaling_comparison(
+        g,
+        config.unroll,
+        config.resources,
+        config.resources_unrolled,
+        config.cap_per_op,
+        config.capacitance_overhead,
+        config.sample_period_ns,
+    );
+
+    // Module selection at the direct schedule's length + 25% (E15).
+    let library = ModuleLibrary::default();
+    let schedule = list_schedule(g, config.resources);
+    let deadline = schedule.length + schedule.length / 4 + 1;
+    let module_energy = select_modules(g, &library, deadline).map(|s| s.energy);
+
+    // Binding comparison on value traces (E15).
+    let mut rng = netlist::Rng64::new(config.seed);
+    let stream: Vec<Vec<i64>> = (0..config.trace_iterations)
+        .map(|_| {
+            (0..g.inputs().len())
+                .map(|_| (rng.next_below(256)) as i64 - 128)
+                .collect()
+        })
+        .collect();
+    let traces = g.traces(&stream);
+    let units = [config.resources.adders, config.resources.multipliers];
+    let rr = bind_round_robin(g, &schedule, units);
+    let lp = bind_low_power(g, &schedule, units, &traces, &default_latency);
+    BehavFlowResult {
+        direct,
+        transformed,
+        module_energy,
+        binding_cost_baseline: binding_cost(g, &schedule, &rr, &traces),
+        binding_cost_optimized: binding_cost(g, &schedule, &lp, &traces),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use behav::dfg::fir;
+
+    #[test]
+    fn fir_flow_produces_design_points() {
+        let g = fir(8, &[3, -1, 4, 1, -5, 9, 2, -6]);
+        let result = optimize_kernel(&g, &BehavFlowConfig::default());
+        let direct = result.direct.expect("direct design feasible");
+        let transformed = result.transformed.expect("transformed design feasible");
+        assert!(transformed.vdd <= direct.vdd);
+        assert!(result.module_energy.is_some());
+        assert!(result.binding_cost_optimized <= result.binding_cost_baseline + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_period_reported_as_none() {
+        let g = fir(8, &[1; 8]);
+        let config = BehavFlowConfig {
+            sample_period_ns: 1.0, // impossible
+            ..BehavFlowConfig::default()
+        };
+        let result = optimize_kernel(&g, &config);
+        assert!(result.direct.is_none());
+    }
+}

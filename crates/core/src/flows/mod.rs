@@ -1,0 +1,6 @@
+//! End-to-end optimization flows chaining the per-level passes.
+
+pub mod behavioral;
+pub mod combinational;
+pub mod sequential;
+pub mod software;

@@ -1,0 +1,122 @@
+//! Software flow: compile an expression both ways, schedule for low
+//! power, optionally compact for the DSP, and report cycles + energy.
+
+use soft::codegen::{compile_memory_stack, compile_registers, Expr};
+use soft::energy::CpuModel;
+use soft::isa::Program;
+use soft::schedule::{compact_pairs, schedule_low_power};
+
+/// One compiled variant with its metrics.
+#[derive(Debug, Clone)]
+pub struct CodeVariant {
+    /// Human-readable label.
+    pub label: &'static str,
+    /// The program.
+    pub program: Program,
+    /// Cycle count (straight-line: instruction count).
+    pub cycles: usize,
+    /// Energy under the configured CPU model (nJ).
+    pub energy: f64,
+}
+
+/// Result of the software flow.
+#[derive(Debug)]
+pub struct SoftFlowResult {
+    /// The variants, in increasing sophistication.
+    pub variants: Vec<CodeVariant>,
+    /// The CPU profile name the numbers refer to.
+    pub cpu: &'static str,
+}
+
+/// Compile `expr` for the given CPU model and produce the ladder of
+/// optimizations: memory-stack → register-allocated → +scheduled →
+/// +paired (DSP only).
+pub fn compile_ladder(expr: &Expr, cpu: &CpuModel, scratch_base: u16) -> SoftFlowResult {
+    let mut variants = Vec::new();
+    let mut push = |label: &'static str, program: Program, cpu: &CpuModel| {
+        variants.push(CodeVariant {
+            label,
+            cycles: program.len(),
+            energy: cpu.program_energy(&program),
+            program,
+        });
+    };
+    let mem_code = compile_memory_stack(expr, scratch_base);
+    push("memory-stack", mem_code, cpu);
+    let reg_code = compile_registers(expr, scratch_base);
+    push("registers", reg_code.clone(), cpu);
+    let (scheduled, _) = schedule_low_power(&reg_code, cpu);
+    push("registers+sched", scheduled.clone(), cpu);
+    if cpu.pair_slot.is_some() {
+        let compacted = compact_pairs(&scheduled);
+        push("registers+sched+pair", compacted, cpu);
+    }
+    SoftFlowResult {
+        variants,
+        cpu: cpu.name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft::isa::Machine;
+
+    fn sample_expr() -> Expr {
+        // (v0 + v1) * (v2 - v3) + (v4 * v5 + v6)
+        Expr::Add(
+            Box::new(Expr::Mul(
+                Box::new(Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Var(1)))),
+                Box::new(Expr::Sub(Box::new(Expr::Var(2)), Box::new(Expr::Var(3)))),
+            )),
+            Box::new(Expr::Add(
+                Box::new(Expr::Mul(Box::new(Expr::Var(4)), Box::new(Expr::Var(5)))),
+                Box::new(Expr::Var(6)),
+            )),
+        )
+    }
+
+    fn result_of(program: &Program) -> i64 {
+        let mut m = Machine::new();
+        for i in 0..8 {
+            m.mem[i] = (i * 3 + 1) as i64;
+        }
+        m.run(program);
+        m.regs[0]
+    }
+
+    #[test]
+    fn ladder_improves_monotonically_on_dsp() {
+        let dsp = CpuModel::dsp_core();
+        let result = compile_ladder(&sample_expr(), &dsp, 64);
+        assert_eq!(result.variants.len(), 4);
+        // Each rung is no worse in energy than the previous.
+        for pair in result.variants.windows(2) {
+            assert!(
+                pair[1].energy <= pair[0].energy + 1e-9,
+                "{} ({}) should not beat {} ({})",
+                pair[0].label,
+                pair[0].energy,
+                pair[1].label,
+                pair[1].energy
+            );
+        }
+        // And all variants compute the same value.
+        let expected = result_of(&result.variants[0].program);
+        for v in &result.variants {
+            assert_eq!(result_of(&v.program), expected, "{}", v.label);
+        }
+    }
+
+    #[test]
+    fn big_cpu_ladder_has_three_rungs() {
+        let cpu = CpuModel::big_cpu();
+        let result = compile_ladder(&sample_expr(), &cpu, 64);
+        assert_eq!(result.variants.len(), 3, "no pairing on the big CPU");
+        // Register allocation is the big win.
+        assert!(result.variants[1].energy < 0.7 * result.variants[0].energy);
+        // Scheduling is marginal on the big CPU.
+        let sched_gain = 1.0 - result.variants[2].energy / result.variants[1].energy;
+        assert!(sched_gain < 0.05, "gain {sched_gain}");
+    }
+}

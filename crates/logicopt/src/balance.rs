@@ -1,0 +1,208 @@
+//! Path balancing by buffer insertion (survey §III.A.2).
+//!
+//! Under a unit-delay model, a gate glitches when its inputs settle at
+//! different times. Inserting unit-delay buffers on the early edges makes
+//! every pair of converging paths equal in length, which eliminates
+//! spurious transitions entirely — at the cost of the buffers' own
+//! capacitance, which is why the survey notes the buffer count must be kept
+//! minimal. [`balance_paths`] balances completely; the `threshold` variant
+//! only fixes skews above a bound, trading residual glitches for fewer
+//! buffers (the "reduce rather than completely eliminate" approach).
+
+use netlist::{GateKind, NetId, Netlist};
+
+/// Outcome of a balancing pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalanceReport {
+    /// Buffers inserted.
+    pub buffers_added: usize,
+    /// Combinational depth before balancing (levels).
+    pub depth_before: usize,
+    /// Combinational depth after (never worse: we only pad short paths).
+    pub depth_after: usize,
+}
+
+/// Fully balance all converging paths (unit-delay model).
+///
+/// ```
+/// use logicopt::balance::balance_paths;
+/// use netlist::gen::array_multiplier;
+///
+/// let (mult, _) = array_multiplier(4);
+/// let (balanced, report) = balance_paths(&mult);
+/// assert!(report.buffers_added > 0);
+/// assert_eq!(report.depth_before, report.depth_after); // critical path intact
+/// # assert!(sim::comb::equivalent_exhaustive(&mult, &balanced));
+/// ```
+///
+/// Functionally equivalent to the input (only buffers are added).
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential or cyclic.
+pub fn balance_paths(nl: &Netlist) -> (Netlist, BalanceReport) {
+    balance_paths_with_threshold(nl, 0)
+}
+
+/// Balance only edges whose skew exceeds `threshold` levels.
+///
+/// `threshold = 0` restores full balancing; larger thresholds insert fewer
+/// buffers and leave proportionally more glitching behind.
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential or cyclic.
+pub fn balance_paths_with_threshold(nl: &Netlist, threshold: usize) -> (Netlist, BalanceReport) {
+    assert!(nl.is_combinational(), "balancing operates on combinational logic");
+    let mut out = nl.clone();
+    let levels = nl.levels().expect("acyclic");
+    let depth_before = levels.iter().copied().max().unwrap_or(0);
+    let mut buffers_added = 0;
+
+    // For each gate, pad early fanin edges up to the latest fanin level.
+    // Iterate over the original ids; new buffer nodes are appended and never
+    // revisited.
+    let original: Vec<NetId> = nl.iter_nets().collect();
+    for net in original {
+        let kind = out.kind(net);
+        if kind.is_source() || kind == GateKind::Buf {
+            continue;
+        }
+        let fanins: Vec<NetId> = out.fanins(net).to_vec();
+        if fanins.len() < 2 {
+            continue;
+        }
+        let arrive: Vec<usize> = fanins.iter().map(|f| levels[f.index()]).collect();
+        let latest = *arrive.iter().max().expect("nonempty");
+        let mut new_fanins = fanins.clone();
+        for (k, &fi) in fanins.iter().enumerate() {
+            let skew = latest - arrive[k];
+            if skew > threshold {
+                let mut cur = fi;
+                for _ in 0..skew {
+                    cur = out.add_gate(GateKind::Buf, &[cur]);
+                    buffers_added += 1;
+                }
+                new_fanins[k] = cur;
+            }
+        }
+        if new_fanins != fanins {
+            out.set_fanins(net, &new_fanins);
+        }
+    }
+    let depth_after = out.depth();
+    (
+        out,
+        BalanceReport {
+            buffers_added,
+            depth_before,
+            depth_after,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::gen::{array_multiplier, ripple_adder};
+    use sim::comb::equivalent_exhaustive;
+    use sim::event::{DelayModel, EventSim};
+    use sim::stimulus::Stimulus;
+
+    #[test]
+    fn balancing_preserves_function() {
+        let (nl, _) = ripple_adder(4);
+        let (balanced, report) = balance_paths(&nl);
+        assert!(report.buffers_added > 0);
+        assert!(equivalent_exhaustive(&nl, &balanced));
+    }
+
+    #[test]
+    fn balanced_circuit_has_no_glitches_under_unit_delay() {
+        let (nl, _) = array_multiplier(4);
+        let (balanced, _) = balance_paths(&nl);
+        let patterns = Stimulus::uniform(8).patterns(200, 3);
+        let before = EventSim::new(&nl, &DelayModel::Unit).activity(&patterns);
+        let after = EventSim::new(&balanced, &DelayModel::Unit).activity(&patterns);
+        assert!(before.glitch_fraction() > 0.1, "multiplier must glitch");
+        assert!(
+            after.glitch_fraction() < 1e-9,
+            "balanced circuit glitched: {}",
+            after.glitch_fraction()
+        );
+    }
+
+    #[test]
+    fn depth_never_increases() {
+        let (nl, _) = array_multiplier(4);
+        let (balanced, report) = balance_paths(&nl);
+        assert_eq!(report.depth_before, report.depth_after);
+        assert_eq!(balanced.depth(), report.depth_before);
+    }
+
+    #[test]
+    fn threshold_trades_buffers_for_glitches() {
+        let (nl, _) = array_multiplier(5);
+        let patterns = Stimulus::uniform(10).patterns(200, 5);
+        let mut buffer_counts = Vec::new();
+        let mut glitch_fractions = Vec::new();
+        for threshold in [0usize, 2, 5, usize::MAX / 2] {
+            let (balanced, report) = balance_paths_with_threshold(&nl, threshold);
+            buffer_counts.push(report.buffers_added);
+            let t = EventSim::new(&balanced, &DelayModel::Unit).activity(&patterns);
+            glitch_fractions.push(t.glitch_fraction());
+            assert!(equivalent_exhaustive(&nl, &balanced));
+        }
+        // Fewer buffers as threshold grows; more residual glitching.
+        assert!(buffer_counts.windows(2).all(|w| w[0] >= w[1]), "{buffer_counts:?}");
+        assert_eq!(*buffer_counts.last().unwrap(), 0);
+        assert!(glitch_fractions[0] < 1e-9);
+        assert!(
+            glitch_fractions.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "{glitch_fractions:?}"
+        );
+    }
+
+    #[test]
+    fn already_balanced_untouched() {
+        let nl = netlist::gen::parity_tree(8);
+        let (_, report) = balance_paths(&nl);
+        assert_eq!(report.buffers_added, 0);
+    }
+
+    #[test]
+    fn buffer_capacitance_offsets_part_of_the_win() {
+        // The survey's caveat verbatim: "the addition of buffers increases
+        // capacitance which may offset the reduction in switching activity".
+        // On a small multiplier, full balancing removes every glitch
+        // *transition* yet the buffers themselves switch, so the
+        // capacitance-weighted total can go either way — which is exactly
+        // why the threshold variant exists (E4 sweeps it).
+        let (nl, _) = array_multiplier(4);
+        let (balanced, report) = balance_paths(&nl);
+        let stats_before = netlist::NetlistStats::of(&nl);
+        let stats_after = netlist::NetlistStats::of(&balanced);
+        assert!(stats_after.total_cap > stats_before.total_cap);
+        assert!(report.buffers_added > 0);
+
+        let patterns = Stimulus::uniform(8).patterns(300, 9);
+        let t_before = EventSim::new(&nl, &DelayModel::Unit).activity(&patterns);
+        let t_after = EventSim::new(&balanced, &DelayModel::Unit).activity(&patterns);
+        // Glitch transitions on the *original* nets disappear entirely.
+        assert!(t_before.total_glitches_per_cycle() > 0.0);
+        assert!(t_after.total_glitches_per_cycle() < 1e-9);
+        // Transition count on shared (non-buffer) logic strictly drops.
+        let shared_before: f64 = nl
+            .iter_nets()
+            .map(|n| t_before.total.toggles[n.index()])
+            .sum();
+        let shared_after: f64 = nl
+            .iter_nets()
+            .map(|n| t_after.total.toggles[n.index()])
+            .sum();
+        assert!(
+            shared_after < shared_before,
+            "glitch removal must cut toggles on original nets: {shared_after} vs {shared_before}"
+        );
+    }
+}

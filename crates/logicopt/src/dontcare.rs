@@ -1,0 +1,449 @@
+//! Don't-care-based node optimization for low power (survey §III.A.1).
+//!
+//! The power dissipated at a gate depends on the probability of the gate
+//! evaluating to 1; that probability can be *changed* inside the node's
+//! observability don't-care set without affecting any primary output. The
+//! pass computes, for each internal node:
+//!
+//! 1. the global ODC via BDDs (replace the node by a fresh variable, take
+//!    the Boolean difference of every output, complement the union);
+//! 2. the node's **local** care set: which fanin minterms can occur while
+//!    the node is observable;
+//! 3. a new local truth table that keeps all care minterms and sets the
+//!    don't-care minterms so the node's one-probability moves as far from
+//!    0.5 as possible (activity `2p(1−p)` is maximal at 0.5).
+//!
+//! Two acceptance modes, matching the two papers the survey cites:
+//! [`Mode::NodeLocal`] accepts any change that lowers the node's own
+//! weighted activity (\[38\]); [`Mode::FanoutAware`] re-propagates
+//! probabilities and accepts only if the *whole network's* estimated
+//! switched capacitance drops (\[19\]).
+
+use bdd::Ref;
+use netlist::{GateKind, NetId, Netlist};
+use power::exact::circuit_bdds;
+
+/// Acceptance criterion for a node rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Accept when the node's own activity (weighted by its fanout count)
+    /// improves (\[38\]).
+    NodeLocal,
+    /// Accept when the whole network's estimated switched capacitance
+    /// improves (\[19\]).
+    FanoutAware,
+}
+
+/// Outcome of the don't-care optimization pass.
+#[derive(Debug, Clone)]
+pub struct DontCareReport {
+    /// Nodes rewritten.
+    pub nodes_changed: usize,
+    /// Estimated switched capacitance before (fF/cycle, exact probabilities).
+    pub cap_before: f64,
+    /// Estimated switched capacitance after.
+    pub cap_after: f64,
+}
+
+/// Estimated switched capacitance from exact probabilities (fF/cycle).
+pub fn estimated_cap(nl: &Netlist, input_probs: &[f64]) -> f64 {
+    let bdds = circuit_bdds(nl);
+    bdds.activity(input_probs).switched_capacitance(nl)
+}
+
+/// Run don't-care node optimization.
+///
+/// Only nodes with `fanin ≤ max_fanin` are considered (the local truth
+/// table enumeration is `2^fanin`). The result is functionally equivalent
+/// to the input on every primary output.
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential, cyclic, or `input_probs` has the
+/// wrong width.
+pub fn optimize_dontcares(
+    nl: &Netlist,
+    input_probs: &[f64],
+    mode: Mode,
+    max_fanin: usize,
+) -> (Netlist, DontCareReport) {
+    assert!(nl.is_combinational(), "don't-care pass needs combinational logic");
+    assert_eq!(input_probs.len(), nl.num_inputs());
+    let mut current = nl.clone();
+    let cap_before = estimated_cap(&current, input_probs);
+    let mut nodes_changed = 0;
+
+    // Iterate to a fixpoint (bounded): each accepted rewrite invalidates
+    // the ODCs of other nodes, so we recompute after every change.
+    let mut pass = 0;
+    'outer: loop {
+        pass += 1;
+        if pass > 8 {
+            break;
+        }
+        let bdds = circuit_bdds(&current);
+        let fanout_counts = current.fanout_counts();
+        let candidates: Vec<NetId> = current
+            .iter_nets()
+            .filter(|&net| {
+                let kind = current.kind(net);
+                !kind.is_source()
+                    && kind != GateKind::Dff
+                    && !current.fanins(net).is_empty()
+                    && current.fanins(net).len() <= max_fanin
+                    && fanout_counts[net.index()] > 0
+            })
+            .collect();
+        for node in candidates {
+            if let Some(improved) = try_rewrite(&current, &bdds, node, input_probs, mode) {
+                current = improved;
+                current.sweep_dead();
+                nodes_changed += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    let cap_after = estimated_cap(&current, input_probs);
+    (
+        current,
+        DontCareReport {
+            nodes_changed,
+            cap_before,
+            cap_after,
+        },
+    )
+}
+
+fn try_rewrite(
+    nl: &Netlist,
+    bdds: &power::exact::CircuitBdds,
+    node: NetId,
+    input_probs: &[f64],
+    mode: Mode,
+) -> Option<Netlist> {
+    let mut mgr = bdds.mgr.clone();
+    let funcs = &bdds.funcs;
+    let nvars = mgr.num_vars() as u32;
+    let w = nvars; // fresh variable standing for the node's output
+
+    // Rebuild output functions with `node` replaced by variable w.
+    let order = nl.topo_order().expect("acyclic");
+    let mut subst: Vec<Ref> = funcs.clone();
+    subst[node.index()] = mgr.var(w);
+    let mut dependent = vec![false; nl.len()];
+    dependent[node.index()] = true;
+    for &net in &order {
+        if net == node {
+            continue;
+        }
+        let kind = nl.kind(net);
+        if kind.is_source() || kind == GateKind::Dff {
+            continue;
+        }
+        if !nl.fanins(net).iter().any(|f| dependent[f.index()]) {
+            continue;
+        }
+        dependent[net.index()] = true;
+        let ins: Vec<Ref> = nl.fanins(net).iter().map(|f| subst[f.index()]).collect();
+        subst[net.index()] = build_gate(&mut mgr, kind, &ins);
+    }
+
+    // Observability: any output sensitive to w.
+    let mut sensitive = Ref::FALSE;
+    for (out, _) in nl.outputs() {
+        if !dependent[out.index()] {
+            continue;
+        }
+        let s = mgr.boolean_difference(subst[out.index()], w);
+        sensitive = mgr.or(sensitive, s);
+    }
+    if sensitive == Ref::TRUE {
+        return None; // fully observable: no freedom
+    }
+
+    // Local care analysis over the node's fanin minterms.
+    let fanins = nl.fanins(node).to_vec();
+    let k = fanins.len();
+    let kind = nl.kind(node);
+    let mut care_probs = Vec::with_capacity(1 << k);
+    let mut table = Vec::with_capacity(1 << k);
+    let mut care = Vec::with_capacity(1 << k);
+    let var_probs: Vec<f64> = {
+        let mut v = vec![0.5; nvars as usize + 1];
+        for (i, &var) in bdds.input_vars.iter().enumerate() {
+            if i < input_probs.len() {
+                v[var as usize] = input_probs[i];
+            }
+        }
+        v
+    };
+    for m in 0..1usize << k {
+        let mut cond = Ref::TRUE;
+        for (i, &fi) in fanins.iter().enumerate() {
+            let f = funcs[fi.index()];
+            let lit = if m >> i & 1 == 1 { f } else { mgr.not(f) };
+            cond = mgr.and(cond, lit);
+        }
+        let observable = mgr.and(cond, sensitive);
+        care.push(observable != Ref::FALSE);
+        care_probs.push(mgr.probability(cond, &var_probs));
+        let bits: Vec<bool> = (0..k).map(|i| m >> i & 1 == 1).collect();
+        table.push(kind.eval(&bits));
+    }
+    if care.iter().all(|&c| c) {
+        return None;
+    }
+
+    // Candidate tables: don't-cares all 0 or all 1.
+    let p_of = |t: &[bool]| -> f64 {
+        t.iter()
+            .zip(care_probs.iter())
+            .filter(|&(&on, _)| on)
+            .map(|(_, &p)| p)
+            .sum()
+    };
+    let p_orig = p_of(&table);
+    let low: Vec<bool> = table
+        .iter()
+        .zip(care.iter())
+        .map(|(&t, &c)| if c { t } else { false })
+        .collect();
+    let high: Vec<bool> = table
+        .iter()
+        .zip(care.iter())
+        .map(|(&t, &c)| if c { t } else { true })
+        .collect();
+    let p_low = p_of(&low);
+    let p_high = p_of(&high);
+    let (new_table, p_new) = if (p_low - 0.5).abs() >= (p_high - 0.5).abs() {
+        (low, p_low)
+    } else {
+        (high, p_high)
+    };
+    if new_table == table {
+        return None;
+    }
+    let activity = |p: f64| 2.0 * p * (1.0 - p);
+    if activity(p_new) >= activity(p_orig) - 1e-12 {
+        return None;
+    }
+
+    // Build the rewritten netlist: node := SOP over its fanins.
+    let mut rebuilt = nl.clone();
+    let new_root = synthesize_table(&mut rebuilt, &fanins, &new_table);
+    rebuilt.replace_uses(node, new_root);
+    debug_assert!(rebuilt.validate().is_ok());
+
+    match mode {
+        Mode::NodeLocal => Some(rebuilt),
+        Mode::FanoutAware => {
+            let mut swept = rebuilt.clone();
+            swept.sweep_dead();
+            let before = estimated_cap(nl, input_probs);
+            let after = estimated_cap(&swept, input_probs);
+            if after < before - 1e-9 {
+                Some(rebuilt)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn build_gate(mgr: &mut bdd::Bdd, kind: GateKind, ins: &[Ref]) -> Ref {
+    match kind {
+        GateKind::Const(v) => mgr.constant(v),
+        GateKind::Buf => ins[0],
+        GateKind::Not => mgr.not(ins[0]),
+        GateKind::And => mgr.and_all(ins.iter().copied()),
+        GateKind::Or => mgr.or_all(ins.iter().copied()),
+        GateKind::Nand => {
+            let a = mgr.and_all(ins.iter().copied());
+            mgr.not(a)
+        }
+        GateKind::Nor => {
+            let o = mgr.or_all(ins.iter().copied());
+            mgr.not(o)
+        }
+        GateKind::Xor => ins.iter().fold(Ref::FALSE, |acc, &f| mgr.xor(acc, f)),
+        GateKind::Xnor => {
+            let x = ins.iter().fold(Ref::FALSE, |acc, &f| mgr.xor(acc, f));
+            mgr.not(x)
+        }
+        GateKind::Mux => mgr.ite(ins[0], ins[2], ins[1]),
+        GateKind::Input | GateKind::Dff => unreachable!("sources are variables"),
+    }
+}
+
+/// Synthesize a truth table over existing nets as two-level logic.
+fn synthesize_table(nl: &mut Netlist, fanins: &[NetId], table: &[bool]) -> NetId {
+    let k = fanins.len();
+    let ones = table.iter().filter(|&&b| b).count();
+    if ones == 0 {
+        return nl.add_const(false);
+    }
+    if ones == table.len() {
+        return nl.add_const(true);
+    }
+    // Use the sparser phase; invert at the end if we covered the zeros.
+    let cover_ones = ones <= table.len() / 2;
+    let mut terms = Vec::new();
+    let mut inverted: Vec<Option<NetId>> = vec![None; k];
+    for (m, &bit) in table.iter().enumerate() {
+        if bit != cover_ones {
+            continue;
+        }
+        let mut literals = Vec::with_capacity(k);
+        for (i, &fi) in fanins.iter().enumerate() {
+            if m >> i & 1 == 1 {
+                literals.push(fi);
+            } else {
+                let inv = match inverted[i] {
+                    Some(x) => x,
+                    None => {
+                        let x = nl.add_gate(GateKind::Not, &[fi]);
+                        inverted[i] = Some(x);
+                        x
+                    }
+                };
+                literals.push(inv);
+            }
+        }
+        let term = if literals.len() == 1 {
+            literals[0]
+        } else {
+            nl.add_gate(GateKind::And, &literals)
+        };
+        terms.push(term);
+    }
+    let sum = if terms.len() == 1 {
+        terms[0]
+    } else {
+        nl.add_gate(GateKind::Or, &terms)
+    };
+    if cover_ones {
+        sum
+    } else {
+        nl.add_gate(GateKind::Not, &[sum])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::comb::equivalent_exhaustive;
+
+    /// out = (a & b) | a — the AND is unobservable when a = 1, so it can be
+    /// rewritten to constant 0 (probability pushed to an extreme).
+    fn redundant_and() -> (Netlist, NetId) {
+        let mut nl = Netlist::new("redundant");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_gate(GateKind::And, &[a, b]);
+        let out = nl.add_gate(GateKind::Or, &[y, a]);
+        nl.mark_output(out, "f");
+        (nl, y)
+    }
+
+    #[test]
+    fn rewrites_redundant_node() {
+        let (nl, _) = redundant_and();
+        let (optimized, report) =
+            optimize_dontcares(&nl, &[0.5, 0.5], Mode::FanoutAware, 6);
+        assert!(report.nodes_changed >= 1, "should find the redundancy");
+        assert!(equivalent_exhaustive(&nl, &optimized));
+        assert!(
+            report.cap_after < report.cap_before,
+            "{} -> {}",
+            report.cap_before,
+            report.cap_after
+        );
+    }
+
+    #[test]
+    fn node_local_mode_also_preserves_function() {
+        let (nl, _) = redundant_and();
+        let (optimized, _) = optimize_dontcares(&nl, &[0.5, 0.5], Mode::NodeLocal, 6);
+        assert!(equivalent_exhaustive(&nl, &optimized));
+    }
+
+    #[test]
+    fn fully_observable_circuit_untouched() {
+        // XOR tree: every node fully observable, no don't-cares.
+        let nl = netlist::gen::parity_tree(4);
+        let (optimized, report) =
+            optimize_dontcares(&nl, &[0.5; 4], Mode::FanoutAware, 6);
+        assert_eq!(report.nodes_changed, 0);
+        assert!(equivalent_exhaustive(&nl, &optimized));
+        assert!((report.cap_after - report.cap_before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mux_shadowed_cone_is_simplified() {
+        // out = MUX(s, a&b, a|b); when s=1 the AND is unobservable and vice
+        // versa — with biased s the pass can rebias the shadowed node.
+        let mut nl = Netlist::new("mux_shadow");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and = nl.add_gate(GateKind::And, &[a, b]);
+        let or = nl.add_gate(GateKind::Or, &[a, b]);
+        let out = nl.add_gate(GateKind::Mux, &[s, and, or]);
+        nl.mark_output(out, "f");
+        let (optimized, _) = optimize_dontcares(&nl, &[0.9, 0.5, 0.5], Mode::FanoutAware, 6);
+        assert!(equivalent_exhaustive(&nl, &optimized));
+    }
+
+    #[test]
+    fn comparator_is_preserved() {
+        let (nl, _) = netlist::gen::comparator_gt(3);
+        let (optimized, _) = optimize_dontcares(&nl, &[0.5; 6], Mode::FanoutAware, 6);
+        assert!(equivalent_exhaustive(&nl, &optimized));
+    }
+
+    #[test]
+    fn synthesize_table_covers_all_functions_of_two_vars() {
+        for truth in 0u32..16 {
+            let mut nl = Netlist::new("tt");
+            let a = nl.add_input("a");
+            let b = nl.add_input("b");
+            let table: Vec<bool> = (0..4).map(|m| truth >> m & 1 == 1).collect();
+            let root = synthesize_table(&mut nl, &[a, b], &table);
+            nl.mark_output(root, "f");
+            for m in 0..4usize {
+                let bits = vec![m & 1 == 1, m >> 1 & 1 == 1];
+                assert_eq!(
+                    nl.eval_comb(&bits)[0],
+                    table[m],
+                    "truth {truth:04b} minterm {m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_aware_never_worse_than_original() {
+        // On a random DAG the fanout-aware mode must never increase the
+        // estimated switched capacitance.
+        let config = netlist::gen::RandomDagConfig {
+            inputs: 6,
+            gates: 30,
+            outputs: 3,
+            max_fanin: 3,
+            window: 10,
+        };
+        for seed in [1, 2, 3] {
+            let nl = netlist::gen::random_dag(&config, seed);
+            let (optimized, report) =
+                optimize_dontcares(&nl, &[0.5; 6], Mode::FanoutAware, 5);
+            assert!(equivalent_exhaustive(&nl, &optimized));
+            assert!(
+                report.cap_after <= report.cap_before + 1e-9,
+                "seed {seed}: {} -> {}",
+                report.cap_before,
+                report.cap_after
+            );
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Two-level (SOP) minimization with don't-cares — an espresso-lite
+//! EXPAND/IRREDUNDANT loop.
+//!
+//! Two-level minimization is the workhorse underneath the survey's
+//! logic-level techniques: don't-care optimization (\[37\]\[38\]) chooses a
+//! cover inside `[on, on ∪ dc]`, and FSM synthesis gets its don't-care set
+//! for free from the unused state codes. The algorithm here is the classic
+//! loop:
+//!
+//! 1. **EXPAND** — grow each cube literal-by-literal as long as it stays
+//!    inside `on ∪ dc` (checked by a cofactor-tautology test);
+//! 2. **IRREDUNDANT** — drop cubes covered by the rest of the cover plus
+//!    the don't-cares.
+//!
+//! Tautology checking is the standard binate-select recursion with the
+//! unate shortcut, so covers with dozens of variables are fine.
+
+use crate::factor::{Cube, Sop};
+
+/// Does the cover contain a row of all don't-cares (a tautologous cube)?
+fn has_universal_cube(cover: &[Cube]) -> bool {
+    cover.iter().any(|c| c.pos == 0 && c.neg == 0)
+}
+
+/// Cofactor a cover with respect to a single literal.
+fn cofactor_lit(cover: &[Cube], var: usize, value: bool) -> Vec<Cube> {
+    let mut out = Vec::with_capacity(cover.len());
+    for &c in cover {
+        let has_pos = c.pos >> var & 1 == 1;
+        let has_neg = c.neg >> var & 1 == 1;
+        if (value && has_neg) || (!value && has_pos) {
+            continue; // cube vanishes in this subspace
+        }
+        out.push(Cube {
+            pos: c.pos & !(1 << var),
+            neg: c.neg & !(1 << var),
+        });
+    }
+    out
+}
+
+/// Is the cover a tautology over `nvars` variables?
+pub fn tautology(cover: &[Cube], nvars: usize) -> bool {
+    if has_universal_cube(cover) {
+        return true;
+    }
+    if cover.is_empty() {
+        return false;
+    }
+    // Pick the most binate variable (appears in both phases most often).
+    let mut best: Option<(usize, usize)> = None;
+    for v in 0..nvars {
+        let pos = cover.iter().filter(|c| c.pos >> v & 1 == 1).count();
+        let neg = cover.iter().filter(|c| c.neg >> v & 1 == 1).count();
+        if pos + neg == 0 {
+            continue;
+        }
+        let binate = pos.min(neg) * 1000 + pos + neg;
+        if best.map(|(_, b)| binate > b).unwrap_or(true) {
+            best = Some((v, binate));
+        }
+    }
+    let Some((v, _)) = best else {
+        // No literals anywhere and no universal cube: cover is empty.
+        return false;
+    };
+    // Unate shortcut: a unate cover is a tautology iff it has a universal
+    // cube (already checked above) — but only if *no* variable is binate.
+    let is_binate = {
+        let pos = cover.iter().filter(|c| c.pos >> v & 1 == 1).count();
+        let neg = cover.iter().filter(|c| c.neg >> v & 1 == 1).count();
+        pos > 0 && neg > 0
+    };
+    if !is_binate {
+        // All variables unate: tautology iff universal cube exists.
+        // (Standard unate-cover theorem.)
+        return false;
+    }
+    tautology(&cofactor_lit(cover, v, false), nvars)
+        && tautology(&cofactor_lit(cover, v, true), nvars)
+}
+
+/// Is `cube` covered by `cover` (i.e. `cube ⇒ cover`)?
+pub fn cube_covered(cube: Cube, cover: &[Cube], nvars: usize) -> bool {
+    // Cofactor the cover by the cube and test for tautology.
+    let mut reduced = Vec::with_capacity(cover.len());
+    for &c in cover {
+        // Conflict: the cover cube requires a literal the cube negates.
+        if c.pos & cube.neg != 0 || c.neg & cube.pos != 0 {
+            continue;
+        }
+        reduced.push(Cube {
+            pos: c.pos & !cube.pos,
+            neg: c.neg & !cube.neg,
+        });
+    }
+    tautology(&reduced, nvars)
+}
+
+/// Result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct MinimizeReport {
+    /// The minimized cover.
+    pub cover: Sop,
+    /// Literals before.
+    pub literals_before: usize,
+    /// Literals after.
+    pub literals_after: usize,
+    /// Cubes before.
+    pub cubes_before: usize,
+    /// Cubes after.
+    pub cubes_after: usize,
+}
+
+/// Minimize `on` against the don't-care set `dc` over `nvars` variables.
+///
+/// ```
+/// use logicopt::factor::{Cube, Sop};
+/// use logicopt::twolevel::minimize;
+///
+/// // on = a·b·c + a·b·!c minimizes to a·b.
+/// let abc = Cube::literal(0, true)
+///     .and(Cube::literal(1, true)).unwrap()
+///     .and(Cube::literal(2, true)).unwrap();
+/// let abnc = Cube::literal(0, true)
+///     .and(Cube::literal(1, true)).unwrap()
+///     .and(Cube::literal(2, false)).unwrap();
+/// let report = minimize(&Sop::new(vec![abc, abnc]), &Sop::zero(), 3);
+/// assert_eq!(report.cover.cubes.len(), 1);
+/// assert_eq!(report.literals_after, 2);
+/// ```
+///
+/// The result `f` satisfies `on ⊆ f ⊆ on ∪ dc` (verified by the internal
+/// covering checks); it is a prime and irredundant cover of the on-set.
+pub fn minimize(on: &Sop, dc: &Sop, nvars: usize) -> MinimizeReport {
+    let literals_before = on.literal_count();
+    let cubes_before = on.cubes.len();
+    let mut full: Vec<Cube> = on.cubes.clone();
+    full.extend(dc.cubes.iter().copied());
+
+    // EXPAND: sort by literal count descending (big cubes first expand
+    // best) and raise literals greedily.
+    let mut expanded: Vec<Cube> = on.cubes.clone();
+    expanded.sort_by_key(|c| std::cmp::Reverse(c.literal_count()));
+    for cube in expanded.iter_mut() {
+        for v in 0..nvars {
+            for positive in [true, false] {
+                let has = if positive {
+                    cube.pos >> v & 1 == 1
+                } else {
+                    cube.neg >> v & 1 == 1
+                };
+                if !has {
+                    continue;
+                }
+                let mut trial = *cube;
+                if positive {
+                    trial.pos &= !(1 << v);
+                } else {
+                    trial.neg &= !(1 << v);
+                }
+                if cube_covered(trial, &full, nvars) {
+                    *cube = trial;
+                }
+            }
+        }
+    }
+    // Drop duplicates and single-cube containments.
+    expanded.sort_unstable();
+    expanded.dedup();
+    let mut pruned: Vec<Cube> = Vec::new();
+    for &c in &expanded {
+        let covered_by_single = expanded
+            .iter()
+            .any(|&other| other != c && cube_contains(other, c));
+        if !covered_by_single {
+            pruned.push(c);
+        }
+    }
+
+    // IRREDUNDANT: drop cubes covered by the rest + dc.
+    let mut cover = pruned;
+    let mut i = 0;
+    while i < cover.len() {
+        let cube = cover[i];
+        let mut rest: Vec<Cube> = cover
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &c)| c)
+            .collect();
+        rest.extend(dc.cubes.iter().copied());
+        if cube_covered(cube, &rest, nvars) {
+            cover.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    let result = Sop::new(cover);
+    MinimizeReport {
+        literals_after: result.literal_count(),
+        cubes_after: result.cubes.len(),
+        cover: result,
+        literals_before,
+        cubes_before,
+    }
+}
+
+/// `a` covers `b` as cubes (b's minterms are a subset of a's): `a`'s
+/// literal set is a subset of `b`'s.
+fn cube_contains(a: Cube, b: Cube) -> bool {
+    b.pos & a.pos == a.pos && b.neg & a.neg == a.neg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, positive: bool) -> Cube {
+        Cube::literal(v, positive)
+    }
+
+    fn cube_of(pos: &[usize], neg: &[usize]) -> Cube {
+        let mut c = Cube::ONE;
+        for &v in pos {
+            c = c.and(lit(v, true)).expect("no clash");
+        }
+        for &v in neg {
+            c = c.and(lit(v, false)).expect("no clash");
+        }
+        c
+    }
+
+    /// Check on ⊆ f ⊆ on ∪ dc exhaustively.
+    fn check_bounds(on: &Sop, dc: &Sop, f: &Sop, nvars: usize) {
+        for m in 0u64..1 << nvars {
+            let in_on = on.eval(m);
+            let in_dc = dc.eval(m);
+            let in_f = f.eval(m);
+            if in_on {
+                assert!(in_f, "on-minterm {m:b} lost");
+            }
+            if in_f {
+                assert!(in_on || in_dc, "minterm {m:b} invented");
+            }
+        }
+    }
+
+    #[test]
+    fn tautology_basics() {
+        // x + !x is a tautology.
+        let cover = vec![lit(0, true), lit(0, false)];
+        assert!(tautology(&cover, 1));
+        // x alone is not.
+        assert!(!tautology(&[lit(0, true)], 1));
+        // The universal cube is.
+        assert!(tautology(&[Cube::ONE], 3));
+        // Empty cover is not.
+        assert!(!tautology(&[], 2));
+        // xy + x!y + !x = 1.
+        let cover = vec![
+            cube_of(&[0, 1], &[]),
+            cube_of(&[0], &[1]),
+            cube_of(&[], &[0]),
+        ];
+        assert!(tautology(&cover, 2));
+    }
+
+    #[test]
+    fn cube_covering() {
+        // ab is covered by {a}.
+        assert!(cube_covered(cube_of(&[0, 1], &[]), &[lit(0, true)], 2));
+        // a is not covered by {ab}.
+        assert!(!cube_covered(lit(0, true), &[cube_of(&[0, 1], &[])], 2));
+        // a is covered by {ab, a!b}.
+        assert!(cube_covered(
+            lit(0, true),
+            &[cube_of(&[0, 1], &[]), cube_of(&[0], &[1])],
+            2
+        ));
+    }
+
+    #[test]
+    fn adjacent_minterms_merge() {
+        // abc + ab!c should expand/collapse to ab.
+        let on = Sop::new(vec![cube_of(&[0, 1, 2], &[]), cube_of(&[0, 1], &[2])]);
+        let report = minimize(&on, &Sop::zero(), 3);
+        assert_eq!(report.cover.cubes.len(), 1);
+        assert_eq!(report.cover.cubes[0], cube_of(&[0, 1], &[]));
+        check_bounds(&on, &Sop::zero(), &report.cover, 3);
+    }
+
+    #[test]
+    fn dont_cares_enable_bigger_cubes() {
+        // on = a!b, dc = ab: minimizes to just a.
+        let on = Sop::new(vec![cube_of(&[0], &[1])]);
+        let dc = Sop::new(vec![cube_of(&[0, 1], &[])]);
+        let report = minimize(&on, &dc, 2);
+        assert_eq!(report.cover.cubes, vec![lit(0, true)]);
+        check_bounds(&on, &dc, &report.cover, 2);
+    }
+
+    #[test]
+    fn redundant_cube_removed() {
+        // a + b + ab: the ab cube is redundant.
+        let on = Sop::new(vec![lit(0, true), lit(1, true), cube_of(&[0, 1], &[])]);
+        let report = minimize(&on, &Sop::zero(), 2);
+        assert_eq!(report.cover.cubes.len(), 2);
+        check_bounds(&on, &Sop::zero(), &report.cover, 2);
+    }
+
+    #[test]
+    fn random_functions_minimize_correctly() {
+        // Exhaustive correctness over random truth tables of 4 variables.
+        let mut rng = netlist::Rng64::new(77);
+        for _ in 0..40 {
+            let truth: u16 = rng.next_u64() as u16;
+            let dc_mask: u16 = (rng.next_u64() as u16) & (rng.next_u64() as u16); // sparse dc
+            let mut on_cubes = Vec::new();
+            let mut dc_cubes = Vec::new();
+            for m in 0..16u64 {
+                let cube = {
+                    let mut c = Cube::ONE;
+                    for v in 0..4 {
+                        c = c.and(lit(v, m >> v & 1 == 1)).expect("minterm");
+                    }
+                    c
+                };
+                if dc_mask >> m & 1 == 1 {
+                    dc_cubes.push(cube);
+                } else if truth >> m & 1 == 1 {
+                    on_cubes.push(cube);
+                }
+            }
+            let on = Sop::new(on_cubes);
+            let dc = Sop::new(dc_cubes);
+            let report = minimize(&on, &dc, 4);
+            check_bounds(&on, &dc, &report.cover, 4);
+            assert!(report.literals_after <= report.literals_before);
+        }
+    }
+
+    #[test]
+    fn full_truth_table_minimizes_to_one() {
+        let on = Sop::new(
+            (0..8u64)
+                .map(|m| {
+                    let mut c = Cube::ONE;
+                    for v in 0..3 {
+                        c = c.and(lit(v, m >> v & 1 == 1)).expect("minterm");
+                    }
+                    c
+                })
+                .collect(),
+        );
+        let report = minimize(&on, &Sop::zero(), 3);
+        assert_eq!(report.cover.cubes, vec![Cube::ONE]);
+        assert_eq!(report.literals_after, 0);
+    }
+}

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors produced while constructing, validating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate referenced a net id that does not exist in the netlist.
+    DanglingNet {
+        /// The offending net id (as a raw index).
+        net: usize,
+    },
+    /// A gate was given the wrong number of inputs for its kind.
+    ArityMismatch {
+        /// The gate kind name.
+        kind: &'static str,
+        /// Number of inputs the kind requires (textual, e.g. "exactly 2").
+        expected: &'static str,
+        /// Number of inputs actually supplied.
+        got: usize,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle {
+        /// A net participating in the cycle.
+        net: usize,
+    },
+    /// A primary output name or input name was duplicated.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The operation requires a purely combinational netlist.
+    NotCombinational,
+    /// An input pattern had the wrong width.
+    PatternWidth {
+        /// Width the netlist expects.
+        expected: usize,
+        /// Width supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DanglingNet { net } => {
+                write!(f, "gate references nonexistent net {net}")
+            }
+            NetlistError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(f, "gate kind {kind} requires {expected} inputs, got {got}"),
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net {net}")
+            }
+            NetlistError::DuplicateName { name } => write!(f, "duplicate name {name:?}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::NotCombinational => {
+                write!(f, "operation requires a combinational netlist")
+            }
+            NetlistError::PatternWidth { expected, got } => {
+                write!(f, "input pattern width {got} does not match {expected} inputs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

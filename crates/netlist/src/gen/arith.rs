@@ -1,0 +1,628 @@
+//! Arithmetic circuit generators: adders, multipliers, comparators, ALU.
+
+use crate::gate::GateKind;
+use crate::graph::{NetId, Netlist};
+
+/// Handles into a generated adder.
+#[derive(Debug, Clone)]
+pub struct AdderNets {
+    /// Operand A input nets, LSB first.
+    pub a: Vec<NetId>,
+    /// Operand B input nets, LSB first.
+    pub b: Vec<NetId>,
+    /// Sum output nets, LSB first.
+    pub sum: Vec<NetId>,
+    /// Carry-out net.
+    pub carry_out: NetId,
+}
+
+/// Handles into a generated multiplier.
+#[derive(Debug, Clone)]
+pub struct MultiplierNets {
+    /// Operand A input nets, LSB first.
+    pub a: Vec<NetId>,
+    /// Operand B input nets, LSB first.
+    pub b: Vec<NetId>,
+    /// Product output nets, LSB first (width `2n`).
+    pub product: Vec<NetId>,
+}
+
+/// Handles into a generated comparator.
+#[derive(Debug, Clone)]
+pub struct ComparatorNets {
+    /// Operand C input nets, LSB first.
+    pub c: Vec<NetId>,
+    /// Operand D input nets, LSB first.
+    pub d: Vec<NetId>,
+    /// The `C > D` output net.
+    pub gt: NetId,
+}
+
+fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+    let axb = nl.add_gate(GateKind::Xor, &[a, b]);
+    let sum = nl.add_gate(GateKind::Xor, &[axb, cin]);
+    let ab = nl.add_gate(GateKind::And, &[a, b]);
+    let c_axb = nl.add_gate(GateKind::And, &[axb, cin]);
+    let cout = nl.add_gate(GateKind::Or, &[ab, c_axb]);
+    (sum, cout)
+}
+
+/// Build an `n`-bit ripple-carry adder `sum = a + b`.
+///
+/// The carry chain makes arrival times skewed — the canonical source of the
+/// spurious transitions §III.A.2 discusses.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// ```
+/// use netlist::gen::ripple_adder;
+/// let (nl, nets) = ripple_adder(4);
+/// // 3 + 5 = 8
+/// let mut pattern = vec![false; 8];
+/// pattern[0] = true; pattern[1] = true;       // a = 0b0011
+/// pattern[4] = true; pattern[6] = true;       // b = 0b0101
+/// let out = nl.eval_comb(&pattern);
+/// let sum: u32 = (0..4).map(|i| (out[i] as u32) << i).sum();
+/// assert_eq!(sum, 8);
+/// ```
+pub fn ripple_adder(n: usize) -> (Netlist, AdderNets) {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("ripple_adder_{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let mut carry = nl.add_const(false);
+    let mut sum = Vec::with_capacity(n);
+    for i in 0..n {
+        let (s, c) = full_adder(&mut nl, a[i], b[i], carry);
+        sum.push(s);
+        carry = c;
+        nl.mark_output(s, format!("s{i}"));
+    }
+    nl.mark_output(carry, "cout");
+    (
+        nl,
+        AdderNets {
+            a,
+            b,
+            sum,
+            carry_out: carry,
+        },
+    )
+}
+
+/// Build an `n`-bit carry-select adder (blocks of `block` bits).
+///
+/// Faster but larger than ripple — used by the module-selection experiments
+/// (E15) as the "fast, high-capacitance" adder alternative.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+pub fn carry_select_adder(n: usize, block: usize) -> (Netlist, AdderNets) {
+    assert!(n > 0 && block > 0, "widths must be positive");
+    let mut nl = Netlist::new(format!("carry_select_adder_{n}_{block}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let mut sum = Vec::with_capacity(n);
+    let mut carry = nl.add_const(false);
+    let mut base = 0;
+    while base < n {
+        let width = block.min(n - base);
+        // Two speculative ripple chains: carry-in 0 and carry-in 1.
+        let zero = nl.add_const(false);
+        let one = nl.add_const(true);
+        let mut c0 = zero;
+        let mut c1 = one;
+        let mut s0 = Vec::with_capacity(width);
+        let mut s1 = Vec::with_capacity(width);
+        for i in base..base + width {
+            let (s, c) = full_adder(&mut nl, a[i], b[i], c0);
+            s0.push(s);
+            c0 = c;
+            let (s, c) = full_adder(&mut nl, a[i], b[i], c1);
+            s1.push(s);
+            c1 = c;
+        }
+        for i in 0..width {
+            let s = nl.add_gate(GateKind::Mux, &[carry, s0[i], s1[i]]);
+            nl.mark_output(s, format!("s{}", base + i));
+            sum.push(s);
+        }
+        carry = nl.add_gate(GateKind::Mux, &[carry, c0, c1]);
+        base += width;
+    }
+    nl.mark_output(carry, "cout");
+    (
+        nl,
+        AdderNets {
+            a,
+            b,
+            sum,
+            carry_out: carry,
+        },
+    )
+}
+
+/// Build an `n x n` array multiplier `product = a * b` (2n-bit product).
+///
+/// Array multipliers are the survey's canonical glitchy circuit (\[25\]
+/// describes a 16x16 multiplier with transition-reduction circuitry).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn array_multiplier(n: usize) -> (Netlist, MultiplierNets) {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("array_multiplier_{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    // Partial products pp[i][j] = a[j] & b[i].
+    let mut rows: Vec<Vec<NetId>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<NetId> = (0..n)
+            .map(|j| nl.add_gate(GateKind::And, &[a[j], b[i]]))
+            .collect();
+        rows.push(row);
+    }
+    // Accumulate row by row with ripple adders (carry-save would glitch less;
+    // the plain array form is deliberately glitch-prone).
+    let mut acc: Vec<NetId> = rows[0].clone(); // weight 0..n-1
+    let mut product: Vec<NetId> = Vec::with_capacity(2 * n);
+    product.push(acc[0]);
+    let mut acc_tail: Vec<NetId> = acc[1..].to_vec(); // weights 1..n-1 relative
+    for (i, row) in rows.iter().enumerate().skip(1) {
+        // acc_tail holds weights i..i+n-2 (n-1 nets); add row (weights i..i+n-1).
+        let mut carry = nl.add_const(false);
+        let mut next: Vec<NetId> = Vec::with_capacity(n);
+        for j in 0..n {
+            let partial = row[j];
+            let prev = if j < acc_tail.len() {
+                acc_tail[j]
+            } else {
+                nl.add_const(false)
+            };
+            let (s, c) = full_adder(&mut nl, prev, partial, carry);
+            next.push(s);
+            carry = c;
+        }
+        product.push(next[0]);
+        acc_tail = next[1..].to_vec();
+        acc_tail.push(carry);
+        if i == n - 1 {
+            for &net in &acc_tail {
+                product.push(net);
+            }
+        }
+    }
+    if n == 1 {
+        // Single partial product, no accumulation rows.
+        product = vec![acc.remove(0), nl.add_const(false)];
+    }
+    for (i, &p) in product.iter().enumerate() {
+        nl.mark_output(p, format!("p{i}"));
+    }
+    (
+        nl,
+        MultiplierNets {
+            a,
+            b,
+            product,
+        },
+    )
+}
+
+/// Build the n-bit magnitude comparator of Fig. 1: `gt = (C > D)`.
+///
+/// Implemented as a ripple from LSB to MSB:
+/// `gt_i = (c_i & !d_i) | (c_i XNOR d_i) & gt_{i-1}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// ```
+/// use netlist::gen::comparator_gt;
+/// let (nl, _) = comparator_gt(3);
+/// // C=5 (101), D=3 (011): inputs are c0..c2 then d0..d2, LSB first.
+/// let out = nl.eval_comb(&[true, false, true, true, true, false]);
+/// assert_eq!(out, vec![true]);
+/// ```
+pub fn comparator_gt(n: usize) -> (Netlist, ComparatorNets) {
+    assert!(n > 0, "comparator width must be positive");
+    let mut nl = Netlist::new(format!("comparator_gt_{n}"));
+    let c: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("c{i}"))).collect();
+    let d: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("d{i}"))).collect();
+    // Accumulate LSB-up: gt_i = (c_i & !d_i) | ((c_i == d_i) & gt_{i-1}),
+    // so higher bits override lower ones.
+    let mut gt = nl.add_const(false);
+    for i in 0..n {
+        let nd = nl.add_gate(GateKind::Not, &[d[i]]);
+        let ci_gt = nl.add_gate(GateKind::And, &[c[i], nd]);
+        let eq = nl.add_gate(GateKind::Xnor, &[c[i], d[i]]);
+        let carry = nl.add_gate(GateKind::And, &[eq, gt]);
+        gt = nl.add_gate(GateKind::Or, &[ci_gt, carry]);
+    }
+    nl.mark_output(gt, "gt");
+    (nl, ComparatorNets { c, d, gt })
+}
+
+/// Build an n-bit equality checker `eq = (A == B)`.
+pub fn equality(n: usize) -> (Netlist, ComparatorNets) {
+    assert!(n > 0, "width must be positive");
+    let mut nl = Netlist::new(format!("equality_{n}"));
+    let c: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let d: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let bits: Vec<NetId> = (0..n)
+        .map(|i| nl.add_gate(GateKind::Xnor, &[c[i], d[i]]))
+        .collect();
+    let eq = nl.add_gate(GateKind::And, &bits);
+    nl.mark_output(eq, "eq");
+    (nl, ComparatorNets { c, d, gt: eq })
+}
+
+/// Build a small 4-function ALU over `n`-bit operands.
+///
+/// `op` (2 bits) selects: 00 = AND, 01 = OR, 10 = XOR, 11 = ADD.
+/// Input order: `a0..a(n-1), b0..b(n-1), op0, op1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu4(n: usize) -> Netlist {
+    assert!(n > 0, "ALU width must be positive");
+    let mut nl = Netlist::new(format!("alu4_{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let op0 = nl.add_input("op0");
+    let op1 = nl.add_input("op1");
+    let mut carry = nl.add_const(false);
+    for i in 0..n {
+        let and = nl.add_gate(GateKind::And, &[a[i], b[i]]);
+        let or = nl.add_gate(GateKind::Or, &[a[i], b[i]]);
+        let xor = nl.add_gate(GateKind::Xor, &[a[i], b[i]]);
+        let (sum, c) = full_adder(&mut nl, a[i], b[i], carry);
+        carry = c;
+        // result = op1 ? (op0 ? sum : xor) : (op0 ? or : and)
+        let lo = nl.add_gate(GateKind::Mux, &[op0, and, or]);
+        let hi = nl.add_gate(GateKind::Mux, &[op0, xor, sum]);
+        let y = nl.add_gate(GateKind::Mux, &[op1, lo, hi]);
+        nl.mark_output(y, format!("y{i}"));
+    }
+    nl
+}
+
+/// Build an `n`-bit Kogge–Stone (parallel-prefix) adder.
+///
+/// Log-depth carry network: much better balanced than the ripple chain,
+/// so it glitches far less under timing simulation — the adder-side
+/// counterpart of the Wallace/array multiplier contrast.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn kogge_stone_adder(n: usize) -> (Netlist, AdderNets) {
+    assert!(n > 0, "adder width must be positive");
+    let mut nl = Netlist::new(format!("kogge_stone_adder_{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    // Generate / propagate per bit.
+    let mut g: Vec<NetId> = (0..n)
+        .map(|i| nl.add_gate(GateKind::And, &[a[i], b[i]]))
+        .collect();
+    let mut p: Vec<NetId> = (0..n)
+        .map(|i| nl.add_gate(GateKind::Xor, &[a[i], b[i]]))
+        .collect();
+    let p_orig = p.clone();
+    // Prefix levels: after the network, g[i] = carry out of bit i.
+    let mut dist = 1;
+    while dist < n {
+        let mut new_g = g.clone();
+        let mut new_p = p.clone();
+        for i in dist..n {
+            let pg = nl.add_gate(GateKind::And, &[p[i], g[i - dist]]);
+            new_g[i] = nl.add_gate(GateKind::Or, &[g[i], pg]);
+            new_p[i] = nl.add_gate(GateKind::And, &[p[i], p[i - dist]]);
+        }
+        g = new_g;
+        p = new_p;
+        dist <<= 1;
+    }
+    // sum[0] = p[0]; sum[i] = p_orig[i] xor carry_{i-1} = p_orig[i] ^ g_prefix[i-1].
+    let mut sum = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = if i == 0 {
+            nl.add_gate(GateKind::Buf, &[p_orig[0]])
+        } else {
+            nl.add_gate(GateKind::Xor, &[p_orig[i], g[i - 1]])
+        };
+        nl.mark_output(s, format!("s{i}"));
+        sum.push(s);
+    }
+    let carry_out = g[n - 1];
+    nl.mark_output(carry_out, "cout");
+    (
+        nl,
+        AdderNets {
+            a,
+            b,
+            sum,
+            carry_out,
+        },
+    )
+}
+
+/// Build an `n x n` Wallace-tree multiplier.
+///
+/// Column-wise 3:2 reduction of the partial products followed by a final
+/// carry-propagate add: logarithmic depth and far better path balance than
+/// [`array_multiplier`], hence markedly less glitching — the comparison
+/// \[25\] builds on.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn wallace_multiplier(n: usize) -> (Netlist, MultiplierNets) {
+    assert!(n > 0, "multiplier width must be positive");
+    let mut nl = Netlist::new(format!("wallace_multiplier_{n}"));
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let width = 2 * n;
+    let mut cols: Vec<Vec<NetId>> = vec![Vec::new(); width];
+    for i in 0..n {
+        for j in 0..n {
+            let pp = nl.add_gate(GateKind::And, &[a[j], b[i]]);
+            cols[i + j].push(pp);
+        }
+    }
+    // 3:2 (and 2:2) reduction passes until every column has at most 2.
+    while cols.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<NetId>> = vec![Vec::new(); width];
+        for w in 0..width {
+            let items = std::mem::take(&mut cols[w]);
+            let mut i = 0;
+            while items.len() - i >= 3 {
+                let (s, c) = full_adder(&mut nl, items[i], items[i + 1], items[i + 2]);
+                next[w].push(s);
+                if w + 1 < width {
+                    next[w + 1].push(c);
+                }
+                i += 3;
+            }
+            if items.len() - i == 2 {
+                // Half adder.
+                let s = nl.add_gate(GateKind::Xor, &[items[i], items[i + 1]]);
+                let c = nl.add_gate(GateKind::And, &[items[i], items[i + 1]]);
+                next[w].push(s);
+                if w + 1 < width {
+                    next[w + 1].push(c);
+                }
+                i += 2;
+            }
+            if items.len() - i == 1 {
+                next[w].push(items[i]);
+            }
+        }
+        cols = next;
+    }
+    // Final carry-propagate addition over the (≤2)-entry columns.
+    let mut product = Vec::with_capacity(width);
+    let mut carry = nl.add_const(false);
+    for w in 0..width {
+        let (x, y) = match cols[w].len() {
+            0 => {
+                let zero = nl.add_const(false);
+                (zero, nl.add_const(false))
+            }
+            1 => (cols[w][0], nl.add_const(false)),
+            _ => (cols[w][0], cols[w][1]),
+        };
+        let (s, c) = full_adder(&mut nl, x, y, carry);
+        product.push(s);
+        carry = c;
+    }
+    for (i, &pnet) in product.iter().enumerate() {
+        nl.mark_output(pnet, format!("p{i}"));
+    }
+    (
+        nl,
+        MultiplierNets {
+            a,
+            b,
+            product,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(value: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| value >> i & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| (b as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn ripple_adder_exhaustive_4bit() {
+        let (nl, _) = ripple_adder(4);
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut pattern = to_bits(a, 4);
+                pattern.extend(to_bits(b, 4));
+                let out = nl.eval_comb(&pattern);
+                let sum = from_bits(&out[..4]) + ((out[4] as u64) << 4);
+                assert_eq!(sum, a + b, "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_select_matches_ripple() {
+        let (csa, _) = carry_select_adder(6, 2);
+        let (rca, _) = ripple_adder(6);
+        for a in [0u64, 1, 7, 31, 63, 42] {
+            for b in [0u64, 1, 9, 63, 33] {
+                let mut pattern = to_bits(a, 6);
+                pattern.extend(to_bits(b, 6));
+                assert_eq!(csa.eval_comb(&pattern), rca.eval_comb(&pattern), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_exhaustive_3bit() {
+        let (nl, _) = array_multiplier(3);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let mut pattern = to_bits(a, 3);
+                pattern.extend(to_bits(b, 3));
+                let out = nl.eval_comb(&pattern);
+                assert_eq!(from_bits(&out), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_width_one() {
+        let (nl, nets) = array_multiplier(1);
+        assert_eq!(nets.product.len(), 2);
+        assert_eq!(from_bits(&nl.eval_comb(&[true, true])), 1);
+        assert_eq!(from_bits(&nl.eval_comb(&[true, false])), 0);
+    }
+
+    #[test]
+    fn multiplier_4bit_spot_checks() {
+        let (nl, _) = array_multiplier(4);
+        for (a, b) in [(15u64, 15u64), (9, 13), (0, 7), (8, 8), (1, 15)] {
+            let mut pattern = to_bits(a, 4);
+            pattern.extend(to_bits(b, 4));
+            assert_eq!(from_bits(&nl.eval_comb(&pattern)), a * b, "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn comparator_exhaustive_3bit() {
+        let (nl, _) = comparator_gt(3);
+        for c in 0u64..8 {
+            for d in 0u64..8 {
+                let mut pattern = to_bits(c, 3);
+                pattern.extend(to_bits(d, 3));
+                assert_eq!(nl.eval_comb(&pattern), vec![c > d], "{c} > {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_exhaustive_3bit() {
+        let (nl, _) = equality(3);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let mut pattern = to_bits(a, 3);
+                pattern.extend(to_bits(b, 3));
+                assert_eq!(nl.eval_comb(&pattern), vec![a == b]);
+            }
+        }
+    }
+
+    #[test]
+    fn alu_functions() {
+        let n = 4;
+        let nl = alu4(n);
+        for (op, f) in [
+            (0u64, (|a, b| a & b) as fn(u64, u64) -> u64),
+            (1, |a, b| a | b),
+            (2, |a, b| a ^ b),
+            (3, |a, b| (a + b) & 0xF),
+        ] {
+            for (a, b) in [(5u64, 3u64), (15, 1), (0, 0), (12, 10)] {
+                let mut pattern = to_bits(a, n);
+                pattern.extend(to_bits(b, n));
+                pattern.push(op & 1 == 1);
+                pattern.push(op >> 1 & 1 == 1);
+                let out = nl.eval_comb(&pattern);
+                assert_eq!(from_bits(&out), f(a, b), "op={op} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_matches_ripple() {
+        let (ks, _) = kogge_stone_adder(6);
+        let (rc, _) = ripple_adder(6);
+        for a in 0u64..64 {
+            for b in [0u64, 1, 5, 17, 42, 63] {
+                let mut pattern = to_bits(a, 6);
+                pattern.extend(to_bits(b, 6));
+                assert_eq!(ks.eval_comb(&pattern), rc.eval_comb(&pattern), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_log_depth() {
+        let (ks, _) = kogge_stone_adder(16);
+        let (rc, _) = ripple_adder(16);
+        assert!(
+            ks.depth() < rc.depth() / 2,
+            "prefix adder depth {} vs ripple {}",
+            ks.depth(),
+            rc.depth()
+        );
+    }
+
+    #[test]
+    fn wallace_exhaustive_3bit() {
+        let (nl, _) = wallace_multiplier(3);
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let mut pattern = to_bits(a, 3);
+                pattern.extend(to_bits(b, 3));
+                let out = nl.eval_comb(&pattern);
+                assert_eq!(from_bits(&out), a * b, "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn wallace_matches_array_5bit_samples() {
+        let (w, _) = wallace_multiplier(5);
+        let (arr, _) = array_multiplier(5);
+        for (a, b) in [(31u64, 31u64), (17, 23), (0, 9), (16, 16), (1, 31), (12, 27)] {
+            let mut pattern = to_bits(a, 5);
+            pattern.extend(to_bits(b, 5));
+            assert_eq!(w.eval_comb(&pattern), arr.eval_comb(&pattern), "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn wallace_is_shallower_than_array() {
+        let (w, _) = wallace_multiplier(8);
+        let (arr, _) = array_multiplier(8);
+        assert!(
+            w.depth() < arr.depth(),
+            "wallace depth {} vs array {}",
+            w.depth(),
+            arr.depth()
+        );
+    }
+
+    #[test]
+    fn generated_netlists_validate() {
+        ripple_adder(8).0.validate().unwrap();
+        carry_select_adder(8, 3).0.validate().unwrap();
+        array_multiplier(5).0.validate().unwrap();
+        comparator_gt(8).0.validate().unwrap();
+        equality(8).0.validate().unwrap();
+        alu4(8).validate().unwrap();
+        kogge_stone_adder(8).0.validate().unwrap();
+        wallace_multiplier(8).0.validate().unwrap();
+    }
+}

@@ -1,0 +1,247 @@
+//! Random and structured multi-level logic generators.
+
+use crate::gate::GateKind;
+use crate::graph::{NetId, Netlist};
+use crate::rng::Rng64;
+
+/// Configuration for [`random_dag`].
+#[derive(Debug, Clone)]
+pub struct RandomDagConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of internal gates.
+    pub gates: usize,
+    /// Number of primary outputs (sampled from the last gates).
+    pub outputs: usize,
+    /// Maximum gate fanin (2..=this).
+    pub max_fanin: usize,
+    /// Locality window: fanins are drawn from the most recent `window`
+    /// nodes, giving the DAG a realistic layered structure.
+    pub window: usize,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> RandomDagConfig {
+        RandomDagConfig {
+            inputs: 16,
+            gates: 200,
+            outputs: 8,
+            max_fanin: 3,
+            window: 40,
+        }
+    }
+}
+
+/// Generate a random multi-level combinational DAG.
+///
+/// Deterministic for a given `seed`. Gate kinds are drawn from the
+/// AND/OR/NAND/NOR/XOR/NOT mix typical of technology-independent logic.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `gates == 0` or `max_fanin < 2`.
+pub fn random_dag(config: &RandomDagConfig, seed: u64) -> Netlist {
+    assert!(config.inputs > 0 && config.gates > 0, "need inputs and gates");
+    assert!(config.max_fanin >= 2, "max fanin must be at least 2");
+    let mut rng = Rng64::new(seed);
+    let mut nl = Netlist::new(format!("random_dag_s{seed}"));
+    let mut pool: Vec<NetId> = (0..config.inputs)
+        .map(|i| nl.add_input(format!("x{i}")))
+        .collect();
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::And,
+        GateKind::Or,
+    ];
+    for _ in 0..config.gates {
+        let kind = *rng.choose(&kinds);
+        let fanin = if rng.chance(0.15) {
+            // Occasional inverter.
+            let lo = pool.len().saturating_sub(config.window);
+            let src = pool[rng.range(lo, pool.len())];
+            let g = nl.add_gate(GateKind::Not, &[src]);
+            pool.push(g);
+            continue;
+        } else {
+            rng.range(2, config.max_fanin + 1)
+        };
+        let lo = pool.len().saturating_sub(config.window);
+        let mut ins = Vec::with_capacity(fanin);
+        for _ in 0..fanin {
+            ins.push(pool[rng.range(lo, pool.len())]);
+        }
+        let g = nl.add_gate(kind, &ins);
+        pool.push(g);
+    }
+    let n_outputs = config.outputs.min(config.gates);
+    for i in 0..n_outputs {
+        let pick = pool[pool.len() - 1 - rng.range(0, config.window.min(pool.len()))];
+        nl.mark_output(pick, format!("y{i}"));
+        let _ = i;
+    }
+    // Deduplicate output names if the sampler repeated a net: names are
+    // already unique (y0..), nets may repeat which is fine.
+    nl
+}
+
+/// Generate a balanced XOR parity tree over `n` inputs.
+pub fn parity_tree(n: usize) -> Netlist {
+    assert!(n > 0, "parity needs at least one input");
+    let mut nl = Netlist::new(format!("parity_{n}"));
+    let mut layer: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(nl.add_gate(GateKind::Xor, &[pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    nl.mark_output(layer[0], "parity");
+    nl
+}
+
+/// Generate a `2^k`-to-1 multiplexer tree (`k` select bits, `2^k` data bits).
+///
+/// Input order: `s0..s(k-1)`, then `d0..d(2^k-1)`.
+pub fn mux_tree(k: usize) -> Netlist {
+    assert!(k > 0, "mux tree needs at least one select bit");
+    let mut nl = Netlist::new(format!("mux_tree_{k}"));
+    let sel: Vec<NetId> = (0..k).map(|i| nl.add_input(format!("s{i}"))).collect();
+    let mut layer: Vec<NetId> = (0..1usize << k)
+        .map(|i| nl.add_input(format!("d{i}")))
+        .collect();
+    for level in 0..k {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(nl.add_gate(GateKind::Mux, &[sel[level], pair[0], pair[1]]));
+        }
+        layer = next;
+    }
+    nl.mark_output(layer[0], "y");
+    nl
+}
+
+/// Generate a random two-level sum-of-products function as a netlist.
+///
+/// Produces `cubes` product terms over `inputs` variables, each literal
+/// included with probability `density`. Returns the netlist (output `f`).
+pub fn random_sop(inputs: usize, cubes: usize, density: f64, seed: u64) -> Netlist {
+    assert!(inputs > 0 && cubes > 0, "need inputs and cubes");
+    let mut rng = Rng64::new(seed);
+    let mut nl = Netlist::new(format!("random_sop_s{seed}"));
+    let vars: Vec<NetId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let inverted: Vec<NetId> = vars
+        .iter()
+        .map(|&v| nl.add_gate(GateKind::Not, &[v]))
+        .collect();
+    let mut terms = Vec::with_capacity(cubes);
+    for _ in 0..cubes {
+        let mut literals = Vec::new();
+        for i in 0..inputs {
+            if rng.chance(density) {
+                literals.push(if rng.flip() { vars[i] } else { inverted[i] });
+            }
+        }
+        if literals.is_empty() {
+            // Guarantee a nonempty cube.
+            literals.push(vars[rng.range(0, inputs)]);
+        }
+        let term = if literals.len() == 1 {
+            literals[0]
+        } else {
+            nl.add_gate(GateKind::And, &literals)
+        };
+        terms.push(term);
+    }
+    let f = if terms.len() == 1 {
+        terms[0]
+    } else {
+        nl.add_gate(GateKind::Or, &terms)
+    };
+    nl.mark_output(f, "f");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_dag_validates_and_is_deterministic() {
+        let config = RandomDagConfig::default();
+        let a = random_dag(&config, 99);
+        let b = random_dag(&config, 99);
+        a.validate().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.num_outputs(), b.num_outputs());
+        // Same seed, same structure.
+        for net in a.iter_nets() {
+            assert_eq!(a.kind(net), b.kind(net));
+            assert_eq!(a.fanins(net), b.fanins(net));
+        }
+        let c = random_dag(&config, 100);
+        let differs = a
+            .iter_nets()
+            .zip(c.iter_nets())
+            .any(|(x, y)| a.fanins(x) != c.fanins(y));
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn parity_tree_computes_parity() {
+        let nl = parity_tree(5);
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|i| pattern >> i & 1 == 1).collect();
+            let expected = bits.iter().filter(|&&b| b).count() % 2 == 1;
+            assert_eq!(nl.eval_comb(&bits), vec![expected]);
+        }
+    }
+
+    #[test]
+    fn parity_tree_single_input() {
+        let nl = parity_tree(1);
+        assert_eq!(nl.eval_comb(&[true]), vec![true]);
+        assert_eq!(nl.eval_comb(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn mux_tree_selects_correct_leaf() {
+        let k = 3;
+        let nl = mux_tree(k);
+        for sel in 0usize..8 {
+            // Data: one-hot at the selected position.
+            let mut pattern = vec![false; k + 8];
+            for i in 0..k {
+                pattern[i] = sel >> i & 1 == 1;
+            }
+            pattern[k + sel] = true;
+            assert_eq!(nl.eval_comb(&pattern), vec![true], "sel={sel}");
+            pattern[k + sel] = false;
+            pattern[k + (sel + 1) % 8] = true;
+            assert_eq!(nl.eval_comb(&pattern), vec![false], "sel={sel} offhot");
+        }
+    }
+
+    #[test]
+    fn random_sop_validates() {
+        let nl = random_sop(8, 12, 0.4, 5);
+        nl.validate().unwrap();
+        assert_eq!(nl.num_outputs(), 1);
+        // Output depends on inputs: find two patterns with different output.
+        let zero = vec![false; 8];
+        let ones = vec![true; 8];
+        let a = nl.eval_comb(&zero)[0];
+        let b = nl.eval_comb(&ones)[0];
+        // Not a hard guarantee, but with 12 cubes of density 0.4 the function
+        // is almost surely non-constant for this seed; assert evaluation runs.
+        let _ = (a, b);
+    }
+}

@@ -1,0 +1,19 @@
+//! Procedural circuit generators.
+//!
+//! These substitute for the MCNC/ISCAS benchmark suites used by the papers
+//! the survey cites: they produce the same *classes* of circuit the survey's
+//! claims are about — ripple/carry-select adders, array multipliers (the
+//! glitch-heavy workhorse of §III.A.2), magnitude comparators (Fig. 1), small
+//! ALUs, parity/mux trees, random multi-level logic, and registered
+//! pipelines.
+
+mod arith;
+mod logic;
+mod seq;
+
+pub use arith::{
+    alu4, array_multiplier, carry_select_adder, comparator_gt, equality, kogge_stone_adder,
+    ripple_adder, wallace_multiplier, AdderNets, ComparatorNets, MultiplierNets,
+};
+pub use logic::{mux_tree, parity_tree, random_dag, random_sop, RandomDagConfig};
+pub use seq::{counter, lfsr, pipelined_multiplier, shift_register};

@@ -1,0 +1,262 @@
+//! Sequential circuit generators: counters, shift registers, LFSRs and
+//! registered pipelines.
+
+use crate::gate::GateKind;
+use crate::graph::{NetId, Netlist};
+
+use super::arith::array_multiplier;
+
+/// Build an `n`-bit synchronous binary up-counter with an `en` input.
+///
+/// Outputs `q0..q(n-1)`, LSB first. When `en` is low the counter holds.
+pub fn counter(n: usize) -> Netlist {
+    assert!(n > 0, "counter width must be positive");
+    let mut nl = Netlist::new(format!("counter_{n}"));
+    let en = nl.add_input("en");
+    let q: Vec<NetId> = (0..n).map(|_| nl.add_dff_placeholder(false)).collect();
+    let mut carry = en;
+    for i in 0..n {
+        let next = nl.add_gate(GateKind::Xor, &[q[i], carry]);
+        nl.set_dff_data(q[i], next);
+        if i + 1 < n {
+            carry = nl.add_gate(GateKind::And, &[carry, q[i]]);
+        }
+        nl.mark_output(q[i], format!("q{i}"));
+    }
+    nl
+}
+
+/// Build an `n`-stage shift register with serial input `sin`.
+///
+/// Outputs every stage `q0..q(n-1)` (`q0` is the first stage).
+pub fn shift_register(n: usize) -> Netlist {
+    assert!(n > 0, "shift register needs at least one stage");
+    let mut nl = Netlist::new(format!("shift_register_{n}"));
+    let sin = nl.add_input("sin");
+    let mut prev = sin;
+    for i in 0..n {
+        let q = nl.add_dff(prev, false);
+        nl.mark_output(q, format!("q{i}"));
+        prev = q;
+    }
+    nl
+}
+
+/// Build an `n`-bit Fibonacci LFSR with taps at the positions in `taps`
+/// (bit indices into the state, XORed into the feedback).
+///
+/// State starts at `0...01` so the register is never stuck at zero.
+///
+/// # Panics
+///
+/// Panics if `taps` is empty or references a bit `>= n`.
+pub fn lfsr(n: usize, taps: &[usize]) -> Netlist {
+    assert!(n > 0 && !taps.is_empty(), "need width and taps");
+    assert!(taps.iter().all(|&t| t < n), "tap out of range");
+    let mut nl = Netlist::new(format!("lfsr_{n}"));
+    let q: Vec<NetId> = (0..n)
+        .map(|i| nl.add_dff_placeholder(i == 0))
+        .collect();
+    let tap_nets: Vec<NetId> = taps.iter().map(|&t| q[t]).collect();
+    let feedback = if tap_nets.len() == 1 {
+        nl.add_gate(GateKind::Buf, &[tap_nets[0]])
+    } else {
+        nl.add_gate(GateKind::Xor, &tap_nets)
+    };
+    nl.set_dff_data(q[0], feedback);
+    for i in 1..n {
+        nl.set_dff_data(q[i], q[i - 1]);
+    }
+    for (i, &net) in q.iter().enumerate() {
+        nl.mark_output(net, format!("q{i}"));
+    }
+    nl
+}
+
+/// Build an `n x n` array multiplier with registered inputs and outputs
+/// (a 2-stage pipeline). Used by the retiming and precomputation
+/// experiments, where register placement filters glitches.
+pub fn pipelined_multiplier(n: usize) -> Netlist {
+    let (comb, nets) = array_multiplier(n);
+    let mut nl = Netlist::new(format!("pipelined_multiplier_{n}"));
+    let a_in: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let b_in: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("b{i}"))).collect();
+    let a_reg: Vec<NetId> = a_in.iter().map(|&x| nl.add_dff(x, false)).collect();
+    let b_reg: Vec<NetId> = b_in.iter().map(|&x| nl.add_dff(x, false)).collect();
+    // Copy the combinational multiplier, substituting registered operands.
+    let mut map: Vec<Option<NetId>> = vec![None; comb.len()];
+    for (i, &net) in nets.a.iter().enumerate() {
+        map[net.index()] = Some(a_reg[i]);
+    }
+    for (i, &net) in nets.b.iter().enumerate() {
+        map[net.index()] = Some(b_reg[i]);
+    }
+    let order = comb.topo_order().expect("generated multiplier is acyclic");
+    for net in order {
+        if map[net.index()].is_some() {
+            continue;
+        }
+        let kind = comb.kind(net);
+        let new = match kind {
+            GateKind::Input => continue, // already mapped
+            GateKind::Const(v) => nl.add_const(v),
+            _ => {
+                let ins: Vec<NetId> = comb
+                    .fanins(net)
+                    .iter()
+                    .map(|i| map[i.index()].expect("topo order"))
+                    .collect();
+                nl.add_gate(kind, &ins)
+            }
+        };
+        map[net.index()] = Some(new);
+    }
+    for (i, &p) in nets.product.iter().enumerate() {
+        let reg = nl.add_dff(map[p.index()].expect("product mapped"), false);
+        nl.mark_output(reg, format!("p{i}"));
+    }
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny sequential stepper for tests: evaluates one clock cycle,
+    /// returning (outputs, next_state). State is per-dff, in dff order.
+    fn step(nl: &Netlist, state: &[bool], inputs: &[bool]) -> (Vec<bool>, Vec<bool>) {
+        let order = nl.topo_order().unwrap();
+        let mut values = vec![false; nl.len()];
+        for (i, &pi) in nl.inputs().iter().enumerate() {
+            values[pi.index()] = inputs[i];
+        }
+        for (i, &dff) in nl.dffs().iter().enumerate() {
+            values[dff.index()] = state[i];
+        }
+        for net in order {
+            let kind = nl.kind(net);
+            if kind.is_source() || kind == GateKind::Dff {
+                if let GateKind::Const(v) = kind {
+                    values[net.index()] = v;
+                }
+                continue;
+            }
+            let ins: Vec<bool> = nl.fanins(net).iter().map(|x| values[x.index()]).collect();
+            values[net.index()] = kind.eval(&ins);
+        }
+        let outputs = nl.outputs().iter().map(|(n, _)| values[n.index()]).collect();
+        let next = nl
+            .dffs()
+            .iter()
+            .enumerate()
+            .map(|(i, &dff)| {
+                let fi = nl.fanins(dff);
+                let d = values[fi[0].index()];
+                if fi.len() == 2 {
+                    let en = values[fi[1].index()];
+                    if en {
+                        d
+                    } else {
+                        state[i]
+                    }
+                } else {
+                    d
+                }
+            })
+            .collect();
+        (outputs, next)
+    }
+
+    fn state_value(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let nl = counter(4);
+        nl.validate().unwrap();
+        let mut state = vec![false; 4];
+        for expected in 0u64..20 {
+            let (out, next) = step(&nl, &state, &[true]);
+            assert_eq!(state_value(&out), expected % 16, "cycle {expected}");
+            state = next;
+        }
+    }
+
+    #[test]
+    fn counter_holds_when_disabled() {
+        let nl = counter(3);
+        let mut state = vec![false; 3];
+        for _ in 0..3 {
+            let (_, next) = step(&nl, &state, &[true]);
+            state = next;
+        }
+        let frozen = state.clone();
+        for _ in 0..5 {
+            let (_, next) = step(&nl, &state, &[false]);
+            state = next;
+            assert_eq!(state, frozen);
+        }
+    }
+
+    #[test]
+    fn shift_register_shifts() {
+        let nl = shift_register(4);
+        nl.validate().unwrap();
+        let mut state = vec![false; 4];
+        let stream = [true, false, true, true, false, false, true];
+        let mut history: Vec<bool> = Vec::new();
+        for &bit in &stream {
+            let (out, next) = step(&nl, &state, &[bit]);
+            // out[i] is the current state of stage i (before this bit shifts in)
+            for (i, &o) in out.iter().enumerate() {
+                let expected = if i < history.len() {
+                    history[history.len() - 1 - i]
+                } else {
+                    false
+                };
+                assert_eq!(o, expected, "stage {i} after {} bits", history.len());
+            }
+            history.push(bit);
+            state = next;
+        }
+    }
+
+    #[test]
+    fn lfsr_cycles_through_states() {
+        // 4-bit maximal LFSR taps (3, 2) -> period 15.
+        let nl = lfsr(4, &[3, 2]);
+        nl.validate().unwrap();
+        let mut state: Vec<bool> = nl.dffs().iter().map(|&d| nl.dff_init(d)).collect();
+        let start = state_value(&state);
+        assert_ne!(start, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..15 {
+            assert!(seen.insert(state_value(&state)), "state repeated early");
+            let (_, next) = step(&nl, &state, &[]);
+            state = next;
+        }
+        assert_eq!(state_value(&state), start, "period should be 15");
+    }
+
+    #[test]
+    fn pipelined_multiplier_matches_after_latency() {
+        let nl = pipelined_multiplier(3);
+        nl.validate().unwrap();
+        let mut state = vec![false; nl.num_dffs()];
+        // Feed (a=5, b=6), then hold; after 2 cycles outputs show 30.
+        let a = 5u64;
+        let b = 6u64;
+        let inputs: Vec<bool> = (0..3)
+            .map(|i| a >> i & 1 == 1)
+            .chain((0..3).map(|i| b >> i & 1 == 1))
+            .collect();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let (o, next) = step(&nl, &state, &inputs);
+            out = o;
+            state = next;
+        }
+        assert_eq!(state_value(&out), 30);
+    }
+}

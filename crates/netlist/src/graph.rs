@@ -1,0 +1,852 @@
+//! The [`Netlist`] graph: gates, flip-flops, nets and traversals.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Handle to a net (equivalently, the node driving it).
+///
+/// `NetId`s are stable: optimization passes rewire fanins but never
+/// invalidate existing ids (dead nodes are only removed by
+/// [`Netlist::sweep_dead`], which returns a remapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index of this net in the netlist's node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index. Intended for tools that serialize ids.
+    pub fn from_index(index: usize) -> NetId {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: GateKind,
+    inputs: Vec<NetId>,
+    name: Option<String>,
+    /// Initial state; meaningful only for `Dff` nodes.
+    init: bool,
+}
+
+/// A gate-level netlist: a DAG of combinational gates plus D flip-flops.
+///
+/// Flip-flops break cycles: the only legal cycles in the graph pass through a
+/// [`GateKind::Dff`] node. All construction methods validate arity; rewiring
+/// methods defer cycle checking to [`Netlist::validate`] /
+/// [`Netlist::topo_order`].
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<NetId>,
+    outputs: Vec<(NetId, String)>,
+    dffs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Create an empty netlist with the given model name.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            dffs: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a primary input and return its net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.push(Node {
+            kind: GateKind::Input,
+            inputs: Vec::new(),
+            name: Some(name.into()),
+            init: false,
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Add a constant-value net.
+    pub fn add_const(&mut self, value: bool) -> NetId {
+        self.push(Node {
+            kind: GateKind::Const(value),
+            inputs: Vec::new(),
+            name: None,
+            init: false,
+        })
+    }
+
+    /// Add a combinational gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is illegal for `kind`, if `kind` is
+    /// [`GateKind::Input`]/[`GateKind::Dff`] (use the dedicated methods), or
+    /// if any input id is out of range.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> NetId {
+        assert!(
+            !matches!(kind, GateKind::Input | GateKind::Dff),
+            "use add_input/add_dff for {kind}"
+        );
+        assert!(
+            kind.arity_ok(inputs.len()),
+            "gate kind {kind} requires {} inputs, got {}",
+            kind.arity_spec(),
+            inputs.len()
+        );
+        for &input in inputs {
+            assert!(
+                input.index() < self.nodes.len(),
+                "input {input} out of range"
+            );
+        }
+        self.push(Node {
+            kind,
+            inputs: inputs.to_vec(),
+            name: None,
+            init: false,
+        })
+    }
+
+    /// Add a combinational gate with a debug name.
+    pub fn add_gate_named(
+        &mut self,
+        kind: GateKind,
+        inputs: &[NetId],
+        name: impl Into<String>,
+    ) -> NetId {
+        let id = self.add_gate(kind, inputs);
+        self.nodes[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Add a D flip-flop with data input `d` and initial state `init`.
+    ///
+    /// The returned net carries the register's *output* (current state).
+    /// The data input may be a net defined later; pass a placeholder and
+    /// rewire with [`Netlist::set_dff_data`] when building feedback loops,
+    /// or use [`Netlist::add_dff_placeholder`].
+    pub fn add_dff(&mut self, d: NetId, init: bool) -> NetId {
+        assert!(d.index() < self.nodes.len(), "dff data {d} out of range");
+        let id = self.push(Node {
+            kind: GateKind::Dff,
+            inputs: vec![d],
+            name: None,
+            init,
+        });
+        self.dffs.push(id);
+        id
+    }
+
+    /// Add a D flip-flop with a synchronous load-enable input `en`.
+    ///
+    /// When `en` is low the register holds its value (the gated-clock /
+    /// precomputation architectures of the survey use this).
+    pub fn add_dff_en(&mut self, d: NetId, en: NetId, init: bool) -> NetId {
+        assert!(d.index() < self.nodes.len(), "dff data {d} out of range");
+        assert!(en.index() < self.nodes.len(), "dff enable {en} out of range");
+        let id = self.push(Node {
+            kind: GateKind::Dff,
+            inputs: vec![d, en],
+            name: None,
+            init,
+        });
+        self.dffs.push(id);
+        id
+    }
+
+    /// Add a flip-flop whose data input will be connected later (for
+    /// feedback). The placeholder initially feeds back on itself.
+    pub fn add_dff_placeholder(&mut self, init: bool) -> NetId {
+        let id = self.push(Node {
+            kind: GateKind::Dff,
+            inputs: Vec::new(),
+            name: None,
+            init,
+        });
+        self.nodes[id.index()].inputs = vec![id];
+        self.dffs.push(id);
+        id
+    }
+
+    /// Connect (or reconnect) the data input of flip-flop `dff`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not a flip-flop.
+    pub fn set_dff_data(&mut self, dff: NetId, d: NetId) {
+        assert_eq!(self.nodes[dff.index()].kind, GateKind::Dff, "{dff} not a dff");
+        assert!(d.index() < self.nodes.len());
+        self.nodes[dff.index()].inputs[0] = d;
+    }
+
+    /// Attach (or replace) a load-enable input on flip-flop `dff`.
+    pub fn set_dff_enable(&mut self, dff: NetId, en: NetId) {
+        assert_eq!(self.nodes[dff.index()].kind, GateKind::Dff, "{dff} not a dff");
+        assert!(en.index() < self.nodes.len());
+        let node = &mut self.nodes[dff.index()];
+        if node.inputs.len() == 1 {
+            node.inputs.push(en);
+        } else {
+            node.inputs[1] = en;
+        }
+    }
+
+    /// Mark a net as a primary output under `name`.
+    pub fn mark_output(&mut self, net: NetId, name: impl Into<String>) {
+        assert!(net.index() < self.nodes.len(), "output {net} out of range");
+        self.outputs.push((net, name.into()));
+    }
+
+    fn push(&mut self, node: Node) -> NetId {
+        let id = NetId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of nodes (nets) including inputs and flip-flops.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the netlist has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs `(net, name)`, in declaration order.
+    pub fn outputs(&self) -> &[(NetId, String)] {
+        &self.outputs
+    }
+
+    /// Flip-flop nets, in declaration order.
+    pub fn dffs(&self) -> &[NetId] {
+        &self.dffs
+    }
+
+    /// The gate kind of `net`.
+    pub fn kind(&self, net: NetId) -> GateKind {
+        self.nodes[net.index()].kind
+    }
+
+    /// Fanin nets of `net`.
+    pub fn fanins(&self, net: NetId) -> &[NetId] {
+        &self.nodes[net.index()].inputs
+    }
+
+    /// Optional debug name of `net`.
+    pub fn net_name(&self, net: NetId) -> Option<&str> {
+        self.nodes[net.index()].name.as_deref()
+    }
+
+    /// Initial state of flip-flop `net` (false for non-flip-flops).
+    pub fn dff_init(&self, net: NetId) -> bool {
+        self.nodes[net.index()].init
+    }
+
+    /// Whether the netlist is purely combinational.
+    pub fn is_combinational(&self) -> bool {
+        self.dffs.is_empty()
+    }
+
+    /// Iterate over all net ids in index order.
+    pub fn iter_nets(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nodes.len() as u32).map(NetId)
+    }
+
+    /// Replace the fanins of a combinational gate (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics on illegal arity or out-of-range inputs. Cycle freedom is
+    /// re-checked by [`Netlist::validate`].
+    pub fn set_fanins(&mut self, net: NetId, inputs: &[NetId]) {
+        let kind = self.nodes[net.index()].kind;
+        assert!(kind.arity_ok(inputs.len()) || kind == GateKind::Dff);
+        for &input in inputs {
+            assert!(input.index() < self.nodes.len());
+        }
+        self.nodes[net.index()].inputs = inputs.to_vec();
+    }
+
+    /// Replace the kind of a gate, keeping its fanins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current fanin count is illegal for the new kind.
+    pub fn set_kind(&mut self, net: NetId, kind: GateKind) {
+        let n = self.nodes[net.index()].inputs.len();
+        assert!(kind.arity_ok(n), "kind {kind} cannot take {n} inputs");
+        self.nodes[net.index()].kind = kind;
+    }
+
+    /// Redirect every use of `old` (as a fanin or primary output) to `new`.
+    pub fn replace_uses(&mut self, old: NetId, new: NetId) {
+        for node in &mut self.nodes {
+            for input in &mut node.inputs {
+                if *input == old {
+                    *input = new;
+                }
+            }
+        }
+        for (net, _) in &mut self.outputs {
+            if *net == old {
+                *net = new;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    /// Fanout lists for every net.
+    pub fn fanouts(&self) -> Vec<Vec<NetId>> {
+        let mut fo = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &input in &node.inputs {
+                fo[input.index()].push(NetId(i as u32));
+            }
+        }
+        fo
+    }
+
+    /// Fanout *count* for every net (cheaper than [`Netlist::fanouts`]).
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut fo = vec![0usize; self.nodes.len()];
+        for node in &self.nodes {
+            for &input in &node.inputs {
+                fo[input.index()] += 1;
+            }
+        }
+        fo
+    }
+
+    /// Topological order of the combinational graph.
+    ///
+    /// Flip-flop outputs are treated as sources (their fanin edges are cut),
+    /// so the order is valid for single-cycle evaluation. Sources (inputs,
+    /// constants, flip-flops) appear in the order too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if a cycle exists that
+    /// does not pass through a flip-flop.
+    pub fn topo_order(&self) -> Result<Vec<NetId>, NetlistError> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind == GateKind::Dff {
+                continue; // sequential edges are cut
+            }
+            indegree[i] = node.inputs.len();
+        }
+        let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind == GateKind::Dff {
+                continue;
+            }
+            for &input in &node.inputs {
+                fanouts[input.index()].push(i as u32);
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(NetId(v));
+            for &w in &fanouts[v as usize] {
+                indegree[w as usize] -= 1;
+                if indegree[w as usize] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        if order.len() != n {
+            let net = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
+            return Err(NetlistError::CombinationalCycle { net });
+        }
+        Ok(order)
+    }
+
+    /// Combinational logic level of every net (sources at level 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cycle errors from [`Netlist::topo_order`].
+    pub fn levels(&self) -> Result<Vec<usize>, NetlistError> {
+        let order = self.topo_order()?;
+        let mut level = vec![0usize; self.nodes.len()];
+        for net in order {
+            let node = &self.nodes[net.index()];
+            if node.kind == GateKind::Dff || node.kind.is_source() {
+                continue;
+            }
+            level[net.index()] = node
+                .inputs
+                .iter()
+                .map(|i| level[i.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        Ok(level)
+    }
+
+    /// Maximum combinational logic level.
+    pub fn depth(&self) -> usize {
+        self.levels().map(|l| l.into_iter().max().unwrap_or(0)).unwrap_or(0)
+    }
+
+    /// Structural validation: arity, dangling nets, cycles, duplicate output
+    /// names.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for node in &self.nodes {
+            if !node.kind.arity_ok(node.inputs.len()) {
+                return Err(NetlistError::ArityMismatch {
+                    kind: node.kind.mnemonic(),
+                    expected: node.kind.arity_spec(),
+                    got: node.inputs.len(),
+                });
+            }
+            for &input in &node.inputs {
+                if input.index() >= self.nodes.len() {
+                    return Err(NetlistError::DanglingNet { net: input.index() });
+                }
+            }
+        }
+        let mut seen = HashMap::new();
+        for (_, name) in &self.outputs {
+            if seen.insert(name.clone(), ()).is_some() {
+                return Err(NetlistError::DuplicateName { name: name.clone() });
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate a purely combinational netlist on one input pattern.
+    ///
+    /// Returns primary output values in output order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential or the pattern width is wrong;
+    /// use [`Netlist::try_eval_comb`] for a fallible variant.
+    pub fn eval_comb(&self, pattern: &[bool]) -> Vec<bool> {
+        self.try_eval_comb(pattern).expect("eval_comb")
+    }
+
+    /// Fallible variant of [`Netlist::eval_comb`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::NotCombinational`] for sequential netlists,
+    /// [`NetlistError::PatternWidth`] on width mismatch, plus cycle errors.
+    pub fn try_eval_comb(&self, pattern: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if !self.is_combinational() {
+            return Err(NetlistError::NotCombinational);
+        }
+        if pattern.len() != self.inputs.len() {
+            return Err(NetlistError::PatternWidth {
+                expected: self.inputs.len(),
+                got: pattern.len(),
+            });
+        }
+        let order = self.topo_order()?;
+        let mut values = vec![false; self.nodes.len()];
+        for (idx, &input) in self.inputs.iter().enumerate() {
+            values[input.index()] = pattern[idx];
+        }
+        let mut scratch = Vec::new();
+        for net in order {
+            let node = &self.nodes[net.index()];
+            if node.kind.is_source() {
+                if let GateKind::Const(v) = node.kind {
+                    values[net.index()] = v;
+                }
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(node.inputs.iter().map(|i| values[i.index()]));
+            values[net.index()] = node.kind.eval(&scratch);
+        }
+        Ok(self.outputs.iter().map(|(net, _)| values[net.index()]).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Surgery
+    // ------------------------------------------------------------------
+
+    /// Remove nodes not reachable from any primary output or flip-flop.
+    ///
+    /// Returns the mapping `old id -> new id` (`None` for removed nodes).
+    pub fn sweep_dead(&mut self) -> Vec<Option<NetId>> {
+        let n = self.nodes.len();
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for (net, _) in &self.outputs {
+            stack.push(net.index());
+        }
+        for &dff in &self.dffs {
+            stack.push(dff.index());
+        }
+        // Keep primary inputs so the interface is stable.
+        for &pi in &self.inputs {
+            stack.push(pi.index());
+        }
+        while let Some(v) = stack.pop() {
+            if live[v] {
+                continue;
+            }
+            live[v] = true;
+            for &input in &self.nodes[v].inputs {
+                stack.push(input.index());
+            }
+        }
+        let mut map: Vec<Option<NetId>> = vec![None; n];
+        let mut new_nodes = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if live[i] {
+                map[i] = Some(NetId(new_nodes.len() as u32));
+                new_nodes.push(node.clone());
+            }
+        }
+        for node in &mut new_nodes {
+            for input in &mut node.inputs {
+                *input = map[input.index()].expect("live node references dead fanin");
+            }
+        }
+        self.nodes = new_nodes;
+        for input in &mut self.inputs {
+            *input = map[input.index()].expect("primary input swept");
+        }
+        for (net, _) in &mut self.outputs {
+            *net = map[net.index()].expect("primary output swept");
+        }
+        self.dffs.retain(|d| map[d.index()].is_some());
+        for dff in &mut self.dffs {
+            *dff = map[dff.index()].expect("dff swept");
+        }
+        map
+    }
+
+    /// Extract the transitive-fanin cone of `roots` as a fresh combinational
+    /// netlist. Flip-flop outputs become primary inputs of the cone.
+    ///
+    /// Returns the cone plus the mapping from old ids to cone ids.
+    pub fn extract_cone(&self, roots: &[NetId]) -> (Netlist, HashMap<NetId, NetId>) {
+        let mut cone = Netlist::new(format!("{}_cone", self.name));
+        let mut map: HashMap<NetId, NetId> = HashMap::new();
+        // Depth-first, post-order copy.
+        let mut stack: Vec<(NetId, bool)> = roots.iter().map(|&r| (r, false)).collect();
+        while let Some((net, expanded)) = stack.pop() {
+            if map.contains_key(&net) {
+                continue;
+            }
+            let node = &self.nodes[net.index()];
+            let as_input = node.kind == GateKind::Dff || node.kind == GateKind::Input;
+            if as_input {
+                let name = node
+                    .name
+                    .clone()
+                    .unwrap_or_else(|| format!("n{}", net.0));
+                let new = cone.add_input(name);
+                map.insert(net, new);
+                continue;
+            }
+            if expanded {
+                let inputs: Vec<NetId> = node.inputs.iter().map(|i| map[i]).collect();
+                let new = if let GateKind::Const(v) = node.kind {
+                    cone.add_const(v)
+                } else {
+                    cone.add_gate(node.kind, &inputs)
+                };
+                map.insert(net, new);
+            } else {
+                stack.push((net, true));
+                for &input in node.inputs.iter().rev() {
+                    if !map.contains_key(&input) {
+                        stack.push((input, false));
+                    }
+                }
+            }
+        }
+        for (i, &root) in roots.iter().enumerate() {
+            let mapped = map[&root];
+            cone.mark_output(mapped, format!("o{i}"));
+        }
+        (cone, map)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let gates = self
+            .nodes
+            .iter()
+            .filter(|n| !n.kind.is_source() && n.kind != GateKind::Dff)
+            .count();
+        write!(
+            f,
+            "netlist {} ({} inputs, {} outputs, {} gates, {} dffs)",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            gates,
+            self.dffs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn majority3() -> Netlist {
+        let mut nl = Netlist::new("maj3");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let c = nl.add_input("c");
+        let ab = nl.add_gate(GateKind::And, &[a, b]);
+        let bc = nl.add_gate(GateKind::And, &[b, c]);
+        let ac = nl.add_gate(GateKind::And, &[a, c]);
+        let m = nl.add_gate(GateKind::Or, &[ab, bc, ac]);
+        nl.mark_output(m, "maj");
+        nl
+    }
+
+    #[test]
+    fn build_and_eval_majority() {
+        let nl = majority3();
+        assert!(nl.validate().is_ok());
+        for pattern in 0u32..8 {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            let expected = bits.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(nl.eval_comb(&bits), vec![expected], "{bits:?}");
+        }
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let nl = majority3();
+        let order = nl.topo_order().unwrap();
+        assert_eq!(order.len(), nl.len());
+        let mut position = vec![0usize; nl.len()];
+        for (pos, net) in order.iter().enumerate() {
+            position[net.index()] = pos;
+        }
+        for net in nl.iter_nets() {
+            if nl.kind(net) == GateKind::Dff {
+                continue;
+            }
+            for &input in nl.fanins(net) {
+                assert!(position[input.index()] < position[net.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let nl = majority3();
+        let levels = nl.levels().unwrap();
+        let (out, _) = nl.outputs()[0];
+        assert_eq!(levels[out.index()], 2);
+        assert_eq!(nl.depth(), 2);
+    }
+
+    #[test]
+    fn dff_feedback_loop_is_legal() {
+        // Toggle flip-flop: q' = !q
+        let mut nl = Netlist::new("toggle");
+        let q = nl.add_dff_placeholder(false);
+        let nq = nl.add_gate(GateKind::Not, &[q]);
+        nl.set_dff_data(q, nq);
+        nl.mark_output(q, "q");
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.num_dffs(), 1);
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = Netlist::new("cycle");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::And, &[a, a]);
+        let g2 = nl.add_gate(GateKind::Or, &[g1, a]);
+        // Force a combinational cycle g1 <-> g2.
+        nl.set_fanins(g1, &[a, g2]);
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_rejects_bad_width() {
+        let nl = majority3();
+        assert!(matches!(
+            nl.try_eval_comb(&[true, false]),
+            Err(NetlistError::PatternWidth { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn eval_rejects_sequential() {
+        let mut nl = Netlist::new("seq");
+        let a = nl.add_input("a");
+        let q = nl.add_dff(a, false);
+        nl.mark_output(q, "q");
+        assert!(matches!(
+            nl.try_eval_comb(&[true]),
+            Err(NetlistError::NotCombinational)
+        ));
+    }
+
+    #[test]
+    fn duplicate_output_name_rejected() {
+        let mut nl = Netlist::new("dup");
+        let a = nl.add_input("a");
+        nl.mark_output(a, "y");
+        nl.mark_output(a, "y");
+        assert!(matches!(
+            nl.validate(),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_dead_removes_unreachable() {
+        let mut nl = Netlist::new("dead");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let live = nl.add_gate(GateKind::And, &[a, b]);
+        let _dead = nl.add_gate(GateKind::Xor, &[a, b]);
+        nl.mark_output(live, "y");
+        let before = nl.len();
+        let map = nl.sweep_dead();
+        assert_eq!(nl.len(), before - 1);
+        assert!(map.iter().filter(|m| m.is_none()).count() == 1);
+        assert!(nl.validate().is_ok());
+        assert_eq!(nl.eval_comb(&[true, true]), vec![true]);
+        assert_eq!(nl.eval_comb(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn replace_uses_rewires_everything() {
+        let mut nl = Netlist::new("rep");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]);
+        nl.mark_output(g, "y");
+        // Replace uses of b with a: gate becomes AND(a, a) = a.
+        nl.replace_uses(b, a);
+        assert_eq!(nl.fanins(g), &[a, a]);
+        assert_eq!(nl.eval_comb(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn extract_cone_copies_function() {
+        let nl = majority3();
+        let (out, _) = nl.outputs()[0];
+        let (cone, map) = nl.extract_cone(&[out]);
+        assert!(cone.is_combinational());
+        assert_eq!(cone.num_inputs(), 3);
+        assert!(map.contains_key(&out));
+        for pattern in 0u32..8 {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 == 1).collect();
+            assert_eq!(cone.eval_comb(&bits), nl.eval_comb(&bits));
+        }
+    }
+
+    #[test]
+    fn cone_treats_dff_as_input() {
+        let mut nl = Netlist::new("seqcone");
+        let a = nl.add_input("a");
+        let q = nl.add_dff_placeholder(false);
+        let f = nl.add_gate(GateKind::Xor, &[a, q]);
+        nl.set_dff_data(q, f);
+        nl.mark_output(f, "y");
+        let (cone, _) = nl.extract_cone(&[f]);
+        assert!(cone.is_combinational());
+        assert_eq!(cone.num_inputs(), 2); // a and the register output
+    }
+
+    #[test]
+    fn fanout_counts_match_fanouts() {
+        let nl = majority3();
+        let counts = nl.fanout_counts();
+        let lists = nl.fanouts();
+        for net in nl.iter_nets() {
+            assert_eq!(counts[net.index()], lists[net.index()].len());
+        }
+        // b feeds two AND gates.
+        let b = nl.inputs()[1];
+        assert_eq!(counts[b.index()], 2);
+    }
+
+    #[test]
+    fn dff_enable_attach() {
+        let mut nl = Netlist::new("en");
+        let d = nl.add_input("d");
+        let en = nl.add_input("en");
+        let q = nl.add_dff(d, false);
+        nl.set_dff_enable(q, en);
+        assert_eq!(nl.fanins(q), &[d, en]);
+        // Replacing the enable works too.
+        let en2 = nl.add_input("en2");
+        nl.set_dff_enable(q, en2);
+        assert_eq!(nl.fanins(q), &[d, en2]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Netlist summary statistics: gate counts, transistor counts, area proxy,
+//! capacitance totals and depth.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::graph::Netlist;
+
+/// Aggregate statistics of a netlist.
+///
+/// ```
+/// use netlist::{gen::ripple_adder, NetlistStats};
+/// let (nl, _) = ripple_adder(8);
+/// let stats = NetlistStats::of(&nl);
+/// assert_eq!(stats.inputs, 16);
+/// assert!(stats.transistors > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Combinational gate count (excluding inputs, constants and flip-flops).
+    pub gates: usize,
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Total transistor count (gates + flip-flops).
+    pub transistors: usize,
+    /// Total node capacitance in fF (intrinsic + fanout input pins).
+    pub total_cap: f64,
+    /// Maximum combinational depth in levels.
+    pub depth: usize,
+    /// Gate count per kind mnemonic.
+    pub by_kind: BTreeMap<&'static str, usize>,
+}
+
+impl NetlistStats {
+    /// Compute statistics for `nl`.
+    pub fn of(nl: &Netlist) -> NetlistStats {
+        let mut gates = 0;
+        let mut transistors = 0;
+        let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let fanout = nl.fanout_counts();
+        let mut total_cap = 0.0;
+        for net in nl.iter_nets() {
+            let kind = nl.kind(net);
+            let fanin = nl.fanins(net).len();
+            transistors += kind.transistor_count(fanin);
+            if !kind.is_source() && kind != GateKind::Dff {
+                gates += 1;
+            }
+            if !kind.is_source() {
+                *by_kind.entry(kind.mnemonic()).or_insert(0) += 1;
+            }
+            // Output node capacitance: the gate's own drain cap plus one pin
+            // cap per fanout (the sink kind is approximated as uniform).
+            total_cap += kind.intrinsic_cap(fanin) + 2.0 * fanout[net.index()] as f64;
+        }
+        NetlistStats {
+            inputs: nl.num_inputs(),
+            outputs: nl.num_outputs(),
+            gates,
+            dffs: nl.num_dffs(),
+            transistors,
+            total_cap,
+            depth: nl.depth(),
+            by_kind,
+        }
+    }
+
+    /// A rough area proxy: transistor count.
+    pub fn area(&self) -> f64 {
+        self.transistors as f64
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in / {} out / {} gates / {} dffs / {} transistors / depth {} / {:.1} fF",
+            self.inputs,
+            self.outputs,
+            self.gates,
+            self.dffs,
+            self.transistors,
+            self.depth,
+            self.total_cap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{array_multiplier, counter, ripple_adder};
+
+    #[test]
+    fn adder_stats() {
+        let (nl, _) = ripple_adder(4);
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.inputs, 8);
+        assert_eq!(stats.outputs, 5);
+        assert_eq!(stats.dffs, 0);
+        // 4 full adders, 5 gates each.
+        assert_eq!(stats.gates, 20);
+        assert!(stats.depth >= 4, "carry chain depth, got {}", stats.depth);
+        assert!(stats.total_cap > 0.0);
+    }
+
+    #[test]
+    fn multiplier_bigger_than_adder() {
+        let (add, _) = ripple_adder(8);
+        let (mul, _) = array_multiplier(8);
+        let sa = NetlistStats::of(&add);
+        let sm = NetlistStats::of(&mul);
+        assert!(sm.gates > 4 * sa.gates);
+        assert!(sm.transistors > sa.transistors);
+        assert!(sm.area() > sa.area());
+    }
+
+    #[test]
+    fn sequential_stats_count_dffs() {
+        let nl = counter(6);
+        let stats = NetlistStats::of(&nl);
+        assert_eq!(stats.dffs, 6);
+        assert_eq!(stats.by_kind["dff"], 6);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let (nl, _) = ripple_adder(2);
+        let s = format!("{}", NetlistStats::of(&nl));
+        assert!(s.contains("transistors"));
+    }
+}

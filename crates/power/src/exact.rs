@@ -1,0 +1,229 @@
+//! Exact signal probabilities through global BDDs.
+//!
+//! Builds one BDD per net of a combinational netlist (inputs become BDD
+//! variables in primary-input order) and evaluates exact one-probabilities
+//! under independent input statistics. Under the standard
+//! temporal-independence assumption, the per-cycle switching activity of a
+//! net with one-probability `p` is `2·p·(1−p)`.
+
+use bdd::{Bdd, Ref};
+use netlist::{GateKind, NetId, Netlist};
+use sim::ActivityProfile;
+
+/// BDDs for every net of a combinational netlist.
+#[derive(Debug)]
+pub struct CircuitBdds {
+    /// The manager owning all nodes.
+    pub mgr: Bdd,
+    /// One function per net, indexed by raw net id.
+    pub funcs: Vec<Ref>,
+    /// Input variable index per primary input (position in `nl.inputs()`).
+    pub input_vars: Vec<u32>,
+}
+
+/// Build global BDDs for all nets of a combinational netlist.
+///
+/// ```
+/// use netlist::gen::parity_tree;
+/// use power::exact::circuit_bdds;
+///
+/// let nl = parity_tree(6);
+/// let bdds = circuit_bdds(&nl);
+/// let (out, _) = nl.outputs()[0].clone();
+/// // Parity of uniform bits is 1 exactly half the time.
+/// let p = bdds.probabilities(&[0.5; 6])[out.index()];
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+///
+/// Flip-flop outputs are treated as free variables appended after the
+/// primary inputs, so the function also works on the combinational core of
+/// a sequential circuit.
+///
+/// # Panics
+///
+/// Panics if the combinational part is cyclic.
+pub fn circuit_bdds(nl: &Netlist) -> CircuitBdds {
+    let mut mgr = Bdd::new();
+    let mut funcs = vec![Ref::FALSE; nl.len()];
+    let mut next_var = 0u32;
+    let mut input_vars = Vec::with_capacity(nl.num_inputs());
+    for &pi in nl.inputs() {
+        funcs[pi.index()] = mgr.var(next_var);
+        input_vars.push(next_var);
+        next_var += 1;
+    }
+    for &dff in nl.dffs() {
+        funcs[dff.index()] = mgr.var(next_var);
+        next_var += 1;
+    }
+    let order = nl.topo_order().expect("acyclic");
+    for net in order {
+        let kind = nl.kind(net);
+        if kind == GateKind::Input || kind == GateKind::Dff {
+            continue;
+        }
+        let ins: Vec<Ref> = nl.fanins(net).iter().map(|x| funcs[x.index()]).collect();
+        funcs[net.index()] = match kind {
+            GateKind::Const(v) => mgr.constant(v),
+            GateKind::Buf => ins[0],
+            GateKind::Not => mgr.not(ins[0]),
+            GateKind::And => mgr.and_all(ins),
+            GateKind::Or => mgr.or_all(ins),
+            GateKind::Nand => {
+                let a = mgr.and_all(ins);
+                mgr.not(a)
+            }
+            GateKind::Nor => {
+                let o = mgr.or_all(ins);
+                mgr.not(o)
+            }
+            GateKind::Xor => ins.iter().fold(Ref::FALSE, |acc, &f| mgr.xor(acc, f)),
+            GateKind::Xnor => {
+                let x = ins.iter().fold(Ref::FALSE, |acc, &f| mgr.xor(acc, f));
+                mgr.not(x)
+            }
+            GateKind::Mux => mgr.ite(ins[0], ins[2], ins[1]),
+            GateKind::Input | GateKind::Dff => unreachable!(),
+        };
+    }
+    CircuitBdds {
+        mgr,
+        funcs,
+        input_vars,
+    }
+}
+
+impl CircuitBdds {
+    /// The BDD of a specific net.
+    pub fn func(&self, net: NetId) -> Ref {
+        self.funcs[net.index()]
+    }
+
+    /// Exact one-probability of every net, given per-primary-input
+    /// one-probabilities (flip-flop variables default to 0.5).
+    pub fn probabilities(&self, input_probs: &[f64]) -> Vec<f64> {
+        let nvars = self.mgr.num_vars();
+        let mut var_probs = vec![0.5; nvars];
+        for (i, &v) in self.input_vars.iter().enumerate() {
+            if i < input_probs.len() {
+                var_probs[v as usize] = input_probs[i];
+            }
+        }
+        self.funcs
+            .iter()
+            .map(|&f| self.mgr.probability(f, &var_probs))
+            .collect()
+    }
+
+    /// Exact zero-delay activity profile under temporal independence:
+    /// toggles per cycle on each net is `2·p·(1−p)`.
+    pub fn activity(&self, input_probs: &[f64]) -> ActivityProfile {
+        let probability = self.probabilities(input_probs);
+        let toggles = probability.iter().map(|&p| 2.0 * p * (1.0 - p)).collect();
+        ActivityProfile {
+            toggles,
+            probability,
+            cycles: 0,
+        }
+    }
+
+    /// Check two nets for functional equivalence (canonical compare).
+    pub fn equivalent(&self, a: NetId, b: NetId) -> bool {
+        self.funcs[a.index()] == self.funcs[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::gen::{comparator_gt, parity_tree, ripple_adder};
+    use sim::comb::CombSim;
+    use sim::stimulus::Stimulus;
+
+    #[test]
+    fn parity_probability_is_half() {
+        let nl = parity_tree(7);
+        let bdds = circuit_bdds(&nl);
+        let probs = bdds.probabilities(&[0.5; 7]);
+        let (out, _) = nl.outputs()[0];
+        assert!((probs[out.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparator_gt_probability() {
+        // P(C > D) for uniform independent n-bit C, D is (4^n - 2^n) / (2 · 4^n).
+        let n = 4;
+        let (nl, nets) = comparator_gt(n);
+        let bdds = circuit_bdds(&nl);
+        let probs = bdds.probabilities(&[0.5; 8]);
+        let expected = ((1u64 << (2 * n)) - (1 << n)) as f64 / (2.0 * (1u64 << (2 * n)) as f64);
+        assert!(
+            (probs[nets.gt.index()] - expected).abs() < 1e-12,
+            "got {}, want {expected}",
+            probs[nets.gt.index()]
+        );
+    }
+
+    #[test]
+    fn exact_matches_simulation() {
+        let (nl, _) = ripple_adder(5);
+        let bdds = circuit_bdds(&nl);
+        let exact = bdds.probabilities(&[0.5; 10]);
+        let sim_profile =
+            CombSim::new(&nl).activity(&Stimulus::uniform(10).patterns(20_000, 7));
+        for net in nl.iter_nets() {
+            let e = exact[net.index()];
+            let m = sim_profile.probability[net.index()];
+            assert!((e - m).abs() < 0.03, "net {net}: exact {e} vs sim {m}");
+        }
+    }
+
+    #[test]
+    fn biased_inputs_shift_probabilities() {
+        let (nl, nets) = comparator_gt(3);
+        let bdds = circuit_bdds(&nl);
+        // C bits likely 1, D bits likely 0: C > D almost surely.
+        let mut probs = vec![0.95; 3];
+        probs.extend([0.05; 3]);
+        let p = bdds.probabilities(&probs)[nets.gt.index()];
+        assert!(p > 0.85, "got {p}");
+    }
+
+    #[test]
+    fn activity_peaks_at_half() {
+        let nl = parity_tree(4);
+        let bdds = circuit_bdds(&nl);
+        let (out, _) = nl.outputs()[0];
+        let a_half = bdds.activity(&[0.5; 4]).toggles[out.index()];
+        let a_biased = bdds.activity(&[0.9; 4]).toggles[out.index()];
+        assert!(a_half >= a_biased);
+        assert!((a_half - 0.5).abs() < 1e-12); // 2·0.5·0.5
+    }
+
+    #[test]
+    fn equivalence_between_nets() {
+        // Two structurally different builds of the same XOR.
+        let mut nl = netlist::Netlist::new("eq");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let direct = nl.add_gate(GateKind::Xor, &[a, b]);
+        let na = nl.add_gate(GateKind::Not, &[a]);
+        let nb = nl.add_gate(GateKind::Not, &[b]);
+        let t1 = nl.add_gate(GateKind::And, &[a, nb]);
+        let t2 = nl.add_gate(GateKind::And, &[na, b]);
+        let rebuilt = nl.add_gate(GateKind::Or, &[t1, t2]);
+        nl.mark_output(direct, "x1");
+        nl.mark_output(rebuilt, "x2");
+        let bdds = circuit_bdds(&nl);
+        assert!(bdds.equivalent(direct, rebuilt));
+        assert!(!bdds.equivalent(direct, t1));
+    }
+
+    #[test]
+    fn sequential_core_gets_state_variables() {
+        let nl = netlist::gen::counter(3);
+        let bdds = circuit_bdds(&nl);
+        // 1 input (en) + 3 state variables.
+        assert_eq!(bdds.mgr.num_vars(), 4);
+    }
+}

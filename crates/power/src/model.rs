@@ -1,0 +1,220 @@
+//! The three-term CMOS power model of the survey's Eqn. (1).
+
+use netlist::Netlist;
+use sim::ActivityProfile;
+
+/// Technology and operating-point parameters.
+///
+/// Defaults model a mid-90s 0.8 µm process at 5 V / 20 MHz, where leakage is
+/// negligible and short-circuit current is a small fraction of switching
+/// current — the regime in which the survey states switching activity power
+/// accounts for over 90% of the total (\[8\]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerParams {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Clock frequency in Hz.
+    pub freq: f64,
+    /// Short-circuit charge per output transition, in femtocoulombs.
+    pub q_sc: f64,
+    /// Leakage current per transistor, in picoamps.
+    pub leak_per_transistor: f64,
+}
+
+impl Default for PowerParams {
+    fn default() -> PowerParams {
+        PowerParams {
+            vdd: 5.0,
+            freq: 20.0e6,
+            q_sc: 1.2,
+            leak_per_transistor: 50.0,
+        }
+    }
+}
+
+impl PowerParams {
+    /// Same process scaled to a different supply voltage.
+    ///
+    /// Short-circuit charge scales roughly with `(V - 2·V_t)` (zero when the
+    /// supply cannot turn both networks on at once); leakage is unchanged.
+    pub fn at_voltage(&self, vdd: f64) -> PowerParams {
+        let vt = 0.7;
+        let span = (vdd - 2.0 * vt).max(0.0);
+        let base_span = (self.vdd - 2.0 * vt).max(1e-9);
+        PowerParams {
+            vdd,
+            q_sc: self.q_sc * span / base_span,
+            ..self.clone()
+        }
+    }
+
+    /// CMOS gate delay at this supply, relative to the delay at `ref_vdd`:
+    /// `delay ∝ V / (V - V_t)²` (the model §IV.B voltage scaling relies on).
+    pub fn relative_delay(&self, ref_vdd: f64) -> f64 {
+        let vt = 0.7;
+        let d = |v: f64| v / (v - vt).powi(2);
+        d(self.vdd) / d(ref_vdd)
+    }
+}
+
+/// Power decomposition in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Switching-activity power (`½ C V² f N`).
+    pub switching: f64,
+    /// Short-circuit power (`Q_SC V f N`).
+    pub short_circuit: f64,
+    /// Leakage power (`I_leak V`).
+    pub leakage: f64,
+}
+
+impl PowerReport {
+    /// Compute the report from a measured (or estimated) activity profile.
+    ///
+    /// `activity.toggles[i]` is interpreted as transitions per clock cycle
+    /// on net `i`; load capacitance comes from the netlist's analytic model.
+    pub fn from_activity(
+        nl: &Netlist,
+        activity: &ActivityProfile,
+        params: &PowerParams,
+    ) -> PowerReport {
+        let switched_cap_ff = activity.switched_capacitance(nl); // fF / cycle
+        let transitions: f64 = activity.toggles.iter().sum(); // per cycle
+        Self::from_raw(nl, switched_cap_ff, transitions, params)
+    }
+
+    /// Compute the report from raw per-cycle totals: switched capacitance in
+    /// fF/cycle and transition count per cycle.
+    pub fn from_raw(
+        nl: &Netlist,
+        switched_cap_ff: f64,
+        transitions_per_cycle: f64,
+        params: &PowerParams,
+    ) -> PowerReport {
+        let switching = 0.5 * switched_cap_ff * 1e-15 * params.vdd * params.vdd * params.freq;
+        let short_circuit = params.q_sc * 1e-15 * params.vdd * params.freq * transitions_per_cycle;
+        let transistors: usize = nl
+            .iter_nets()
+            .map(|net| nl.kind(net).transistor_count(nl.fanins(net).len()))
+            .sum();
+        let leakage = params.leak_per_transistor * 1e-12 * transistors as f64 * params.vdd;
+        PowerReport {
+            switching,
+            short_circuit,
+            leakage,
+        }
+    }
+
+    /// Total power in watts.
+    pub fn total(&self) -> f64 {
+        self.switching + self.short_circuit + self.leakage
+    }
+
+    /// Fraction of total power due to switching activity (the survey's
+    /// "> 90%" number for well-designed gates).
+    pub fn switching_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.switching / self.total()
+        }
+    }
+
+    /// Total power in milliwatts (convenience for reports).
+    pub fn total_mw(&self) -> f64 {
+        self.total() * 1e3
+    }
+}
+
+impl std::fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P = {:.3} mW (switching {:.3} mW [{:.1}%], short-circuit {:.3} mW, leakage {:.4} mW)",
+            self.total_mw(),
+            self.switching * 1e3,
+            100.0 * self.switching_fraction(),
+            self.short_circuit * 1e3,
+            self.leakage * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::gen::{array_multiplier, ripple_adder};
+    use sim::comb::CombSim;
+    use sim::stimulus::Stimulus;
+
+    fn measured_report(n: usize) -> (netlist::Netlist, PowerReport) {
+        let (nl, _) = ripple_adder(n);
+        let activity = CombSim::new(&nl).activity(&Stimulus::uniform(2 * n).patterns(512, 3));
+        let report = PowerReport::from_activity(&nl, &activity, &PowerParams::default());
+        (nl, report)
+    }
+
+    #[test]
+    fn switching_dominates() {
+        let (_, report) = measured_report(8);
+        assert!(report.switching_fraction() > 0.9, "{report}");
+        assert!(report.leakage < report.short_circuit);
+        assert!(report.total() > 0.0);
+    }
+
+    #[test]
+    fn power_scales_quadratically_with_voltage() {
+        let (nl, _) = ripple_adder(8);
+        let activity = CombSim::new(&nl).activity(&Stimulus::uniform(16).patterns(512, 3));
+        let base = PowerParams::default();
+        let p5 = PowerReport::from_activity(&nl, &activity, &base);
+        let p3 = PowerReport::from_activity(&nl, &activity, &base.at_voltage(3.3));
+        let ratio = p5.switching / p3.switching;
+        let expected = (5.0f64 / 3.3).powi(2);
+        assert!((ratio - expected).abs() < 1e-9, "ratio {ratio}");
+        assert!(p3.total() < p5.total());
+    }
+
+    #[test]
+    fn delay_rises_as_voltage_falls() {
+        let base = PowerParams::default();
+        let d33 = base.at_voltage(3.3).relative_delay(5.0);
+        let d25 = base.at_voltage(2.5).relative_delay(5.0);
+        assert!(d33 > 1.0);
+        assert!(d25 > d33);
+    }
+
+    #[test]
+    fn bigger_circuit_burns_more() {
+        let (add, _) = ripple_adder(8);
+        let (mul, _) = array_multiplier(8);
+        let params = PowerParams::default();
+        let pa = {
+            let a = CombSim::new(&add).activity(&Stimulus::uniform(16).patterns(256, 5));
+            PowerReport::from_activity(&add, &a, &params)
+        };
+        let pm = {
+            let a = CombSim::new(&mul).activity(&Stimulus::uniform(16).patterns(256, 5));
+            PowerReport::from_activity(&mul, &a, &params)
+        };
+        assert!(pm.total() > 3.0 * pa.total());
+    }
+
+    #[test]
+    fn zero_activity_leaves_only_leakage() {
+        let (nl, _) = ripple_adder(4);
+        let profile = sim::ActivityProfile::zeros(nl.len());
+        let report = PowerReport::from_activity(&nl, &profile, &PowerParams::default());
+        assert_eq!(report.switching, 0.0);
+        assert_eq!(report.short_circuit, 0.0);
+        assert!(report.leakage > 0.0);
+        assert_eq!(report.switching_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let (_, report) = measured_report(4);
+        let s = format!("{report}");
+        assert!(s.contains("switching"));
+    }
+}

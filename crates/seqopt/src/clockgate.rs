@@ -1,0 +1,271 @@
+//! Gated clocks (survey §III.C.3, \[9\]) and FSM self-loop gating (\[4\]).
+//!
+//! Two transformations:
+//!
+//! * [`gate_idle_registers`] — attach a load-enable `en = (D ≠ Q)` to every
+//!   ungated flip-flop. Functionally identity (a register that would load
+//!   its own value may as well hold), but the clock pin of a gated register
+//!   only switches on useful cycles, which is where the power goes.
+//! * [`gate_self_loops`] — the \[4\] transformation: from the STG, derive the
+//!   condition "next state = current state", synthesize it over the state
+//!   and input bits, and disable the state register (and the next-state
+//!   logic's effect) on those cycles.
+//!
+//! [`ClockPowerModel`] converts measured load fractions into clock-tree
+//! power numbers.
+
+use netlist::{GateKind, NetId, Netlist};
+use sim::seq::SeqSim;
+use sim::stimulus::PatternSet;
+
+use crate::stg::Stg;
+
+/// Clock-tree power model: each flip-flop's clock pin switches twice per
+/// cycle unless gated.
+#[derive(Debug, Clone)]
+pub struct ClockPowerModel {
+    /// Capacitance of one flip-flop clock pin (fF).
+    pub clock_pin_cap: f64,
+    /// Capacitance overhead of one gating cell (latch + AND) toggled per
+    /// gated-register load (fF).
+    pub gating_overhead_cap: f64,
+}
+
+impl Default for ClockPowerModel {
+    fn default() -> ClockPowerModel {
+        ClockPowerModel {
+            clock_pin_cap: 6.0,
+            gating_overhead_cap: 3.0,
+        }
+    }
+}
+
+impl ClockPowerModel {
+    /// Clock switched capacitance per cycle for `n_ffs` ungated registers.
+    pub fn ungated_cap(&self, n_ffs: usize) -> f64 {
+        2.0 * self.clock_pin_cap * n_ffs as f64
+    }
+
+    /// Clock switched capacitance per cycle given per-register load
+    /// fractions (gated registers only see clock edges when loading).
+    pub fn gated_cap(&self, load_fractions: &[f64]) -> f64 {
+        load_fractions
+            .iter()
+            .map(|&f| 2.0 * self.clock_pin_cap * f + self.gating_overhead_cap)
+            .sum()
+    }
+}
+
+/// Report of a clock-gating transformation.
+#[derive(Debug, Clone)]
+pub struct GatingReport {
+    /// The transformed netlist.
+    pub netlist: Netlist,
+    /// Number of registers that received an enable.
+    pub gated: usize,
+    /// Extra gates added for the enable logic.
+    pub overhead_gates: usize,
+}
+
+/// Attach `en = (D XOR Q)` load-enables to every ungated flip-flop.
+///
+/// The transformed machine is cycle-accurate equivalent to the original.
+pub fn gate_idle_registers(nl: &Netlist) -> GatingReport {
+    let mut out = nl.clone();
+    let mut gated = 0;
+    let mut overhead = 0;
+    for &dff in nl.dffs() {
+        if nl.fanins(dff).len() != 1 {
+            continue; // already has an enable
+        }
+        let d = out.fanins(dff)[0];
+        let en = out.add_gate(GateKind::Xor, &[d, dff]);
+        out.set_dff_enable(dff, en);
+        gated += 1;
+        overhead += 1;
+    }
+    GatingReport {
+        netlist: out,
+        gated,
+        overhead_gates: overhead,
+    }
+}
+
+/// Gate the state registers of a synthesized FSM on its self-loop
+/// condition (\[4\]).
+///
+/// `codes`/`bits` must match the encoding used by [`Stg::synthesize`]; the
+/// machine's primary inputs are assumed to be the STG input bits in order,
+/// and its flip-flops the state bits in order.
+pub fn gate_self_loops(
+    stg: &Stg,
+    nl: &Netlist,
+    codes: &[u64],
+    bits: usize,
+) -> GatingReport {
+    let mut out = nl.clone();
+    let before = out.len();
+    // Self-loop condition: OR over (state, symbol) pairs with δ(s,i) = s of
+    // the corresponding minterm over state and input bits.
+    let inputs: Vec<NetId> = out.inputs().to_vec();
+    let state: Vec<NetId> = out.dffs().to_vec();
+    assert_eq!(inputs.len(), stg.input_bits, "input bit mismatch");
+    assert_eq!(state.len(), bits, "state bit mismatch");
+    let input_inv: Vec<NetId> = inputs
+        .iter()
+        .map(|&x| out.add_gate(GateKind::Not, &[x]))
+        .collect();
+    let state_inv: Vec<NetId> = state
+        .iter()
+        .map(|&q| out.add_gate(GateKind::Not, &[q]))
+        .collect();
+    let mut terms = Vec::new();
+    for (s, row) in stg.trans.iter().enumerate() {
+        for (i, &(t, _)) in row.iter().enumerate() {
+            if t != s {
+                continue;
+            }
+            let mut literals = Vec::new();
+            for b in 0..bits {
+                literals.push(if codes[s] >> b & 1 == 1 {
+                    state[b]
+                } else {
+                    state_inv[b]
+                });
+            }
+            for (bit, (&x, &nx)) in inputs.iter().zip(input_inv.iter()).enumerate() {
+                literals.push(if i >> bit & 1 == 1 { x } else { nx });
+            }
+            terms.push(if literals.len() == 1 {
+                literals[0]
+            } else {
+                out.add_gate(GateKind::And, &literals)
+            });
+        }
+    }
+    let mut gated = 0;
+    if !terms.is_empty() {
+        let self_loop = if terms.len() == 1 {
+            terms[0]
+        } else {
+            out.add_gate(GateKind::Or, &terms)
+        };
+        let enable = out.add_gate(GateKind::Not, &[self_loop]);
+        for &dff in &state {
+            if out.fanins(dff).len() == 1 {
+                out.set_dff_enable(dff, enable);
+                gated += 1;
+            }
+        }
+    }
+    let overhead = out.len() - before;
+    GatingReport {
+        netlist: out,
+        gated,
+        overhead_gates: overhead,
+    }
+}
+
+/// Check cycle-accurate equivalence of two sequential netlists on a
+/// pattern stream. Returns the first mismatching cycle, if any.
+pub fn sequential_equivalent(a: &Netlist, b: &Netlist, patterns: &PatternSet) -> Option<usize> {
+    let sa = SeqSim::new(a);
+    let sb = SeqSim::new(b);
+    let ta = sa.run(patterns);
+    let tb = sb.run(patterns);
+    ta.iter().zip(tb.iter()).position(|(x, y)| x != y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{encode_low_power, min_bits};
+    use sim::stimulus::Stimulus;
+
+    #[test]
+    fn idle_gating_preserves_behavior() {
+        let nl = netlist::gen::counter(4);
+        let report = gate_idle_registers(&nl);
+        assert_eq!(report.gated, 4);
+        let patterns = Stimulus::uniform(1).patterns(200, 3);
+        assert_eq!(sequential_equivalent(&nl, &report.netlist, &patterns), None);
+    }
+
+    #[test]
+    fn idle_gating_lowers_load_fraction() {
+        // High counter bits rarely change: their load fraction collapses.
+        let nl = netlist::gen::counter(6);
+        let report = gate_idle_registers(&nl);
+        let sim = SeqSim::new(&report.netlist);
+        let patterns: PatternSet = (0..500).map(|_| vec![true]).collect();
+        let activity = sim.activity(&patterns);
+        // Bit 5 toggles every 32 cycles: load fraction ≈ 1/32.
+        assert!(
+            activity.ff_load_fraction[5] < 0.1,
+            "bit 5 load {}",
+            activity.ff_load_fraction[5]
+        );
+        // Clock power model shows the saving.
+        let model = ClockPowerModel::default();
+        let before = model.ungated_cap(6);
+        let after = model.gated_cap(&activity.ff_load_fraction);
+        assert!(after < before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn self_loop_gating_preserves_behavior() {
+        let stg = Stg::random(6, 2, 2, 9);
+        let bits = min_bits(6);
+        let codes = encode_low_power(&stg, &[0.25; 4]);
+        let nl = stg.synthesize(&codes, bits, "fsm");
+        let report = gate_self_loops(&stg, &nl, &codes, bits);
+        assert!(report.gated > 0);
+        let patterns = Stimulus::uniform(2).patterns(400, 7);
+        assert_eq!(
+            sequential_equivalent(&nl, &report.netlist, &patterns),
+            None,
+            "self-loop gating must not change behavior"
+        );
+    }
+
+    #[test]
+    fn self_loop_gating_freezes_on_loops() {
+        // A machine with very sticky states: the self-loop probability is
+        // high, so the state registers load rarely.
+        let stg = Stg::random(5, 2, 1, 21);
+        let p_self = stg.self_loop_probability(&[0.25; 4], 300);
+        let bits = min_bits(5);
+        let codes = encode_low_power(&stg, &[0.25; 4]);
+        let nl = stg.synthesize(&codes, bits, "sticky");
+        let report = gate_self_loops(&stg, &nl, &codes, bits);
+        let sim = SeqSim::new(&report.netlist);
+        let patterns = Stimulus::uniform(2).patterns(2000, 11);
+        let activity = sim.activity(&patterns);
+        let avg_load: f64 =
+            activity.ff_load_fraction.iter().sum::<f64>() / activity.ff_load_fraction.len() as f64;
+        assert!(
+            (avg_load - (1.0 - p_self)).abs() < 0.1,
+            "load {avg_load} vs predicted {}",
+            1.0 - p_self
+        );
+    }
+
+    #[test]
+    fn counter_has_no_self_loops_to_gate() {
+        let stg = Stg::counter(4);
+        let codes: Vec<u64> = (0..4).collect();
+        let nl = stg.synthesize(&codes, 2, "ctr");
+        let report = gate_self_loops(&stg, &nl, &codes, 2);
+        assert_eq!(report.gated, 0);
+        let patterns = Stimulus::uniform(1).patterns(100, 3);
+        assert_eq!(sequential_equivalent(&nl, &report.netlist, &patterns), None);
+    }
+
+    #[test]
+    fn clock_power_model_overhead_can_lose() {
+        // Gating a register that loads every cycle costs overhead.
+        let model = ClockPowerModel::default();
+        let always_loading = vec![1.0; 4];
+        assert!(model.gated_cap(&always_loading) > model.ungated_cap(4));
+    }
+}

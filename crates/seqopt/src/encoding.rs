@@ -1,0 +1,289 @@
+//! Low-power state assignment (survey §III.C.1, \[35\]\[47\]\[18\]).
+//!
+//! The cost function is weighted flip-flop switching: edges with high
+//! long-run traversal probability should connect states with close
+//! (ideally uni-distant) codes. [`encode_low_power`] seeds a greedy
+//! placement and polishes it with pairwise swap hill-climbing;
+//! [`encode_sequential`] and [`encode_random`] are the area-style and
+//! strawman baselines; [`encode_one_hot`] trades code length for exactly 2
+//! bit flips per state change.
+//!
+//! [`reencode`] is the \[18\]-style flow: take an existing machine (STG +
+//! current codes), search for a better assignment, and resynthesize.
+
+use netlist::{Netlist, Rng64};
+
+use crate::stg::{weighted_switching, Stg};
+
+/// Number of code bits needed for `n` states, minimum-width binary.
+pub fn min_bits(n: usize) -> usize {
+    (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// Baseline: states numbered in declaration order.
+pub fn encode_sequential(n: usize) -> Vec<u64> {
+    (0..n as u64).collect()
+}
+
+/// Strawman baseline: a random permutation of the minimal codes.
+pub fn encode_random(n: usize, seed: u64) -> Vec<u64> {
+    let bits = min_bits(n.max(2));
+    let mut pool: Vec<u64> = (0..1u64 << bits).collect();
+    let mut rng = Rng64::new(seed);
+    rng.shuffle(&mut pool);
+    pool.truncate(n);
+    pool
+}
+
+/// One-hot encoding (`n` bits, exactly two flips per state change).
+pub fn encode_one_hot(n: usize) -> Vec<u64> {
+    (0..n).map(|s| 1u64 << s).collect()
+}
+
+/// Low-power encoding: greedy seeding by edge weight, then pairwise-swap
+/// hill climbing on the weighted-switching cost.
+///
+/// ```
+/// use seqopt::encoding::{encode_low_power, encode_sequential};
+/// use seqopt::stg::{weighted_switching, Stg};
+///
+/// let counter = Stg::counter(8);
+/// let weights = counter.edge_weights(&[0.5, 0.5], 300);
+/// let lp = weighted_switching(&weights, &encode_low_power(&counter, &[0.5, 0.5]));
+/// let binary = weighted_switching(&weights, &encode_sequential(8));
+/// // The counter's optimal encoding is a Gray code: 1 flip per cycle.
+/// assert!(lp <= 1.0 + 1e-9);
+/// assert!(lp < binary);
+/// ```
+///
+/// Returns codes of `min_bits(n)` width.
+///
+/// # Panics
+///
+/// Panics if the machine has fewer than 2 states.
+pub fn encode_low_power(stg: &Stg, symbol_probs: &[f64]) -> Vec<u64> {
+    let weights = stg.edge_weights(symbol_probs, 300);
+    let mut codes = encode_greedy(stg, symbol_probs);
+    polish_by_swaps(&weights, &mut codes);
+    codes
+}
+
+/// The greedy seeding stage alone (no swap polishing) — exposed for
+/// ablation studies.
+///
+/// # Panics
+///
+/// Panics if the machine has fewer than 2 states.
+pub fn encode_greedy(stg: &Stg, symbol_probs: &[f64]) -> Vec<u64> {
+    let n = stg.num_states();
+    assert!(n >= 2, "need at least two states");
+    let bits = min_bits(n);
+    let weights = stg.edge_weights(symbol_probs, 300);
+    // Symmetric affinity between state pairs.
+    let mut affinity = vec![vec![0.0f64; n]; n];
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                affinity[s][t] = weights[s][t] + weights[t][s];
+            }
+        }
+    }
+    // Greedy: place the heaviest state at code 0; repeatedly place the
+    // unassigned state with the strongest ties to assigned states at the
+    // free code minimizing its weighted distance.
+    let mut codes = vec![u64::MAX; n];
+    let mut free: Vec<u64> = (0..1u64 << bits).collect();
+    let mut assigned: Vec<usize> = Vec::new();
+    let first = (0..n)
+        .max_by(|&a, &b| {
+            let wa: f64 = affinity[a].iter().sum();
+            let wb: f64 = affinity[b].iter().sum();
+            wa.partial_cmp(&wb).expect("finite")
+        })
+        .expect("nonempty");
+    codes[first] = 0;
+    free.retain(|&c| c != 0);
+    assigned.push(first);
+    while assigned.len() < n {
+        let next = (0..n)
+            .filter(|&s| codes[s] == u64::MAX)
+            .max_by(|&a, &b| {
+                let wa: f64 = assigned.iter().map(|&t| affinity[a][t]).sum();
+                let wb: f64 = assigned.iter().map(|&t| affinity[b][t]).sum();
+                wa.partial_cmp(&wb).expect("finite")
+            })
+            .expect("some unassigned");
+        let best_code = free
+            .iter()
+            .copied()
+            .min_by(|&c1, &c2| {
+                let cost = |c: u64| -> f64 {
+                    assigned
+                        .iter()
+                        .map(|&t| affinity[next][t] * (c ^ codes[t]).count_ones() as f64)
+                        .sum()
+                };
+                cost(c1).partial_cmp(&cost(c2)).expect("finite")
+            })
+            .expect("free code exists");
+        codes[next] = best_code;
+        free.retain(|&c| c != best_code);
+        assigned.push(next);
+    }
+    codes
+}
+
+/// Pairwise-swap hill climbing on the weighted-switching cost (the
+/// polishing stage of [`encode_low_power`]).
+pub fn polish_by_swaps(weights: &[Vec<f64>], codes: &mut [u64]) {
+    let n = codes.len();
+    let mut best = weighted_switching(weights, codes);
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for a in 0..n {
+            for b in a + 1..n {
+                codes.swap(a, b);
+                let cost = weighted_switching(weights, codes);
+                if cost < best - 1e-12 {
+                    best = cost;
+                    improved = true;
+                } else {
+                    codes.swap(a, b);
+                }
+            }
+        }
+    }
+}
+
+/// Result of a re-encoding run.
+#[derive(Debug, Clone)]
+pub struct ReencodeReport {
+    /// Weighted switching before.
+    pub switching_before: f64,
+    /// Weighted switching after.
+    pub switching_after: f64,
+    /// The new codes.
+    pub codes: Vec<u64>,
+    /// The resynthesized netlist.
+    pub netlist: Netlist,
+}
+
+/// Re-encode an existing machine for lower power and resynthesize (\[18\]).
+pub fn reencode(stg: &Stg, old_codes: &[u64], symbol_probs: &[f64]) -> ReencodeReport {
+    let weights = stg.edge_weights(symbol_probs, 300);
+    let before = weighted_switching(&weights, old_codes);
+    let codes = encode_low_power(stg, symbol_probs);
+    let after = weighted_switching(&weights, &codes);
+    let bits = min_bits(stg.num_states());
+    let netlist = stg.synthesize(&codes, bits, "reencoded");
+    ReencodeReport {
+        switching_before: before,
+        switching_after: after,
+        codes,
+        netlist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::seq::SeqSim;
+    use sim::stimulus::Stimulus;
+
+    #[test]
+    fn min_bits_values() {
+        assert_eq!(min_bits(2), 1);
+        assert_eq!(min_bits(3), 2);
+        assert_eq!(min_bits(4), 2);
+        assert_eq!(min_bits(5), 3);
+        assert_eq!(min_bits(8), 3);
+        assert_eq!(min_bits(9), 4);
+    }
+
+    #[test]
+    fn one_hot_flips_exactly_two_bits() {
+        let codes = encode_one_hot(5);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    assert_eq!((codes[a] ^ codes[b]).count_ones(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_low_power_encoding_is_gray_like() {
+        // A mod-8 counter's optimal 3-bit encoding is a Gray code: every
+        // traversed edge uni-distant.
+        let stg = Stg::counter(8);
+        let codes = encode_low_power(&stg, &[0.5, 0.5]);
+        let weights = stg.edge_weights(&[0.5, 0.5], 300);
+        let cost = weighted_switching(&weights, &codes);
+        // Gray code achieves exactly 1 flip per cycle.
+        assert!(
+            cost < 1.0 + 1e-6,
+            "counter encoding should be (near-)Gray, cost {cost}"
+        );
+        let binary_cost = weighted_switching(&weights, &encode_sequential(8));
+        assert!(cost < binary_cost, "{cost} vs binary {binary_cost}");
+    }
+
+    #[test]
+    fn low_power_beats_baselines_on_random_fsms() {
+        for seed in [1u64, 7, 42] {
+            let stg = Stg::random(8, 2, 2, seed);
+            let probs = vec![0.25; 4];
+            let weights = stg.edge_weights(&probs, 300);
+            let lp = weighted_switching(&weights, &encode_low_power(&stg, &probs));
+            let seq = weighted_switching(&weights, &encode_sequential(8));
+            let rnd = weighted_switching(&weights, &encode_random(8, seed));
+            assert!(lp <= seq + 1e-9, "seed {seed}: {lp} vs sequential {seq}");
+            assert!(lp <= rnd + 1e-9, "seed {seed}: {lp} vs random {rnd}");
+        }
+    }
+
+    #[test]
+    fn predicted_switching_matches_simulation() {
+        // The weighted-switching prediction should match measured FF toggle
+        // rates of the synthesized machine.
+        let stg = Stg::counter(8);
+        let codes = encode_low_power(&stg, &[0.5, 0.5]);
+        let weights = stg.edge_weights(&[0.5, 0.5], 300);
+        let predicted = weighted_switching(&weights, &codes);
+        let nl = stg.synthesize(&codes, 3, "ctr_lp");
+        let sim = SeqSim::new(&nl);
+        let activity = sim.activity(&Stimulus::uniform(1).patterns(4000, 5));
+        let measured: f64 = activity.ff_output_toggles.iter().sum();
+        assert!(
+            (measured - predicted).abs() < 0.1,
+            "predicted {predicted} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn reencode_improves_or_matches() {
+        let stg = Stg::random(10, 2, 2, 5);
+        let probs = vec![0.25; 4];
+        let old = encode_sequential(10);
+        let report = reencode(&stg, &old, &probs);
+        assert!(report.switching_after <= report.switching_before + 1e-9);
+        report.netlist.validate().unwrap();
+    }
+
+    #[test]
+    fn encodings_are_valid_codes() {
+        for n in [3usize, 5, 8, 12] {
+            let stg = Stg::random(n, 1, 1, n as u64);
+            let codes = encode_low_power(&stg, &[0.5, 0.5]);
+            assert_eq!(codes.len(), n);
+            let mut sorted = codes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), n, "codes must be distinct");
+            let bits = min_bits(n);
+            assert!(codes.iter().all(|&c| c < 1u64 << bits));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! FSM state minimization by partition refinement.
+//!
+//! Sequential synthesis for low power starts from the smallest machine:
+//! redundant states inflate both the code length and the next-state logic
+//! that the encoding pass (§III.C.1) then has to pay for. This is the
+//! classic Moore-style refinement for completely-specified Mealy machines:
+//! start from the partition induced by output behaviour, split blocks until
+//! successors agree, merge each block into one state.
+
+use crate::stg::Stg;
+
+/// Result of minimization.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The reduced machine.
+    pub stg: Stg,
+    /// For each original state, the reduced state it maps to.
+    pub state_map: Vec<usize>,
+}
+
+/// Minimize a completely-specified machine.
+///
+/// Runs partition refinement to a fixpoint; the result is the unique
+/// minimal machine with the same input/output behaviour from every state.
+pub fn minimize(stg: &Stg) -> Minimized {
+    let n = stg.num_states();
+    let symbols = 1usize << stg.input_bits;
+    // Initial partition: by output row.
+    let mut class: Vec<usize> = {
+        let mut keys: Vec<Vec<u64>> = Vec::new();
+        let mut class = Vec::with_capacity(n);
+        for s in 0..n {
+            let row: Vec<u64> = (0..symbols).map(|i| stg.trans[s][i].1).collect();
+            let id = match keys.iter().position(|k| *k == row) {
+                Some(i) => i,
+                None => {
+                    keys.push(row);
+                    keys.len() - 1
+                }
+            };
+            class.push(id);
+        }
+        class
+    };
+    // Refine until stable: signature = (class, successor classes).
+    loop {
+        let mut keys: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut next = Vec::with_capacity(n);
+        for s in 0..n {
+            let successors: Vec<usize> = (0..symbols).map(|i| class[stg.trans[s][i].0]).collect();
+            let signature = (class[s], successors);
+            let id = match keys.iter().position(|k| *k == signature) {
+                Some(i) => i,
+                None => {
+                    keys.push(signature);
+                    keys.len() - 1
+                }
+            };
+            next.push(id);
+        }
+        if next == class {
+            break;
+        }
+        class = next;
+    }
+    // Build the reduced machine: representative per class, preserving the
+    // class of state 0 as reduced state of state 0's class etc.
+    let num_classes = class.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut representative = vec![usize::MAX; num_classes];
+    for s in 0..n {
+        if representative[class[s]] == usize::MAX {
+            representative[class[s]] = s;
+        }
+    }
+    let trans = (0..num_classes)
+        .map(|c| {
+            let rep = representative[c];
+            (0..symbols)
+                .map(|i| {
+                    let (t, out) = stg.trans[rep][i];
+                    (class[t], out)
+                })
+                .collect()
+        })
+        .collect();
+    Minimized {
+        stg: Stg {
+            input_bits: stg.input_bits,
+            output_bits: stg.output_bits,
+            trans,
+        },
+        state_map: class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Rng64;
+
+    /// Run both machines in lockstep over a random input word stream and
+    /// compare outputs.
+    fn behaviourally_equal(a: &Stg, b: &Stg, map: &[usize], cycles: usize, seed: u64) -> bool {
+        let mut rng = Rng64::new(seed);
+        let symbols = 1usize << a.input_bits;
+        let mut sa = 0usize;
+        let mut sb = map[0];
+        for _ in 0..cycles {
+            let i = rng.range(0, symbols);
+            let (na, oa) = a.step(sa, i);
+            let (nb, ob) = b.step(sb, i);
+            if oa != ob {
+                return false;
+            }
+            sa = na;
+            sb = nb;
+        }
+        true
+    }
+
+    /// A machine with a deliberately duplicated pair of states.
+    fn redundant_machine() -> Stg {
+        // States 0,1,2 distinct; states 3 and 4 behave identically (both
+        // mirror state 1's behaviour).
+        let trans = vec![
+            vec![(1, 0), (3, 1)],
+            vec![(2, 1), (0, 0)],
+            vec![(0, 0), (4, 1)],
+            vec![(2, 1), (0, 0)], // clone of state 1
+            vec![(2, 1), (0, 0)], // clone of state 1
+        ];
+        Stg {
+            input_bits: 1,
+            output_bits: 1,
+            trans,
+        }
+    }
+
+    #[test]
+    fn merges_duplicate_states() {
+        let stg = redundant_machine();
+        let result = minimize(&stg);
+        assert_eq!(result.stg.num_states(), 3, "5 states reduce to 3");
+        assert_eq!(result.state_map[1], result.state_map[3]);
+        assert_eq!(result.state_map[3], result.state_map[4]);
+        result.stg.assert_valid();
+        assert!(behaviourally_equal(&stg, &result.stg, &result.state_map, 500, 7));
+    }
+
+    #[test]
+    fn counter_is_already_minimal() {
+        let stg = Stg::counter(8);
+        let result = minimize(&stg);
+        assert_eq!(result.stg.num_states(), 8);
+    }
+
+    #[test]
+    fn random_machines_never_grow_and_stay_equivalent() {
+        for seed in [1u64, 5, 9, 13] {
+            let stg = Stg::random(10, 2, 2, seed);
+            let result = minimize(&stg);
+            assert!(result.stg.num_states() <= 10);
+            result.stg.assert_valid();
+            assert!(
+                behaviourally_equal(&stg, &result.stg, &result.state_map, 800, seed ^ 0xAA),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn output_only_difference_keeps_states_apart() {
+        // Two states with identical successors but different outputs must
+        // not merge.
+        let trans = vec![
+            vec![(1, 0)],
+            vec![(0, 1)], // differs in output from state 0
+        ];
+        let stg = Stg {
+            input_bits: 0,
+            output_bits: 1,
+            trans,
+        };
+        let result = minimize(&stg);
+        assert_eq!(result.stg.num_states(), 2);
+    }
+
+    #[test]
+    fn minimization_reduces_synthesis_cost() {
+        // The reduced machine needs fewer code bits or less logic.
+        let stg = redundant_machine();
+        let result = minimize(&stg);
+        let bits_before = crate::encoding::min_bits(stg.num_states());
+        let bits_after = crate::encoding::min_bits(result.stg.num_states());
+        assert!(bits_after <= bits_before);
+        let codes_before: Vec<u64> = (0..stg.num_states() as u64).collect();
+        let codes_after: Vec<u64> = (0..result.stg.num_states() as u64).collect();
+        let nl_before = stg.synthesize(&codes_before, bits_before, "before");
+        let nl_after = result.stg.synthesize(&codes_after, bits_after, "after");
+        let stats_before = netlist::NetlistStats::of(&nl_before);
+        let stats_after = netlist::NetlistStats::of(&nl_after);
+        assert!(stats_after.transistors < stats_before.transistors);
+    }
+}

@@ -1,0 +1,504 @@
+//! Precomputation-based sequential power-down (survey §III.C.4, Fig. 1,
+//! \[1\]\[30\]).
+//!
+//! Given a registered combinational block `f(X)`, pick a small predictor
+//! subset `S ⊆ X`. One cycle ahead, evaluate
+//!
+//! ```text
+//! g1 = ∀_{X∖S} f      (f is 1 whatever the other inputs are)
+//! g0 = ∀_{X∖S} ¬f     (f is 0 whatever the other inputs are)
+//! ```
+//!
+//! on the incoming values of `S`. When `g1 ∨ g0` holds, the registers
+//! feeding the non-predictor inputs are load-disabled (`LE = ¬(g1 ∨ g0)`):
+//! they keep stale values, yet the output is still correct because the
+//! predictor values alone determine it. For the Fig. 1 comparator with
+//! `S = {C⟨n−1⟩, D⟨n−1⟩}` this derivation yields exactly
+//! `LE = C⟨n−1⟩ XNOR D⟨n−1⟩`.
+//!
+//! The quantification is done with BDDs (\[30\]'s universal-quantification
+//! formulation); [`precompute`] builds the transformed sequential netlist
+//! and [`choose_predictor`] greedily picks the subset with the highest
+//! disable probability.
+
+use bdd::Ref;
+use netlist::{GateKind, NetId, Netlist};
+use power::exact::{circuit_bdds, CircuitBdds};
+use std::collections::HashMap;
+
+/// A precomputation transformation result.
+#[derive(Debug)]
+pub struct Precomputed {
+    /// The transformed sequential netlist (registered inputs, gated
+    /// non-predictor registers, precomputation logic).
+    pub netlist: Netlist,
+    /// The baseline: same block with plain registered inputs.
+    pub baseline: Netlist,
+    /// Predictor input indices (into the block's primary inputs).
+    pub predictor: Vec<usize>,
+    /// Probability that the non-predictor registers are disabled, under
+    /// the input probabilities given to [`precompute`].
+    pub disable_probability: f64,
+}
+
+/// Synthesize a BDD into mux logic over the given variable nets.
+///
+/// Returns the root net. `var_nets[v]` must drive BDD variable `v`.
+pub fn bdd_to_netlist(
+    mgr: &bdd::Bdd,
+    root: Ref,
+    var_nets: &[NetId],
+    nl: &mut Netlist,
+) -> NetId {
+    fn go(
+        mgr: &bdd::Bdd,
+        r: Ref,
+        var_nets: &[NetId],
+        nl: &mut Netlist,
+        memo: &mut HashMap<Ref, NetId>,
+    ) -> NetId {
+        if let Some(&net) = memo.get(&r) {
+            return net;
+        }
+        let net = if r.is_const() {
+            nl.add_const(r.const_value())
+        } else {
+            let v = mgr.top_var(r);
+            let lo = go(mgr, mgr.low(r), var_nets, nl, memo);
+            let hi = go(mgr, mgr.high(r), var_nets, nl, memo);
+            nl.add_gate(GateKind::Mux, &[var_nets[v as usize], lo, hi])
+        };
+        memo.insert(r, net);
+        net
+    }
+    let mut memo = HashMap::new();
+    go(mgr, root, var_nets, nl, &mut memo)
+}
+
+/// Apply sequential precomputation to a single-output combinational block.
+///
+/// Returns `None` when the predictor subset yields no disabling condition
+/// (`g1 = g0 = 0`).
+///
+/// # Panics
+///
+/// Panics if the block is sequential, has more than one output, or the
+/// predictor indices are out of range.
+pub fn precompute(
+    comb: &Netlist,
+    predictor: &[usize],
+    input_probs: &[f64],
+) -> Option<Precomputed> {
+    assert!(comb.is_combinational(), "precompute a combinational block");
+    assert_eq!(comb.num_outputs(), 1, "single-output blocks only");
+    assert_eq!(input_probs.len(), comb.num_inputs());
+    for &p in predictor {
+        assert!(p < comb.num_inputs(), "predictor index out of range");
+    }
+    let bdds = circuit_bdds(comb);
+    let (out_net, _) = comb.outputs()[0].clone();
+    let f = bdds.func(out_net);
+    let (g1, g0, mgr) = quantify(&bdds, f, predictor, comb.num_inputs());
+    let mut mgr = mgr;
+    let disable = mgr.or(g1, g0);
+    if disable == Ref::FALSE {
+        return None;
+    }
+    let var_probs: Vec<f64> = (0..comb.num_inputs())
+        .map(|i| input_probs[i])
+        .collect();
+    let disable_probability = mgr.probability(disable, &var_probs);
+
+    // Baseline: registered inputs, block, output.
+    let baseline = registered_block(comb, None, &mgr, disable);
+    // Transformed: predictor logic gates non-predictor registers.
+    let transformed = registered_block(comb, Some(predictor), &mgr, disable);
+
+    Some(Precomputed {
+        netlist: transformed,
+        baseline,
+        predictor: predictor.to_vec(),
+        disable_probability,
+    })
+}
+
+fn quantify(
+    bdds: &CircuitBdds,
+    f: Ref,
+    predictor: &[usize],
+    num_inputs: usize,
+) -> (Ref, Ref, bdd::Bdd) {
+    let mut mgr = bdds.mgr.clone();
+    let others: Vec<u32> = (0..num_inputs)
+        .filter(|i| !predictor.contains(i))
+        .map(|i| bdds.input_vars[i])
+        .collect();
+    let g1 = mgr.forall_many(f, &others);
+    let nf = mgr.not(f);
+    let g0 = mgr.forall_many(nf, &others);
+    (g1, g0, mgr)
+}
+
+/// Build the registered version of the block. With `predictor = Some(s)`,
+/// non-predictor registers get `LE = ¬disable(current predictor inputs)`.
+fn registered_block(
+    comb: &Netlist,
+    predictor: Option<&[usize]>,
+    mgr: &bdd::Bdd,
+    disable: Ref,
+) -> Netlist {
+    let n = comb.num_inputs();
+    let mut nl = Netlist::new(match predictor {
+        Some(_) => format!("{}_precomputed", comb.name()),
+        None => format!("{}_registered", comb.name()),
+    });
+    let xs: Vec<NetId> = (0..n).map(|i| nl.add_input(format!("x{i}"))).collect();
+    // Precomputation logic over *current* inputs (before the registers).
+    let enable = predictor.map(|_| {
+        let d = bdd_to_netlist(mgr, disable, &xs, &mut nl);
+        nl.add_gate(GateKind::Not, &[d])
+    });
+    let regs: Vec<NetId> = (0..n)
+        .map(|i| match (predictor, enable) {
+            (Some(s), Some(en)) if !s.contains(&i) => nl.add_dff_en(xs[i], en, false),
+            _ => nl.add_dff(xs[i], false),
+        })
+        .collect();
+    // Copy the block over registered inputs.
+    let mut map: Vec<Option<NetId>> = vec![None; comb.len()];
+    for (i, &pi) in comb.inputs().iter().enumerate() {
+        map[pi.index()] = Some(regs[i]);
+    }
+    for net in comb.topo_order().expect("acyclic") {
+        if map[net.index()].is_some() {
+            continue;
+        }
+        let kind = comb.kind(net);
+        let new = match kind {
+            GateKind::Input => continue,
+            GateKind::Const(v) => nl.add_const(v),
+            _ => {
+                let ins: Vec<NetId> = comb
+                    .fanins(net)
+                    .iter()
+                    .map(|x| map[x.index()].expect("topo"))
+                    .collect();
+                nl.add_gate(kind, &ins)
+            }
+        };
+        map[net.index()] = Some(new);
+    }
+    for (out, name) in comb.outputs() {
+        nl.mark_output(map[out.index()].expect("output mapped"), name.clone());
+    }
+    nl
+}
+
+/// Pick a predictor subset of size `k` maximizing the disable probability
+/// under the given input probabilities.
+///
+/// Uses exhaustive subset enumeration when `C(n, k)` is small (greedy
+/// growth fails here: a single predictor input usually determines nothing,
+/// so all size-1 marginal gains are zero), falling back to greedy for
+/// large spaces.
+pub fn choose_predictor(comb: &Netlist, k: usize, input_probs: &[f64]) -> Vec<usize> {
+    assert_eq!(comb.num_outputs(), 1, "single-output blocks only");
+    let bdds = circuit_bdds(comb);
+    let (out, _) = comb.outputs()[0].clone();
+    let f = bdds.func(out);
+    let n = comb.num_inputs();
+    let k = k.min(n);
+    let score = |subset: &[usize]| -> f64 {
+        let (g1, g0, mut mgr) = quantify(&bdds, f, subset, n);
+        let disable = mgr.or(g1, g0);
+        mgr.probability(disable, input_probs)
+    };
+    let binomial = {
+        let mut c = 1f64;
+        for i in 0..k {
+            c = c * (n - i) as f64 / (i + 1) as f64;
+        }
+        c
+    };
+    if binomial <= 2000.0 {
+        // Exhaustive over all k-subsets.
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut subset: Vec<usize> = (0..k).collect();
+        loop {
+            let p = score(&subset);
+            if best.as_ref().map(|(_, bp)| p > *bp).unwrap_or(true) {
+                best = Some((subset.clone(), p));
+            }
+            // Next combination in lexicographic order.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return best.expect("at least one subset").0;
+                }
+                i -= 1;
+                if subset[i] < n - (k - i) {
+                    subset[i] += 1;
+                    for j in i + 1..k {
+                        subset[j] = subset[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    } else {
+        // Greedy growth for large spaces.
+        let mut subset: Vec<usize> = Vec::new();
+        for _ in 0..k {
+            let mut best: Option<(usize, f64)> = None;
+            for cand in 0..n {
+                if subset.contains(&cand) {
+                    continue;
+                }
+                let mut trial = subset.clone();
+                trial.push(cand);
+                let p = score(&trial);
+                if best.map(|(_, bp)| p > bp).unwrap_or(true) {
+                    best = Some((cand, p));
+                }
+            }
+            subset.push(best.expect("at least one candidate").0);
+        }
+        subset.sort_unstable();
+        subset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clockgate::sequential_equivalent;
+    use netlist::gen::comparator_gt;
+    use sim::seq::SeqSim;
+    use sim::stimulus::Stimulus;
+
+    fn msb_predictor(n: usize) -> Vec<usize> {
+        vec![n - 1, 2 * n - 1]
+    }
+
+    #[test]
+    fn comparator_le_is_xnor_of_msbs() {
+        // For uniform inputs, P(disable) = P(C_msb != D_msb) = 0.5.
+        let n = 4;
+        let (comb, _) = comparator_gt(n);
+        let pre = precompute(&comb, &msb_predictor(n), &[0.5; 8]).expect("comparator precomputes");
+        assert!(
+            (pre.disable_probability - 0.5).abs() < 1e-9,
+            "got {}",
+            pre.disable_probability
+        );
+    }
+
+    #[test]
+    fn precomputed_comparator_is_equivalent() {
+        let n = 3;
+        let (comb, _) = comparator_gt(n);
+        let pre = precompute(&comb, &msb_predictor(n), &[0.5; 6]).expect("precomputes");
+        let patterns = Stimulus::uniform(6).patterns(500, 7);
+        assert_eq!(
+            sequential_equivalent(&pre.baseline, &pre.netlist, &patterns),
+            None,
+            "precomputation must preserve the registered block's behaviour"
+        );
+    }
+
+    #[test]
+    fn gated_registers_load_half_the_time() {
+        let n = 4;
+        let (comb, _) = comparator_gt(n);
+        let pre = precompute(&comb, &msb_predictor(n), &[0.5; 8]).expect("precomputes");
+        let sim = SeqSim::new(&pre.netlist);
+        let activity = sim.activity(&Stimulus::uniform(8).patterns(2000, 9));
+        // Non-predictor registers have enables; their load fraction should
+        // match 1 − disable_probability = 0.5.
+        let gated: Vec<f64> = pre
+            .netlist
+            .dffs()
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| pre.netlist.fanins(d).len() == 2)
+            .map(|(i, _)| activity.ff_load_fraction[i])
+            .collect();
+        assert_eq!(gated.len(), 2 * n - 2);
+        for (i, &load) in gated.iter().enumerate() {
+            assert!((load - 0.5).abs() < 0.05, "reg {i} load {load}");
+        }
+    }
+
+    #[test]
+    fn precomputation_reduces_switched_capacitance() {
+        let n = 5;
+        let (comb, _) = comparator_gt(n);
+        let pre = precompute(&comb, &msb_predictor(n), &[0.5; 10]).expect("precomputes");
+        let patterns = Stimulus::uniform(10).patterns(2000, 11);
+        let base_activity = SeqSim::new(&pre.baseline).activity(&patterns);
+        let pre_activity = SeqSim::new(&pre.netlist).activity(&patterns);
+        let base_cap = base_activity.profile.switched_capacitance(&pre.baseline);
+        let pre_cap = pre_activity.profile.switched_capacitance(&pre.netlist);
+        assert!(
+            pre_cap < base_cap,
+            "precomputation should save: {pre_cap} vs {base_cap}"
+        );
+    }
+
+    #[test]
+    fn skewed_msb_statistics_increase_savings() {
+        // When the MSBs disagree often (anti-correlated operands), the
+        // disable probability rises and so do the savings.
+        let n = 4;
+        let (comb, _) = comparator_gt(n);
+        let mut probs = vec![0.5; 8];
+        probs[n - 1] = 0.9; // C MSB mostly 1
+        probs[2 * n - 1] = 0.1; // D MSB mostly 0
+        let pre = precompute(&comb, &msb_predictor(n), &probs).expect("precomputes");
+        assert!(
+            pre.disable_probability > 0.8,
+            "got {}",
+            pre.disable_probability
+        );
+    }
+
+    #[test]
+    fn useless_predictor_returns_none() {
+        // Parity: no subset short of all inputs ever determines the output.
+        let comb = netlist::gen::parity_tree(4);
+        assert!(precompute(&comb, &[0, 1], &[0.5; 4]).is_none());
+    }
+
+    #[test]
+    fn choose_predictor_picks_msbs_for_comparator() {
+        let n = 4;
+        let (comb, _) = comparator_gt(n);
+        let chosen = choose_predictor(&comb, 2, &[0.5; 8]);
+        assert_eq!(chosen, msb_predictor(n), "MSB pair dominates");
+    }
+
+    #[test]
+    fn bdd_to_netlist_matches_bdd() {
+        let mut mgr = bdd::Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.and(a, b);
+        let f = mgr.xor(ab, c);
+        let mut nl = Netlist::new("from_bdd");
+        let xs: Vec<NetId> = (0..3).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let root = bdd_to_netlist(&mgr, f, &xs, &mut nl);
+        nl.mark_output(root, "f");
+        for bits in 0u64..8 {
+            let assignment: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(nl.eval_comb(&assignment)[0], mgr.eval(f, &assignment));
+        }
+    }
+}
+
+/// Multi-output precomputation (\[30\]'s general universal-quantification
+/// formulation): the non-predictor registers may be disabled only on
+/// cycles where **every** output is determined by the predictor inputs
+/// alone, i.e. `disable = ∧_o (g1_o ∨ g0_o)`.
+///
+/// Returns `None` when the conjunction is unsatisfiable.
+///
+/// # Panics
+///
+/// Panics if the block is sequential, has no outputs, or the predictor
+/// indices are out of range.
+pub fn precompute_multi(
+    comb: &Netlist,
+    predictor: &[usize],
+    input_probs: &[f64],
+) -> Option<Precomputed> {
+    assert!(comb.is_combinational(), "precompute a combinational block");
+    assert!(comb.num_outputs() >= 1, "need at least one output");
+    assert_eq!(input_probs.len(), comb.num_inputs());
+    for &p in predictor {
+        assert!(p < comb.num_inputs(), "predictor index out of range");
+    }
+    let bdds = circuit_bdds(comb);
+    let mut mgr = bdds.mgr.clone();
+    let others: Vec<u32> = (0..comb.num_inputs())
+        .filter(|i| !predictor.contains(i))
+        .map(|i| bdds.input_vars[i])
+        .collect();
+    let mut disable = Ref::TRUE;
+    for (out, _) in comb.outputs() {
+        let f = bdds.func(*out);
+        let g1 = mgr.forall_many(f, &others);
+        let nf = mgr.not(f);
+        let g0 = mgr.forall_many(nf, &others);
+        let determined = mgr.or(g1, g0);
+        disable = mgr.and(disable, determined);
+    }
+    if disable == Ref::FALSE {
+        return None;
+    }
+    let disable_probability = mgr.probability(disable, input_probs);
+    let baseline = registered_block(comb, None, &mgr, disable);
+    let transformed = registered_block(comb, Some(predictor), &mgr, disable);
+    Some(Precomputed {
+        netlist: transformed,
+        baseline,
+        predictor: predictor.to_vec(),
+        disable_probability,
+    })
+}
+
+#[cfg(test)]
+mod multi_tests {
+    use super::*;
+    use crate::clockgate::sequential_equivalent;
+    use netlist::GateKind;
+    use sim::stimulus::Stimulus;
+
+    /// A two-output block over shared inputs: gt = C > D and eq = C == D.
+    fn gt_eq_block(n: usize) -> Netlist {
+        let (mut nl, nets) = netlist::gen::comparator_gt(n);
+        let eq_bits: Vec<netlist::NetId> = (0..n)
+            .map(|i| nl.add_gate(GateKind::Xnor, &[nets.c[i], nets.d[i]]))
+            .collect();
+        let eq = nl.add_gate(GateKind::And, &eq_bits);
+        nl.mark_output(eq, "eq");
+        nl
+    }
+
+    #[test]
+    fn multi_output_comparator_disables_on_msb_mismatch() {
+        // When the MSBs differ, gt is determined AND eq is determined (= 0):
+        // both outputs precompute from the MSB pair, P(disable) = 0.5.
+        let n = 4;
+        let nl = gt_eq_block(n);
+        let pre = precompute_multi(&nl, &[n - 1, 2 * n - 1], &[0.5; 8])
+            .expect("msb pair determines both outputs");
+        assert!((pre.disable_probability - 0.5).abs() < 1e-9);
+        let patterns = Stimulus::uniform(8).patterns(500, 13);
+        assert_eq!(
+            sequential_equivalent(&pre.baseline, &pre.netlist, &patterns),
+            None
+        );
+    }
+
+    #[test]
+    fn conflicting_outputs_shrink_the_disable_set() {
+        // Add a parity output: no proper input subset ever determines it,
+        // so the conjunction over outputs becomes unsatisfiable.
+        let n = 3;
+        let (mut nl, nets) = netlist::gen::comparator_gt(n);
+        let all: Vec<netlist::NetId> = nets.c.iter().chain(nets.d.iter()).copied().collect();
+        let parity = nl.add_gate(GateKind::Xor, &all);
+        nl.mark_output(parity, "parity");
+        assert!(precompute_multi(&nl, &[n - 1, 2 * n - 1], &[0.5; 6]).is_none());
+    }
+
+    #[test]
+    fn single_output_multi_matches_precompute() {
+        let n = 4;
+        let (nl, _) = netlist::gen::comparator_gt(n);
+        let a = precompute(&nl, &[n - 1, 2 * n - 1], &[0.5; 8]).expect("single");
+        let b = precompute_multi(&nl, &[n - 1, 2 * n - 1], &[0.5; 8]).expect("multi");
+        assert!((a.disable_probability - b.disable_probability).abs() < 1e-12);
+    }
+}

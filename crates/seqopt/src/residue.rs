@@ -1,0 +1,268 @@
+//! One-hot residue arithmetic (survey §III.C.1, \[11\], after Chren).
+//!
+//! A residue number system (RNS) represents a value by its remainders
+//! modulo a set of pairwise-coprime moduli; addition is digit-wise and
+//! carry-free. Encoding each residue digit **one-hot** makes an addition a
+//! pure cyclic rotation of the hot wire, so each digit flips at most two
+//! wires per operation — far fewer than the avalanche of carries in a
+//! two's-complement adder. The price is wire count (`Σ m_i` wires).
+
+/// A one-hot residue number system over the given moduli.
+#[derive(Debug, Clone)]
+pub struct OneHotResidue {
+    /// Pairwise-coprime moduli.
+    pub moduli: Vec<u64>,
+}
+
+/// A value in one-hot residue form: one `Vec<bool>` per digit, exactly one
+/// bit hot.
+pub type OneHotValue = Vec<Vec<bool>>;
+
+impl OneHotResidue {
+    /// Create the system; moduli must be ≥ 2 and pairwise coprime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if moduli are invalid.
+    pub fn new(moduli: Vec<u64>) -> OneHotResidue {
+        assert!(!moduli.is_empty(), "need at least one modulus");
+        for (i, &m) in moduli.iter().enumerate() {
+            assert!(m >= 2, "modulus {m} too small");
+            for &m2 in &moduli[i + 1..] {
+                assert_eq!(gcd(m, m2), 1, "moduli {m} and {m2} not coprime");
+            }
+        }
+        OneHotResidue { moduli }
+    }
+
+    /// The dynamic range `M = Π m_i`.
+    pub fn range(&self) -> u64 {
+        self.moduli.iter().product()
+    }
+
+    /// Total wire count of a one-hot value.
+    pub fn wires(&self) -> usize {
+        self.moduli.iter().map(|&m| m as usize).sum()
+    }
+
+    /// Encode `value` (mod the dynamic range).
+    pub fn encode(&self, value: u64) -> OneHotValue {
+        self.moduli
+            .iter()
+            .map(|&m| {
+                let r = (value % m) as usize;
+                (0..m as usize).map(|i| i == r).collect()
+            })
+            .collect()
+    }
+
+    /// Decode via the Chinese Remainder Theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a digit is not one-hot.
+    pub fn decode(&self, value: &OneHotValue) -> u64 {
+        let m_total = self.range();
+        let mut acc: u64 = 0;
+        for (digit, &m) in value.iter().zip(self.moduli.iter()) {
+            let r = one_hot_index(digit) as u64;
+            let m_i = m_total / m;
+            let inv = mod_inverse(m_i % m, m);
+            acc = (acc + r * m_i % m_total * inv) % m_total;
+        }
+        acc
+    }
+
+    /// Digit-wise one-hot addition: each digit of the result is the hot
+    /// position of `a` rotated by the hot position of `b`.
+    pub fn add(&self, a: &OneHotValue, b: &OneHotValue) -> OneHotValue {
+        a.iter()
+            .zip(b.iter())
+            .zip(self.moduli.iter())
+            .map(|((da, db), &m)| {
+                let ra = one_hot_index(da);
+                let rb = one_hot_index(db);
+                let r = (ra + rb) % m as usize;
+                (0..m as usize).map(|i| i == r).collect()
+            })
+            .collect()
+    }
+
+    /// Wire transitions between two one-hot values.
+    pub fn transitions(a: &OneHotValue, b: &OneHotValue) -> u64 {
+        a.iter()
+            .zip(b.iter())
+            .map(|(da, db)| {
+                da.iter()
+                    .zip(db.iter())
+                    .filter(|&(x, y)| x != y)
+                    .count() as u64
+            })
+            .sum()
+    }
+
+    /// Run an accumulation `acc += x_k` over `stream` and count the wire
+    /// transitions on the accumulator register.
+    pub fn accumulate_transitions(&self, stream: &[u64]) -> u64 {
+        let mut acc_value = 0u64;
+        let mut acc = self.encode(0);
+        let mut transitions = 0;
+        for &x in stream {
+            let xe = self.encode(x);
+            let next = self.add(&acc, &xe);
+            transitions += Self::transitions(&acc, &next);
+            acc = next;
+            acc_value = (acc_value + x) % self.range();
+        }
+        debug_assert_eq!(self.decode(&acc), acc_value);
+        transitions
+    }
+}
+
+/// Binary two's-complement accumulator baseline: count bit transitions of
+/// the accumulator register over the same stream (modulo `2^width`).
+pub fn binary_accumulate_transitions(width: usize, stream: &[u64]) -> u64 {
+    let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+    let mut acc = 0u64;
+    let mut transitions = 0;
+    for &x in stream {
+        let next = acc.wrapping_add(x) & mask;
+        transitions += (acc ^ next).count_ones() as u64;
+        acc = next;
+    }
+    transitions
+}
+
+fn one_hot_index(digit: &[bool]) -> usize {
+    let mut index = None;
+    for (i, &b) in digit.iter().enumerate() {
+        if b {
+            assert!(index.is_none(), "digit not one-hot (two bits set)");
+            index = Some(i);
+        }
+    }
+    index.expect("digit not one-hot (no bit set)")
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn mod_inverse(a: u64, m: u64) -> u64 {
+    // Extended Euclid; m is small.
+    let (mut old_r, mut r) = (a as i64, m as i64);
+    let (mut old_s, mut s) = (1i64, 0i64);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+    }
+    assert_eq!(old_r, 1, "inverse requires coprimality");
+    old_s.rem_euclid(m as i64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::Rng64;
+
+    fn rns() -> OneHotResidue {
+        OneHotResidue::new(vec![3, 5, 7]) // range 105
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let rns = rns();
+        for v in 0..rns.range() {
+            assert_eq!(rns.decode(&rns.encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn addition_is_correct() {
+        let rns = rns();
+        for a in (0..105).step_by(7) {
+            for b in (0..105).step_by(11) {
+                let sum = rns.add(&rns.encode(a), &rns.encode(b));
+                assert_eq!(rns.decode(&sum), (a + b) % 105, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn digit_flips_at_most_two_wires() {
+        let rns = rns();
+        let mut prev = rns.encode(17);
+        for step in [1u64, 2, 30, 104] {
+            let next = rns.add(&prev, &rns.encode(step));
+            let t = OneHotResidue::transitions(&prev, &next);
+            assert!(t <= 2 * rns.moduli.len() as u64, "step {step}: {t}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn residue_accumulator_switches_less_than_binary() {
+        // The E19 claim, with its real precondition: a one-hot digit flips
+        // ~2 wires per addition regardless of modulus size, while a binary
+        // accumulator of width w flips ~w/2 — so residue wins when the
+        // equivalent binary width exceeds ~4× the digit count, i.e. for
+        // *large* moduli. [31, 32] spans range 992 (10 binary bits, ~5
+        // flips/add) against 2 digits (~3.9 flips/add).
+        let rns = OneHotResidue::new(vec![31, 32]);
+        let mut rng = Rng64::new(5);
+        let stream: Vec<u64> = (0..3000).map(|_| rng.next_below(992)).collect();
+        let residue_t = rns.accumulate_transitions(&stream);
+        let binary_t = binary_accumulate_transitions(10, &stream);
+        assert!(
+            residue_t < binary_t,
+            "residue {residue_t} vs binary {binary_t}"
+        );
+    }
+
+    #[test]
+    fn small_moduli_do_not_win() {
+        // Conversely, for narrow ranges the binary accumulator is cheaper —
+        // the tradeoff the bench sweeps in E19.
+        let rns = rns(); // range 105 → 7 binary bits
+        let mut rng = Rng64::new(5);
+        let stream: Vec<u64> = (0..3000).map(|_| rng.next_below(105)).collect();
+        let residue_t = rns.accumulate_transitions(&stream);
+        let binary_t = binary_accumulate_transitions(7, &stream);
+        assert!(residue_t > binary_t);
+    }
+
+    #[test]
+    fn wire_count_is_the_price() {
+        let rns = rns();
+        assert_eq!(rns.wires(), 15); // vs 7 binary wires for range 105
+        assert_eq!(rns.range(), 105);
+    }
+
+    #[test]
+    #[should_panic(expected = "not coprime")]
+    fn non_coprime_moduli_rejected() {
+        OneHotResidue::new(vec![4, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not one-hot")]
+    fn malformed_digit_rejected() {
+        let rns = rns();
+        let mut v = rns.encode(1);
+        v[0][0] = true;
+        v[0][1] = true;
+        rns.decode(&v);
+    }
+
+    #[test]
+    fn mod_inverse_small_cases() {
+        assert_eq!(mod_inverse(3, 7), 5); // 3·5 = 15 ≡ 1 (mod 7)
+        assert_eq!(mod_inverse(2, 5), 3);
+        assert_eq!(mod_inverse(1, 2), 1);
+    }
+}

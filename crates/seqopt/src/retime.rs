@@ -1,0 +1,394 @@
+//! Retiming (survey §III.C.2, \[24\]\[29\]).
+//!
+//! Classic Leiserson–Saxe machinery on a retiming graph: nodes carry
+//! combinational delays, edges carry register counts. [`RetimeGraph`]
+//! provides the W/D matrices, feasibility checking via Bellman–Ford, and
+//! minimum-period retiming by binary search over the distinct D values.
+//!
+//! The low-power extension (\[29\]) exploits the glitch-filtering property of
+//! registers: a register on edge `u → v` stops the spurious transitions of
+//! `u` from propagating into `v`'s cone. [`RetimeGraph::retime_low_power`] searches the
+//! feasible retimings (at a given period) for one that maximizes the
+//! filtered glitch power.
+
+/// A retiming graph: synchronous circuit with explicit register edges.
+#[derive(Debug, Clone)]
+pub struct RetimeGraph {
+    /// Per-node combinational delay.
+    pub delay: Vec<f64>,
+    /// Edges `(from, to, registers)`.
+    pub edges: Vec<(usize, usize, i64)>,
+    /// Per-node glitch activity (spurious transitions it generates per
+    /// cycle when fed unregistered inputs); used by the power objective.
+    pub glitch: Vec<f64>,
+    /// Per-node output load capacitance (glitches at this node cost
+    /// `glitch · load` when not filtered).
+    pub load: Vec<f64>,
+}
+
+impl RetimeGraph {
+    /// Create a graph with the given node delays (glitch/load default 0/1).
+    pub fn new(delay: Vec<f64>) -> RetimeGraph {
+        let n = delay.len();
+        RetimeGraph {
+            delay,
+            edges: Vec::new(),
+            glitch: vec![0.0; n],
+            load: vec![1.0; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.delay.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.delay.is_empty()
+    }
+
+    /// Add an edge with `regs` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes or negative register counts.
+    pub fn add_edge(&mut self, from: usize, to: usize, regs: i64) {
+        assert!(from < self.len() && to < self.len(), "node out of range");
+        assert!(regs >= 0, "register counts are nonnegative");
+        self.edges.push((from, to, regs));
+    }
+
+    /// Register count on edge `e` after retiming `r`:
+    /// `w_r(e) = w(e) + r(v) − r(u)`.
+    pub fn retimed_weight(&self, edge: usize, r: &[i64]) -> i64 {
+        let (u, v, w) = self.edges[edge];
+        w + r[v] - r[u]
+    }
+
+    /// Whether retiming `r` is legal (all edge weights nonnegative).
+    pub fn is_legal(&self, r: &[i64]) -> bool {
+        (0..self.edges.len()).all(|e| self.retimed_weight(e, r) >= 0)
+    }
+
+    /// Clock period under retiming `r`: the longest zero-register path
+    /// delay.
+    pub fn period(&self, r: &[i64]) -> f64 {
+        // Longest path over the zero-weight subgraph (must be acyclic for a
+        // legal synchronous circuit; cycles with zero registers are
+        // rejected by returning infinity).
+        let n = self.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (e, &(u, v, _)) in self.edges.iter().enumerate() {
+            if self.retimed_weight(e, r) == 0 {
+                adj[u].push(v);
+                indeg[v] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut arrive: Vec<f64> = self.delay.clone();
+        let mut seen = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            seen += 1;
+            for &v in &adj[u] {
+                arrive[v] = arrive[v].max(arrive[u] + self.delay[v]);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen < n && (0..n).any(|v| indeg[v] > 0) {
+            return f64::INFINITY;
+        }
+        arrive.into_iter().fold(0.0, f64::max)
+    }
+
+    /// W and D matrices (min registers / max delay over register-minimal
+    /// paths) between all connected pairs. `W[u][v] = i64::MAX` when no
+    /// path exists.
+    pub fn wd_matrices(&self) -> (Vec<Vec<i64>>, Vec<Vec<f64>>) {
+        let n = self.len();
+        let inf = i64::MAX / 4;
+        let mut w = vec![vec![inf; n]; n];
+        let mut d = vec![vec![f64::NEG_INFINITY; n]; n];
+        for v in 0..n {
+            w[v][v] = 0;
+            d[v][v] = self.delay[v];
+        }
+        // Floyd–Warshall on (registers, -delay) lexicographic weight.
+        for &(u, v, regs) in &self.edges {
+            let cand_d = self.delay[u] + self.delay[v];
+            if regs < w[u][v] || (regs == w[u][v] && cand_d > d[u][v]) {
+                w[u][v] = regs;
+                d[u][v] = cand_d;
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if w[i][k] >= inf {
+                    continue;
+                }
+                for j in 0..n {
+                    if w[k][j] >= inf {
+                        continue;
+                    }
+                    let regs = w[i][k] + w[k][j];
+                    let delay = d[i][k] + d[k][j] - self.delay[k];
+                    if regs < w[i][j] || (regs == w[i][j] && delay > d[i][j]) {
+                        w[i][j] = regs;
+                        d[i][j] = delay;
+                    }
+                }
+            }
+        }
+        (w, d)
+    }
+
+    /// Find a legal retiming achieving period ≤ `c`, if one exists
+    /// (Bellman–Ford on the classic constraint graph).
+    pub fn feasible_retiming(&self, c: f64) -> Option<Vec<i64>> {
+        let n = self.len();
+        let (w, d) = self.wd_matrices();
+        // Constraints: r(u) − r(v) ≤ w(e) for e = u→v;
+        //              r(u) − r(v) ≤ W(u,v) − 1 whenever D(u,v) > c.
+        let mut constraints: Vec<(usize, usize, i64)> = Vec::new();
+        for &(u, v, regs) in &self.edges {
+            constraints.push((u, v, regs));
+        }
+        let inf = i64::MAX / 4;
+        for u in 0..n {
+            for v in 0..n {
+                if w[u][v] < inf && d[u][v] > c + 1e-9 {
+                    constraints.push((u, v, w[u][v] - 1));
+                }
+            }
+        }
+        // Bellman–Ford with a virtual source.
+        let mut r = vec![0i64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for &(u, v, bound) in &constraints {
+                if r[u] > r[v] + bound {
+                    r[u] = r[v] + bound;
+                    changed = true;
+                }
+            }
+            if !changed {
+                let retiming = r;
+                debug_assert!(self.is_legal(&retiming));
+                return Some(retiming);
+            }
+        }
+        None
+    }
+
+    /// Minimum achievable period and a retiming that attains it.
+    pub fn min_period_retiming(&self) -> (f64, Vec<i64>) {
+        let (_, d) = self.wd_matrices();
+        let mut candidates: Vec<f64> = d
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|x| x.is_finite())
+            .collect();
+        candidates.extend(self.delay.iter().copied());
+        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        // Binary search the smallest feasible candidate.
+        let mut lo = 0usize;
+        let mut hi = candidates.len() - 1;
+        let mut best = (candidates[hi], self.feasible_retiming(candidates[hi]).expect("max period is feasible"));
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            match self.feasible_retiming(candidates[mid]) {
+                Some(r) => {
+                    best = (candidates[mid], r);
+                    if mid == 0 {
+                        break;
+                    }
+                    hi = mid - 1;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        best
+    }
+
+    /// Power cost of a retiming: unfiltered glitch power plus a register
+    /// cost. A node's glitches propagate into each fanout edge without a
+    /// register; `register_cost` charges each register's clock load.
+    pub fn power_cost(&self, r: &[i64], register_cost: f64) -> f64 {
+        let mut cost = 0.0;
+        for (e, &(u, v, _)) in self.edges.iter().enumerate() {
+            let regs = self.retimed_weight(e, r);
+            if regs == 0 {
+                cost += self.glitch[u] * self.load[v];
+            }
+            cost += register_cost * regs as f64;
+        }
+        cost
+    }
+
+    /// Low-power retiming at period `c` (\[29\]): start from a feasible
+    /// retiming and hill-climb single-node moves (`r[v] ± 1`) that keep the
+    /// period within `c` and lower [`RetimeGraph::power_cost`].
+    ///
+    /// Returns `None` if `c` is infeasible.
+    pub fn retime_low_power(&self, c: f64, register_cost: f64) -> Option<(Vec<i64>, f64)> {
+        let mut r = self.feasible_retiming(c)?;
+        let mut best = self.power_cost(&r, register_cost);
+        let mut improved = true;
+        while improved {
+            improved = false;
+            for v in 0..self.len() {
+                for delta in [-1i64, 1] {
+                    r[v] += delta;
+                    if self.is_legal(&r) && self.period(&r) <= c + 1e-9 {
+                        let cost = self.power_cost(&r, register_cost);
+                        if cost < best - 1e-12 {
+                            best = cost;
+                            improved = true;
+                            continue;
+                        }
+                    }
+                    r[v] -= delta;
+                }
+            }
+        }
+        Some((r, best))
+    }
+}
+
+/// Build the classic 3-stage correlator example from the retiming
+/// literature: a host node plus a chain of comparators and adders.
+pub fn correlator() -> RetimeGraph {
+    // Nodes: 0 = host (delay 0), 1..=3 comparators (delay 3), 4..=6 adders
+    // (delay 7).
+    let mut g = RetimeGraph::new(vec![0.0, 3.0, 3.0, 3.0, 7.0, 7.0, 7.0]);
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    g.add_edge(2, 3, 1);
+    g.add_edge(3, 6, 0);
+    g.add_edge(6, 5, 0);
+    g.add_edge(5, 4, 0);
+    g.add_edge(4, 0, 0);
+    g.add_edge(1, 4, 0);
+    g.add_edge(2, 5, 0);
+    g.add_edge(3, 6, 0);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlator_min_period() {
+        // The textbook answer: the correlator retimes from period 24 to 13.
+        let g = correlator();
+        let zero = vec![0i64; g.len()];
+        let original = g.period(&zero);
+        assert!((original - 24.0).abs() < 1e-9, "original period {original}");
+        let (best, r) = g.min_period_retiming();
+        assert!(g.is_legal(&r));
+        assert!((g.period(&r) - best).abs() < 1e-9);
+        assert!(best <= 13.0 + 1e-9, "min period {best}");
+    }
+
+    #[test]
+    fn retiming_preserves_edge_register_conservation() {
+        // Register count around any cycle is invariant.
+        let g = correlator();
+        let (_, r) = g.min_period_retiming();
+        // Cycle 0→1→2→3→6→5→4→0 has 3 registers initially.
+        let cycle = [(0, 1), (1, 2), (2, 3), (3, 6), (6, 5), (5, 4), (4, 0)];
+        let total: i64 = cycle
+            .iter()
+            .map(|&(u, v)| {
+                let e = g
+                    .edges
+                    .iter()
+                    .position(|&(a, b, _)| a == u && b == v)
+                    .expect("edge exists");
+                g.retimed_weight(e, &r)
+            })
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn infeasible_period_detected() {
+        let g = correlator();
+        assert!(g.feasible_retiming(5.0).is_none(), "period 5 < max gate delay 7");
+        assert!(g.feasible_retiming(30.0).is_some());
+    }
+
+    #[test]
+    fn low_power_retiming_filters_glitchy_node() {
+        // Pipeline: src →(1 reg) glitchy → consumer →(0) sink with slack.
+        // Moving the register after the glitchy node filters its output.
+        let mut g = RetimeGraph::new(vec![0.0, 2.0, 2.0, 0.0]);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 0);
+        g.add_edge(2, 3, 1);
+        g.glitch = vec![0.0, 5.0, 0.5, 0.0]; // node 1 glitches heavily
+        g.load = vec![1.0, 1.0, 1.0, 1.0];
+        let zero = vec![0i64; 4];
+        let baseline = g.power_cost(&zero, 0.1);
+        let (r, cost) = g
+            .retime_low_power(6.0, 0.1)
+            .expect("period 6 feasible");
+        assert!(g.is_legal(&r));
+        assert!(g.period(&r) <= 6.0 + 1e-9);
+        assert!(
+            cost < baseline,
+            "low-power retiming should filter node 1: {cost} vs {baseline}"
+        );
+        // The register must sit on edge 1→2 now.
+        let e12 = g
+            .edges
+            .iter()
+            .position(|&(a, b, _)| a == 1 && b == 2)
+            .unwrap();
+        assert!(g.retimed_weight(e12, &r) >= 1);
+    }
+
+    #[test]
+    fn ff_outputs_switch_less_than_inputs_matches_sim() {
+        // Cross-check the premise of [29] with the sequential simulator: in
+        // a pipelined multiplier the register *inputs* see glitchy combinational
+        // nodes while outputs toggle at most once per cycle.
+        let nl = netlist::gen::pipelined_multiplier(4);
+        let sim = sim::seq::SeqSim::new(&nl);
+        let patterns = sim::stimulus::Stimulus::uniform(8).patterns(300, 3);
+        let activity = sim.activity(&patterns);
+        for (i, &out_t) in activity.ff_output_toggles.iter().enumerate() {
+            assert!(out_t <= 1.0 + 1e-9, "ff {i} output rate {out_t}");
+        }
+    }
+
+    #[test]
+    fn power_cost_counts_register_load() {
+        let mut g = RetimeGraph::new(vec![1.0, 1.0]);
+        g.add_edge(0, 1, 2);
+        let zero = vec![0i64; 2];
+        assert!((g.power_cost(&zero, 0.5) - 1.0).abs() < 1e-12);
+        g.glitch[0] = 3.0;
+        // Registers present → glitch filtered, only register cost.
+        assert!((g.power_cost(&zero, 0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_with_zero_register_cycle_is_infinite() {
+        let mut g = RetimeGraph::new(vec![1.0, 1.0]);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 0, 0);
+        let zero = vec![0i64; 2];
+        assert!(g.period(&zero).is_infinite());
+    }
+}

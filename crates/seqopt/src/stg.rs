@@ -1,0 +1,540 @@
+//! State Transition Graphs: probabilities, weighted activity and synthesis.
+
+use netlist::{GateKind, NetId, Netlist, Rng64};
+
+/// A completely-specified Mealy machine over `2^input_bits` input symbols.
+#[derive(Debug, Clone)]
+pub struct Stg {
+    /// Number of input bits.
+    pub input_bits: usize,
+    /// Number of output bits.
+    pub output_bits: usize,
+    /// `trans[s][i] = (next_state, output_word)` for state `s` on input
+    /// symbol `i`.
+    pub trans: Vec<Vec<(usize, u64)>>,
+}
+
+impl Stg {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Validate shape: every state has `2^input_bits` rows and targets are
+    /// in range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed tables.
+    pub fn assert_valid(&self) {
+        let symbols = 1usize << self.input_bits;
+        for (s, row) in self.trans.iter().enumerate() {
+            assert_eq!(row.len(), symbols, "state {s} row count");
+            for &(t, _) in row {
+                assert!(t < self.num_states(), "state {s} target {t} out of range");
+            }
+        }
+    }
+
+    /// Stationary state distribution under i.i.d. uniform input symbols
+    /// (power iteration).
+    pub fn stationary(&self, iterations: usize) -> Vec<f64> {
+        self.stationary_with_inputs(&vec![1.0 / (1 << self.input_bits) as f64; 1 << self.input_bits], iterations)
+    }
+
+    /// Stationary distribution under the given input-symbol probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol_probs` has the wrong length.
+    pub fn stationary_with_inputs(&self, symbol_probs: &[f64], iterations: usize) -> Vec<f64> {
+        assert_eq!(symbol_probs.len(), 1 << self.input_bits);
+        let n = self.num_states();
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..iterations {
+            let mut next = vec![0.0; n];
+            for s in 0..n {
+                for (i, &(t, _)) in self.trans[s].iter().enumerate() {
+                    next[t] += pi[s] * symbol_probs[i];
+                }
+            }
+            pi = next;
+        }
+        pi
+    }
+
+    /// Edge transition probabilities: `w[s][t]` = long-run probability that
+    /// a clock cycle takes the machine from `s` to `t`.
+    pub fn edge_weights(&self, symbol_probs: &[f64], iterations: usize) -> Vec<Vec<f64>> {
+        let pi = self.stationary_with_inputs(symbol_probs, iterations);
+        let n = self.num_states();
+        let mut w = vec![vec![0.0; n]; n];
+        for s in 0..n {
+            for (i, &(t, _)) in self.trans[s].iter().enumerate() {
+                w[s][t] += pi[s] * symbol_probs[i];
+            }
+        }
+        w
+    }
+
+    /// Fraction of probability mass on self-loop edges (the \[4\] condition).
+    pub fn self_loop_probability(&self, symbol_probs: &[f64], iterations: usize) -> f64 {
+        let w = self.edge_weights(symbol_probs, iterations);
+        (0..self.num_states()).map(|s| w[s][s]).sum()
+    }
+
+    /// Step the machine explicitly (for simulation-based validation).
+    pub fn step(&self, state: usize, symbol: usize) -> (usize, u64) {
+        self.trans[state][symbol]
+    }
+
+    /// Synthesize the machine into a gate-level netlist under `codes`
+    /// (one code per state; codes must be distinct and fit `bits`).
+    ///
+    /// The netlist has `input_bits` primary inputs, `output_bits` primary
+    /// outputs and `bits` flip-flops; next-state and output logic are
+    /// two-level SOP over state and input bits (the "complexity of the
+    /// combinational logic" the survey warns should not be ignored shows up
+    /// directly in this netlist's size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if codes collide or don't fit.
+    pub fn synthesize(&self, codes: &[u64], bits: usize, name: &str) -> Netlist {
+        assert_eq!(codes.len(), self.num_states());
+        let mut seen = std::collections::HashSet::new();
+        for &c in codes {
+            assert!(c < 1u64 << bits, "code {c:#b} does not fit {bits} bits");
+            assert!(seen.insert(c), "duplicate code {c:#b}");
+        }
+        let mut nl = Netlist::new(name);
+        let inputs: Vec<NetId> = (0..self.input_bits)
+            .map(|i| nl.add_input(format!("x{i}")))
+            .collect();
+        let state: Vec<NetId> = (0..bits)
+            .map(|b| nl.add_dff_placeholder(codes[0] >> b & 1 == 1))
+            .collect();
+        // Inverters for all fanin literals.
+        let input_inv: Vec<NetId> = inputs
+            .iter()
+            .map(|&x| nl.add_gate(GateKind::Not, &[x]))
+            .collect();
+        let state_inv: Vec<NetId> = state
+            .iter()
+            .map(|&q| nl.add_gate(GateKind::Not, &[q]))
+            .collect();
+        // Build one AND term per (state, input symbol) transition row used.
+        let minterm = |nl: &mut Netlist, s: usize, symbol: usize| -> NetId {
+            let mut literals = Vec::with_capacity(bits + self.input_bits);
+            for (b, (&q, &nq)) in state.iter().zip(state_inv.iter()).enumerate() {
+                literals.push(if codes[s] >> b & 1 == 1 { q } else { nq });
+            }
+            for (i, (&x, &nx)) in inputs.iter().zip(input_inv.iter()).enumerate() {
+                literals.push(if symbol >> i & 1 == 1 { x } else { nx });
+            }
+            if literals.len() == 1 {
+                literals[0]
+            } else {
+                nl.add_gate(GateKind::And, &literals)
+            }
+        };
+        // Next-state bit b = OR of minterms whose target code has bit b.
+        let mut cached: Vec<Vec<Option<NetId>>> =
+            vec![vec![None; 1 << self.input_bits]; self.num_states()];
+        let term = |nl: &mut Netlist, s: usize, i: usize, cached: &mut Vec<Vec<Option<NetId>>>| -> NetId {
+            if let Some(t) = cached[s][i] {
+                return t;
+            }
+            let t = minterm(nl, s, i);
+            cached[s][i] = Some(t);
+            t
+        };
+        for b in 0..bits {
+            let mut terms = Vec::new();
+            for s in 0..self.num_states() {
+                for i in 0..1usize << self.input_bits {
+                    let (t, _) = self.trans[s][i];
+                    if codes[t] >> b & 1 == 1 {
+                        terms.push(term(&mut nl, s, i, &mut cached));
+                    }
+                }
+            }
+            let d = match terms.len() {
+                0 => nl.add_const(false),
+                1 => terms[0],
+                _ => nl.add_gate(GateKind::Or, &terms),
+            };
+            nl.set_dff_data(state[b], d);
+        }
+        for o in 0..self.output_bits {
+            let mut terms = Vec::new();
+            for s in 0..self.num_states() {
+                for i in 0..1usize << self.input_bits {
+                    let (_, out) = self.trans[s][i];
+                    if out >> o & 1 == 1 {
+                        terms.push(term(&mut nl, s, i, &mut cached));
+                    }
+                }
+            }
+            let y = match terms.len() {
+                0 => nl.add_const(false),
+                1 => terms[0],
+                _ => nl.add_gate(GateKind::Or, &terms),
+            };
+            nl.mark_output(y, format!("z{o}"));
+        }
+        nl
+    }
+
+    /// A modulo-`n` up/down counter FSM: input bit 0 = direction, output =
+    /// "state is zero". Heavily biased edges (each state talks only to its
+    /// neighbours) — the classic case where Gray-style codes win.
+    pub fn counter(n: usize) -> Stg {
+        assert!(n >= 2);
+        let trans = (0..n)
+            .map(|s| {
+                vec![
+                    ((s + 1) % n, (s == 0) as u64),      // input 0: up
+                    ((s + n - 1) % n, (s == 0) as u64),  // input 1: down
+                ]
+            })
+            .collect();
+        Stg {
+            input_bits: 1,
+            output_bits: 1,
+            trans,
+        }
+    }
+
+    /// A random FSM with `n` states, skewed so a few transitions carry most
+    /// of the probability mass (realistic control-dominated machine).
+    ///
+    /// Symbol 0 always advances around a ring, guaranteeing the chain is
+    /// irreducible (no absorbing subsets), so stationary probabilities are
+    /// well defined for any seed.
+    pub fn random(n: usize, input_bits: usize, output_bits: usize, seed: u64) -> Stg {
+        let mut rng = Rng64::new(seed);
+        let symbols = 1usize << input_bits;
+        let trans = (0..n)
+            .map(|s| {
+                // A "home" target receives most symbols; the rest scatter.
+                let home = rng.range(0, n);
+                (0..symbols)
+                    .map(|i| {
+                        let t = if i == 0 {
+                            (s + 1) % n
+                        } else if rng.chance(0.7) {
+                            home
+                        } else {
+                            rng.range(0, n)
+                        };
+                        let out = rng.next_below(1 << output_bits);
+                        (t, out)
+                    })
+                    .collect()
+            })
+            .collect();
+        Stg {
+            input_bits,
+            output_bits,
+            trans,
+        }
+    }
+}
+
+/// Weighted flip-flop switching of an encoding:
+/// `Σ_{s,t} w[s][t] · hamming(code_s, code_t)` — the cost function of the
+/// low-power state-assignment papers (\[35\]\[47\]).
+pub fn weighted_switching(weights: &[Vec<f64>], codes: &[u64]) -> f64 {
+    let n = codes.len();
+    let mut total = 0.0;
+    for s in 0..n {
+        for t in 0..n {
+            if weights[s][t] > 0.0 {
+                total += weights[s][t] * (codes[s] ^ codes[t]).count_ones() as f64;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::seq::SeqSim;
+    use sim::stimulus::Stimulus;
+
+    #[test]
+    fn counter_stg_shape() {
+        let stg = Stg::counter(8);
+        stg.assert_valid();
+        assert_eq!(stg.num_states(), 8);
+        let pi = stg.stationary(200);
+        for &p in &pi {
+            assert!((p - 0.125).abs() < 1e-6, "uniform stationary, got {p}");
+        }
+        // No self loops in a counter.
+        assert!(stg.self_loop_probability(&[0.5, 0.5], 200) < 1e-9);
+    }
+
+    #[test]
+    fn skewed_machine_has_self_loops() {
+        let stg = Stg::random(6, 2, 2, 3);
+        stg.assert_valid();
+        let probs = vec![0.25; 4];
+        let p_self = stg.self_loop_probability(&probs, 300);
+        assert!(p_self > 0.0);
+        let pi = stg.stationary(300);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_switching_counts_hamming() {
+        // Two states toggling every cycle.
+        let w = vec![vec![0.0, 0.5], vec![0.5, 0.0]];
+        assert!((weighted_switching(&w, &[0b00, 0b11]) - 2.0).abs() < 1e-12);
+        assert!((weighted_switching(&w, &[0b00, 0b01]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthesized_counter_matches_stg() {
+        let stg = Stg::counter(5);
+        let codes: Vec<u64> = (0..5).collect();
+        let nl = stg.synthesize(&codes, 3, "ctr5");
+        nl.validate().unwrap();
+        let sim = SeqSim::new(&nl);
+        let mut stg_state = 0usize;
+        let patterns = Stimulus::uniform(1).patterns(100, 9);
+        let mut reg_state: Vec<bool> = sim.initial_state();
+        for p in &patterns {
+            let symbol = p[0] as usize;
+            let values = sim.settle(&reg_state, p);
+            let (next, out) = stg.step(stg_state, symbol);
+            // Check output.
+            let z = values[nl.outputs()[0].0.index()];
+            assert_eq!(z as u64, out, "output at state {stg_state}");
+            reg_state = sim.next_state(&reg_state, &values);
+            stg_state = next;
+            // Check state code.
+            let code_now: u64 = reg_state
+                .iter()
+                .enumerate()
+                .map(|(b, &v)| (v as u64) << b)
+                .sum();
+            assert_eq!(code_now, codes[next]);
+        }
+    }
+
+    #[test]
+    fn synthesized_random_fsm_matches_stg() {
+        let stg = Stg::random(7, 2, 3, 11);
+        let bits = 3;
+        let codes: Vec<u64> = (0..7).collect();
+        let nl = stg.synthesize(&codes, bits, "rand7");
+        nl.validate().unwrap();
+        let sim = SeqSim::new(&nl);
+        let mut stg_state = 0usize;
+        let mut reg_state = sim.initial_state();
+        let patterns = Stimulus::uniform(2).patterns(200, 13);
+        for p in &patterns {
+            let symbol = p[0] as usize | (p[1] as usize) << 1;
+            let values = sim.settle(&reg_state, p);
+            let (next, out) = stg.step(stg_state, symbol);
+            let z: u64 = nl
+                .outputs()
+                .iter()
+                .enumerate()
+                .map(|(o, (net, _))| (values[net.index()] as u64) << o)
+                .sum();
+            assert_eq!(z, out, "output at state {stg_state} symbol {symbol}");
+            reg_state = sim.next_state(&reg_state, &values);
+            stg_state = next;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate code")]
+    fn duplicate_codes_rejected() {
+        let stg = Stg::counter(3);
+        stg.synthesize(&[0, 1, 1], 2, "bad");
+    }
+}
+
+impl Stg {
+    /// Synthesize with two-level minimization, using the unused state
+    /// codes as don't-cares (the classic synthesis flow: minimize each
+    /// next-state and output function before building gates).
+    ///
+    /// Variables are ordered state bits first, then input bits. Produces
+    /// the same behaviour as [`Stg::synthesize`] from any reachable state,
+    /// usually with far less logic when `2^bits > num_states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Stg::synthesize`], or if
+    /// `bits + input_bits > 60`.
+    pub fn synthesize_minimized(&self, codes: &[u64], bits: usize, name: &str) -> Netlist {
+        use logicopt::factor::{Cube, Sop};
+        use logicopt::twolevel::minimize;
+        assert!(bits + self.input_bits <= 60, "too many variables");
+        assert_eq!(codes.len(), self.num_states());
+        let nvars = bits + self.input_bits;
+        let minterm = |state_code: u64, symbol: usize| -> Cube {
+            let mut c = Cube::ONE;
+            for b in 0..bits {
+                c = c
+                    .and(Cube::literal(b, state_code >> b & 1 == 1))
+                    .expect("fresh vars");
+            }
+            for i in 0..self.input_bits {
+                c = c
+                    .and(Cube::literal(bits + i, symbol >> i & 1 == 1))
+                    .expect("fresh vars");
+            }
+            c
+        };
+        // Don't-care set: every unused state code (any input).
+        let used: std::collections::HashSet<u64> = codes.iter().copied().collect();
+        let mut dc_cubes = Vec::new();
+        for code in 0..1u64 << bits {
+            if !used.contains(&code) {
+                let mut c = Cube::ONE;
+                for b in 0..bits {
+                    c = c
+                        .and(Cube::literal(b, code >> b & 1 == 1))
+                        .expect("fresh vars");
+                }
+                dc_cubes.push(c);
+            }
+        }
+        let dc = Sop::new(dc_cubes);
+        // One minimized cover per next-state bit and output bit.
+        let mut covers: Vec<Sop> = Vec::with_capacity(bits + self.output_bits);
+        for b in 0..bits {
+            let mut on = Vec::new();
+            for (s, row) in self.trans.iter().enumerate() {
+                for (i, &(t, _)) in row.iter().enumerate() {
+                    if codes[t] >> b & 1 == 1 {
+                        on.push(minterm(codes[s], i));
+                    }
+                }
+            }
+            covers.push(minimize(&Sop::new(on), &dc, nvars).cover);
+        }
+        for o in 0..self.output_bits {
+            let mut on = Vec::new();
+            for (s, row) in self.trans.iter().enumerate() {
+                for (i, &(_, out)) in row.iter().enumerate() {
+                    if out >> o & 1 == 1 {
+                        on.push(minterm(codes[s], i));
+                    }
+                }
+            }
+            covers.push(minimize(&Sop::new(on), &dc, nvars).cover);
+        }
+        // Build the netlist from the covers.
+        let mut nl = Netlist::new(name);
+        let inputs: Vec<NetId> = (0..self.input_bits)
+            .map(|i| nl.add_input(format!("x{i}")))
+            .collect();
+        let state: Vec<NetId> = (0..bits)
+            .map(|b| nl.add_dff_placeholder(codes[0] >> b & 1 == 1))
+            .collect();
+        let mut var_nets: Vec<NetId> = state.clone();
+        var_nets.extend(inputs.iter().copied());
+        let inv_nets: Vec<NetId> = var_nets
+            .iter()
+            .map(|&v| nl.add_gate(GateKind::Not, &[v]))
+            .collect();
+        let build = |nl: &mut Netlist, cover: &Sop| -> NetId {
+            if cover.cubes.is_empty() {
+                return nl.add_const(false);
+            }
+            let mut terms = Vec::new();
+            for c in &cover.cubes {
+                let mut literals = Vec::new();
+                for v in 0..nvars {
+                    if c.pos >> v & 1 == 1 {
+                        literals.push(var_nets[v]);
+                    }
+                    if c.neg >> v & 1 == 1 {
+                        literals.push(inv_nets[v]);
+                    }
+                }
+                terms.push(match literals.len() {
+                    0 => nl.add_const(true),
+                    1 => literals[0],
+                    _ => nl.add_gate(GateKind::And, &literals),
+                });
+            }
+            if terms.len() == 1 {
+                terms[0]
+            } else {
+                nl.add_gate(GateKind::Or, &terms)
+            }
+        };
+        for b in 0..bits {
+            let d = build(&mut nl, &covers[b]);
+            nl.set_dff_data(state[b], d);
+        }
+        for o in 0..self.output_bits {
+            let y = build(&mut nl, &covers[bits + o]);
+            nl.mark_output(y, format!("z{o}"));
+        }
+        nl
+    }
+}
+
+#[cfg(test)]
+mod minimized_synthesis_tests {
+    use super::*;
+    use sim::seq::SeqSim;
+    use sim::stimulus::Stimulus;
+
+    fn behaviourally_equal(a: &Netlist, b: &Netlist, cycles: usize, seed: u64) -> bool {
+        let sa = SeqSim::new(a);
+        let sb = SeqSim::new(b);
+        let patterns = Stimulus::uniform(a.num_inputs()).patterns(cycles, seed);
+        sa.run(&patterns) == sb.run(&patterns)
+    }
+
+    #[test]
+    fn minimized_fsm_matches_plain_synthesis() {
+        for seed in [3u64, 11, 19] {
+            let stg = Stg::random(5, 2, 2, seed); // 5 states in 3 bits: 3 DC codes
+            let codes: Vec<u64> = (0..5).collect();
+            let plain = stg.synthesize(&codes, 3, "plain");
+            let minimized = stg.synthesize_minimized(&codes, 3, "minimized");
+            minimized.validate().unwrap();
+            assert!(
+                behaviourally_equal(&plain, &minimized, 500, seed ^ 0x55),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn minimized_fsm_is_smaller() {
+        let stg = Stg::random(5, 2, 2, 7);
+        let codes: Vec<u64> = (0..5).collect();
+        let plain = stg.synthesize(&codes, 3, "plain");
+        let minimized = stg.synthesize_minimized(&codes, 3, "minimized");
+        let sp = netlist::NetlistStats::of(&plain);
+        let sm = netlist::NetlistStats::of(&minimized);
+        assert!(
+            sm.transistors < sp.transistors,
+            "minimized {} vs plain {}",
+            sm.transistors,
+            sp.transistors
+        );
+    }
+
+    #[test]
+    fn counter_minimized_synthesis_counts() {
+        let stg = Stg::counter(6); // 6 states in 3 bits: 2 DC codes
+        let codes: Vec<u64> = (0..6).collect();
+        let plain = stg.synthesize(&codes, 3, "plain");
+        let minimized = stg.synthesize_minimized(&codes, 3, "minimized");
+        assert!(behaviourally_equal(&plain, &minimized, 300, 9));
+    }
+}

@@ -1,0 +1,214 @@
+//! Input-pattern sources for activity measurement.
+//!
+//! The survey's architecture-level section stresses that *known signal
+//! statistics* give better power estimates than random streams (\[21\]\[22\]);
+//! these generators produce streams with controlled one-probability and
+//! temporal correlation so experiments can sweep those statistics.
+
+use netlist::Rng64;
+
+/// A stream of input patterns (one `Vec<bool>` per clock cycle).
+pub type PatternSet = Vec<Vec<bool>>;
+
+/// Statistical description of an input stream.
+#[derive(Debug, Clone)]
+pub enum Stimulus {
+    /// Independent uniform bits (`P(1) = 0.5`, no temporal correlation).
+    Uniform {
+        /// Number of input bits per pattern.
+        width: usize,
+    },
+    /// Independent biased bits: `P(input_i = 1) = probs[i]`.
+    Biased {
+        /// Per-input one-probabilities.
+        probs: Vec<f64>,
+    },
+    /// Temporally correlated bits: each input is a two-state Markov chain
+    /// that *toggles* with probability `toggle[i]` per cycle (steady-state
+    /// one-probability 0.5, switching activity `toggle[i]`).
+    Correlated {
+        /// Per-input per-cycle toggle probabilities.
+        toggle: Vec<f64>,
+    },
+    /// A binary up-counter over the inputs (LSB is input 0); models
+    /// address-bus style sequential data for the bus-coding experiments.
+    Counting {
+        /// Number of input bits per pattern.
+        width: usize,
+    },
+}
+
+impl Stimulus {
+    /// Uniform stream over `width` inputs.
+    pub fn uniform(width: usize) -> Stimulus {
+        Stimulus::Uniform { width }
+    }
+
+    /// Biased stream with the given per-input one-probabilities.
+    pub fn biased(probs: Vec<f64>) -> Stimulus {
+        Stimulus::Biased { probs }
+    }
+
+    /// Correlated stream with the given per-input toggle rates.
+    pub fn correlated(toggle: Vec<f64>) -> Stimulus {
+        Stimulus::Correlated { toggle }
+    }
+
+    /// Counting (address-like) stream over `width` inputs.
+    pub fn counting(width: usize) -> Stimulus {
+        Stimulus::Counting { width }
+    }
+
+    /// Number of bits per pattern.
+    pub fn width(&self) -> usize {
+        match self {
+            Stimulus::Uniform { width } | Stimulus::Counting { width } => *width,
+            Stimulus::Biased { probs } => probs.len(),
+            Stimulus::Correlated { toggle } => toggle.len(),
+        }
+    }
+
+    /// Generate `cycles` patterns deterministically from `seed`.
+    pub fn patterns(&self, cycles: usize, seed: u64) -> PatternSet {
+        let mut rng = Rng64::new(seed);
+        let width = self.width();
+        let mut out = Vec::with_capacity(cycles);
+        match self {
+            Stimulus::Uniform { .. } => {
+                for _ in 0..cycles {
+                    out.push((0..width).map(|_| rng.flip()).collect());
+                }
+            }
+            Stimulus::Biased { probs } => {
+                for _ in 0..cycles {
+                    out.push(probs.iter().map(|&p| rng.chance(p)).collect());
+                }
+            }
+            Stimulus::Correlated { toggle } => {
+                let mut state: Vec<bool> = (0..width).map(|_| rng.flip()).collect();
+                for _ in 0..cycles {
+                    out.push(state.clone());
+                    for (bit, &t) in state.iter_mut().zip(toggle.iter()) {
+                        if rng.chance(t) {
+                            *bit = !*bit;
+                        }
+                    }
+                }
+            }
+            Stimulus::Counting { .. } => {
+                for k in 0..cycles {
+                    out.push((0..width).map(|i| k >> i & 1 == 1).collect());
+                }
+            }
+        }
+        out
+    }
+
+    /// The expected per-input one-probability of this stream.
+    pub fn expected_probability(&self, input: usize) -> f64 {
+        match self {
+            Stimulus::Uniform { .. } | Stimulus::Correlated { .. } => 0.5,
+            Stimulus::Biased { probs } => probs[input],
+            Stimulus::Counting { .. } => 0.5,
+        }
+    }
+}
+
+/// Measured per-input statistics of a pattern set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputStats {
+    /// Fraction of cycles each input was 1.
+    pub probability: Vec<f64>,
+    /// Per-cycle toggle rate of each input.
+    pub toggle_rate: Vec<f64>,
+}
+
+/// Measure one-probability and toggle rate of each input column.
+///
+/// # Panics
+///
+/// Panics if the pattern set is empty or ragged.
+pub fn measure(patterns: &PatternSet) -> InputStats {
+    assert!(!patterns.is_empty(), "need at least one pattern");
+    let width = patterns[0].len();
+    let mut ones = vec![0usize; width];
+    let mut toggles = vec![0usize; width];
+    for (k, p) in patterns.iter().enumerate() {
+        assert_eq!(p.len(), width, "ragged pattern set");
+        for (i, &b) in p.iter().enumerate() {
+            ones[i] += b as usize;
+            if k > 0 && patterns[k - 1][i] != b {
+                toggles[i] += 1;
+            }
+        }
+    }
+    let n = patterns.len() as f64;
+    InputStats {
+        probability: ones.iter().map(|&o| o as f64 / n).collect(),
+        toggle_rate: toggles.iter().map(|&t| t as f64 / (n - 1.0).max(1.0)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_statistics() {
+        let patterns = Stimulus::uniform(8).patterns(4000, 1);
+        let stats = measure(&patterns);
+        for i in 0..8 {
+            assert!((stats.probability[i] - 0.5).abs() < 0.05, "p[{i}]");
+            assert!((stats.toggle_rate[i] - 0.5).abs() < 0.05, "t[{i}]");
+        }
+    }
+
+    #[test]
+    fn biased_statistics() {
+        let probs = vec![0.1, 0.5, 0.9];
+        let patterns = Stimulus::biased(probs.clone()).patterns(6000, 2);
+        let stats = measure(&patterns);
+        for i in 0..3 {
+            assert!(
+                (stats.probability[i] - probs[i]).abs() < 0.04,
+                "p[{i}] = {}",
+                stats.probability[i]
+            );
+        }
+        // Independent bias p has toggle rate 2p(1-p).
+        let expected_toggle = 2.0 * 0.1 * 0.9;
+        assert!((stats.toggle_rate[0] - expected_toggle).abs() < 0.04);
+    }
+
+    #[test]
+    fn correlated_statistics() {
+        let patterns = Stimulus::correlated(vec![0.05, 0.8]).patterns(6000, 3);
+        let stats = measure(&patterns);
+        assert!((stats.toggle_rate[0] - 0.05).abs() < 0.02);
+        assert!((stats.toggle_rate[1] - 0.8).abs() < 0.03);
+    }
+
+    #[test]
+    fn counting_statistics() {
+        let patterns = Stimulus::counting(4).patterns(16, 0);
+        // LSB toggles every cycle; bit 3 toggles twice in 16 cycles... once
+        // going 0111->1000 and that's it within 0..15.
+        let stats = measure(&patterns);
+        assert!((stats.toggle_rate[0] - 1.0).abs() < 1e-9);
+        assert!(stats.toggle_rate[3] < stats.toggle_rate[1]);
+        // Pattern k encodes k.
+        for (k, p) in patterns.iter().enumerate() {
+            let v: usize = p.iter().enumerate().map(|(i, &b)| (b as usize) << i).sum();
+            assert_eq!(v, k);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Stimulus::uniform(5).patterns(100, 42);
+        let b = Stimulus::uniform(5).patterns(100, 42);
+        assert_eq!(a, b);
+        let c = Stimulus::uniform(5).patterns(100, 43);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,431 @@
+//! Expression compilation: memory-stack vs register-allocated code.
+//!
+//! Demonstrates the survey's software-level claims (\[45\]\[46\]): a compiler
+//! that keeps values in registers produces code that is both faster
+//! (fewer instructions) and lower energy (register operands are much
+//! cheaper than memory operands); "faster code almost always implies
+//! lower energy code".
+
+use crate::isa::{Instr, Program, Reg};
+
+/// A compile-time expression tree.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A literal constant.
+    Const(i64),
+    /// A value loaded from data memory.
+    Var(u16),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Direct evaluation, reading variables from `mem`.
+    pub fn eval(&self, mem: &[i64]) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(a) => mem[*a as usize],
+            Expr::Add(x, y) => x.eval(mem).wrapping_add(y.eval(mem)),
+            Expr::Sub(x, y) => x.eval(mem).wrapping_sub(y.eval(mem)),
+            Expr::Mul(x, y) => x.eval(mem).wrapping_mul(y.eval(mem)),
+        }
+    }
+
+    /// Number of operator nodes.
+    pub fn ops(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 0,
+            Expr::Add(x, y) | Expr::Sub(x, y) | Expr::Mul(x, y) => 1 + x.ops() + y.ops(),
+        }
+    }
+}
+
+/// Compile to **memory-stack** code: every intermediate is stored to and
+/// reloaded from a memory scratch area starting at `scratch_base` (the
+/// "accumulator + spill everything" style of a naive compiler). The result
+/// lands in `r0`.
+pub fn compile_memory_stack(expr: &Expr, scratch_base: u16) -> Program {
+    let mut program = Vec::new();
+    let mut sp = scratch_base;
+    gen_stack(expr, &mut program, &mut sp);
+    // Result is on top of the stack: pop into r0.
+    program.push(Instr::Ld(Reg(0), sp - 1));
+    program
+}
+
+fn gen_stack(expr: &Expr, program: &mut Program, sp: &mut u16) {
+    match expr {
+        Expr::Const(c) => {
+            program.push(Instr::Li(Reg(0), *c));
+            program.push(Instr::St(Reg(0), *sp));
+            *sp += 1;
+        }
+        Expr::Var(addr) => {
+            program.push(Instr::Ld(Reg(0), *addr));
+            program.push(Instr::St(Reg(0), *sp));
+            *sp += 1;
+        }
+        Expr::Add(x, y) | Expr::Sub(x, y) | Expr::Mul(x, y) => {
+            gen_stack(x, program, sp);
+            gen_stack(y, program, sp);
+            // Pop two, push one.
+            program.push(Instr::Ld(Reg(1), *sp - 1));
+            program.push(Instr::Ld(Reg(0), *sp - 2));
+            *sp -= 2;
+            program.push(match expr {
+                Expr::Add(..) => Instr::Add(Reg(0), Reg(0), Reg(1)),
+                Expr::Sub(..) => Instr::Sub(Reg(0), Reg(0), Reg(1)),
+                Expr::Mul(..) => Instr::Mul(Reg(0), Reg(0), Reg(1)),
+                _ => unreachable!(),
+            });
+            program.push(Instr::St(Reg(0), *sp));
+            *sp += 1;
+        }
+    }
+}
+
+/// Compile with **Sethi–Ullman register allocation**: intermediates live
+/// in registers; memory is touched only to read variables (and to spill if
+/// the expression needs more than 8 registers). The result lands in `r0`.
+pub fn compile_registers(expr: &Expr, scratch_base: u16) -> Program {
+    let mut program = Vec::new();
+    let free: Vec<Reg> = (0..Reg::COUNT as u8).rev().map(Reg).collect();
+    let mut spill = scratch_base;
+    let result = gen_reg(expr, &mut program, free, &mut spill);
+    if result != Reg(0) {
+        // Move the result into r0 through a zero register distinct from
+        // the result.
+        let zr = if result == Reg(1) { Reg(2) } else { Reg(1) };
+        program.push(Instr::Li(zr, 0));
+        program.push(Instr::Add(Reg(0), result, zr));
+    }
+    program
+}
+
+fn need(expr: &Expr) -> usize {
+    // Sethi–Ullman numbers.
+    match expr {
+        Expr::Const(_) | Expr::Var(_) => 1,
+        Expr::Add(x, y) | Expr::Sub(x, y) | Expr::Mul(x, y) => {
+            let nx = need(x);
+            let ny = need(y);
+            if nx == ny {
+                nx + 1
+            } else {
+                nx.max(ny)
+            }
+        }
+    }
+}
+
+fn gen_reg(expr: &Expr, program: &mut Program, mut free: Vec<Reg>, spill: &mut u16) -> Reg {
+    match expr {
+        Expr::Const(c) => {
+            let r = free.pop().expect("register available");
+            program.push(Instr::Li(r, *c));
+            r
+        }
+        Expr::Var(addr) => {
+            let r = free.pop().expect("register available");
+            program.push(Instr::Ld(r, *addr));
+            r
+        }
+        Expr::Add(x, y) | Expr::Sub(x, y) | Expr::Mul(x, y) => {
+            // Evaluate the hungrier side first (Sethi–Ullman order); every
+            // binop sees `free.len() ≥ 2` (the top level starts with 8 and
+            // the spill path always passes the full free set down).
+            let (first, second, swapped) = if need(x) >= need(y) {
+                (x, y, false)
+            } else {
+                (y, x, true)
+            };
+            let r1 = gen_reg(first, program, free.clone(), spill);
+            // r1 is live now; the rest of `free` is genuinely free.
+            let free2: Vec<Reg> = free.iter().copied().filter(|&r| r != r1).collect();
+            if need(second) <= free2.len() {
+                let r2 = gen_reg(second, program, free2, spill);
+                emit_binop(expr, program, r1, r2, swapped)
+            } else {
+                // Spill r1 to scratch, give the second operand the whole
+                // register file, then reload into any register ≠ r2.
+                let slot = *spill;
+                *spill += 1;
+                program.push(Instr::St(r1, slot));
+                let r2 = gen_reg(second, program, free.clone(), spill);
+                *spill -= 1;
+                let r1b = free
+                    .iter()
+                    .copied()
+                    .find(|&r| r != r2)
+                    .expect("binop requires at least two free registers");
+                program.push(Instr::Ld(r1b, slot));
+                emit_binop(expr, program, r1b, r2, swapped)
+            }
+        }
+    }
+}
+
+fn emit_binop(expr: &Expr, program: &mut Program, r1: Reg, r2: Reg, swapped: bool) -> Reg {
+    let (a, b) = if swapped { (r2, r1) } else { (r1, r2) };
+    program.push(match expr {
+        Expr::Add(..) => Instr::Add(a, a, b),
+        Expr::Sub(..) => Instr::Sub(a, a, b),
+        Expr::Mul(..) => Instr::Mul(a, a, b),
+        _ => unreachable!(),
+    });
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::CpuModel;
+    use crate::isa::run_program;
+    use netlist::Rng64;
+
+    fn random_expr(depth: usize, rng: &mut Rng64) -> Expr {
+        if depth == 0 || rng.chance(0.3) {
+            if rng.flip() {
+                Expr::Var(rng.range(0, 16) as u16)
+            } else {
+                Expr::Const(rng.range(0, 100) as i64)
+            }
+        } else {
+            let x = Box::new(random_expr(depth - 1, rng));
+            let y = Box::new(random_expr(depth - 1, rng));
+            match rng.range(0, 3) {
+                0 => Expr::Add(x, y),
+                1 => Expr::Sub(x, y),
+                _ => Expr::Mul(x, y),
+            }
+        }
+    }
+
+    fn check_both(expr: &Expr) -> (usize, usize) {
+        // Variables live at mem[0..16]; scratch above.
+        let mut init_mem = vec![0i64; 16];
+        for (i, slot) in init_mem.iter_mut().enumerate() {
+            *slot = (i * 7 + 3) as i64;
+        }
+        let expected = {
+            let mut mem = vec![0i64; 256];
+            mem[..16].copy_from_slice(&init_mem);
+            expr.eval(&mem)
+        };
+        let run = |program: &Program| -> i64 {
+            let mut m = crate::isa::Machine::new();
+            m.mem[..16].copy_from_slice(&init_mem);
+            m.run(program);
+            m.regs[0]
+        };
+        let mem_code = compile_memory_stack(expr, 64);
+        let reg_code = compile_registers(expr, 64);
+        assert_eq!(run(&mem_code), expected, "memory-stack code wrong");
+        assert_eq!(run(&reg_code), expected, "register code wrong");
+        (mem_code.len(), reg_code.len())
+    }
+
+    #[test]
+    fn both_compilers_correct_on_random_exprs() {
+        let mut rng = Rng64::new(17);
+        for _ in 0..40 {
+            let expr = random_expr(4, &mut rng);
+            check_both(&expr);
+        }
+    }
+
+    #[test]
+    fn deep_expressions_spill_correctly() {
+        // A left-leaning chain (low register need, no spills)...
+        let mut expr = Expr::Var(0);
+        for i in 1..14 {
+            expr = Expr::Add(
+                Box::new(Expr::Mul(Box::new(Expr::Var(i as u16 % 16)), Box::new(expr))),
+                Box::new(Expr::Var((i * 3) as u16 % 16)),
+            );
+        }
+        check_both(&expr);
+        // ...and a balanced tree of depth 9 (Sethi–Ullman need 10 > 8
+        // registers), which genuinely forces spill code.
+        fn balanced(depth: usize, leaf: &mut u16) -> Expr {
+            if depth == 0 {
+                let v = Expr::Var(*leaf % 16);
+                *leaf += 1;
+                Expr::Add(Box::new(v), Box::new(Expr::Const(1)))
+            } else {
+                Expr::Add(
+                    Box::new(balanced(depth - 1, leaf)),
+                    Box::new(balanced(depth - 1, leaf)),
+                )
+            }
+        }
+        let mut leaf = 0;
+        let tree = balanced(9, &mut leaf);
+        assert!(super::need(&tree) > 8, "test must force spilling");
+        check_both(&tree);
+        // Spill code really was emitted (stores above the variable area).
+        let code = compile_registers(&tree, 64);
+        assert!(code.iter().any(|i| matches!(i, Instr::St(_, a) if *a >= 64)));
+    }
+
+    #[test]
+    fn register_code_is_shorter_and_cheaper() {
+        let mut rng = Rng64::new(23);
+        let mut total_mem = (0usize, 0.0f64);
+        let mut total_reg = (0usize, 0.0f64);
+        let cpu = CpuModel::big_cpu();
+        for _ in 0..20 {
+            let expr = random_expr(4, &mut rng);
+            let (mem_len, reg_len) = check_both(&expr);
+            let mem_code = compile_memory_stack(&expr, 64);
+            let reg_code = compile_registers(&expr, 64);
+            total_mem = (total_mem.0 + mem_len, total_mem.1 + cpu.program_energy(&mem_code));
+            total_reg = (total_reg.0 + reg_len, total_reg.1 + cpu.program_energy(&reg_code));
+        }
+        assert!(
+            total_reg.0 < total_mem.0,
+            "register code shorter: {} vs {}",
+            total_reg.0,
+            total_mem.0
+        );
+        assert!(
+            total_reg.1 < total_mem.1,
+            "register code lower energy: {} vs {}",
+            total_reg.1,
+            total_mem.1
+        );
+    }
+
+    #[test]
+    fn faster_implies_lower_energy() {
+        // Across many random expressions, the shorter program is (almost)
+        // always the lower-energy one — the survey's headline lesson.
+        let mut rng = Rng64::new(31);
+        let cpu = CpuModel::big_cpu();
+        let mut agree = 0;
+        let mut total = 0;
+        for _ in 0..30 {
+            let expr = random_expr(3, &mut rng);
+            let a = compile_memory_stack(&expr, 64);
+            let b = compile_registers(&expr, 64);
+            if a.len() == b.len() {
+                continue;
+            }
+            total += 1;
+            let faster_is_cheaper = (a.len() < b.len())
+                == (cpu.program_energy(&a) < cpu.program_energy(&b));
+            agree += faster_is_cheaper as usize;
+        }
+        assert!(total > 0);
+        assert_eq!(agree, total, "faster code must be lower-energy code");
+    }
+
+    #[test]
+    fn machine_cycles_match_program_length() {
+        let expr = Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Var(1)));
+        let code = compile_registers(&expr, 64);
+        let m = run_program(&code);
+        assert_eq!(m.cycles as usize, code.len());
+    }
+}
+
+/// Naive degree-`d` polynomial evaluation: `Σ c_i · x^i`, computing each
+/// power from scratch — the quadratic-work algorithm.
+///
+/// Coefficients live at `coeff_base + i`, `x` at address `x_addr`.
+pub fn polynomial_naive(degree: usize, x_addr: u16, coeff_base: u16) -> Expr {
+    let mut acc = Expr::Var(coeff_base); // c_0
+    for i in 1..=degree {
+        let mut power = Expr::Var(x_addr);
+        for _ in 1..i {
+            power = Expr::Mul(Box::new(power), Box::new(Expr::Var(x_addr)));
+        }
+        let term = Expr::Mul(Box::new(Expr::Var(coeff_base + i as u16)), Box::new(power));
+        acc = Expr::Add(Box::new(acc), Box::new(term));
+    }
+    acc
+}
+
+/// Horner's rule for the same polynomial: `(((c_d·x + c_{d-1})·x + …)·x +
+/// c_0)` — linear work. The \[49\]-style "choice of algorithm" lever.
+pub fn polynomial_horner(degree: usize, x_addr: u16, coeff_base: u16) -> Expr {
+    let mut acc = Expr::Var(coeff_base + degree as u16);
+    for i in (0..degree).rev() {
+        acc = Expr::Add(
+            Box::new(Expr::Mul(Box::new(acc), Box::new(Expr::Var(x_addr)))),
+            Box::new(Expr::Var(coeff_base + i as u16)),
+        );
+    }
+    acc
+}
+
+#[cfg(test)]
+mod algorithm_tests {
+    use super::*;
+    use crate::energy::CpuModel;
+    use crate::isa::Machine;
+
+    fn eval_on_machine(expr: &Expr, x: i64, coeffs: &[i64]) -> i64 {
+        let code = compile_registers(expr, 64);
+        let mut m = Machine::new();
+        m.mem[0] = x;
+        for (i, &c) in coeffs.iter().enumerate() {
+            m.mem[8 + i] = c;
+        }
+        m.run(&code);
+        m.regs[0]
+    }
+
+    #[test]
+    fn both_algorithms_compute_the_polynomial() {
+        let coeffs = [3i64, -2, 5, 1, -4];
+        let degree = coeffs.len() - 1;
+        for x in [-3i64, 0, 1, 2, 7] {
+            let expected: i64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c * x.pow(i as u32))
+                .sum();
+            let naive = polynomial_naive(degree, 0, 8);
+            let horner = polynomial_horner(degree, 0, 8);
+            assert_eq!(eval_on_machine(&naive, x, &coeffs), expected, "naive x={x}");
+            assert_eq!(eval_on_machine(&horner, x, &coeffs), expected, "horner x={x}");
+        }
+    }
+
+    #[test]
+    fn horner_is_faster_and_cheaper() {
+        // [49]: the choice of algorithm determines runtime complexity and
+        // therefore energy; Horner's linear multiply count beats the naive
+        // quadratic one, and the faster code is also the lower-energy code.
+        let degree = 6;
+        let naive = compile_registers(&polynomial_naive(degree, 0, 8), 64);
+        let horner = compile_registers(&polynomial_horner(degree, 0, 8), 64);
+        assert!(horner.len() < naive.len());
+        for cpu in [CpuModel::big_cpu(), CpuModel::dsp_core()] {
+            assert!(
+                cpu.program_energy(&horner) < cpu.program_energy(&naive),
+                "{}",
+                cpu.name
+            );
+        }
+    }
+
+    #[test]
+    fn gap_grows_with_degree() {
+        let cpu = CpuModel::big_cpu();
+        let mut last_ratio = 1.0;
+        for degree in [2usize, 4, 8] {
+            let naive = compile_registers(&polynomial_naive(degree, 0, 8), 64);
+            let horner = compile_registers(&polynomial_horner(degree, 0, 8), 64);
+            let ratio = cpu.program_energy(&naive) / cpu.program_energy(&horner);
+            assert!(ratio >= last_ratio, "degree {degree}: ratio {ratio}");
+            last_ratio = ratio;
+        }
+        assert!(last_ratio > 1.5, "final ratio {last_ratio}");
+    }
+}

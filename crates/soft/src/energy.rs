@@ -1,0 +1,251 @@
+//! Instruction-level energy models (\[46\], Tiwari–Malik–Wolfe).
+//!
+//! The measurement-based methodology assigns each instruction a **base
+//! cost** (average current while executing it in a loop) and each ordered
+//! pair of instructions a **circuit-state overhead** (the extra current
+//! observed when they alternate). Memory operands add a large per-access
+//! cost. We provide two calibrated profiles:
+//!
+//! * [`CpuModel::big_cpu`] — a large general-purpose CPU: high base costs,
+//!   *small* inter-instruction overheads (the 486DX2-class result that
+//!   reordering barely matters, \[46\]);
+//! * [`CpuModel::dsp_core`] — a small DSP: low base costs, *large*
+//!   class-dependent overheads, pairing support (\[23\]).
+
+use crate::isa::{Instr, OpClass, Program};
+
+/// An instruction-level energy model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Base energy per instruction class (nJ).
+    pub base: fn(OpClass) -> f64,
+    /// Circuit-state overhead between consecutive instruction classes (nJ).
+    pub overhead: fn(OpClass, OpClass) -> f64,
+    /// Extra energy per memory access (nJ).
+    pub memory_access: f64,
+    /// Extra energy charged for the second slot of a pair (nJ); `None`
+    /// means the core cannot pair.
+    pub pair_slot: Option<f64>,
+}
+
+fn big_base(class: OpClass) -> f64 {
+    match class {
+        OpClass::Alu => 5.2,
+        OpClass::Mul => 6.5,
+        OpClass::Mem => 5.8,
+        OpClass::Move => 5.0,
+        OpClass::Branch => 5.5,
+    }
+}
+
+fn big_overhead(a: OpClass, b: OpClass) -> f64 {
+    // Large CPUs: the pipeline's control activity dwarfs opcode switching.
+    if a == b {
+        0.0
+    } else {
+        0.15
+    }
+}
+
+fn dsp_base(class: OpClass) -> f64 {
+    match class {
+        OpClass::Alu => 1.1,
+        OpClass::Mul => 1.9,
+        OpClass::Mem => 1.5,
+        OpClass::Move => 0.9,
+        OpClass::Branch => 1.2,
+    }
+}
+
+fn dsp_overhead(a: OpClass, b: OpClass) -> f64 {
+    // Small DSP: switching functional blocks costs a sizable fraction of
+    // the base energy ([23] measured up to ~30%).
+    match (a, b) {
+        _ if a == b => 0.05,
+        (OpClass::Mul, OpClass::Mem) | (OpClass::Mem, OpClass::Mul) => 0.85,
+        (OpClass::Mul, _) | (_, OpClass::Mul) => 0.6,
+        (OpClass::Mem, _) | (_, OpClass::Mem) => 0.45,
+        _ => 0.3,
+    }
+}
+
+impl CpuModel {
+    /// The large general-purpose CPU profile.
+    pub fn big_cpu() -> CpuModel {
+        CpuModel {
+            name: "big-cpu",
+            base: big_base,
+            overhead: big_overhead,
+            memory_access: 7.5,
+            pair_slot: None,
+        }
+    }
+
+    /// The small DSP profile (supports pairing).
+    pub fn dsp_core() -> CpuModel {
+        CpuModel {
+            name: "dsp",
+            base: dsp_base,
+            overhead: dsp_overhead,
+            memory_access: 2.8,
+            pair_slot: Some(0.6),
+        }
+    }
+
+    /// Energy of one instruction, excluding inter-instruction overhead.
+    pub fn instr_energy(&self, instr: &Instr) -> f64 {
+        match instr {
+            Instr::Pair(a, b) => {
+                // One fetch/decode is shared: the second slot pays half its
+                // base cost plus the pairing overhead (datapath muxing).
+                let slot = self
+                    .pair_slot
+                    .expect("this core cannot execute paired instructions");
+                let second = 0.5 * (self.base)(b.class())
+                    + if b.touches_memory() {
+                        self.memory_access
+                    } else {
+                        0.0
+                    };
+                self.instr_energy(a) + second + slot
+            }
+            _ => {
+                (self.base)(instr.class())
+                    + if instr.touches_memory() {
+                        self.memory_access
+                    } else {
+                        0.0
+                    }
+            }
+        }
+    }
+
+    /// Total program energy: base costs + circuit-state overheads.
+    ///
+    /// ```
+    /// use soft::energy::CpuModel;
+    /// use soft::isa::{Instr, Reg};
+    ///
+    /// let cpu = CpuModel::big_cpu();
+    /// let reg_op = vec![Instr::Add(Reg(0), Reg(1), Reg(2))];
+    /// let mem_op = vec![Instr::Ld(Reg(0), 5)];
+    /// // Memory operands are much more expensive (survey §V, [46]).
+    /// assert!(cpu.program_energy(&mem_op) > 2.0 * cpu.program_energy(&reg_op));
+    /// ```
+    pub fn program_energy(&self, program: &Program) -> f64 {
+        let mut total = 0.0;
+        let mut prev: Option<OpClass> = None;
+        for instr in program {
+            total += self.instr_energy(instr);
+            if let Some(p) = prev {
+                total += (self.overhead)(p, instr.class());
+            }
+            prev = Some(instr.class());
+        }
+        total
+    }
+
+    /// Average power if each instruction (pair) takes one cycle at
+    /// `freq_mhz`.
+    pub fn average_power_mw(&self, program: &Program, freq_mhz: f64) -> f64 {
+        if program.is_empty() {
+            return 0.0;
+        }
+        let energy_nj = self.program_energy(program);
+        // P = E / t; t = cycles / f.
+        energy_nj * freq_mhz / program.len() as f64 * 1e-3
+    }
+
+    /// Fraction of a two-class alternating stream's energy due to
+    /// overhead (diagnostic for the scheduling experiments).
+    pub fn overhead_fraction(&self, a: OpClass, b: OpClass) -> f64 {
+        let base = (self.base)(a) + (self.base)(b);
+        let over = (self.overhead)(a, b) + (self.overhead)(b, a);
+        over / (base + over)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    fn r(i: u8) -> Reg {
+        Reg(i)
+    }
+
+    #[test]
+    fn memory_operands_cost_more() {
+        let cpu = CpuModel::big_cpu();
+        let reg_op = Instr::Add(r(0), r(1), r(2));
+        let mem_op = Instr::Ld(r(0), 5);
+        assert!(cpu.instr_energy(&mem_op) > 2.0 * cpu.instr_energy(&reg_op));
+    }
+
+    #[test]
+    fn overhead_fraction_big_vs_dsp() {
+        let big = CpuModel::big_cpu();
+        let dsp = CpuModel::dsp_core();
+        let f_big = big.overhead_fraction(OpClass::Mul, OpClass::Mem);
+        let f_dsp = dsp.overhead_fraction(OpClass::Mul, OpClass::Mem);
+        assert!(f_big < 0.05, "big CPU overhead fraction {f_big}");
+        assert!(f_dsp > 0.2, "DSP overhead fraction {f_dsp}");
+    }
+
+    #[test]
+    fn program_energy_counts_transitions() {
+        let dsp = CpuModel::dsp_core();
+        let alternating = vec![
+            Instr::Mul(r(0), r(1), r(2)),
+            Instr::Ld(r(3), 0),
+            Instr::Mul(r(0), r(1), r(2)),
+            Instr::Ld(r(3), 0),
+        ];
+        let grouped = vec![
+            Instr::Mul(r(0), r(1), r(2)),
+            Instr::Mul(r(0), r(1), r(2)),
+            Instr::Ld(r(3), 0),
+            Instr::Ld(r(3), 0),
+        ];
+        assert!(
+            dsp.program_energy(&grouped) < dsp.program_energy(&alternating),
+            "grouping same-class instructions saves overhead"
+        );
+    }
+
+    #[test]
+    fn pairing_saves_energy_and_cycles() {
+        let dsp = CpuModel::dsp_core();
+        let serial = vec![
+            Instr::Add(r(1), r(0), r(0)),
+            Instr::St(r(0), 3),
+        ];
+        let paired = vec![Instr::Pair(
+            Box::new(Instr::Add(r(1), r(0), r(0))),
+            Box::new(Instr::St(r(0), 3)),
+        )];
+        assert!(dsp.program_energy(&paired) < dsp.program_energy(&serial));
+        assert_eq!(paired.len(), 1, "one cycle instead of two");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot execute paired")]
+    fn big_cpu_rejects_pairs() {
+        let cpu = CpuModel::big_cpu();
+        cpu.instr_energy(&Instr::Pair(
+            Box::new(Instr::Nop),
+            Box::new(Instr::Nop),
+        ));
+    }
+
+    #[test]
+    fn average_power_scales_with_frequency() {
+        let cpu = CpuModel::big_cpu();
+        let program = vec![Instr::Add(r(0), r(1), r(2)); 10];
+        let p20 = cpu.average_power_mw(&program, 20.0);
+        let p40 = cpu.average_power_mw(&program, 40.0);
+        assert!((p40 / p20 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,359 @@
+//! The small load/store ISA and its cycle-accurate machine.
+
+use std::fmt;
+
+/// A register name (`r0`–`r7`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 8;
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Instructions of the embedded core.
+///
+/// `Mac` and `Pair` exist on the DSP profile: `Mac` is a multiply-
+/// accumulate, `Pair` packs an ALU op with a memory op into one issue slot
+/// (the instruction compaction of \[23\]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd ← imm`
+    Li(Reg, i64),
+    /// `rd ← rs + rt`
+    Add(Reg, Reg, Reg),
+    /// `rd ← rs − rt`
+    Sub(Reg, Reg, Reg),
+    /// `rd ← rs · rt`
+    Mul(Reg, Reg, Reg),
+    /// `rd ← rs & rt`
+    And(Reg, Reg, Reg),
+    /// `rd ← rs | rt`
+    Or(Reg, Reg, Reg),
+    /// `rd ← rs ^ rt`
+    Xor(Reg, Reg, Reg),
+    /// `rd ← mem[addr]`
+    Ld(Reg, u16),
+    /// `mem[addr] ← rs`
+    St(Reg, u16),
+    /// `rd ← rd + rs · rt` (DSP multiply-accumulate)
+    Mac(Reg, Reg, Reg),
+    /// Two instructions in one issue slot (DSP compaction).
+    Pair(Box<Instr>, Box<Instr>),
+    /// `if rs != 0 { pc += offset }` (offset relative to the next
+    /// instruction; negative offsets form loops).
+    Jnz(Reg, i32),
+    /// No operation.
+    Nop,
+}
+
+/// Coarse opcode classes, used by the circuit-state overhead model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpClass {
+    /// ALU operations (add/sub/logic).
+    Alu,
+    /// Multiplier operations (mul/mac).
+    Mul,
+    /// Memory operations (ld/st).
+    Mem,
+    /// Immediates / moves / nop.
+    Move,
+    /// Control transfer (jnz).
+    Branch,
+}
+
+impl Instr {
+    /// The opcode class (for `Pair`, the first slot's class).
+    pub fn class(&self) -> OpClass {
+        match self {
+            Instr::Add(..) | Instr::Sub(..) | Instr::And(..) | Instr::Or(..) | Instr::Xor(..) => {
+                OpClass::Alu
+            }
+            Instr::Mul(..) | Instr::Mac(..) => OpClass::Mul,
+            Instr::Ld(..) | Instr::St(..) => OpClass::Mem,
+            Instr::Li(..) | Instr::Nop => OpClass::Move,
+            Instr::Jnz(..) => OpClass::Branch,
+            Instr::Pair(a, _) => a.class(),
+        }
+    }
+
+    /// Registers read by the instruction.
+    pub fn reads(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Li(..) | Instr::Nop => vec![],
+            Instr::Add(_, a, b)
+            | Instr::Sub(_, a, b)
+            | Instr::Mul(_, a, b)
+            | Instr::And(_, a, b)
+            | Instr::Or(_, a, b)
+            | Instr::Xor(_, a, b) => vec![a, b],
+            Instr::Mac(d, a, b) => vec![d, a, b],
+            Instr::Ld(..) => vec![],
+            Instr::St(s, _) => vec![s],
+            Instr::Jnz(r, _) => vec![r],
+            Instr::Pair(ref a, ref b) => {
+                let mut r = a.reads();
+                r.extend(b.reads());
+                r
+            }
+        }
+    }
+
+    /// Register written, if any (for `Pair`, see [`Instr::writes`]).
+    pub fn writes(&self) -> Vec<Reg> {
+        match *self {
+            Instr::Li(d, _)
+            | Instr::Add(d, ..)
+            | Instr::Sub(d, ..)
+            | Instr::Mul(d, ..)
+            | Instr::And(d, ..)
+            | Instr::Or(d, ..)
+            | Instr::Xor(d, ..)
+            | Instr::Mac(d, ..)
+            | Instr::Ld(d, _) => vec![d],
+            Instr::St(..) | Instr::Nop | Instr::Jnz(..) => vec![],
+            Instr::Pair(ref a, ref b) => {
+                let mut w = a.writes();
+                w.extend(b.writes());
+                w
+            }
+        }
+    }
+
+    /// Whether the instruction touches memory.
+    pub fn touches_memory(&self) -> bool {
+        match self {
+            Instr::Ld(..) | Instr::St(..) => true,
+            Instr::Pair(a, b) => a.touches_memory() || b.touches_memory(),
+            _ => false,
+        }
+    }
+
+    /// Memory address touched, if any (pairs may touch one).
+    pub fn memory_address(&self) -> Option<u16> {
+        match self {
+            Instr::Ld(_, a) | Instr::St(_, a) => Some(*a),
+            Instr::Pair(a, b) => a.memory_address().or(b.memory_address()),
+            _ => None,
+        }
+    }
+}
+
+/// A straight-line program.
+pub type Program = Vec<Instr>;
+
+/// Data memory size in words.
+pub const MEM_WORDS: usize = 256;
+
+/// The machine state after running a program.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Register file.
+    pub regs: [i64; Reg::COUNT],
+    /// Data memory.
+    pub mem: Vec<i64>,
+    /// Cycles executed (a `Pair` costs one cycle).
+    pub cycles: u64,
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// A zeroed machine.
+    pub fn new() -> Machine {
+        Machine {
+            regs: [0; Reg::COUNT],
+            mem: vec![0; MEM_WORDS],
+            cycles: 0,
+        }
+    }
+
+    fn exec_one(&mut self, instr: &Instr) {
+        match *instr {
+            Instr::Li(d, imm) => self.regs[d.0 as usize] = imm,
+            Instr::Add(d, a, b) => {
+                self.regs[d.0 as usize] =
+                    self.regs[a.0 as usize].wrapping_add(self.regs[b.0 as usize])
+            }
+            Instr::Sub(d, a, b) => {
+                self.regs[d.0 as usize] =
+                    self.regs[a.0 as usize].wrapping_sub(self.regs[b.0 as usize])
+            }
+            Instr::Mul(d, a, b) => {
+                self.regs[d.0 as usize] =
+                    self.regs[a.0 as usize].wrapping_mul(self.regs[b.0 as usize])
+            }
+            Instr::And(d, a, b) => {
+                self.regs[d.0 as usize] = self.regs[a.0 as usize] & self.regs[b.0 as usize]
+            }
+            Instr::Or(d, a, b) => {
+                self.regs[d.0 as usize] = self.regs[a.0 as usize] | self.regs[b.0 as usize]
+            }
+            Instr::Xor(d, a, b) => {
+                self.regs[d.0 as usize] = self.regs[a.0 as usize] ^ self.regs[b.0 as usize]
+            }
+            Instr::Ld(d, addr) => self.regs[d.0 as usize] = self.mem[addr as usize],
+            Instr::St(s, addr) => self.mem[addr as usize] = self.regs[s.0 as usize],
+            Instr::Mac(d, a, b) => {
+                let product = self.regs[a.0 as usize].wrapping_mul(self.regs[b.0 as usize]);
+                self.regs[d.0 as usize] = self.regs[d.0 as usize].wrapping_add(product)
+            }
+            Instr::Pair(ref x, ref y) => {
+                self.exec_one(x);
+                self.exec_one(y);
+            }
+            Instr::Jnz(..) => unreachable!("branches handled by the fetch loop"),
+            Instr::Nop => {}
+        }
+    }
+
+    /// Execute a program with a program counter (each top-level
+    /// instruction = one cycle, including taken and untaken branches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if execution exceeds `10_000 × program length` cycles (a
+    /// runaway loop) or a branch jumps out of bounds.
+    pub fn run(&mut self, program: &[Instr]) {
+        let fuel = (program.len() as u64).saturating_mul(10_000).max(1_000);
+        assert!(
+            self.try_run(program, fuel),
+            "program exceeded {fuel} cycles (runaway loop?)"
+        );
+    }
+
+    /// Execute with an explicit cycle budget; returns `false` when the
+    /// budget runs out before the program falls off the end.
+    pub fn try_run(&mut self, program: &[Instr], fuel: u64) -> bool {
+        let mut pc: i64 = 0;
+        let mut spent = 0u64;
+        while (pc as usize) < program.len() {
+            if spent >= fuel {
+                return false;
+            }
+            let instr = &program[pc as usize];
+            if let Instr::Jnz(r, offset) = *instr {
+                pc += 1;
+                if self.regs[r.0 as usize] != 0 {
+                    pc += offset as i64;
+                    assert!(
+                        pc >= 0 && pc as usize <= program.len(),
+                        "branch target {pc} out of bounds"
+                    );
+                }
+            } else {
+                self.exec_one(instr);
+                pc += 1;
+            }
+            self.cycles += 1;
+            spent += 1;
+        }
+        true
+    }
+}
+
+/// Run a program on a fresh machine and return it.
+pub fn run_program(program: &[Instr]) -> Machine {
+    let mut m = Machine::new();
+    m.run(program);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg(i)
+    }
+
+    #[test]
+    fn arithmetic_executes() {
+        let program = vec![
+            Instr::Li(r(0), 6),
+            Instr::Li(r(1), 7),
+            Instr::Mul(r(2), r(0), r(1)),
+            Instr::Add(r(3), r(2), r(0)),
+            Instr::Sub(r(4), r(3), r(1)),
+            Instr::Xor(r(5), r(0), r(1)),
+        ];
+        let m = run_program(&program);
+        assert_eq!(m.regs[2], 42);
+        assert_eq!(m.regs[3], 48);
+        assert_eq!(m.regs[4], 41);
+        assert_eq!(m.regs[5], 1);
+        assert_eq!(m.cycles, 6);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let program = vec![
+            Instr::Li(r(0), 99),
+            Instr::St(r(0), 10),
+            Instr::Ld(r(1), 10),
+        ];
+        let m = run_program(&program);
+        assert_eq!(m.regs[1], 99);
+        assert_eq!(m.mem[10], 99);
+    }
+
+    #[test]
+    fn mac_accumulates() {
+        let program = vec![
+            Instr::Li(r(0), 0),
+            Instr::Li(r(1), 3),
+            Instr::Li(r(2), 4),
+            Instr::Mac(r(0), r(1), r(2)),
+            Instr::Mac(r(0), r(1), r(2)),
+        ];
+        let m = run_program(&program);
+        assert_eq!(m.regs[0], 24);
+    }
+
+    #[test]
+    fn pair_executes_both_in_one_cycle() {
+        let program = vec![
+            Instr::Li(r(0), 5),
+            Instr::Pair(
+                Box::new(Instr::Add(r(1), r(0), r(0))),
+                Box::new(Instr::St(r(0), 3)),
+            ),
+        ];
+        let m = run_program(&program);
+        assert_eq!(m.regs[1], 10);
+        assert_eq!(m.mem[3], 5);
+        assert_eq!(m.cycles, 2);
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let i = Instr::Add(r(1), r(2), r(3));
+        assert_eq!(i.reads(), vec![r(2), r(3)]);
+        assert_eq!(i.writes(), vec![r(1)]);
+        let st = Instr::St(r(4), 7);
+        assert_eq!(st.reads(), vec![r(4)]);
+        assert!(st.writes().is_empty());
+        assert!(st.touches_memory());
+        assert_eq!(st.memory_address(), Some(7));
+        let mac = Instr::Mac(r(0), r(1), r(2));
+        assert_eq!(mac.reads(), vec![r(0), r(1), r(2)]);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Instr::Add(r(0), r(0), r(0)).class(), OpClass::Alu);
+        assert_eq!(Instr::Mul(r(0), r(0), r(0)).class(), OpClass::Mul);
+        assert_eq!(Instr::Ld(r(0), 0).class(), OpClass::Mem);
+        assert_eq!(Instr::Nop.class(), OpClass::Move);
+    }
+}

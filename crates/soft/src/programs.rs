@@ -1,0 +1,155 @@
+//! Canonical benchmark programs for the software-level experiments:
+//! array-sum and dot-product kernels in looped and unrolled form.
+//!
+//! The loop-vs-unroll comparison is the software face of the survey's
+//! "transformations that increase concurrency" theme: unrolling removes
+//! the per-iteration counter/branch overhead, so it is both faster and
+//! lower-energy (until instruction-memory pressure is modeled), in line
+//! with "faster code almost always implies lower energy code".
+
+use crate::isa::{Instr, Program, Reg};
+
+/// A countdown MAC loop: `r0 = iterations · (mem[base] · mem[base+1])`.
+///
+/// Each trip does 3 work instructions (two loads and a MAC) plus 2 control
+/// instructions (counter decrement and branch) — representative loop
+/// overhead for this absolute-addressed ISA. [`mac_unrolled`] is the
+/// straight-line equivalent.
+pub fn mac_loop(iterations: i64, base: u16) -> Program {
+    vec![
+        Instr::Li(Reg(0), 0),            // acc
+        Instr::Li(Reg(2), iterations),   // count
+        Instr::Li(Reg(3), 1),            // decrement
+        // loop body (pc 3..8):
+        Instr::Ld(Reg(1), base),         // a
+        Instr::Ld(Reg(4), base + 1),     // b
+        Instr::Mac(Reg(0), Reg(1), Reg(4)),
+        Instr::Sub(Reg(2), Reg(2), Reg(3)),
+        Instr::Jnz(Reg(2), -5),          // back to the Ld
+    ]
+}
+
+/// The same computation fully unrolled: `iterations` copies of the body,
+/// no counter, no branches.
+pub fn mac_unrolled(iterations: i64, base: u16) -> Program {
+    let mut p = vec![Instr::Li(Reg(0), 0)];
+    for _ in 0..iterations {
+        p.push(Instr::Ld(Reg(1), base));
+        p.push(Instr::Ld(Reg(4), base + 1));
+        p.push(Instr::Mac(Reg(0), Reg(1), Reg(4)));
+    }
+    p
+}
+
+/// Dynamic instruction count of a program run (cycles on this 1-IPC core).
+pub fn dynamic_cycles(program: &Program) -> u64 {
+    let mut m = crate::isa::Machine::new();
+    m.mem[0] = 3;
+    m.mem[1] = 4;
+    m.run(program);
+    m.cycles
+}
+
+/// The dynamic instruction stream of an execution (loops contribute one
+/// entry per trip), used to charge energy per *executed* instruction.
+///
+/// # Panics
+///
+/// Panics if execution exceeds one million instructions.
+pub fn dynamic_stream(program: &Program) -> Program {
+    let mut m = crate::isa::Machine::new();
+    m.mem[0] = 3;
+    m.mem[1] = 4;
+    let mut pc: i64 = 0;
+    let mut stream: Program = Vec::new();
+    let mut fuel = 1_000_000u64;
+    while (pc as usize) < program.len() {
+        assert!(fuel > 0, "runaway program");
+        fuel -= 1;
+        let instr = &program[pc as usize];
+        stream.push(instr.clone());
+        if let Instr::Jnz(r, offset) = *instr {
+            pc += 1;
+            if m.regs[r.0 as usize] != 0 {
+                pc += offset as i64;
+            }
+        } else {
+            // Execute the single instruction to keep branch decisions live.
+            let single = vec![instr.clone()];
+            m.run(&single);
+            pc += 1;
+        }
+    }
+    stream
+}
+
+/// Energy of one dynamic execution under `cpu`.
+pub fn dynamic_energy(program: &Program, cpu: &crate::energy::CpuModel) -> f64 {
+    cpu.program_energy(&dynamic_stream(program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::CpuModel;
+    use crate::isa::Machine;
+
+    fn result_of(program: &Program) -> i64 {
+        let mut m = Machine::new();
+        m.mem[0] = 3;
+        m.mem[1] = 4;
+        m.run(program);
+        m.regs[0]
+    }
+
+    #[test]
+    fn loop_and_unrolled_agree() {
+        for n in [1i64, 4, 10, 32] {
+            let looped = mac_loop(n, 0);
+            let unrolled = mac_unrolled(n, 0);
+            assert_eq!(result_of(&looped), 12 * n, "loop n={n}");
+            assert_eq!(result_of(&unrolled), 12 * n, "unrolled n={n}");
+        }
+    }
+
+    #[test]
+    fn loop_overhead_costs_cycles_and_energy() {
+        let n = 32;
+        let looped = mac_loop(n, 0);
+        let unrolled = mac_unrolled(n, 0);
+        let loop_cycles = dynamic_cycles(&looped);
+        let unrolled_cycles = dynamic_cycles(&unrolled);
+        assert!(loop_cycles > unrolled_cycles, "{loop_cycles} vs {unrolled_cycles}");
+        let dsp = CpuModel::dsp_core();
+        let e_loop = dynamic_energy(&looped, &dsp);
+        let e_unrolled = dynamic_energy(&unrolled, &dsp);
+        assert!(
+            e_unrolled < e_loop,
+            "unrolled {e_unrolled} vs looped {e_loop}"
+        );
+        // Static code size goes the other way — the tradeoff.
+        assert!(unrolled.len() > looped.len());
+    }
+
+    #[test]
+    fn jnz_loops_terminate_and_count_cycles() {
+        let p = mac_loop(5, 0);
+        let mut m = Machine::new();
+        m.mem[0] = 2;
+        m.mem[1] = 2;
+        m.run(&p);
+        assert_eq!(m.regs[0], 20);
+        // 3 setup + 5 trips of 5 instructions.
+        assert_eq!(m.cycles, 3 + 5 * 5);
+    }
+
+    #[test]
+    fn runaway_loop_is_caught() {
+        let p = vec![
+            Instr::Li(Reg(0), 1),
+            Instr::Jnz(Reg(0), -2), // spin forever
+        ];
+        let mut m = Machine::new();
+        assert!(!m.try_run(&p, 1_000));
+    }
+}

@@ -1,0 +1,72 @@
+//! Software power optimization for an embedded core (survey §V).
+//!
+//! ```text
+//! cargo run --example embedded_software
+//! ```
+//!
+//! Compiles a filter inner-loop expression for a big general-purpose CPU
+//! and for a small DSP, walking the optimization ladder: memory-stack →
+//! register-allocated → low-power scheduled → (DSP) paired. Reproduces the
+//! survey's lessons: register operands are cheap, faster code is lower
+//! energy, and scheduling matters only on the DSP.
+
+use lowpower::flows::software::compile_ladder;
+use lowpower::soft::codegen::Expr;
+use lowpower::soft::energy::CpuModel;
+use lowpower::soft::schedule::{schedule_low_power, synthetic_workload};
+
+fn sample_kernel() -> Expr {
+    // y = (x0*c0 + x1*c1) + (x2*c2 + x3*c3), coefficients in memory.
+    let term = |x: u16, c: u16| {
+        Expr::Mul(Box::new(Expr::Var(x)), Box::new(Expr::Var(c)))
+    };
+    Expr::Add(
+        Box::new(Expr::Add(Box::new(term(0, 8)), Box::new(term(1, 9)))),
+        Box::new(Expr::Add(Box::new(term(2, 10)), Box::new(term(3, 11)))),
+    )
+}
+
+fn main() {
+    let expr = sample_kernel();
+    for cpu in [CpuModel::big_cpu(), CpuModel::dsp_core()] {
+        let result = compile_ladder(&expr, &cpu, 64);
+        println!("=== {} ===", result.cpu);
+        let base = result.variants[0].energy;
+        for v in &result.variants {
+            println!(
+                "  {:<22} {:>3} cycles  {:>7.2} nJ  ({:>5.1}% of naive)",
+                v.label,
+                v.cycles,
+                v.energy,
+                100.0 * v.energy / base
+            );
+        }
+        // The survey's scheduling lesson, quantified per profile.
+        if result.variants.len() >= 3 {
+            let sched_gain =
+                1.0 - result.variants[2].energy / result.variants[1].energy;
+            println!("  scheduling gain: {:.1}%", 100.0 * sched_gain);
+        }
+        println!();
+    }
+    // The expression kernel is a dependence chain with little reordering
+    // freedom; a loop body with independent strands shows the scheduling
+    // effect properly.
+    println!("instruction scheduling on a reorderable loop body (256 blocks):");
+    let workload = synthetic_workload(256);
+    for cpu in [CpuModel::big_cpu(), CpuModel::dsp_core()] {
+        let before = cpu.program_energy(&workload);
+        let (scheduled, _) = schedule_low_power(&workload, &cpu);
+        let after = cpu.program_energy(&scheduled);
+        println!(
+            "  {:<8} {:.1} nJ -> {:.1} nJ  ({:.1}% saving)",
+            cpu.name,
+            before,
+            after,
+            100.0 * (1.0 - after / before)
+        );
+    }
+    println!();
+    println!("lesson (survey §V): faster code almost always implies lower energy code;");
+    println!("instruction scheduling matters on the DSP, barely on the big CPU.");
+}

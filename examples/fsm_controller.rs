@@ -1,0 +1,59 @@
+//! A control-dominated FSM optimized at the sequential logic level
+//! (survey §III.C).
+//!
+//! ```text
+//! cargo run --example fsm_controller
+//! ```
+//!
+//! Runs the FSM flow (low-power state encoding + self-loop clock gating +
+//! idle-register gating) on a sticky random controller, then demonstrates
+//! the Fig. 1 precomputation architecture on a magnitude comparator.
+
+use lowpower::flows::sequential::{optimize_fsm, FsmFlowConfig};
+use lowpower::netlist::gen::comparator_gt;
+use lowpower::seqopt::precompute::{choose_predictor, precompute};
+use lowpower::seqopt::stg::Stg;
+use lowpower::sim::seq::SeqSim;
+use lowpower::sim::stimulus::Stimulus;
+
+fn main() {
+    // --- State encoding + clock gating -----------------------------------
+    let stg = Stg::random(8, 2, 2, 7);
+    let p_self = stg.self_loop_probability(&[0.25; 4], 300);
+    println!("controller: 8 states, 2 input bits, self-loop probability {p_self:.2}");
+    let result = optimize_fsm(&stg, &FsmFlowConfig::default());
+    println!(
+        "flip-flop switching (weighted, predicted): {:.3} -> {:.3}",
+        result.predicted_switching_baseline, result.predicted_switching_optimized
+    );
+    println!(
+        "flip-flop switching (measured toggles/cycle): {:.3} -> {:.3}",
+        result.measured_ff_toggles_baseline, result.measured_ff_toggles_optimized
+    );
+    println!(
+        "clock switched capacitance/cycle: {:.1} fF -> {:.1} fF",
+        result.clock_cap_baseline, result.clock_cap_optimized
+    );
+    println!();
+
+    // --- Precomputation (Fig. 1) ------------------------------------------
+    let n = 6;
+    let (comparator, _) = comparator_gt(n);
+    let probs = vec![0.5; 2 * n];
+    let predictor = choose_predictor(&comparator, 2, &probs);
+    println!("comparator C>D, n = {n}: chosen predictor inputs {predictor:?} (the MSBs)");
+    let pre = precompute(&comparator, &predictor, &probs).expect("comparator precomputes");
+    println!(
+        "disable probability P(LE = 0) = {:.2}  (paper: XNOR of the MSBs, 0.5 for uniform data)",
+        pre.disable_probability
+    );
+    let patterns = Stimulus::uniform(2 * n).patterns(3000, 11);
+    let base = SeqSim::new(&pre.baseline).activity(&patterns);
+    let opt = SeqSim::new(&pre.netlist).activity(&patterns);
+    let base_cap = base.profile.switched_capacitance(&pre.baseline);
+    let opt_cap = opt.profile.switched_capacitance(&pre.netlist);
+    println!(
+        "switched capacitance/cycle: {base_cap:.0} fF -> {opt_cap:.0} fF ({:.0}% saving)",
+        100.0 * (1.0 - opt_cap / base_cap)
+    );
+}

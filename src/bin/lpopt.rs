@@ -1,0 +1,205 @@
+//! `lpopt` — command-line driver for the low-power optimization passes.
+//!
+//! ```text
+//! lpopt gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
+//! lpopt stats <in.blif>
+//! lpopt power <in.blif> [cycles]
+//! lpopt balance <in.blif> <out.blif> [threshold]
+//! lpopt dontcare <in.blif> <out.blif>
+//! lpopt map <in.blif> <area|delay|power>
+//! lpopt fsm <in.kiss> [out.blif]
+//! ```
+//!
+//! Netlists use the BLIF-like text format of `netlist::blif`; state
+//! machines use KISS2 (`seqopt::kiss`).
+
+use std::process::ExitCode;
+
+use lowpower::logicopt::balance::balance_paths_with_threshold;
+use lowpower::logicopt::dontcare::{optimize_dontcares, Mode};
+use lowpower::logicopt::mapping::{map, standard_library, MapObjective};
+use lowpower::netlist::blif::{parse_text, write_text};
+use lowpower::netlist::{gen, Netlist, NetlistStats};
+use lowpower::power::model::{PowerParams, PowerReport};
+use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::stimulus::Stimulus;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("lpopt: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  lpopt gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
+  lpopt stats <in.blif>
+  lpopt power <in.blif> [cycles]
+  lpopt balance <in.blif> <out.blif> [threshold]
+  lpopt dontcare <in.blif> <out.blif>
+  lpopt map <in.blif> <area|delay|power>
+  lpopt fsm <in.kiss> [out.blif]";
+
+fn run(args: &[String]) -> Result<String, String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "gen" => {
+            let kind = args.get(1).ok_or("gen: missing kind")?;
+            let width: usize = args
+                .get(2)
+                .ok_or("gen: missing width")?
+                .parse()
+                .map_err(|e| format!("gen: bad width: {e}"))?;
+            let out = args.get(3).ok_or("gen: missing output path")?;
+            let nl = generate(kind, width)?;
+            save(&nl, out)?;
+            Ok(format!("wrote {out}: {nl}\n"))
+        }
+        "stats" => {
+            let nl = load(args.get(1).ok_or("stats: missing input")?)?;
+            Ok(format!("{nl}\n{}\n", NetlistStats::of(&nl)))
+        }
+        "power" => {
+            let nl = load(args.get(1).ok_or("power: missing input")?)?;
+            let cycles: usize = args
+                .get(2)
+                .map(|s| s.parse().map_err(|e| format!("power: bad cycles: {e}")))
+                .transpose()?
+                .unwrap_or(512);
+            if !nl.is_combinational() {
+                return Err("power: sequential netlists are not supported here".into());
+            }
+            let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, 42);
+            let timing = EventSim::new(&nl, &DelayModel::Unit).activity(&patterns);
+            let report = PowerReport::from_activity(&nl, &timing.total, &PowerParams::default());
+            Ok(format!(
+                "{report}\nglitch fraction: {:.1}%\n",
+                100.0 * timing.glitch_fraction()
+            ))
+        }
+        "balance" => {
+            let nl = load(args.get(1).ok_or("balance: missing input")?)?;
+            let out = args.get(2).ok_or("balance: missing output path")?;
+            let threshold: usize = args
+                .get(3)
+                .map(|s| s.parse().map_err(|e| format!("balance: bad threshold: {e}")))
+                .transpose()?
+                .unwrap_or(0);
+            let (balanced, report) = balance_paths_with_threshold(&nl, threshold);
+            save(&balanced, out)?;
+            Ok(format!(
+                "wrote {out}: {} buffers added, depth {} -> {}\n",
+                report.buffers_added, report.depth_before, report.depth_after
+            ))
+        }
+        "dontcare" => {
+            let nl = load(args.get(1).ok_or("dontcare: missing input")?)?;
+            let out = args.get(2).ok_or("dontcare: missing output path")?;
+            if nl.num_inputs() > 18 {
+                return Err("dontcare: BDD pass limited to 18 inputs".into());
+            }
+            let probs = vec![0.5; nl.num_inputs()];
+            let (optimized, report) = optimize_dontcares(&nl, &probs, Mode::FanoutAware, 6);
+            save(&optimized, out)?;
+            Ok(format!(
+                "wrote {out}: {} nodes rewritten, estimated switched cap {:.1} -> {:.1} fF/cycle\n",
+                report.nodes_changed, report.cap_before, report.cap_after
+            ))
+        }
+        "map" => {
+            let nl = load(args.get(1).ok_or("map: missing input")?)?;
+            let objective = match args.get(2).map(String::as_str) {
+                Some("area") => MapObjective::Area,
+                Some("delay") => MapObjective::Delay,
+                Some("power") => MapObjective::Power,
+                other => return Err(format!("map: bad objective {other:?}")),
+            };
+            let library = standard_library();
+            let probs = vec![0.5; nl.num_inputs()];
+            let mapping = map(&nl, &library, objective, &probs);
+            let mut counts = std::collections::BTreeMap::new();
+            for m in &mapping.cover {
+                *counts.entry(library[m.cell].name).or_insert(0usize) += 1;
+            }
+            let mut out = format!(
+                "cover: {} cells, area {:.1}, delay {:.1}, power {:.1} fF/cycle\n",
+                mapping.cover.len(),
+                mapping.area,
+                mapping.delay,
+                mapping.power
+            );
+            for (name, count) in counts {
+                out.push_str(&format!("  {name:<8} x{count}\n"));
+            }
+            Ok(out)
+        }
+        "fsm" => {
+            let path = args.get(1).ok_or("fsm: missing input")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let stg = lowpower::seqopt::kiss::parse_kiss(&text)
+                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+            let minimized = lowpower::seqopt::minimize::minimize(&stg);
+            let symbols = 1usize << minimized.stg.input_bits;
+            let probs = vec![1.0 / symbols as f64; symbols];
+            let codes =
+                lowpower::seqopt::encoding::encode_low_power(&minimized.stg, &probs);
+            let bits = lowpower::seqopt::encoding::min_bits(minimized.stg.num_states());
+            let weights = minimized.stg.edge_weights(&probs, 300);
+            let base = lowpower::seqopt::stg::weighted_switching(
+                &weights,
+                &lowpower::seqopt::encoding::encode_sequential(minimized.stg.num_states()),
+            );
+            let lp = lowpower::seqopt::stg::weighted_switching(&weights, &codes);
+            let mut report = format!(
+                "{} states -> {} after minimization; {} code bits
+                 weighted FF switching: binary {:.3} -> low-power {:.3} ({:.1}% less)
+",
+                stg.num_states(),
+                minimized.stg.num_states(),
+                bits,
+                base,
+                lp,
+                100.0 * (1.0 - lp / base.max(1e-12)),
+            );
+            if let Some(out) = args.get(2) {
+                let nl = minimized.stg.synthesize_minimized(&codes, bits, "fsm");
+                save(&nl, out)?;
+                report.push_str(&format!("wrote {out}: {nl}
+"));
+            }
+            Ok(report)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn generate(kind: &str, width: usize) -> Result<Netlist, String> {
+    Ok(match kind {
+        "adder" => gen::ripple_adder(width).0,
+        "ksadder" => gen::kogge_stone_adder(width).0,
+        "multiplier" => gen::array_multiplier(width).0,
+        "wallace" => gen::wallace_multiplier(width).0,
+        "comparator" => gen::comparator_gt(width).0,
+        "alu" => gen::alu4(width),
+        "parity" => gen::parity_tree(width),
+        other => return Err(format!("gen: unknown kind {other:?}")),
+    })
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn save(nl: &Netlist, path: &str) -> Result<(), String> {
+    std::fs::write(path, write_text(nl)).map_err(|e| format!("cannot write {path}: {e}"))
+}

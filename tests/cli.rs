@@ -1,0 +1,123 @@
+//! End-to-end tests of the `lpopt` command-line tool: generate, inspect,
+//! optimize and re-check netlists through the text format.
+
+use std::process::Command;
+
+fn lpopt(args: &[&str]) -> (bool, String, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_lpopt"))
+        .args(args)
+        .output()
+        .expect("lpopt runs");
+    (
+        output.status.success(),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> String {
+    let dir = std::env::temp_dir().join("lpopt-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn gen_stats_power_pipeline() {
+    let file = temp_path("mult4.blif");
+    let (ok, out, err) = lpopt(&["gen", "multiplier", "4", &file]);
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote"));
+
+    let (ok, out, _) = lpopt(&["stats", &file]);
+    assert!(ok);
+    assert!(out.contains("transistors"));
+
+    let (ok, out, _) = lpopt(&["power", &file, "128"]);
+    assert!(ok);
+    assert!(out.contains("switching"));
+    assert!(out.contains("glitch fraction"));
+}
+
+#[test]
+fn balance_preserves_function_through_files() {
+    let input = temp_path("adder6.blif");
+    let output = temp_path("adder6_balanced.blif");
+    assert!(lpopt(&["gen", "adder", "6", &input]).0);
+    let (ok, out, err) = lpopt(&["balance", &input, &output, "0"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("buffers added"));
+    // Reload both and check equivalence.
+    let a = lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&input).unwrap()).unwrap();
+    let b =
+        lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&output).unwrap()).unwrap();
+    assert!(lowpower::sim::comb::equivalent_exhaustive(&a, &b));
+}
+
+#[test]
+fn dontcare_pass_runs_on_small_circuit() {
+    let input = temp_path("cmp4.blif");
+    let output = temp_path("cmp4_dc.blif");
+    assert!(lpopt(&["gen", "comparator", "4", &input]).0);
+    let (ok, out, err) = lpopt(&["dontcare", &input, &output]);
+    assert!(ok, "{err}");
+    assert!(out.contains("nodes rewritten"));
+    let a = lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&input).unwrap()).unwrap();
+    let b =
+        lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&output).unwrap()).unwrap();
+    assert!(lowpower::sim::comb::equivalent_exhaustive(&a, &b));
+}
+
+#[test]
+fn map_reports_cover() {
+    let input = temp_path("ks8.blif");
+    assert!(lpopt(&["gen", "ksadder", "8", &input]).0);
+    for objective in ["area", "delay", "power"] {
+        let (ok, out, err) = lpopt(&["map", &input, objective]);
+        assert!(ok, "{objective}: {err}");
+        assert!(out.contains("cover:"), "{objective}: {out}");
+    }
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (ok, _, err) = lpopt(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+    let (ok, _, err) = lpopt(&[]);
+    assert!(!ok);
+    assert!(err.contains("missing command"));
+    let (ok, _, err) = lpopt(&["gen", "unknown-kind", "4", "/tmp/x.blif"]);
+    assert!(!ok);
+    assert!(err.contains("unknown kind"));
+}
+
+#[test]
+fn fsm_command_minimizes_encodes_and_synthesizes() {
+    let kiss = temp_path("ctrl.kiss");
+    let blif = temp_path("ctrl.blif");
+    // A 5-state machine with one redundant state (d duplicates b).
+    std::fs::write(
+        &kiss,
+        "
+.i 1
+.o 1
+0 a b 0
+1 a c 1
+0 b a 1
+1 b d 0
+0 c a 0
+1 c b 1
+0 d a 1
+1 d d 0
+.e
+",
+    )
+    .unwrap();
+    let (ok, out, err) = lpopt(&["fsm", &kiss, &blif]);
+    assert!(ok, "{err}");
+    assert!(out.contains("states"), "{out}");
+    assert!(out.contains("wrote"));
+    // The synthesized netlist parses and validates.
+    let nl = lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&blif).unwrap()).unwrap();
+    assert!(nl.num_dffs() > 0);
+}

@@ -1,0 +1,124 @@
+//! Cross-validation of the power estimators: BDD-exact, correlation-free
+//! propagation, transition density and simulation must agree where theory
+//! says they should, and rank circuits consistently where they are
+//! approximate.
+
+use lowpower::netlist::gen;
+use lowpower::power::density::transition_density;
+use lowpower::power::exact::circuit_bdds;
+use lowpower::power::prob;
+use lowpower::sim::comb::CombSim;
+use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::stimulus::Stimulus;
+
+#[test]
+fn exact_probabilities_match_long_simulation() {
+    for nl in [gen::ripple_adder(4).0, gen::comparator_gt(4).0, gen::parity_tree(6)] {
+        let n = nl.num_inputs();
+        let exact = circuit_bdds(&nl).probabilities(&vec![0.5; n]);
+        let sim = CombSim::new(&nl).activity(&Stimulus::uniform(n).patterns(30_000, 9));
+        for net in nl.iter_nets() {
+            assert!(
+                (exact[net.index()] - sim.probability[net.index()]).abs() < 0.02,
+                "{} net {net}: exact {} sim {}",
+                nl.name(),
+                exact[net.index()],
+                sim.probability[net.index()]
+            );
+        }
+    }
+}
+
+#[test]
+fn propagation_is_exact_on_fanout_free_logic() {
+    let nl = gen::parity_tree(10);
+    let probs = vec![0.3; 10];
+    let exact = circuit_bdds(&nl).probabilities(&probs);
+    let approx = prob::propagate(&nl, &probs, 10, 1e-12).probability;
+    for net in nl.iter_nets() {
+        assert!((exact[net.index()] - approx[net.index()]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn activity_under_biased_inputs_drops() {
+    // 2p(1-p) peaks at p=0.5: biasing the inputs lowers estimated and
+    // measured activity together.
+    let (nl, _) = gen::ripple_adder(6);
+    let bdds = circuit_bdds(&nl);
+    let balanced: f64 = bdds.activity(&[0.5; 12]).toggles.iter().sum();
+    let biased: f64 = bdds.activity(&[0.9; 12]).toggles.iter().sum();
+    assert!(biased < balanced);
+    let sim = CombSim::new(&nl);
+    let measured_balanced = sim
+        .activity(&Stimulus::uniform(12).patterns(4000, 5))
+        .total_toggles_per_cycle();
+    let measured_biased = sim
+        .activity(&Stimulus::biased(vec![0.9; 12]).patterns(4000, 5))
+        .total_toggles_per_cycle();
+    assert!(measured_biased < measured_balanced);
+}
+
+#[test]
+fn density_ranks_circuits_like_timing_simulation() {
+    let circuits = [
+        gen::parity_tree(8),
+        gen::ripple_adder(4).0,
+        gen::array_multiplier(4).0,
+    ];
+    let mut density_totals = Vec::new();
+    let mut measured_totals = Vec::new();
+    for nl in &circuits {
+        let n = nl.num_inputs();
+        let d = transition_density(nl, &vec![0.5; n], &vec![0.5; n]);
+        density_totals.push(d.toggles.iter().sum::<f64>());
+        let t = EventSim::new(nl, &DelayModel::Unit)
+            .activity(&Stimulus::uniform(n).patterns(500, 7));
+        measured_totals.push(t.total.total_toggles_per_cycle());
+    }
+    for i in 0..circuits.len() - 1 {
+        assert!(density_totals[i] < density_totals[i + 1]);
+        assert!(measured_totals[i] < measured_totals[i + 1]);
+    }
+}
+
+#[test]
+fn zero_delay_activity_lower_bounds_timing_activity() {
+    for nl in [gen::ripple_adder(5).0, gen::array_multiplier(4).0] {
+        let n = nl.num_inputs();
+        let patterns = Stimulus::uniform(n).patterns(400, 11);
+        let functional = CombSim::new(&nl).activity(&patterns).total_toggles_per_cycle();
+        let timing = EventSim::new(&nl, &DelayModel::Unit)
+            .activity(&patterns)
+            .total
+            .total_toggles_per_cycle();
+        assert!(timing >= functional - 1e-9, "{}", nl.name());
+    }
+}
+
+#[test]
+fn architecture_macro_models_bracket_the_reference() {
+    use lowpower::power::macro_model::{ActivationTrace, Architecture, ModuleClass};
+    let mut arch = Architecture::new();
+    let add = arch.add(ModuleClass::AdderRipple, 16, "add");
+    let mul = arch.add(ModuleClass::Multiplier, 16, "mul");
+    // Quiet workload on the adder.
+    let trace: ActivationTrace = (0..200)
+        .map(|k| {
+            if k % 4 == 0 {
+                vec![(add, 0.1), (mul, 0.5)]
+            } else {
+                vec![(add, 0.1)]
+            }
+        })
+        .collect();
+    let charac: ActivationTrace = vec![vec![(add, 0.5), (mul, 0.5)]; 50];
+    let reference = arch.reference(&trace);
+    let pfa = arch.estimate_pfa(&trace);
+    let isolated = arch.estimate_isolated(&charac, &trace);
+    // PFA and random-data isolation both over-estimate a quiet workload.
+    assert!(pfa > reference);
+    assert!(isolated > reference);
+    // Activity-weighted equals the reference by construction.
+    assert!((arch.estimate_activity_weighted(&trace) - reference).abs() < 1e-12);
+}

@@ -1,0 +1,245 @@
+//! Second property-test suite: structural invariants of the substrates and
+//! function preservation of the optimization passes, driven by random
+//! circuits, covers and machines.
+
+use lowpower::logicopt::factor::{CostFn, Cube, Sop, SopNetwork};
+use lowpower::logicopt::twolevel::minimize;
+use lowpower::netlist::gen::{random_dag, RandomDagConfig};
+use lowpower::netlist::GateKind;
+use lowpower::sim::comb::CombSim;
+use lowpower::sim::stimulus::Stimulus;
+use proptest::prelude::*;
+
+fn small_dag(seed: u64, gates: usize) -> lowpower::netlist::Netlist {
+    random_dag(
+        &RandomDagConfig {
+            inputs: 7,
+            gates,
+            outputs: 3,
+            max_fanin: 3,
+            window: 10,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sweep_dead_preserves_function(seed in 0u64..4000, gates in 15usize..60) {
+        let nl = small_dag(seed, gates);
+        let mut swept = nl.clone();
+        swept.sweep_dead();
+        prop_assert!(swept.len() <= nl.len());
+        prop_assert!(swept.validate().is_ok());
+        let patterns = Stimulus::uniform(7).patterns(64, seed);
+        prop_assert_eq!(CombSim::new(&nl).equivalent_on(&swept, &patterns), None);
+    }
+
+    #[test]
+    fn cone_extraction_preserves_function(seed in 0u64..4000) {
+        let nl = small_dag(seed, 30);
+        let (out, _) = nl.outputs()[0].clone();
+        let (cone, map) = nl.extract_cone(&[out]);
+        prop_assert!(cone.validate().is_ok());
+        prop_assert!(map.contains_key(&out));
+        // The cone's single output equals the original net on shared inputs
+        // (cone inputs are a subset of the original inputs, in the cone's
+        // own order — evaluate the original and look the values up).
+        let patterns = Stimulus::uniform(7).patterns(32, seed ^ 0x99);
+        let sim = CombSim::new(&nl);
+        for p in &patterns {
+            let words: Vec<u64> = p.iter().map(|&b| if b { 1 } else { 0 }).collect();
+            let values = sim.eval_words(&words);
+            let expected = values[out.index()] & 1 == 1;
+            // Build the cone's input pattern by net name (x<i>).
+            let cone_pattern: Vec<bool> = cone
+                .inputs()
+                .iter()
+                .map(|&ci| {
+                    let name = cone.net_name(ci).expect("cone inputs are named");
+                    let idx: usize = name[1..].parse().expect("x<i>");
+                    p[idx]
+                })
+                .collect();
+            prop_assert_eq!(cone.eval_comb(&cone_pattern)[0], expected);
+        }
+    }
+
+    #[test]
+    fn kernel_extraction_preserves_function(
+        seed in 0u64..2000,
+        cubes in 4usize..10,
+    ) {
+        // Random SOP pair over 6 variables.
+        let mut rng = lowpower::netlist::Rng64::new(seed);
+        let make_sop = |rng: &mut lowpower::netlist::Rng64| {
+            let cs: Vec<Cube> = (0..cubes)
+                .map(|_| {
+                    let mut c = Cube::ONE;
+                    for v in 0..6usize {
+                        match rng.range(0, 3) {
+                            0 => c = c.and(Cube::literal(v, true)).expect("fresh"),
+                            1 => c = c.and(Cube::literal(v, false)).expect("fresh"),
+                            _ => {}
+                        }
+                    }
+                    c
+                })
+                .collect();
+            Sop::new(cs)
+        };
+        let f1 = make_sop(&mut rng);
+        let f2 = make_sop(&mut rng);
+        let reference = SopNetwork::new(6, vec![0.5; 6], vec![f1.clone(), f2.clone()]);
+        for cost in [CostFn::Literals, CostFn::Activity] {
+            let mut network = SopNetwork::new(6, vec![0.5; 6], vec![f1.clone(), f2.clone()]);
+            network.extract_kernels(&cost);
+            for assignment in 0u64..64 {
+                prop_assert_eq!(
+                    network.eval_output(0, assignment),
+                    reference.eval_output(0, assignment)
+                );
+                prop_assert_eq!(
+                    network.eval_output(1, assignment),
+                    reference.eval_output(1, assignment)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn twolevel_minimize_respects_bounds(truth in any::<u16>(), dc_bits in any::<u16>()) {
+        // Random 4-variable function with a random don't-care set.
+        let dc_mask = dc_bits & !truth | (dc_bits & truth); // arbitrary overlap ok: dc wins
+        let minterm = |m: u64| {
+            let mut c = Cube::ONE;
+            for v in 0..4usize {
+                c = c.and(Cube::literal(v, m >> v & 1 == 1)).expect("minterm");
+            }
+            c
+        };
+        let mut on_cubes = Vec::new();
+        let mut dc_cubes = Vec::new();
+        for m in 0..16u64 {
+            if dc_mask >> m & 1 == 1 {
+                dc_cubes.push(minterm(m));
+            } else if truth >> m & 1 == 1 {
+                on_cubes.push(minterm(m));
+            }
+        }
+        let on = Sop::new(on_cubes);
+        let dc = Sop::new(dc_cubes);
+        let report = minimize(&on, &dc, 4);
+        prop_assert!(report.literals_after <= report.literals_before);
+        for m in 0..16u64 {
+            let in_f = report.cover.eval(m);
+            if on.eval(m) {
+                prop_assert!(in_f, "on-minterm {m} lost");
+            }
+            if in_f {
+                prop_assert!(on.eval(m) || dc.eval(m), "minterm {m} invented");
+            }
+        }
+    }
+
+    #[test]
+    fn fsm_minimization_preserves_io(seed in 0u64..2000, states in 4usize..12) {
+        use lowpower::seqopt::minimize::minimize as fsm_minimize;
+        use lowpower::seqopt::stg::Stg;
+        let stg = Stg::random(states, 2, 2, seed);
+        let result = fsm_minimize(&stg);
+        prop_assert!(result.stg.num_states() <= states);
+        // Lockstep behavioural check.
+        let mut rng = lowpower::netlist::Rng64::new(seed ^ 0x1357);
+        let mut sa = 0usize;
+        let mut sb = result.state_map[0];
+        for _ in 0..300 {
+            let i = rng.range(0, 4);
+            let (na, oa) = stg.step(sa, i);
+            let (nb, ob) = result.stg.step(sb, i);
+            prop_assert_eq!(oa, ob);
+            sa = na;
+            sb = nb;
+        }
+    }
+
+    #[test]
+    fn force_directed_schedule_is_valid(seed in 0u64..2000, slack in 0usize..5) {
+        use lowpower::behav::dfg::random_dfg;
+        use lowpower::behav::sched::{asap, default_latency, force_directed};
+        let g = random_dfg(5, 8, 5, seed);
+        let len = asap(&g).length + slack;
+        let sched = force_directed(&g, len);
+        for (&op, &s) in &sched.start {
+            for &src in g.operands(op) {
+                if g.kind(src).is_compute() {
+                    prop_assert!(s >= sched.start[&src] + default_latency(g.kind(src)));
+                }
+            }
+            prop_assert!(s + default_latency(g.kind(op)) <= len);
+        }
+    }
+
+    #[test]
+    fn replace_uses_then_sweep_keeps_validity(seed in 0u64..2000) {
+        // Randomly alias one internal net to another independent one and
+        // check structural validity is maintained (function changes, but
+        // the graph must stay sound).
+        let mut nl = small_dag(seed, 25);
+        let internal: Vec<_> = nl
+            .iter_nets()
+            .filter(|&n| !nl.kind(n).is_source() && nl.kind(n) != GateKind::Dff)
+            .collect();
+        if internal.len() >= 2 {
+            let a = internal[0];
+            let b = *internal.last().expect("nonempty");
+            if a != b {
+                // Redirect uses of the later net to the earlier one (safe
+                // direction: never creates a cycle).
+                nl.replace_uses(b, a);
+                nl.sweep_dead();
+                prop_assert!(nl.validate().is_ok());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn kiss_round_trip_is_behaviour_preserving(seed in 0u64..3000, states in 3usize..10) {
+        use lowpower::seqopt::kiss::{parse_kiss, write_kiss};
+        use lowpower::seqopt::stg::Stg;
+        let stg = Stg::random(states, 2, 2, seed);
+        let back = parse_kiss(&write_kiss(&stg)).expect("round trip parses");
+        prop_assert_eq!(back.num_states(), states);
+        let mut rng = lowpower::netlist::Rng64::new(seed ^ 0xBEEF);
+        let (mut sa, mut sb) = (0usize, 0usize);
+        for _ in 0..400 {
+            let i = rng.range(0, 4);
+            let (na, oa) = stg.step(sa, i);
+            let (nb, ob) = back.step(sb, i);
+            prop_assert_eq!(oa, ob);
+            sa = na;
+            sb = nb;
+        }
+    }
+
+    #[test]
+    fn minimized_fsm_synthesis_is_equivalent(seed in 0u64..1500) {
+        use lowpower::seqopt::stg::Stg;
+        use lowpower::sim::seq::SeqSim;
+        let stg = Stg::random(5, 2, 2, seed);
+        let codes: Vec<u64> = (0..5).collect();
+        let plain = stg.synthesize(&codes, 3, "plain");
+        let minimized = stg.synthesize_minimized(&codes, 3, "min");
+        let patterns = Stimulus::uniform(2).patterns(200, seed ^ 0xC0DE);
+        prop_assert_eq!(
+            SeqSim::new(&plain).run(&patterns),
+            SeqSim::new(&minimized).run(&patterns)
+        );
+    }
+}
