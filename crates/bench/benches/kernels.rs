@@ -44,6 +44,33 @@ fn bench_sim(c: &mut Criterion) {
     });
 }
 
+fn bench_par(c: &mut Criterion) {
+    // Serial vs sharded-parallel simulation on the balanced generators
+    // (Wallace tree, Kogge-Stone): the scaling workloads of BENCH_sim.json,
+    // tracked here for regressions. `0` jobs = all host cores.
+    use sim::comb::CombSim;
+    use sim::event::{DelayModel, EventSim};
+    use sim::stimulus::Stimulus;
+    let (wallace, _) = netlist::gen::wallace_multiplier(8);
+    let patterns = Stimulus::uniform(16).patterns(2048, 5);
+    let comb = CombSim::new(&wallace);
+    c.bench_function("par/comb_wallace8_serial", |b| {
+        b.iter(|| black_box(comb.activity_jobs(&patterns, 1)).cycles)
+    });
+    c.bench_function("par/comb_wallace8_all_cores", |b| {
+        b.iter(|| black_box(comb.activity_jobs(&patterns, 0)).cycles)
+    });
+    let (ks, _) = netlist::gen::kogge_stone_adder(16);
+    let event = EventSim::new(&ks, &DelayModel::Unit);
+    let short = Stimulus::uniform(32).patterns(256, 5);
+    c.bench_function("par/event_ks16_serial", |b| {
+        b.iter(|| black_box(event.activity_jobs(&short, 1)).total.cycles)
+    });
+    c.bench_function("par/event_ks16_all_cores", |b| {
+        b.iter(|| black_box(event.activity_jobs(&short, 0)).total.cycles)
+    });
+}
+
 fn bench_logicopt(c: &mut Criterion) {
     use logicopt::balance::balance_paths;
     use logicopt::mapping::{map, standard_library, MapObjective};
@@ -106,6 +133,6 @@ fn bench_behav_soft(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = config();
-    targets = bench_bdd, bench_sim, bench_logicopt, bench_seqopt, bench_behav_soft
+    targets = bench_bdd, bench_sim, bench_par, bench_logicopt, bench_seqopt, bench_behav_soft
 }
 criterion_main!(kernels);

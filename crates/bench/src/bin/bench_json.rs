@@ -1,0 +1,183 @@
+//! `bench_json` — machine-readable serial-vs-parallel throughput harness.
+//!
+//! Emits `BENCH_sim.json` (override with the first argument): for each
+//! simulator workload, the wall-clock seconds, patterns/second, and
+//! speedup-vs-serial at several worker-thread counts, plus a bit-identity
+//! check of the parallel activity profiles against the serial run. The
+//! host core count is recorded so a single-core CI run is self-describing
+//! — speedups above 1x only appear when the host actually has the cores.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_json [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lowpower::netlist::gen;
+use lowpower::sim::comb::CombSim;
+use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::seq::SeqSim;
+use lowpower::sim::stimulus::Stimulus;
+use lowpower::sim::ActivityProfile;
+
+/// Thread counts swept per workload (independent of the host core count:
+/// oversubscribed runs still complete and stay bit-identical).
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timed repetitions per point; the minimum is reported.
+const REPS: usize = 3;
+
+struct Run {
+    jobs: usize,
+    seconds: f64,
+    patterns_per_sec: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+struct Workload {
+    name: &'static str,
+    patterns: usize,
+    runs: Vec<Run>,
+}
+
+/// Exact bit pattern of a profile: the determinism contract is that these
+/// match for every thread count, not merely agree to within epsilon.
+fn profile_bits(p: &ActivityProfile) -> Vec<u64> {
+    p.toggles
+        .iter()
+        .chain(p.probability.iter())
+        .map(|x| x.to_bits())
+        .collect()
+}
+
+/// Warm up once, then report (best-of-REPS seconds, last profile).
+fn time(f: impl Fn() -> ActivityProfile) -> (f64, ActivityProfile) {
+    let mut profile = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        profile = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, profile)
+}
+
+fn measure(name: &'static str, patterns: usize, f: impl Fn(usize) -> ActivityProfile) -> Workload {
+    let (serial_secs, serial_profile) = time(|| f(1));
+    let serial_bits = profile_bits(&serial_profile);
+    let runs = JOBS
+        .iter()
+        .map(|&jobs| {
+            let (seconds, profile) = if jobs == 1 {
+                (serial_secs, serial_profile.clone())
+            } else {
+                time(|| f(jobs))
+            };
+            Run {
+                jobs,
+                seconds,
+                patterns_per_sec: patterns as f64 / seconds,
+                speedup: serial_secs / seconds,
+                bit_identical: profile_bits(&profile) == serial_bits,
+            }
+        })
+        .collect();
+    Workload { name, patterns, runs }
+}
+
+fn workloads() -> Vec<Workload> {
+    let cycles = 4096;
+    let (wallace, _) = gen::wallace_multiplier(8);
+    let (ks, _) = gen::kogge_stone_adder(16);
+    let (mult, _) = gen::array_multiplier(6);
+    let pipe = gen::pipelined_multiplier(4);
+
+    let wallace_pat = Stimulus::uniform(wallace.num_inputs()).patterns(cycles, 5);
+    let ks_pat = Stimulus::uniform(ks.num_inputs()).patterns(cycles, 5);
+    let glitch_pat = Stimulus::uniform(mult.num_inputs()).patterns(cycles / 4, 5);
+    let event_ks_pat = Stimulus::uniform(ks.num_inputs()).patterns(cycles / 4, 5);
+    let seq_pat = Stimulus::uniform(pipe.num_inputs()).patterns(cycles / 2, 5);
+
+    let comb_wallace = CombSim::new(&wallace);
+    let comb_ks = CombSim::new(&ks);
+    let event_mult = EventSim::new(&mult, &DelayModel::Unit);
+    let event_ks = EventSim::new(&ks, &DelayModel::Unit);
+    let seq_pipe = SeqSim::new(&pipe);
+
+    vec![
+        measure("comb/wallace_multiplier_8", wallace_pat.len(), |jobs| {
+            comb_wallace.activity_jobs(&wallace_pat, jobs)
+        }),
+        measure("comb/kogge_stone_adder_16", ks_pat.len(), |jobs| {
+            comb_ks.activity_jobs(&ks_pat, jobs)
+        }),
+        // The glitch workload: event-driven timing simulation of an
+        // unbalanced array multiplier, where most events are spurious.
+        measure("event_glitch/array_multiplier_6", glitch_pat.len(), |jobs| {
+            event_mult.activity_jobs(&glitch_pat, jobs).total
+        }),
+        measure("event/kogge_stone_adder_16", event_ks_pat.len(), |jobs| {
+            event_ks.activity_jobs(&event_ks_pat, jobs).total
+        }),
+        measure("seq/pipelined_multiplier_4", seq_pat.len(), |jobs| {
+            seq_pipe.activity_jobs(&seq_pat, jobs).profile
+        }),
+    ]
+}
+
+fn to_json(host_cores: usize, loads: &[Workload]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sim\",");
+    let _ = writeln!(out, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(
+        out,
+        "  \"jobs_swept\": [{}],",
+        JOBS.map(|j| j.to_string()).join(",")
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (w, wl) in loads.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", wl.name);
+        let _ = writeln!(out, "      \"patterns\": {},", wl.patterns);
+        out.push_str("      \"runs\": [\n");
+        for (r, run) in wl.runs.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"jobs\": {}, \"seconds\": {:.6}, \"patterns_per_sec\": {:.1}, \
+                 \"speedup\": {:.3}, \"bit_identical\": {}}}",
+                run.jobs, run.seconds, run.patterns_per_sec, run.speedup, run.bit_identical
+            );
+            out.push_str(if r + 1 < wl.runs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if w + 1 < loads.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".into());
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let loads = workloads();
+    let json = to_json(host_cores, &loads);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    println!("wrote {out_path} (host cores: {host_cores})");
+    for wl in &loads {
+        let serial = wl.runs[0].patterns_per_sec;
+        let best = wl
+            .runs
+            .iter()
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+            .expect("runs nonempty");
+        let deterministic = wl.runs.iter().all(|r| r.bit_identical);
+        println!(
+            "  {:<36} {:>10.0} pat/s serial, best {:.2}x at {} jobs, bit-identical: {}",
+            wl.name, serial, best.speedup, best.jobs, deterministic
+        );
+    }
+}

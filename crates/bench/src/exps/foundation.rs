@@ -1,6 +1,7 @@
 //! E1 and E20: the power model itself and architecture-level estimation.
 
 use crate::table::{f, pct, Table};
+use lowpower::par;
 use netlist::gen;
 use power::macro_model::{ActivationTrace, Architecture, ModuleClass};
 use power::model::{PowerParams, PowerReport};
@@ -30,10 +31,13 @@ pub fn power_breakdown() -> String {
         "switching share",
     ]);
     let mut min_share = 1.0f64;
-    for nl in &circuits {
+    // Per-circuit simulation is independent; fan the six runs across cores.
+    let reports = par::par_map(&circuits, par::jobs_from_env(), |_, nl| {
         let activity =
             CombSim::new(nl).activity(&Stimulus::uniform(nl.num_inputs()).patterns(1024, 3));
-        let report = PowerReport::from_activity(nl, &activity, &params);
+        PowerReport::from_activity(nl, &activity, &params)
+    });
+    for (nl, report) in circuits.iter().zip(&reports) {
         min_share = min_share.min(report.switching_fraction());
         t.row(&[
             nl.name().to_string(),

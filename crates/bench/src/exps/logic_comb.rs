@@ -5,6 +5,7 @@ use logicopt::balance::balance_paths_with_threshold;
 use logicopt::dontcare::{optimize_dontcares, Mode};
 use logicopt::factor::{CostFn, Cube, Sop, SopNetwork};
 use logicopt::mapping::{map, standard_library, MapObjective};
+use lowpower::par;
 use netlist::gen;
 use netlist::Rng64;
 use sim::event::{DelayModel, EventSim};
@@ -30,14 +31,17 @@ pub fn glitch_fraction() -> String {
     ];
     let mut t = Table::new(&["circuit", "class", "glitch fraction"]);
     let mut typical = Vec::new();
-    for (nl, class) in &circuits {
+    // Each circuit's timing run is independent: fan them out across cores.
+    let jobs = par::jobs_from_env();
+    let fractions = par::par_map(&circuits, jobs, |_, (nl, _)| {
         let patterns = Stimulus::uniform(nl.num_inputs()).patterns(400, 11);
-        let timing = EventSim::new(nl, &DelayModel::Unit).activity(&patterns);
-        let fraction = timing.glitch_fraction();
+        EventSim::new(nl, &DelayModel::Unit).activity(&patterns).glitch_fraction()
+    });
+    for ((nl, class), fraction) in circuits.iter().zip(&fractions) {
         if *class == "typical" {
-            typical.push(fraction);
+            typical.push(*fraction);
         }
-        t.row(&[nl.name().to_string(), class.to_string(), pct(fraction)]);
+        t.row(&[nl.name().to_string(), class.to_string(), pct(*fraction)]);
     }
     let lo = typical.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = typical.iter().cloned().fold(0.0f64, f64::max);
@@ -89,10 +93,15 @@ pub fn path_balance() -> String {
         "depth",
     ]);
     let mut best: Option<(usize, f64)> = None;
-    for threshold in [usize::MAX / 2, 8, 4, 2, 1, 0] {
+    // The sweep points are independent balance+simulate runs; fan them out.
+    let thresholds = [usize::MAX / 2, 8, 4, 2, 1, 0];
+    let sweep = par::par_map(&thresholds, par::jobs_from_env(), |_, &threshold| {
         let (balanced, report) = balance_paths_with_threshold(&nl, threshold);
         let timing = EventSim::new(&balanced, &DelayModel::Unit).activity(&patterns);
         let cap = timing.total.switched_capacitance(&balanced);
+        (report.buffers_added, timing.glitch_fraction(), cap, balanced.depth())
+    });
+    for (&threshold, &(buffers, glitch, cap, depth)) in thresholds.iter().zip(&sweep) {
         let label = if threshold > 1000 {
             "none".to_string()
         } else {
@@ -103,10 +112,10 @@ pub fn path_balance() -> String {
         }
         t.row(&[
             label,
-            report.buffers_added.to_string(),
-            pct(timing.glitch_fraction()),
+            buffers.to_string(),
+            pct(glitch),
             f(cap, 0),
-            balanced.depth().to_string(),
+            depth.to_string(),
         ]);
     }
     let (best_threshold, _) = best.expect("nonempty sweep");

@@ -39,3 +39,4 @@ pub use sim;
 pub use soft;
 
 pub mod flows;
+pub mod par;

@@ -1,0 +1,47 @@
+//! Workspace-level parallel fan-out utilities.
+//!
+//! Re-exports the scoped-thread pool of [`sim::par`] and adds the small
+//! conveniences the experiment binaries use to spread independent circuits
+//! (or whole exhibits) across cores. Everything here preserves the
+//! determinism contract: results come back in item order, so a fanned-out
+//! experiment renders its report rows in exactly the serial order.
+
+pub use sim::par::{num_threads, par_map, shard_ranges};
+
+/// Job count requested via the `LPOPT_JOBS` environment variable:
+/// unset/unparsable means `0` (all available cores).
+pub fn jobs_from_env() -> usize {
+    std::env::var("LPOPT_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Run independent closures across the pool and return their results in
+/// order. The closure list form the experiment drivers prefer: each entry
+/// builds one circuit/report, the pool spreads them over `jobs` threads.
+pub fn fan_out<U, F>(tasks: Vec<F>, jobs: usize) -> Vec<U>
+where
+    U: Send,
+    F: Fn() -> U + Sync,
+{
+    par_map(&tasks, jobs, |_, task| task())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_preserves_order() {
+        let tasks: Vec<_> = (0..16).map(|i| move || i * 3).collect();
+        assert_eq!(fan_out(tasks, 4), (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_from_env_defaults_to_all_cores() {
+        // Not set in the test environment (or set to a number): both parse.
+        let jobs = jobs_from_env();
+        assert!(num_threads(jobs) >= 1);
+    }
+}

@@ -26,7 +26,20 @@ use crate::prob;
 /// Flip-flop clock/internal power is included through the per-net toggle
 /// counts (the register output nets appear in the profile).
 pub fn measure_sequence(nl: &Netlist, patterns: &PatternSet, params: &PowerParams) -> PowerReport {
-    let activity = SeqSim::new(nl).activity(patterns).profile;
+    measure_sequence_jobs(nl, patterns, params, 1)
+}
+
+/// [`measure_sequence`] with the simulation sharded over up to `jobs`
+/// worker threads (`0` = all cores). The measured profile — and therefore
+/// the report — is bit-identical to the serial one for every thread count
+/// (see [`SeqSim::activity_jobs`]).
+pub fn measure_sequence_jobs(
+    nl: &Netlist,
+    patterns: &PatternSet,
+    params: &PowerParams,
+    jobs: usize,
+) -> PowerReport {
+    let activity = SeqSim::new(nl).activity_jobs(patterns, jobs).profile;
     PowerReport::from_activity(nl, &activity, params)
 }
 
@@ -107,6 +120,18 @@ mod tests {
             aware_error < blind_error,
             "aware {aware_error} vs blind {blind_error}"
         );
+    }
+
+    #[test]
+    fn parallel_measurement_matches_serial_exactly() {
+        let nl = pipeline();
+        let params = PowerParams::default();
+        let patterns = Stimulus::uniform(8).patterns(500, 21);
+        let serial = measure_sequence(&nl, &patterns, &params);
+        for jobs in [2, 4, 8] {
+            let par = measure_sequence_jobs(&nl, &patterns, &params, jobs);
+            assert_eq!(par.total().to_bits(), serial.total().to_bits(), "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -7,8 +7,40 @@
 
 use netlist::{GateKind, NetId, Netlist};
 
+use crate::par;
 use crate::profile::ActivityProfile;
 use crate::stimulus::PatternSet;
+
+/// Reusable scratch buffers for [`CombSim`] hot loops.
+///
+/// One arena per worker thread: the estimation loops evaluate thousands of
+/// 64-pattern blocks, and reusing these buffers removes every per-block
+/// allocation (`values`, fanin scratch, packed input words).
+#[derive(Debug, Default)]
+pub struct CombArena {
+    values: Vec<u64>,
+    scratch: Vec<u64>,
+    words: Vec<u64>,
+}
+
+impl CombArena {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> CombArena {
+        CombArena::default()
+    }
+}
+
+/// Raw integer counts from one contiguous shard of a pattern stream.
+/// Merged in fixed shard order by [`CombSim::activity_jobs`].
+struct ShardCounts {
+    toggles: Vec<u64>,
+    ones: Vec<u64>,
+    /// Settled values of the shard's first cycle (for the cross-shard
+    /// boundary toggle with the previous shard's `last`).
+    first: Vec<bool>,
+    last: Vec<bool>,
+    cycles: usize,
+}
 
 /// Zero-delay bit-parallel simulator bound to one netlist.
 #[derive(Debug)]
@@ -34,12 +66,23 @@ impl<'a> CombSim<'a> {
     /// values of input `i` (bit `k` = value in pattern `k`). Returns packed
     /// values per net.
     pub fn eval_words(&self, words: &[u64]) -> Vec<u64> {
+        let mut values = Vec::new();
+        let mut scratch = Vec::new();
+        self.eval_words_into(words, &mut values, &mut scratch);
+        values
+    }
+
+    /// Like [`CombSim::eval_words`], but into caller-provided buffers so
+    /// tight estimation loops evaluate block after block with zero
+    /// allocations. `values` is resized to `nl.len()`; `scratch` is fanin
+    /// scratch space.
+    pub fn eval_words_into(&self, words: &[u64], values: &mut Vec<u64>, scratch: &mut Vec<u64>) {
         assert_eq!(words.len(), self.nl.num_inputs(), "input word count");
-        let mut values = vec![0u64; self.nl.len()];
+        values.clear();
+        values.resize(self.nl.len(), 0);
         for (i, &pi) in self.nl.inputs().iter().enumerate() {
             values[pi.index()] = words[i];
         }
-        let mut scratch: Vec<u64> = Vec::new();
         for &net in &self.order {
             let kind = self.nl.kind(net);
             if kind == GateKind::Input {
@@ -47,23 +90,23 @@ impl<'a> CombSim<'a> {
             }
             scratch.clear();
             scratch.extend(self.nl.fanins(net).iter().map(|x| values[x.index()]));
-            values[net.index()] = kind.eval_word(&scratch);
+            values[net.index()] = kind.eval_word(scratch);
         }
-        values
     }
 
     /// Evaluate a full pattern set; returns the output values per cycle.
     pub fn eval_outputs(&self, patterns: &PatternSet) -> Vec<Vec<bool>> {
+        let mut arena = CombArena::new();
         let mut out = Vec::with_capacity(patterns.len());
         for chunk in patterns.chunks(64) {
-            let words = pack(chunk, self.nl.num_inputs());
-            let values = self.eval_words(&words);
+            pack_into(chunk, self.nl.num_inputs(), &mut arena.words);
+            self.eval_words_into(&arena.words, &mut arena.values, &mut arena.scratch);
             for (k, _) in chunk.iter().enumerate() {
                 out.push(
                     self.nl
                         .outputs()
                         .iter()
-                        .map(|(net, _)| values[net.index()] >> k & 1 == 1)
+                        .map(|(net, _)| arena.values[net.index()] >> k & 1 == 1)
                         .collect(),
                 );
             }
@@ -71,36 +114,88 @@ impl<'a> CombSim<'a> {
         out
     }
 
+    /// Count toggles/ones over one contiguous slice of the stream, reusing
+    /// the arena's buffers across blocks.
+    fn shard_counts(&self, patterns: &[Vec<bool>], arena: &mut CombArena) -> ShardCounts {
+        let n = self.nl.len();
+        let mut counts = ShardCounts {
+            toggles: vec![0u64; n],
+            ones: vec![0u64; n],
+            first: vec![false; n],
+            last: vec![false; n],
+            cycles: patterns.len(),
+        };
+        let mut have_prev = false;
+        for chunk in patterns.chunks(64) {
+            pack_into(chunk, self.nl.num_inputs(), &mut arena.words);
+            self.eval_words_into(&arena.words, &mut arena.values, &mut arena.scratch);
+            let w = chunk.len();
+            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            for i in 0..n {
+                let v = arena.values[i] & mask;
+                counts.ones[i] += v.count_ones() as u64;
+                // Toggles within the block: v XOR (v >> 1), w-1 positions.
+                let within = (v ^ (v >> 1)) & if w >= 1 { (1u64 << (w - 1)) - 1 } else { 0 };
+                counts.toggles[i] += within.count_ones() as u64;
+                // Toggle across the 64-cycle block boundary.
+                if have_prev && counts.last[i] != (v & 1 == 1) {
+                    counts.toggles[i] += 1;
+                }
+                if !have_prev {
+                    counts.first[i] = v & 1 == 1;
+                }
+                counts.last[i] = v >> (w - 1) & 1 == 1;
+            }
+            have_prev = true;
+        }
+        counts
+    }
+
     /// Measure the zero-delay activity profile over a pattern stream.
     ///
     /// Toggles are counted between consecutive cycles, including across
     /// 64-pattern block boundaries.
     pub fn activity(&self, patterns: &PatternSet) -> ActivityProfile {
+        self.activity_jobs(patterns, 1)
+    }
+
+    /// [`CombSim::activity`] sharded over up to `jobs` worker threads
+    /// (`0` = all cores).
+    ///
+    /// The stream splits into contiguous runs of 64-pattern blocks, one
+    /// worker arena per shard; per-shard integer counts merge in fixed
+    /// shard order (adding the one boundary toggle between consecutive
+    /// shards), so the result is **bit-identical** to the serial profile
+    /// for every thread count.
+    pub fn activity_jobs(&self, patterns: &PatternSet, jobs: usize) -> ActivityProfile {
         let n = self.nl.len();
+        let blocks = patterns.len().div_ceil(64);
+        let shards = par::num_threads(jobs).min(blocks).max(1);
+        let counts = if shards <= 1 {
+            vec![self.shard_counts(patterns, &mut CombArena::new())]
+        } else {
+            let slices: Vec<&[Vec<bool>]> = par::shard_ranges(blocks, shards)
+                .into_iter()
+                .map(|r| &patterns[r.start * 64..(r.end * 64).min(patterns.len())])
+                .collect();
+            par::par_map(&slices, shards, |_, slice| {
+                self.shard_counts(slice, &mut CombArena::new())
+            })
+        };
+        // Fixed-order deterministic reduction.
         let mut toggles = vec![0u64; n];
         let mut ones = vec![0u64; n];
-        let mut prev_last: Option<Vec<bool>> = None;
         let mut cycles = 0usize;
-        for chunk in patterns.chunks(64) {
-            let words = pack(chunk, self.nl.num_inputs());
-            let values = self.eval_words(&words);
-            let w = chunk.len();
-            cycles += w;
-            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        for (s, c) in counts.iter().enumerate() {
+            cycles += c.cycles;
             for i in 0..n {
-                let v = values[i] & mask;
-                ones[i] += v.count_ones() as u64;
-                // Toggles within the block: v XOR (v >> 1), w-1 positions.
-                let within = (v ^ (v >> 1)) & if w >= 1 { (1u64 << (w - 1)) - 1 } else { 0 };
-                toggles[i] += within.count_ones() as u64;
-                // Toggle across the block boundary.
-                if let Some(prev) = &prev_last {
-                    if prev[i] != (v & 1 == 1) {
-                        toggles[i] += 1;
-                    }
+                toggles[i] += c.toggles[i];
+                ones[i] += c.ones[i];
+                // Boundary toggle between shard s-1's last and s's first cycle.
+                if s > 0 && counts[s - 1].last[i] != c.first[i] {
+                    toggles[i] += 1;
                 }
             }
-            prev_last = Some((0..n).map(|i| values[i] >> (w - 1) & 1 == 1).collect());
         }
         let denom = (cycles.saturating_sub(1)).max(1) as f64;
         ActivityProfile {
@@ -121,9 +216,10 @@ impl<'a> CombSim<'a> {
     }
 }
 
-/// Pack per-cycle patterns into one word per input.
-fn pack(chunk: &[Vec<bool>], width: usize) -> Vec<u64> {
-    let mut words = vec![0u64; width];
+/// Pack per-cycle patterns into one word per input, reusing `words`.
+fn pack_into(chunk: &[Vec<bool>], width: usize, words: &mut Vec<u64>) {
+    words.clear();
+    words.resize(width, 0);
     for (k, pattern) in chunk.iter().enumerate() {
         assert_eq!(pattern.len(), width, "pattern width");
         for (i, &b) in pattern.iter().enumerate() {
@@ -132,7 +228,6 @@ fn pack(chunk: &[Vec<bool>], width: usize) -> Vec<u64> {
             }
         }
     }
-    words
 }
 
 /// Exhaustively check two small combinational netlists for equivalence.
@@ -232,6 +327,40 @@ mod tests {
         }
         assert_eq!(c.num_outputs(), a.num_outputs());
         assert!(!equivalent_exhaustive(&a, &c));
+    }
+
+    #[test]
+    fn parallel_activity_is_bit_identical() {
+        let (nl, _) = array_multiplier(5);
+        let sim = CombSim::new(&nl);
+        // 1000 cycles: 16 blocks, exercising uneven shard splits and the
+        // partial final block.
+        let patterns = Stimulus::uniform(10).patterns(1000, 13);
+        let serial = sim.activity(&patterns);
+        for jobs in [1, 2, 3, 4, 7, 8] {
+            let par = sim.activity_jobs(&patterns, jobs);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn eval_words_into_matches_eval_words() {
+        let (nl, _) = ripple_adder(5);
+        let sim = CombSim::new(&nl);
+        let patterns = Stimulus::uniform(10).patterns(64, 3);
+        let mut words = vec![0u64; 10];
+        for (k, p) in patterns.iter().enumerate() {
+            for (i, &b) in p.iter().enumerate() {
+                if b {
+                    words[i] |= 1 << k;
+                }
+            }
+        }
+        let fresh = sim.eval_words(&words);
+        let mut values = vec![0xDEAD_BEEFu64; 3]; // stale garbage must be cleared
+        let mut scratch = vec![7u64; 9];
+        sim.eval_words_into(&words, &mut values, &mut scratch);
+        assert_eq!(values, fresh);
     }
 
     #[test]

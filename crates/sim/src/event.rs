@@ -11,8 +11,34 @@ use std::collections::BinaryHeap;
 
 use netlist::{GateKind, NetId, Netlist};
 
+use crate::par;
 use crate::profile::ActivityProfile;
 use crate::stimulus::PatternSet;
+
+/// Reusable per-worker buffers for the event loop: net values, the settled
+/// reference state, fanin scratch, and the event heap. Nothing in the
+/// per-cycle hot path allocates once the arena has warmed up.
+#[derive(Debug, Default)]
+pub struct EventArena {
+    values: Vec<bool>,
+    settled: Vec<bool>,
+    ins: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u64, u32, u64, bool)>>,
+}
+
+impl EventArena {
+    /// An empty arena; buffers grow on first use and are then reused.
+    pub fn new() -> EventArena {
+        EventArena::default()
+    }
+}
+
+/// Raw integer counts from one contiguous shard of the stream.
+struct EventCounts {
+    total: Vec<u64>,
+    functional: Vec<u64>,
+    ones: Vec<u64>,
+}
 
 /// How per-gate delays are assigned.
 #[derive(Debug, Clone)]
@@ -123,7 +149,7 @@ impl<'a> EventSim<'a> {
         self.delays[net.index()]
     }
 
-    fn settle(&self, values: &mut [bool]) {
+    fn settle(&self, values: &mut [bool], ins: &mut Vec<bool>) {
         for &net in &self.order {
             let kind = self.nl.kind(net);
             if kind.is_source() {
@@ -132,14 +158,121 @@ impl<'a> EventSim<'a> {
                 }
                 continue;
             }
-            let ins: Vec<bool> = self
-                .nl
-                .fanins(net)
-                .iter()
-                .map(|x| values[x.index()])
-                .collect();
-            values[net.index()] = kind.eval(&ins);
+            ins.clear();
+            ins.extend(self.nl.fanins(net).iter().map(|x| values[x.index()]));
+            values[net.index()] = kind.eval(ins);
         }
+    }
+
+    /// Apply `pattern` to the inputs of `values` and settle in place.
+    fn apply_and_settle(&self, pattern: &[bool], values: &mut [bool], ins: &mut Vec<bool>) {
+        assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
+        for (i, &pi) in self.nl.inputs().iter().enumerate() {
+            values[pi.index()] = pattern[i];
+        }
+        self.settle(values, ins);
+    }
+
+    /// Count transitions over one contiguous shard.
+    ///
+    /// `prev_pattern` is the pattern applied in the cycle just before this
+    /// shard: a combinational settled state depends only on the current
+    /// pattern, so one uncounted settle reconstructs exactly the state the
+    /// serial run would have carried in — shards are embarrassingly
+    /// parallel and the merged counts stay bit-identical.
+    fn shard_counts(
+        &self,
+        prev_pattern: Option<&[bool]>,
+        patterns: &[Vec<bool>],
+        arena: &mut EventArena,
+    ) -> EventCounts {
+        let n = self.nl.len();
+        let mut counts = EventCounts {
+            total: vec![0u64; n],
+            functional: vec![0u64; n],
+            ones: vec![0u64; n],
+        };
+        arena.values.clear();
+        arena.values.resize(n, false);
+        arena.settled.clear();
+        arena.settled.resize(n, false);
+        let rest = match prev_pattern {
+            Some(p) => {
+                // Reconstruct the pre-shard settled state; the previous
+                // shard already counted this cycle.
+                self.apply_and_settle(p, &mut arena.values, &mut arena.ins);
+                patterns
+            }
+            None => {
+                let Some((head, rest)) = patterns.split_first() else {
+                    return counts;
+                };
+                self.apply_and_settle(head, &mut arena.values, &mut arena.ins);
+                for i in 0..n {
+                    counts.ones[i] += arena.values[i] as u64;
+                }
+                rest
+            }
+        };
+        // (time, net, value) in a min-heap; seq breaks ties deterministically.
+        let mut seq = 0u64;
+        for pattern in rest {
+            assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
+            // Functional toggles: compare settled states.
+            arena.settled.copy_from_slice(&arena.values);
+            for (i, &pi) in self.nl.inputs().iter().enumerate() {
+                arena.settled[pi.index()] = pattern[i];
+            }
+            self.settle(&mut arena.settled, &mut arena.ins);
+            for i in 0..n {
+                if arena.settled[i] != arena.values[i] {
+                    counts.functional[i] += 1;
+                }
+            }
+            // Event-driven propagation from the input changes.
+            debug_assert!(arena.heap.is_empty());
+            for (i, &pi) in self.nl.inputs().iter().enumerate() {
+                if arena.values[pi.index()] != pattern[i] {
+                    arena.heap.push(Reverse((0, pi.index() as u32, seq, pattern[i])));
+                    seq += 1;
+                }
+            }
+            while let Some(Reverse((time, raw, _, value))) = arena.heap.pop() {
+                // Coalesce: if a later-scheduled evaluation of the same net
+                // lands at the same instant, only the freshest one counts
+                // (zero-width pulses are not physical transitions).
+                if let Some(Reverse((t2, r2, _, _))) = arena.heap.peek() {
+                    if *t2 == time && *r2 == raw {
+                        continue;
+                    }
+                }
+                let net = NetId::from_index(raw as usize);
+                if arena.values[net.index()] == value {
+                    continue;
+                }
+                arena.values[net.index()] = value;
+                counts.total[net.index()] += 1;
+                for &sink in &self.fanouts[net.index()] {
+                    let kind = self.nl.kind(sink);
+                    arena.ins.clear();
+                    arena
+                        .ins
+                        .extend(self.nl.fanins(sink).iter().map(|x| arena.values[x.index()]));
+                    let out = kind.eval(&arena.ins);
+                    let t = time + self.delays[sink.index()] as u64;
+                    arena.heap.push(Reverse((t, sink.index() as u32, seq, out)));
+                    seq += 1;
+                }
+            }
+            debug_assert_eq!(
+                arena.values, arena.settled,
+                "event sim must settle to functional values"
+            );
+            for i in 0..n {
+                counts.ones[i] += arena.values[i] as u64;
+            }
+        }
+        counts
     }
 
     /// Simulate a pattern stream and return total + functional activity.
@@ -148,83 +281,59 @@ impl<'a> EventSim<'a> {
     /// (transport-delay semantics, no inertial filtering — a conservative
     /// upper bound on glitching, as in \[16\]).
     pub fn activity(&self, patterns: &PatternSet) -> TimingActivity {
-        let n = self.nl.len();
-        let mut total_toggles = vec![0u64; n];
-        let mut functional_toggles = vec![0u64; n];
-        let mut ones = vec![0u64; n];
-        let mut values = vec![false; n];
+        self.activity_jobs(patterns, 1)
+    }
 
-        let mut first = true;
-        // (time, net, value) in a min-heap; seq breaks ties deterministically.
-        let mut heap: BinaryHeap<Reverse<(u64, u32, u64, bool)>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        for pattern in patterns {
-            assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
-            if first {
-                for (i, &pi) in self.nl.inputs().iter().enumerate() {
-                    values[pi.index()] = pattern[i];
-                }
-                self.settle(&mut values);
-                first = false;
-                for i in 0..n {
-                    ones[i] += values[i] as u64;
-                }
-                continue;
-            }
-            // Functional toggles: compare settled states.
-            let mut settled = values.clone();
-            for (i, &pi) in self.nl.inputs().iter().enumerate() {
-                settled[pi.index()] = pattern[i];
-            }
-            self.settle(&mut settled);
-            for i in 0..n {
-                if settled[i] != values[i] {
-                    functional_toggles[i] += 1;
-                }
-            }
-            // Event-driven propagation from the input changes.
-            debug_assert!(heap.is_empty());
-            for (i, &pi) in self.nl.inputs().iter().enumerate() {
-                if values[pi.index()] != pattern[i] {
-                    heap.push(Reverse((0, pi.index() as u32, seq, pattern[i])));
-                    seq += 1;
-                }
-            }
-            while let Some(Reverse((time, raw, _, value))) = heap.pop() {
-                // Coalesce: if a later-scheduled evaluation of the same net
-                // lands at the same instant, only the freshest one counts
-                // (zero-width pulses are not physical transitions).
-                if let Some(Reverse((t2, r2, _, _))) = heap.peek() {
-                    if *t2 == time && *r2 == raw {
-                        continue;
+    /// [`EventSim::activity`] sharded over up to `jobs` worker threads
+    /// (`0` = all cores).
+    ///
+    /// Each shard re-settles the pattern preceding it (combinational state
+    /// has no deeper history) and then simulates its cycles with a private
+    /// arena; integer counts merge in fixed shard order, so the result is
+    /// **bit-identical** to the serial run for every thread count.
+    pub fn activity_jobs(&self, patterns: &PatternSet, jobs: usize) -> TimingActivity {
+        let n = self.nl.len();
+        // Work items are the cycles *after* the first; each shard needs at
+        // least one.
+        let transitions = patterns.len().saturating_sub(1);
+        let shards = par::num_threads(jobs).min(transitions.max(1)).max(1);
+        let counts = if shards <= 1 {
+            vec![self.shard_counts(None, patterns, &mut EventArena::new())]
+        } else {
+            // Shard s covers transition range r => patterns[r.start+1 ..
+            // r.end+1), seeded by patterns[r.start]; shard 0 also owns the
+            // initialization cycle 0.
+            // One shard's work: (uncounted seed pattern, counted patterns).
+            type Shard<'a> = (Option<&'a [bool]>, &'a [Vec<bool>]);
+            let work: Vec<Shard> = par::shard_ranges(transitions, shards)
+                .into_iter()
+                .enumerate()
+                .map(|(s, r)| {
+                    if s == 0 {
+                        (None, &patterns[0..r.end + 1])
+                    } else {
+                        (
+                            Some(patterns[r.start].as_slice()),
+                            &patterns[r.start + 1..r.end + 1],
+                        )
                     }
-                }
-                let net = NetId::from_index(raw as usize);
-                if values[net.index()] == value {
-                    continue;
-                }
-                values[net.index()] = value;
-                total_toggles[net.index()] += 1;
-                for &sink in &self.fanouts[net.index()] {
-                    let kind = self.nl.kind(sink);
-                    let ins: Vec<bool> = self
-                        .nl
-                        .fanins(sink)
-                        .iter()
-                        .map(|x| values[x.index()])
-                        .collect();
-                    let out = kind.eval(&ins);
-                    let t = time + self.delays[sink.index()] as u64;
-                    heap.push(Reverse((t, sink.index() as u32, seq, out)));
-                    seq += 1;
-                }
-            }
-            debug_assert_eq!(values, settled, "event sim must settle to functional values");
+                })
+                .collect();
+            par::par_map(&work, shards, |_, (prev, slice)| {
+                self.shard_counts(*prev, slice, &mut EventArena::new())
+            })
+        };
+        // Fixed-order deterministic reduction.
+        let mut total = vec![0u64; n];
+        let mut functional = vec![0u64; n];
+        let mut ones = vec![0u64; n];
+        for c in &counts {
             for i in 0..n {
-                ones[i] += values[i] as u64;
+                total[i] += c.total[i];
+                functional[i] += c.functional[i];
+                ones[i] += c.ones[i];
             }
         }
-
         let cycles = patterns.len();
         let denom = cycles.saturating_sub(1).max(1) as f64;
         let make = |toggles: Vec<u64>| ActivityProfile {
@@ -233,8 +342,8 @@ impl<'a> EventSim<'a> {
             cycles,
         };
         TimingActivity {
-            total: make(total_toggles),
-            functional: make(functional_toggles),
+            total: make(total),
+            functional: make(functional),
         }
     }
 }
@@ -319,6 +428,19 @@ mod tests {
             "balanced tree glitched: {}",
             activity.glitch_fraction()
         );
+    }
+
+    #[test]
+    fn parallel_timing_activity_is_bit_identical() {
+        let (nl, _) = array_multiplier(5);
+        let patterns = Stimulus::uniform(10).patterns(150, 41);
+        let sim = EventSim::new(&nl, &DelayModel::Analytic { resolution: 4 });
+        let serial = sim.activity(&patterns);
+        for jobs in [1, 2, 3, 4, 7, 8] {
+            let par = sim.activity_jobs(&patterns, jobs);
+            assert_eq!(par.total, serial.total, "total, jobs={jobs}");
+            assert_eq!(par.functional, serial.functional, "functional, jobs={jobs}");
+        }
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Scoped-thread worker pool for the simulation engines.
+//!
+//! The whole experiment suite funnels through the simulators, so they are
+//! the natural place to spend every core the host has. This module keeps
+//! the workspace's zero-runtime-dependency policy: all parallelism is
+//! `std::thread::scope`, all hand-offs are `std::sync::mpsc`.
+//!
+//! Two invariants every caller relies on:
+//!
+//! * **Determinism** — [`par_map`] returns results in item order, and the
+//!   simulators merge per-shard integer counts in fixed shard order, so an
+//!   [`crate::ActivityProfile`] is bit-identical for every thread count.
+//! * **Arena locality** — each worker builds its scratch buffers once and
+//!   reuses them across every item it steals, so the hot loops allocate
+//!   nothing per block.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolve a requested job count: `0` means "all available cores".
+pub fn num_threads(jobs: usize) -> usize {
+    if jobs > 0 {
+        jobs
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Split `n` items into at most `shards` contiguous, near-equal ranges.
+/// Earlier ranges get the remainder; empty ranges are never returned.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Map `f` over `items` on up to `jobs` scoped worker threads
+/// (work-stealing by atomic index), returning results in item order.
+///
+/// `f` receives `(index, &item)`. With `jobs <= 1` or fewer than two
+/// items, runs inline with no thread spawns.
+pub fn par_map<T, U, F>(items: &[T], jobs: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = num_threads(jobs).min(n);
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let mut results: Vec<Option<U>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i, &items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            results[i] = Some(value);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker produced every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_exactly() {
+        for n in 0..40 {
+            for shards in 1..9 {
+                let ranges = shard_ranges(n, shards);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} shards={shards}");
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                assert!(ranges.len() <= shards.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_is_order_preserving() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 3, 8] {
+            let out = par_map(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn num_threads_resolves_zero() {
+        assert!(num_threads(0) >= 1);
+        assert_eq!(num_threads(3), 3);
+    }
+}

@@ -9,6 +9,7 @@
 
 use netlist::{GateKind, NetId, Netlist};
 
+use crate::par;
 use crate::profile::ActivityProfile;
 use crate::stimulus::PatternSet;
 
@@ -17,6 +18,30 @@ use crate::stimulus::PatternSet;
 pub struct SeqSim<'a> {
     nl: &'a Netlist,
     order: Vec<NetId>,
+    /// `order` restricted to the fanin cone of the flip-flop D/enable
+    /// nets: the only nets the state-forwarding pass of
+    /// [`SeqSim::activity_jobs`] has to evaluate.
+    state_order: Vec<NetId>,
+}
+
+/// Reusable per-worker buffers for sequential simulation.
+#[derive(Debug, Default)]
+struct SeqArena {
+    values: Vec<bool>,
+    prev_values: Vec<bool>,
+    ins: Vec<bool>,
+    d_now: Vec<bool>,
+    prev_d: Vec<bool>,
+    state: Vec<bool>,
+}
+
+/// Raw integer counts from one contiguous shard of a sequential run.
+struct SeqCounts {
+    toggles: Vec<u64>,
+    ones: Vec<u64>,
+    ff_out: Vec<u64>,
+    ff_in: Vec<u64>,
+    ff_load: Vec<u64>,
 }
 
 /// Activity measured by a sequential run.
@@ -41,7 +66,25 @@ impl<'a> SeqSim<'a> {
     /// Panics if the combinational part is cyclic.
     pub fn new(nl: &'a Netlist) -> SeqSim<'a> {
         let order = nl.topo_order().expect("combinational part must be acyclic");
-        SeqSim { nl, order }
+        // Mark the cone of nets feeding any flip-flop input (D or enable).
+        let mut in_cone = vec![false; nl.len()];
+        let mut stack: Vec<NetId> = nl
+            .dffs()
+            .iter()
+            .flat_map(|&d| nl.fanins(d).iter().copied())
+            .collect();
+        while let Some(net) = stack.pop() {
+            if std::mem::replace(&mut in_cone[net.index()], true) {
+                continue;
+            }
+            stack.extend(nl.fanins(net).iter().copied());
+        }
+        let state_order = order.iter().copied().filter(|n| in_cone[n.index()]).collect();
+        SeqSim {
+            nl,
+            order,
+            state_order,
+        }
     }
 
     /// Initial register state from the netlist's declared init values.
@@ -54,16 +97,33 @@ impl<'a> SeqSim<'a> {
     /// `state` holds flip-flop values in [`Netlist::dffs`] order. Returns
     /// all net values (flip-flop nets carry the *current* state).
     pub fn settle(&self, state: &[bool], inputs: &[bool]) -> Vec<bool> {
+        let mut values = Vec::new();
+        let mut ins = Vec::new();
+        self.settle_into(state, inputs, &mut values, &mut ins, &self.order);
+        values
+    }
+
+    /// Settle into caller-provided buffers, evaluating only `subset`
+    /// (either the full topological order or the flip-flop input cone).
+    fn settle_into(
+        &self,
+        state: &[bool],
+        inputs: &[bool],
+        values: &mut Vec<bool>,
+        ins: &mut Vec<bool>,
+        subset: &[NetId],
+    ) {
         assert_eq!(inputs.len(), self.nl.num_inputs(), "input width");
         assert_eq!(state.len(), self.nl.num_dffs(), "state width");
-        let mut values = vec![false; self.nl.len()];
+        values.clear();
+        values.resize(self.nl.len(), false);
         for (i, &pi) in self.nl.inputs().iter().enumerate() {
             values[pi.index()] = inputs[i];
         }
         for (i, &dff) in self.nl.dffs().iter().enumerate() {
             values[dff.index()] = state[i];
         }
-        for &net in &self.order {
+        for &net in subset {
             let kind = self.nl.kind(net);
             if kind.is_source() || kind == GateKind::Dff {
                 if let GateKind::Const(v) = kind {
@@ -71,15 +131,10 @@ impl<'a> SeqSim<'a> {
                 }
                 continue;
             }
-            let ins: Vec<bool> = self
-                .nl
-                .fanins(net)
-                .iter()
-                .map(|x| values[x.index()])
-                .collect();
-            values[net.index()] = kind.eval(&ins);
+            ins.clear();
+            ins.extend(self.nl.fanins(net).iter().map(|x| values[x.index()]));
+            values[net.index()] = kind.eval(ins);
         }
-        values
     }
 
     /// Next register state given settled values.
@@ -126,57 +181,174 @@ impl<'a> SeqSim<'a> {
         trace
     }
 
-    /// Measure sequential activity over a pattern stream.
-    pub fn activity(&self, patterns: &PatternSet) -> SeqActivity {
+    /// Count activity over one contiguous shard of the stream.
+    ///
+    /// `start_state` is the register state before the shard's first
+    /// counted cycle. `prev_pattern` is the pattern of the cycle just
+    /// before the shard (None for the stream head): the worker re-settles
+    /// it, uncounted, to reconstruct the settled values and D inputs the
+    /// serial run would compare against.
+    fn shard_counts(
+        &self,
+        start_state: &[bool],
+        prev_pattern: Option<&[bool]>,
+        patterns: &[Vec<bool>],
+        arena: &mut SeqArena,
+    ) -> SeqCounts {
         let n = self.nl.len();
         let ndff = self.nl.num_dffs();
-        let mut toggles = vec![0u64; n];
-        let mut ones = vec![0u64; n];
+        let mut counts = SeqCounts {
+            toggles: vec![0u64; n],
+            ones: vec![0u64; n],
+            ff_out: vec![0u64; ndff],
+            ff_in: vec![0u64; ndff],
+            ff_load: vec![0u64; ndff],
+        };
+        arena.state.clear();
+        arena.state.extend_from_slice(start_state);
+        let mut have_prev = false;
+        if let Some(p) = prev_pattern {
+            self.settle_into(&arena.state, p, &mut arena.prev_values, &mut arena.ins, &self.order);
+            arena.prev_d.clear();
+            arena.prev_d.extend(
+                self.nl
+                    .dffs()
+                    .iter()
+                    .map(|&dff| arena.prev_values[self.nl.fanins(dff)[0].index()]),
+            );
+            let next = self.next_state(&arena.state, &arena.prev_values);
+            arena.state.clear();
+            arena.state.extend_from_slice(&next);
+            have_prev = true;
+        }
+        for p in patterns {
+            self.settle_into(&arena.state, p, &mut arena.values, &mut arena.ins, &self.order);
+            for i in 0..n {
+                counts.ones[i] += arena.values[i] as u64;
+            }
+            if have_prev {
+                for i in 0..n {
+                    if arena.prev_values[i] != arena.values[i] {
+                        counts.toggles[i] += 1;
+                    }
+                }
+            }
+            arena.d_now.clear();
+            arena.d_now.extend(
+                self.nl
+                    .dffs()
+                    .iter()
+                    .map(|&dff| arena.values[self.nl.fanins(dff)[0].index()]),
+            );
+            if have_prev {
+                for i in 0..ndff {
+                    if arena.prev_d[i] != arena.d_now[i] {
+                        counts.ff_in[i] += 1;
+                    }
+                }
+            }
+            let next = self.next_state(&arena.state, &arena.values);
+            for i in 0..ndff {
+                if next[i] != arena.state[i] {
+                    counts.ff_out[i] += 1;
+                }
+                let fanins = self.nl.fanins(self.nl.dffs()[i]);
+                let loaded = fanins.len() < 2 || arena.values[fanins[1].index()];
+                counts.ff_load[i] += loaded as u64;
+            }
+            std::mem::swap(&mut arena.prev_values, &mut arena.values);
+            std::mem::swap(&mut arena.prev_d, &mut arena.d_now);
+            arena.state.clear();
+            arena.state.extend_from_slice(&next);
+            have_prev = true;
+        }
+        counts
+    }
+
+    /// Measure sequential activity over a pattern stream.
+    pub fn activity(&self, patterns: &PatternSet) -> SeqActivity {
+        self.activity_jobs(patterns, 1)
+    }
+
+    /// [`SeqSim::activity`] sharded over up to `jobs` worker threads
+    /// (`0` = all cores).
+    ///
+    /// Register state carries across every cycle, so a cheap serial
+    /// forward pass first computes the state at each shard boundary — it
+    /// evaluates only the fanin cone of the flip-flop D/enable nets
+    /// ([`state_order`](SeqSim::new)), not the whole netlist. Workers then
+    /// measure their shards in parallel with full settles, and integer
+    /// counts merge in fixed shard order: the result is **bit-identical**
+    /// to the serial run for every thread count. (Amdahl caps the speedup
+    /// at full-settle-cost / cone-settle-cost; circuits whose combinational
+    /// bulk does not feed state parallelize best.)
+    pub fn activity_jobs(&self, patterns: &PatternSet, jobs: usize) -> SeqActivity {
+        let n = patterns.len();
+        let shards = par::num_threads(jobs).min(n.max(1)).max(1);
+        let ranges = par::shard_ranges(n, shards);
+        let counts = if ranges.len() <= 1 {
+            vec![self.shard_counts(&self.initial_state(), None, patterns, &mut SeqArena::default())]
+        } else {
+            // Serial state-forwarding pass over the flip-flop cone: record
+            // the register state entering cycle `start - 1` of every shard
+            // after the first.
+            let mut checkpoints: Vec<Vec<bool>> = Vec::with_capacity(ranges.len() - 1);
+            let mut state = self.initial_state();
+            let mut values = Vec::new();
+            let mut ins = Vec::new();
+            let last_needed = ranges.last().expect("nonempty").start - 1;
+            for (c, p) in patterns.iter().enumerate().take(last_needed + 1) {
+                if ranges[checkpoints.len() + 1].start - 1 == c {
+                    checkpoints.push(state.clone());
+                    if checkpoints.len() == ranges.len() - 1 {
+                        break;
+                    }
+                }
+                self.settle_into(&state, p, &mut values, &mut ins, &self.state_order);
+                state = self.next_state(&state, &values);
+            }
+            // One shard's work: (register state entering the shard,
+            // uncounted previous pattern, counted patterns).
+            type Shard<'a> = (Vec<bool>, Option<&'a [bool]>, &'a [Vec<bool>]);
+            let work: Vec<Shard> = ranges
+                .iter()
+                .enumerate()
+                .map(|(s, r)| {
+                    if s == 0 {
+                        (self.initial_state(), None, &patterns[r.start..r.end])
+                    } else {
+                        (
+                            checkpoints[s - 1].clone(),
+                            Some(patterns[r.start - 1].as_slice()),
+                            &patterns[r.start..r.end],
+                        )
+                    }
+                })
+                .collect();
+            par::par_map(&work, shards, |_, (start, prev, slice)| {
+                self.shard_counts(start, *prev, slice, &mut SeqArena::default())
+            })
+        };
+        // Fixed-order deterministic reduction.
+        let nn = self.nl.len();
+        let ndff = self.nl.num_dffs();
+        let mut toggles = vec![0u64; nn];
+        let mut ones = vec![0u64; nn];
         let mut ff_out = vec![0u64; ndff];
         let mut ff_in = vec![0u64; ndff];
         let mut ff_load = vec![0u64; ndff];
-        let mut state = self.initial_state();
-        let mut prev_values: Option<Vec<bool>> = None;
-        let mut prev_d: Option<Vec<bool>> = None;
-        for p in patterns {
-            let values = self.settle(&state, p);
-            for i in 0..n {
-                ones[i] += values[i] as u64;
+        for c in &counts {
+            for i in 0..nn {
+                toggles[i] += c.toggles[i];
+                ones[i] += c.ones[i];
             }
-            if let Some(prev) = &prev_values {
-                for i in 0..n {
-                    if prev[i] != values[i] {
-                        toggles[i] += 1;
-                    }
-                }
-            }
-            let d_now: Vec<bool> = self
-                .nl
-                .dffs()
-                .iter()
-                .map(|&dff| values[self.nl.fanins(dff)[0].index()])
-                .collect();
-            if let Some(prev) = &prev_d {
-                for i in 0..ndff {
-                    if prev[i] != d_now[i] {
-                        ff_in[i] += 1;
-                    }
-                }
-            }
-            let next = self.next_state(&state, &values);
             for i in 0..ndff {
-                if next[i] != state[i] {
-                    ff_out[i] += 1;
-                }
-                let fanins = self.nl.fanins(self.nl.dffs()[i]);
-                let loaded = fanins.len() < 2 || values[fanins[1].index()];
-                ff_load[i] += loaded as u64;
+                ff_out[i] += c.ff_out[i];
+                ff_in[i] += c.ff_in[i];
+                ff_load[i] += c.ff_load[i];
             }
-            prev_values = Some(values);
-            prev_d = Some(d_now);
-            state = next;
         }
-        let cycles = patterns.len();
+        let cycles = n;
         let denom = cycles.saturating_sub(1).max(1) as f64;
         SeqActivity {
             profile: ActivityProfile {
@@ -254,6 +426,22 @@ mod tests {
         assert!((activity.ff_load_fraction[0] - 0.5).abs() < 0.05);
         // Output toggles less often than data input.
         assert!(activity.ff_output_toggles[0] < activity.ff_input_toggles[0]);
+    }
+
+    #[test]
+    fn parallel_seq_activity_is_bit_identical() {
+        use crate::stimulus::Stimulus;
+        let nl = pipelined_multiplier(4);
+        let sim = SeqSim::new(&nl);
+        let patterns = Stimulus::uniform(8).patterns(333, 19);
+        let serial = sim.activity(&patterns);
+        for jobs in [1, 2, 3, 4, 7, 8] {
+            let par = sim.activity_jobs(&patterns, jobs);
+            assert_eq!(par.profile, serial.profile, "profile, jobs={jobs}");
+            assert_eq!(par.ff_output_toggles, serial.ff_output_toggles, "jobs={jobs}");
+            assert_eq!(par.ff_input_toggles, serial.ff_input_toggles, "jobs={jobs}");
+            assert_eq!(par.ff_load_fraction, serial.ff_load_fraction, "jobs={jobs}");
+        }
     }
 
     #[test]

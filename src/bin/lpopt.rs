@@ -1,14 +1,18 @@
 //! `lpopt` — command-line driver for the low-power optimization passes.
 //!
 //! ```text
-//! lpopt gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
-//! lpopt stats <in.blif>
-//! lpopt power <in.blif> [cycles]
-//! lpopt balance <in.blif> <out.blif> [threshold]
-//! lpopt dontcare <in.blif> <out.blif>
-//! lpopt map <in.blif> <area|delay|power>
-//! lpopt fsm <in.kiss> [out.blif]
+//! lpopt [--jobs N] gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
+//! lpopt [--jobs N] stats <in.blif>
+//! lpopt [--jobs N] power <in.blif> [cycles]
+//! lpopt [--jobs N] balance <in.blif> <out.blif> [threshold]
+//! lpopt [--jobs N] dontcare <in.blif> <out.blif>
+//! lpopt [--jobs N] map <in.blif> <area|delay|power>
+//! lpopt [--jobs N] fsm <in.kiss> [out.blif]
 //! ```
+//!
+//! `--jobs N` shards simulation-heavy commands over up to `N` worker
+//! threads (`0` or omitted = all cores, also settable via `LPOPT_JOBS`).
+//! Results are bit-identical for every thread count.
 //!
 //! Netlists use the BLIF-like text format of `netlist::blif`; state
 //! machines use KISS2 (`seqopt::kiss`).
@@ -40,15 +44,39 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  lpopt gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
-  lpopt stats <in.blif>
-  lpopt power <in.blif> [cycles]
-  lpopt balance <in.blif> <out.blif> [threshold]
-  lpopt dontcare <in.blif> <out.blif>
-  lpopt map <in.blif> <area|delay|power>
-  lpopt fsm <in.kiss> [out.blif]";
+  lpopt [--jobs N] gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
+  lpopt [--jobs N] stats <in.blif>
+  lpopt [--jobs N] power <in.blif> [cycles]
+  lpopt [--jobs N] balance <in.blif> <out.blif> [threshold]
+  lpopt [--jobs N] dontcare <in.blif> <out.blif>
+  lpopt [--jobs N] map <in.blif> <area|delay|power>
+  lpopt [--jobs N] fsm <in.kiss> [out.blif]
+(--jobs 0 or omitted = all cores; LPOPT_JOBS env also respected)";
+
+/// Strip a leading `--jobs N` (or `--jobs=N`) flag, returning the thread
+/// count and the remaining arguments. Defaults to `LPOPT_JOBS`/all cores.
+fn parse_jobs(args: &[String]) -> Result<(usize, &[String]), String> {
+    match args.first().map(String::as_str) {
+        Some("--jobs") => {
+            let n = args
+                .get(1)
+                .ok_or("--jobs: missing thread count")?
+                .parse()
+                .map_err(|e| format!("--jobs: bad thread count: {e}"))?;
+            Ok((n, &args[2..]))
+        }
+        Some(flag) if flag.starts_with("--jobs=") => {
+            let n = flag["--jobs=".len()..]
+                .parse()
+                .map_err(|e| format!("--jobs: bad thread count: {e}"))?;
+            Ok((n, &args[1..]))
+        }
+        _ => Ok((lowpower::par::jobs_from_env(), args)),
+    }
+}
 
 fn run(args: &[String]) -> Result<String, String> {
+    let (jobs, args) = parse_jobs(args)?;
     let command = args.first().ok_or("missing command")?;
     match command.as_str() {
         "gen" => {
@@ -78,7 +106,7 @@ fn run(args: &[String]) -> Result<String, String> {
                 return Err("power: sequential netlists are not supported here".into());
             }
             let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, 42);
-            let timing = EventSim::new(&nl, &DelayModel::Unit).activity(&patterns);
+            let timing = EventSim::new(&nl, &DelayModel::Unit).activity_jobs(&patterns, jobs);
             let report = PowerReport::from_activity(&nl, &timing.total, &PowerParams::default());
             Ok(format!(
                 "{report}\nglitch fraction: {:.1}%\n",

@@ -79,6 +79,27 @@ fn map_reports_cover() {
 }
 
 #[test]
+fn jobs_flag_gives_identical_power_report() {
+    let file = temp_path("mult5.blif");
+    assert!(lpopt(&["gen", "multiplier", "5", &file]).0);
+    let (ok, serial, err) = lpopt(&["power", &file, "256"]);
+    assert!(ok, "{err}");
+    for jobs in ["1", "2", "4", "8"] {
+        let (ok, par, err) = lpopt(&["--jobs", jobs, "power", &file, "256"]);
+        assert!(ok, "{err}");
+        assert_eq!(par, serial, "jobs={jobs}");
+    }
+    // --jobs=N spelling too.
+    let (ok, par, err) = lpopt(&["--jobs=3", "power", &file, "256"]);
+    assert!(ok, "{err}");
+    assert_eq!(par, serial);
+    // Bad counts fail cleanly.
+    let (ok, _, err) = lpopt(&["--jobs", "banana", "power", &file]);
+    assert!(!ok);
+    assert!(err.contains("bad thread count"));
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let (ok, _, err) = lpopt(&["frobnicate"]);
     assert!(!ok);

@@ -1,0 +1,134 @@
+//! Workspace property tests of the parallel simulation engine: for random
+//! netlists, stimuli, and thread counts 1–8, each sharded simulator must
+//! produce an activity profile **bit-identical** to its serial run — not
+//! merely equal to within floating-point tolerance. This is the
+//! determinism contract the experiment harness and the power estimators
+//! rely on: `--jobs N` can never change a reported number.
+
+use lowpower::netlist::gen::{self, random_dag, RandomDagConfig};
+use lowpower::power::estimate::{measure_sequence, measure_sequence_jobs};
+use lowpower::power::model::PowerParams;
+use lowpower::sim::comb::CombSim;
+use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::seq::SeqSim;
+use lowpower::sim::stimulus::Stimulus;
+use lowpower::sim::ActivityProfile;
+use proptest::prelude::*;
+
+/// Exact bit pattern of a profile (bitwise f64 comparison, not epsilon).
+fn bits(p: &ActivityProfile) -> (Vec<u64>, Vec<u64>, usize) {
+    (
+        p.toggles.iter().map(|x| x.to_bits()).collect(),
+        p.probability.iter().map(|x| x.to_bits()).collect(),
+        p.cycles,
+    )
+}
+
+fn comb_dag(seed: u64, gates: usize) -> lowpower::netlist::Netlist {
+    let config = RandomDagConfig {
+        inputs: 8,
+        gates,
+        outputs: 4,
+        max_fanin: 3,
+        window: 12,
+    };
+    random_dag(&config, seed)
+}
+
+/// A random stimulus family: uniform, biased, correlated, or counting.
+fn stimulus(kind: usize, bias: u32, width: usize) -> Stimulus {
+    let p = f64::from(bias.clamp(1, 99)) / 100.0;
+    match kind % 4 {
+        0 => Stimulus::uniform(width),
+        1 => Stimulus::biased(vec![p; width]),
+        2 => Stimulus::correlated(vec![p; width]),
+        _ => Stimulus::counting(width),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn comb_parallel_is_bit_identical(
+        seed in 0u64..5000,
+        gates in 10usize..80,
+        cycles in 1usize..400,
+        kind in 0usize..4,
+        bias in 1u32..100,
+        jobs in 1usize..9,
+    ) {
+        let nl = comb_dag(seed, gates);
+        let patterns = stimulus(kind, bias, 8).patterns(cycles, seed ^ 0x51);
+        let sim = CombSim::new(&nl);
+        let serial = sim.activity(&patterns);
+        let par = sim.activity_jobs(&patterns, jobs);
+        prop_assert_eq!(bits(&par), bits(&serial));
+    }
+
+    #[test]
+    fn event_parallel_is_bit_identical(
+        seed in 0u64..5000,
+        gates in 10usize..60,
+        cycles in 1usize..200,
+        kind in 0usize..4,
+        bias in 1u32..100,
+        jobs in 1usize..9,
+        analytic in any::<bool>(),
+    ) {
+        let nl = comb_dag(seed, gates);
+        let patterns = stimulus(kind, bias, 8).patterns(cycles, seed ^ 0xE7);
+        let model = if analytic {
+            DelayModel::Analytic { resolution: 4 }
+        } else {
+            DelayModel::Unit
+        };
+        let sim = EventSim::new(&nl, &model);
+        let serial = sim.activity(&patterns);
+        let par = sim.activity_jobs(&patterns, jobs);
+        prop_assert_eq!(bits(&par.total), bits(&serial.total));
+        prop_assert_eq!(bits(&par.functional), bits(&serial.functional));
+    }
+
+    #[test]
+    fn seq_parallel_is_bit_identical(
+        circuit in 0usize..4,
+        width in 3usize..6,
+        cycles in 1usize..300,
+        kind in 0usize..4,
+        bias in 1u32..100,
+        jobs in 1usize..9,
+        seed in 0u64..5000,
+    ) {
+        let nl = match circuit {
+            0 => gen::counter(width),
+            1 => gen::shift_register(width),
+            2 => gen::lfsr(width + 2, &[0, width]),
+            _ => gen::pipelined_multiplier(width),
+        };
+        let patterns = stimulus(kind, bias, nl.num_inputs()).patterns(cycles, seed ^ 0x5E);
+        let sim = SeqSim::new(&nl);
+        let serial = sim.activity(&patterns);
+        let par = sim.activity_jobs(&patterns, jobs);
+        let fbits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&par.profile), bits(&serial.profile));
+        prop_assert_eq!(fbits(&par.ff_output_toggles), fbits(&serial.ff_output_toggles));
+        prop_assert_eq!(fbits(&par.ff_input_toggles), fbits(&serial.ff_input_toggles));
+        prop_assert_eq!(fbits(&par.ff_load_fraction), fbits(&serial.ff_load_fraction));
+    }
+
+    #[test]
+    fn power_report_is_jobs_invariant(
+        width in 3usize..6,
+        cycles in 2usize..200,
+        jobs in 1usize..9,
+        seed in 0u64..5000,
+    ) {
+        let nl = gen::pipelined_multiplier(width);
+        let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, seed ^ 0x9A);
+        let params = PowerParams::default();
+        let serial = measure_sequence(&nl, &patterns, &params);
+        let par = measure_sequence_jobs(&nl, &patterns, &params, jobs);
+        prop_assert_eq!(par.total().to_bits(), serial.total().to_bits());
+    }
+}
