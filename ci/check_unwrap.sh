@@ -1,0 +1,39 @@
+#!/bin/sh
+# Gate against new panic paths in the substrate crates.
+#
+# The robustness contract is that crates/netlist, crates/sim and
+# crates/power fail with typed errors, not panics. This script counts
+# `.unwrap()` / `.expect(` occurrences in their non-test code (everything
+# above the first `#[cfg(test)]` in each file) and fails if any crate
+# exceeds its frozen baseline. Baselines are the audited survivors —
+# each a documented invariant (e.g. "unlimited budget cannot trip") —
+# so the only way the count goes up is a review that raises the number
+# here, on purpose.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+check() {
+    crate=$1
+    unwrap_base=$2
+    expect_base=$3
+    stripped=$(find "crates/$crate/src" -name '*.rs' -print | sort | while read -r f; do
+        awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
+    done)
+    unwraps=$(printf '%s\n' "$stripped" | grep -c '\.unwrap()' || true)
+    expects=$(printf '%s\n' "$stripped" | grep -c '\.expect(' || true)
+    echo "crates/$crate: ${unwraps} unwrap (baseline ${unwrap_base}), ${expects} expect (baseline ${expect_base})"
+    if [ "$unwraps" -gt "$unwrap_base" ] || [ "$expects" -gt "$expect_base" ]; then
+        echo "ERROR: crates/$crate grew new unwrap/expect in non-test code." >&2
+        echo "       Return a typed error instead, or raise the baseline in ci/check_unwrap.sh" >&2
+        echo "       with a justification in the review." >&2
+        fail=1
+    fi
+}
+
+check netlist 0 8
+check sim 0 6
+check power 0 3
+
+exit "$fail"

@@ -27,4 +27,5 @@
 
 mod manager;
 
+pub use budget::{BudgetExceeded, Resource, ResourceBudget};
 pub use manager::{Bdd, BddStats, Ref};

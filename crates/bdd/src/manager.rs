@@ -1,7 +1,16 @@
 //! The BDD manager: unique table, ITE with memoization, quantification,
 //! composition, counting and probability evaluation.
+//!
+//! All construction funnels through a budget-guarded ITE: the `try_*`
+//! operations accept a [`ResourceBudget`] and return a typed
+//! [`BudgetExceeded`] instead of growing the unique table without bound —
+//! the known failure mode of BDD-derived analysis on wide reconvergent
+//! cones. The classic infallible operations remain and simply run with an
+//! unlimited budget.
 
 use std::collections::HashMap;
+
+use budget::{BudgetExceeded, ResourceBudget};
 
 /// Reference to a BDD node. Copyable and cheap; only meaningful together
 /// with the [`Bdd`] manager that created it.
@@ -168,22 +177,57 @@ impl Bdd {
     /// If-then-else: `ite(f, g, h) = f·g + f'·h`. All other Boolean
     /// operations are derived from this.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        match self.ite_guarded(f, g, h, &ResourceBudget::unlimited(), &mut 0) {
+            Ok(r) => r,
+            Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
+        }
+    }
+
+    /// Budget-guarded [`Bdd::ite`]: fails with a typed error once the
+    /// manager's node count reaches `budget.max_bdd_nodes` or the deadline
+    /// passes, leaving the manager in a usable (partially grown) state.
+    pub fn try_ite(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        h: Ref,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        self.ite_guarded(f, g, h, budget, &mut 0)
+    }
+
+    /// The one recursion every construction goes through. `ops` counts
+    /// cache misses so the (syscall-cost) deadline check can be amortized.
+    fn ite_guarded(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        h: Ref,
+        budget: &ResourceBudget,
+        ops: &mut u64,
+    ) -> Result<Ref, BudgetExceeded> {
         // Terminal cases.
         if f == Ref::TRUE {
-            return g;
+            return Ok(g);
         }
         if f == Ref::FALSE {
-            return h;
+            return Ok(h);
         }
         if g == h {
-            return g;
+            return Ok(g);
         }
         if g == Ref::TRUE && h == Ref::FALSE {
-            return f;
+            return Ok(f);
         }
         let key = (f.0, g.0, h.0);
         if let Some(&r) = self.ite_cache.get(&key) {
-            return r;
+            return Ok(r);
+        }
+        // Cache miss: the only place nodes (and real work) can grow.
+        budget.check_bdd_nodes(self.nodes.len())?;
+        *ops += 1;
+        if *ops & 0xFFF == 0 {
+            budget.check_deadline()?;
         }
         let fv = self.node(f).var;
         let gv = self.node(g).var;
@@ -192,11 +236,11 @@ impl Bdd {
         let (f0, f1) = self.cofactors_at(f, v);
         let (g0, g1) = self.cofactors_at(g, v);
         let (h0, h1) = self.cofactors_at(h, v);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
+        let lo = self.ite_guarded(f0, g0, h0, budget, ops)?;
+        let hi = self.ite_guarded(f1, g1, h1, budget, ops)?;
         let r = self.mk(v, lo, hi);
         self.ite_cache.insert(key, r);
-        r
+        Ok(r)
     }
 
     fn cofactors_at(&self, f: Ref, v: u32) -> (Ref, Ref) {
@@ -248,6 +292,102 @@ impl Bdd {
     /// n-ary disjunction.
     pub fn or_all<I: IntoIterator<Item = Ref>>(&mut self, fs: I) -> Ref {
         fs.into_iter().fold(Ref::FALSE, |acc, f| self.or(acc, f))
+    }
+
+    // ------------------------------------------------------------------
+    // Budget-guarded operations (typed errors instead of unbounded growth)
+    // ------------------------------------------------------------------
+
+    /// Budget-guarded negation.
+    pub fn try_not(&mut self, f: Ref, budget: &ResourceBudget) -> Result<Ref, BudgetExceeded> {
+        self.try_ite(f, Ref::FALSE, Ref::TRUE, budget)
+    }
+
+    /// Budget-guarded conjunction.
+    pub fn try_and(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        self.try_ite(f, g, Ref::FALSE, budget)
+    }
+
+    /// Budget-guarded disjunction.
+    pub fn try_or(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        self.try_ite(f, Ref::TRUE, g, budget)
+    }
+
+    /// Budget-guarded exclusive or.
+    pub fn try_xor(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        let ng = self.try_not(g, budget)?;
+        self.try_ite(f, ng, g, budget)
+    }
+
+    /// Budget-guarded exclusive nor.
+    pub fn try_xnor(
+        &mut self,
+        f: Ref,
+        g: Ref,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        let ng = self.try_not(g, budget)?;
+        self.try_ite(f, g, ng, budget)
+    }
+
+    /// Budget-guarded n-ary conjunction.
+    pub fn try_and_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        let mut acc = Ref::TRUE;
+        for f in fs {
+            acc = self.try_and(acc, f, budget)?;
+        }
+        Ok(acc)
+    }
+
+    /// Budget-guarded n-ary disjunction.
+    pub fn try_or_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        let mut acc = Ref::FALSE;
+        for f in fs {
+            acc = self.try_or(acc, f, budget)?;
+        }
+        Ok(acc)
+    }
+
+    /// Budget-guarded n-ary exclusive or (parity accumulation).
+    pub fn try_xor_all<I: IntoIterator<Item = Ref>>(
+        &mut self,
+        fs: I,
+        budget: &ResourceBudget,
+    ) -> Result<Ref, BudgetExceeded> {
+        let mut acc = Ref::FALSE;
+        for f in fs {
+            acc = self.try_xor(acc, f, budget)?;
+        }
+        Ok(acc)
+    }
+
+    /// Total interned node count (including the two terminals) — the
+    /// quantity [`ResourceBudget::max_bdd_nodes`] bounds.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     // ------------------------------------------------------------------
@@ -637,6 +777,89 @@ mod tests {
         let bc = mgr.xor(b, cin);
         let s2 = mgr.xor(a, bc);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn node_budget_trips_on_wide_cone() {
+        // x0·x3 + x1·x4 + x2·x5 under the interleaved order needs > 16
+        // nodes; a 16-node budget must produce a typed error, not growth.
+        let mut mgr = Bdd::new();
+        let budget = ResourceBudget::unlimited().with_max_bdd_nodes(16);
+        let mut f = Ref::FALSE;
+        let mut failed = None;
+        for (a, b) in [(0, 3), (1, 4), (2, 5)] {
+            let (va, vb) = (mgr.var(a), mgr.var(b));
+            let t = match mgr.try_and(va, vb, &budget) {
+                Ok(t) => t,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            };
+            match mgr.try_or(f, t, &budget) {
+                Ok(r) => f = r,
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = failed.expect("16-node budget must be exceeded");
+        assert_eq!(err.resource, budget::Resource::BddNodes);
+        assert!(mgr.node_count() <= 18, "growth stopped near the limit");
+        // The manager stays usable after exhaustion.
+        let a = mgr.var(0);
+        assert!(mgr.eval(a, &[true]));
+    }
+
+    #[test]
+    fn guarded_ops_match_unguarded_under_no_limit() {
+        let mut guarded = Bdd::new();
+        let mut plain = Bdd::new();
+        let unlimited = ResourceBudget::unlimited();
+        let (a1, b1, c1) = (guarded.var(0), guarded.var(1), guarded.var(2));
+        let (a2, b2, c2) = (plain.var(0), plain.var(1), plain.var(2));
+        let g = {
+            let x = guarded.try_xor(a1, b1, &unlimited).unwrap();
+            let o = guarded.try_or_all([x, c1], &unlimited).unwrap();
+            guarded.try_and_all([o, a1], &unlimited).unwrap()
+        };
+        let p = {
+            let x = plain.xor(a2, b2);
+            let o = plain.or_all([x, c2]);
+            plain.and_all([o, a2])
+        };
+        for bits in 0u32..8 {
+            let env: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(guarded.eval(g, &env), plain.eval(p, &env), "{bits:03b}");
+        }
+        // Same construction order => same canonical node ids.
+        assert_eq!(g, p);
+        assert_eq!(guarded.node_count(), plain.node_count());
+    }
+
+    #[test]
+    fn deadline_budget_fails_eventually() {
+        // An already-expired deadline trips on the first chunk of misses.
+        let mut mgr = Bdd::new();
+        let budget = ResourceBudget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let vars: Vec<Ref> = (0..24).map(|i| mgr.var(i)).collect();
+        let mut result = Ok(Ref::FALSE);
+        for (a, b) in (0..12).map(|i| (vars[i], vars[i + 12])) {
+            result = mgr
+                .try_and(a, b, &budget)
+                .and_then(|t| result.and_then(|acc| mgr.try_or(acc, t, &budget)));
+            if result.is_err() {
+                break;
+            }
+        }
+        // Amortization means tiny graphs may finish under an expired
+        // deadline; a node limit composed with it always trips.
+        let tight = ResourceBudget::unlimited().with_max_bdd_nodes(4).with_deadline_ms(0);
+        let v = mgr.var(30);
+        let w = mgr.var(31);
+        assert!(mgr.try_and(v, w, &tight).is_err());
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! `bench_robust` — cost of the resource-budget machinery.
+//!
+//! Emits `BENCH_robust.json` (override with the first argument) with two
+//! sections:
+//!
+//! * **overhead** — each hot simulation path timed twice over the same
+//!   workload: the infallible entry point versus the budget-guarded one
+//!   with generous (never-tripping) limits, so the delta is purely the
+//!   cost of the checks. The robustness contract targets < 3%.
+//! * **tiers** — per circuit, the latency of each estimation tier of the
+//!   degradation chain answering alone, plus a degraded end-to-end run
+//!   (node-capped, so the exact tier fails first) to show what a fallback
+//!   actually costs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_robust [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use lowpower::budget::ResourceBudget;
+use lowpower::netlist::gen;
+use lowpower::netlist::Netlist;
+use lowpower::power::chain::{estimate_activity, ChainConfig, Tier};
+use lowpower::sim::comb::CombSim;
+use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::seq::SeqSim;
+use lowpower::sim::stimulus::Stimulus;
+
+/// Timed repetitions per point; the minimum is reported.
+const REPS: usize = 5;
+
+fn best(f: impl Fn()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Every limit set, none reachable: the checks run, the branches never
+/// take, which is exactly the hot-path configuration the overhead target
+/// is about.
+fn generous() -> ResourceBudget {
+    ResourceBudget::unlimited()
+        .with_max_bdd_nodes(u64::MAX / 2)
+        .with_max_event_queue(u64::MAX / 2)
+        .with_max_sim_steps(u64::MAX / 2)
+        .with_deadline_ms(3_600_000)
+}
+
+struct Overhead {
+    name: &'static str,
+    unguarded_secs: f64,
+    guarded_secs: f64,
+}
+
+impl Overhead {
+    fn percent(&self) -> f64 {
+        100.0 * (self.guarded_secs - self.unguarded_secs) / self.unguarded_secs
+    }
+}
+
+fn overheads() -> Vec<Overhead> {
+    let budget = generous();
+    let (wallace, _) = gen::wallace_multiplier(8);
+    let (mult, _) = gen::array_multiplier(6);
+    let pipe = gen::pipelined_multiplier(4);
+    let wallace_pat = Stimulus::uniform(wallace.num_inputs()).patterns(4096, 5);
+    let mult_pat = Stimulus::uniform(mult.num_inputs()).patterns(1024, 5);
+    let pipe_pat = Stimulus::uniform(pipe.num_inputs()).patterns(2048, 5);
+
+    let comb = CombSim::new(&wallace);
+    let event = EventSim::new(&mult, &DelayModel::Unit);
+    let seq = SeqSim::new(&pipe);
+
+    vec![
+        Overhead {
+            name: "comb/wallace_multiplier_8",
+            unguarded_secs: best(|| {
+                comb.activity_jobs(&wallace_pat, 1);
+            }),
+            guarded_secs: best(|| {
+                comb.try_activity_jobs(&wallace_pat, 1, &budget).unwrap();
+            }),
+        },
+        Overhead {
+            name: "event/array_multiplier_6",
+            unguarded_secs: best(|| {
+                event.activity_jobs(&mult_pat, 1);
+            }),
+            guarded_secs: best(|| {
+                event.try_activity_jobs(&mult_pat, 1, &budget).unwrap();
+            }),
+        },
+        Overhead {
+            name: "seq/pipelined_multiplier_4",
+            unguarded_secs: best(|| {
+                seq.activity_jobs(&pipe_pat, 1);
+            }),
+            guarded_secs: best(|| {
+                seq.try_activity_jobs(&pipe_pat, 1, &budget).unwrap();
+            }),
+        },
+    ]
+}
+
+struct TierLatency {
+    circuit: &'static str,
+    exact_secs: f64,
+    prob_secs: f64,
+    sampled_secs: f64,
+    /// End-to-end with a 256-node cap: exact fails, the chain degrades.
+    degraded_secs: f64,
+    degraded_tier: &'static str,
+}
+
+fn tier_cfg(tiers: Vec<Tier>) -> ChainConfig {
+    ChainConfig {
+        tiers,
+        sample_cycles: 1024,
+        ..ChainConfig::default()
+    }
+}
+
+fn tier_latency(circuit: &'static str, nl: &Netlist) -> TierLatency {
+    let unlimited = ResourceBudget::unlimited();
+    let capped = ResourceBudget::unlimited().with_max_bdd_nodes(256);
+    let degraded_tier = estimate_activity(nl, &capped, &tier_cfg(vec![
+        Tier::ExactBdd,
+        Tier::Probabilistic,
+        Tier::SampledSim,
+    ]))
+    .map(|est| est.tier.name())
+    .unwrap_or("exhausted");
+    TierLatency {
+        circuit,
+        exact_secs: best(|| {
+            let _ = estimate_activity(nl, &unlimited, &tier_cfg(vec![Tier::ExactBdd]));
+        }),
+        prob_secs: best(|| {
+            let _ = estimate_activity(nl, &unlimited, &tier_cfg(vec![Tier::Probabilistic]));
+        }),
+        sampled_secs: best(|| {
+            let _ = estimate_activity(nl, &unlimited, &tier_cfg(vec![Tier::SampledSim]));
+        }),
+        degraded_secs: best(|| {
+            let _ = estimate_activity(nl, &capped, &tier_cfg(vec![
+                Tier::ExactBdd,
+                Tier::Probabilistic,
+                Tier::SampledSim,
+            ]));
+        }),
+        degraded_tier,
+    }
+}
+
+fn tiers() -> Vec<TierLatency> {
+    let (adder, _) = gen::ripple_adder(8);
+    let (mult, _) = gen::array_multiplier(6);
+    let parity = gen::parity_tree(12);
+    vec![
+        tier_latency("ripple_adder_8", &adder),
+        tier_latency("array_multiplier_6", &mult),
+        tier_latency("parity_tree_12", &parity),
+    ]
+}
+
+fn to_json(loads: &[Overhead], lats: &[TierLatency]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"robust\",\n  \"overhead_target_percent\": 3.0,\n");
+    out.push_str("  \"overhead\": [\n");
+    for (i, o) in loads.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"unguarded_seconds\": {:.6}, \"guarded_seconds\": {:.6}, \
+             \"overhead_percent\": {:.2}}}",
+            o.name, o.unguarded_secs, o.guarded_secs, o.percent()
+        );
+        out.push_str(if i + 1 < loads.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"fallback_tiers\": [\n");
+    for (i, t) in lats.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"circuit\": \"{}\", \"exact_bdd_seconds\": {:.6}, \
+             \"probabilistic_seconds\": {:.6}, \"sampled_sim_seconds\": {:.6}, \
+             \"degraded_seconds\": {:.6}, \"degraded_answering_tier\": \"{}\"}}",
+            t.circuit, t.exact_secs, t.prob_secs, t.sampled_secs, t.degraded_secs,
+            t.degraded_tier
+        );
+        out.push_str(if i + 1 < lats.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_robust.json".into());
+    let loads = overheads();
+    let lats = tiers();
+    let json = to_json(&loads, &lats);
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    println!("wrote {out_path}");
+    for o in &loads {
+        println!(
+            "  {:<28} unguarded {:.3} ms, guarded {:.3} ms, overhead {:+.2}%",
+            o.name,
+            1e3 * o.unguarded_secs,
+            1e3 * o.guarded_secs,
+            o.percent()
+        );
+    }
+    for t in &lats {
+        println!(
+            "  {:<20} exact {:.3} ms | prob {:.3} ms | sampled {:.3} ms | degraded {:.3} ms -> {}",
+            t.circuit,
+            1e3 * t.exact_secs,
+            1e3 * t.prob_secs,
+            1e3 * t.sampled_secs,
+            1e3 * t.degraded_secs,
+            t.degraded_tier
+        );
+    }
+}

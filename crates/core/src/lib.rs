@@ -30,6 +30,7 @@
 
 pub use bdd;
 pub use behav;
+pub use budget;
 pub use circuit;
 pub use logicopt;
 pub use netlist;

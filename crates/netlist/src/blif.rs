@@ -113,7 +113,14 @@ pub fn parse_text(text: &str) -> Result<Netlist, NetlistError> {
             continue;
         }
         let mut tokens = content.split_whitespace();
-        let head = tokens.next().expect("nonempty");
+        // `content` is non-empty after trimming, but never trust that
+        // invariant with a panic in a parser fed by user files.
+        let Some(head) = tokens.next() else {
+            return Err(NetlistError::Parse {
+                line,
+                message: "empty directive".into(),
+            });
+        };
         let rest: Vec<&str> = tokens.collect();
         match head {
             ".model" => {
@@ -149,7 +156,10 @@ pub fn parse_text(text: &str) -> Result<Netlist, NetlistError> {
                         message: "latch needs: output data [enable] init".into(),
                     });
                 }
-                let init = match *rest.last().expect("len checked") {
+                let init = match rest.last().copied().ok_or(NetlistError::Parse {
+                    line,
+                    message: "latch needs: output data [enable] init".into(),
+                })? {
                     "0" => false,
                     "1" => true,
                     other => {

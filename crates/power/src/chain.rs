@@ -1,0 +1,366 @@
+//! Graceful-degradation estimation chain.
+//!
+//! Power estimation in this workspace has three tiers of decreasing
+//! fidelity and decreasing cost:
+//!
+//! 1. **Exact BDD** ([`crate::exact`]) — exact signal probabilities, but
+//!    exponential on hostile cones;
+//! 2. **Probabilistic propagation** ([`crate::prob`]) — linear sweeps,
+//!    approximate on reconvergent fanout;
+//! 3. **Sampled simulation** ([`sim::comb`] / [`sim::seq`]) — Monte-Carlo
+//!    over a pseudo-random stimulus, always applicable, noisy.
+//!
+//! [`estimate_activity`] walks the tiers in order under one shared
+//! [`ResourceBudget`]: a tier that exhausts the budget is recorded and the
+//! next one runs with whatever wall-clock remains (node and step limits
+//! are per-resource, so a blown BDD budget does not starve the samplers).
+//! The answer carries the tier that produced it plus every failed attempt,
+//! so callers — the `lpopt` CLI, optimization passes — can report *how*
+//! degraded their number is instead of silently lying.
+
+use budget::{BudgetExceeded, ResourceBudget};
+use netlist::Netlist;
+use sim::comb::CombSim;
+use sim::seq::SeqSim;
+use sim::stimulus::Stimulus;
+use sim::ActivityProfile;
+
+use crate::exact;
+use crate::model::{PowerParams, PowerReport};
+use crate::prob;
+
+/// One estimation tier, in decreasing fidelity order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Exact signal probabilities via global BDDs.
+    ExactBdd,
+    /// Correlation-free probability propagation.
+    Probabilistic,
+    /// Monte-Carlo simulation over a sampled stimulus.
+    SampledSim,
+}
+
+impl Tier {
+    /// Stable lowercase name, used in CLI output and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::ExactBdd => "exact-bdd",
+            Tier::Probabilistic => "probabilistic",
+            Tier::SampledSim => "sampled-sim",
+        }
+    }
+}
+
+/// Outcome of trying one tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierAttempt {
+    /// The tier that was tried.
+    pub tier: Tier,
+    /// Why it failed (`None` means it answered).
+    pub error: Option<BudgetExceeded>,
+}
+
+/// Configuration for the degradation chain.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Per-primary-input one-probabilities (`None` = uniform 0.5). Wrong
+    /// widths are normalized: extra entries ignored, missing ones 0.5.
+    pub input_probs: Option<Vec<f64>>,
+    /// Cycles the sampled tier simulates (shrunk automatically to fit the
+    /// step budget).
+    pub sample_cycles: usize,
+    /// Seed for the sampled tier's stimulus.
+    pub seed: u64,
+    /// Worker threads for the sampled tier (`0` = all cores).
+    pub jobs: usize,
+    /// Tiers to try, in order. Defaults to all three; tests pin a single
+    /// tier to compare it against its ground truth directly.
+    pub tiers: Vec<Tier>,
+    /// Fixpoint sweep cap for the probabilistic tier.
+    pub max_sweeps: usize,
+    /// Fixpoint convergence tolerance for the probabilistic tier.
+    pub tolerance: f64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> ChainConfig {
+        ChainConfig {
+            input_probs: None,
+            sample_cycles: 1024,
+            seed: 42,
+            jobs: 1,
+            tiers: vec![Tier::ExactBdd, Tier::Probabilistic, Tier::SampledSim],
+            max_sweeps: 50,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// A tier-tagged activity estimate.
+#[derive(Debug, Clone)]
+pub struct ChainEstimate {
+    /// The estimated per-net activity profile.
+    pub profile: ActivityProfile,
+    /// The tier that answered.
+    pub tier: Tier,
+    /// Every tier tried, in order (the last one has `error: None`).
+    pub attempts: Vec<TierAttempt>,
+}
+
+impl ChainEstimate {
+    /// Whether a higher-fidelity tier had to be abandoned.
+    pub fn degraded(&self) -> bool {
+        self.attempts.len() > 1
+    }
+}
+
+/// The chain failed: every configured tier exhausted the budget.
+#[derive(Debug, Clone)]
+pub struct ChainError {
+    /// Every failed attempt, in order.
+    pub attempts: Vec<TierAttempt>,
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all estimation tiers exhausted:")?;
+        for a in &self.attempts {
+            match &a.error {
+                Some(e) => write!(f, " [{}: {e}]", a.tier.name())?,
+                None => write!(f, " [{}: ok]", a.tier.name())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// `input_probs` normalized to exactly `width` entries (0.5 fills gaps).
+fn normalized_probs(cfg: &ChainConfig, width: usize) -> Vec<f64> {
+    let mut probs = vec![0.5; width];
+    if let Some(given) = &cfg.input_probs {
+        for (slot, &p) in probs.iter_mut().zip(given.iter()) {
+            *slot = p.clamp(0.0, 1.0);
+        }
+    }
+    probs
+}
+
+/// Estimate per-net switching activity, degrading through the configured
+/// tiers as the budget allows. See the module docs for the contract.
+pub fn estimate_activity(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    cfg: &ChainConfig,
+) -> Result<ChainEstimate, ChainError> {
+    let probs = normalized_probs(cfg, nl.num_inputs());
+    let mut attempts: Vec<TierAttempt> = Vec::with_capacity(cfg.tiers.len());
+    for &tier in &cfg.tiers {
+        let result = match tier {
+            Tier::ExactBdd => exact::try_circuit_bdds(nl, budget).map(|b| b.activity(&probs)),
+            Tier::Probabilistic => {
+                prob::try_activity(nl, &probs, cfg.max_sweeps, cfg.tolerance, budget)
+            }
+            Tier::SampledSim => sampled_activity(nl, budget, cfg, &probs),
+        };
+        match result {
+            Ok(profile) => {
+                attempts.push(TierAttempt { tier, error: None });
+                return Ok(ChainEstimate {
+                    profile,
+                    tier,
+                    attempts,
+                });
+            }
+            Err(e) => attempts.push(TierAttempt { tier, error: Some(e) }),
+        }
+    }
+    Err(ChainError { attempts })
+}
+
+/// The sampled (Monte-Carlo) tier: a deterministic pseudo-random stimulus
+/// through the zero-delay engine (combinational) or the cycle-accurate
+/// sequential engine. Cycle count shrinks to fit the step budget before
+/// the run starts, so this tier only fails when the budget leaves no room
+/// for even a two-cycle sample (or the deadline expires mid-run).
+fn sampled_activity(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    cfg: &ChainConfig,
+    probs: &[f64],
+) -> Result<ActivityProfile, BudgetExceeded> {
+    let nets = nl.len().max(1) as u64;
+    let fit = (budget.max_sim_steps_or(u64::MAX).saturating_sub(1) / nets) as usize;
+    let cycles = cfg.sample_cycles.max(2).min(fit);
+    if cycles < 2 {
+        return Err(budget.sim_steps_exceeded(2 * nets));
+    }
+    let stimulus = if cfg.input_probs.is_some() {
+        Stimulus::biased(probs.to_vec())
+    } else {
+        Stimulus::uniform(nl.num_inputs())
+    };
+    let patterns = stimulus.patterns(cycles, cfg.seed);
+    if nl.is_combinational() {
+        CombSim::new(nl).try_activity_jobs(&patterns, cfg.jobs, budget)
+    } else {
+        Ok(SeqSim::new(nl)
+            .try_activity_jobs(&patterns, cfg.jobs, budget)?
+            .profile)
+    }
+}
+
+/// [`estimate_activity`] converted to a power report with the survey's
+/// Eqn. (1) model. Returns the report together with the tier-tagged
+/// estimate so callers can surface the fidelity.
+pub fn estimate_power(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    cfg: &ChainConfig,
+    params: &PowerParams,
+) -> Result<(PowerReport, ChainEstimate), ChainError> {
+    let estimate = estimate_activity(nl, budget, cfg)?;
+    let report = PowerReport::from_activity(nl, &estimate.profile, params);
+    Ok((report, estimate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::gen::{array_multiplier, parity_tree, pipelined_multiplier, ripple_adder};
+    use sim::stimulus::PatternSet;
+
+    #[test]
+    fn unlimited_budget_answers_from_the_exact_tier() {
+        let nl = parity_tree(6);
+        let est = estimate_activity(&nl, &ResourceBudget::unlimited(), &ChainConfig::default())
+            .unwrap();
+        assert_eq!(est.tier, Tier::ExactBdd);
+        assert!(!est.degraded());
+        // Parity of uniform bits toggles 2·0.5·0.5 = 0.5 per cycle.
+        let (out, _) = nl.outputs()[0].clone();
+        assert!((est.profile.toggles[out.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_budget_pushes_multiplier_to_probabilistic() {
+        // Multiplier output cones blow past a small node limit; propagation
+        // costs nl.len() steps and succeeds.
+        let (nl, _) = array_multiplier(6);
+        let budget = ResourceBudget::unlimited().with_max_bdd_nodes(64);
+        let est = estimate_activity(&nl, &budget, &ChainConfig::default()).unwrap();
+        assert_eq!(est.tier, Tier::Probabilistic);
+        assert!(est.degraded());
+        assert_eq!(est.attempts.len(), 2);
+        assert_eq!(est.attempts[0].tier, Tier::ExactBdd);
+        assert_eq!(
+            est.attempts[0].error.unwrap().resource,
+            budget::Resource::BddNodes
+        );
+    }
+
+    #[test]
+    fn step_budget_falls_through_to_sampling() {
+        // Node cap kills the exact tier; a step cap small enough for the
+        // fixpoint sweep but large enough for a short sample run forces
+        // the last tier. (Propagation needs nets steps per sweep; sampling
+        // shrinks its cycle count to fit.)
+        let (nl, _) = array_multiplier(5);
+        let nets = nl.len() as u64;
+        let budget = ResourceBudget::unlimited()
+            .with_max_bdd_nodes(64)
+            .with_max_sim_steps(nets); // 1 sweep needs `nets` steps: denied
+        let cfg = ChainConfig {
+            tiers: vec![Tier::ExactBdd, Tier::Probabilistic],
+            ..ChainConfig::default()
+        };
+        let err = estimate_activity(&nl, &budget, &cfg).unwrap_err();
+        assert_eq!(err.attempts.len(), 2, "{err}");
+        // With the sampled tier appended, the same budget still fails
+        // (a 2-cycle sample needs 2·nets steps).
+        let cfg = ChainConfig::default();
+        assert!(estimate_activity(&nl, &budget, &cfg).is_err());
+        // Skip the (cheaper) probabilistic tier: a budget with room for a
+        // few cycles lands on sampling with a shrunken run.
+        let cfg = ChainConfig {
+            tiers: vec![Tier::ExactBdd, Tier::SampledSim],
+            ..ChainConfig::default()
+        };
+        let budget = ResourceBudget::unlimited()
+            .with_max_bdd_nodes(64)
+            .with_max_sim_steps(nets * 8 + 2);
+        let est = estimate_activity(&nl, &budget, &cfg).unwrap();
+        assert_eq!(est.tier, Tier::SampledSim);
+        assert_eq!(est.attempts.len(), 2);
+        assert!(est.profile.cycles >= 2 && est.profile.cycles <= 8);
+    }
+
+    #[test]
+    fn sampled_tier_matches_comb_sim_bit_for_bit() {
+        let (nl, _) = ripple_adder(4);
+        let cfg = ChainConfig {
+            tiers: vec![Tier::SampledSim],
+            sample_cycles: 200,
+            seed: 9,
+            ..ChainConfig::default()
+        };
+        let est = estimate_activity(&nl, &ResourceBudget::unlimited(), &cfg).unwrap();
+        let patterns = Stimulus::uniform(nl.num_inputs()).patterns(200, 9);
+        let direct = CombSim::new(&nl).activity(&patterns);
+        assert_eq!(est.profile, direct, "sampled tier must be the plain engine");
+    }
+
+    #[test]
+    fn sampled_tier_matches_measure_sequence_on_sequential() {
+        let nl = pipelined_multiplier(3);
+        let cfg = ChainConfig {
+            tiers: vec![Tier::SampledSim],
+            sample_cycles: 300,
+            seed: 17,
+            ..ChainConfig::default()
+        };
+        let params = PowerParams::default();
+        let (report, est) =
+            estimate_power(&nl, &ResourceBudget::unlimited(), &cfg, &params).unwrap();
+        assert_eq!(est.tier, Tier::SampledSim);
+        let patterns: PatternSet = Stimulus::uniform(nl.num_inputs()).patterns(300, 17);
+        let reference = crate::estimate::measure_sequence(&nl, &patterns, &params);
+        assert_eq!(
+            report.total().to_bits(),
+            reference.total().to_bits(),
+            "chain sampled tier must equal measure_sequence bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn exhaustion_reports_every_attempt() {
+        let (nl, _) = array_multiplier(5);
+        let budget = ResourceBudget::unlimited()
+            .with_max_bdd_nodes(16)
+            .with_max_sim_steps(4);
+        let err = estimate_activity(&nl, &budget, &ChainConfig::default()).unwrap_err();
+        assert_eq!(err.attempts.len(), 3);
+        assert!(err.attempts.iter().all(|a| a.error.is_some()));
+        let msg = err.to_string();
+        assert!(msg.contains("exact-bdd"), "{msg}");
+        assert!(msg.contains("probabilistic"), "{msg}");
+        assert!(msg.contains("sampled-sim"), "{msg}");
+    }
+
+    #[test]
+    fn biased_probs_are_normalized_and_used() {
+        let nl = parity_tree(4);
+        // Deliberately wrong width: 2 entries for 4 inputs.
+        let cfg = ChainConfig {
+            input_probs: Some(vec![0.9, 0.9]),
+            ..ChainConfig::default()
+        };
+        let est = estimate_activity(&nl, &ResourceBudget::unlimited(), &cfg).unwrap();
+        assert_eq!(est.tier, Tier::ExactBdd);
+        let probs = &est.profile.probability;
+        let inputs = nl.inputs();
+        assert!((probs[inputs[0].index()] - 0.9).abs() < 1e-12);
+        assert!((probs[inputs[3].index()] - 0.5).abs() < 1e-12);
+    }
+}

@@ -7,6 +7,7 @@
 //! net with one-probability `p` is `2·p·(1−p)`.
 
 use bdd::{Bdd, Ref};
+use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
 use sim::ActivityProfile;
 
@@ -43,6 +44,22 @@ pub struct CircuitBdds {
 ///
 /// Panics if the combinational part is cyclic.
 pub fn circuit_bdds(nl: &Netlist) -> CircuitBdds {
+    match try_circuit_bdds(nl, &ResourceBudget::unlimited()) {
+        Ok(b) => b,
+        Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
+    }
+}
+
+/// [`circuit_bdds`] under a [`ResourceBudget`]: BDD construction stops
+/// with a typed error as soon as the manager's node count crosses the
+/// limit or the deadline passes, instead of growing exponentially on a
+/// hostile cone (multiplier outputs, wide comparators). This is the guard
+/// the degradation chain in [`crate::chain`] relies on to give up on the
+/// exact tier cheaply.
+pub fn try_circuit_bdds(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+) -> Result<CircuitBdds, BudgetExceeded> {
     let mut mgr = Bdd::new();
     let mut funcs = vec![Ref::FALSE; nl.len()];
     let mut next_var = 0u32;
@@ -66,31 +83,31 @@ pub fn circuit_bdds(nl: &Netlist) -> CircuitBdds {
         funcs[net.index()] = match kind {
             GateKind::Const(v) => mgr.constant(v),
             GateKind::Buf => ins[0],
-            GateKind::Not => mgr.not(ins[0]),
-            GateKind::And => mgr.and_all(ins),
-            GateKind::Or => mgr.or_all(ins),
+            GateKind::Not => mgr.try_not(ins[0], budget)?,
+            GateKind::And => mgr.try_and_all(ins, budget)?,
+            GateKind::Or => mgr.try_or_all(ins, budget)?,
             GateKind::Nand => {
-                let a = mgr.and_all(ins);
-                mgr.not(a)
+                let a = mgr.try_and_all(ins, budget)?;
+                mgr.try_not(a, budget)?
             }
             GateKind::Nor => {
-                let o = mgr.or_all(ins);
-                mgr.not(o)
+                let o = mgr.try_or_all(ins, budget)?;
+                mgr.try_not(o, budget)?
             }
-            GateKind::Xor => ins.iter().fold(Ref::FALSE, |acc, &f| mgr.xor(acc, f)),
+            GateKind::Xor => mgr.try_xor_all(ins, budget)?,
             GateKind::Xnor => {
-                let x = ins.iter().fold(Ref::FALSE, |acc, &f| mgr.xor(acc, f));
-                mgr.not(x)
+                let x = mgr.try_xor_all(ins, budget)?;
+                mgr.try_not(x, budget)?
             }
-            GateKind::Mux => mgr.ite(ins[0], ins[2], ins[1]),
+            GateKind::Mux => mgr.try_ite(ins[0], ins[2], ins[1], budget)?,
             GateKind::Input | GateKind::Dff => unreachable!(),
         };
     }
-    CircuitBdds {
+    Ok(CircuitBdds {
         mgr,
         funcs,
         input_vars,
-    }
+    })
 }
 
 impl CircuitBdds {

@@ -19,6 +19,10 @@
 //!   (PFA-style \[15\], activity-weighted \[21\]\[22\], isolated-average \[36\]);
 //! * [`estimate`] — sequential power under user-specified input sequences
 //!   (\[28\]): measured vs sequence-aware vs workload-blind.
+//! * [`chain`] — graceful degradation across the estimators: exact BDD →
+//!   probabilistic propagation → sampled simulation, falling back
+//!   automatically when a [`budget::ResourceBudget`] is exhausted and
+//!   tagging the answer with the tier that produced it.
 //!
 //! # Example
 //!
@@ -34,6 +38,7 @@
 //! assert!(report.switching_fraction() > 0.9);
 //! ```
 
+pub mod chain;
 pub mod density;
 pub mod estimate;
 pub mod exact;

@@ -7,6 +7,7 @@
 //! synthesis loops use when calling [`crate::exact`] for every candidate is
 //! too slow.
 
+use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, Netlist};
 use sim::ActivityProfile;
 
@@ -53,14 +54,35 @@ fn gate_probability(kind: GateKind, ins: &[f64]) -> f64 {
 /// Panics if `input_probs` does not match the input count or the
 /// combinational part is cyclic.
 pub fn propagate(nl: &Netlist, input_probs: &[f64], max_sweeps: usize, tolerance: f64) -> Propagated {
+    match try_propagate(nl, input_probs, max_sweeps, tolerance, &ResourceBudget::unlimited()) {
+        Ok(p) => p,
+        Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
+    }
+}
+
+/// [`propagate`] under a [`ResourceBudget`]: each fixpoint sweep costs
+/// `nets` simulation steps against the step limit, and the deadline is
+/// polled once per sweep. Propagation is the middle tier of the
+/// degradation chain — cheap, but a slowly-converging sequential fixpoint
+/// can still eat a deadline, so it is guarded too.
+pub fn try_propagate(
+    nl: &Netlist,
+    input_probs: &[f64],
+    max_sweeps: usize,
+    tolerance: f64,
+    budget: &ResourceBudget,
+) -> Result<Propagated, BudgetExceeded> {
     assert_eq!(input_probs.len(), nl.num_inputs(), "input prob width");
     let order = nl.topo_order().expect("acyclic");
     let mut p = vec![0.5f64; nl.len()];
     for (i, &pi) in nl.inputs().iter().enumerate() {
         p[pi.index()] = input_probs[i];
     }
+    let sweep_cost = nl.len().max(1) as u64;
     let mut sweeps = 0;
     loop {
+        budget.check_sim_steps((sweeps as u64 + 1) * sweep_cost)?;
+        budget.check_deadline()?;
         sweeps += 1;
         let mut delta: f64 = 0.0;
         for &net in &order {
@@ -95,16 +117,31 @@ pub fn propagate(nl: &Netlist, input_probs: &[f64], max_sweeps: usize, tolerance
             break;
         }
     }
-    Propagated {
+    Ok(Propagated {
         probability: p,
         sweeps,
-    }
+    })
 }
 
 /// Estimate zero-delay switching activity under temporal independence:
 /// `toggles = 2·p·(1−p)` per net.
 pub fn activity(nl: &Netlist, input_probs: &[f64]) -> ActivityProfile {
     let propagated = propagate(nl, input_probs, 50, 1e-9);
+    profile_from(propagated)
+}
+
+/// [`activity`] under a [`ResourceBudget`].
+pub fn try_activity(
+    nl: &Netlist,
+    input_probs: &[f64],
+    max_sweeps: usize,
+    tolerance: f64,
+    budget: &ResourceBudget,
+) -> Result<ActivityProfile, BudgetExceeded> {
+    Ok(profile_from(try_propagate(nl, input_probs, max_sweeps, tolerance, budget)?))
+}
+
+fn profile_from(propagated: Propagated) -> ActivityProfile {
     let toggles = propagated
         .probability
         .iter()

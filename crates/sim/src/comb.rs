@@ -5,6 +5,7 @@
 //! *functional* (settled value changes between cycles) — the lower bound a
 //! perfectly path-balanced circuit would achieve.
 
+use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
 
 use crate::par;
@@ -115,8 +116,15 @@ impl<'a> CombSim<'a> {
     }
 
     /// Count toggles/ones over one contiguous slice of the stream, reusing
-    /// the arena's buffers across blocks.
-    fn shard_counts(&self, patterns: &[Vec<bool>], arena: &mut CombArena) -> ShardCounts {
+    /// the arena's buffers across blocks. Deadline checks are amortized to
+    /// one clock read per 16 blocks (1024 cycles) so the budgeted path adds
+    /// nothing measurable to the hot loop.
+    fn shard_counts(
+        &self,
+        patterns: &[Vec<bool>],
+        arena: &mut CombArena,
+        budget: &ResourceBudget,
+    ) -> Result<ShardCounts, BudgetExceeded> {
         let n = self.nl.len();
         let mut counts = ShardCounts {
             toggles: vec![0u64; n],
@@ -126,7 +134,10 @@ impl<'a> CombSim<'a> {
             cycles: patterns.len(),
         };
         let mut have_prev = false;
-        for chunk in patterns.chunks(64) {
+        for (block, chunk) in patterns.chunks(64).enumerate() {
+            if block & 0xF == 0 {
+                budget.check_deadline()?;
+            }
             pack_into(chunk, self.nl.num_inputs(), &mut arena.words);
             self.eval_words_into(&arena.words, &mut arena.values, &mut arena.scratch);
             let w = chunk.len();
@@ -148,7 +159,7 @@ impl<'a> CombSim<'a> {
             }
             have_prev = true;
         }
-        counts
+        Ok(counts)
     }
 
     /// Measure the zero-delay activity profile over a pattern stream.
@@ -157,6 +168,15 @@ impl<'a> CombSim<'a> {
     /// 64-pattern block boundaries.
     pub fn activity(&self, patterns: &PatternSet) -> ActivityProfile {
         self.activity_jobs(patterns, 1)
+    }
+
+    /// [`CombSim::activity`] under a [`ResourceBudget`] (serial).
+    pub fn try_activity(
+        &self,
+        patterns: &PatternSet,
+        budget: &ResourceBudget,
+    ) -> Result<ActivityProfile, BudgetExceeded> {
+        self.try_activity_jobs(patterns, 1, budget)
     }
 
     /// [`CombSim::activity`] sharded over up to `jobs` worker threads
@@ -168,19 +188,42 @@ impl<'a> CombSim<'a> {
     /// shards), so the result is **bit-identical** to the serial profile
     /// for every thread count.
     pub fn activity_jobs(&self, patterns: &PatternSet, jobs: usize) -> ActivityProfile {
+        match self.try_activity_jobs(patterns, jobs, &ResourceBudget::unlimited()) {
+            Ok(p) => p,
+            Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
+        }
+    }
+
+    /// [`CombSim::activity_jobs`] under a [`ResourceBudget`].
+    ///
+    /// Simulation work is `cycles × nets` net evaluations, checked against
+    /// the step limit **up front** (the cost of a zero-delay run is known
+    /// exactly before it starts), so an over-budget request fails in O(1)
+    /// instead of wasting the whole allowance first. The deadline is
+    /// polled once per 1024 cycles inside each shard.
+    pub fn try_activity_jobs(
+        &self,
+        patterns: &PatternSet,
+        jobs: usize,
+        budget: &ResourceBudget,
+    ) -> Result<ActivityProfile, BudgetExceeded> {
         let n = self.nl.len();
+        budget.check_sim_steps(patterns.len() as u64 * n.max(1) as u64)?;
+        budget.check_deadline()?;
         let blocks = patterns.len().div_ceil(64);
         let shards = par::num_threads(jobs).min(blocks).max(1);
         let counts = if shards <= 1 {
-            vec![self.shard_counts(patterns, &mut CombArena::new())]
+            vec![self.shard_counts(patterns, &mut CombArena::new(), budget)?]
         } else {
             let slices: Vec<&[Vec<bool>]> = par::shard_ranges(blocks, shards)
                 .into_iter()
                 .map(|r| &patterns[r.start * 64..(r.end * 64).min(patterns.len())])
                 .collect();
             par::par_map(&slices, shards, |_, slice| {
-                self.shard_counts(slice, &mut CombArena::new())
+                self.shard_counts(slice, &mut CombArena::new(), budget)
             })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
         };
         // Fixed-order deterministic reduction.
         let mut toggles = vec![0u64; n];
@@ -198,11 +241,11 @@ impl<'a> CombSim<'a> {
             }
         }
         let denom = (cycles.saturating_sub(1)).max(1) as f64;
-        ActivityProfile {
+        Ok(ActivityProfile {
             toggles: toggles.iter().map(|&t| t as f64 / denom).collect(),
             probability: ones.iter().map(|&o| o as f64 / cycles.max(1) as f64).collect(),
             cycles,
-        }
+        })
     }
 
     /// Check functional equivalence with another netlist over a pattern set
@@ -361,6 +404,25 @@ mod tests {
         let mut scratch = vec![7u64; 9];
         sim.eval_words_into(&words, &mut values, &mut scratch);
         assert_eq!(values, fresh);
+    }
+
+    #[test]
+    fn step_budget_prechecks_work() {
+        let (nl, _) = ripple_adder(4);
+        let sim = CombSim::new(&nl);
+        let patterns = Stimulus::uniform(8).patterns(100, 7);
+        let work = 100 * nl.len() as u64;
+        let tight = ResourceBudget::unlimited().with_max_sim_steps(work);
+        let err = sim.try_activity(&patterns, &tight).unwrap_err();
+        assert_eq!(err.resource, budget::Resource::SimSteps);
+        assert_eq!(err.used, work);
+        let roomy = ResourceBudget::unlimited().with_max_sim_steps(work + 1);
+        let ok = sim.try_activity(&patterns, &roomy).unwrap();
+        assert_eq!(ok, sim.activity(&patterns), "budget path is bit-identical");
+        // Parallel budgeted path matches too.
+        for jobs in [2, 4] {
+            assert_eq!(sim.try_activity_jobs(&patterns, jobs, &roomy).unwrap(), ok);
+        }
     }
 
     #[test]

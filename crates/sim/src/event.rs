@@ -8,7 +8,9 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
 
 use crate::par;
@@ -180,12 +182,26 @@ impl<'a> EventSim<'a> {
     /// pattern, so one uncounted settle reconstructs exactly the state the
     /// serial run would have carried in — shards are embarrassingly
     /// parallel and the merged counts stay bit-identical.
+    /// Events processed count toward the shared `steps` tally (flushed
+    /// every 1024 pops, so the atomic stays off the per-event path); queue
+    /// length is compared against the pre-resolved limit on every push
+    /// (one register compare); the wall clock is polled once per cycle and
+    /// once per flush. Unlike the cycle-based engines, event-driven cost is
+    /// unknowable up front — a glitchy circuit can schedule orders of
+    /// magnitude more events than cycles — so these are the runtime guards
+    /// that make the engine safe to call under a budget at all.
     fn shard_counts(
         &self,
         prev_pattern: Option<&[bool]>,
         patterns: &[Vec<bool>],
         arena: &mut EventArena,
-    ) -> EventCounts {
+        budget: &ResourceBudget,
+        steps: &AtomicU64,
+    ) -> Result<EventCounts, BudgetExceeded> {
+        const FLUSH: u64 = 1024;
+        let max_steps = budget.max_sim_steps_or(u64::MAX);
+        let max_queue = budget.max_event_queue_or(u64::MAX);
+        let mut local_steps = 0u64;
         let n = self.nl.len();
         let mut counts = EventCounts {
             total: vec![0u64; n],
@@ -196,6 +212,7 @@ impl<'a> EventSim<'a> {
         arena.values.resize(n, false);
         arena.settled.clear();
         arena.settled.resize(n, false);
+        arena.heap.clear();
         let rest = match prev_pattern {
             Some(p) => {
                 // Reconstruct the pre-shard settled state; the previous
@@ -205,7 +222,7 @@ impl<'a> EventSim<'a> {
             }
             None => {
                 let Some((head, rest)) = patterns.split_first() else {
-                    return counts;
+                    return Ok(counts);
                 };
                 self.apply_and_settle(head, &mut arena.values, &mut arena.ins);
                 for i in 0..n {
@@ -218,6 +235,7 @@ impl<'a> EventSim<'a> {
         let mut seq = 0u64;
         for pattern in rest {
             assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
+            budget.check_deadline()?;
             // Functional toggles: compare settled states.
             arena.settled.copy_from_slice(&arena.values);
             for (i, &pi) in self.nl.inputs().iter().enumerate() {
@@ -238,6 +256,15 @@ impl<'a> EventSim<'a> {
                 }
             }
             while let Some(Reverse((time, raw, _, value))) = arena.heap.pop() {
+                local_steps += 1;
+                if local_steps == FLUSH {
+                    let tally = steps.fetch_add(local_steps, Ordering::Relaxed) + local_steps;
+                    local_steps = 0;
+                    if tally >= max_steps {
+                        return Err(budget.sim_steps_exceeded(tally));
+                    }
+                    budget.check_deadline()?;
+                }
                 // Coalesce: if a later-scheduled evaluation of the same net
                 // lands at the same instant, only the freshest one counts
                 // (zero-width pulses are not physical transitions).
@@ -260,6 +287,9 @@ impl<'a> EventSim<'a> {
                         .extend(self.nl.fanins(sink).iter().map(|x| arena.values[x.index()]));
                     let out = kind.eval(&arena.ins);
                     let t = time + self.delays[sink.index()] as u64;
+                    if arena.heap.len() as u64 >= max_queue {
+                        return Err(budget.event_queue_exceeded(arena.heap.len() as u64 + 1));
+                    }
                     arena.heap.push(Reverse((t, sink.index() as u32, seq, out)));
                     seq += 1;
                 }
@@ -272,7 +302,11 @@ impl<'a> EventSim<'a> {
                 counts.ones[i] += arena.values[i] as u64;
             }
         }
-        counts
+        let tally = steps.fetch_add(local_steps, Ordering::Relaxed) + local_steps;
+        if local_steps > 0 && tally >= max_steps {
+            return Err(budget.sim_steps_exceeded(tally));
+        }
+        Ok(counts)
     }
 
     /// Simulate a pattern stream and return total + functional activity.
@@ -284,6 +318,15 @@ impl<'a> EventSim<'a> {
         self.activity_jobs(patterns, 1)
     }
 
+    /// [`EventSim::activity`] under a [`ResourceBudget`] (serial).
+    pub fn try_activity(
+        &self,
+        patterns: &PatternSet,
+        budget: &ResourceBudget,
+    ) -> Result<TimingActivity, BudgetExceeded> {
+        self.try_activity_jobs(patterns, 1, budget)
+    }
+
     /// [`EventSim::activity`] sharded over up to `jobs` worker threads
     /// (`0` = all cores).
     ///
@@ -292,13 +335,34 @@ impl<'a> EventSim<'a> {
     /// arena; integer counts merge in fixed shard order, so the result is
     /// **bit-identical** to the serial run for every thread count.
     pub fn activity_jobs(&self, patterns: &PatternSet, jobs: usize) -> TimingActivity {
+        match self.try_activity_jobs(patterns, jobs, &ResourceBudget::unlimited()) {
+            Ok(a) => a,
+            Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
+        }
+    }
+
+    /// [`EventSim::activity_jobs`] under a [`ResourceBudget`].
+    ///
+    /// The step limit counts *events processed* (summed across shards via
+    /// a shared counter, flushed every 1024 pops), the queue limit bounds
+    /// the pending-event heap of each shard, and the deadline is polled per
+    /// cycle. On exhaustion the run stops with a typed [`BudgetExceeded`]
+    /// — a successful run is still bit-identical to the unbudgeted one.
+    pub fn try_activity_jobs(
+        &self,
+        patterns: &PatternSet,
+        jobs: usize,
+        budget: &ResourceBudget,
+    ) -> Result<TimingActivity, BudgetExceeded> {
         let n = self.nl.len();
+        budget.check_deadline()?;
+        let steps = AtomicU64::new(0);
         // Work items are the cycles *after* the first; each shard needs at
         // least one.
         let transitions = patterns.len().saturating_sub(1);
         let shards = par::num_threads(jobs).min(transitions.max(1)).max(1);
         let counts = if shards <= 1 {
-            vec![self.shard_counts(None, patterns, &mut EventArena::new())]
+            vec![self.shard_counts(None, patterns, &mut EventArena::new(), budget, &steps)?]
         } else {
             // Shard s covers transition range r => patterns[r.start+1 ..
             // r.end+1), seeded by patterns[r.start]; shard 0 also owns the
@@ -320,8 +384,10 @@ impl<'a> EventSim<'a> {
                 })
                 .collect();
             par::par_map(&work, shards, |_, (prev, slice)| {
-                self.shard_counts(*prev, slice, &mut EventArena::new())
+                self.shard_counts(*prev, slice, &mut EventArena::new(), budget, &steps)
             })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
         };
         // Fixed-order deterministic reduction.
         let mut total = vec![0u64; n];
@@ -341,10 +407,10 @@ impl<'a> EventSim<'a> {
             probability: ones.iter().map(|&o| o as f64 / cycles.max(1) as f64).collect(),
             cycles,
         };
-        TimingActivity {
+        Ok(TimingActivity {
             total: make(total),
             functional: make(functional),
-        }
+        })
     }
 }
 
@@ -440,6 +506,43 @@ mod tests {
             let par = sim.activity_jobs(&patterns, jobs);
             assert_eq!(par.total, serial.total, "total, jobs={jobs}");
             assert_eq!(par.functional, serial.functional, "functional, jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn event_budget_trips_on_glitchy_run() {
+        let (nl, _) = array_multiplier(5);
+        let patterns = Stimulus::uniform(10).patterns(400, 41);
+        let sim = EventSim::new(&nl, &DelayModel::Unit);
+        // A multiplier schedules far more than 2000 events over 400 cycles.
+        let tight = ResourceBudget::unlimited().with_max_sim_steps(2000);
+        let err = sim.try_activity(&patterns, &tight).unwrap_err();
+        assert_eq!(err.resource, budget::Resource::SimSteps);
+        assert!(err.used >= 1024, "tripped after at least one flush");
+        // Parallel runs trip too (shared counter across shards).
+        for jobs in [2, 4] {
+            assert!(sim.try_activity_jobs(&patterns, jobs, &tight).is_err());
+        }
+        // A one-event queue cannot hold any fanout wave.
+        let starved = ResourceBudget::unlimited().with_max_event_queue(1);
+        let err = sim.try_activity(&patterns, &starved).unwrap_err();
+        assert_eq!(err.resource, budget::Resource::EventQueue);
+    }
+
+    #[test]
+    fn budgeted_event_run_matches_unbudgeted() {
+        let (nl, _) = ripple_adder(5);
+        let patterns = Stimulus::uniform(10).patterns(120, 19);
+        let sim = EventSim::new(&nl, &DelayModel::Unit);
+        let plain = sim.activity(&patterns);
+        let roomy = ResourceBudget::unlimited()
+            .with_max_sim_steps(1 << 30)
+            .with_max_event_queue(1 << 20)
+            .with_deadline_ms(60_000);
+        for jobs in [1, 3] {
+            let guarded = sim.try_activity_jobs(&patterns, jobs, &roomy).unwrap();
+            assert_eq!(guarded.total, plain.total, "jobs={jobs}");
+            assert_eq!(guarded.functional, plain.functional, "jobs={jobs}");
         }
     }
 

@@ -34,6 +34,7 @@
 
 pub mod comb;
 pub mod event;
+pub mod fault;
 pub mod par;
 pub mod seq;
 pub mod stimulus;

@@ -13,8 +13,17 @@
 //! * **Arena locality** — each worker builds its scratch buffers once and
 //!   reuses them across every item it steals, so the hot loops allocate
 //!   nothing per block.
+//! * **Panic isolation** — a panic inside `f` on a worker thread does not
+//!   poison the other shards. [`par_map`] catches it, lets every healthy
+//!   shard finish, then retries the failed items serially in index order.
+//!   Only a deterministic second failure propagates, so a transient panic
+//!   (e.g. a fault-injection experiment tripping an assert on one shard)
+//!   costs a retry instead of the whole run — and the fixed-order merge
+//!   the simulators rely on is unaffected because results still come back
+//!   in item order.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -51,6 +60,12 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
 ///
 /// `f` receives `(index, &item)`. With `jobs <= 1` or fewer than two
 /// items, runs inline with no thread spawns.
+///
+/// A panic in `f` on a worker thread is caught per item: the remaining
+/// shards run to completion, the panicked items are retried serially in
+/// index order on the calling thread, and only a retry that panics again
+/// propagates. The inline (single-thread) path has no first-chance catch —
+/// a panic there is already deterministic.
 pub fn par_map<T, U, F>(items: &[T], jobs: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -63,9 +78,10 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    let (tx, rx) = mpsc::channel::<(usize, Option<U>)>();
     let mut results: Vec<Option<U>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
+    let mut failed: Vec<usize> = Vec::new();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -76,20 +92,55 @@ where
                 if i >= n {
                     break;
                 }
-                if tx.send((i, f(i, &items[i]))).is_err() {
+                // Swallow the payload here; the serial retry below will
+                // reproduce it deterministically if the failure is real.
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).ok();
+                if tx.send((i, out)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
         for (i, value) in rx {
-            results[i] = Some(value);
+            match value {
+                Some(v) => results[i] = Some(v),
+                None => failed.push(i),
+            }
         }
     });
+    // Retry panicked items serially, in index order, on this thread. A
+    // second panic is deterministic and propagates to the caller.
+    failed.sort_unstable();
+    for i in failed {
+        results[i] = Some(f(i, &items[i]));
+    }
     results
         .into_iter()
         .map(|r| r.expect("worker produced every index"))
         .collect()
+}
+
+/// Run `f` with the global panic hook silenced, restoring it afterwards.
+///
+/// [`par_map`]'s first-chance `catch_unwind` still lets the default hook
+/// print a backtrace for a panic that the serial retry then absorbs; tests
+/// that inject panics on purpose wrap the call in this to keep output
+/// clean. Takes a process-wide lock — panics from *other* threads are
+/// silenced too while `f` runs, so this is for tests, not the library
+/// hot path.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::sync::Mutex;
+    static HOOK_LOCK: Mutex<()> = Mutex::new(());
+    let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = catch_unwind(AssertUnwindSafe(f));
+    std::panic::set_hook(prev);
+    drop(guard);
+    match out {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +179,69 @@ mod tests {
     fn num_threads_resolves_zero() {
         assert!(num_threads(0) >= 1);
         assert_eq!(num_threads(3), 3);
+    }
+
+    #[test]
+    fn par_map_retries_transient_panics_serially() {
+        use std::sync::atomic::AtomicUsize;
+        // Item 7 panics on its first (parallel) attempt only; the serial
+        // retry succeeds. Every other item must be unaffected.
+        let items: Vec<usize> = (0..32).collect();
+        let attempts = AtomicUsize::new(0);
+        let out = with_quiet_panics(|| {
+            par_map(&items, 4, |i, &x| {
+                if i == 7 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient shard failure");
+                }
+                x * 10
+            })
+        });
+        assert_eq!(out, (0..32).map(|x| x * 10).collect::<Vec<_>>());
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "one retry");
+    }
+
+    #[test]
+    fn par_map_propagates_deterministic_panics() {
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_quiet_panics(|| {
+                par_map(&items, 4, |i, &x| {
+                    if i == 3 {
+                        panic!("always fails");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(result.is_err(), "second failure must propagate");
+    }
+
+    #[test]
+    fn par_map_survives_many_simultaneous_panics() {
+        use std::sync::atomic::AtomicUsize;
+        // Every odd item panics once: all retried serially, in order.
+        let items: Vec<usize> = (0..24).collect();
+        let first_round = AtomicUsize::new(0);
+        let out = with_quiet_panics(|| {
+            let counter = &first_round;
+            par_map(&items, 8, move |i, &x| {
+                if i % 2 == 1 && counter.fetch_add(1, Ordering::SeqCst) < 100 && is_first(i) {
+                    panic!("odd shard {i} first attempt");
+                }
+                x + 1
+            })
+        });
+        assert_eq!(out, (0..24).map(|x| x + 1).collect::<Vec<_>>());
+
+        // Tracks which (odd) indices have already panicked once.
+        fn is_first(i: usize) -> bool {
+            use std::sync::Mutex;
+            static SEEN: Mutex<Option<[bool; 24]>> = Mutex::new(None);
+            let mut seen = SEEN.lock().unwrap_or_else(|e| e.into_inner());
+            let seen = seen.get_or_insert([false; 24]);
+            let first = !seen[i];
+            seen[i] = true;
+            first
+        }
     }
 }

@@ -7,6 +7,7 @@
 //! flip-flops filter glitches, so their outputs switch less than their
 //! inputs.
 
+use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
 
 use crate::par;
@@ -194,7 +195,8 @@ impl<'a> SeqSim<'a> {
         prev_pattern: Option<&[bool]>,
         patterns: &[Vec<bool>],
         arena: &mut SeqArena,
-    ) -> SeqCounts {
+        budget: &ResourceBudget,
+    ) -> Result<SeqCounts, BudgetExceeded> {
         let n = self.nl.len();
         let ndff = self.nl.num_dffs();
         let mut counts = SeqCounts {
@@ -221,7 +223,12 @@ impl<'a> SeqSim<'a> {
             arena.state.extend_from_slice(&next);
             have_prev = true;
         }
-        for p in patterns {
+        for (cycle, p) in patterns.iter().enumerate() {
+            // One clock read per 64 cycles keeps the deadline guard off the
+            // per-cycle path.
+            if cycle & 0x3F == 0 {
+                budget.check_deadline()?;
+            }
             self.settle_into(&arena.state, p, &mut arena.values, &mut arena.ins, &self.order);
             for i in 0..n {
                 counts.ones[i] += arena.values[i] as u64;
@@ -262,12 +269,21 @@ impl<'a> SeqSim<'a> {
             arena.state.extend_from_slice(&next);
             have_prev = true;
         }
-        counts
+        Ok(counts)
     }
 
     /// Measure sequential activity over a pattern stream.
     pub fn activity(&self, patterns: &PatternSet) -> SeqActivity {
         self.activity_jobs(patterns, 1)
+    }
+
+    /// [`SeqSim::activity`] under a [`ResourceBudget`] (serial).
+    pub fn try_activity(
+        &self,
+        patterns: &PatternSet,
+        budget: &ResourceBudget,
+    ) -> Result<SeqActivity, BudgetExceeded> {
+        self.try_activity_jobs(patterns, 1, budget)
     }
 
     /// [`SeqSim::activity`] sharded over up to `jobs` worker threads
@@ -283,11 +299,37 @@ impl<'a> SeqSim<'a> {
     /// at full-settle-cost / cone-settle-cost; circuits whose combinational
     /// bulk does not feed state parallelize best.)
     pub fn activity_jobs(&self, patterns: &PatternSet, jobs: usize) -> SeqActivity {
+        match self.try_activity_jobs(patterns, jobs, &ResourceBudget::unlimited()) {
+            Ok(a) => a,
+            Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
+        }
+    }
+
+    /// [`SeqSim::activity_jobs`] under a [`ResourceBudget`].
+    ///
+    /// Like the zero-delay combinational engine, total work is known up
+    /// front (`cycles × nets` evaluations, plus the state-forwarding pass),
+    /// so the step limit is enforced by a single precheck; the deadline is
+    /// polled once per 64 cycles inside each shard.
+    pub fn try_activity_jobs(
+        &self,
+        patterns: &PatternSet,
+        jobs: usize,
+        budget: &ResourceBudget,
+    ) -> Result<SeqActivity, BudgetExceeded> {
         let n = patterns.len();
+        budget.check_sim_steps(n as u64 * self.nl.len().max(1) as u64)?;
+        budget.check_deadline()?;
         let shards = par::num_threads(jobs).min(n.max(1)).max(1);
         let ranges = par::shard_ranges(n, shards);
         let counts = if ranges.len() <= 1 {
-            vec![self.shard_counts(&self.initial_state(), None, patterns, &mut SeqArena::default())]
+            vec![self.shard_counts(
+                &self.initial_state(),
+                None,
+                patterns,
+                &mut SeqArena::default(),
+                budget,
+            )?]
         } else {
             // Serial state-forwarding pass over the flip-flop cone: record
             // the register state entering cycle `start - 1` of every shard
@@ -298,6 +340,9 @@ impl<'a> SeqSim<'a> {
             let mut ins = Vec::new();
             let last_needed = ranges.last().expect("nonempty").start - 1;
             for (c, p) in patterns.iter().enumerate().take(last_needed + 1) {
+                if c & 0x3F == 0 {
+                    budget.check_deadline()?;
+                }
                 if ranges[checkpoints.len() + 1].start - 1 == c {
                     checkpoints.push(state.clone());
                     if checkpoints.len() == ranges.len() - 1 {
@@ -326,8 +371,10 @@ impl<'a> SeqSim<'a> {
                 })
                 .collect();
             par::par_map(&work, shards, |_, (start, prev, slice)| {
-                self.shard_counts(start, *prev, slice, &mut SeqArena::default())
+                self.shard_counts(start, *prev, slice, &mut SeqArena::default(), budget)
             })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
         };
         // Fixed-order deterministic reduction.
         let nn = self.nl.len();
@@ -350,7 +397,7 @@ impl<'a> SeqSim<'a> {
         }
         let cycles = n;
         let denom = cycles.saturating_sub(1).max(1) as f64;
-        SeqActivity {
+        Ok(SeqActivity {
             profile: ActivityProfile {
                 toggles: toggles.iter().map(|&t| t as f64 / denom).collect(),
                 probability: ones
@@ -365,7 +412,7 @@ impl<'a> SeqSim<'a> {
                 .iter()
                 .map(|&l| l as f64 / cycles.max(1) as f64)
                 .collect(),
-        }
+        })
     }
 }
 
@@ -441,6 +488,25 @@ mod tests {
             assert_eq!(par.ff_output_toggles, serial.ff_output_toggles, "jobs={jobs}");
             assert_eq!(par.ff_input_toggles, serial.ff_input_toggles, "jobs={jobs}");
             assert_eq!(par.ff_load_fraction, serial.ff_load_fraction, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn seq_step_budget_prechecks_work() {
+        use crate::stimulus::Stimulus;
+        let nl = pipelined_multiplier(4);
+        let sim = SeqSim::new(&nl);
+        let patterns = Stimulus::uniform(8).patterns(50, 3);
+        let work = 50 * nl.len() as u64;
+        let tight = ResourceBudget::unlimited().with_max_sim_steps(work);
+        assert!(sim.try_activity(&patterns, &tight).is_err());
+        let roomy = ResourceBudget::unlimited().with_max_sim_steps(work + 1);
+        let guarded = sim.try_activity(&patterns, &roomy).unwrap();
+        let plain = sim.activity(&patterns);
+        assert_eq!(guarded.profile, plain.profile, "budget path is bit-identical");
+        for jobs in [2, 4] {
+            let p = sim.try_activity_jobs(&patterns, jobs, &roomy).unwrap();
+            assert_eq!(p.profile, plain.profile, "jobs={jobs}");
         }
     }
 

@@ -1,31 +1,41 @@
 //! `lpopt` — command-line driver for the low-power optimization passes.
 //!
 //! ```text
-//! lpopt [--jobs N] gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
-//! lpopt [--jobs N] stats <in.blif>
-//! lpopt [--jobs N] power <in.blif> [cycles]
-//! lpopt [--jobs N] balance <in.blif> <out.blif> [threshold]
-//! lpopt [--jobs N] dontcare <in.blif> <out.blif>
-//! lpopt [--jobs N] map <in.blif> <area|delay|power>
-//! lpopt [--jobs N] fsm <in.kiss> [out.blif]
+//! lpopt [flags] gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
+//! lpopt [flags] stats <in.blif>
+//! lpopt [flags] power <in.blif> [cycles]
+//! lpopt [flags] balance <in.blif> <out.blif> [threshold]
+//! lpopt [flags] dontcare <in.blif> <out.blif>
+//! lpopt [flags] map <in.blif> <area|delay|power>
+//! lpopt [flags] fsm <in.kiss> [out.blif]
+//! lpopt [flags] fault <in.blif> [cycles] [--seu N]
 //! ```
 //!
 //! `--jobs N` shards simulation-heavy commands over up to `N` worker
 //! threads (`0` or omitted = all cores, also settable via `LPOPT_JOBS`).
 //! Results are bit-identical for every thread count.
 //!
+//! `--budget-nodes`, `--budget-steps`, `--budget-queue` and `--deadline-ms`
+//! bound the resources any command may consume. Estimation commands
+//! degrade gracefully (exact BDD → probability propagation → sampled
+//! simulation, reporting the tier that answered); everything else fails
+//! with a one-line typed diagnostic instead of running away.
+//!
 //! Netlists use the BLIF-like text format of `netlist::blif`; state
 //! machines use KISS2 (`seqopt::kiss`).
 
 use std::process::ExitCode;
 
+use lowpower::budget::ResourceBudget;
 use lowpower::logicopt::balance::balance_paths_with_threshold;
 use lowpower::logicopt::dontcare::{optimize_dontcares, Mode};
 use lowpower::logicopt::mapping::{map, standard_library, MapObjective};
 use lowpower::netlist::blif::{parse_text, write_text};
 use lowpower::netlist::{gen, Netlist, NetlistStats};
+use lowpower::power::chain::{estimate_power, ChainConfig, ChainEstimate};
 use lowpower::power::model::{PowerParams, PowerReport};
 use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::fault::{all_stuck_at_faults, CampaignReport, FaultSim};
 use lowpower::sim::stimulus::Stimulus;
 
 fn main() -> ExitCode {
@@ -35,120 +45,271 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("lpopt: {message}");
             eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+        Err(CliError::Fail(message)) => {
+            eprintln!("lpopt: {message}");
             ExitCode::FAILURE
         }
     }
 }
 
 const USAGE: &str = "usage:
-  lpopt [--jobs N] gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
-  lpopt [--jobs N] stats <in.blif>
-  lpopt [--jobs N] power <in.blif> [cycles]
-  lpopt [--jobs N] balance <in.blif> <out.blif> [threshold]
-  lpopt [--jobs N] dontcare <in.blif> <out.blif>
-  lpopt [--jobs N] map <in.blif> <area|delay|power>
-  lpopt [--jobs N] fsm <in.kiss> [out.blif]
-(--jobs 0 or omitted = all cores; LPOPT_JOBS env also respected)";
+  lpopt [flags] gen <adder|ksadder|multiplier|wallace|comparator|alu|parity> <width> <out.blif>
+  lpopt [flags] stats <in.blif>
+  lpopt [flags] power <in.blif> [cycles]
+  lpopt [flags] balance <in.blif> <out.blif> [threshold]
+  lpopt [flags] dontcare <in.blif> <out.blif>
+  lpopt [flags] map <in.blif> <area|delay|power>
+  lpopt [flags] fsm <in.kiss> [out.blif]
+  lpopt [flags] fault <in.blif> [cycles] [--seu N]
+flags:
+  --jobs N          worker threads (0 or omitted = all cores; LPOPT_JOBS env)
+  --budget-nodes N  give up on exact BDD estimation past N manager nodes
+  --budget-steps N  cap total simulation work (cycles x nets, events)
+  --budget-queue N  cap the timing simulator's event-queue length
+  --deadline-ms N   wall-clock budget for the whole command";
 
-/// Strip a leading `--jobs N` (or `--jobs=N`) flag, returning the thread
-/// count and the remaining arguments. Defaults to `LPOPT_JOBS`/all cores.
-fn parse_jobs(args: &[String]) -> Result<(usize, &[String]), String> {
-    match args.first().map(String::as_str) {
-        Some("--jobs") => {
-            let n = args
-                .get(1)
-                .ok_or("--jobs: missing thread count")?
-                .parse()
-                .map_err(|e| format!("--jobs: bad thread count: {e}"))?;
-            Ok((n, &args[2..]))
-        }
-        Some(flag) if flag.starts_with("--jobs=") => {
-            let n = flag["--jobs=".len()..]
-                .parse()
-                .map_err(|e| format!("--jobs: bad thread count: {e}"))?;
-            Ok((n, &args[1..]))
-        }
-        _ => Ok((lowpower::par::jobs_from_env(), args)),
-    }
+/// CLI failure: `Usage` mistakes get the usage text, runtime `Fail`ures a
+/// single diagnostic line — a bad netlist should not scroll the screen.
+enum CliError {
+    Usage(String),
+    Fail(String),
 }
 
-fn run(args: &[String]) -> Result<String, String> {
-    let (jobs, args) = parse_jobs(args)?;
-    let command = args.first().ok_or("missing command")?;
+fn usage(message: impl Into<String>) -> CliError {
+    CliError::Usage(message.into())
+}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError::Fail(message.into())
+}
+
+/// Global options stripped off the front of the argument list.
+struct Opts {
+    jobs: usize,
+    budget: ResourceBudget,
+}
+
+/// Strip leading `--flag value` / `--flag=value` pairs, returning the
+/// options and the remaining (command) arguments.
+fn parse_flags(args: &[String]) -> Result<(Opts, &[String]), CliError> {
+    let mut jobs: Option<usize> = None;
+    let mut budget = ResourceBudget::unlimited();
+    let mut rest = args;
+    while let Some(flag) = rest.first() {
+        if !flag.starts_with("--") {
+            break;
+        }
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        let (value, consumed) = match inline {
+            Some(v) => (v, 1),
+            None => match rest.get(1) {
+                Some(v) => (v.clone(), 2),
+                None => return Err(usage(format!("{name}: missing value"))),
+            },
+        };
+        match name {
+            "--jobs" => {
+                jobs = Some(
+                    value
+                        .parse()
+                        .map_err(|e| usage(format!("--jobs: bad thread count: {e}")))?,
+                )
+            }
+            "--budget-nodes" => budget = budget.with_max_bdd_nodes(parse_u64(name, &value)?),
+            "--budget-steps" => budget = budget.with_max_sim_steps(parse_u64(name, &value)?),
+            "--budget-queue" => budget = budget.with_max_event_queue(parse_u64(name, &value)?),
+            "--deadline-ms" => budget = budget.with_deadline_ms(parse_u64(name, &value)?),
+            other => return Err(usage(format!("unknown flag {other:?}"))),
+        }
+        rest = &rest[consumed..];
+    }
+    let jobs = jobs.unwrap_or_else(lowpower::par::jobs_from_env);
+    Ok((Opts { jobs, budget }, rest))
+}
+
+fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
+    value
+        .parse()
+        .map_err(|e| usage(format!("{flag}: bad value {value:?}: {e}")))
+}
+
+/// One `estimator:` block: the tier that answered plus every tier that was
+/// abandoned on the way down, so a degraded number is never silent.
+fn describe_estimate(est: &ChainEstimate) -> String {
+    let mut out = format!("estimator: {}\n", est.tier.name());
+    for attempt in &est.attempts {
+        if let Some(e) = &attempt.error {
+            out.push_str(&format!("  abandoned {}: {e}\n", attempt.tier.name()));
+        }
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<String, CliError> {
+    let (opts, args) = parse_flags(args)?;
+    let command = args.first().ok_or_else(|| usage("missing command"))?;
     match command.as_str() {
         "gen" => {
-            let kind = args.get(1).ok_or("gen: missing kind")?;
+            let kind = args.get(1).ok_or_else(|| usage("gen: missing kind"))?;
             let width: usize = args
                 .get(2)
-                .ok_or("gen: missing width")?
+                .ok_or_else(|| usage("gen: missing width"))?
                 .parse()
-                .map_err(|e| format!("gen: bad width: {e}"))?;
-            let out = args.get(3).ok_or("gen: missing output path")?;
+                .map_err(|e| usage(format!("gen: bad width: {e}")))?;
+            let out = args.get(3).ok_or_else(|| usage("gen: missing output path"))?;
             let nl = generate(kind, width)?;
             save(&nl, out)?;
             Ok(format!("wrote {out}: {nl}\n"))
         }
         "stats" => {
-            let nl = load(args.get(1).ok_or("stats: missing input")?)?;
+            let nl = load(args.get(1).ok_or_else(|| usage("stats: missing input"))?)?;
             Ok(format!("{nl}\n{}\n", NetlistStats::of(&nl)))
         }
         "power" => {
-            let nl = load(args.get(1).ok_or("power: missing input")?)?;
+            let nl = load(args.get(1).ok_or_else(|| usage("power: missing input"))?)?;
             let cycles: usize = args
                 .get(2)
-                .map(|s| s.parse().map_err(|e| format!("power: bad cycles: {e}")))
+                .map(|s| s.parse().map_err(|e| fail(format!("power: bad cycles: {e}"))))
                 .transpose()?
                 .unwrap_or(512);
-            if !nl.is_combinational() {
-                return Err("power: sequential netlists are not supported here".into());
+            if cycles == 0 {
+                return Err(fail("power: need at least one stimulus cycle"));
             }
-            let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, 42);
-            let timing = EventSim::new(&nl, &DelayModel::Unit).activity_jobs(&patterns, jobs);
-            let report = PowerReport::from_activity(&nl, &timing.total, &PowerParams::default());
-            Ok(format!(
-                "{report}\nglitch fraction: {:.1}%\n",
-                100.0 * timing.glitch_fraction()
-            ))
+            let params = PowerParams::default();
+            // First choice for combinational circuits: the event-driven
+            // engine, which also sees glitches. If the budget kills it,
+            // fall through to the degradation chain.
+            let mut abandoned = String::new();
+            if nl.is_combinational() {
+                let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, 42);
+                let sim = EventSim::new(&nl, &DelayModel::Unit);
+                match sim.try_activity_jobs(&patterns, opts.jobs, &opts.budget) {
+                    Ok(timing) => {
+                        let report =
+                            PowerReport::from_activity(&nl, &timing.total, &params);
+                        return Ok(format!(
+                            "{report}\nglitch fraction: {:.1}%\nestimator: event-driven\n",
+                            100.0 * timing.glitch_fraction()
+                        ));
+                    }
+                    Err(e) => {
+                        abandoned = format!("  abandoned event-driven: {e}\n");
+                    }
+                }
+            }
+            let cfg = ChainConfig {
+                sample_cycles: cycles,
+                jobs: opts.jobs,
+                ..ChainConfig::default()
+            };
+            let (report, est) = estimate_power(&nl, &opts.budget, &cfg, &params)
+                .map_err(|e| fail(format!("power: {e}")))?;
+            Ok(format!("{report}\n{}{abandoned}", describe_estimate(&est)))
         }
         "balance" => {
-            let nl = load(args.get(1).ok_or("balance: missing input")?)?;
-            let out = args.get(2).ok_or("balance: missing output path")?;
+            let nl = load(args.get(1).ok_or_else(|| usage("balance: missing input"))?)?;
+            let out = args.get(2).ok_or_else(|| usage("balance: missing output path"))?;
             let threshold: usize = args
                 .get(3)
-                .map(|s| s.parse().map_err(|e| format!("balance: bad threshold: {e}")))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|e| fail(format!("balance: bad threshold: {e}")))
+                })
                 .transpose()?
                 .unwrap_or(0);
             let (balanced, report) = balance_paths_with_threshold(&nl, threshold);
-            save(&balanced, out)?;
+            // Not-worse guard: path balancing trades buffer capacitance for
+            // glitch power, so check the trade under the timing engine and
+            // keep the original if it lost.
+            let mut chosen = &balanced;
+            let mut verdict = String::new();
+            if nl.is_combinational() && report.buffers_added > 0 {
+                let patterns = Stimulus::uniform(nl.num_inputs()).patterns(256, 42);
+                let params = PowerParams::default();
+                let measure = |nl: &Netlist| {
+                    EventSim::new(nl, &DelayModel::Unit)
+                        .try_activity_jobs(&patterns, opts.jobs, &opts.budget)
+                        .map(|t| PowerReport::from_activity(nl, &t.total, &params).total())
+                };
+                match (measure(&nl), measure(&balanced)) {
+                    (Ok(before), Ok(after)) if after > before => {
+                        chosen = &nl;
+                        verdict = format!(
+                            "reverted: balanced power {after:.4e} > original {before:.4e} mW (netlist unchanged)\n"
+                        );
+                    }
+                    (Ok(before), Ok(after)) => {
+                        verdict = format!("power check: {before:.4e} -> {after:.4e} mW\n");
+                    }
+                    (Err(e), _) | (_, Err(e)) => {
+                        verdict = format!("power check skipped: {e}\n");
+                    }
+                }
+            }
+            save(chosen, out)?;
             Ok(format!(
-                "wrote {out}: {} buffers added, depth {} -> {}\n",
+                "wrote {out}: {} buffers added, depth {} -> {}\n{verdict}",
                 report.buffers_added, report.depth_before, report.depth_after
             ))
         }
         "dontcare" => {
-            let nl = load(args.get(1).ok_or("dontcare: missing input")?)?;
-            let out = args.get(2).ok_or("dontcare: missing output path")?;
+            let nl = load(args.get(1).ok_or_else(|| usage("dontcare: missing input"))?)?;
+            let out = args.get(2).ok_or_else(|| usage("dontcare: missing output path"))?;
             if nl.num_inputs() > 18 {
-                return Err("dontcare: BDD pass limited to 18 inputs".into());
+                return Err(fail("dontcare: BDD pass limited to 18 inputs"));
             }
             let probs = vec![0.5; nl.num_inputs()];
             let (optimized, report) = optimize_dontcares(&nl, &probs, Mode::FanoutAware, 6);
-            save(&optimized, out)?;
+            // Not-worse guard: re-estimate both sides with whatever tier
+            // the budget affords and keep the original on a regression.
+            let params = PowerParams::default();
+            let cfg = ChainConfig {
+                jobs: opts.jobs,
+                ..ChainConfig::default()
+            };
+            let mut chosen = &optimized;
+            let verdict = match (
+                estimate_power(&nl, &opts.budget, &cfg, &params),
+                estimate_power(&optimized, &opts.budget, &cfg, &params),
+            ) {
+                (Ok((before, _)), Ok((after, est))) if after.total() > before.total() => {
+                    chosen = &nl;
+                    format!(
+                        "reverted ({}): optimized power {:.4e} > original {:.4e} mW (netlist unchanged)\n",
+                        est.tier.name(),
+                        after.total(),
+                        before.total()
+                    )
+                }
+                (Ok((before, _)), Ok((after, est))) => format!(
+                    "power check ({}): {:.4e} -> {:.4e} mW\n",
+                    est.tier.name(),
+                    before.total(),
+                    after.total()
+                ),
+                (Err(e), _) | (_, Err(e)) => format!("power check skipped: {e}\n"),
+            };
+            save(chosen, out)?;
             Ok(format!(
-                "wrote {out}: {} nodes rewritten, estimated switched cap {:.1} -> {:.1} fF/cycle\n",
+                "wrote {out}: {} nodes rewritten, estimated switched cap {:.1} -> {:.1} fF/cycle\n{verdict}",
                 report.nodes_changed, report.cap_before, report.cap_after
             ))
         }
         "map" => {
-            let nl = load(args.get(1).ok_or("map: missing input")?)?;
+            let nl = load(args.get(1).ok_or_else(|| usage("map: missing input"))?)?;
             let objective = match args.get(2).map(String::as_str) {
                 Some("area") => MapObjective::Area,
                 Some("delay") => MapObjective::Delay,
                 Some("power") => MapObjective::Power,
-                other => return Err(format!("map: bad objective {other:?}")),
+                other => return Err(usage(format!("map: bad objective {other:?}"))),
             };
             let library = standard_library();
             let probs = vec![0.5; nl.num_inputs()];
@@ -170,11 +331,11 @@ fn run(args: &[String]) -> Result<String, String> {
             Ok(out)
         }
         "fsm" => {
-            let path = args.get(1).ok_or("fsm: missing input")?;
+            let path = args.get(1).ok_or_else(|| usage("fsm: missing input"))?;
             let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+                .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
             let stg = lowpower::seqopt::kiss::parse_kiss(&text)
-                .map_err(|e| format!("cannot parse {path}: {e}"))?;
+                .map_err(|e| fail(format!("cannot parse {path}: {e}")))?;
             let minimized = lowpower::seqopt::minimize::minimize(&stg);
             let symbols = 1usize << minimized.stg.input_bits;
             let probs = vec![1.0 / symbols as f64; symbols];
@@ -206,11 +367,76 @@ fn run(args: &[String]) -> Result<String, String> {
             }
             Ok(report)
         }
-        other => Err(format!("unknown command {other:?}")),
+        "fault" => {
+            let path = args.get(1).ok_or_else(|| usage("fault: missing input"))?;
+            let nl = load(path)?;
+            let mut cycles = 256usize;
+            let mut seu: Option<usize> = None;
+            let mut rest = &args[2..];
+            while let Some(arg) = rest.first() {
+                if arg == "--seu" {
+                    let v = rest.get(1).ok_or_else(|| usage("--seu: missing count"))?;
+                    seu = Some(
+                        v.parse()
+                            .map_err(|e| usage(format!("--seu: bad count: {e}")))?,
+                    );
+                    rest = &rest[2..];
+                } else if let Some(v) = arg.strip_prefix("--seu=") {
+                    seu = Some(
+                        v.parse()
+                            .map_err(|e| usage(format!("--seu: bad count: {e}")))?,
+                    );
+                    rest = &rest[1..];
+                } else {
+                    cycles = arg
+                        .parse()
+                        .map_err(|e| fail(format!("fault: bad cycles: {e}")))?;
+                    rest = &rest[1..];
+                }
+            }
+            if cycles == 0 {
+                return Err(fail("fault: need at least one stimulus cycle"));
+            }
+            let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, 42);
+            let sim = FaultSim::new(&nl);
+            match seu {
+                Some(count) => {
+                    let report = sim
+                        .seu_sweep(&patterns, count, 42, opts.jobs, &opts.budget)
+                        .map_err(|e| fail(format!("fault: {e}")))?;
+                    Ok(format!(
+                        "SEU sweep: {count} upsets over {cycles} cycles\n{}",
+                        campaign_summary(&report, "propagated")
+                    ))
+                }
+                None => {
+                    let faults = all_stuck_at_faults(&nl);
+                    let report = sim
+                        .campaign(&patterns, &faults, opts.jobs, &opts.budget)
+                        .map_err(|e| fail(format!("fault: {e}")))?;
+                    Ok(format!(
+                        "stuck-at campaign: {} faults over {cycles} cycles\n{}",
+                        faults.len(),
+                        campaign_summary(&report, "detected")
+                    ))
+                }
+            }
+        }
+        other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn generate(kind: &str, width: usize) -> Result<Netlist, String> {
+fn campaign_summary(report: &CampaignReport, verb: &str) -> String {
+    format!(
+        "{verb} {}/{} ({:.1}%), {} latent state corruptions\n",
+        report.detected(),
+        report.reports.len(),
+        100.0 * report.coverage(),
+        report.latent()
+    )
+}
+
+fn generate(kind: &str, width: usize) -> Result<Netlist, CliError> {
     Ok(match kind {
         "adder" => gen::ripple_adder(width).0,
         "ksadder" => gen::kogge_stone_adder(width).0,
@@ -219,15 +445,27 @@ fn generate(kind: &str, width: usize) -> Result<Netlist, String> {
         "comparator" => gen::comparator_gt(width).0,
         "alu" => gen::alu4(width),
         "parity" => gen::parity_tree(width),
-        other => return Err(format!("gen: unknown kind {other:?}")),
+        other => return Err(fail(format!("gen: unknown kind {other:?}"))),
     })
 }
 
-fn load(path: &str) -> Result<Netlist, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    parse_text(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+fn load(path: &str) -> Result<Netlist, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    parse_text(&text).map_err(|e| fail(format!("cannot parse {path}: {e}")))
 }
 
-fn save(nl: &Netlist, path: &str) -> Result<(), String> {
-    std::fs::write(path, write_text(nl)).map_err(|e| format!("cannot write {path}: {e}"))
+/// Write atomically: temp file in the target directory, then rename. A
+/// failure partway (full disk, bad path) never leaves a truncated netlist
+/// where the output should be.
+fn save(nl: &Netlist, path: &str) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    std::fs::write(&tmp, write_text(nl)).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        fail(format!("cannot write {path}: {e}"))
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        fail(format!("cannot write {path}: {e}"))
+    })
 }

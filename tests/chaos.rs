@@ -1,0 +1,247 @@
+//! Chaos suite: randomized fault/budget scenarios against every engine.
+//!
+//! 200 deterministic pseudo-random scenarios drive CombSim, EventSim,
+//! SeqSim, the fault engine and the estimator chain with hostile budgets
+//! (tiny node counts, starved step limits, short queues, zero-millisecond
+//! deadlines) and occasionally invalid fault sites. The contract under
+//! test is the robustness tentpole:
+//!
+//! * zero panics — every failure is a typed error;
+//! * successful runs are bit-identical between serial and sharded
+//!   execution (deadline-free budgets only: a wall clock is the one
+//!   resource whose verdict may legitimately differ between runs).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use lowpower::budget::ResourceBudget;
+use lowpower::netlist::gen;
+use lowpower::netlist::{NetId, Netlist, Rng64};
+use lowpower::power::chain::{estimate_activity, ChainConfig};
+use lowpower::sim::comb::CombSim;
+use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::fault::{all_stuck_at_faults, Fault, FaultKind, FaultSim};
+use lowpower::sim::par::with_quiet_panics;
+use lowpower::sim::seq::SeqSim;
+use lowpower::sim::stimulus::Stimulus;
+
+fn circuit_pool() -> Vec<Netlist> {
+    vec![
+        gen::ripple_adder(4).0,
+        gen::kogge_stone_adder(4).0,
+        gen::array_multiplier(4).0,
+        gen::comparator_gt(4).0,
+        gen::parity_tree(6),
+        gen::counter(5),
+        gen::pipelined_multiplier(3),
+    ]
+}
+
+/// A random budget; the bool says whether it contains a wall-clock
+/// deadline (non-deterministic verdicts, excluded from identity checks).
+fn random_budget(rng: &mut Rng64) -> (ResourceBudget, bool) {
+    let mut budget = ResourceBudget::unlimited();
+    if rng.chance(0.4) {
+        budget = budget.with_max_bdd_nodes(1 << rng.range(4, 14));
+    }
+    if rng.chance(0.4) {
+        budget = budget.with_max_sim_steps(1 << rng.range(6, 22));
+    }
+    if rng.chance(0.3) {
+        budget = budget.with_max_event_queue(1 << rng.range(2, 12));
+    }
+    let deadline = rng.chance(0.15);
+    if deadline {
+        budget = budget.with_deadline_ms(rng.range(0, 3) as u64);
+    }
+    (budget, deadline)
+}
+
+fn random_faults(rng: &mut Rng64, nl: &Netlist, cycles: usize) -> Vec<Fault> {
+    (0..rng.range(1, 40))
+        .map(|_| {
+            // One in ten sites is deliberately out of range, and bit-flip
+            // cycles may point past the stream: both must come back as
+            // typed `FaultError`s, never panics.
+            let net = if rng.chance(0.1) {
+                NetId::from_index(nl.len() + rng.range(0, 5))
+            } else {
+                NetId::from_index(rng.range(0, nl.len()))
+            };
+            let kind = match rng.range(0, 3) {
+                0 => FaultKind::StuckAt0,
+                1 => FaultKind::StuckAt1,
+                _ => FaultKind::BitFlip {
+                    cycle: rng.range(0, cycles * 2),
+                },
+            };
+            Fault { net, kind }
+        })
+        .collect()
+}
+
+/// Run one scenario; the returned string is a human-readable outcome (for
+/// the failure dump) — the assertions live inside.
+fn run_scenario(scenario: usize, pool: &[Netlist]) -> String {
+    let mut rng = Rng64::new(0x0C4A05 ^ (scenario as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let nl = &pool[rng.range(0, pool.len())];
+    let cycles = rng.range(8, 129);
+    let jobs = rng.range(2, 5);
+    let seed = rng.next_u64();
+    let (budget, deadline) = random_budget(&mut rng);
+    let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, seed);
+    let comb = nl.is_combinational();
+    match rng.range(0, 6) {
+        0 if comb => {
+            let serial = CombSim::new(nl).try_activity(&patterns, &budget);
+            let sharded = CombSim::new(nl).try_activity_jobs(&patterns, jobs, &budget);
+            if !deadline {
+                if let (Ok(a), Ok(b)) = (&serial, &sharded) {
+                    assert_eq!(a, b, "scenario {scenario}: comb shard mismatch");
+                }
+                assert_eq!(
+                    serial.is_ok(),
+                    sharded.is_ok(),
+                    "scenario {scenario}: comb verdict depends on sharding"
+                );
+            }
+            format!("comb: {}", verdict(&serial.map(|_| ())))
+        }
+        1 if comb => {
+            let sim = EventSim::new(nl, &DelayModel::Unit);
+            let serial = sim.try_activity(&patterns, &budget);
+            let sharded = sim.try_activity_jobs(&patterns, jobs, &budget);
+            if !deadline {
+                if let (Ok(a), Ok(b)) = (&serial, &sharded) {
+                    assert_eq!(a.total, b.total, "scenario {scenario}: event shard mismatch");
+                }
+                assert_eq!(
+                    serial.is_ok(),
+                    sharded.is_ok(),
+                    "scenario {scenario}: event verdict depends on sharding"
+                );
+            }
+            format!("event: {}", verdict(&serial.map(|_| ())))
+        }
+        0..=2 => {
+            let sim = SeqSim::new(nl);
+            let serial = sim.try_activity(&patterns, &budget);
+            let sharded = sim.try_activity_jobs(&patterns, jobs, &budget);
+            if !deadline {
+                if let (Ok(a), Ok(b)) = (&serial, &sharded) {
+                    assert_eq!(
+                        a.profile, b.profile,
+                        "scenario {scenario}: seq shard mismatch"
+                    );
+                }
+                assert_eq!(
+                    serial.is_ok(),
+                    sharded.is_ok(),
+                    "scenario {scenario}: seq verdict depends on sharding"
+                );
+            }
+            format!("seq: {}", verdict(&serial.map(|_| ())))
+        }
+        3 => {
+            let cfg = ChainConfig {
+                sample_cycles: cycles,
+                seed,
+                jobs,
+                input_probs: if rng.chance(0.3) {
+                    Some((0..rng.range(1, 12)).map(|_| rng.next_f64() * 2.0 - 0.5).collect())
+                } else {
+                    None
+                },
+                ..ChainConfig::default()
+            };
+            match estimate_activity(nl, &budget, &cfg) {
+                Ok(est) => {
+                    // Tier-tagged estimate: the answering tier is the last
+                    // attempt and carries no error.
+                    let last = est.attempts.last().unwrap();
+                    assert_eq!(last.tier, est.tier, "scenario {scenario}");
+                    assert!(last.error.is_none(), "scenario {scenario}");
+                    format!("chain: ok via {}", est.tier.name())
+                }
+                Err(e) => {
+                    assert!(
+                        !e.attempts.is_empty()
+                            && e.attempts.iter().all(|a| a.error.is_some()),
+                        "scenario {scenario}: exhaustion must record every tier"
+                    );
+                    format!("chain: {e}")
+                }
+            }
+        }
+        4 => {
+            let sim = FaultSim::new(nl);
+            let faults = random_faults(&mut rng, nl, cycles);
+            let serial = sim.campaign(&patterns, &faults, 1, &budget);
+            let sharded = sim.campaign(&patterns, &faults, jobs, &budget);
+            if !deadline {
+                if let (Ok(a), Ok(b)) = (&serial, &sharded) {
+                    assert_eq!(
+                        a.reports, b.reports,
+                        "scenario {scenario}: campaign shard mismatch"
+                    );
+                }
+            }
+            format!("campaign: {}", verdict(&serial.map(|_| ())))
+        }
+        _ => {
+            let sim = FaultSim::new(nl);
+            let count = rng.range(1, 60);
+            let serial = sim.seu_sweep(&patterns, count, seed, 1, &budget);
+            let sharded = sim.seu_sweep(&patterns, count, seed, jobs, &budget);
+            if !deadline {
+                if let (Ok(a), Ok(b)) = (&serial, &sharded) {
+                    assert_eq!(
+                        a.reports, b.reports,
+                        "scenario {scenario}: SEU shard mismatch"
+                    );
+                }
+            }
+            format!("seu: {}", verdict(&serial.map(|_| ())))
+        }
+    }
+}
+
+fn verdict<E: std::fmt::Display>(r: &Result<(), E>) -> String {
+    match r {
+        Ok(()) => "ok".to_string(),
+        Err(e) => format!("typed error: {e}"),
+    }
+}
+
+#[test]
+fn two_hundred_hostile_scenarios_never_panic() {
+    let pool = circuit_pool();
+    let mut panics = Vec::new();
+    with_quiet_panics(|| {
+        for scenario in 0..200 {
+            if catch_unwind(AssertUnwindSafe(|| run_scenario(scenario, &pool))).is_err() {
+                panics.push(scenario);
+            }
+        }
+    });
+    assert!(
+        panics.is_empty(),
+        "scenarios panicked instead of failing typed: {panics:?}"
+    );
+}
+
+#[test]
+fn stuck_at_everything_still_yields_typed_results() {
+    // Degenerate extreme: every stuck-at fault on every net of every pool
+    // circuit under a modest budget — either a campaign report or a typed
+    // budget error, never a crash.
+    for nl in circuit_pool() {
+        let patterns = Stimulus::uniform(nl.num_inputs()).patterns(32, 1);
+        let sim = FaultSim::new(&nl);
+        let faults = all_stuck_at_faults(&nl);
+        let budget = ResourceBudget::unlimited().with_max_sim_steps(1 << 20);
+        match sim.campaign(&patterns, &faults, 4, &budget) {
+            Ok(report) => assert_eq!(report.reports.len(), faults.len()),
+            Err(e) => assert!(!e.to_string().is_empty()),
+        }
+    }
+}

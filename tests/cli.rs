@@ -142,3 +142,120 @@ fn fsm_command_minimizes_encodes_and_synthesizes() {
     let nl = lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&blif).unwrap()).unwrap();
     assert!(nl.num_dffs() > 0);
 }
+
+#[test]
+fn malformed_blif_fails_with_one_line_diagnostic() {
+    let bad = temp_path("malformed.blif");
+    std::fs::write(&bad, ".model broken\n.names a b\n.garbage\n").unwrap();
+    let (ok, out, err) = lpopt(&["stats", &bad]);
+    assert!(!ok);
+    assert!(out.is_empty(), "no partial stdout: {out}");
+    assert!(err.contains("cannot parse"), "{err}");
+    // A runtime failure is a single diagnostic line, not a usage dump.
+    assert!(!err.contains("usage"), "{err}");
+    assert_eq!(err.trim_end().lines().count(), 1, "{err}");
+}
+
+#[test]
+fn missing_input_file_fails_cleanly() {
+    let (ok, _, err) = lpopt(&["power", "/nonexistent/never/x.blif"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+    assert!(!err.contains("usage"), "{err}");
+}
+
+#[test]
+fn zero_cycle_stimulus_is_rejected() {
+    let file = temp_path("zc.blif");
+    assert!(lpopt(&["gen", "parity", "4", &file]).0);
+    let (ok, _, err) = lpopt(&["power", &file, "0"]);
+    assert!(!ok);
+    assert!(err.contains("at least one"), "{err}");
+    let (ok, _, err) = lpopt(&["fault", &file, "0"]);
+    assert!(!ok);
+    assert!(err.contains("at least one"), "{err}");
+}
+
+#[test]
+fn failed_commands_leave_no_partial_output_file() {
+    let bad = temp_path("bad_input.blif");
+    std::fs::write(&bad, "not a netlist at all\n").unwrap();
+    let out = temp_path("must_not_exist.blif");
+    let _ = std::fs::remove_file(&out);
+    for cmd in ["balance", "dontcare"] {
+        let (ok, _, _) = lpopt(&[cmd, &bad, &out]);
+        assert!(!ok, "{cmd}");
+        assert!(!std::path::Path::new(&out).exists(), "{cmd} left {out}");
+    }
+    // An unwritable output directory fails without a stray temp file.
+    let (ok, _, err) = lpopt(&["gen", "adder", "4", "/nonexistent-dir/x.blif"]);
+    assert!(!ok);
+    assert!(err.contains("cannot write"), "{err}");
+}
+
+#[test]
+fn budget_flags_degrade_power_estimation() {
+    let file = temp_path("budget_mult.blif");
+    assert!(lpopt(&["gen", "multiplier", "5", &file]).0);
+    // Unlimited: full-fidelity event-driven estimate.
+    let (ok, out, err) = lpopt(&["power", &file, "64"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("estimator: event-driven"), "{out}");
+    // A node + step budget forces the chain down to propagation, which
+    // still answers (exit 0) and reports what was abandoned.
+    let (ok, out, err) = lpopt(&[
+        "--budget-nodes=64",
+        "--budget-steps=2000",
+        "power",
+        &file,
+        "64",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("estimator: probabilistic"), "{out}");
+    assert!(out.contains("abandoned exact-bdd"), "{out}");
+    assert!(out.contains("abandoned event-driven"), "{out}");
+    // A budget too small for any tier is a typed failure, not a panic.
+    let (ok, _, err) = lpopt(&["--budget-nodes=4", "--budget-steps=4", "power", &file]);
+    assert!(!ok);
+    assert!(err.contains("all estimation tiers exhausted"), "{err}");
+    // Bad flag values get usage help.
+    let (ok, _, err) = lpopt(&["--budget-steps", "many", "power", &file]);
+    assert!(!ok);
+    assert!(err.contains("bad value"), "{err}");
+}
+
+#[test]
+fn power_supports_sequential_netlists_via_chain() {
+    let kiss = temp_path("seqpow.kiss");
+    let blif = temp_path("seqpow.blif");
+    std::fs::write(&kiss, "\n.i 1\n.o 1\n0 a b 0\n1 a a 1\n0 b a 1\n1 b b 0\n.e\n")
+        .unwrap();
+    assert!(lpopt(&["fsm", &kiss, &blif]).0);
+    let (ok, out, err) = lpopt(&["power", &blif, "128"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("estimator:"), "{out}");
+    assert!(out.contains("switching"), "{out}");
+}
+
+#[test]
+fn fault_command_reports_coverage_and_respects_budget() {
+    let file = temp_path("fault_add.blif");
+    assert!(lpopt(&["gen", "adder", "4", &file]).0);
+    let (ok, out, err) = lpopt(&["fault", &file, "64"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("stuck-at campaign"), "{out}");
+    assert!(out.contains("detected"), "{out}");
+    // Deterministic across thread counts.
+    let (_, again, _) = lpopt(&["--jobs", "4", "fault", &file, "64"]);
+    assert_eq!(out, again);
+    // SEU mode.
+    let (ok, out, err) = lpopt(&["fault", &file, "64", "--seu", "50"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("SEU sweep: 50 upsets"), "{out}");
+    assert!(out.contains("propagated"), "{out}");
+    // A starved step budget is a typed one-line failure.
+    let (ok, _, err) = lpopt(&["--budget-steps", "10", "fault", &file, "64"]);
+    assert!(!ok);
+    assert!(err.contains("budget exceeded"), "{err}");
+    assert!(!err.contains("usage"), "{err}");
+}

@@ -1,0 +1,83 @@
+//! Property fuzz of the BLIF parser and the estimation chain.
+//!
+//! The parser satellite of the robustness work: `parse_text` must be total
+//! over arbitrary input — every byte soup and every token soup comes back
+//! as `Ok(netlist)` or a typed `NetlistError`, never a panic. Plus the
+//! chain-fidelity property: the sampled tier is the plain simulation
+//! engine, bit for bit, for random circuit sizes and seeds.
+
+use lowpower::budget::ResourceBudget;
+use lowpower::netlist::blif::parse_text;
+use lowpower::netlist::gen;
+use lowpower::power::chain::{estimate_activity, ChainConfig, Tier};
+use lowpower::power::estimate::measure_sequence;
+use lowpower::power::model::{PowerParams, PowerReport};
+use lowpower::sim::comb::CombSim;
+use lowpower::sim::stimulus::Stimulus;
+use proptest::prelude::*;
+
+/// Fragments the parser's tokenizer and directive handlers actually
+/// branch on, shuffled into syntactically plausible nonsense.
+const TOKENS: &[&str] = &[
+    ".model", ".inputs", ".outputs", ".names", ".latch", ".end", ".exdc",
+    "a", "b", "c", "n1", "n2", "out", "0", "1", "-", "2", "01-", "110",
+    "=", "\\", "#", "re", "fe", "soup",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn parse_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Ok or typed error, both fine; a panic fails the property.
+        let _ = parse_text(&text);
+    }
+
+    fn parse_token_soup_never_panics(
+        picks in proptest::collection::vec((0usize..25, 0u8..8), 0..200),
+    ) {
+        let mut text = String::new();
+        for (token, sep) in picks {
+            text.push_str(TOKENS[token % TOKENS.len()]);
+            // Mix separators: spaces, tabs, newlines, continuations.
+            text.push_str(match sep {
+                0..=2 => " ",
+                3 => "\t",
+                4 => "\\\n",
+                _ => "\n",
+            });
+        }
+        let _ = parse_text(&text);
+    }
+
+    fn truncating_a_valid_netlist_never_panics(cut in 0usize..2000, width in 2usize..6) {
+        let (nl, _) = gen::ripple_adder(width);
+        let text = lowpower::netlist::blif::write_text(&nl);
+        let cut = cut.min(text.len());
+        // Chop on a char boundary (ASCII here, so any index works).
+        let _ = parse_text(&text[..cut]);
+    }
+
+    fn chain_sampled_tier_is_bit_identical_to_the_engine(
+        width in 2usize..6,
+        cycles in 2usize..200,
+        seed in 0u64..1000,
+    ) {
+        let (nl, _) = gen::ripple_adder(width);
+        let cfg = ChainConfig {
+            tiers: vec![Tier::SampledSim],
+            sample_cycles: cycles,
+            seed,
+            ..ChainConfig::default()
+        };
+        let est = estimate_activity(&nl, &ResourceBudget::unlimited(), &cfg).unwrap();
+        let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, seed);
+        let direct = CombSim::new(&nl).activity(&patterns);
+        prop_assert_eq!(&est.profile, &direct);
+        // And through the power model: identical totals, to the last bit.
+        let params = PowerParams::default();
+        let via_chain = PowerReport::from_activity(&nl, &est.profile, &params);
+        let via_measure = measure_sequence(&nl, &patterns, &params);
+        prop_assert_eq!(via_chain.total().to_bits(), via_measure.total().to_bits());
+    }
+}
