@@ -1,0 +1,48 @@
+#!/bin/sh
+# Gate: enabling observability must not slow the hot simulation paths by
+# more than the target in BENCH_robust.json (2%).
+#
+# The obs contract is that instrumented engines touch the handle only at
+# shard-merge boundaries, so the on/off delta is expected to be ~0 and the
+# measurement is dominated by scheduler noise (±5% is routine on shared CI
+# machines). The gate therefore reruns the benchmark up to
+# $OBS_OVERHEAD_ATTEMPTS (default 3) times and passes if ANY run keeps
+# every path under target: noise passes eventually, a real per-event cost
+# fails every time.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+attempts="${OBS_OVERHEAD_ATTEMPTS:-3}"
+json="BENCH_robust.obs.json"
+
+i=1
+while :; do
+    echo "obs overhead gate: attempt $i/$attempts"
+    cargo run --release -p bench --bin bench_robust -- "$json" >/dev/null
+    if awk '
+        /"obs_overhead_target_percent"/ {
+            match($0, /[0-9.]+/)
+            target = substr($0, RSTART, RLENGTH) + 0
+        }
+        /"obs_overhead_percent"/ {
+            match($0, /"name": "[^"]*"/)
+            name = substr($0, RSTART + 9, RLENGTH - 10)
+            match($0, /"obs_overhead_percent": -?[0-9.]+/)
+            pct = substr($0, RSTART + 24, RLENGTH - 24) + 0
+            printf "  %-30s %+.2f%% (target %.1f%%)\n", name, pct, target
+            if (pct > target) bad = 1
+        }
+        END { exit bad }
+    ' "$json"; then
+        echo "obs overhead gate: PASS"
+        exit 0
+    fi
+    if [ "$i" -ge "$attempts" ]; then
+        echo "ERROR: observability overhead exceeded target on every attempt." >&2
+        echo "       An enabled obs handle may have leaked into a per-event loop;" >&2
+        echo "       instrumentation must flush at run boundaries only." >&2
+        exit 1
+    fi
+    i=$((i + 1))
+done

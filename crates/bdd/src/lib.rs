@@ -28,4 +28,4 @@
 mod manager;
 
 pub use budget::{BudgetExceeded, Resource, ResourceBudget};
-pub use manager::{Bdd, BddStats, Ref};
+pub use manager::{Bdd, BddStats, OpCounts, Ref};

@@ -62,6 +62,30 @@ pub struct BddStats {
     pub cache_entries: usize,
 }
 
+/// Operation counters accumulated by a manager over its lifetime, see
+/// [`Bdd::op_counts`].
+///
+/// Plain `u64` fields incremented inline: this crate sits below the
+/// observability layer, so the manager counts its own work and callers
+/// (the power estimators) publish the totals. The counts are deterministic
+/// for a given construction sequence, which makes them safe to compare in
+/// golden tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Recursive ITE invocations (including terminal-resolved ones).
+    pub ite_calls: u64,
+    /// ITE memo-cache probes.
+    pub cache_lookups: u64,
+    /// ITE memo-cache probes that hit.
+    pub cache_hits: u64,
+    /// Unique-table probes (one per candidate node with `lo != hi`).
+    pub unique_lookups: u64,
+    /// Unique-table probes that found an existing node.
+    pub unique_hits: u64,
+    /// Nodes interned (unique-table misses).
+    pub nodes_created: u64,
+}
+
 /// A reduced ordered BDD manager (arena + unique table + ITE cache).
 ///
 /// Variables are `u32` indices ordered by value: smaller indices are closer
@@ -73,6 +97,7 @@ pub struct Bdd {
     unique: HashMap<(u32, u32, u32), u32>,
     ite_cache: HashMap<(u32, u32, u32), Ref>,
     num_vars: u32,
+    counts: OpCounts,
 }
 
 impl Default for Bdd {
@@ -101,7 +126,13 @@ impl Bdd {
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
             num_vars: 0,
+            counts: OpCounts::default(),
         }
+    }
+
+    /// Lifetime operation counters (monotonic; never reset by operations).
+    pub fn op_counts(&self) -> OpCounts {
+        self.counts
     }
 
     /// The constant function `value`.
@@ -142,9 +173,12 @@ impl Bdd {
             return lo;
         }
         self.num_vars = self.num_vars.max(var + 1);
+        self.counts.unique_lookups += 1;
         if let Some(&id) = self.unique.get(&(var, lo.0, hi.0)) {
+            self.counts.unique_hits += 1;
             return Ref(id);
         }
+        self.counts.nodes_created += 1;
         let id = self.nodes.len() as u32;
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo.0, hi.0), id);
@@ -206,6 +240,7 @@ impl Bdd {
         budget: &ResourceBudget,
         ops: &mut u64,
     ) -> Result<Ref, BudgetExceeded> {
+        self.counts.ite_calls += 1;
         // Terminal cases.
         if f == Ref::TRUE {
             return Ok(g);
@@ -220,7 +255,9 @@ impl Bdd {
             return Ok(f);
         }
         let key = (f.0, g.0, h.0);
+        self.counts.cache_lookups += 1;
         if let Some(&r) = self.ite_cache.get(&key) {
+            self.counts.cache_hits += 1;
             return Ok(r);
         }
         // Cache miss: the only place nodes (and real work) can grow.
@@ -860,6 +897,39 @@ mod tests {
         let v = mgr.var(30);
         let w = mgr.var(31);
         assert!(mgr.try_and(v, w, &tight).is_err());
+    }
+
+    #[test]
+    fn op_counts_track_work_consistently() {
+        let mut mgr = Bdd::new();
+        assert_eq!(mgr.op_counts(), OpCounts::default());
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let _again = mgr.and(a, b); // pure cache hit
+        let c = mgr.op_counts();
+        assert!(c.ite_calls > 0);
+        assert!(c.cache_hits <= c.cache_lookups, "{c:?}");
+        assert!(c.unique_hits <= c.unique_lookups, "{c:?}");
+        assert_eq!(c.unique_lookups, c.unique_hits + c.nodes_created, "{c:?}");
+        // Every interned node beyond the two terminals came through mk.
+        assert_eq!(c.nodes_created as usize, mgr.node_count() - 2);
+        assert!(!f.is_const());
+    }
+
+    #[test]
+    fn op_counts_are_deterministic() {
+        let build = || {
+            let mut mgr = Bdd::new();
+            let vars: Vec<Ref> = (0..6).map(|i| mgr.var(i)).collect();
+            let x = mgr.xor(vars[0], vars[3]);
+            let y = mgr.and(vars[1], vars[4]);
+            let z = mgr.or(vars[2], vars[5]);
+            let xy = mgr.or(x, y);
+            let _f = mgr.and(xy, z);
+            mgr.op_counts()
+        };
+        assert_eq!(build(), build(), "same construction => same counts");
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   degradation chain answering alone, plus a degraded end-to-end run
 //!   (node-capped, so the exact tier fails first) to show what a fallback
 //!   actually costs.
+//! * **obs_overhead** — the same hot paths with the default (disabled)
+//!   observability handle versus a fully enabled one collecting counters
+//!   and shard gauges. The obs contract targets < 2%: instrumentation
+//!   only ever runs at shard-merge boundaries, never per event.
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_robust [out.json]
@@ -21,6 +25,7 @@ use std::time::Instant;
 
 use lowpower::budget::ResourceBudget;
 use lowpower::netlist::gen;
+use lowpower::obs::Obs;
 use lowpower::netlist::Netlist;
 use lowpower::power::chain::{estimate_activity, ChainConfig, Tier};
 use lowpower::sim::comb::CombSim;
@@ -109,6 +114,68 @@ fn overheads() -> Vec<Overhead> {
     ]
 }
 
+struct ObsOverhead {
+    name: &'static str,
+    disabled_secs: f64,
+    enabled_secs: f64,
+}
+
+impl ObsOverhead {
+    fn percent(&self) -> f64 {
+        100.0 * (self.enabled_secs - self.disabled_secs) / self.disabled_secs
+    }
+}
+
+/// The cost of observability on the unguarded hot paths: the default
+/// handle (one null check per boundary) versus an enabled handle feeding
+/// counters and gauges every run.
+fn obs_overheads() -> Vec<ObsOverhead> {
+    let (wallace, _) = gen::wallace_multiplier(8);
+    let (mult, _) = gen::array_multiplier(6);
+    let pipe = gen::pipelined_multiplier(4);
+    let wallace_pat = Stimulus::uniform(wallace.num_inputs()).patterns(4096, 5);
+    let mult_pat = Stimulus::uniform(mult.num_inputs()).patterns(1024, 5);
+    let pipe_pat = Stimulus::uniform(pipe.num_inputs()).patterns(2048, 5);
+
+    let obs = Obs::enabled();
+    let comb = CombSim::new(&wallace);
+    let comb_obs = CombSim::new(&wallace).with_obs(obs.clone());
+    let event = EventSim::new(&mult, &DelayModel::Unit);
+    let event_obs = EventSim::new(&mult, &DelayModel::Unit).with_obs(obs.clone());
+    let seq = SeqSim::new(&pipe);
+    let seq_obs = SeqSim::new(&pipe).with_obs(obs);
+
+    vec![
+        ObsOverhead {
+            name: "comb/wallace_multiplier_8",
+            disabled_secs: best(|| {
+                comb.activity_jobs(&wallace_pat, 1);
+            }),
+            enabled_secs: best(|| {
+                comb_obs.activity_jobs(&wallace_pat, 1);
+            }),
+        },
+        ObsOverhead {
+            name: "event/array_multiplier_6",
+            disabled_secs: best(|| {
+                event.activity_jobs(&mult_pat, 1);
+            }),
+            enabled_secs: best(|| {
+                event_obs.activity_jobs(&mult_pat, 1);
+            }),
+        },
+        ObsOverhead {
+            name: "seq/pipelined_multiplier_4",
+            disabled_secs: best(|| {
+                seq.activity_jobs(&pipe_pat, 1);
+            }),
+            enabled_secs: best(|| {
+                seq_obs.activity_jobs(&pipe_pat, 1);
+            }),
+        },
+    ]
+}
+
 struct TierLatency {
     circuit: &'static str,
     exact_secs: f64,
@@ -170,9 +237,10 @@ fn tiers() -> Vec<TierLatency> {
     ]
 }
 
-fn to_json(loads: &[Overhead], lats: &[TierLatency]) -> String {
+fn to_json(loads: &[Overhead], obs_loads: &[ObsOverhead], lats: &[TierLatency]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"robust\",\n  \"overhead_target_percent\": 3.0,\n");
+    out.push_str("  \"obs_overhead_target_percent\": 2.0,\n");
     out.push_str("  \"overhead\": [\n");
     for (i, o) in loads.iter().enumerate() {
         let _ = write!(
@@ -182,6 +250,16 @@ fn to_json(loads: &[Overhead], lats: &[TierLatency]) -> String {
             o.name, o.unguarded_secs, o.guarded_secs, o.percent()
         );
         out.push_str(if i + 1 < loads.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"obs_overhead\": [\n");
+    for (i, o) in obs_loads.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"name\": \"{}\", \"disabled_seconds\": {:.6}, \"enabled_seconds\": {:.6}, \
+             \"obs_overhead_percent\": {:.2}}}",
+            o.name, o.disabled_secs, o.enabled_secs, o.percent()
+        );
+        out.push_str(if i + 1 < obs_loads.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ],\n  \"fallback_tiers\": [\n");
     for (i, t) in lats.iter().enumerate() {
@@ -204,8 +282,9 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_robust.json".into());
     let loads = overheads();
+    let obs_loads = obs_overheads();
     let lats = tiers();
-    let json = to_json(&loads, &lats);
+    let json = to_json(&loads, &obs_loads, &lats);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
 
     println!("wrote {out_path}");
@@ -215,6 +294,15 @@ fn main() {
             o.name,
             1e3 * o.unguarded_secs,
             1e3 * o.guarded_secs,
+            o.percent()
+        );
+    }
+    for o in &obs_loads {
+        println!(
+            "  {:<28} obs off {:.3} ms, obs on {:.3} ms, overhead {:+.2}%",
+            o.name,
+            1e3 * o.disabled_secs,
+            1e3 * o.enabled_secs,
             o.percent()
         );
     }

@@ -45,6 +45,17 @@ impl Resource {
             Resource::WallClock => "wall-clock deadline",
         }
     }
+
+    /// Stable kebab-case identifier, used as a metric-name suffix
+    /// (e.g. `chain.abandoned.wall-clock`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            Resource::BddNodes => "bdd-nodes",
+            Resource::EventQueue => "event-queue",
+            Resource::SimSteps => "sim-steps",
+            Resource::WallClock => "wall-clock",
+        }
+    }
 }
 
 /// Typed budget-exhaustion error: which resource ran out, the configured
@@ -114,10 +125,15 @@ impl Deadline {
     }
 
     fn exceeded(&self) -> BudgetExceeded {
+        // Report the actual overrun, not a fabricated `limit + 1`: the
+        // degradation chain records this error verbatim, and "how late
+        // were we" distinguishes a near-miss from a blowup. Clamp to at
+        // least limit + 1 so `used > limit` always holds.
+        let over_ms = Instant::now().saturating_duration_since(self.at).as_millis() as u64;
         BudgetExceeded {
             resource: Resource::WallClock,
             limit: self.total_ms,
-            used: self.total_ms + 1,
+            used: self.total_ms + over_ms.max(1),
         }
     }
 }
@@ -299,6 +315,35 @@ mod tests {
         let generous = ResourceBudget::unlimited().with_deadline_ms(60_000);
         assert!(generous.check_deadline().is_ok());
         assert!(generous.deadline.unwrap().remaining_millis() > 50_000);
+    }
+
+    #[test]
+    fn deadline_reports_actual_overrun() {
+        let b = ResourceBudget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(5));
+        let err = b.check_deadline().unwrap_err();
+        assert!(err.used > err.limit);
+        // `used` must reflect real elapsed time past the deadline, not a
+        // fabricated limit + 1.
+        assert!(err.used >= 5, "used={} should track actual lateness", err.used);
+    }
+
+    #[test]
+    fn resource_slugs_are_stable() {
+        for r in [
+            Resource::BddNodes,
+            Resource::EventQueue,
+            Resource::SimSteps,
+            Resource::WallClock,
+        ] {
+            let slug = r.slug();
+            assert!(!slug.is_empty());
+            assert!(
+                slug.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{slug}"
+            );
+        }
+        assert_eq!(Resource::WallClock.slug(), "wall-clock");
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub struct CombFlowConfig {
     pub seed: u64,
     /// Technology parameters.
     pub params: PowerParams,
+    /// Observability handle; per-pass spans, rewrite counters and
+    /// before/after power gauges are recorded when enabled.
+    pub obs: obs::Obs,
 }
 
 impl Default for CombFlowConfig {
@@ -36,6 +39,7 @@ impl Default for CombFlowConfig {
             cycles: 512,
             seed: 42,
             params: PowerParams::default(),
+            obs: obs::Obs::disabled(),
         }
     }
 }
@@ -61,7 +65,9 @@ pub struct CombFlowResult {
 
 fn measure(nl: &Netlist, config: &CombFlowConfig) -> (PowerReport, f64) {
     let patterns = Stimulus::uniform(nl.num_inputs()).patterns(config.cycles, config.seed);
-    let timing = EventSim::new(nl, &DelayModel::Unit).activity(&patterns);
+    let timing = EventSim::new(nl, &DelayModel::Unit)
+        .with_obs(config.obs.clone())
+        .activity(&patterns);
     let report = PowerReport::from_activity(nl, &timing.total, &config.params);
     (report, timing.glitch_fraction())
 }
@@ -77,8 +83,14 @@ fn measure(nl: &Netlist, config: &CombFlowConfig) -> (PowerReport, f64) {
 /// equivalence (which would be a bug).
 pub fn optimize(nl: &Netlist, config: &CombFlowConfig) -> CombFlowResult {
     assert!(nl.is_combinational(), "combinational flow");
-    let (baseline_power, glitch_before) = measure(nl, config);
+    let obs = &config.obs;
+    let flow_span = obs.span("flow.comb");
 
+    let span = obs.span("pass.measure-baseline");
+    let (baseline_power, glitch_before) = measure(nl, config);
+    span.close();
+
+    let span = obs.span("pass.dontcare");
     let (after_dc, dc_rewrites) = if config.dontcares {
         let probs = vec![0.5; nl.num_inputs()];
         let (opt, report) =
@@ -87,18 +99,34 @@ pub fn optimize(nl: &Netlist, config: &CombFlowConfig) -> CombFlowResult {
     } else {
         (nl.clone(), 0)
     };
+    span.close();
+    obs.add("flow.comb.dontcare_rewrites", dc_rewrites as u64);
+
+    let span = obs.span("pass.balance");
     let (balanced, balance_report) =
         balance_paths_with_threshold(&after_dc, config.balance_threshold);
+    span.close();
+    obs.add("flow.comb.buffers_added", balance_report.buffers_added as u64);
 
     // Safety net: the flow must preserve function.
+    let span = obs.span("pass.equiv-check");
     let patterns = Stimulus::uniform(nl.num_inputs()).patterns(config.cycles.min(256), config.seed);
     assert_eq!(
         CombSim::new(nl).equivalent_on(&balanced, &patterns),
         None,
         "flow broke functional equivalence"
     );
+    span.close();
 
+    let span = obs.span("pass.measure-optimized");
     let (optimized_power, glitch_after) = measure(&balanced, config);
+    span.close();
+
+    obs.gauge_set("flow.comb.power.before", baseline_power.total());
+    obs.gauge_set("flow.comb.power.after", optimized_power.total());
+    obs.gauge_set("flow.comb.glitch.before", glitch_before);
+    obs.gauge_set("flow.comb.glitch.after", glitch_after);
+    flow_span.close();
     CombFlowResult {
         netlist: balanced,
         baseline_power,
@@ -135,6 +163,43 @@ mod tests {
         // Equivalence is asserted inside; power numbers must exist.
         assert!(result.baseline_power.total() > 0.0);
         assert!(result.optimized_power.total() > 0.0);
+    }
+
+    #[test]
+    fn flow_publishes_pass_spans_and_power_gauges() {
+        let (nl, _) = ripple_adder(3);
+        let obs = obs::Obs::enabled();
+        let config = CombFlowConfig {
+            obs: obs.clone(),
+            ..CombFlowConfig::default()
+        };
+        let result = optimize(&nl, &config);
+        let snap = obs.snapshot();
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "flow.comb",
+            "pass.measure-baseline",
+            "pass.dontcare",
+            "pass.balance",
+            "pass.equiv-check",
+            "pass.measure-optimized",
+        ] {
+            assert!(names.contains(&expected), "missing span {expected}");
+        }
+        assert_eq!(
+            snap.gauge("flow.comb.power.before"),
+            Some(result.baseline_power.total())
+        );
+        assert_eq!(
+            snap.gauge("flow.comb.power.after"),
+            Some(result.optimized_power.total())
+        );
+        assert_eq!(
+            snap.counter("flow.comb.buffers_added"),
+            Some(result.buffers_added as u64)
+        );
+        // The event-driven measurement sims publish through the same handle.
+        assert!(snap.counter("sim.event.processed").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct FsmFlowConfig {
     pub seed: u64,
     /// Clock-tree power model.
     pub clock: ClockPowerModel,
+    /// Observability handle; per-pass spans and switching gauges are
+    /// recorded when enabled.
+    pub obs: obs::Obs,
 }
 
 impl Default for FsmFlowConfig {
@@ -31,6 +34,7 @@ impl Default for FsmFlowConfig {
             cycles: 2000,
             seed: 42,
             clock: ClockPowerModel::default(),
+            obs: obs::Obs::disabled(),
         }
     }
 }
@@ -63,6 +67,8 @@ pub struct FsmFlowResult {
 /// Panics if any transformation breaks cycle-accurate behaviour of the
 /// encoded machine (checked by simulation).
 pub fn optimize_fsm(stg: &Stg, config: &FsmFlowConfig) -> FsmFlowResult {
+    let obs = &config.obs;
+    let flow_span = obs.span("flow.fsm");
     let symbols = 1usize << stg.input_bits;
     let probs = config
         .symbol_probs
@@ -72,29 +78,47 @@ pub fn optimize_fsm(stg: &Stg, config: &FsmFlowConfig) -> FsmFlowResult {
     let bits = min_bits(n);
     let weights = stg.edge_weights(&probs, 300);
 
+    let span = obs.span("pass.encode");
     let base_codes = encode_sequential(n);
     let lp_codes = encode_low_power(stg, &probs);
     let predicted_base = weighted_switching(&weights, &base_codes);
     let predicted_lp = weighted_switching(&weights, &lp_codes);
+    span.close();
 
+    let span = obs.span("pass.synthesize");
     let baseline = stg.synthesize(&base_codes, bits, "fsm_baseline");
     let lp_plain = stg.synthesize(&lp_codes, bits, "fsm_lowpower");
+    span.close();
+
     // Clock gating on top of the low-power encoding.
+    let span = obs.span("pass.clock-gate");
     let self_gated = gate_self_loops(stg, &lp_plain, &lp_codes, bits).netlist;
     let gated = gate_idle_registers(&self_gated).netlist;
+    span.close();
 
+    let span = obs.span("pass.equiv-check");
     let patterns = Stimulus::uniform(stg.input_bits).patterns(config.cycles, config.seed);
     assert_eq!(
         sequential_equivalent(&lp_plain, &gated, &patterns),
         None,
         "gating broke the machine"
     );
+    span.close();
 
-    let base_activity = SeqSim::new(&baseline).activity(&patterns);
-    let gated_activity = SeqSim::new(&gated).activity(&patterns);
+    let span = obs.span("pass.measure");
+    let base_activity = SeqSim::new(&baseline)
+        .with_obs(obs.clone())
+        .activity(&patterns);
+    let gated_activity = SeqSim::new(&gated).with_obs(obs.clone()).activity(&patterns);
     let measured_base: f64 = base_activity.ff_output_toggles.iter().sum();
     let measured_lp: f64 = gated_activity.ff_output_toggles.iter().sum();
+    span.close();
 
+    obs.gauge_set("flow.fsm.switching.predicted.before", predicted_base);
+    obs.gauge_set("flow.fsm.switching.predicted.after", predicted_lp);
+    obs.gauge_set("flow.fsm.switching.measured.before", measured_base);
+    obs.gauge_set("flow.fsm.switching.measured.after", measured_lp);
+    flow_span.close();
     FsmFlowResult {
         netlist: gated,
         baseline,
@@ -142,6 +166,34 @@ mod tests {
             );
         }
         assert!(result.predicted_switching_optimized <= result.predicted_switching_baseline + 1e-9);
+    }
+
+    #[test]
+    fn fsm_flow_publishes_pass_spans_and_gauges() {
+        let stg = Stg::counter(8);
+        let obs = obs::Obs::enabled();
+        let config = FsmFlowConfig {
+            obs: obs.clone(),
+            ..FsmFlowConfig::default()
+        };
+        let result = optimize_fsm(&stg, &config);
+        let snap = obs.snapshot();
+        let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "flow.fsm",
+            "pass.encode",
+            "pass.synthesize",
+            "pass.clock-gate",
+            "pass.equiv-check",
+            "pass.measure",
+        ] {
+            assert!(names.contains(&expected), "missing span {expected}");
+        }
+        assert_eq!(
+            snap.gauge("flow.fsm.switching.measured.after"),
+            Some(result.measured_ff_toggles_optimized)
+        );
+        assert!(snap.counter("sim.seq.cycles").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub use budget;
 pub use circuit;
 pub use logicopt;
 pub use netlist;
+pub use obs;
 pub use power;
 pub use seqopt;
 pub use sim;

@@ -1,0 +1,446 @@
+//! The [`Obs`] handle: counters, gauges and hierarchical spans.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::clock::{Clock, SystemClock};
+
+/// One timed region. Records are kept in creation order; `parent` indexes
+/// into the same record vector, so a snapshot is a forest encoded flat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, dot-separated by convention (`tier.exact-bdd`).
+    pub name: String,
+    /// Index of the enclosing span in the record list, if any.
+    pub parent: Option<usize>,
+    /// Clock reading when the span opened.
+    pub start: Duration,
+    /// Elapsed time; `None` while the span is still open.
+    pub duration: Option<Duration>,
+}
+
+impl SpanRecord {
+    /// Nesting depth (root spans are 0). `records` must be the snapshot
+    /// this record came from.
+    pub fn depth(&self, records: &[SpanRecord]) -> usize {
+        let mut depth = 0;
+        let mut parent = self.parent;
+        while let Some(p) = parent {
+            depth += 1;
+            parent = records[p].parent;
+        }
+        depth
+    }
+}
+
+#[derive(Default)]
+struct SpanLog {
+    records: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+struct Inner {
+    clock: Box<dyn Clock>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Gauges store `f64::to_bits`; `set` overwrites, `max` keeps the
+    /// largest sample.
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    spans: Mutex<SpanLog>,
+}
+
+/// A cheap, cloneable observability handle.
+///
+/// A disabled handle (the [`Default`]) makes every operation a no-op that
+/// costs one null check; an enabled handle shares one collector between
+/// all clones. Spans are intended for the driver thread; counters and
+/// gauges may be flushed from worker threads (they are atomic).
+#[derive(Clone, Default)]
+pub struct Obs(Option<Arc<Inner>>);
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "Obs(enabled)"
+        } else {
+            "Obs(disabled)"
+        })
+    }
+}
+
+impl Obs {
+    /// A handle where every operation is a no-op.
+    pub fn disabled() -> Obs {
+        Obs(None)
+    }
+
+    /// An enabled handle reading the real monotonic clock.
+    pub fn enabled() -> Obs {
+        Obs::with_clock(SystemClock::new())
+    }
+
+    /// An enabled handle reading the given clock (tests inject a
+    /// [`crate::clock::ManualClock`] here for zeroed, deterministic
+    /// timings).
+    pub fn with_clock(clock: impl Clock + 'static) -> Obs {
+        Obs(Some(Arc::new(Inner {
+            clock: Box::new(clock),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(SpanLog::default()),
+        })))
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Current reading of the installed clock ([`Duration::ZERO`] when
+    /// disabled).
+    pub fn now(&self) -> Duration {
+        match &self.0 {
+            Some(inner) => inner.clock.now(),
+            None => Duration::ZERO,
+        }
+    }
+
+    fn slot(
+        map: &Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+        name: &str,
+        init: u64,
+    ) -> Arc<AtomicU64> {
+        let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(name) {
+            Some(slot) => Arc::clone(slot),
+            None => {
+                let slot = Arc::new(AtomicU64::new(init));
+                map.insert(name.to_string(), Arc::clone(&slot));
+                slot
+            }
+        }
+    }
+
+    /// Resolve a counter handle once, outside any hot loop.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(
+            self.0
+                .as_ref()
+                .map(|inner| Self::slot(&inner.counters, name, 0)),
+        )
+    }
+
+    /// Add `n` to the named counter (resolve-and-add convenience for
+    /// run-boundary flushes).
+    pub fn add(&self, name: &str, n: u64) {
+        if self.0.is_some() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Resolve a gauge handle once, outside any hot loop.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(
+            self.0
+                .as_ref()
+                .map(|inner| Self::slot(&inner.gauges, name, 0f64.to_bits())),
+        )
+    }
+
+    /// Set the named gauge to `v` (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if self.0.is_some() {
+            self.gauge(name).set(v);
+        }
+    }
+
+    /// Raise the named gauge to `v` if `v` is larger (peak tracking).
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        if self.0.is_some() {
+            self.gauge(name).max(v);
+        }
+    }
+
+    /// Open a span; it closes (and records its duration) when the guard
+    /// drops. Spans nest by guard lifetime on the calling thread.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let Some(inner) = &self.0 else {
+            return SpanGuard {
+                obs: Obs(None),
+                index: 0,
+            };
+        };
+        let start = inner.clock.now();
+        let mut log = inner.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let parent = log.stack.last().copied();
+        let index = log.records.len();
+        log.records.push(SpanRecord {
+            name: name.into(),
+            parent,
+            start,
+            duration: None,
+        });
+        log.stack.push(index);
+        SpanGuard {
+            obs: self.clone(),
+            index,
+        }
+    }
+
+    fn close_span(&self, index: usize) {
+        let Some(inner) = &self.0 else { return };
+        let now = inner.clock.now();
+        let mut log = inner.spans.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(record) = log.records.get_mut(index) {
+            if record.duration.is_none() {
+                record.duration = Some(now.saturating_sub(record.start));
+            }
+        }
+        if let Some(pos) = log.stack.iter().rposition(|&i| i == index) {
+            log.stack.remove(pos);
+        }
+    }
+
+    /// A consistent copy of everything recorded so far. Counters and
+    /// gauges come out sorted by name; spans in creation order.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.0 else {
+            return Snapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, slot)| (name.clone(), slot.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, slot)| (name.clone(), f64::from_bits(slot.load(Ordering::Relaxed))))
+            .collect();
+        let spans = inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .records
+            .clone();
+        Snapshot {
+            counters,
+            gauges,
+            spans,
+        }
+    }
+}
+
+/// Pre-resolved counter; adding is one atomic op (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        if let Some(slot) = &self.0 {
+            slot.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current total (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.load(Ordering::Relaxed))
+    }
+}
+
+/// Pre-resolved gauge; stores an `f64` (no-op when disabled).
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Overwrite the gauge value.
+    pub fn set(&self, v: f64) {
+        if let Some(slot) = &self.0 {
+            slot.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if larger.
+    pub fn max(&self, v: f64) {
+        if let Some(slot) = &self.0 {
+            let mut current = slot.load(Ordering::Relaxed);
+            while v > f64::from_bits(current) {
+                match slot.compare_exchange_weak(
+                    current,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |s| f64::from_bits(s.load(Ordering::Relaxed)))
+    }
+}
+
+/// Closes its span when dropped.
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    obs: Obs,
+    index: usize,
+}
+
+impl SpanGuard {
+    /// Close the span now (equivalent to dropping the guard).
+    pub fn close(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.obs.close_span(self.index);
+    }
+}
+
+/// A point-in-time copy of all recorded metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, total)` sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Spans in creation order (see [`SpanRecord::parent`]).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Look up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.add("x", 5);
+        obs.gauge_set("g", 1.0);
+        let _span = obs.span("nothing");
+        let snap = obs.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.spans.is_empty());
+        assert_eq!(obs.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let obs = Obs::enabled();
+        obs.add("b.two", 2);
+        obs.add("a.one", 1);
+        obs.add("b.two", 3);
+        let c = obs.counter("a.one");
+        c.add(10);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("a.one"), Some(11));
+        assert_eq!(snap.counter("b.two"), Some(5));
+        assert_eq!(snap.counters[0].0, "a.one", "sorted by name");
+        assert_eq!(snap.counter_sum("b."), 5);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let obs = Obs::enabled();
+        obs.gauge_set("peak", 3.5);
+        obs.gauge_max("peak", 2.0);
+        assert_eq!(obs.snapshot().gauge("peak"), Some(3.5));
+        obs.gauge_max("peak", 7.25);
+        assert_eq!(obs.snapshot().gauge("peak"), Some(7.25));
+    }
+
+    #[test]
+    fn spans_nest_by_guard_lifetime() {
+        let clock = ManualClock::new();
+        let obs = Obs::with_clock(clock.clone());
+        {
+            let _outer = obs.span("outer");
+            clock.advance(Duration::from_millis(10));
+            {
+                let _inner = obs.span("inner");
+                clock.advance(Duration::from_millis(5));
+            }
+            clock.advance(Duration::from_millis(1));
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        let outer = &snap.spans[0];
+        let inner = &snap.spans[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.duration, Some(Duration::from_millis(16)));
+        assert_eq!(inner.parent, Some(0));
+        assert_eq!(inner.duration, Some(Duration::from_millis(5)));
+        assert_eq!(inner.depth(&snap.spans), 1);
+    }
+
+    #[test]
+    fn manual_clock_pins_durations_to_zero() {
+        let obs = Obs::with_clock(ManualClock::new());
+        {
+            let _span = obs.span("frozen");
+        }
+        assert_eq!(obs.snapshot().spans[0].duration, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let obs = Obs::enabled();
+        let counter = obs.counter("parallel");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.snapshot().counter("parallel"), Some(4000));
+    }
+}

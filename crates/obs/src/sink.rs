@@ -1,0 +1,263 @@
+//! Render a [`Snapshot`] for humans and machines.
+//!
+//! Three formats, all pure string builders (callers decide where the
+//! bytes go, so the library stays I/O-free):
+//!
+//! * [`tree`] — indented span tree plus counter/gauge tables, for
+//!   `lpopt --report`.
+//! * [`jsonl`] — one JSON object per line (`span` / `counter` / `gauge`
+//!   records), for `lpopt --trace <file>`. Line-oriented so a consumer
+//!   can validate or tail it without a full-document parser.
+//! * [`metrics_json`] — a single aggregate document
+//!   (schema `lpopt-metrics-v1`), for `lpopt --metrics-json <file>`.
+//!
+//! Durations are serialized as integer microseconds: coarse enough to be
+//! stable JSON, fine enough for pass-level timing. All maps iterate in
+//! sorted name order, so equal snapshots render byte-identically.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::metrics::{Snapshot, SpanRecord};
+
+/// Schema tag written into [`metrics_json`] documents.
+pub const METRICS_SCHEMA: &str = "lpopt-metrics-v1";
+
+fn micros(d: Duration) -> u128 {
+    d.as_micros()
+}
+
+/// Escape `s` as the body of a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` so the output is valid JSON (no `NaN`/`inf` tokens)
+/// and round-trips typical gauge values.
+pub fn format_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{}", v)
+    }
+}
+
+/// Human-readable report: span tree, then counters, then gauges.
+pub fn tree(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans:\n");
+        for span in &snap.spans {
+            let depth = span.depth(&snap.spans);
+            let dur = match span.duration {
+                Some(d) => format!("{} us", micros(d)),
+                None => "open".to_string(),
+            };
+            let _ = writeln!(out, "  {}{}  {}", "  ".repeat(depth), span.name, dur);
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name}  {value}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "  {name}  {}", format_f64(*value));
+        }
+    }
+    out
+}
+
+fn span_line(index: usize, span: &SpanRecord) -> String {
+    let parent = match span.parent {
+        Some(p) => p.to_string(),
+        None => "null".to_string(),
+    };
+    let duration = match span.duration {
+        Some(d) => micros(d).to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"type\":\"span\",\"id\":{},\"name\":\"{}\",\"parent\":{},\"start_us\":{},\"duration_us\":{}}}",
+        index,
+        escape_json(&span.name),
+        parent,
+        micros(span.start),
+        duration,
+    )
+}
+
+/// JSONL trace: every span, counter and gauge as its own line.
+///
+/// Line schema (`type` discriminates):
+/// * `span` — `id`, `name`, `parent` (id or null), `start_us`,
+///   `duration_us` (null while open).
+/// * `counter` — `name`, `value` (u64).
+/// * `gauge` — `name`, `value` (f64 or null if non-finite).
+pub fn jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (index, span) in snap.spans.iter().enumerate() {
+        out.push_str(&span_line(index, span));
+        out.push('\n');
+    }
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            escape_json(name),
+            value
+        );
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            escape_json(name),
+            format_f64(*value)
+        );
+    }
+    out
+}
+
+/// Aggregate metrics document (schema [`METRICS_SCHEMA`]):
+/// `{ "schema": ..., "counters": {..}, "gauges": {..}, "spans": [..] }`.
+pub fn metrics_json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{METRICS_SCHEMA}\",");
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape_json(name), value);
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", escape_json(name), format_f64(*value));
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+
+    out.push_str("  \"spans\": [");
+    for (index, span) in snap.spans.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}", span_line(index, span));
+    }
+    if !snap.spans.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::Obs;
+
+    fn sample() -> Snapshot {
+        let clock = ManualClock::new();
+        let obs = Obs::with_clock(clock.clone());
+        {
+            let _outer = obs.span("run");
+            clock.advance(Duration::from_micros(100));
+            {
+                let _inner = obs.span("tier.exact-bdd");
+                clock.advance(Duration::from_micros(40));
+            }
+        }
+        obs.add("bdd.cache_hits", 7);
+        obs.add("bdd.cache_lookups", 9);
+        obs.gauge_set("sim.par.shards", 4.0);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn tree_renders_nesting_and_tables() {
+        let text = tree(&sample());
+        assert!(text.contains("run  140 us"));
+        assert!(text.contains("    tier.exact-bdd  40 us"), "{text}");
+        assert!(text.contains("bdd.cache_hits  7"));
+        assert!(text.contains("sim.par.shards  4.0"));
+    }
+
+    #[test]
+    fn jsonl_parses_line_by_line() {
+        let trace = jsonl(&sample());
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 5, "{trace}");
+        for line in &lines {
+            let value = crate::json::parse(line).expect("valid JSON line");
+            let ty = value.get("type").and_then(|v| v.as_str()).unwrap();
+            assert!(matches!(ty, "span" | "counter" | "gauge"));
+        }
+        assert!(lines[1].contains("\"parent\":0"));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_tagged() {
+        let doc = metrics_json(&sample());
+        let value = crate::json::parse(&doc).expect("valid JSON");
+        assert_eq!(
+            value.get("schema").and_then(|v| v.as_str()),
+            Some(METRICS_SCHEMA)
+        );
+        let counters = value.get("counters").unwrap();
+        assert_eq!(
+            counters.get("bdd.cache_hits").and_then(|v| v.as_u64()),
+            Some(7)
+        );
+        let spans = value.get("spans").unwrap().as_array().unwrap();
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn escaping_handles_controls_and_quotes() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_collections() {
+        let snap = Snapshot::default();
+        assert_eq!(tree(&snap), "");
+        assert_eq!(jsonl(&snap), "");
+        let value = crate::json::parse(&metrics_json(&snap)).unwrap();
+        assert!(value.get("spans").unwrap().as_array().unwrap().is_empty());
+    }
+}

@@ -18,6 +18,8 @@
 //! so callers — the `lpopt` CLI, optimization passes — can report *how*
 //! degraded their number is instead of silently lying.
 
+use std::time::Duration;
+
 use budget::{BudgetExceeded, ResourceBudget};
 use netlist::Netlist;
 use sim::comb::CombSim;
@@ -51,13 +53,48 @@ impl Tier {
     }
 }
 
+/// What happened when one tier ran.
+///
+/// The abandonment reason is kept as the full typed [`BudgetExceeded`] —
+/// resource, limit, *and* actual usage — so a deadline overrun and a node
+/// blowup stay distinguishable all the way up to the CLI report and the
+/// `chain.abandoned.<resource>` metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierOutcome {
+    /// The tier produced the estimate.
+    Answered,
+    /// The tier exhausted the budget and the chain moved on.
+    Abandoned(BudgetExceeded),
+}
+
+impl TierOutcome {
+    /// The exhaustion error, if this tier was abandoned.
+    pub fn abandoned(&self) -> Option<&BudgetExceeded> {
+        match self {
+            TierOutcome::Abandoned(e) => Some(e),
+            TierOutcome::Answered => None,
+        }
+    }
+
+    /// Whether this tier produced the answer.
+    pub fn is_answered(&self) -> bool {
+        matches!(self, TierOutcome::Answered)
+    }
+}
+
 /// Outcome of trying one tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TierAttempt {
     /// The tier that was tried.
     pub tier: Tier,
-    /// Why it failed (`None` means it answered).
-    pub error: Option<BudgetExceeded>,
+    /// How the tier ended.
+    pub outcome: TierOutcome,
+    /// Time spent in the tier, read from the chain's observability clock
+    /// ([`ChainConfig::obs`]). [`Duration::ZERO`] when no handle is
+    /// attached, and deterministic (usually zero) under an injected
+    /// manual clock — which is what lets golden tests compare reports
+    /// byte-for-byte.
+    pub elapsed: Duration,
 }
 
 /// Configuration for the degradation chain.
@@ -80,6 +117,12 @@ pub struct ChainConfig {
     pub max_sweeps: usize,
     /// Fixpoint convergence tolerance for the probabilistic tier.
     pub tolerance: f64,
+    /// Observability handle threaded into every tier: per-tier spans
+    /// (`tier.<name>`), attempt counters (`chain.attempts`,
+    /// `chain.answered`, `chain.abandoned.<resource>`), BDD manager
+    /// counters and the simulators' work counters. The default (disabled)
+    /// handle costs one null check per operation.
+    pub obs: obs::Obs,
 }
 
 impl Default for ChainConfig {
@@ -92,6 +135,7 @@ impl Default for ChainConfig {
             tiers: vec![Tier::ExactBdd, Tier::Probabilistic, Tier::SampledSim],
             max_sweeps: 50,
             tolerance: 1e-9,
+            obs: obs::Obs::disabled(),
         }
     }
 }
@@ -125,7 +169,7 @@ impl std::fmt::Display for ChainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "all estimation tiers exhausted:")?;
         for a in &self.attempts {
-            match &a.error {
+            match a.outcome.abandoned() {
                 Some(e) => write!(f, " [{}: {e}]", a.tier.name())?,
                 None => write!(f, " [{}: ok]", a.tier.name())?,
             }
@@ -155,25 +199,46 @@ pub fn estimate_activity(
     cfg: &ChainConfig,
 ) -> Result<ChainEstimate, ChainError> {
     let probs = normalized_probs(cfg, nl.num_inputs());
+    let obs = &cfg.obs;
+    let _chain_span = obs.span("chain.estimate");
     let mut attempts: Vec<TierAttempt> = Vec::with_capacity(cfg.tiers.len());
     for &tier in &cfg.tiers {
+        let span = obs.span(format!("tier.{}", tier.name()));
+        let t0 = obs.now();
         let result = match tier {
-            Tier::ExactBdd => exact::try_circuit_bdds(nl, budget).map(|b| b.activity(&probs)),
+            Tier::ExactBdd => {
+                exact::try_circuit_bdds_obs(nl, budget, obs).map(|b| b.activity(&probs))
+            }
             Tier::Probabilistic => {
                 prob::try_activity(nl, &probs, cfg.max_sweeps, cfg.tolerance, budget)
             }
             Tier::SampledSim => sampled_activity(nl, budget, cfg, &probs),
         };
+        let elapsed = obs.now().saturating_sub(t0);
+        span.close();
+        obs.add("chain.attempts", 1);
         match result {
             Ok(profile) => {
-                attempts.push(TierAttempt { tier, error: None });
+                obs.add("chain.answered", 1);
+                attempts.push(TierAttempt {
+                    tier,
+                    outcome: TierOutcome::Answered,
+                    elapsed,
+                });
                 return Ok(ChainEstimate {
                     profile,
                     tier,
                     attempts,
                 });
             }
-            Err(e) => attempts.push(TierAttempt { tier, error: Some(e) }),
+            Err(e) => {
+                obs.add(&format!("chain.abandoned.{}", e.resource.slug()), 1);
+                attempts.push(TierAttempt {
+                    tier,
+                    outcome: TierOutcome::Abandoned(e),
+                    elapsed,
+                });
+            }
         }
     }
     Err(ChainError { attempts })
@@ -203,9 +268,12 @@ fn sampled_activity(
     };
     let patterns = stimulus.patterns(cycles, cfg.seed);
     if nl.is_combinational() {
-        CombSim::new(nl).try_activity_jobs(&patterns, cfg.jobs, budget)
+        CombSim::new(nl)
+            .with_obs(cfg.obs.clone())
+            .try_activity_jobs(&patterns, cfg.jobs, budget)
     } else {
         Ok(SeqSim::new(nl)
+            .with_obs(cfg.obs.clone())
             .try_activity_jobs(&patterns, cfg.jobs, budget)?
             .profile)
     }
@@ -255,9 +323,10 @@ mod tests {
         assert_eq!(est.attempts.len(), 2);
         assert_eq!(est.attempts[0].tier, Tier::ExactBdd);
         assert_eq!(
-            est.attempts[0].error.unwrap().resource,
+            est.attempts[0].outcome.abandoned().unwrap().resource,
             budget::Resource::BddNodes
         );
+        assert!(est.attempts[1].outcome.is_answered());
     }
 
     #[test]
@@ -341,11 +410,82 @@ mod tests {
             .with_max_sim_steps(4);
         let err = estimate_activity(&nl, &budget, &ChainConfig::default()).unwrap_err();
         assert_eq!(err.attempts.len(), 3);
-        assert!(err.attempts.iter().all(|a| a.error.is_some()));
+        assert!(err.attempts.iter().all(|a| a.outcome.abandoned().is_some()));
         let msg = err.to_string();
         assert!(msg.contains("exact-bdd"), "{msg}");
         assert!(msg.contains("probabilistic"), "{msg}");
         assert!(msg.contains("sampled-sim"), "{msg}");
+    }
+
+    #[test]
+    fn abandonment_reason_distinguishes_deadline_from_node_budget() {
+        let (nl, _) = array_multiplier(6);
+        // Node cap: the exact tier dies on BddNodes with the limit intact.
+        let node_capped = ResourceBudget::unlimited().with_max_bdd_nodes(64);
+        let est = estimate_activity(&nl, &node_capped, &ChainConfig::default()).unwrap();
+        let err = est.attempts[0].outcome.abandoned().unwrap();
+        assert_eq!(err.resource, budget::Resource::BddNodes);
+        assert_eq!(err.limit, 64);
+        assert!(err.used >= 64);
+
+        // Expired deadline: every tier dies on WallClock, and `used`
+        // reports the actual overrun (not a fabricated limit + 1).
+        let expired = ResourceBudget::unlimited().with_deadline_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let err = estimate_activity(&nl, &expired, &ChainConfig::default()).unwrap_err();
+        for a in &err.attempts {
+            let e = a.outcome.abandoned().unwrap();
+            assert_eq!(e.resource, budget::Resource::WallClock, "{:?}", a.tier);
+            assert!(e.used > e.limit, "{e}");
+            assert!(e.used >= 5, "used={} must track real lateness", e.used);
+        }
+    }
+
+    #[test]
+    fn chain_metrics_count_attempts_and_reasons() {
+        let (nl, _) = array_multiplier(6);
+        let obs = obs::Obs::enabled();
+        let cfg = ChainConfig {
+            obs: obs.clone(),
+            ..ChainConfig::default()
+        };
+        let budget = ResourceBudget::unlimited().with_max_bdd_nodes(64);
+        let est = estimate_activity(&nl, &budget, &cfg).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("chain.attempts"), Some(2));
+        assert_eq!(snap.counter("chain.answered"), Some(1));
+        assert_eq!(snap.counter("chain.abandoned.bdd-nodes"), Some(1));
+        // attempts == answered + all abandonments, i.e. abandoned + 1 on a
+        // successful run.
+        assert_eq!(
+            snap.counter("chain.attempts").unwrap(),
+            snap.counter("chain.answered").unwrap() + snap.counter_sum("chain.abandoned."),
+        );
+        // The abandoned exact tier still published its BDD growth.
+        assert!(snap.counter("bdd.nodes_created").unwrap() > 0);
+        // Spans: chain.estimate wraps one span per attempted tier.
+        assert_eq!(snap.spans.len(), 1 + est.attempts.len());
+        assert_eq!(snap.spans[0].name, "chain.estimate");
+        assert_eq!(snap.spans[1].name, "tier.exact-bdd");
+        assert_eq!(snap.spans[1].parent, Some(0));
+        assert_eq!(snap.spans[2].name, "tier.probabilistic");
+    }
+
+    #[test]
+    fn elapsed_reads_the_injected_clock() {
+        let nl = parity_tree(4);
+        let cfg = ChainConfig {
+            obs: obs::Obs::with_clock(obs::clock::ManualClock::new()),
+            ..ChainConfig::default()
+        };
+        let est = estimate_activity(&nl, &ResourceBudget::unlimited(), &cfg).unwrap();
+        // A pinned manual clock makes every duration exactly zero — the
+        // property the golden suite relies on.
+        assert!(est.attempts.iter().all(|a| a.elapsed == Duration::ZERO));
+        // Without any handle, elapsed is defined to be zero too.
+        let est = estimate_activity(&nl, &ResourceBudget::unlimited(), &ChainConfig::default())
+            .unwrap();
+        assert_eq!(est.attempts[0].elapsed, Duration::ZERO);
     }
 
     #[test]

@@ -60,7 +60,51 @@ pub fn try_circuit_bdds(
     nl: &Netlist,
     budget: &ResourceBudget,
 ) -> Result<CircuitBdds, BudgetExceeded> {
+    try_circuit_bdds_obs(nl, budget, &obs::Obs::disabled())
+}
+
+/// [`try_circuit_bdds`] that also publishes the manager's operation
+/// counters (`bdd.ite_calls`, `bdd.cache_lookups`, `bdd.cache_hits`,
+/// `bdd.unique_lookups`, `bdd.unique_hits`, `bdd.nodes_created`) and the
+/// peak node count (gauge `bdd.peak_nodes`) to `obs`.
+///
+/// Metrics publish on success **and** on budget exhaustion — an abandoned
+/// exact tier is precisely when "how far did the BDD get" matters — which
+/// is why this lives here and not in the obs-free `bdd` crate: the manager
+/// counts its own work as plain integers, and this caller flushes them at
+/// the run boundary.
+pub fn try_circuit_bdds_obs(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    obs: &obs::Obs,
+) -> Result<CircuitBdds, BudgetExceeded> {
     let mut mgr = Bdd::new();
+    let result = build_funcs(&mut mgr, nl, budget);
+    if obs.is_enabled() {
+        let c = mgr.op_counts();
+        obs.add("bdd.ite_calls", c.ite_calls);
+        obs.add("bdd.cache_lookups", c.cache_lookups);
+        obs.add("bdd.cache_hits", c.cache_hits);
+        obs.add("bdd.unique_lookups", c.unique_lookups);
+        obs.add("bdd.unique_hits", c.unique_hits);
+        obs.add("bdd.nodes_created", c.nodes_created);
+        obs.gauge_max("bdd.peak_nodes", mgr.node_count() as f64);
+    }
+    let (funcs, input_vars) = result?;
+    Ok(CircuitBdds {
+        mgr,
+        funcs,
+        input_vars,
+    })
+}
+
+type Funcs = (Vec<Ref>, Vec<u32>);
+
+fn build_funcs(
+    mgr: &mut Bdd,
+    nl: &Netlist,
+    budget: &ResourceBudget,
+) -> Result<Funcs, BudgetExceeded> {
     let mut funcs = vec![Ref::FALSE; nl.len()];
     let mut next_var = 0u32;
     let mut input_vars = Vec::with_capacity(nl.num_inputs());
@@ -74,7 +118,15 @@ pub fn try_circuit_bdds(
         next_var += 1;
     }
     let order = nl.topo_order().expect("acyclic");
-    for net in order {
+    for (done, net) in order.into_iter().enumerate() {
+        // The ITE guard amortizes its deadline poll per *call* and each
+        // gate is a fresh call, so a netlist of small gates could otherwise
+        // run arbitrarily long past an expired deadline. One clock read per
+        // 8 gates keeps the guard off the hot path while still bounding
+        // the overrun.
+        if done & 0x7 == 0 {
+            budget.check_deadline()?;
+        }
         let kind = nl.kind(net);
         if kind == GateKind::Input || kind == GateKind::Dff {
             continue;
@@ -103,11 +155,7 @@ pub fn try_circuit_bdds(
             GateKind::Input | GateKind::Dff => unreachable!(),
         };
     }
-    Ok(CircuitBdds {
-        mgr,
-        funcs,
-        input_vars,
-    })
+    Ok((funcs, input_vars))
 }
 
 impl CircuitBdds {
@@ -234,6 +282,33 @@ mod tests {
         let bdds = circuit_bdds(&nl);
         assert!(bdds.equivalent(direct, rebuilt));
         assert!(!bdds.equivalent(direct, t1));
+    }
+
+    #[test]
+    fn obs_metrics_publish_on_success_and_failure() {
+        let (nl, _) = ripple_adder(4);
+        let obs = obs::Obs::enabled();
+        try_circuit_bdds_obs(&nl, &ResourceBudget::unlimited(), &obs).unwrap();
+        let snap = obs.snapshot();
+        let lookups = snap.counter("bdd.cache_lookups").unwrap();
+        let hits = snap.counter("bdd.cache_hits").unwrap();
+        assert!(lookups > 0);
+        assert!(hits <= lookups);
+        assert_eq!(
+            snap.counter("bdd.unique_lookups").unwrap(),
+            snap.counter("bdd.unique_hits").unwrap()
+                + snap.counter("bdd.nodes_created").unwrap()
+        );
+        assert!(snap.gauge("bdd.peak_nodes").unwrap() > 2.0);
+
+        // An exhausted build still reports how far the manager got.
+        let (hostile, _) = netlist::gen::array_multiplier(6);
+        let obs = obs::Obs::enabled();
+        let tight = ResourceBudget::unlimited().with_max_bdd_nodes(64);
+        assert!(try_circuit_bdds_obs(&hostile, &tight, &obs).is_err());
+        let snap = obs.snapshot();
+        assert!(snap.counter("bdd.nodes_created").unwrap() > 0);
+        assert!(snap.gauge("bdd.peak_nodes").unwrap() >= 64.0);
     }
 
     #[test]

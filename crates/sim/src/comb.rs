@@ -48,6 +48,7 @@ struct ShardCounts {
 pub struct CombSim<'a> {
     nl: &'a Netlist,
     order: Vec<NetId>,
+    obs: obs::Obs,
 }
 
 impl<'a> CombSim<'a> {
@@ -60,7 +61,19 @@ impl<'a> CombSim<'a> {
     pub fn new(nl: &'a Netlist) -> CombSim<'a> {
         assert!(nl.is_combinational(), "CombSim requires combinational netlist");
         let order = nl.topo_order().expect("netlist must be acyclic");
-        CombSim { nl, order }
+        CombSim {
+            nl,
+            order,
+            obs: obs::Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle. Work counters (`sim.comb.cycles`,
+    /// `sim.comb.gate_evals`) flush once per successful activity run; the
+    /// per-block hot loop never touches the handle.
+    pub fn with_obs(mut self, obs: obs::Obs) -> CombSim<'a> {
+        self.obs = obs;
+        self
     }
 
     /// Evaluate a block of up to 64 patterns; `words[i]` holds the packed
@@ -213,12 +226,17 @@ impl<'a> CombSim<'a> {
         let blocks = patterns.len().div_ceil(64);
         let shards = par::num_threads(jobs).min(blocks).max(1);
         let counts = if shards <= 1 {
+            par::record_shard_gauges(&self.obs, "comb", &[patterns.len()]);
             vec![self.shard_counts(patterns, &mut CombArena::new(), budget)?]
         } else {
             let slices: Vec<&[Vec<bool>]> = par::shard_ranges(blocks, shards)
                 .into_iter()
                 .map(|r| &patterns[r.start * 64..(r.end * 64).min(patterns.len())])
                 .collect();
+            if self.obs.is_enabled() {
+                let sizes: Vec<usize> = slices.iter().map(|s| s.len()).collect();
+                par::record_shard_gauges(&self.obs, "comb", &sizes);
+            }
             par::par_map(&slices, shards, |_, slice| {
                 self.shard_counts(slice, &mut CombArena::new(), budget)
             })
@@ -239,6 +257,16 @@ impl<'a> CombSim<'a> {
                     toggles[i] += 1;
                 }
             }
+        }
+        if self.obs.is_enabled() {
+            // Counted analytically at the merge point (never per block):
+            // every block evaluates each non-source net exactly once, and
+            // both totals depend only on the stream, so they are identical
+            // for every `jobs` setting.
+            self.obs.add("sim.comb.cycles", cycles as u64);
+            let evaluated = self.nl.len() - self.nl.num_inputs();
+            self.obs
+                .add("sim.comb.gate_evals", blocks as u64 * evaluated as u64);
         }
         let denom = (cycles.saturating_sub(1)).max(1) as f64;
         Ok(ActivityProfile {

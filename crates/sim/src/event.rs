@@ -40,6 +40,16 @@ struct EventCounts {
     total: Vec<u64>,
     functional: Vec<u64>,
     ones: Vec<u64>,
+    /// Events popped off the heap. Every enqueued event is eventually
+    /// popped (the per-cycle loop drains the heap), so across a successful
+    /// run `processed == enqueued`.
+    processed: u64,
+    /// Events pushed onto the heap (input changes + fanout evaluations).
+    enqueued: u64,
+    /// Pops that caused no transition: coalesced same-instant duplicates
+    /// plus evaluations that matched the current value. Always
+    /// `<= processed`.
+    cancelled: u64,
 }
 
 /// How per-gate delays are assigned.
@@ -125,6 +135,7 @@ pub struct EventSim<'a> {
     order: Vec<NetId>,
     fanouts: Vec<Vec<NetId>>,
     delays: Vec<u32>,
+    obs: obs::Obs,
 }
 
 impl<'a> EventSim<'a> {
@@ -143,7 +154,16 @@ impl<'a> EventSim<'a> {
             order,
             fanouts,
             delays,
+            obs: obs::Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle. Event counters (`sim.event.cycles`,
+    /// `.processed`, `.enqueued`, `.cancelled`) accumulate as plain `u64`s
+    /// inside each shard and flush once per successful activity run.
+    pub fn with_obs(mut self, obs: obs::Obs) -> EventSim<'a> {
+        self.obs = obs;
+        self
     }
 
     /// Per-net delay in ticks used by this simulator.
@@ -207,6 +227,9 @@ impl<'a> EventSim<'a> {
             total: vec![0u64; n],
             functional: vec![0u64; n],
             ones: vec![0u64; n],
+            processed: 0,
+            enqueued: 0,
+            cancelled: 0,
         };
         arena.values.clear();
         arena.values.resize(n, false);
@@ -253,9 +276,11 @@ impl<'a> EventSim<'a> {
                 if arena.values[pi.index()] != pattern[i] {
                     arena.heap.push(Reverse((0, pi.index() as u32, seq, pattern[i])));
                     seq += 1;
+                    counts.enqueued += 1;
                 }
             }
             while let Some(Reverse((time, raw, _, value))) = arena.heap.pop() {
+                counts.processed += 1;
                 local_steps += 1;
                 if local_steps == FLUSH {
                     let tally = steps.fetch_add(local_steps, Ordering::Relaxed) + local_steps;
@@ -270,11 +295,13 @@ impl<'a> EventSim<'a> {
                 // (zero-width pulses are not physical transitions).
                 if let Some(Reverse((t2, r2, _, _))) = arena.heap.peek() {
                     if *t2 == time && *r2 == raw {
+                        counts.cancelled += 1;
                         continue;
                     }
                 }
                 let net = NetId::from_index(raw as usize);
                 if arena.values[net.index()] == value {
+                    counts.cancelled += 1;
                     continue;
                 }
                 arena.values[net.index()] = value;
@@ -292,6 +319,7 @@ impl<'a> EventSim<'a> {
                     }
                     arena.heap.push(Reverse((t, sink.index() as u32, seq, out)));
                     seq += 1;
+                    counts.enqueued += 1;
                 }
             }
             debug_assert_eq!(
@@ -362,6 +390,7 @@ impl<'a> EventSim<'a> {
         let transitions = patterns.len().saturating_sub(1);
         let shards = par::num_threads(jobs).min(transitions.max(1)).max(1);
         let counts = if shards <= 1 {
+            par::record_shard_gauges(&self.obs, "event", &[transitions.max(1)]);
             vec![self.shard_counts(None, patterns, &mut EventArena::new(), budget, &steps)?]
         } else {
             // Shard s covers transition range r => patterns[r.start+1 ..
@@ -383,6 +412,10 @@ impl<'a> EventSim<'a> {
                     }
                 })
                 .collect();
+            if self.obs.is_enabled() {
+                let sizes: Vec<usize> = work.iter().map(|(_, slice)| slice.len()).collect();
+                par::record_shard_gauges(&self.obs, "event", &sizes);
+            }
             par::par_map(&work, shards, |_, (prev, slice)| {
                 self.shard_counts(*prev, slice, &mut EventArena::new(), budget, &steps)
             })
@@ -399,6 +432,19 @@ impl<'a> EventSim<'a> {
                 functional[i] += c.functional[i];
                 ones[i] += c.ones[i];
             }
+        }
+        if self.obs.is_enabled() {
+            // Event totals are thread-count invariant: each shard replays
+            // exactly the event waves the serial run would, so the merged
+            // sums match for every `jobs` setting. Only successful runs
+            // flush (an exhausted budget abandons partial shard counts).
+            self.obs.add("sim.event.cycles", patterns.len() as u64);
+            self.obs
+                .add("sim.event.processed", counts.iter().map(|c| c.processed).sum());
+            self.obs
+                .add("sim.event.enqueued", counts.iter().map(|c| c.enqueued).sum());
+            self.obs
+                .add("sim.event.cancelled", counts.iter().map(|c| c.cancelled).sum());
         }
         let cycles = patterns.len();
         let denom = cycles.saturating_sub(1).max(1) as f64;
@@ -543,6 +589,30 @@ mod tests {
             let guarded = sim.try_activity_jobs(&patterns, jobs, &roomy).unwrap();
             assert_eq!(guarded.total, plain.total, "jobs={jobs}");
             assert_eq!(guarded.functional, plain.functional, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn event_counters_are_consistent_and_jobs_invariant() {
+        let (nl, _) = array_multiplier(5);
+        let patterns = Stimulus::uniform(10).patterns(150, 41);
+        let run = |jobs: usize| {
+            let obs = obs::Obs::enabled();
+            let sim = EventSim::new(&nl, &DelayModel::Unit).with_obs(obs.clone());
+            sim.activity_jobs(&patterns, jobs);
+            obs.snapshot()
+        };
+        let serial = run(1);
+        let processed = serial.counter("sim.event.processed").unwrap();
+        let enqueued = serial.counter("sim.event.enqueued").unwrap();
+        let cancelled = serial.counter("sim.event.cancelled").unwrap();
+        assert!(processed > 0);
+        assert_eq!(processed, enqueued, "every enqueued event is popped");
+        assert!(cancelled <= processed);
+        assert_eq!(serial.counter("sim.event.cycles"), Some(150));
+        for jobs in [2, 4] {
+            let par = run(jobs);
+            assert_eq!(par.counters, serial.counters, "jobs={jobs}");
         }
     }
 

@@ -55,6 +55,24 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Publish the shard shape of one parallel run as observability gauges:
+/// `sim.par.<engine>.shards` (peak shard count across runs) and
+/// `sim.par.<engine>.balance` (mean shard size / max shard size; 1.0 means
+/// perfectly even). Gauges — not counters — because both values depend on
+/// the thread count and host, unlike the engines' work counters, which are
+/// defined to be thread-count invariant.
+pub fn record_shard_gauges(obs: &obs::Obs, engine: &str, shard_sizes: &[usize]) {
+    if !obs.is_enabled() || shard_sizes.is_empty() {
+        return;
+    }
+    let shards = shard_sizes.len();
+    let total: usize = shard_sizes.iter().sum();
+    let max = shard_sizes.iter().copied().max().unwrap_or(1).max(1);
+    let balance = total as f64 / (shards as f64 * max as f64);
+    obs.gauge_max(&format!("sim.par.{engine}.shards"), shards as f64);
+    obs.gauge_set(&format!("sim.par.{engine}.balance"), balance);
+}
+
 /// Map `f` over `items` on up to `jobs` scoped worker threads
 /// (work-stealing by atomic index), returning results in item order.
 ///
@@ -173,6 +191,22 @@ mod tests {
             });
             assert_eq!(out, (0..100).map(|x| x * x).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn shard_gauges_report_count_and_balance() {
+        let obs = obs::Obs::enabled();
+        record_shard_gauges(&obs, "comb", &[10, 10, 10, 10]);
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge("sim.par.comb.shards"), Some(4.0));
+        assert_eq!(snap.gauge("sim.par.comb.balance"), Some(1.0));
+        // Uneven shards lower balance; shard count keeps its peak.
+        record_shard_gauges(&obs, "comb", &[30, 10]);
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge("sim.par.comb.shards"), Some(4.0), "gauge_max");
+        assert_eq!(snap.gauge("sim.par.comb.balance"), Some(40.0 / 60.0));
+        // Disabled handles record nothing and cost nothing.
+        record_shard_gauges(&obs::Obs::disabled(), "comb", &[1, 2]);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub struct SeqSim<'a> {
     /// nets: the only nets the state-forwarding pass of
     /// [`SeqSim::activity_jobs`] has to evaluate.
     state_order: Vec<NetId>,
+    obs: obs::Obs,
 }
 
 /// Reusable per-worker buffers for sequential simulation.
@@ -85,7 +86,18 @@ impl<'a> SeqSim<'a> {
             nl,
             order,
             state_order,
+            obs: obs::Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle. Work counters (`sim.seq.cycles`,
+    /// `sim.seq.ff_loads`) flush once per successful activity run; the
+    /// per-cycle hot loop never touches the handle. The state-forwarding
+    /// pass is deliberately *not* counted — its extra settles depend on
+    /// the shard layout, and counters must stay thread-count invariant.
+    pub fn with_obs(mut self, obs: obs::Obs) -> SeqSim<'a> {
+        self.obs = obs;
+        self
     }
 
     /// Initial register state from the netlist's declared init values.
@@ -323,6 +335,7 @@ impl<'a> SeqSim<'a> {
         let shards = par::num_threads(jobs).min(n.max(1)).max(1);
         let ranges = par::shard_ranges(n, shards);
         let counts = if ranges.len() <= 1 {
+            par::record_shard_gauges(&self.obs, "seq", &[n]);
             vec![self.shard_counts(
                 &self.initial_state(),
                 None,
@@ -370,6 +383,10 @@ impl<'a> SeqSim<'a> {
                     }
                 })
                 .collect();
+            if self.obs.is_enabled() {
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                par::record_shard_gauges(&self.obs, "seq", &sizes);
+            }
             par::par_map(&work, shards, |_, (start, prev, slice)| {
                 self.shard_counts(start, *prev, slice, &mut SeqArena::default(), budget)
             })
@@ -394,6 +411,11 @@ impl<'a> SeqSim<'a> {
                 ff_in[i] += c.ff_in[i];
                 ff_load[i] += c.ff_load[i];
             }
+        }
+        if self.obs.is_enabled() {
+            self.obs.add("sim.seq.cycles", n as u64);
+            self.obs
+                .add("sim.seq.ff_loads", ff_load.iter().copied().sum());
         }
         let cycles = n;
         let denom = cycles.saturating_sub(1).max(1) as f64;

@@ -21,12 +21,19 @@
 //! simulation, reporting the tier that answered); everything else fails
 //! with a one-line typed diagnostic instead of running away.
 //!
+//! `--trace <file>` writes a JSONL span/counter trace, `--metrics-json
+//! <file>` an aggregate `metrics.json`, and `--report` appends a
+//! human-readable span tree and counter summary to the command output.
+//! Setting the `LPOPT_OBS_FAKE_CLOCK` environment variable pins all span
+//! timings to zero (golden-file runs byte-compare outputs).
+//!
 //! Netlists use the BLIF-like text format of `netlist::blif`; state
 //! machines use KISS2 (`seqopt::kiss`).
 
 use std::process::ExitCode;
 
 use lowpower::budget::ResourceBudget;
+use lowpower::obs;
 use lowpower::logicopt::balance::balance_paths_with_threshold;
 use lowpower::logicopt::dontcare::{optimize_dontcares, Mode};
 use lowpower::logicopt::mapping::{map, standard_library, MapObjective};
@@ -71,7 +78,10 @@ flags:
   --budget-nodes N  give up on exact BDD estimation past N manager nodes
   --budget-steps N  cap total simulation work (cycles x nets, events)
   --budget-queue N  cap the timing simulator's event-queue length
-  --deadline-ms N   wall-clock budget for the whole command";
+  --deadline-ms N   wall-clock budget for the whole command
+  --trace FILE      write a JSONL span/counter trace
+  --metrics-json FILE  write aggregate metrics (schema lpopt-metrics-v1)
+  --report          append a span tree and counter summary to the output";
 
 /// CLI failure: `Usage` mistakes get the usage text, runtime `Fail`ures a
 /// single diagnostic line — a bad netlist should not scroll the screen.
@@ -92,6 +102,10 @@ fn fail(message: impl Into<String>) -> CliError {
 struct Opts {
     jobs: usize,
     budget: ResourceBudget,
+    obs: obs::Obs,
+    trace: Option<String>,
+    metrics_json: Option<String>,
+    report: bool,
 }
 
 /// Strip leading `--flag value` / `--flag=value` pairs, returning the
@@ -99,6 +113,9 @@ struct Opts {
 fn parse_flags(args: &[String]) -> Result<(Opts, &[String]), CliError> {
     let mut jobs: Option<usize> = None;
     let mut budget = ResourceBudget::unlimited();
+    let mut trace: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
+    let mut report = false;
     let mut rest = args;
     while let Some(flag) = rest.first() {
         if !flag.starts_with("--") {
@@ -108,6 +125,14 @@ fn parse_flags(args: &[String]) -> Result<(Opts, &[String]), CliError> {
             Some((n, v)) => (n, Some(v.to_string())),
             None => (flag.as_str(), None),
         };
+        if name == "--report" {
+            if inline.is_some() {
+                return Err(usage("--report takes no value"));
+            }
+            report = true;
+            rest = &rest[1..];
+            continue;
+        }
         let (value, consumed) = match inline {
             Some(v) => (v, 1),
             None => match rest.get(1) {
@@ -127,12 +152,34 @@ fn parse_flags(args: &[String]) -> Result<(Opts, &[String]), CliError> {
             "--budget-steps" => budget = budget.with_max_sim_steps(parse_u64(name, &value)?),
             "--budget-queue" => budget = budget.with_max_event_queue(parse_u64(name, &value)?),
             "--deadline-ms" => budget = budget.with_deadline_ms(parse_u64(name, &value)?),
+            "--trace" => trace = Some(value),
+            "--metrics-json" => metrics_json = Some(value),
             other => return Err(usage(format!("unknown flag {other:?}"))),
         }
         rest = &rest[consumed..];
     }
     let jobs = jobs.unwrap_or_else(lowpower::par::jobs_from_env);
-    Ok((Opts { jobs, budget }, rest))
+    // Instrumentation is paid for only when some sink will consume it.
+    let obs = if trace.is_some() || metrics_json.is_some() || report {
+        if std::env::var_os("LPOPT_OBS_FAKE_CLOCK").is_some() {
+            obs::Obs::with_clock(obs::clock::ManualClock::new())
+        } else {
+            obs::Obs::enabled()
+        }
+    } else {
+        obs::Obs::disabled()
+    };
+    Ok((
+        Opts {
+            jobs,
+            budget,
+            obs,
+            trace,
+            metrics_json,
+            report,
+        },
+        rest,
+    ))
 }
 
 fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
@@ -146,7 +193,7 @@ fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
 fn describe_estimate(est: &ChainEstimate) -> String {
     let mut out = format!("estimator: {}\n", est.tier.name());
     for attempt in &est.attempts {
-        if let Some(e) = &attempt.error {
+        if let Some(e) = attempt.outcome.abandoned() {
             out.push_str(&format!("  abandoned {}: {e}\n", attempt.tier.name()));
         }
     }
@@ -156,7 +203,38 @@ fn describe_estimate(est: &ChainEstimate) -> String {
 fn run(args: &[String]) -> Result<String, CliError> {
     let (opts, args) = parse_flags(args)?;
     let command = args.first().ok_or_else(|| usage("missing command"))?;
-    match command.as_str() {
+    let root = opts.obs.span(format!("cmd.{command}"));
+    let result = run_command(&opts, command, args);
+    root.close();
+    let mut output = result?;
+    write_obs_outputs(&opts, &mut output)?;
+    Ok(output)
+}
+
+/// Write the requested sinks and append the `--report` tree. Runs only on
+/// command success; a failing command keeps its one-line diagnostic.
+fn write_obs_outputs(opts: &Opts, output: &mut String) -> Result<(), CliError> {
+    if !opts.obs.is_enabled() {
+        return Ok(());
+    }
+    let snap = opts.obs.snapshot();
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, obs::sink::jsonl(&snap))
+            .map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = &opts.metrics_json {
+        std::fs::write(path, obs::sink::metrics_json(&snap))
+            .map_err(|e| fail(format!("cannot write {path}: {e}")))?;
+    }
+    if opts.report {
+        output.push_str("-- observability --\n");
+        output.push_str(&obs::sink::tree(&snap));
+    }
+    Ok(())
+}
+
+fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, CliError> {
+    match command {
         "gen" => {
             let kind = args.get(1).ok_or_else(|| usage("gen: missing kind"))?;
             let width: usize = args
@@ -190,7 +268,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let mut abandoned = String::new();
             if nl.is_combinational() {
                 let patterns = Stimulus::uniform(nl.num_inputs()).patterns(cycles, 42);
-                let sim = EventSim::new(&nl, &DelayModel::Unit);
+                let sim = EventSim::new(&nl, &DelayModel::Unit).with_obs(opts.obs.clone());
                 match sim.try_activity_jobs(&patterns, opts.jobs, &opts.budget) {
                     Ok(timing) => {
                         let report =
@@ -208,6 +286,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let cfg = ChainConfig {
                 sample_cycles: cycles,
                 jobs: opts.jobs,
+                obs: opts.obs.clone(),
                 ..ChainConfig::default()
             };
             let (report, est) = estimate_power(&nl, &opts.budget, &cfg, &params)
@@ -236,6 +315,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 let params = PowerParams::default();
                 let measure = |nl: &Netlist| {
                     EventSim::new(nl, &DelayModel::Unit)
+                        .with_obs(opts.obs.clone())
                         .try_activity_jobs(&patterns, opts.jobs, &opts.budget)
                         .map(|t| PowerReport::from_activity(nl, &t.total, &params).total())
                 };
@@ -273,6 +353,7 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let params = PowerParams::default();
             let cfg = ChainConfig {
                 jobs: opts.jobs,
+                obs: opts.obs.clone(),
                 ..ChainConfig::default()
             };
             let mut chosen = &optimized;

@@ -159,13 +159,13 @@ fn run_scenario(scenario: usize, pool: &[Netlist]) -> String {
                     // attempt and carries no error.
                     let last = est.attempts.last().unwrap();
                     assert_eq!(last.tier, est.tier, "scenario {scenario}");
-                    assert!(last.error.is_none(), "scenario {scenario}");
+                    assert!(last.outcome.is_answered(), "scenario {scenario}");
                     format!("chain: ok via {}", est.tier.name())
                 }
                 Err(e) => {
                     assert!(
                         !e.attempts.is_empty()
-                            && e.attempts.iter().all(|a| a.error.is_some()),
+                            && e.attempts.iter().all(|a| a.outcome.abandoned().is_some()),
                         "scenario {scenario}: exhaustion must record every tier"
                     );
                     format!("chain: {e}")
