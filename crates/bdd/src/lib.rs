@@ -6,8 +6,14 @@
 //! (§III.C.4, \[44\]) and the universal quantification that derives
 //! precomputation logic (§III.C.4, \[30\]).
 //!
-//! The manager is an arena: nodes are interned in a unique table and never
-//! freed (experiments here are small enough that GC is unnecessary).
+//! The manager is an arena with complement edges: a [`Ref`] carries a
+//! negation bit, nodes are interned in an open-addressed unique table, and
+//! ITE results land in a lossy direct-mapped cache. Nodes unreachable from
+//! [`Bdd::protect`]ed roots can be reclaimed by a free-list mark-and-sweep
+//! GC ([`Bdd::gc`]); managers with [`Bdd::set_auto_gc`] enabled collect
+//! automatically under node-budget pressure, so budget errors report
+//! *live* nodes. Short-lived managers can ignore all of this — GC is off
+//! by default and nothing requires rooting then.
 //!
 //! # Example
 //!

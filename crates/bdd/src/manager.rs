@@ -1,5 +1,5 @@
-//! The BDD manager: unique table, ITE with memoization, quantification,
-//! composition, counting and probability evaluation.
+//! The BDD manager: complement-edged nodes, an open-addressed unique
+//! table, a lossy direct-mapped ITE cache, and a mark-and-sweep GC.
 //!
 //! All construction funnels through a budget-guarded ITE: the `try_*`
 //! operations accept a [`ResourceBudget`] and return a typed
@@ -7,13 +7,36 @@
 //! the known failure mode of BDD-derived analysis on wide reconvergent
 //! cones. The classic infallible operations remain and simply run with an
 //! unlimited budget.
-
-use std::collections::HashMap;
+//!
+//! # Kernel layout
+//!
+//! A [`Ref`] packs a node index and a complement bit (`index << 1 | c`),
+//! so negation is a bit flip, a function and its complement share one
+//! subgraph, and there is a single terminal node (`FALSE` is the plain
+//! terminal, `TRUE` its complement). Canonicity requires one extra
+//! invariant on top of the usual ROBDD reduction rules: the stored `hi`
+//! edge of every node is regular (non-complemented); [`Bdd::ite`]
+//! normalizes its arguments with the standard-triple rules before probing
+//! the cache so equivalent calls share cache entries.
+//!
+//! The unique table is a power-of-two open-addressing (linear probing)
+//! array of node indices under a cheap multiplicative integer hash; the
+//! ITE cache is direct-mapped and lossy (a colliding insert evicts). Both
+//! avoid SipHash and per-entry allocation on the hot path.
+//!
+//! Nodes unreachable from the [`Bdd::protect`]ed roots can be reclaimed by
+//! [`Bdd::gc`]; managers with [`Bdd::set_auto_gc`] enabled collect
+//! automatically when a node budget trips, so [`ResourceBudget`]'s node
+//! meter bounds *live* nodes rather than lifetime allocations. Freed slots
+//! are chained into a free list and reused by later allocations.
 
 use budget::{BudgetExceeded, ResourceBudget};
 
 /// Reference to a BDD node. Copyable and cheap; only meaningful together
 /// with the [`Bdd`] manager that created it.
+///
+/// Internally this packs a node index and a complement bit, which is why
+/// negation never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Ref(u32);
 
@@ -23,7 +46,7 @@ impl Ref {
     /// The constant-true function.
     pub const TRUE: Ref = Ref(1);
 
-    /// Whether this is one of the two terminal nodes.
+    /// Whether this is one of the two constant functions.
     pub fn is_const(self) -> bool {
         self.0 < 2
     }
@@ -40,25 +63,85 @@ impl Ref {
             _ => panic!("not a terminal"),
         }
     }
+
+    #[inline]
+    fn index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    #[inline]
+    fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    #[inline]
+    fn complement(self) -> Ref {
+        Ref(self.0 ^ 1)
+    }
 }
 
+/// Variable tag of the terminal node.
 const TERMINAL_VAR: u32 = u32::MAX;
+/// Variable tag of free-list entries (never a legal variable).
+const FREE_VAR: u32 = u32::MAX - 1;
+/// Empty slot in the open-addressed unique table.
+const EMPTY: u32 = u32::MAX;
+/// Free-list terminator.
+const NIL: u32 = u32::MAX;
+/// Upper bound on ITE-cache entries (the cache tracks arena size below it).
+const MAX_CACHE: usize = 1 << 22;
 
+/// `lo`/`hi` hold raw [`Ref`] bits; `hi` is always regular.
 #[derive(Debug, Clone, Copy)]
 struct Node {
     var: u32,
-    lo: Ref,
-    hi: Ref,
+    lo: u32,
+    hi: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    f: u32,
+    g: u32,
+    h: u32,
+    r: u32,
+}
+
+impl CacheEntry {
+    const INVALID: CacheEntry = CacheEntry {
+        f: u32::MAX,
+        g: u32::MAX,
+        h: u32::MAX,
+        r: u32::MAX,
+    };
+}
+
+/// Cheap multiplicative (Fx-style) hash of a node or ITE triple. The
+/// default SipHash is measurably slower on this 12-byte fixed-size key.
+#[inline]
+fn triple_hash(a: u32, b: u32, c: u32) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = (a as u64 ^ 0x9e37_79b9_7f4a_7c15).wrapping_mul(K);
+    h = (h.rotate_left(26) ^ b as u64).wrapping_mul(K);
+    h = (h.rotate_left(26) ^ c as u64).wrapping_mul(K);
+    h ^ (h >> 32)
+}
+
+/// Whether `LPOPT_BDD_GC_STRESS` forces a full collection on every
+/// allocation (CI uses this to prove no live node is ever unrooted).
+fn gc_stress_enabled() -> bool {
+    static STRESS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *STRESS.get_or_init(|| std::env::var_os("LPOPT_BDD_GC_STRESS").is_some_and(|v| v != "0"))
 }
 
 /// Size statistics of a manager, see [`Bdd::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BddStats {
-    /// Total interned nodes (including the two terminals).
+    /// Live interned nodes (including the terminal).
     pub nodes: usize,
     /// Number of distinct variables seen.
     pub vars: usize,
-    /// Entries in the ITE cache.
+    /// Valid entries in the ITE cache.
     pub cache_entries: usize,
 }
 
@@ -78,12 +161,18 @@ pub struct OpCounts {
     pub cache_lookups: u64,
     /// ITE memo-cache probes that hit.
     pub cache_hits: u64,
+    /// Direct-mapped cache inserts that displaced a different live entry.
+    pub cache_evictions: u64,
     /// Unique-table probes (one per candidate node with `lo != hi`).
     pub unique_lookups: u64,
     /// Unique-table probes that found an existing node.
     pub unique_hits: u64,
     /// Nodes interned (unique-table misses).
     pub nodes_created: u64,
+    /// Garbage collections run (explicit, budget-pressure, or stress).
+    pub gc_runs: u64,
+    /// Nodes reclaimed by garbage collection over the manager's lifetime.
+    pub nodes_freed: u64,
 }
 
 /// A reduced ordered BDD manager (arena + unique table + ITE cache).
@@ -94,10 +183,26 @@ pub struct OpCounts {
 #[derive(Debug, Clone)]
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), Ref>,
+    /// Open-addressed unique table of node indices.
+    table: Vec<u32>,
+    table_mask: usize,
+    table_len: usize,
+    /// Direct-mapped lossy ITE cache.
+    cache: Vec<CacheEntry>,
+    cache_mask: usize,
+    /// Head of the free list threaded through freed nodes' `lo` fields.
+    free_head: u32,
+    live_nodes: usize,
+    peak_live: usize,
     num_vars: u32,
     counts: OpCounts,
+    /// Externally protected roots (raw ref bits); GC keeps these alive.
+    roots: Vec<u32>,
+    /// Refs held by in-flight recursions (raw ref bits); GC-protected.
+    guard: Vec<u32>,
+    /// Collect under node-budget pressure (and under the stress env var).
+    auto_gc: bool,
+    stress_gc: bool,
 }
 
 impl Default for Bdd {
@@ -106,27 +211,34 @@ impl Default for Bdd {
     }
 }
 
+const INITIAL_TABLE: usize = 1 << 10;
+const INITIAL_CACHE: usize = 1 << 10;
+
 impl Bdd {
-    /// Create an empty manager.
+    /// Create an empty manager. GC is off by default: short-lived managers
+    /// (the common case in tests and one-shot analyses) never pay for
+    /// rooting. Long-lived builders opt in with [`Bdd::set_auto_gc`].
     pub fn new() -> Bdd {
-        let nodes = vec![
-            Node {
-                var: TERMINAL_VAR,
-                lo: Ref::FALSE,
-                hi: Ref::FALSE,
-            },
-            Node {
-                var: TERMINAL_VAR,
-                lo: Ref::TRUE,
-                hi: Ref::TRUE,
-            },
-        ];
         Bdd {
-            nodes,
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            nodes: vec![Node {
+                var: TERMINAL_VAR,
+                lo: 0,
+                hi: 0,
+            }],
+            table: vec![EMPTY; INITIAL_TABLE],
+            table_mask: INITIAL_TABLE - 1,
+            table_len: 0,
+            cache: vec![CacheEntry::INVALID; INITIAL_CACHE],
+            cache_mask: INITIAL_CACHE - 1,
+            free_head: NIL,
+            live_nodes: 1,
+            peak_live: 1,
             num_vars: 0,
             counts: OpCounts::default(),
+            roots: Vec::new(),
+            guard: Vec::new(),
+            auto_gc: false,
+            stress_gc: false,
         }
     }
 
@@ -162,31 +274,110 @@ impl Bdd {
     /// Manager statistics.
     pub fn stats(&self) -> BddStats {
         BddStats {
-            nodes: self.nodes.len(),
+            nodes: self.live_nodes,
             vars: self.num_vars as usize,
-            cache_entries: self.ite_cache.len(),
+            cache_entries: self.cache.iter().filter(|e| e.f != u32::MAX).count(),
         }
     }
 
+    // ------------------------------------------------------------------
+    // Allocation: unique table + free list
+    // ------------------------------------------------------------------
+
+    /// Reduced, complement-normalized node constructor.
     fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
         if lo == hi {
             return lo;
         }
+        // Canonical form: the stored hi edge is regular. mk(v, l, !h) is
+        // the complement of mk(v, !l, h).
+        if hi.is_complemented() {
+            return self.mk_raw(var, lo.complement(), hi.complement()).complement();
+        }
+        self.mk_raw(var, lo, hi)
+    }
+
+    /// `hi` regular, `lo != hi`.
+    fn mk_raw(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        debug_assert!(!hi.is_complemented());
+        debug_assert_ne!(lo, hi);
+        if self.stress_gc {
+            // Pin the children: the caller may hold them unrooted.
+            let base = self.guard.len();
+            self.guard.push(lo.0);
+            self.guard.push(hi.0);
+            self.gc_run();
+            self.guard.truncate(base);
+        }
         self.num_vars = self.num_vars.max(var + 1);
         self.counts.unique_lookups += 1;
-        if let Some(&id) = self.unique.get(&(var, lo.0, hi.0)) {
-            self.counts.unique_hits += 1;
-            return Ref(id);
+        let mask = self.table_mask;
+        let mut slot = triple_hash(var, lo.0, hi.0) as usize & mask;
+        loop {
+            let idx = self.table[slot];
+            if idx == EMPTY {
+                break;
+            }
+            let n = self.nodes[idx as usize];
+            if n.var == var && n.lo == lo.0 && n.hi == hi.0 {
+                self.counts.unique_hits += 1;
+                return Ref(idx << 1);
+            }
+            slot = (slot + 1) & mask;
         }
         self.counts.nodes_created += 1;
-        let id = self.nodes.len() as u32;
-        self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo.0, hi.0), id);
-        Ref(id)
+        let idx = if self.free_head != NIL {
+            let i = self.free_head;
+            self.free_head = self.nodes[i as usize].lo;
+            self.nodes[i as usize] = Node {
+                var,
+                lo: lo.0,
+                hi: hi.0,
+            };
+            i
+        } else {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                var,
+                lo: lo.0,
+                hi: hi.0,
+            });
+            i
+        };
+        self.table[slot] = idx;
+        self.table_len += 1;
+        self.live_nodes += 1;
+        self.peak_live = self.peak_live.max(self.live_nodes);
+        if self.table_len * 4 >= (mask + 1) * 3 {
+            self.rebuild_table((mask + 1) * 2);
+        }
+        Ref(idx << 1)
+    }
+
+    /// Re-intern every live node into a table of `cap` slots (growth and
+    /// post-GC rebuild). Iterating the arena in index order keeps the
+    /// probe sequences — and therefore all counters — deterministic.
+    fn rebuild_table(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two());
+        self.table = vec![EMPTY; cap];
+        self.table_mask = cap - 1;
+        self.table_len = 0;
+        for i in 1..self.nodes.len() {
+            let n = self.nodes[i];
+            if n.var == FREE_VAR {
+                continue;
+            }
+            let mut slot = triple_hash(n.var, n.lo, n.hi) as usize & self.table_mask;
+            while self.table[slot] != EMPTY {
+                slot = (slot + 1) & self.table_mask;
+            }
+            self.table[slot] = i as u32;
+            self.table_len += 1;
+        }
     }
 
     fn node(&self, r: Ref) -> Node {
-        self.nodes[r.0 as usize]
+        self.nodes[r.index()]
     }
 
     /// Top variable of `f` ([`u32::MAX`] for terminals).
@@ -196,12 +387,103 @@ impl Bdd {
 
     /// Low (variable = 0) cofactor of the root node.
     pub fn low(&self, f: Ref) -> Ref {
-        self.node(f).lo
+        Ref(self.node(f).lo ^ (f.0 & 1))
     }
 
     /// High (variable = 1) cofactor of the root node.
     pub fn high(&self, f: Ref) -> Ref {
-        self.node(f).hi
+        Ref(self.node(f).hi ^ (f.0 & 1))
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    /// Enable (or disable) automatic collection: when a node budget
+    /// trips, the manager first sweeps garbage and only errors if *live*
+    /// nodes still exceed the limit. With auto-GC on, any [`Ref`] held
+    /// across an allocating call must be kept alive via [`Bdd::protect`].
+    pub fn set_auto_gc(&mut self, on: bool) {
+        self.auto_gc = on;
+        self.stress_gc = on && gc_stress_enabled();
+    }
+
+    /// Whether automatic collection is enabled.
+    pub fn auto_gc(&self) -> bool {
+        self.auto_gc
+    }
+
+    /// Root `f`: it (and its subgraph) survives garbage collection.
+    pub fn protect(&mut self, f: Ref) {
+        self.roots.push(f.0);
+    }
+
+    /// Drop one earlier [`Bdd::protect`] of `f` (no-op if not rooted).
+    pub fn unprotect(&mut self, f: Ref) {
+        if let Some(pos) = self.roots.iter().rposition(|&r| r == f.0) {
+            self.roots.remove(pos);
+        }
+    }
+
+    /// Drop every root.
+    pub fn clear_roots(&mut self) {
+        self.roots.clear();
+    }
+
+    /// Mark-and-sweep: free every node unreachable from the protected
+    /// roots, wipe the ITE cache, and rebuild the unique table. Returns
+    /// the number of nodes freed. Unrooted [`Ref`]s dangle afterwards.
+    pub fn gc(&mut self) -> usize {
+        self.gc_run()
+    }
+
+    fn gc_run(&mut self) -> usize {
+        self.counts.gc_runs += 1;
+        let n = self.nodes.len();
+        let mut marked = vec![false; n];
+        marked[0] = true;
+        let mut stack: Vec<usize> = self
+            .roots
+            .iter()
+            .chain(self.guard.iter())
+            .map(|&r| (r >> 1) as usize)
+            .collect();
+        while let Some(i) = stack.pop() {
+            if marked[i] {
+                continue;
+            }
+            marked[i] = true;
+            let node = self.nodes[i];
+            stack.push((node.lo >> 1) as usize);
+            stack.push((node.hi >> 1) as usize);
+        }
+        let mut freed = 0usize;
+        for (i, &alive) in marked.iter().enumerate().skip(1) {
+            if !alive && self.nodes[i].var != FREE_VAR {
+                self.nodes[i] = Node {
+                    var: FREE_VAR,
+                    lo: self.free_head,
+                    hi: 0,
+                };
+                self.free_head = i as u32;
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.live_nodes -= freed;
+            self.counts.nodes_freed += freed as u64;
+            // Freed entries would otherwise false-hit recycled indices.
+            self.rebuild_table(self.table_mask + 1);
+            for e in self.cache.iter_mut() {
+                *e = CacheEntry::INVALID;
+            }
+        }
+        freed
+    }
+
+    /// High-water mark of live nodes over the manager's lifetime.
+    pub fn peak_live_nodes(&self) -> usize {
+        self.peak_live
     }
 
     // ------------------------------------------------------------------
@@ -211,15 +493,16 @@ impl Bdd {
     /// If-then-else: `ite(f, g, h) = f·g + f'·h`. All other Boolean
     /// operations are derived from this.
     pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
-        match self.ite_guarded(f, g, h, &ResourceBudget::unlimited(), &mut 0) {
+        match self.try_ite(f, g, h, &ResourceBudget::unlimited()) {
             Ok(r) => r,
             Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
         }
     }
 
-    /// Budget-guarded [`Bdd::ite`]: fails with a typed error once the
-    /// manager's node count reaches `budget.max_bdd_nodes` or the deadline
-    /// passes, leaving the manager in a usable (partially grown) state.
+    /// Budget-guarded [`Bdd::ite`]: fails with a typed error once *live*
+    /// nodes reach `budget.max_bdd_nodes` (after attempting a GC when
+    /// auto-GC is on) or the deadline passes, leaving the manager in a
+    /// usable (partially grown) state.
     pub fn try_ite(
         &mut self,
         f: Ref,
@@ -227,18 +510,21 @@ impl Bdd {
         h: Ref,
         budget: &ResourceBudget,
     ) -> Result<Ref, BudgetExceeded> {
-        self.ite_guarded(f, g, h, budget, &mut 0)
+        let limit = budget.max_bdd_nodes_or(u64::MAX);
+        self.ite_guarded(f, g, h, budget, &mut 0, limit)
     }
 
     /// The one recursion every construction goes through. `ops` counts
-    /// cache misses so the (syscall-cost) deadline check can be amortized.
+    /// cache misses so the (syscall-cost) deadline check can be amortized;
+    /// `limit` is the pre-resolved node bound.
     fn ite_guarded(
         &mut self,
-        f: Ref,
-        g: Ref,
-        h: Ref,
+        mut f: Ref,
+        mut g: Ref,
+        mut h: Ref,
         budget: &ResourceBudget,
         ops: &mut u64,
+        limit: u64,
     ) -> Result<Ref, BudgetExceeded> {
         self.counts.ite_calls += 1;
         // Terminal cases.
@@ -251,47 +537,172 @@ impl Bdd {
         if g == h {
             return Ok(g);
         }
+        // Standard-triple reduction: replace g/h when they repeat f.
+        if g == f {
+            g = Ref::TRUE;
+        } else if g == f.complement() {
+            g = Ref::FALSE;
+        }
+        if h == f {
+            h = Ref::FALSE;
+        } else if h == f.complement() {
+            h = Ref::TRUE;
+        }
         if g == Ref::TRUE && h == Ref::FALSE {
             return Ok(f);
         }
-        let key = (f.0, g.0, h.0);
-        self.counts.cache_lookups += 1;
-        if let Some(&r) = self.ite_cache.get(&key) {
-            self.counts.cache_hits += 1;
-            return Ok(r);
+        if g == Ref::FALSE && h == Ref::TRUE {
+            return Ok(f.complement());
         }
-        // Cache miss: the only place nodes (and real work) can grow.
-        budget.check_bdd_nodes(self.nodes.len())?;
+        if g == h {
+            return Ok(g);
+        }
+        // Canonical argument order for the commutative forms, so e.g.
+        // or(a, b) and or(b, a) share one cache entry.
+        if g == Ref::TRUE {
+            if self.precedes(h, f) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if g == Ref::FALSE {
+            if self.precedes(h, f) {
+                let t = f;
+                f = h.complement();
+                h = t.complement();
+            }
+        } else if h == Ref::TRUE {
+            if self.precedes(g, f) {
+                let t = f;
+                f = g.complement();
+                g = t.complement();
+            }
+        } else if h == Ref::FALSE {
+            if self.precedes(g, f) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if g == h.complement() && self.precedes(g, f) {
+            std::mem::swap(&mut f, &mut g);
+            h = g.complement();
+        }
+        // Canonical complement marks: regular first argument ...
+        if f.is_complemented() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // ... and regular then-branch: ite(f, !g, !h) = !ite(f, g, h).
+        let negate = g.is_complemented();
+        if negate {
+            g = g.complement();
+            h = h.complement();
+        }
+        self.counts.cache_lookups += 1;
+        let slot = triple_hash(f.0, g.0, h.0) as usize & self.cache_mask;
+        let e = self.cache[slot];
+        if e.f == f.0 && e.g == g.0 && e.h == h.0 {
+            self.counts.cache_hits += 1;
+            let r = Ref(e.r);
+            return Ok(if negate { r.complement() } else { r });
+        }
+        // Cache miss: the only place nodes (and real work) can grow. Pin
+        // the operands first — a top-level caller's operand (e.g. the
+        // accumulator of an n-ary fold) may be neither rooted nor anyone's
+        // child, and the budget check below may collect.
+        let base = self.guard.len();
+        self.guard.push(f.0);
+        self.guard.push(g.0);
+        self.guard.push(h.0);
+        if self.live_nodes as u64 >= limit {
+            if self.auto_gc {
+                self.gc_run();
+            }
+            if self.live_nodes as u64 >= limit {
+                self.guard.truncate(base);
+                return Err(budget.bdd_nodes_exceeded(self.live_nodes as u64));
+            }
+        }
         *ops += 1;
         if *ops & 0xFFF == 0 {
-            budget.check_deadline()?;
+            if let Err(e) = budget.check_deadline() {
+                self.guard.truncate(base);
+                return Err(e);
+            }
         }
-        let fv = self.node(f).var;
-        let gv = self.node(g).var;
-        let hv = self.node(h).var;
-        let v = fv.min(gv).min(hv);
+        let v = self
+            .top_var(f)
+            .min(self.top_var(g))
+            .min(self.top_var(h));
         let (f0, f1) = self.cofactors_at(f, v);
         let (g0, g1) = self.cofactors_at(g, v);
         let (h0, h1) = self.cofactors_at(h, v);
-        let lo = self.ite_guarded(f0, g0, h0, budget, ops)?;
-        let hi = self.ite_guarded(f1, g1, h1, budget, ops)?;
+        let lo = match self.ite_guarded(f0, g0, h0, budget, ops, limit) {
+            Ok(r) => r,
+            Err(e) => {
+                self.guard.truncate(base);
+                return Err(e);
+            }
+        };
+        self.guard.push(lo.0);
+        let hi = match self.ite_guarded(f1, g1, h1, budget, ops, limit) {
+            Ok(r) => r,
+            Err(e) => {
+                self.guard.truncate(base);
+                return Err(e);
+            }
+        };
         let r = self.mk(v, lo, hi);
-        self.ite_cache.insert(key, r);
-        Ok(r)
+        self.guard.truncate(base);
+        self.cache_insert(f, g, h, r);
+        Ok(if negate { r.complement() } else { r })
+    }
+
+    /// Deterministic operand order for commutative-form canonicalization:
+    /// variable level first, allocation index as tie-break.
+    #[inline]
+    fn precedes(&self, a: Ref, b: Ref) -> bool {
+        let (av, bv) = (self.top_var(a), self.top_var(b));
+        av < bv || (av == bv && a.index() < b.index())
+    }
+
+    fn cache_insert(&mut self, f: Ref, g: Ref, h: Ref, r: Ref) {
+        if self.cache.len() < self.nodes.len() && self.cache.len() < MAX_CACHE {
+            let old = std::mem::replace(
+                &mut self.cache,
+                vec![CacheEntry::INVALID; (self.cache_mask + 1) * 2],
+            );
+            self.cache_mask = self.cache.len() - 1;
+            for e in old {
+                if e.f != u32::MAX {
+                    let slot = triple_hash(e.f, e.g, e.h) as usize & self.cache_mask;
+                    self.cache[slot] = e;
+                }
+            }
+        }
+        let slot = triple_hash(f.0, g.0, h.0) as usize & self.cache_mask;
+        let e = self.cache[slot];
+        if e.f != u32::MAX && (e.f, e.g, e.h) != (f.0, g.0, h.0) {
+            self.counts.cache_evictions += 1;
+        }
+        self.cache[slot] = CacheEntry {
+            f: f.0,
+            g: g.0,
+            h: h.0,
+            r: r.0,
+        };
     }
 
     fn cofactors_at(&self, f: Ref, v: u32) -> (Ref, Ref) {
         let n = self.node(f);
         if n.var == v {
-            (n.lo, n.hi)
+            let s = f.0 & 1;
+            (Ref(n.lo ^ s), Ref(n.hi ^ s))
         } else {
             (f, f)
         }
     }
 
-    /// Negation.
+    /// Negation. With complement edges this is a bit flip: no allocation,
+    /// no cache traffic.
     pub fn not(&mut self, f: Ref) -> Ref {
-        self.ite(f, Ref::FALSE, Ref::TRUE)
+        f.complement()
     }
 
     /// Conjunction.
@@ -306,14 +717,12 @@ impl Bdd {
 
     /// Exclusive or.
     pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
-        let ng = self.not(g);
-        self.ite(f, ng, g)
+        self.ite(f, g.complement(), g)
     }
 
     /// Exclusive nor (equivalence).
     pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
-        let ng = self.not(g);
-        self.ite(f, g, ng)
+        self.ite(f, g, g.complement())
     }
 
     /// Implication `f -> g`.
@@ -335,9 +744,9 @@ impl Bdd {
     // Budget-guarded operations (typed errors instead of unbounded growth)
     // ------------------------------------------------------------------
 
-    /// Budget-guarded negation.
-    pub fn try_not(&mut self, f: Ref, budget: &ResourceBudget) -> Result<Ref, BudgetExceeded> {
-        self.try_ite(f, Ref::FALSE, Ref::TRUE, budget)
+    /// Budget-guarded negation (never fails: negation is free).
+    pub fn try_not(&mut self, f: Ref, _budget: &ResourceBudget) -> Result<Ref, BudgetExceeded> {
+        Ok(f.complement())
     }
 
     /// Budget-guarded conjunction.
@@ -367,8 +776,7 @@ impl Bdd {
         g: Ref,
         budget: &ResourceBudget,
     ) -> Result<Ref, BudgetExceeded> {
-        let ng = self.try_not(g, budget)?;
-        self.try_ite(f, ng, g, budget)
+        self.try_ite(f, g.complement(), g, budget)
     }
 
     /// Budget-guarded exclusive nor.
@@ -378,8 +786,7 @@ impl Bdd {
         g: Ref,
         budget: &ResourceBudget,
     ) -> Result<Ref, BudgetExceeded> {
-        let ng = self.try_not(g, budget)?;
-        self.try_ite(f, g, ng, budget)
+        self.try_ite(f, g, g.complement(), budget)
     }
 
     /// Budget-guarded n-ary conjunction.
@@ -421,10 +828,10 @@ impl Bdd {
         Ok(acc)
     }
 
-    /// Total interned node count (including the two terminals) — the
-    /// quantity [`ResourceBudget::max_bdd_nodes`] bounds.
+    /// Live interned node count (including the terminal) — the quantity
+    /// [`ResourceBudget::max_bdd_nodes`] bounds. Freed nodes don't count.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.live_nodes
     }
 
     // ------------------------------------------------------------------
@@ -440,26 +847,41 @@ impl Bdd {
         if n.var > var {
             return f; // var does not appear
         }
+        let s = f.0 & 1;
         if n.var == var {
-            return if value { n.hi } else { n.lo };
+            return Ref(if value { n.hi } else { n.lo } ^ s);
         }
-        let lo = self.restrict(n.lo, var, value);
-        let hi = self.restrict(n.hi, var, value);
+        let base = self.guard.len();
+        self.guard.push(f.0);
+        let lo = self.restrict(Ref(n.lo ^ s), var, value);
+        self.guard.push(lo.0);
+        let hi = self.restrict(Ref(n.hi ^ s), var, value);
+        self.guard.truncate(base);
         self.mk(n.var, lo, hi)
     }
 
     /// Existential quantification over one variable.
     pub fn exists(&mut self, f: Ref, var: u32) -> Ref {
+        let base = self.guard.len();
         let f0 = self.restrict(f, var, false);
+        self.guard.push(f0.0);
         let f1 = self.restrict(f, var, true);
-        self.or(f0, f1)
+        self.guard.push(f1.0);
+        let r = self.or(f0, f1);
+        self.guard.truncate(base);
+        r
     }
 
     /// Universal quantification over one variable.
     pub fn forall(&mut self, f: Ref, var: u32) -> Ref {
+        let base = self.guard.len();
         let f0 = self.restrict(f, var, false);
+        self.guard.push(f0.0);
         let f1 = self.restrict(f, var, true);
-        self.and(f0, f1)
+        self.guard.push(f1.0);
+        let r = self.and(f0, f1);
+        self.guard.truncate(base);
+        r
     }
 
     /// Existential quantification over a set of variables.
@@ -477,50 +899,52 @@ impl Bdd {
     /// The probability of the Boolean difference is the core of
     /// transition-density power estimation.
     pub fn boolean_difference(&mut self, f: Ref, var: u32) -> Ref {
+        let base = self.guard.len();
         let f0 = self.restrict(f, var, false);
+        self.guard.push(f0.0);
         let f1 = self.restrict(f, var, true);
-        self.xor(f0, f1)
+        self.guard.push(f1.0);
+        let r = self.xor(f0, f1);
+        self.guard.truncate(base);
+        r
     }
 
     /// Substitute function `g` for variable `var` in `f`.
     pub fn compose(&mut self, f: Ref, var: u32, g: Ref) -> Ref {
+        let base = self.guard.len();
         let f0 = self.restrict(f, var, false);
+        self.guard.push(f0.0);
         let f1 = self.restrict(f, var, true);
-        self.ite(g, f1, f0)
+        self.guard.push(f1.0);
+        let r = self.ite(g, f1, f0);
+        self.guard.truncate(base);
+        r
     }
 
     /// Support: the set of variables `f` depends on, ascending.
+    ///
+    /// A function and its complement share one subgraph, so traversal
+    /// tracks plain node indices, not signed refs.
     pub fn support(&self, f: Ref) -> Vec<u32> {
         let mut seen = std::collections::BTreeSet::new();
-        let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        while let Some(r) = stack.pop() {
-            if r.is_const() || !visited.insert(r) {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![f.index()];
+        while let Some(i) = stack.pop() {
+            if i == 0 || visited[i] {
                 continue;
             }
-            let n = self.node(r);
+            visited[i] = true;
+            let n = self.nodes[i];
             seen.insert(n.var);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            stack.push((n.lo >> 1) as usize);
+            stack.push((n.hi >> 1) as usize);
         }
         seen.into_iter().collect()
     }
 
     /// Number of nodes in the graph of `f` (excluding terminals).
     pub fn size(&self, f: Ref) -> usize {
-        let mut visited = std::collections::HashSet::new();
-        let mut stack = vec![f];
-        let mut count = 0;
-        while let Some(r) = stack.pop() {
-            if r.is_const() || !visited.insert(r) {
-                continue;
-            }
-            count += 1;
-            let n = self.node(r);
-            stack.push(n.lo);
-            stack.push(n.hi);
-        }
-        count
+        self.size_many(std::slice::from_ref(&f))
     }
 
     // ------------------------------------------------------------------
@@ -535,7 +959,8 @@ impl Bdd {
         while !r.is_const() {
             let n = self.node(r);
             let v = assignment.get(n.var as usize).copied().unwrap_or(false);
-            r = if v { n.hi } else { n.lo };
+            // Carry the accumulated complement parity down the path.
+            r = Ref(if v { n.hi } else { n.lo } ^ (r.0 & 1));
         }
         r.const_value()
     }
@@ -547,29 +972,36 @@ impl Bdd {
     /// Panics if `nvars` is smaller than some variable index in `f`'s
     /// support.
     pub fn sat_count(&self, f: Ref, nvars: u32) -> f64 {
-        fn go(mgr: &Bdd, f: Ref, nvars: u32, memo: &mut HashMap<u32, f64>) -> f64 {
-            if f == Ref::FALSE {
-                return 0.0;
-            }
-            if f == Ref::TRUE {
-                return 1.0;
-            }
-            if let Some(&c) = memo.get(&f.0) {
-                return c;
-            }
-            let n = mgr.node(f);
-            assert!(n.var < nvars, "variable {} outside domain {nvars}", n.var);
-            let lo_var = if n.lo.is_const() { nvars } else { mgr.node(n.lo).var };
-            let hi_var = if n.hi.is_const() { nvars } else { mgr.node(n.hi).var };
-            let lo = go(mgr, n.lo, nvars, memo) * 2f64.powi((lo_var - n.var - 1) as i32);
-            let hi = go(mgr, n.hi, nvars, memo) * 2f64.powi((hi_var - n.var - 1) as i32);
-            let c = lo + hi;
-            memo.insert(f.0, c);
-            c
+        // Satisfying *fraction* per plain node (memoized densely by node
+        // index); complemented refs read 1 - fraction. Fractions are
+        // dyadic, so the final scale by 2^nvars is exact in f64 for any
+        // count below 2^53 — same as the pre-complement-edge kernel.
+        let mut memo = vec![f64::NAN; self.nodes.len()];
+        self.frac_rec(f, nvars, &mut memo) * 2f64.powi(nvars as i32)
+    }
+
+    fn frac_rec(&self, f: Ref, nvars: u32, memo: &mut [f64]) -> f64 {
+        if f == Ref::FALSE {
+            return 0.0;
         }
-        let mut memo = HashMap::new();
-        let top = if f.is_const() { nvars } else { self.node(f).var };
-        go(self, f, nvars, &mut memo) * 2f64.powi(top as i32)
+        if f == Ref::TRUE {
+            return 1.0;
+        }
+        let idx = f.index();
+        let mut v = memo[idx];
+        if v.is_nan() {
+            let n = self.nodes[idx];
+            assert!(n.var < nvars, "variable {} outside domain {nvars}", n.var);
+            let lo = self.frac_rec(Ref(n.lo), nvars, memo);
+            let hi = self.frac_rec(Ref(n.hi), nvars, memo);
+            v = 0.5 * (lo + hi);
+            memo[idx] = v;
+        }
+        if f.is_complemented() {
+            1.0 - v
+        } else {
+            v
+        }
     }
 
     /// Exact signal probability of `f` given independent per-variable
@@ -577,27 +1009,34 @@ impl Bdd {
     ///
     /// Variables beyond the slice default to probability 0.5.
     pub fn probability(&self, f: Ref, p: &[f64]) -> f64 {
-        let mut memo: HashMap<u32, f64> = HashMap::new();
+        let mut memo = vec![f64::NAN; self.nodes.len()];
         self.prob_rec(f, p, &mut memo)
     }
 
-    fn prob_rec(&self, f: Ref, p: &[f64], memo: &mut HashMap<u32, f64>) -> f64 {
+    /// Dense memo keyed by plain node index (`NAN` = unvisited; computed
+    /// probabilities of live interior nodes are never `NAN`).
+    fn prob_rec(&self, f: Ref, p: &[f64], memo: &mut [f64]) -> f64 {
         if f == Ref::FALSE {
             return 0.0;
         }
         if f == Ref::TRUE {
             return 1.0;
         }
-        if let Some(&v) = memo.get(&f.0) {
-            return v;
+        let idx = f.index();
+        let mut v = memo[idx];
+        if v.is_nan() {
+            let n = self.nodes[idx];
+            let pv = p.get(n.var as usize).copied().unwrap_or(0.5);
+            let lo = self.prob_rec(Ref(n.lo), p, memo);
+            let hi = self.prob_rec(Ref(n.hi), p, memo);
+            v = (1.0 - pv) * lo + pv * hi;
+            memo[idx] = v;
         }
-        let n = self.node(f);
-        let pv = p.get(n.var as usize).copied().unwrap_or(0.5);
-        let lo = self.prob_rec(n.lo, p, memo);
-        let hi = self.prob_rec(n.hi, p, memo);
-        let result = (1.0 - pv) * lo + pv * hi;
-        memo.insert(f.0, result);
-        result
+        if f.is_complemented() {
+            1.0 - v
+        } else {
+            v
+        }
     }
 
     /// One satisfying assignment of `f` (as `(var, value)` pairs for the
@@ -610,12 +1049,14 @@ impl Bdd {
         let mut r = f;
         while !r.is_const() {
             let n = self.node(r);
-            if n.hi != Ref::FALSE {
+            let s = r.0 & 1;
+            let hi = Ref(n.hi ^ s);
+            if hi != Ref::FALSE {
                 path.push((n.var, true));
-                r = n.hi;
+                r = hi;
             } else {
                 path.push((n.var, false));
-                r = n.lo;
+                r = Ref(n.lo ^ s);
             }
         }
         Some(path)
@@ -685,6 +1126,36 @@ mod tests {
         let f = mgr.xor(a, b);
         let nf = mgr.not(f);
         assert_eq!(mgr.not(nf), f);
+    }
+
+    #[test]
+    fn negation_is_free() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let f = mgr.and(a, b);
+        let before = mgr.op_counts();
+        let nodes = mgr.node_count();
+        let nf = mgr.not(f);
+        assert_ne!(nf, f);
+        assert_eq!(mgr.node_count(), nodes, "complement edge: no new node");
+        assert_eq!(mgr.op_counts(), before, "complement edge: no table traffic");
+        // And a function xor'd against constants reduces to complement.
+        assert_eq!(mgr.xor(f, Ref::TRUE), nf);
+    }
+
+    #[test]
+    fn commutative_forms_share_cache_entries() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert_eq!(mgr.and(a, b), mgr.and(b, a));
+        assert_eq!(mgr.or(a, b), mgr.or(b, a));
+        assert_eq!(mgr.xor(a, b), mgr.xor(b, a));
+        let after_pairs = mgr.op_counts();
+        // The swapped forms hit the normalized cache entries: zero new
+        // nodes were interned for the repeats.
+        assert_eq!(after_pairs.nodes_created as usize, mgr.node_count() - 1);
     }
 
     #[test]
@@ -800,6 +1271,15 @@ mod tests {
         }
         assert!(mgr.eval(f, &assignment));
         assert_eq!(mgr.any_sat(Ref::FALSE), None);
+        // A complemented ref is satisfiable exactly when it isn't TRUE's
+        // complement... i.e. always, except FALSE itself.
+        let nf = mgr.not(f);
+        let sat = mgr.any_sat(nf).unwrap();
+        let mut env = vec![false; 2];
+        for (v, val) in sat {
+            env[v as usize] = val;
+        }
+        assert!(mgr.eval(nf, &env));
     }
 
     #[test]
@@ -817,11 +1297,91 @@ mod tests {
     }
 
     #[test]
-    fn node_budget_trips_on_wide_cone() {
-        // x0·x3 + x1·x4 + x2·x5 under the interleaved order needs > 16
-        // nodes; a 16-node budget must produce a typed error, not growth.
+    fn gc_reclaims_unrooted_nodes() {
         let mut mgr = Bdd::new();
-        let budget = ResourceBudget::unlimited().with_max_bdd_nodes(16);
+        let vars: Vec<Ref> = (0..8).map(|i| mgr.var(i)).collect();
+        let keep = mgr.and(vars[0], vars[1]);
+        mgr.protect(keep);
+        // Build garbage: a chain over the remaining variables.
+        let junk = mgr.and_all(vars[2..].iter().copied());
+        assert!(!junk.is_const());
+        let before = mgr.node_count();
+        let freed = mgr.gc();
+        assert!(freed > 0, "the unrooted chain must be collected");
+        assert_eq!(mgr.node_count(), before - freed);
+        let c = mgr.op_counts();
+        assert_eq!(c.nodes_freed, freed as u64);
+        assert!(c.gc_runs >= 1);
+        // The rooted function survives and stays canonical: rebuilding it
+        // from fresh projections finds the same interned nodes. (The old
+        // `vars` refs dangle — their projection nodes were unrooted.)
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        assert_eq!(mgr.and(a, b), keep);
+        assert!(mgr.eval(keep, &[true, true]));
+        // Freed slots are recycled by later allocations.
+        let arena_before = mgr.node_count();
+        let fresh: Vec<Ref> = (2..5).map(|i| mgr.var(i)).collect();
+        let _rebuilt = mgr.and_all(fresh);
+        assert!(mgr.node_count() > arena_before);
+    }
+
+    #[test]
+    fn gc_preserves_probability_and_eval() {
+        let mut mgr = Bdd::new();
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let ab = mgr.xor(a, b);
+        let f = mgr.or(ab, c);
+        mgr.protect(f);
+        let p = &[0.3, 0.7, 0.2];
+        let prob_before = mgr.probability(f, p);
+        let junk_vars: Vec<Ref> = (3..10).map(|i| mgr.var(i)).collect();
+        let junk = mgr.and_all(junk_vars);
+        assert!(!junk.is_const());
+        mgr.gc();
+        assert_eq!(prob_before.to_bits(), mgr.probability(f, p).to_bits());
+        for bits in 0u32..8 {
+            let env: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = (env[0] ^ env[1]) || env[2];
+            assert_eq!(mgr.eval(f, &env), expect, "{bits:03b}");
+        }
+    }
+
+    #[test]
+    fn budget_counts_live_nodes_after_gc() {
+        // Lifetime allocations exceed the limit, live nodes don't: with
+        // auto-GC the build must succeed anyway.
+        let mut mgr = Bdd::new();
+        mgr.set_auto_gc(true);
+        let budget = ResourceBudget::unlimited().with_max_bdd_nodes(24);
+        for round in 0u32..6 {
+            // With auto-GC on, refs held across allocations must be rooted.
+            let a = mgr.var(round * 2);
+            mgr.protect(a);
+            let b = mgr.var(round * 2 + 1);
+            mgr.protect(b);
+            let f = mgr.try_and(a, b, &budget).expect("live nodes stay small");
+            assert!(!f.is_const());
+            // Drop the roots: every round's nodes become garbage.
+            mgr.clear_roots();
+        }
+        let c = mgr.op_counts();
+        assert!(
+            c.nodes_created > 24 / 2,
+            "enough lifetime churn to matter: {c:?}"
+        );
+        assert!(mgr.node_count() <= 24);
+    }
+
+    #[test]
+    fn node_budget_trips_on_wide_cone() {
+        // x0·x3 + x1·x4 + x2·x5 under the interleaved order needs more
+        // live nodes than a 12-node budget allows even with complement
+        // edges; the result must be a typed error, not growth.
+        let mut mgr = Bdd::new();
+        let budget = ResourceBudget::unlimited().with_max_bdd_nodes(12);
         let mut f = Ref::FALSE;
         let mut failed = None;
         for (a, b) in [(0, 3), (1, 4), (2, 5)] {
@@ -841,9 +1401,10 @@ mod tests {
                 }
             }
         }
-        let err = failed.expect("16-node budget must be exceeded");
+        let err = failed.expect("12-node budget must be exceeded");
         assert_eq!(err.resource, budget::Resource::BddNodes);
-        assert!(mgr.node_count() <= 18, "growth stopped near the limit");
+        assert!(err.used >= err.limit);
+        assert!(mgr.node_count() <= 14, "growth stopped near the limit");
         // The manager stays usable after exhaustion.
         let a = mgr.var(0);
         assert!(mgr.eval(a, &[true]));
@@ -912,8 +1473,8 @@ mod tests {
         assert!(c.cache_hits <= c.cache_lookups, "{c:?}");
         assert!(c.unique_hits <= c.unique_lookups, "{c:?}");
         assert_eq!(c.unique_lookups, c.unique_hits + c.nodes_created, "{c:?}");
-        // Every interned node beyond the two terminals came through mk.
-        assert_eq!(c.nodes_created as usize, mgr.node_count() - 2);
+        // Every live node beyond the single terminal came through mk.
+        assert_eq!(c.nodes_created as usize, mgr.node_count() - 1);
         assert!(!f.is_const());
     }
 
@@ -941,6 +1502,7 @@ mod tests {
         let s = mgr.stats();
         assert!(s.nodes > initial);
         assert_eq!(s.vars, 8);
+        assert!(mgr.peak_live_nodes() >= s.nodes);
     }
 }
 
@@ -967,7 +1529,8 @@ impl Bdd {
             }
         }
         let mut out = Bdd::new();
-        let mut memo: HashMap<u32, Ref> = HashMap::new();
+        // Dense memo: old plain node index -> translated ref bits.
+        let mut memo = vec![u32::MAX; self.nodes.len()];
         let mut translated = Vec::with_capacity(roots.len());
         for &root in roots {
             let r = self.rebuild_rec(root, position, &mut out, &mut memo);
@@ -976,51 +1539,59 @@ impl Bdd {
         (out, translated)
     }
 
-    fn rebuild_rec(
-        &self,
-        f: Ref,
-        position: &[u32],
-        out: &mut Bdd,
-        memo: &mut HashMap<u32, Ref>,
-    ) -> Ref {
+    fn rebuild_rec(&self, f: Ref, position: &[u32], out: &mut Bdd, memo: &mut [u32]) -> Ref {
         if f.is_const() {
             return f;
         }
-        if let Some(&r) = memo.get(&f.0) {
-            return r;
+        let idx = f.index();
+        let plain = if memo[idx] != u32::MAX {
+            Ref(memo[idx])
+        } else {
+            let node = self.nodes[idx];
+            assert!(
+                (node.var as usize) < position.len(),
+                "variable {} outside the permutation",
+                node.var
+            );
+            let lo = self.rebuild_rec(Ref(node.lo), position, out, memo);
+            let hi = self.rebuild_rec(Ref(node.hi), position, out, memo);
+            let v = out.var(position[node.var as usize]);
+            let r = out.ite(v, hi, lo);
+            memo[idx] = r.0;
+            r
+        };
+        if f.is_complemented() {
+            plain.complement()
+        } else {
+            plain
         }
-        let node = self.node(f);
-        assert!(
-            (node.var as usize) < position.len(),
-            "variable {} outside the permutation",
-            node.var
-        );
-        let lo = self.rebuild_rec(node.lo, position, out, memo);
-        let hi = self.rebuild_rec(node.hi, position, out, memo);
-        let v = out.var(position[node.var as usize]);
-        let r = out.ite(v, hi, lo);
-        memo.insert(f.0, r);
-        r
     }
 
     /// Total node count of a set of roots (shared nodes counted once).
     pub fn size_many(&self, roots: &[Ref]) -> usize {
-        let mut visited = std::collections::HashSet::new();
-        let mut stack: Vec<Ref> = roots.to_vec();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = roots.iter().map(|r| r.index()).collect();
         let mut count = 0;
-        while let Some(r) = stack.pop() {
-            if r.is_const() || !visited.insert(r) {
+        while let Some(i) = stack.pop() {
+            if i == 0 || visited[i] {
                 continue;
             }
+            visited[i] = true;
             count += 1;
-            let n = self.node(r);
-            stack.push(n.lo);
-            stack.push(n.hi);
+            let n = self.nodes[i];
+            stack.push((n.lo >> 1) as usize);
+            stack.push((n.hi >> 1) as usize);
         }
         count
     }
 
-    /// Greedy sifting-style reordering example:
+    /// Greedy sifting-style reordering: repeatedly move one variable to the
+    /// position that minimizes the shared node count of `roots`, until no
+    /// single move helps. Practical for up to ~16 variables (each trial
+    /// rebuilds the graphs).
+    ///
+    /// Returns the reordered manager, the translated roots, and the final
+    /// `position[old_var] = new_level` permutation.
     ///
     /// ```
     /// use bdd::Bdd;
@@ -1037,14 +1608,6 @@ impl Bdd {
     /// // ...and linear (6 nodes) once sifting pairs the variables up.
     /// assert_eq!(sifted.size_many(&roots), 6);
     /// ```
-    ///
-    /// Greedy sifting-style reordering: repeatedly move one variable to the    /// Greedy sifting-style reordering: repeatedly move one variable to the
-    /// position that minimizes the shared node count of `roots`, until no
-    /// single move helps. Practical for up to ~16 variables (each trial
-    /// rebuilds the graphs).
-    ///
-    /// Returns the reordered manager, the translated roots, and the final
-    /// `position[old_var] = new_level` permutation.
     pub fn sift(&self, roots: &[Ref], num_vars: usize) -> (Bdd, Vec<Ref>, Vec<u32>) {
         let n = num_vars;
         let mut position: Vec<u32> = (0..n as u32).collect();
@@ -1119,6 +1682,24 @@ mod reorder_tests {
                 new_env[position[v] as usize] = old_env[v];
             }
             assert_eq!(new_mgr.eval(g, &new_env), mgr.eval(f, &old_env), "{bits:06b}");
+        }
+    }
+
+    #[test]
+    fn rebuild_preserves_complemented_roots() {
+        let mut mgr = Bdd::new();
+        let f = chain_function(&mut mgr, &[(0, 1), (2, 3)]);
+        let nf = mgr.not(f);
+        let position: Vec<u32> = (0..4).rev().collect();
+        let (new_mgr, roots) = mgr.rebuild_with_order(&[f, nf], &position);
+        for bits in 0u32..16 {
+            let old_env: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            let mut new_env = vec![false; 4];
+            for v in 0..4 {
+                new_env[position[v] as usize] = old_env[v];
+            }
+            assert_eq!(new_mgr.eval(roots[0], &new_env), mgr.eval(f, &old_env));
+            assert_eq!(new_mgr.eval(roots[1], &new_env), !mgr.eval(f, &old_env));
         }
     }
 

@@ -1,0 +1,196 @@
+//! `bench_bdd` — BDD-kernel regression harness on the golden circuits.
+//!
+//! Builds the circuit BDDs of the golden BLIF netlists with the current
+//! kernel and compares its ITE-call count, computed-table miss count, and
+//! wall-clock build time against the numbers recorded for the pre-rewrite
+//! kernel (separate chaining + `std` SipHash tables, no complement
+//! edges). Emits `BENCH_bdd.json` (override with the first non-flag
+//! argument).
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_bdd [out.json] [--check]
+//! ```
+//!
+//! With `--check` the harness exits nonzero unless the rewrite still
+//! holds its headline win on `mult4`: computed-table misses at most half
+//! the old kernel's, or wall-clock at least 1.5x faster. Misses are the
+//! primary criterion — they are deterministic, so the check is meaningful
+//! on a noisy CI box where timings are not.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use budget::ResourceBudget;
+use netlist::blif::parse_text;
+use netlist::Netlist;
+use power::exact::try_circuit_bdds;
+
+/// Pre-rewrite kernel numbers, captured on the same golden circuits with
+/// the same build-everything workload (wall-clock: best of 5 on the
+/// reference machine — indicative only, re-time on your own hardware).
+struct Baseline {
+    name: &'static str,
+    ite_calls: u64,
+    cache_misses: u64,
+    seconds: f64,
+}
+
+const BASELINES: [Baseline; 3] = [
+    Baseline {
+        name: "adder4",
+        ite_calls: 390,
+        cache_misses: 167,
+        seconds: 3.365e-5,
+    },
+    Baseline {
+        name: "parity8",
+        ite_calls: 110,
+        cache_misses: 41,
+        seconds: 8.246e-6,
+    },
+    Baseline {
+        name: "mult4",
+        ite_calls: 1982,
+        cache_misses: 891,
+        seconds: 1.402e-4,
+    },
+];
+
+struct Measured {
+    name: &'static str,
+    ite_calls: u64,
+    cache_misses: u64,
+    nodes_created: u64,
+    peak_live_nodes: u64,
+    seconds: f64,
+    miss_ratio: f64,
+    speedup: f64,
+}
+
+fn golden(name: &str) -> Netlist {
+    let path = format!(
+        "{}/../../tests/golden/{name}.blif",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_text(&text).expect("golden BLIF parses")
+}
+
+/// Best-of-5 seconds per build; each rep batches enough builds for ~50ms
+/// so the tiny circuits don't time the clock instead of the kernel.
+fn time_build(nl: &Netlist) -> f64 {
+    let budget = ResourceBudget::unlimited();
+    let mut builds = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..builds {
+            let _ = try_circuit_bdds(nl, &budget).expect("unlimited build");
+        }
+        if start.elapsed().as_secs_f64() > 0.05 {
+            break;
+        }
+        builds *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..builds {
+            let _ = try_circuit_bdds(nl, &budget).expect("unlimited build");
+        }
+        best = best.min(start.elapsed().as_secs_f64() / builds as f64);
+    }
+    best
+}
+
+fn measure(base: &Baseline) -> Measured {
+    let nl = golden(base.name);
+    let bdds = try_circuit_bdds(&nl, &ResourceBudget::unlimited()).expect("unlimited build");
+    let counts = bdds.mgr.op_counts();
+    let misses = counts.cache_lookups - counts.cache_hits;
+    let seconds = time_build(&nl);
+    Measured {
+        name: base.name,
+        ite_calls: counts.ite_calls,
+        cache_misses: misses,
+        nodes_created: counts.nodes_created,
+        peak_live_nodes: bdds.mgr.peak_live_nodes() as u64,
+        seconds,
+        miss_ratio: base.cache_misses as f64 / misses.max(1) as f64,
+        speedup: base.seconds / seconds,
+    }
+}
+
+fn to_json(results: &[Measured]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"bdd\",\n");
+    out.push_str(
+        "  \"baseline\": \"pre-rewrite kernel (no complement edges, std HashMap tables)\",\n",
+    );
+    out.push_str("  \"circuits\": [\n");
+    for (i, (m, b)) in results.iter().zip(BASELINES.iter()).enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(
+            out,
+            "      \"before\": {{\"ite_calls\": {}, \"cache_misses\": {}, \"seconds\": {:.3e}}},",
+            b.ite_calls, b.cache_misses, b.seconds
+        );
+        let _ = writeln!(
+            out,
+            "      \"after\": {{\"ite_calls\": {}, \"cache_misses\": {}, \
+             \"nodes_created\": {}, \"peak_live_nodes\": {}, \"seconds\": {:.3e}}},",
+            m.ite_calls, m.cache_misses, m.nodes_created, m.peak_live_nodes, m.seconds
+        );
+        let _ = writeln!(
+            out,
+            "      \"miss_reduction\": {:.3},\n      \"speedup\": {:.3}",
+            m.miss_ratio, m.speedup
+        );
+        out.push_str(if i + 1 < results.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_bdd.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let results: Vec<Measured> = BASELINES.iter().map(measure).collect();
+    std::fs::write(&out_path, to_json(&results)).expect("write benchmark JSON");
+
+    println!("wrote {out_path}");
+    for m in &results {
+        println!(
+            "  {:<8} ite {:>5}  misses {:>4} ({:.2}x fewer)  {:>9.3e} s/build ({:.2}x faster)",
+            m.name, m.ite_calls, m.cache_misses, m.miss_ratio, m.seconds, m.speedup
+        );
+    }
+
+    if check {
+        let mult4 = results
+            .iter()
+            .find(|m| m.name == "mult4")
+            .expect("mult4 measured");
+        let ok = mult4.miss_ratio >= 2.0 || mult4.speedup >= 1.5;
+        if !ok {
+            eprintln!(
+                "check FAILED: mult4 miss reduction {:.2}x < 2.0x and speedup {:.2}x < 1.5x",
+                mult4.miss_ratio, mult4.speedup
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check ok: mult4 miss reduction {:.2}x, speedup {:.2}x",
+            mult4.miss_ratio, mult4.speedup
+        );
+    }
+}

@@ -217,6 +217,12 @@ impl ResourceBudget {
         self.max_event_queue.unwrap_or(default)
     }
 
+    /// The BDD node limit as a plain integer (`u64::MAX` when unlimited),
+    /// so the ITE recursion compares against a register per cache miss.
+    pub fn max_bdd_nodes_or(&self, default: u64) -> u64 {
+        self.max_bdd_nodes.unwrap_or(default)
+    }
+
     fn check(limit: Option<u64>, used: u64, resource: Resource) -> Result<(), BudgetExceeded> {
         match limit {
             Some(max) if used >= max => Err(BudgetExceeded {
@@ -268,6 +274,17 @@ impl ResourceBudget {
         BudgetExceeded {
             resource: Resource::EventQueue,
             limit: self.max_event_queue.unwrap_or(u64::MAX),
+            used,
+        }
+    }
+
+    /// `BudgetExceeded` for a node overrun detected by a caller that
+    /// pre-resolved the limit via [`ResourceBudget::max_bdd_nodes_or`].
+    /// `used` is the *live* node count observed at the check.
+    pub fn bdd_nodes_exceeded(&self, used: u64) -> BudgetExceeded {
+        BudgetExceeded {
+            resource: Resource::BddNodes,
+            limit: self.max_bdd_nodes.unwrap_or(u64::MAX),
             used,
         }
     }

@@ -19,9 +19,9 @@
 //! probabilities and accepts only if the *whole network's* estimated
 //! switched capacitance drops (\[19\]).
 
-use bdd::Ref;
+use bdd::{Ref, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
-use power::exact::circuit_bdds;
+use power::exact::{circuit_bdds, CircuitBddCache};
 
 /// Acceptance criterion for a node rewrite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +51,20 @@ pub fn estimated_cap(nl: &Netlist, input_probs: &[f64]) -> f64 {
     bdds.activity(input_probs).switched_capacitance(nl)
 }
 
+/// [`estimated_cap`] through a caller-owned BDD cache: structurally
+/// repeated queries (the original netlist during a rewrite loop, the same
+/// circuit before and after an unrelated pass) reuse one build.
+pub fn estimated_cap_cached(
+    nl: &Netlist,
+    input_probs: &[f64],
+    cache: &mut CircuitBddCache,
+) -> f64 {
+    let bdds = cache
+        .get_or_build(nl, &ResourceBudget::unlimited())
+        .expect("unlimited budget");
+    bdds.activity(input_probs).switched_capacitance(nl)
+}
+
 /// Run don't-care node optimization.
 ///
 /// Only nodes with `fanin ≤ max_fanin` are considered (the local truth
@@ -67,10 +81,28 @@ pub fn optimize_dontcares(
     mode: Mode,
     max_fanin: usize,
 ) -> (Netlist, DontCareReport) {
+    let mut cache = CircuitBddCache::new();
+    optimize_dontcares_cached(nl, input_probs, mode, max_fanin, &mut cache)
+}
+
+/// [`optimize_dontcares`] with a caller-owned [`CircuitBddCache`]. The
+/// pass reads the original circuit's BDDs through the cache — so a caller
+/// that already estimated power on the same netlist (or will afterwards)
+/// pays for that build once — and every fixpoint iteration's rebuild also
+/// lands in the cache for any later structurally identical query.
+/// One-off candidate evaluations inside the rewrite search stay uncached:
+/// they are unique structures that would only evict useful entries.
+pub fn optimize_dontcares_cached(
+    nl: &Netlist,
+    input_probs: &[f64],
+    mode: Mode,
+    max_fanin: usize,
+    cache: &mut CircuitBddCache,
+) -> (Netlist, DontCareReport) {
     assert!(nl.is_combinational(), "don't-care pass needs combinational logic");
     assert_eq!(input_probs.len(), nl.num_inputs());
     let mut current = nl.clone();
-    let cap_before = estimated_cap(&current, input_probs);
+    let cap_before = estimated_cap_cached(&current, input_probs, cache);
     let mut nodes_changed = 0;
 
     // Iterate to a fixpoint (bounded): each accepted rewrite invalidates
@@ -81,7 +113,9 @@ pub fn optimize_dontcares(
         if pass > 8 {
             break;
         }
-        let bdds = circuit_bdds(&current);
+        let bdds = cache
+            .get_or_build(&current, &ResourceBudget::unlimited())
+            .expect("unlimited budget");
         let fanout_counts = current.fanout_counts();
         let candidates: Vec<NetId> = current
             .iter_nets()
@@ -95,7 +129,8 @@ pub fn optimize_dontcares(
             })
             .collect();
         for node in candidates {
-            if let Some(improved) = try_rewrite(&current, &bdds, node, input_probs, mode) {
+            if let Some(improved) = try_rewrite(&current, &bdds, node, input_probs, mode, cache)
+            {
                 current = improved;
                 current.sweep_dead();
                 nodes_changed += 1;
@@ -104,7 +139,7 @@ pub fn optimize_dontcares(
         }
         break;
     }
-    let cap_after = estimated_cap(&current, input_probs);
+    let cap_after = estimated_cap_cached(&current, input_probs, cache);
     (
         current,
         DontCareReport {
@@ -121,8 +156,13 @@ fn try_rewrite(
     node: NetId,
     input_probs: &[f64],
     mode: Mode,
+    cache: &mut CircuitBddCache,
 ) -> Option<Netlist> {
     let mut mgr = bdds.mgr.clone();
+    // The scratch manager holds plenty of refs no root protects (the
+    // substituted cones, the observability union); collection would free
+    // them out from under us, so make sure the clone never collects.
+    mgr.set_auto_gc(false);
     let funcs = &bdds.funcs;
     let nvars = mgr.num_vars() as u32;
     let w = nvars; // fresh variable standing for the node's output
@@ -240,7 +280,9 @@ fn try_rewrite(
         Mode::FanoutAware => {
             let mut swept = rebuilt.clone();
             swept.sweep_dead();
-            let before = estimated_cap(nl, input_probs);
+            // `nl` repeats across every candidate of a pass: cached. The
+            // candidate itself is a throwaway structure: built directly.
+            let before = estimated_cap_cached(nl, input_probs, cache);
             let after = estimated_cap(&swept, input_probs);
             if after < before - 1e-9 {
                 Some(rebuilt)

@@ -193,10 +193,32 @@ fn normalized_probs(cfg: &ChainConfig, width: usize) -> Vec<f64> {
 
 /// Estimate per-net switching activity, degrading through the configured
 /// tiers as the budget allows. See the module docs for the contract.
+///
+/// Each call builds the exact tier's BDDs from scratch. Callers that
+/// estimate the same (or a structurally identical) circuit repeatedly —
+/// optimization loops, before/after comparisons — should thread a
+/// [`CircuitBddCache`](exact::CircuitBddCache) through
+/// [`estimate_activity_cached`] instead.
 pub fn estimate_activity(
     nl: &Netlist,
     budget: &ResourceBudget,
     cfg: &ChainConfig,
+) -> Result<ChainEstimate, ChainError> {
+    let mut cache = exact::CircuitBddCache::with_capacity(1);
+    estimate_activity_cached(nl, budget, cfg, &mut cache)
+}
+
+/// [`estimate_activity`] with a caller-owned [`exact::CircuitBddCache`]
+/// feeding the exact tier. A cache hit skips the BDD build entirely, so
+/// repeated estimates of structurally unchanged circuits pay the kernel
+/// cost once; the tier-degradation contract is unchanged (the cache never
+/// stores failed builds, so a budget that killed the exact tier once will
+/// kill it again rather than resurrect a stale answer).
+pub fn estimate_activity_cached(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    cfg: &ChainConfig,
+    cache: &mut exact::CircuitBddCache,
 ) -> Result<ChainEstimate, ChainError> {
     let probs = normalized_probs(cfg, nl.num_inputs());
     let obs = &cfg.obs;
@@ -206,9 +228,9 @@ pub fn estimate_activity(
         let span = obs.span(format!("tier.{}", tier.name()));
         let t0 = obs.now();
         let result = match tier {
-            Tier::ExactBdd => {
-                exact::try_circuit_bdds_obs(nl, budget, obs).map(|b| b.activity(&probs))
-            }
+            Tier::ExactBdd => cache
+                .get_or_build_obs(nl, budget, obs)
+                .map(|b| b.activity(&probs)),
             Tier::Probabilistic => {
                 prob::try_activity(nl, &probs, cfg.max_sweeps, cfg.tolerance, budget)
             }
@@ -289,6 +311,20 @@ pub fn estimate_power(
     params: &PowerParams,
 ) -> Result<(PowerReport, ChainEstimate), ChainError> {
     let estimate = estimate_activity(nl, budget, cfg)?;
+    let report = PowerReport::from_activity(nl, &estimate.profile, params);
+    Ok((report, estimate))
+}
+
+/// [`estimate_power`] with a caller-owned BDD cache for the exact tier.
+/// See [`estimate_activity_cached`].
+pub fn estimate_power_cached(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    cfg: &ChainConfig,
+    params: &PowerParams,
+    cache: &mut exact::CircuitBddCache,
+) -> Result<(PowerReport, ChainEstimate), ChainError> {
+    let estimate = estimate_activity_cached(nl, budget, cfg, cache)?;
     let report = PowerReport::from_activity(nl, &estimate.profile, params);
     Ok((report, estimate))
 }
@@ -486,6 +522,34 @@ mod tests {
         let est = estimate_activity(&nl, &ResourceBudget::unlimited(), &ChainConfig::default())
             .unwrap();
         assert_eq!(est.attempts[0].elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn cached_chain_is_bit_identical_and_skips_rebuilds() {
+        let (nl, _) = ripple_adder(4);
+        let budget = ResourceBudget::unlimited();
+        let cfg = ChainConfig::default();
+        let plain = estimate_activity(&nl, &budget, &cfg).unwrap();
+
+        let mut cache = exact::CircuitBddCache::new();
+        let first = estimate_activity_cached(&nl, &budget, &cfg, &mut cache).unwrap();
+        let second = estimate_activity_cached(&nl, &budget, &cfg, &mut cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(first.tier, Tier::ExactBdd);
+        assert_eq!(second.tier, Tier::ExactBdd);
+        // Hit or miss, cached or not: the same numbers to the last bit.
+        assert_eq!(plain.profile, first.profile);
+        assert_eq!(first.profile, second.profile);
+
+        // A budget that kills the exact tier is not papered over by a
+        // previously cached success from a *different* budget run: the
+        // fingerprint is structural, so the full cache answers. But a
+        // fresh cache under the same tight budget degrades as usual.
+        let tight = ResourceBudget::unlimited().with_max_bdd_nodes(4);
+        let mut fresh = exact::CircuitBddCache::new();
+        let est = estimate_activity_cached(&nl, &tight, &cfg, &mut fresh).unwrap();
+        assert_eq!(est.tier, Tier::Probabilistic);
+        assert!(fresh.is_empty(), "failed builds must not be cached");
     }
 
     #[test]

@@ -6,6 +6,10 @@
 //! temporal-independence assumption, the per-cycle switching activity of a
 //! net with one-probability `p` is `2·p·(1−p)`.
 
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
 use bdd::{Bdd, Ref};
 use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
@@ -65,8 +69,9 @@ pub fn try_circuit_bdds(
 
 /// [`try_circuit_bdds`] that also publishes the manager's operation
 /// counters (`bdd.ite_calls`, `bdd.cache_lookups`, `bdd.cache_hits`,
-/// `bdd.unique_lookups`, `bdd.unique_hits`, `bdd.nodes_created`) and the
-/// peak node count (gauge `bdd.peak_nodes`) to `obs`.
+/// `bdd.cache_evictions`, `bdd.unique_lookups`, `bdd.unique_hits`,
+/// `bdd.nodes_created`, `bdd.gc_runs`, `bdd.nodes_freed`) and the peak
+/// live node count (gauge `bdd.peak_nodes`) to `obs`.
 ///
 /// Metrics publish on success **and** on budget exhaustion — an abandoned
 /// exact tier is precisely when "how far did the BDD get" matters — which
@@ -79,16 +84,23 @@ pub fn try_circuit_bdds_obs(
     obs: &obs::Obs,
 ) -> Result<CircuitBdds, BudgetExceeded> {
     let mut mgr = Bdd::new();
+    // Every completed net function is rooted below, so under node-budget
+    // pressure the manager can sweep dead intermediates and the budget
+    // meters live nodes, not lifetime allocations.
+    mgr.set_auto_gc(true);
     let result = build_funcs(&mut mgr, nl, budget);
     if obs.is_enabled() {
         let c = mgr.op_counts();
         obs.add("bdd.ite_calls", c.ite_calls);
         obs.add("bdd.cache_lookups", c.cache_lookups);
         obs.add("bdd.cache_hits", c.cache_hits);
+        obs.add("bdd.cache_evictions", c.cache_evictions);
         obs.add("bdd.unique_lookups", c.unique_lookups);
         obs.add("bdd.unique_hits", c.unique_hits);
         obs.add("bdd.nodes_created", c.nodes_created);
-        obs.gauge_max("bdd.peak_nodes", mgr.node_count() as f64);
+        obs.add("bdd.gc_runs", c.gc_runs);
+        obs.add("bdd.nodes_freed", c.nodes_freed);
+        obs.gauge_max("bdd.peak_nodes", mgr.peak_live_nodes() as f64);
     }
     let (funcs, input_vars) = result?;
     Ok(CircuitBdds {
@@ -109,12 +121,16 @@ fn build_funcs(
     let mut next_var = 0u32;
     let mut input_vars = Vec::with_capacity(nl.num_inputs());
     for &pi in nl.inputs() {
-        funcs[pi.index()] = mgr.var(next_var);
+        let v = mgr.var(next_var);
+        mgr.protect(v);
+        funcs[pi.index()] = v;
         input_vars.push(next_var);
         next_var += 1;
     }
     for &dff in nl.dffs() {
-        funcs[dff.index()] = mgr.var(next_var);
+        let v = mgr.var(next_var);
+        mgr.protect(v);
+        funcs[dff.index()] = v;
         next_var += 1;
     }
     let order = nl.topo_order().expect("acyclic");
@@ -132,7 +148,7 @@ fn build_funcs(
             continue;
         }
         let ins: Vec<Ref> = nl.fanins(net).iter().map(|x| funcs[x.index()]).collect();
-        funcs[net.index()] = match kind {
+        let func = match kind {
             GateKind::Const(v) => mgr.constant(v),
             GateKind::Buf => ins[0],
             GateKind::Not => mgr.try_not(ins[0], budget)?,
@@ -154,6 +170,10 @@ fn build_funcs(
             GateKind::Mux => mgr.try_ite(ins[0], ins[2], ins[1], budget)?,
             GateKind::Input | GateKind::Dff => unreachable!(),
         };
+        // Root the completed function so GC under budget pressure only
+        // reclaims abandoned intermediates.
+        mgr.protect(func);
+        funcs[net.index()] = func;
     }
     Ok((funcs, input_vars))
 }
@@ -195,6 +215,170 @@ impl CircuitBdds {
     /// Check two nets for functional equivalence (canonical compare).
     pub fn equivalent(&self, a: NetId, b: NetId) -> bool {
         self.funcs[a.index()] == self.funcs[b.index()]
+    }
+}
+
+/// Structural fingerprint of a netlist: FNV-1a over everything that
+/// determines its circuit BDDs (gate kinds, fanin wiring, input/dff order).
+/// Names are deliberately excluded — renaming a net cannot change its BDD.
+fn fingerprint(nl: &Netlist) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(nl.len() as u64);
+    mix(nl.num_inputs() as u64);
+    for net in nl.iter_nets() {
+        let code = match nl.kind(net) {
+            GateKind::Input => 1,
+            GateKind::Const(false) => 2,
+            GateKind::Const(true) => 3,
+            GateKind::Buf => 4,
+            GateKind::Not => 5,
+            GateKind::And => 6,
+            GateKind::Or => 7,
+            GateKind::Nand => 8,
+            GateKind::Nor => 9,
+            GateKind::Xor => 10,
+            GateKind::Xnor => 11,
+            GateKind::Mux => 12,
+            GateKind::Dff => 13,
+        };
+        mix(code);
+        let fanins = nl.fanins(net);
+        mix(fanins.len() as u64);
+        for x in fanins {
+            mix(x.index() as u64);
+        }
+    }
+    for &pi in nl.inputs() {
+        mix(pi.index() as u64);
+    }
+    for &d in nl.dffs() {
+        mix(d.index() as u64);
+    }
+    h
+}
+
+/// Cross-pass cache of [`CircuitBdds`] keyed by netlist structure.
+///
+/// A flow typically asks for the same circuit's BDDs several times — the
+/// degradation chain's exact tier, the don't-care optimizer's fixpoint
+/// loop, and the before/after power check all start from the identical
+/// netlist. Building once and sharing an `Rc` turns every repeat into a
+/// lookup. Only successful builds are cached: a budget-abandoned build
+/// must re-attempt (a later caller may carry a bigger budget).
+///
+/// ```
+/// use budget::ResourceBudget;
+/// use netlist::gen::parity_tree;
+/// use power::exact::CircuitBddCache;
+///
+/// let nl = parity_tree(4);
+/// let mut cache = CircuitBddCache::new();
+/// let b1 = cache.get_or_build(&nl, &ResourceBudget::unlimited())?;
+/// let b2 = cache.get_or_build(&nl, &ResourceBudget::unlimited())?;
+/// assert!(std::rc::Rc::ptr_eq(&b1, &b2));
+/// assert_eq!(cache.hits(), 1);
+/// # Ok::<(), budget::BudgetExceeded>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CircuitBddCache {
+    entries: HashMap<u64, Rc<CircuitBdds>>,
+    /// Insertion order, oldest first, for capacity eviction.
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Default capacity: a don't-care fixpoint loop re-fingerprints after every
+/// accepted rewrite, so the cache must tolerate a stream of near-duplicate
+/// netlists without holding every generation's manager alive.
+const DEFAULT_CIRCUIT_CACHE_CAPACITY: usize = 16;
+
+impl CircuitBddCache {
+    /// An empty cache with the default capacity.
+    pub fn new() -> CircuitBddCache {
+        CircuitBddCache::with_capacity(DEFAULT_CIRCUIT_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` circuits (oldest evicted).
+    pub fn with_capacity(capacity: usize) -> CircuitBddCache {
+        CircuitBddCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Lookups that found an existing build.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cached circuits currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The circuit BDDs of `nl`, building them on first sight.
+    pub fn get_or_build(
+        &mut self,
+        nl: &Netlist,
+        budget: &ResourceBudget,
+    ) -> Result<Rc<CircuitBdds>, BudgetExceeded> {
+        self.get_or_build_obs(nl, budget, &obs::Obs::disabled())
+    }
+
+    /// [`CircuitBddCache::get_or_build`] publishing cache traffic as
+    /// `bdd.circuit_cache.hits` / `bdd.circuit_cache.misses` and, on a
+    /// miss, the underlying build's kernel counters (via
+    /// [`try_circuit_bdds_obs`]). A hit publishes no kernel counters —
+    /// they count actual work, and a hit does none.
+    pub fn get_or_build_obs(
+        &mut self,
+        nl: &Netlist,
+        budget: &ResourceBudget,
+        obs: &obs::Obs,
+    ) -> Result<Rc<CircuitBdds>, BudgetExceeded> {
+        let key = fingerprint(nl);
+        if let Some(b) = self.entries.get(&key) {
+            self.hits += 1;
+            obs.add("bdd.circuit_cache.hits", 1);
+            return Ok(Rc::clone(b));
+        }
+        self.misses += 1;
+        obs.add("bdd.circuit_cache.misses", 1);
+        let built = Rc::new(try_circuit_bdds_obs(nl, budget, obs)?);
+        while self.entries.len() >= self.capacity {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.entries.remove(&old);
+                }
+                None => break,
+            }
+        }
+        self.entries.insert(key, Rc::clone(&built));
+        self.order.push_back(key);
+        Ok(built)
     }
 }
 
@@ -317,5 +501,83 @@ mod tests {
         let bdds = circuit_bdds(&nl);
         // 1 input (en) + 3 state variables.
         assert_eq!(bdds.mgr.num_vars(), 4);
+    }
+
+    #[test]
+    fn circuit_cache_shares_builds_by_structure() {
+        let nl = parity_tree(5);
+        let mut cache = CircuitBddCache::new();
+        let unlimited = ResourceBudget::unlimited();
+        let b1 = cache.get_or_build(&nl, &unlimited).unwrap();
+        let b2 = cache.get_or_build(&nl, &unlimited).unwrap();
+        assert!(Rc::ptr_eq(&b1, &b2), "same structure => same build");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A structurally different netlist misses.
+        let other = parity_tree(6);
+        let b3 = cache.get_or_build(&other, &unlimited).unwrap();
+        assert!(!Rc::ptr_eq(&b1, &b3));
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+        // Renaming nets must not change the fingerprint (BDDs ignore names).
+        assert_eq!(super::fingerprint(&nl), super::fingerprint(&parity_tree(5)));
+    }
+
+    #[test]
+    fn circuit_cache_never_caches_failures() {
+        let (hostile, _) = netlist::gen::array_multiplier(6);
+        let mut cache = CircuitBddCache::new();
+        let tight = ResourceBudget::unlimited().with_max_bdd_nodes(64);
+        assert!(cache.get_or_build(&hostile, &tight).is_err());
+        assert!(cache.is_empty(), "failed builds must not be cached");
+        // A retry with a real budget succeeds and gets cached.
+        let b = cache
+            .get_or_build(&hostile, &ResourceBudget::unlimited())
+            .unwrap();
+        assert!(!b.funcs.is_empty());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn circuit_cache_evicts_oldest_beyond_capacity() {
+        let mut cache = CircuitBddCache::with_capacity(2);
+        let unlimited = ResourceBudget::unlimited();
+        for n in 3..6 {
+            cache.get_or_build(&parity_tree(n), &unlimited).unwrap();
+        }
+        assert_eq!(cache.len(), 2);
+        // The first build (parity 3) was evicted: rebuilding it misses.
+        cache.get_or_build(&parity_tree(3), &unlimited).unwrap();
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn gc_under_node_budget_reclaims_intermediates() {
+        // Wide gates churn partial accumulators (only the final product is
+        // a net, so only it gets rooted); with auto-GC a budget well below
+        // the lifetime allocation count still succeeds.
+        let mut nl = netlist::Netlist::new("wide");
+        let ins: Vec<netlist::NetId> = (0..16).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let and = nl.add_gate(GateKind::And, &ins);
+        let or = nl.add_gate(GateKind::Or, &ins);
+        nl.mark_output(and, "a");
+        nl.mark_output(or, "o");
+        let mut unlimited = circuit_bdds(&nl);
+        let lifetime = unlimited.mgr.op_counts().nodes_created;
+        // The net functions stay rooted after the build, so an explicit
+        // sweep reveals how many nodes were churn.
+        unlimited.mgr.gc();
+        let live = unlimited.mgr.node_count() as u64;
+        assert!(lifetime > live, "wide gates must churn intermediates");
+        let budget = ResourceBudget::unlimited().with_max_bdd_nodes(live + 4);
+        let tight = try_circuit_bdds(&nl, &budget).expect("GC keeps live nodes under budget");
+        let c = tight.mgr.op_counts();
+        assert!(c.gc_runs > 0, "budget pressure must trigger GC: {c:?}");
+        assert!(c.nodes_freed > 0);
+        // Same functions either way.
+        let p_a = unlimited.probabilities(&[0.5; 16]);
+        let p_b = tight.probabilities(&[0.5; 16]);
+        for (a, b) in p_a.iter().zip(&p_b) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -129,6 +129,9 @@ fn quantify(
     num_inputs: usize,
 ) -> (Ref, Ref, bdd::Bdd) {
     let mut mgr = bdds.mgr.clone();
+    // The quantified results are held across further operations without
+    // being rooted; the scratch clone must never collect.
+    mgr.set_auto_gc(false);
     let others: Vec<u32> = (0..num_inputs)
         .filter(|i| !predictor.contains(i))
         .map(|i| bdds.input_vars[i])
@@ -420,6 +423,8 @@ pub fn precompute_multi(
     }
     let bdds = circuit_bdds(comb);
     let mut mgr = bdds.mgr.clone();
+    // As in `quantify`: intermediates are unrooted, so no collecting.
+    mgr.set_auto_gc(false);
     let others: Vec<u32> = (0..comb.num_inputs())
         .filter(|i| !predictor.contains(i))
         .map(|i| bdds.input_vars[i])

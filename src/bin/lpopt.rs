@@ -35,11 +35,12 @@ use std::process::ExitCode;
 use lowpower::budget::ResourceBudget;
 use lowpower::obs;
 use lowpower::logicopt::balance::balance_paths_with_threshold;
-use lowpower::logicopt::dontcare::{optimize_dontcares, Mode};
+use lowpower::logicopt::dontcare::{optimize_dontcares_cached, Mode};
 use lowpower::logicopt::mapping::{map, standard_library, MapObjective};
 use lowpower::netlist::blif::{parse_text, write_text};
 use lowpower::netlist::{gen, Netlist, NetlistStats};
-use lowpower::power::chain::{estimate_power, ChainConfig, ChainEstimate};
+use lowpower::power::chain::{estimate_power, estimate_power_cached, ChainConfig, ChainEstimate};
+use lowpower::power::exact::CircuitBddCache;
 use lowpower::power::model::{PowerParams, PowerReport};
 use lowpower::sim::event::{DelayModel, EventSim};
 use lowpower::sim::fault::{all_stuck_at_faults, CampaignReport, FaultSim};
@@ -347,7 +348,12 @@ fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, Cl
                 return Err(fail("dontcare: BDD pass limited to 18 inputs"));
             }
             let probs = vec![0.5; nl.num_inputs()];
-            let (optimized, report) = optimize_dontcares(&nl, &probs, Mode::FanoutAware, 6);
+            // One BDD cache across the whole command: the optimization
+            // pass seeds it with the original and final netlists, so the
+            // not-worse guard below re-reads both builds for free.
+            let mut bdd_cache = CircuitBddCache::new();
+            let (optimized, report) =
+                optimize_dontcares_cached(&nl, &probs, Mode::FanoutAware, 6, &mut bdd_cache);
             // Not-worse guard: re-estimate both sides with whatever tier
             // the budget affords and keep the original on a regression.
             let params = PowerParams::default();
@@ -358,8 +364,8 @@ fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, Cl
             };
             let mut chosen = &optimized;
             let verdict = match (
-                estimate_power(&nl, &opts.budget, &cfg, &params),
-                estimate_power(&optimized, &opts.budget, &cfg, &params),
+                estimate_power_cached(&nl, &opts.budget, &cfg, &params, &mut bdd_cache),
+                estimate_power_cached(&optimized, &opts.budget, &cfg, &params, &mut bdd_cache),
             ) {
                 (Ok((before, _)), Ok((after, est))) if after.total() > before.total() => {
                     chosen = &nl;

@@ -115,6 +115,9 @@ fn run_lpopt(tag: &str, args: &[String]) -> (String, PathBuf) {
     let out = Command::new(env!("CARGO_BIN_EXE_lpopt"))
         .args(args)
         .env("LPOPT_OBS_FAKE_CLOCK", "1")
+        // Goldens pin the default kernel behavior; an ambient GC stress
+        // run would perturb the embedded bdd.* counters.
+        .env_remove("LPOPT_BDD_GC_STRESS")
         .current_dir(&scratch)
         .output()
         .expect("run lpopt");

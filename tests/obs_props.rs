@@ -55,8 +55,14 @@ proptest! {
         let created = snap.counter("bdd.nodes_created").unwrap_or(0);
         prop_assert_eq!(unique_lookups, unique_hits + created);
         let peak = snap.gauge("bdd.peak_nodes").unwrap_or(0.0);
-        // Terminals exist before the first counted creation.
-        prop_assert!(peak >= created as f64);
+        let freed = snap.counter("bdd.nodes_freed").unwrap_or(0);
+        // Peak tracks *live* nodes, so GC'd nodes are the only way the
+        // total ever created can exceed it. (Freed slots are recycled, so
+        // created counts allocations, not distinct arena slots.)
+        prop_assert!(peak + freed as f64 >= created as f64,
+            "peak {peak} + freed {freed} < created {created}");
+        let gc_runs = snap.counter("bdd.gc_runs").unwrap_or(0);
+        prop_assert!(gc_runs > 0 || freed == 0, "freed {freed} nodes without a GC run");
     }
 
     #[test]
