@@ -1,0 +1,334 @@
+//! `bench_incr` — incremental-evaluation regression harness.
+//!
+//! Times the three optimization inner loops that the incremental engines
+//! accelerate, from-scratch vs incremental, on the golden circuits:
+//!
+//! * **balance-sweep** (`mult4`): tighten the skew threshold from the
+//!   circuit depth down to 0, measuring glitch activity after every step.
+//!   From-scratch rebalances and re-simulates the whole netlist per
+//!   threshold; the incremental sweep applies `tighten_balance_delta`
+//!   against one resident [`IncrementalEventSim`].
+//! * **sizing-loop** (`mult4`): `downsize_for_power` with a full static
+//!   timing analysis per shrink trial vs the [`StaCache`] that re-times
+//!   only the resized gate's cone.
+//! * **dontcare-pass** (`rand40`, a seeded random DAG with genuine
+//!   observability don't-cares — the arithmetic goldens have none): the
+//!   simulation-driven don't-care driver judging every rewrite on a
+//!   resident [`IncrementalSim`] vs the reference driver that
+//!   re-simulates the edited netlist from scratch.
+//!
+//! Emits `BENCH_incr.json` (override with the first non-flag argument).
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_incr [out.json] [--check]
+//! ```
+//!
+//! With `--check` the harness exits nonzero unless the balance and sizing
+//! loops hold their headline win: work ratio (incremental evaluations per
+//! from-scratch evaluation) at most 1/3, or wall-clock at least 3x
+//! faster. The work ratios are the primary criterion — they are
+//! deterministic, so the check is meaningful on a noisy CI box where
+//! timings are not. Result identity (bitwise sizes, bitwise capacitance,
+//! glitch totals to 1e-9) is always enforced.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use circuit::sizing::SizedCircuit;
+use logicopt::balance::{balance_delta, balance_paths_with_threshold, tighten_balance_delta};
+use logicopt::dontcare::{optimize_dontcares_sim, optimize_dontcares_sim_reference};
+use netlist::blif::parse_text;
+use netlist::Netlist;
+use sim::event::{DelayModel, EventSim};
+use sim::incr::IncrementalEventSim;
+use sim::stimulus::{PackedPatterns, Stimulus};
+
+const CYCLES: usize = 256;
+const SEED: u64 = 42;
+
+struct Section {
+    name: &'static str,
+    circuit: &'static str,
+    scratch_seconds: f64,
+    incr_seconds: f64,
+    speedup: f64,
+    /// Incremental work per from-scratch work (lower is better;
+    /// deterministic, unlike wall time).
+    work_ratio: f64,
+    /// What the work ratio counts.
+    work_unit: &'static str,
+    identical: bool,
+}
+
+fn golden(name: &str) -> Netlist {
+    let path = format!(
+        "{}/../../tests/golden/{name}.blif",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_text(&text).expect("golden BLIF parses")
+}
+
+/// Best-of-5 seconds per run; each rep batches enough runs for ~50ms so
+/// the small circuits don't time the clock instead of the loop.
+fn time_it(mut f: impl FnMut()) -> f64 {
+    let mut runs = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..runs {
+            f();
+        }
+        if start.elapsed().as_secs_f64() > 0.05 {
+            break;
+        }
+        runs *= 2;
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..runs {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / runs as f64);
+    }
+    best
+}
+
+/// From-scratch balance sweep: rebalance and fully re-simulate per
+/// threshold. Returns the glitch totals the incremental sweep must match.
+fn balance_scratch(nl: &Netlist, patterns: &sim::stimulus::PatternSet, sweep: &[usize]) -> Vec<f64> {
+    sweep
+        .iter()
+        .map(|&t| {
+            let (balanced, _) = balance_paths_with_threshold(nl, t);
+            EventSim::new(&balanced, &DelayModel::Unit)
+                .activity(patterns)
+                .total_glitches_per_cycle()
+        })
+        .collect()
+}
+
+/// Incremental balance sweep: one resident engine, deltas only. Also
+/// returns the total nets re-evaluated (dirty-cone replays + the initial
+/// full build counted as one whole-netlist evaluation).
+fn balance_incr(nl: &Netlist, packed: &PackedPatterns, sweep: &[usize]) -> (Vec<f64>, u64) {
+    let levels = nl.levels().expect("acyclic");
+    let mut engine = IncrementalEventSim::from_full_eval(nl, &DelayModel::Unit, packed);
+    let mut current = nl.clone();
+    let mut from = usize::MAX;
+    let glitches = sweep
+        .iter()
+        .map(|&t| {
+            let (delta, _) = if from == usize::MAX {
+                balance_delta(nl, &levels, t)
+            } else {
+                tighten_balance_delta(&current, nl.len(), &levels, from, t)
+            };
+            from = t;
+            if !delta.is_empty() {
+                delta.apply_to(&mut current);
+                engine.apply_delta(&delta);
+            }
+            engine.activity().total_glitches_per_cycle()
+        })
+        .collect();
+    (glitches, engine.stats().nets_reevaluated + nl.len() as u64)
+}
+
+fn bench_balance() -> Section {
+    let nl = golden("mult4");
+    let patterns = Stimulus::uniform(nl.num_inputs()).patterns(CYCLES, SEED);
+    let packed = PackedPatterns::pack(&patterns);
+    let sweep: Vec<usize> = (0..=nl.depth()).rev().collect();
+
+    let scratch = balance_scratch(&nl, &patterns, &sweep);
+    let (incr, reevaluated) = balance_incr(&nl, &packed, &sweep);
+    // The tightened netlist is isomorphic (not id-identical) to the
+    // one-shot result, so glitch totals match to rounding, not bits.
+    let identical = scratch
+        .iter()
+        .zip(&incr)
+        .all(|(a, b)| (a - b).abs() < 1e-9);
+
+    // From-scratch evaluates every net at every threshold (plus buffers,
+    // uncounted — the ratio is conservative).
+    let scratch_evals = (sweep.len() * nl.len()) as u64;
+    let scratch_seconds = time_it(|| {
+        std::hint::black_box(balance_scratch(&nl, &patterns, &sweep));
+    });
+    let incr_seconds = time_it(|| {
+        std::hint::black_box(balance_incr(&nl, &packed, &sweep));
+    });
+    Section {
+        name: "balance-sweep",
+        circuit: "mult4",
+        scratch_seconds,
+        incr_seconds,
+        speedup: scratch_seconds / incr_seconds,
+        work_ratio: reevaluated as f64 / scratch_evals as f64,
+        work_unit: "net evaluations",
+        identical,
+    }
+}
+
+fn bench_sizing() -> Section {
+    let nl = golden("mult4");
+    let fastest = SizedCircuit::new(&nl, 4.0).timing(1e9).critical;
+    let constraint = fastest * 1.15;
+
+    let mut reference = SizedCircuit::new(&nl, 4.0);
+    reference.downsize_for_power_reference(constraint);
+    let mut incremental = SizedCircuit::new(&nl, 4.0);
+    let mut sta = incremental.sta_cache();
+    incremental.downsize_for_power_with(constraint, &mut sta);
+    let identical = reference
+        .sizes
+        .iter()
+        .zip(&incremental.sizes)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+
+    // The reference re-times every net per shrink trial; the cache only
+    // touches the resized gate's fanout cone.
+    let full_evals = sta.trials * nl.len() as u64;
+    let scratch_seconds = time_it(|| {
+        let mut c = SizedCircuit::new(&nl, 4.0);
+        std::hint::black_box(c.downsize_for_power_reference(constraint));
+    });
+    let incr_seconds = time_it(|| {
+        let mut c = SizedCircuit::new(&nl, 4.0);
+        std::hint::black_box(c.downsize_for_power(constraint));
+    });
+    Section {
+        name: "sizing-loop",
+        circuit: "mult4",
+        scratch_seconds,
+        incr_seconds,
+        speedup: scratch_seconds / incr_seconds,
+        work_ratio: sta.arrival_evals as f64 / full_evals as f64,
+        work_unit: "arrival-time evaluations",
+        identical,
+    }
+}
+
+fn bench_dontcare() -> Section {
+    // The arithmetic goldens are don't-care-free; a seeded random DAG
+    // exercises the accept/revert loop for real (12 candidates, 8
+    // accepted at this seed).
+    let config = netlist::gen::RandomDagConfig {
+        inputs: 6,
+        gates: 40,
+        outputs: 3,
+        max_fanin: 3,
+        window: 10,
+    };
+    let nl = netlist::gen::random_dag(&config, 21);
+    let probs = vec![0.5; nl.num_inputs()];
+    let packed = Stimulus::uniform(nl.num_inputs()).packed(CYCLES, SEED);
+
+    let (incr_nl, incr_report) = optimize_dontcares_sim(&nl, &probs, 5, &packed);
+    let (ref_nl, ref_report) = optimize_dontcares_sim_reference(&nl, &probs, 5, &packed);
+    let identical = incr_report.cap_after.to_bits() == ref_report.cap_after.to_bits()
+        && incr_report.nodes_changed == ref_report.nodes_changed
+        && incr_nl.len() == ref_nl.len()
+        && incr_nl
+            .iter_nets()
+            .all(|n| incr_nl.kind(n) == ref_nl.kind(n) && incr_nl.fanins(n) == ref_nl.fanins(n));
+
+    // Each candidate rewrite costs the reference a whole-netlist
+    // re-simulation; the engine replays the rewrite's fanout cone.
+    let scratch_evals = ref_report.nets_reevaluated.max(1);
+    let scratch_seconds = time_it(|| {
+        std::hint::black_box(optimize_dontcares_sim_reference(&nl, &probs, 5, &packed));
+    });
+    let incr_seconds = time_it(|| {
+        std::hint::black_box(optimize_dontcares_sim(&nl, &probs, 5, &packed));
+    });
+    Section {
+        name: "dontcare-pass",
+        circuit: "rand40",
+        scratch_seconds,
+        incr_seconds,
+        speedup: scratch_seconds / incr_seconds,
+        work_ratio: incr_report.nets_reevaluated as f64 / scratch_evals as f64,
+        work_unit: "net evaluations",
+        identical,
+    }
+}
+
+fn to_json(sections: &[Section]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"incr\",\n");
+    out.push_str(
+        "  \"baseline\": \"from-scratch re-simulation / full STA per candidate edit\",\n",
+    );
+    out.push_str("  \"sections\": [\n");
+    for (i, s) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+        let _ = writeln!(out, "      \"circuit\": \"{}\",", s.circuit);
+        let _ = writeln!(out, "      \"scratch_seconds\": {:.3e},", s.scratch_seconds);
+        let _ = writeln!(out, "      \"incr_seconds\": {:.3e},", s.incr_seconds);
+        let _ = writeln!(out, "      \"speedup\": {:.3},", s.speedup);
+        let _ = writeln!(out, "      \"work_ratio\": {:.4},", s.work_ratio);
+        let _ = writeln!(out, "      \"work_unit\": \"{}\",", s.work_unit);
+        let _ = writeln!(out, "      \"identical\": {}", s.identical);
+        out.push_str(if i + 1 < sections.len() { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut check = false;
+    let mut out_path = String::from("BENCH_incr.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    let sections = vec![bench_balance(), bench_sizing(), bench_dontcare()];
+    std::fs::write(&out_path, to_json(&sections)).expect("write benchmark JSON");
+
+    println!("wrote {out_path}");
+    for s in &sections {
+        println!(
+            "  {:<14} {:<8} scratch {:>9.3e} s  incr {:>9.3e} s ({:.2}x faster)  \
+             work {:.1}% of scratch  identical: {}",
+            s.name,
+            s.circuit,
+            s.scratch_seconds,
+            s.incr_seconds,
+            s.speedup,
+            s.work_ratio * 100.0,
+            s.identical,
+        );
+    }
+
+    if check {
+        let mut ok = true;
+        for s in &sections {
+            if !s.identical {
+                eprintln!("check FAILED: {} results diverged from from-scratch", s.name);
+                ok = false;
+            }
+        }
+        for s in sections.iter().filter(|s| s.name != "dontcare-pass") {
+            // Deterministic work ratio is primary; wall clock rescues a
+            // run on a machine with different constant factors.
+            if s.work_ratio > 1.0 / 3.0 && s.speedup < 3.0 {
+                eprintln!(
+                    "check FAILED: {} work ratio {:.3} > 0.333 and speedup {:.2}x < 3.0x",
+                    s.name, s.work_ratio, s.speedup
+                );
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("check ok: incremental engines hold their win");
+    }
+}

@@ -13,6 +13,9 @@
 //! size — and conversely upsize critical gates if the constraint is
 //! violated (TILOS-style).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use netlist::{NetId, Netlist};
 use power::model::{PowerParams, PowerReport};
 use sim::ActivityProfile;
@@ -168,6 +171,14 @@ impl<'a> SizedCircuit<'a> {
     /// circuit cannot meet it even fully upsized, the pass leaves the
     /// critical path at maximum size and shrinks the rest.
     pub fn downsize_for_power(&mut self, constraint: f64) -> usize {
+        let mut sta = self.sta_cache();
+        self.downsize_for_power_with(constraint, &mut sta)
+    }
+
+    /// [`SizedCircuit::downsize_for_power`] over a caller-owned
+    /// [`StaCache`] (so a driver alternating passes keeps one cache, and
+    /// the bench harness can read the trial counters afterwards).
+    pub fn downsize_for_power_with(&mut self, constraint: f64, sta: &mut StaCache) -> usize {
         let mut changed = 0;
         // Iterate: shrink in small steps, most-slack-first, revert on
         // violation. Converges because sizes only decrease.
@@ -177,6 +188,46 @@ impl<'a> SizedCircuit<'a> {
             progress = false;
             let timing = self.timing(constraint);
             // Candidate gates sorted by slack, largest first.
+            let mut candidates: Vec<NetId> = self
+                .nl
+                .iter_nets()
+                .filter(|&net| {
+                    !self.nl.kind(net).is_source()
+                        && self.sizes[net.index()] > 1.0
+                        && timing.slack[net.index()] > 1e-9
+                })
+                .collect();
+            candidates.sort_by(|&a, &b| {
+                timing.slack[b.index()]
+                    .partial_cmp(&timing.slack[a.index()])
+                    .expect("finite slack")
+            });
+            for net in candidates {
+                let old = self.sizes[net.index()];
+                let candidate = (old * shrink).max(1.0);
+                let critical = sta.resize(self, net, candidate);
+                if critical <= constraint + 1e-9 {
+                    changed += 1;
+                    progress = true;
+                } else {
+                    sta.revert(self);
+                }
+            }
+        }
+        changed
+    }
+
+    /// [`SizedCircuit::downsize_for_power`] with a full static timing
+    /// analysis per shrink trial — the pre-incremental driver, kept as the
+    /// `bench_incr` baseline. Identical accept/reject decisions, identical
+    /// final sizes.
+    pub fn downsize_for_power_reference(&mut self, constraint: f64) -> usize {
+        let mut changed = 0;
+        let shrink = 0.8;
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let timing = self.timing(constraint);
             let mut candidates: Vec<NetId> = self
                 .nl
                 .iter_nets()
@@ -207,9 +258,154 @@ impl<'a> SizedCircuit<'a> {
         changed
     }
 
+    /// Build an incremental-STA cache holding the current arrival times.
+    pub fn sta_cache(&self) -> StaCache {
+        let n = self.nl.len();
+        let mut arrival = vec![0.0f64; n];
+        for &net in &self.order {
+            if self.nl.kind(net).is_source() {
+                continue;
+            }
+            let input_arrival = self
+                .nl
+                .fanins(net)
+                .iter()
+                .map(|x| arrival[x.index()])
+                .fold(0.0f64, f64::max);
+            arrival[net.index()] = input_arrival + self.gate_delay(net);
+        }
+        let levels = self
+            .nl
+            .levels()
+            .expect("acyclic")
+            .into_iter()
+            .map(|l| l as u32)
+            .collect();
+        StaCache {
+            arrival,
+            levels,
+            heap: BinaryHeap::new(),
+            queued: vec![0; n],
+            epoch: 0,
+            size_undo: None,
+            arrival_undo: Vec::new(),
+            trials: 0,
+            arrival_evals: 0,
+        }
+    }
+
     /// The underlying netlist.
     pub fn netlist(&self) -> &Netlist {
         self.nl
+    }
+}
+
+/// Incremental static timing for sizing trials.
+///
+/// Resizing one gate changes its own delay and (through the load term) its
+/// fanins' delays; everything else moves only via arrival propagation. The
+/// cache keeps the last arrival times resident, re-evaluates the affected
+/// cone in level order, and stops wherever a recomputed arrival is
+/// bit-identical to the stored one — so a shrink trial on a gate with small
+/// downstream cone touches a handful of nets instead of the whole netlist.
+///
+/// Arrivals are computed with exactly the expression [`SizedCircuit::timing`]
+/// uses (same fanin order, same `max` fold), so the returned critical delay
+/// is bit-identical to a from-scratch analysis and every accept/reject
+/// decision made through the cache matches the full-STA driver.
+#[derive(Debug)]
+pub struct StaCache {
+    arrival: Vec<f64>,
+    levels: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    queued: Vec<u64>,
+    epoch: u64,
+    size_undo: Option<(usize, f64)>,
+    arrival_undo: Vec<(usize, f64)>,
+    /// Resize trials performed.
+    pub trials: u64,
+    /// Arrival recomputations across all trials (the full-STA equivalent
+    /// is `trials × nets` — the ratio is the work saved).
+    pub arrival_evals: u64,
+}
+
+impl StaCache {
+    /// Set `net`'s size and propagate arrivals; returns the new critical
+    /// delay. The previous size and arrivals are journaled — call
+    /// [`StaCache::revert`] to undo this trial in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is a source (sources are never sized).
+    pub fn resize(&mut self, c: &mut SizedCircuit<'_>, net: NetId, new_size: f64) -> f64 {
+        assert!(!c.nl.kind(net).is_source(), "sources are never sized");
+        self.trials += 1;
+        self.epoch += 1;
+        self.arrival_undo.clear();
+        self.size_undo = Some((net.index(), c.sizes[net.index()]));
+        c.sizes[net.index()] = new_size;
+        self.heap.clear();
+        // The resized gate's delay changed; so did its fanins' (their load
+        // includes the resized gate's input capacitance).
+        self.enqueue(net);
+        for &f in c.nl.fanins(net) {
+            if !c.nl.kind(f).is_source() {
+                self.enqueue(f);
+            }
+        }
+        while let Some(Reverse((_, raw))) = self.heap.pop() {
+            let idx = raw as usize;
+            let nid = NetId::from_index(idx);
+            self.arrival_evals += 1;
+            let input_arrival = c
+                .nl
+                .fanins(nid)
+                .iter()
+                .map(|x| self.arrival[x.index()])
+                .fold(0.0f64, f64::max);
+            let a = input_arrival + c.gate_delay(nid);
+            if a.to_bits() == self.arrival[idx].to_bits() {
+                continue; // early cut-off: nothing downstream can move
+            }
+            self.arrival_undo.push((idx, self.arrival[idx]));
+            self.arrival[idx] = a;
+            for fi in 0..c.fanouts[idx].len() {
+                let sink = c.fanouts[idx][fi];
+                self.enqueue(sink);
+            }
+        }
+        self.critical(c)
+    }
+
+    fn enqueue(&mut self, net: NetId) {
+        let idx = net.index();
+        if self.queued[idx] != self.epoch {
+            self.queued[idx] = self.epoch;
+            self.heap.push(Reverse((self.levels[idx], idx as u32)));
+        }
+    }
+
+    /// Worst arrival over primary outputs under the cached arrivals.
+    pub fn critical(&self, c: &SizedCircuit<'_>) -> f64 {
+        c.nl
+            .outputs()
+            .iter()
+            .map(|(net, _)| self.arrival[net.index()])
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Undo the most recent [`StaCache::resize`]. Returns false if there is
+    /// nothing to revert (single-slot journal).
+    pub fn revert(&mut self, c: &mut SizedCircuit<'_>) -> bool {
+        let Some((idx, old)) = self.size_undo.take() else {
+            return false;
+        };
+        c.sizes[idx] = old;
+        for &(i, a) in &self.arrival_undo {
+            self.arrival[i] = a;
+        }
+        self.arrival_undo.clear();
+        true
     }
 }
 
@@ -317,6 +513,19 @@ impl<'a> SizedCircuit<'a> {
     /// `max_size` bounds individual gates (drive strengths beyond ~8x stop
     /// paying off in real libraries).
     pub fn upsize_for_speed(&mut self, constraint: f64, max_size: f64) -> bool {
+        let mut sta = self.sta_cache();
+        self.upsize_for_speed_with(constraint, max_size, &mut sta)
+    }
+
+    /// [`SizedCircuit::upsize_for_speed`] over a caller-owned [`StaCache`]:
+    /// every what-if upsizing is an incremental resize trial plus a revert
+    /// instead of a full timing analysis.
+    pub fn upsize_for_speed_with(
+        &mut self,
+        constraint: f64,
+        max_size: f64,
+        sta: &mut StaCache,
+    ) -> bool {
         let step = 1.25;
         loop {
             let timing = self.timing(constraint);
@@ -339,9 +548,8 @@ impl<'a> SizedCircuit<'a> {
             let mut best: Option<(NetId, f64)> = None;
             for &net in &critical {
                 let old = self.sizes[net.index()];
-                self.sizes[net.index()] = old * step;
-                let new_critical = self.timing(constraint).critical;
-                self.sizes[net.index()] = old;
+                let new_critical = sta.resize(self, net, old * step);
+                sta.revert(self);
                 let gain = timing.critical - new_critical;
                 // Cost: the capacitance the upsizing adds (intrinsic growth).
                 let kind = self.nl.kind(net);
@@ -354,6 +562,51 @@ impl<'a> SizedCircuit<'a> {
             let (chosen, ratio) = best.expect("critical nonempty");
             if ratio <= 0.0 {
                 return false; // no move helps
+            }
+            // Commit through the cache so its arrivals stay current.
+            sta.resize(self, chosen, self.sizes[chosen.index()] * step);
+        }
+    }
+
+    /// [`SizedCircuit::upsize_for_speed`] with a full timing analysis per
+    /// what-if trial — the pre-incremental driver, kept as the `bench_incr`
+    /// baseline. Identical decisions, identical final sizes.
+    pub fn upsize_for_speed_reference(&mut self, constraint: f64, max_size: f64) -> bool {
+        let step = 1.25;
+        loop {
+            let timing = self.timing(constraint);
+            if timing.critical <= constraint + 1e-9 {
+                return true;
+            }
+            let critical: Vec<NetId> = self
+                .nl
+                .iter_nets()
+                .filter(|&net| {
+                    !self.nl.kind(net).is_source()
+                        && timing.slack[net.index()] < 1e-9
+                        && self.sizes[net.index()] * step <= max_size + 1e-9
+                })
+                .collect();
+            if critical.is_empty() {
+                return false;
+            }
+            let mut best: Option<(NetId, f64)> = None;
+            for &net in &critical {
+                let old = self.sizes[net.index()];
+                self.sizes[net.index()] = old * step;
+                let new_critical = self.timing(constraint).critical;
+                self.sizes[net.index()] = old;
+                let gain = timing.critical - new_critical;
+                let kind = self.nl.kind(net);
+                let cost = kind.intrinsic_cap(self.nl.fanins(net).len()) * old * (step - 1.0);
+                let ratio = gain / cost.max(1e-9);
+                if best.map(|(_, r)| ratio > r).unwrap_or(true) {
+                    best = Some((net, ratio));
+                }
+            }
+            let (chosen, ratio) = best.expect("critical nonempty");
+            if ratio <= 0.0 {
+                return false;
             }
             self.sizes[chosen.index()] *= step;
         }
@@ -388,6 +641,66 @@ mod upsize_tests {
         let fastest = SizedCircuit::new(&nl, 8.0).timing(1e9).critical;
         let mut c = SizedCircuit::new(&nl, 1.0);
         assert!(!c.upsize_for_speed(fastest * 0.5, 8.0));
+    }
+
+    #[test]
+    fn incremental_sta_matches_full_sta_decisions() {
+        let (nl, _) = ripple_adder(8);
+        let fastest = SizedCircuit::new(&nl, 4.0).timing(1e9).critical;
+        let constraint = fastest * 1.4;
+        let mut incr = SizedCircuit::new(&nl, 4.0);
+        let mut refr = SizedCircuit::new(&nl, 4.0);
+        let mut sta = incr.sta_cache();
+        let ci = incr.downsize_for_power_with(constraint, &mut sta);
+        let cr = refr.downsize_for_power_reference(constraint);
+        assert_eq!(ci, cr, "same number of accepted shrinks");
+        for (i, (a, b)) in incr.sizes.iter().zip(refr.sizes.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "size of n{i}");
+        }
+        // The cache's arrivals equal a fresh full analysis afterwards.
+        let full = incr.timing(constraint);
+        let fresh = incr.sta_cache();
+        assert_eq!(sta.critical(&incr).to_bits(), full.critical.to_bits());
+        assert_eq!(fresh.critical(&incr).to_bits(), full.critical.to_bits());
+        // And the incremental trials touched far fewer nets than full STA
+        // would have (`trials × nets` arrival evaluations).
+        assert!(sta.trials > 0);
+        assert!(sta.arrival_evals < sta.trials * nl.len() as u64);
+    }
+
+    #[test]
+    fn incremental_upsize_matches_reference() {
+        let (nl, _) = ripple_adder(8);
+        let fastest = SizedCircuit::new(&nl, 8.0).timing(1e9).critical;
+        let slowest = SizedCircuit::new(&nl, 1.0).timing(1e9).critical;
+        let target = 0.5 * (fastest + slowest);
+        let mut incr = SizedCircuit::new(&nl, 1.0);
+        let mut refr = SizedCircuit::new(&nl, 1.0);
+        assert_eq!(
+            incr.upsize_for_speed(target, 8.0),
+            refr.upsize_for_speed_reference(target, 8.0)
+        );
+        for (i, (a, b)) in incr.sizes.iter().zip(refr.sizes.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "size of n{i}");
+        }
+    }
+
+    #[test]
+    fn resize_trial_revert_restores_arrivals() {
+        let (nl, _) = ripple_adder(6);
+        let mut c = SizedCircuit::new(&nl, 2.0);
+        let mut sta = c.sta_cache();
+        let before = sta.critical(&c);
+        let victim = nl
+            .iter_nets()
+            .find(|&net| !nl.kind(net).is_source())
+            .expect("gate");
+        let during = sta.resize(&mut c, victim, 1.0);
+        assert_ne!(during.to_bits(), before.to_bits(), "shrink must slow it");
+        assert!(sta.revert(&mut c));
+        assert_eq!(sta.critical(&c).to_bits(), before.to_bits());
+        assert_eq!(c.sizes[victim.index()], 2.0);
+        assert!(!sta.revert(&mut c), "journal is single-slot");
     }
 
     #[test]

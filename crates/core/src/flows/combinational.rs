@@ -2,12 +2,13 @@
 //! balancing, with power measured by event-driven (glitch-aware) timing
 //! simulation before and after.
 
-use logicopt::balance::balance_paths_with_threshold;
+use logicopt::balance::{balance_delta, balance_paths_with_threshold};
 use logicopt::dontcare::{optimize_dontcares, Mode};
 use netlist::Netlist;
 use power::model::{PowerParams, PowerReport};
 use sim::comb::CombSim;
-use sim::event::{DelayModel, EventSim};
+use sim::event::DelayModel;
+use sim::incr::IncrementalEventSim;
 use sim::stimulus::Stimulus;
 
 /// Configuration of the combinational flow.
@@ -63,12 +64,9 @@ pub struct CombFlowResult {
     pub dontcare_rewrites: usize,
 }
 
-fn measure(nl: &Netlist, config: &CombFlowConfig) -> (PowerReport, f64) {
-    let patterns = Stimulus::uniform(nl.num_inputs()).patterns(config.cycles, config.seed);
-    let timing = EventSim::new(nl, &DelayModel::Unit)
-        .with_obs(config.obs.clone())
-        .activity(&patterns);
-    let report = PowerReport::from_activity(nl, &timing.total, &config.params);
+fn measure(engine: &IncrementalEventSim, config: &CombFlowConfig) -> (PowerReport, f64) {
+    let timing = engine.activity();
+    let report = PowerReport::from_activity(engine.netlist(), &timing.total, &config.params);
     (report, timing.glitch_fraction())
 }
 
@@ -86,8 +84,19 @@ pub fn optimize(nl: &Netlist, config: &CombFlowConfig) -> CombFlowResult {
     let obs = &config.obs;
     let flow_span = obs.span("flow.comb");
 
+    // One stimulus, packed once, shared by every measurement in the flow.
+    let packed = Stimulus::uniform(nl.num_inputs()).packed(config.cycles, config.seed);
+
     let span = obs.span("pass.measure-baseline");
-    let (baseline_power, glitch_before) = measure(nl, config);
+    let mut engine = IncrementalEventSim::try_from_full_eval(
+        nl,
+        &DelayModel::Unit,
+        &packed,
+        &budget::ResourceBudget::unlimited(),
+        obs.clone(),
+    )
+    .expect("unlimited budget");
+    let (baseline_power, glitch_before) = measure(&engine, config);
     span.close();
 
     let span = obs.span("pass.dontcare");
@@ -103,10 +112,33 @@ pub fn optimize(nl: &Netlist, config: &CombFlowConfig) -> CombFlowResult {
     obs.add("flow.comb.dontcare_rewrites", dc_rewrites as u64);
 
     let span = obs.span("pass.balance");
-    let (balanced, balance_report) =
-        balance_paths_with_threshold(&after_dc, config.balance_threshold);
+    let (balanced, buffers_added) = if dc_rewrites == 0 {
+        // Netlist unchanged since the baseline measurement: balance as a
+        // delta against the resident engine, so the optimized measurement
+        // below re-simulates only the buffered cones.
+        let levels = nl.levels().expect("acyclic");
+        let (delta, buffers) = balance_delta(nl, &levels, config.balance_threshold);
+        if !delta.is_empty() {
+            engine.apply_delta(&delta);
+        }
+        (engine.netlist().clone(), buffers)
+    } else {
+        // The don't-care pass rebuilt and swept the netlist — net ids moved,
+        // which no delta can express. Full-eval fallback: fresh engine.
+        let (balanced, report) =
+            balance_paths_with_threshold(&after_dc, config.balance_threshold);
+        engine = IncrementalEventSim::try_from_full_eval(
+            &balanced,
+            &DelayModel::Unit,
+            &packed,
+            &budget::ResourceBudget::unlimited(),
+            obs.clone(),
+        )
+        .expect("unlimited budget");
+        (balanced, report.buffers_added)
+    };
     span.close();
-    obs.add("flow.comb.buffers_added", balance_report.buffers_added as u64);
+    obs.add("flow.comb.buffers_added", buffers_added as u64);
 
     // Safety net: the flow must preserve function.
     let span = obs.span("pass.equiv-check");
@@ -119,7 +151,7 @@ pub fn optimize(nl: &Netlist, config: &CombFlowConfig) -> CombFlowResult {
     span.close();
 
     let span = obs.span("pass.measure-optimized");
-    let (optimized_power, glitch_after) = measure(&balanced, config);
+    let (optimized_power, glitch_after) = measure(&engine, config);
     span.close();
 
     obs.gauge_set("flow.comb.power.before", baseline_power.total());
@@ -133,7 +165,7 @@ pub fn optimize(nl: &Netlist, config: &CombFlowConfig) -> CombFlowResult {
         optimized_power,
         glitch_fraction_before: glitch_before,
         glitch_fraction_after: glitch_after,
-        buffers_added: balance_report.buffers_added,
+        buffers_added,
         dontcare_rewrites: dc_rewrites,
     }
 }

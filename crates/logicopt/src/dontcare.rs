@@ -22,6 +22,9 @@
 use bdd::{Ref, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
 use power::exact::{circuit_bdds, CircuitBddCache};
+use sim::comb::CombSim;
+use sim::incr::{Delta, IncrementalSim};
+use sim::stimulus::PackedPatterns;
 
 /// Acceptance criterion for a node rewrite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,6 +153,244 @@ pub fn optimize_dontcares_cached(
     )
 }
 
+/// Outcome of the simulation-driven don't-care pass.
+#[derive(Debug, Clone)]
+pub struct DontCareSimReport {
+    /// Nodes rewritten.
+    pub nodes_changed: usize,
+    /// Simulated switched capacitance before (fF/cycle, live nets only).
+    pub cap_before: f64,
+    /// Simulated switched capacitance after.
+    pub cap_after: f64,
+    /// Candidate rewrites evaluated (applied then accepted or reverted).
+    pub rewrites_tried: usize,
+    /// Nets (re-)evaluated to judge the candidates: the engine's dirty-cone
+    /// replays for the incremental driver, whole-netlist re-simulations for
+    /// the reference driver. The ratio is the deterministic work saving.
+    pub nets_reevaluated: u64,
+}
+
+/// Don't-care optimization driven by *simulated* activity instead of exact
+/// probabilities: each candidate rewrite is applied to a resident
+/// [`IncrementalSim`] as a [`Delta`], judged by the engine's live-net
+/// switched capacitance, and reverted in place when it does not pay — no
+/// re-simulation from scratch anywhere in the loop.
+///
+/// Bit-identical in decisions and result to
+/// [`optimize_dontcares_sim_reference`] (the from-scratch driver kept for
+/// A/B benchmarking).
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential/cyclic or the stimulus width does
+/// not match.
+pub fn optimize_dontcares_sim(
+    nl: &Netlist,
+    input_probs: &[f64],
+    max_fanin: usize,
+    packed: &PackedPatterns,
+) -> (Netlist, DontCareSimReport) {
+    assert_eq!(input_probs.len(), nl.num_inputs());
+    let mut engine = IncrementalSim::from_full_eval(nl, packed);
+    let cap_before = engine.switched_cap_live();
+    let mut cap_current = cap_before;
+    let mut cache = CircuitBddCache::new();
+    let mut nodes_changed = 0;
+    let mut rewrites_tried = 0;
+    let mut pass = 0;
+    'outer: loop {
+        pass += 1;
+        if pass > 8 {
+            break;
+        }
+        // Rewrites leave their victim's dead cone in place (net ids stay
+        // stable for the engine), so candidates are filtered to live nets.
+        let current = engine.netlist().clone();
+        let bdds = cache
+            .get_or_build(&current, &ResourceBudget::unlimited())
+            .expect("unlimited budget");
+        for node in sim_candidates(&current, max_fanin) {
+            let Some(rewrite) = find_rewrite(&current, &bdds, node, input_probs) else {
+                continue;
+            };
+            rewrites_tried += 1;
+            let mut delta = Delta::for_netlist(&current);
+            let new_root = synthesize_table_delta(&mut delta, &rewrite.fanins, &rewrite.table);
+            delta.replace_uses(node, new_root);
+            engine.apply_delta(&delta);
+            let cap_new = engine.switched_cap_live();
+            if cap_new < cap_current - 1e-9 {
+                cap_current = cap_new;
+                nodes_changed += 1;
+                continue 'outer;
+            }
+            engine.revert();
+        }
+        break;
+    }
+    (
+        engine.netlist().clone(),
+        DontCareSimReport {
+            nodes_changed,
+            cap_before,
+            cap_after: cap_current,
+            rewrites_tried,
+            nets_reevaluated: engine.stats().nets_reevaluated,
+        },
+    )
+}
+
+/// [`optimize_dontcares_sim`] evaluated the pre-incremental way: every
+/// candidate is applied to a fresh clone and re-simulated from scratch.
+/// Same candidates, same acceptance metric, same result — kept as the
+/// baseline for the `bench_incr` speedup measurements.
+pub fn optimize_dontcares_sim_reference(
+    nl: &Netlist,
+    input_probs: &[f64],
+    max_fanin: usize,
+    packed: &PackedPatterns,
+) -> (Netlist, DontCareSimReport) {
+    assert!(nl.is_combinational(), "don't-care pass needs combinational logic");
+    assert_eq!(input_probs.len(), nl.num_inputs());
+    let nets_simulated = std::cell::Cell::new(0u64);
+    let live_cap = |nl: &Netlist| -> f64 {
+        let mut swept = nl.clone();
+        swept.sweep_dead();
+        nets_simulated.set(nets_simulated.get() + swept.len() as u64);
+        let profile = CombSim::new(&swept).activity_packed(packed);
+        profile.switched_capacitance(&swept)
+    };
+    let mut current = nl.clone();
+    let cap_before = live_cap(&current);
+    let mut cap_current = cap_before;
+    let mut cache = CircuitBddCache::new();
+    let mut nodes_changed = 0;
+    let mut rewrites_tried = 0;
+    let mut pass = 0;
+    'outer: loop {
+        pass += 1;
+        if pass > 8 {
+            break;
+        }
+        let bdds = cache
+            .get_or_build(&current, &ResourceBudget::unlimited())
+            .expect("unlimited budget");
+        for node in sim_candidates(&current, max_fanin) {
+            let Some(rewrite) = find_rewrite(&current, &bdds, node, input_probs) else {
+                continue;
+            };
+            rewrites_tried += 1;
+            let mut candidate = current.clone();
+            let new_root = synthesize_table(&mut candidate, &rewrite.fanins, &rewrite.table);
+            candidate.replace_uses(node, new_root);
+            let cap_new = live_cap(&candidate);
+            if cap_new < cap_current - 1e-9 {
+                cap_current = cap_new;
+                current = candidate;
+                nodes_changed += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (
+        current,
+        DontCareSimReport {
+            nodes_changed,
+            cap_before,
+            cap_after: cap_current,
+            rewrites_tried,
+            nets_reevaluated: nets_simulated.get(),
+        },
+    )
+}
+
+/// Candidate nodes for the simulation-driven pass: live internal gates
+/// small enough to enumerate.
+fn sim_candidates(nl: &Netlist, max_fanin: usize) -> Vec<NetId> {
+    let mut live = vec![false; nl.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (net, _) in nl.outputs() {
+        stack.push(net.index());
+    }
+    for &pi in nl.inputs() {
+        stack.push(pi.index());
+    }
+    while let Some(v) = stack.pop() {
+        if live[v] {
+            continue;
+        }
+        live[v] = true;
+        for &f in nl.fanins(NetId::from_index(v)) {
+            stack.push(f.index());
+        }
+    }
+    nl.iter_nets()
+        .filter(|&net| {
+            let kind = nl.kind(net);
+            live[net.index()]
+                && !kind.is_source()
+                && kind != GateKind::Dff
+                && !nl.fanins(net).is_empty()
+                && nl.fanins(net).len() <= max_fanin
+        })
+        .collect()
+}
+
+/// [`synthesize_table`] recorded into a [`Delta`] instead of applied to a
+/// netlist (same gates in the same order, so replaying the delta matches
+/// the direct construction node for node).
+fn synthesize_table_delta(delta: &mut Delta, fanins: &[NetId], table: &[bool]) -> NetId {
+    let k = fanins.len();
+    let ones = table.iter().filter(|&&b| b).count();
+    if ones == 0 {
+        return delta.add_gate(GateKind::Const(false), &[]);
+    }
+    if ones == table.len() {
+        return delta.add_gate(GateKind::Const(true), &[]);
+    }
+    let cover_ones = ones <= table.len() / 2;
+    let mut terms = Vec::new();
+    let mut inverted: Vec<Option<NetId>> = vec![None; k];
+    for (m, &bit) in table.iter().enumerate() {
+        if bit != cover_ones {
+            continue;
+        }
+        let mut literals = Vec::with_capacity(k);
+        for (i, &fi) in fanins.iter().enumerate() {
+            if m >> i & 1 == 1 {
+                literals.push(fi);
+            } else {
+                let inv = match inverted[i] {
+                    Some(x) => x,
+                    None => {
+                        let x = delta.add_gate(GateKind::Not, &[fi]);
+                        inverted[i] = Some(x);
+                        x
+                    }
+                };
+                literals.push(inv);
+            }
+        }
+        let term = if literals.len() == 1 {
+            literals[0]
+        } else {
+            delta.add_gate(GateKind::And, &literals)
+        };
+        terms.push(term);
+    }
+    let sum = if terms.len() == 1 {
+        terms[0]
+    } else {
+        delta.add_gate(GateKind::Or, &terms)
+    };
+    if cover_ones {
+        sum
+    } else {
+        delta.add_gate(GateKind::Not, &[sum])
+    }
+}
+
 fn try_rewrite(
     nl: &Netlist,
     bdds: &power::exact::CircuitBdds,
@@ -158,6 +399,49 @@ fn try_rewrite(
     mode: Mode,
     cache: &mut CircuitBddCache,
 ) -> Option<Netlist> {
+    let rewrite = find_rewrite(nl, bdds, node, input_probs)?;
+
+    // Build the rewritten netlist: node := SOP over its fanins.
+    let mut rebuilt = nl.clone();
+    let new_root = synthesize_table(&mut rebuilt, &rewrite.fanins, &rewrite.table);
+    rebuilt.replace_uses(node, new_root);
+    debug_assert!(rebuilt.validate().is_ok());
+
+    match mode {
+        Mode::NodeLocal => Some(rebuilt),
+        Mode::FanoutAware => {
+            let mut swept = rebuilt.clone();
+            swept.sweep_dead();
+            // `nl` repeats across every candidate of a pass: cached. The
+            // candidate itself is a throwaway structure: built directly.
+            let before = estimated_cap_cached(nl, input_probs, cache);
+            let after = estimated_cap(&swept, input_probs);
+            if after < before - 1e-9 {
+                Some(rebuilt)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// A profitable node rewrite found by the ODC analysis: replace `node`
+/// with the truth table `table` over `fanins`.
+struct Rewrite {
+    fanins: Vec<NetId>,
+    table: Vec<bool>,
+}
+
+/// The don't-care analysis shared by the estimate-driven and the
+/// simulation-driven pass drivers: compute `node`'s observability
+/// don't-cares and, if its one-probability can be pushed further from 0.5
+/// inside them, return the rebiased local truth table.
+fn find_rewrite(
+    nl: &Netlist,
+    bdds: &power::exact::CircuitBdds,
+    node: NetId,
+    input_probs: &[f64],
+) -> Option<Rewrite> {
     let mut mgr = bdds.mgr.clone();
     // The scratch manager holds plenty of refs no root protects (the
     // substituted cones, the observability union); collection would free
@@ -268,29 +552,10 @@ fn try_rewrite(
     if activity(p_new) >= activity(p_orig) - 1e-12 {
         return None;
     }
-
-    // Build the rewritten netlist: node := SOP over its fanins.
-    let mut rebuilt = nl.clone();
-    let new_root = synthesize_table(&mut rebuilt, &fanins, &new_table);
-    rebuilt.replace_uses(node, new_root);
-    debug_assert!(rebuilt.validate().is_ok());
-
-    match mode {
-        Mode::NodeLocal => Some(rebuilt),
-        Mode::FanoutAware => {
-            let mut swept = rebuilt.clone();
-            swept.sweep_dead();
-            // `nl` repeats across every candidate of a pass: cached. The
-            // candidate itself is a throwaway structure: built directly.
-            let before = estimated_cap_cached(nl, input_probs, cache);
-            let after = estimated_cap(&swept, input_probs);
-            if after < before - 1e-9 {
-                Some(rebuilt)
-            } else {
-                None
-            }
-        }
-    }
+    Some(Rewrite {
+        fanins,
+        table: new_table,
+    })
 }
 
 fn build_gate(mgr: &mut bdd::Bdd, kind: GateKind, ins: &[Ref]) -> Ref {
@@ -462,6 +727,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sim_driven_pass_matches_reference_driver() {
+        use sim::stimulus::Stimulus;
+        let config = netlist::gen::RandomDagConfig {
+            inputs: 6,
+            gates: 30,
+            outputs: 3,
+            max_fanin: 3,
+            window: 10,
+        };
+        for seed in [1, 4, 9] {
+            let nl = netlist::gen::random_dag(&config, seed);
+            let packed = Stimulus::uniform(6).packed(512, seed);
+            let (incr, ri) = optimize_dontcares_sim(&nl, &[0.5; 6], 5, &packed);
+            let (refr, rr) = optimize_dontcares_sim_reference(&nl, &[0.5; 6], 5, &packed);
+            assert_eq!(ri.nodes_changed, rr.nodes_changed, "seed {seed}");
+            assert_eq!(ri.rewrites_tried, rr.rewrites_tried);
+            assert_eq!(ri.cap_after.to_bits(), rr.cap_after.to_bits());
+            assert_eq!(incr.len(), refr.len());
+            for net in incr.iter_nets() {
+                assert_eq!(incr.kind(net), refr.kind(net), "{net} seed {seed}");
+                assert_eq!(incr.fanins(net), refr.fanins(net), "{net} seed {seed}");
+            }
+            assert!(equivalent_exhaustive(&nl, &incr), "seed {seed}");
+            assert!(ri.cap_after <= ri.cap_before + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sim_driven_pass_finds_the_redundancy() {
+        use sim::stimulus::Stimulus;
+        let (nl, _) = redundant_and();
+        let packed = Stimulus::uniform(2).packed(256, 3);
+        let (optimized, report) = optimize_dontcares_sim(&nl, &[0.5, 0.5], 6, &packed);
+        assert!(report.nodes_changed >= 1);
+        assert!(equivalent_exhaustive(&nl, &optimized));
+        assert!(report.cap_after < report.cap_before);
     }
 
     #[test]

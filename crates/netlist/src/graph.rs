@@ -583,6 +583,47 @@ impl Netlist {
         map
     }
 
+    /// Remove every node with index `>= len`, restoring the node table to
+    /// an earlier append point.
+    ///
+    /// This is the inverse of a run of `add_gate`/`add_const` calls; it
+    /// lets incremental engines revert speculative gate insertions in
+    /// place without the renumbering a [`Netlist::sweep_dead`] would do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a surviving node, primary input, primary output, or
+    /// flip-flop still references a removed net — rewire those first.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.nodes.len(), "truncate beyond node table");
+        for (i, node) in self.nodes[..len].iter().enumerate() {
+            for &input in &node.inputs {
+                assert!(
+                    input.index() < len,
+                    "net n{i} references removed net {input}"
+                );
+            }
+        }
+        for &pi in &self.inputs {
+            assert!(pi.index() < len, "primary input {pi} removed");
+        }
+        for (net, name) in &self.outputs {
+            assert!(net.index() < len, "output {name} ({net}) removed");
+        }
+        for &dff in &self.dffs {
+            assert!(dff.index() < len, "flip-flop {dff} removed");
+        }
+        self.nodes.truncate(len);
+    }
+
+    /// Re-point primary output slot `idx` (in [`Netlist::outputs`] order)
+    /// at `net`, keeping its name. Used by incremental engines to undo the
+    /// output rewiring of [`Netlist::replace_uses`].
+    pub fn set_output_net(&mut self, idx: usize, net: NetId) {
+        assert!(net.index() < self.nodes.len(), "output net {net} out of range");
+        self.outputs[idx].0 = net;
+    }
+
     /// Extract the transitive-fanin cone of `roots` as a fresh combinational
     /// netlist. Flip-flop outputs become primary inputs of the cone.
     ///

@@ -288,12 +288,15 @@ fn sampled_activity(
     } else {
         Stimulus::uniform(nl.num_inputs())
     };
-    let patterns = stimulus.patterns(cycles, cfg.seed);
     if nl.is_combinational() {
+        // Pack straight into the engine's word layout; the per-call
+        // transpose in try_activity_jobs is skipped.
+        let packed = stimulus.packed(cycles, cfg.seed);
         CombSim::new(nl)
             .with_obs(cfg.obs.clone())
-            .try_activity_jobs(&patterns, cfg.jobs, budget)
+            .try_activity_packed_jobs(&packed, cfg.jobs, budget)
     } else {
+        let patterns = stimulus.patterns(cycles, cfg.seed);
         Ok(SeqSim::new(nl)
             .with_obs(cfg.obs.clone())
             .try_activity_jobs(&patterns, cfg.jobs, budget)?

@@ -10,7 +10,7 @@ use netlist::{GateKind, NetId, Netlist};
 
 use crate::par;
 use crate::profile::ActivityProfile;
-use crate::stimulus::PatternSet;
+use crate::stimulus::{PackedPatterns, PatternSet};
 
 /// Reusable scratch buffers for [`CombSim`] hot loops.
 ///
@@ -128,32 +128,34 @@ impl<'a> CombSim<'a> {
         out
     }
 
-    /// Count toggles/ones over one contiguous slice of the stream, reusing
-    /// the arena's buffers across blocks. Deadline checks are amortized to
-    /// one clock read per 16 blocks (1024 cycles) so the budgeted path adds
-    /// nothing measurable to the hot loop.
+    /// Count toggles/ones over one contiguous run of pre-packed 64-cycle
+    /// blocks, reusing the arena's buffers. Deadline checks are amortized
+    /// to one clock read per 16 blocks (1024 cycles) so the budgeted path
+    /// adds nothing measurable to the hot loop.
     fn shard_counts(
         &self,
-        patterns: &[Vec<bool>],
+        packed: &PackedPatterns,
+        blocks: std::ops::Range<usize>,
         arena: &mut CombArena,
         budget: &ResourceBudget,
     ) -> Result<ShardCounts, BudgetExceeded> {
         let n = self.nl.len();
+        let mut cycles = 0usize;
         let mut counts = ShardCounts {
             toggles: vec![0u64; n],
             ones: vec![0u64; n],
             first: vec![false; n],
             last: vec![false; n],
-            cycles: patterns.len(),
+            cycles: 0,
         };
         let mut have_prev = false;
-        for (block, chunk) in patterns.chunks(64).enumerate() {
-            if block & 0xF == 0 {
+        for (step, block) in blocks.enumerate() {
+            if step & 0xF == 0 {
                 budget.check_deadline()?;
             }
-            pack_into(chunk, self.nl.num_inputs(), &mut arena.words);
-            self.eval_words_into(&arena.words, &mut arena.values, &mut arena.scratch);
-            let w = chunk.len();
+            self.eval_words_into(packed.block(block), &mut arena.values, &mut arena.scratch);
+            let w = packed.block_cycles(block);
+            cycles += w;
             let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
             for i in 0..n {
                 let v = arena.values[i] & mask;
@@ -172,6 +174,7 @@ impl<'a> CombSim<'a> {
             }
             have_prev = true;
         }
+        counts.cycles = cycles;
         Ok(counts)
     }
 
@@ -220,25 +223,52 @@ impl<'a> CombSim<'a> {
         jobs: usize,
         budget: &ResourceBudget,
     ) -> Result<ActivityProfile, BudgetExceeded> {
+        self.try_activity_packed_jobs(&PackedPatterns::pack(patterns), jobs, budget)
+    }
+
+    /// [`CombSim::activity`] over a pre-packed stream (serial).
+    ///
+    /// Packing is O(cycles × inputs); optimization loops that re-measure
+    /// the same stimulus per candidate should pack once with
+    /// [`PackedPatterns::pack`] and call this (or the incremental engine in
+    /// [`crate::incr`]) instead of re-packing through the `PatternSet`
+    /// entry points.
+    pub fn activity_packed(&self, packed: &PackedPatterns) -> ActivityProfile {
+        match self.try_activity_packed_jobs(packed, 1, &ResourceBudget::unlimited()) {
+            Ok(p) => p,
+            Err(e) => unreachable!("unlimited budget reported exhaustion: {e}"),
+        }
+    }
+
+    /// [`CombSim::try_activity_jobs`] over a pre-packed stream. All
+    /// `PatternSet` entry points funnel here after packing once, so the
+    /// counts (and the obs counters) are bit-identical between the packed
+    /// and unpacked APIs.
+    pub fn try_activity_packed_jobs(
+        &self,
+        packed: &PackedPatterns,
+        jobs: usize,
+        budget: &ResourceBudget,
+    ) -> Result<ActivityProfile, BudgetExceeded> {
         let n = self.nl.len();
-        budget.check_sim_steps(patterns.len() as u64 * n.max(1) as u64)?;
+        budget.check_sim_steps(packed.cycles() as u64 * n.max(1) as u64)?;
         budget.check_deadline()?;
-        let blocks = patterns.len().div_ceil(64);
+        let blocks = packed.num_blocks();
         let shards = par::num_threads(jobs).min(blocks).max(1);
         let counts = if shards <= 1 {
-            par::record_shard_gauges(&self.obs, "comb", &[patterns.len()]);
-            vec![self.shard_counts(patterns, &mut CombArena::new(), budget)?]
+            par::record_shard_gauges(&self.obs, "comb", &[packed.cycles()]);
+            vec![self.shard_counts(packed, 0..blocks, &mut CombArena::new(), budget)?]
         } else {
-            let slices: Vec<&[Vec<bool>]> = par::shard_ranges(blocks, shards)
-                .into_iter()
-                .map(|r| &patterns[r.start * 64..(r.end * 64).min(patterns.len())])
-                .collect();
+            let ranges = par::shard_ranges(blocks, shards);
             if self.obs.is_enabled() {
-                let sizes: Vec<usize> = slices.iter().map(|s| s.len()).collect();
+                let sizes: Vec<usize> = ranges
+                    .iter()
+                    .map(|r| (r.end * 64).min(packed.cycles()) - r.start * 64)
+                    .collect();
                 par::record_shard_gauges(&self.obs, "comb", &sizes);
             }
-            par::par_map(&slices, shards, |_, slice| {
-                self.shard_counts(slice, &mut CombArena::new(), budget)
+            par::par_map(&ranges, shards, |_, range| {
+                self.shard_counts(packed, range.clone(), &mut CombArena::new(), budget)
             })
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?

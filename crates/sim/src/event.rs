@@ -67,7 +67,7 @@ pub enum DelayModel {
 }
 
 impl DelayModel {
-    fn delay(&self, nl: &Netlist, net: NetId) -> u32 {
+    pub(crate) fn delay(&self, nl: &Netlist, net: NetId) -> u32 {
         match self {
             DelayModel::Unit => 1,
             DelayModel::Analytic { resolution } => {

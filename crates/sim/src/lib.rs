@@ -35,6 +35,7 @@
 pub mod comb;
 pub mod event;
 pub mod fault;
+pub mod incr;
 pub mod par;
 pub mod seq;
 pub mod stimulus;

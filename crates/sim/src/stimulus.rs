@@ -114,6 +114,86 @@ impl Stimulus {
     }
 }
 
+/// A pattern set pre-packed into 64-cycle words, one `u64` per input per
+/// block (bit `k` of block `b` is the input's value in cycle `64*b + k`).
+///
+/// The bit-parallel engines consume patterns in exactly this layout;
+/// packing once per pass instead of once per `activity` call removes a
+/// per-candidate O(cycles × width) transpose from the optimization inner
+/// loops.
+#[derive(Debug, Clone)]
+pub struct PackedPatterns {
+    width: usize,
+    cycles: usize,
+    /// Block-major: `words[block * width + input]`.
+    words: Vec<u64>,
+}
+
+impl PackedPatterns {
+    /// Pack a [`PatternSet`] into words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern set is ragged.
+    pub fn pack(patterns: &PatternSet) -> PackedPatterns {
+        let width = patterns.first().map_or(0, Vec::len);
+        let cycles = patterns.len();
+        let nblocks = cycles.div_ceil(64);
+        let mut words = vec![0u64; nblocks * width];
+        for (k, p) in patterns.iter().enumerate() {
+            assert_eq!(p.len(), width, "ragged pattern set");
+            let base = (k / 64) * width;
+            let bit = k % 64;
+            for (i, &b) in p.iter().enumerate() {
+                words[base + i] |= (b as u64) << bit;
+            }
+        }
+        PackedPatterns {
+            width,
+            cycles,
+            words,
+        }
+    }
+
+    /// Number of input bits per pattern.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of cycles in the stream.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Number of 64-cycle blocks (the last may be partial).
+    pub fn num_blocks(&self) -> usize {
+        self.cycles.div_ceil(64)
+    }
+
+    /// Number of valid cycles in block `b` (64 for all but a partial tail).
+    pub fn block_cycles(&self, b: usize) -> usize {
+        (self.cycles - b * 64).min(64)
+    }
+
+    /// The packed input words of block `b`, one `u64` per input.
+    pub fn block(&self, b: usize) -> &[u64] {
+        &self.words[b * self.width..(b + 1) * self.width]
+    }
+
+    /// Value of `input` in `cycle`.
+    pub fn bit(&self, input: usize, cycle: usize) -> bool {
+        debug_assert!(input < self.width && cycle < self.cycles);
+        self.words[(cycle / 64) * self.width + input] >> (cycle % 64) & 1 == 1
+    }
+}
+
+impl Stimulus {
+    /// Generate `cycles` patterns from `seed`, pre-packed into words.
+    pub fn packed(&self, cycles: usize, seed: u64) -> PackedPatterns {
+        PackedPatterns::pack(&self.patterns(cycles, seed))
+    }
+}
+
 /// Measured per-input statistics of a pattern set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InputStats {
@@ -200,6 +280,27 @@ mod tests {
         for (k, p) in patterns.iter().enumerate() {
             let v: usize = p.iter().enumerate().map(|(i, &b)| (b as usize) << i).sum();
             assert_eq!(v, k);
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip_matches_patterns() {
+        // 100 cycles: one full block plus a 36-cycle tail.
+        let patterns = Stimulus::uniform(5).patterns(100, 42);
+        let packed = PackedPatterns::pack(&patterns);
+        assert_eq!(packed.width(), 5);
+        assert_eq!(packed.cycles(), 100);
+        assert_eq!(packed.num_blocks(), 2);
+        assert_eq!(packed.block_cycles(0), 64);
+        assert_eq!(packed.block_cycles(1), 36);
+        for (k, p) in patterns.iter().enumerate() {
+            for (i, &b) in p.iter().enumerate() {
+                assert_eq!(packed.bit(i, k), b, "input {i} cycle {k}");
+            }
+        }
+        // Tail bits beyond the stream are zero.
+        for &w in packed.block(1) {
+            assert_eq!(w >> 36, 0);
         }
     }
 

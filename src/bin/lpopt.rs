@@ -34,7 +34,7 @@ use std::process::ExitCode;
 
 use lowpower::budget::ResourceBudget;
 use lowpower::obs;
-use lowpower::logicopt::balance::balance_paths_with_threshold;
+use lowpower::logicopt::balance::balance_delta;
 use lowpower::logicopt::dontcare::{optimize_dontcares_cached, Mode};
 use lowpower::logicopt::mapping::{map, standard_library, MapObjective};
 use lowpower::netlist::blif::{parse_text, write_text};
@@ -44,6 +44,7 @@ use lowpower::power::exact::CircuitBddCache;
 use lowpower::power::model::{PowerParams, PowerReport};
 use lowpower::sim::event::{DelayModel, EventSim};
 use lowpower::sim::fault::{all_stuck_at_faults, CampaignReport, FaultSim};
+use lowpower::sim::incr::IncrementalEventSim;
 use lowpower::sim::stimulus::Stimulus;
 
 fn main() -> ExitCode {
@@ -305,40 +306,62 @@ fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, Cl
                 })
                 .transpose()?
                 .unwrap_or(0);
-            let (balanced, report) = balance_paths_with_threshold(&nl, threshold);
+            let levels = {
+                assert!(nl.is_combinational(), "balancing operates on combinational logic");
+                nl.levels().expect("acyclic")
+            };
+            let (delta, buffers_added) = balance_delta(&nl, &levels, threshold);
+            let depth_before = levels.iter().copied().max().unwrap_or(0);
+            let mut balanced = nl.clone();
+            delta.apply_to(&mut balanced);
+            let depth_after = balanced.depth();
             // Not-worse guard: path balancing trades buffer capacitance for
             // glitch power, so check the trade under the timing engine and
-            // keep the original if it lost.
+            // keep the original if it lost. One incremental engine measures
+            // both sides: the balance edit replays only the buffered cones.
             let mut chosen = &balanced;
             let mut verdict = String::new();
-            if nl.is_combinational() && report.buffers_added > 0 {
-                let patterns = Stimulus::uniform(nl.num_inputs()).patterns(256, 42);
+            if buffers_added > 0 {
+                let packed = Stimulus::uniform(nl.num_inputs()).packed(256, 42);
                 let params = PowerParams::default();
-                let measure = |nl: &Netlist| {
-                    EventSim::new(nl, &DelayModel::Unit)
-                        .with_obs(opts.obs.clone())
-                        .try_activity_jobs(&patterns, opts.jobs, &opts.budget)
-                        .map(|t| PowerReport::from_activity(nl, &t.total, &params).total())
-                };
-                match (measure(&nl), measure(&balanced)) {
-                    (Ok(before), Ok(after)) if after > before => {
+                let check = IncrementalEventSim::try_from_full_eval(
+                    &nl,
+                    &DelayModel::Unit,
+                    &packed,
+                    &opts.budget,
+                    opts.obs.clone(),
+                )
+                .and_then(|mut engine| {
+                    let before =
+                        PowerReport::from_activity(&nl, &engine.activity().total, &params)
+                            .total();
+                    engine.try_apply_delta(&delta, &opts.budget)?;
+                    let after = PowerReport::from_activity(
+                        engine.netlist(),
+                        &engine.activity().total,
+                        &params,
+                    )
+                    .total();
+                    Ok((before, after))
+                });
+                match check {
+                    Ok((before, after)) if after > before => {
                         chosen = &nl;
                         verdict = format!(
                             "reverted: balanced power {after:.4e} > original {before:.4e} mW (netlist unchanged)\n"
                         );
                     }
-                    (Ok(before), Ok(after)) => {
+                    Ok((before, after)) => {
                         verdict = format!("power check: {before:.4e} -> {after:.4e} mW\n");
                     }
-                    (Err(e), _) | (_, Err(e)) => {
+                    Err(e) => {
                         verdict = format!("power check skipped: {e}\n");
                     }
                 }
             }
             save(chosen, out)?;
             Ok(format!(
-                "wrote {out}: {} buffers added, depth {} -> {}\n{verdict}",
-                report.buffers_added, report.depth_before, report.depth_after
+                "wrote {out}: {buffers_added} buffers added, depth {depth_before} -> {depth_after}\n{verdict}"
             ))
         }
         "dontcare" => {

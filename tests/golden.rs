@@ -116,8 +116,10 @@ fn run_lpopt(tag: &str, args: &[String]) -> (String, PathBuf) {
         .args(args)
         .env("LPOPT_OBS_FAKE_CLOCK", "1")
         // Goldens pin the default kernel behavior; an ambient GC stress
-        // run would perturb the embedded bdd.* counters.
+        // run would perturb the embedded bdd.* counters, and forced full
+        // re-evaluation would perturb the sim.incr.* ones.
         .env_remove("LPOPT_BDD_GC_STRESS")
+        .env_remove("LPOPT_INCR_STRESS")
         .current_dir(&scratch)
         .output()
         .expect("run lpopt");
