@@ -1,24 +1,42 @@
 //! `bench_json` — machine-readable serial-vs-parallel throughput harness.
 //!
-//! Emits `BENCH_sim.json` (override with the first argument): for each
-//! simulator workload, the wall-clock seconds, patterns/second, and
+//! Emits `BENCH_sim.json` (override with the first non-flag argument): for
+//! each simulator workload, the wall-clock seconds, patterns/second, and
 //! speedup-vs-serial at several worker-thread counts, plus a bit-identity
 //! check of the parallel activity profiles against the serial run. The
-//! host core count is recorded so a single-core CI run is self-describing
-//! — speedups above 1x only appear when the host actually has the cores.
+//! host core count is recorded and every run notes whether it was
+//! oversubscribed (`jobs > host_cores`), so a single-core CI run is
+//! self-describing — speedups above 1x only appear when the host actually
+//! has the cores.
+//!
+//! The event workloads also record the engine's obs counters from a
+//! serial run. Their **work ratio** — events actually processed per unit
+//! of event work the pre-calendar-queue engine would have enqueued
+//! (`processed / (processed + coalesced)`) — is deterministic: it depends
+//! only on the netlist and pattern stream, never on machine speed.
 //!
 //! ```text
-//! cargo run --release -p bench --bin bench_json [out.json]
+//! cargo run --release -p bench --bin bench_json [out.json] [--check]
 //! ```
+//!
+//! With `--check` the harness exits nonzero if any parallel run diverges
+//! bitwise from serial, if an event counter invariant breaks
+//! (`processed == enqueued`, `cancelled <= processed`), or if the event
+//! engine loses its rewrite win: work ratio above [`MAX_WORK_RATIO`]
+//! without the wall-clock rescue of [`RESCUE_PATTERNS_PER_SEC`]. The
+//! deterministic ratio is the primary criterion — it is meaningful on a
+//! noisy CI box where timings are not. On hosts with 4+ cores the
+//! `--jobs 4` speedup must also clear [`MIN_SPEEDUP_4CORE`].
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use lowpower::netlist::gen;
+use lowpower::obs::Obs;
 use lowpower::sim::comb::CombSim;
 use lowpower::sim::event::{DelayModel, EventSim};
 use lowpower::sim::seq::SeqSim;
-use lowpower::sim::stimulus::Stimulus;
+use lowpower::sim::stimulus::{PatternSet, Stimulus};
 use lowpower::sim::ActivityProfile;
 
 /// Thread counts swept per workload (independent of the host core count:
@@ -28,18 +46,49 @@ const JOBS: [usize; 4] = [1, 2, 4, 8];
 /// Timed repetitions per point; the minimum is reported.
 const REPS: usize = 3;
 
+/// `--check`: highest acceptable event work ratio. Measured ~0.59 on the
+/// glitch workload and ~0.57 on the balanced adder (the calendar queue's
+/// coalescing + no-change suppression absorb the rest of the old engine's
+/// event traffic); 0.75 leaves headroom without letting the win erode to
+/// nothing.
+const MAX_WORK_RATIO: f64 = 0.75;
+
+/// `--check`: wall-clock rescue for a work-ratio miss — the ROADMAP bar is
+/// >=10x the pre-rewrite engine's ~38k patterns/s on the glitch workload.
+const RESCUE_PATTERNS_PER_SEC: f64 = 380_000.0;
+
+/// `--check`: required `--jobs 4` speedup, enforced only when the host
+/// has at least 4 cores (an oversubscribed sweep says nothing about
+/// sharding).
+const MIN_SPEEDUP_4CORE: f64 = 1.5;
+
 struct Run {
     jobs: usize,
     seconds: f64,
     patterns_per_sec: f64,
     speedup: f64,
     bit_identical: bool,
+    /// More workers than host cores: timing reflects oversubscription,
+    /// not sharding quality.
+    oversubscribed: bool,
+}
+
+/// Serial-run obs counters for an event workload.
+struct EventStats {
+    processed: u64,
+    enqueued: u64,
+    cancelled: u64,
+    coalesced: u64,
+    /// `processed / (processed + coalesced)`: events carried per event the
+    /// old heap engine would have enqueued. Deterministic.
+    work_ratio: f64,
 }
 
 struct Workload {
     name: &'static str,
     patterns: usize,
     runs: Vec<Run>,
+    events: Option<EventStats>,
 }
 
 /// Exact bit pattern of a profile: the determinism contract is that these
@@ -64,7 +113,12 @@ fn time(f: impl Fn() -> ActivityProfile) -> (f64, ActivityProfile) {
     (best, profile)
 }
 
-fn measure(name: &'static str, patterns: usize, f: impl Fn(usize) -> ActivityProfile) -> Workload {
+fn measure(
+    name: &'static str,
+    patterns: usize,
+    host_cores: usize,
+    f: impl Fn(usize) -> ActivityProfile,
+) -> Workload {
     let (serial_secs, serial_profile) = time(|| f(1));
     let serial_bits = profile_bits(&serial_profile);
     let runs = JOBS
@@ -81,13 +135,31 @@ fn measure(name: &'static str, patterns: usize, f: impl Fn(usize) -> ActivityPro
                 patterns_per_sec: patterns as f64 / seconds,
                 speedup: serial_secs / seconds,
                 bit_identical: profile_bits(&profile) == serial_bits,
+                oversubscribed: jobs > host_cores,
             }
         })
         .collect();
-    Workload { name, patterns, runs }
+    Workload { name, patterns, runs, events: None }
 }
 
-fn workloads() -> Vec<Workload> {
+/// One serial obs-enabled run to collect the event engine's counters.
+fn event_stats(nl: &lowpower::netlist::Netlist, patterns: &PatternSet) -> EventStats {
+    let obs = Obs::enabled();
+    let sim = EventSim::new(nl, &DelayModel::Unit).with_obs(obs.clone());
+    let _ = sim.activity_jobs(patterns, 1);
+    let snap = obs.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let (processed, coalesced) = (counter("sim.event.processed"), counter("sim.event.coalesced"));
+    EventStats {
+        processed,
+        enqueued: counter("sim.event.enqueued"),
+        cancelled: counter("sim.event.cancelled"),
+        coalesced,
+        work_ratio: processed as f64 / (processed + coalesced).max(1) as f64,
+    }
+}
+
+fn workloads(host_cores: usize) -> Vec<Workload> {
     let cycles = 4096;
     let (wallace, _) = gen::wallace_multiplier(8);
     let (ks, _) = gen::kogge_stone_adder(16);
@@ -106,25 +178,33 @@ fn workloads() -> Vec<Workload> {
     let event_ks = EventSim::new(&ks, &DelayModel::Unit);
     let seq_pipe = SeqSim::new(&pipe);
 
-    vec![
-        measure("comb/wallace_multiplier_8", wallace_pat.len(), |jobs| {
+    let mut loads = vec![
+        measure("comb/wallace_multiplier_8", wallace_pat.len(), host_cores, |jobs| {
             comb_wallace.activity_jobs(&wallace_pat, jobs)
         }),
-        measure("comb/kogge_stone_adder_16", ks_pat.len(), |jobs| {
+        measure("comb/kogge_stone_adder_16", ks_pat.len(), host_cores, |jobs| {
             comb_ks.activity_jobs(&ks_pat, jobs)
         }),
         // The glitch workload: event-driven timing simulation of an
         // unbalanced array multiplier, where most events are spurious.
-        measure("event_glitch/array_multiplier_6", glitch_pat.len(), |jobs| {
+        measure("event_glitch/array_multiplier_6", glitch_pat.len(), host_cores, |jobs| {
             event_mult.activity_jobs(&glitch_pat, jobs).total
         }),
-        measure("event/kogge_stone_adder_16", event_ks_pat.len(), |jobs| {
+        measure("event/kogge_stone_adder_16", event_ks_pat.len(), host_cores, |jobs| {
             event_ks.activity_jobs(&event_ks_pat, jobs).total
         }),
-        measure("seq/pipelined_multiplier_4", seq_pat.len(), |jobs| {
+        measure("seq/pipelined_multiplier_4", seq_pat.len(), host_cores, |jobs| {
             seq_pipe.activity_jobs(&seq_pat, jobs).profile
         }),
-    ]
+    ];
+    for wl in &mut loads {
+        match wl.name {
+            "event_glitch/array_multiplier_6" => wl.events = Some(event_stats(&mult, &glitch_pat)),
+            "event/kogge_stone_adder_16" => wl.events = Some(event_stats(&ks, &event_ks_pat)),
+            _ => {}
+        }
+    }
+    loads
 }
 
 fn to_json(host_cores: usize, loads: &[Workload]) -> String {
@@ -142,13 +222,26 @@ fn to_json(host_cores: usize, loads: &[Workload]) -> String {
         out.push_str("    {\n");
         let _ = writeln!(out, "      \"name\": \"{}\",", wl.name);
         let _ = writeln!(out, "      \"patterns\": {},", wl.patterns);
+        if let Some(ev) = &wl.events {
+            let _ = writeln!(
+                out,
+                "      \"events\": {{\"processed\": {}, \"enqueued\": {}, \"cancelled\": {}, \
+                 \"coalesced\": {}, \"work_ratio\": {:.4}}},",
+                ev.processed, ev.enqueued, ev.cancelled, ev.coalesced, ev.work_ratio
+            );
+        }
         out.push_str("      \"runs\": [\n");
         for (r, run) in wl.runs.iter().enumerate() {
             let _ = write!(
                 out,
                 "        {{\"jobs\": {}, \"seconds\": {:.6}, \"patterns_per_sec\": {:.1}, \
-                 \"speedup\": {:.3}, \"bit_identical\": {}}}",
-                run.jobs, run.seconds, run.patterns_per_sec, run.speedup, run.bit_identical
+                 \"speedup\": {:.3}, \"bit_identical\": {}, \"oversubscribed\": {}}}",
+                run.jobs,
+                run.seconds,
+                run.patterns_per_sec,
+                run.speedup,
+                run.bit_identical,
+                run.oversubscribed
             );
             out.push_str(if r + 1 < wl.runs.len() { ",\n" } else { "\n" });
         }
@@ -160,9 +253,17 @@ fn to_json(host_cores: usize, loads: &[Workload]) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sim.json".into());
+    let mut check = false;
+    let mut out_path = String::from("BENCH_sim.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--check" {
+            check = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let loads = workloads();
+    let loads = workloads(host_cores);
     let json = to_json(host_cores, &loads);
     std::fs::write(&out_path, &json).expect("write benchmark JSON");
 
@@ -179,5 +280,69 @@ fn main() {
             "  {:<36} {:>10.0} pat/s serial, best {:.2}x at {} jobs, bit-identical: {}",
             wl.name, serial, best.speedup, best.jobs, deterministic
         );
+        if let Some(ev) = &wl.events {
+            println!(
+                "  {:<36} {:>10} events processed, work ratio {:.3}",
+                "", ev.processed, ev.work_ratio
+            );
+        }
+    }
+
+    if check {
+        let mut ok = true;
+        for wl in &loads {
+            for run in &wl.runs {
+                if !run.bit_identical {
+                    eprintln!(
+                        "check FAILED: {} at {} jobs diverged bitwise from serial",
+                        wl.name, run.jobs
+                    );
+                    ok = false;
+                }
+            }
+            if let Some(ev) = &wl.events {
+                if ev.processed != ev.enqueued {
+                    eprintln!(
+                        "check FAILED: {} processed {} != enqueued {}",
+                        wl.name, ev.processed, ev.enqueued
+                    );
+                    ok = false;
+                }
+                if ev.cancelled > ev.processed {
+                    eprintln!(
+                        "check FAILED: {} cancelled {} > processed {}",
+                        wl.name, ev.cancelled, ev.processed
+                    );
+                    ok = false;
+                }
+                // Deterministic work ratio is primary; wall clock rescues
+                // a run on a machine with different constant factors.
+                let serial = wl.runs[0].patterns_per_sec;
+                if ev.work_ratio > MAX_WORK_RATIO && serial < RESCUE_PATTERNS_PER_SEC {
+                    eprintln!(
+                        "check FAILED: {} work ratio {:.3} > {MAX_WORK_RATIO} and serial \
+                         {serial:.0} pat/s < {RESCUE_PATTERNS_PER_SEC:.0}",
+                        wl.name, ev.work_ratio
+                    );
+                    ok = false;
+                }
+            }
+            if host_cores >= 4 {
+                if let Some(run4) = wl.runs.iter().find(|r| r.jobs == 4) {
+                    if run4.speedup < MIN_SPEEDUP_4CORE {
+                        eprintln!(
+                            "check FAILED: {} speedup {:.2}x at 4 jobs < {MIN_SPEEDUP_4CORE}x \
+                             on a {host_cores}-core host",
+                            wl.name, run4.speedup
+                        );
+                        ok = false;
+                    }
+                }
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("check ok: event rewrite holds its win, shards stay bit-identical");
     }
 }

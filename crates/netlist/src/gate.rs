@@ -108,6 +108,55 @@ impl GateKind {
         }
     }
 
+    /// Evaluate four 64-pattern words at once (256 patterns per call).
+    ///
+    /// `inputs` holds the fanin words lane-grouped: fanin `f` occupies
+    /// `inputs[4*f .. 4*f+4]`. Lane `l` of the result is exactly
+    /// `eval_word` over lane `l` of every fanin — the 4-wide unroll exists
+    /// so the compiler can keep the fold in one 256-bit vector register
+    /// instead of chasing a serial dependency chain of single words.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`GateKind::Input`], which has no evaluation.
+    pub fn eval_word4(self, inputs: &[u64]) -> [u64; 4] {
+        #[inline(always)]
+        fn fold4(inputs: &[u64], init: u64, f: impl Fn(u64, u64) -> u64) -> [u64; 4] {
+            let mut acc = [init; 4];
+            for fanin in inputs.chunks_exact(4) {
+                acc[0] = f(acc[0], fanin[0]);
+                acc[1] = f(acc[1], fanin[1]);
+                acc[2] = f(acc[2], fanin[2]);
+                acc[3] = f(acc[3], fanin[3]);
+            }
+            acc
+        }
+        #[inline(always)]
+        fn not4(w: [u64; 4]) -> [u64; 4] {
+            [!w[0], !w[1], !w[2], !w[3]]
+        }
+        match self {
+            GateKind::Input => panic!("primary inputs have no evaluation"),
+            GateKind::Const(v) => [if v { u64::MAX } else { 0 }; 4],
+            GateKind::Buf | GateKind::Dff => [inputs[0], inputs[1], inputs[2], inputs[3]],
+            GateKind::Not => not4([inputs[0], inputs[1], inputs[2], inputs[3]]),
+            GateKind::And => fold4(inputs, u64::MAX, |a, w| a & w),
+            GateKind::Or => fold4(inputs, 0, |a, w| a | w),
+            GateKind::Nand => not4(fold4(inputs, u64::MAX, |a, w| a & w)),
+            GateKind::Nor => not4(fold4(inputs, 0, |a, w| a | w)),
+            GateKind::Xor => fold4(inputs, 0, |a, w| a ^ w),
+            GateKind::Xnor => not4(fold4(inputs, 0, |a, w| a ^ w)),
+            GateKind::Mux => {
+                let mut out = [0u64; 4];
+                for l in 0..4 {
+                    let (sel, a, b) = (inputs[l], inputs[4 + l], inputs[8 + l]);
+                    out[l] = (sel & b) | (!sel & a);
+                }
+                out
+            }
+        }
+    }
+
     /// Whether the arity `n` is legal for this kind.
     pub fn arity_ok(self, n: usize) -> bool {
         match self {
@@ -288,6 +337,46 @@ mod tests {
                 let word = kind.eval_word(&words);
                 assert_eq!(word == u64::MAX, scalar, "{kind} on {bits:?}");
                 assert!(word == u64::MAX || word == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn word4_eval_matches_word_eval_lanewise() {
+        let kinds = [
+            GateKind::Const(true),
+            GateKind::Const(false),
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Mux,
+            GateKind::Dff,
+        ];
+        // Deterministic pseudo-random fanin words.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for kind in kinds {
+            let fanin = match kind {
+                GateKind::Const(_) => 0,
+                GateKind::Buf | GateKind::Not | GateKind::Dff => 1,
+                GateKind::Mux => 3,
+                _ => 5,
+            };
+            let lanes: Vec<u64> = (0..fanin * 4).map(|_| next()).collect();
+            let wide = kind.eval_word4(&lanes);
+            for l in 0..4 {
+                let narrow: Vec<u64> = (0..fanin).map(|f| lanes[4 * f + l]).collect();
+                assert_eq!(wide[l], kind.eval_word(&narrow), "{kind} lane {l}");
             }
         }
     }

@@ -271,6 +271,11 @@ pub fn estimate_activity_cached(
 /// sequential engine. Cycle count shrinks to fit the step budget before
 /// the run starts, so this tier only fails when the budget leaves no room
 /// for even a two-cycle sample (or the deadline expires mid-run).
+///
+/// Both engines shard over `cfg.jobs` worker threads with per-worker
+/// arenas built once and reused across shards ([`sim::par::par_map_with`]),
+/// so `jobs > 1` pays the allocation cost once per thread, not once per
+/// shard. Results stay bit-identical for every thread count.
 fn sampled_activity(
     nl: &Netlist,
     budget: &ResourceBudget,

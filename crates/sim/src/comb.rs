@@ -108,6 +108,49 @@ impl<'a> CombSim<'a> {
         }
     }
 
+    /// Evaluate four 64-pattern blocks at once (256 patterns per pass over
+    /// the netlist), the 4-word-unrolled sibling of
+    /// [`CombSim::eval_words_into`].
+    ///
+    /// `blocks` are four consecutive packed input blocks; `values` comes
+    /// back lane-interleaved (`values[4*net + lane]` is block `lane`'s word
+    /// for `net`), so each gate's four words sit in one cache line and the
+    /// per-gate fold vectorizes to 256-bit ops. Lane `lane` is bit-identical
+    /// to `eval_words_into(blocks[lane], ..)`.
+    pub fn eval_words4_into(
+        &self,
+        blocks: [&[u64]; 4],
+        values: &mut Vec<u64>,
+        scratch: &mut Vec<u64>,
+    ) {
+        for b in &blocks {
+            assert_eq!(b.len(), self.nl.num_inputs(), "input word count");
+        }
+        values.clear();
+        values.resize(4 * self.nl.len(), 0);
+        for (i, &pi) in self.nl.inputs().iter().enumerate() {
+            let base = 4 * pi.index();
+            values[base] = blocks[0][i];
+            values[base + 1] = blocks[1][i];
+            values[base + 2] = blocks[2][i];
+            values[base + 3] = blocks[3][i];
+        }
+        for &net in &self.order {
+            let kind = self.nl.kind(net);
+            if kind == GateKind::Input {
+                continue;
+            }
+            scratch.clear();
+            for &x in self.nl.fanins(net) {
+                let base = 4 * x.index();
+                scratch.extend_from_slice(&values[base..base + 4]);
+            }
+            let out = kind.eval_word4(scratch);
+            let base = 4 * net.index();
+            values[base..base + 4].copy_from_slice(&out);
+        }
+    }
+
     /// Evaluate a full pattern set; returns the output values per cycle.
     pub fn eval_outputs(&self, patterns: &PatternSet) -> Vec<Vec<bool>> {
         let mut arena = CombArena::new();
@@ -130,8 +173,14 @@ impl<'a> CombSim<'a> {
 
     /// Count toggles/ones over one contiguous run of pre-packed 64-cycle
     /// blocks, reusing the arena's buffers. Deadline checks are amortized
-    /// to one clock read per 16 blocks (1024 cycles) so the budgeted path
-    /// adds nothing measurable to the hot loop.
+    /// to one clock read per ~16 blocks (~1024 cycles) so the budgeted
+    /// path adds nothing measurable to the hot loop.
+    ///
+    /// Runs of four consecutive full blocks go through the 4-word-unrolled
+    /// [`CombSim::eval_words4_into`] (one netlist walk per 256 patterns);
+    /// the remainder — and any partial tail block — falls back to the
+    /// single-block path. Counting happens per lane with the same bit
+    /// tricks either way, so the totals are bit-identical.
     fn shard_counts(
         &self,
         packed: &PackedPatterns,
@@ -149,30 +198,41 @@ impl<'a> CombSim<'a> {
             cycles: 0,
         };
         let mut have_prev = false;
-        for (step, block) in blocks.enumerate() {
+        let mut block = blocks.start;
+        let mut step = 0usize;
+        while block < blocks.end {
             if step & 0xF == 0 {
                 budget.check_deadline()?;
             }
-            self.eval_words_into(packed.block(block), &mut arena.values, &mut arena.scratch);
-            let w = packed.block_cycles(block);
-            cycles += w;
-            let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-            for i in 0..n {
-                let v = arena.values[i] & mask;
-                counts.ones[i] += v.count_ones() as u64;
-                // Toggles within the block: v XOR (v >> 1), w-1 positions.
-                let within = (v ^ (v >> 1)) & if w >= 1 { (1u64 << (w - 1)) - 1 } else { 0 };
-                counts.toggles[i] += within.count_ones() as u64;
-                // Toggle across the 64-cycle block boundary.
-                if have_prev && counts.last[i] != (v & 1 == 1) {
-                    counts.toggles[i] += 1;
+            // Only the stream's final block can be partial, so checking
+            // the fourth block covers all four.
+            if block + 4 <= blocks.end && packed.block_cycles(block + 3) == 64 {
+                self.eval_words4_into(
+                    [
+                        packed.block(block),
+                        packed.block(block + 1),
+                        packed.block(block + 2),
+                        packed.block(block + 3),
+                    ],
+                    &mut arena.values,
+                    &mut arena.scratch,
+                );
+                for lane in 0..4 {
+                    accumulate_lane(&mut counts, &arena.values, 4, lane, 64, have_prev);
+                    have_prev = true;
                 }
-                if !have_prev {
-                    counts.first[i] = v & 1 == 1;
-                }
-                counts.last[i] = v >> (w - 1) & 1 == 1;
+                cycles += 256;
+                block += 4;
+                step += 4;
+            } else {
+                self.eval_words_into(packed.block(block), &mut arena.values, &mut arena.scratch);
+                let w = packed.block_cycles(block);
+                cycles += w;
+                accumulate_lane(&mut counts, &arena.values, 1, 0, w, have_prev);
+                have_prev = true;
+                block += 1;
+                step += 1;
             }
-            have_prev = true;
         }
         counts.cycles = cycles;
         Ok(counts)
@@ -267,8 +327,8 @@ impl<'a> CombSim<'a> {
                     .collect();
                 par::record_shard_gauges(&self.obs, "comb", &sizes);
             }
-            par::par_map(&ranges, shards, |_, range| {
-                self.shard_counts(packed, range.clone(), &mut CombArena::new(), budget)
+            par::par_map_with(&ranges, shards, CombArena::new, |_, range, arena| {
+                self.shard_counts(packed, range.clone(), arena, budget)
             })
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?
@@ -314,6 +374,38 @@ impl<'a> CombSim<'a> {
         let a = self.eval_outputs(patterns);
         let b = other_sim.eval_outputs(patterns);
         a.iter().zip(b.iter()).position(|(x, y)| x != y)
+    }
+}
+
+/// Fold one evaluated block (lane `lane` at the given `stride` within
+/// `values`) of `w` valid cycles into the shard counts. This is the single
+/// source of truth for the toggle/ones bit tricks, shared by the 1-block
+/// and 4-block paths so they stay bit-identical.
+#[inline(always)]
+fn accumulate_lane(
+    counts: &mut ShardCounts,
+    values: &[u64],
+    stride: usize,
+    lane: usize,
+    w: usize,
+    have_prev: bool,
+) {
+    let n = counts.toggles.len();
+    let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+    for i in 0..n {
+        let v = values[i * stride + lane] & mask;
+        counts.ones[i] += v.count_ones() as u64;
+        // Toggles within the block: v XOR (v >> 1), w-1 positions.
+        let within = (v ^ (v >> 1)) & if w >= 1 { (1u64 << (w - 1)) - 1 } else { 0 };
+        counts.toggles[i] += within.count_ones() as u64;
+        // Toggle across the 64-cycle block boundary.
+        if have_prev && counts.last[i] != (v & 1 == 1) {
+            counts.toggles[i] += 1;
+        }
+        if !have_prev {
+            counts.first[i] = v & 1 == 1;
+        }
+        counts.last[i] = v >> (w - 1) & 1 == 1;
     }
 }
 
@@ -462,6 +554,65 @@ mod tests {
         let mut scratch = vec![7u64; 9];
         sim.eval_words_into(&words, &mut values, &mut scratch);
         assert_eq!(values, fresh);
+    }
+
+    #[test]
+    fn eval_words4_matches_single_block_lanes() {
+        let (nl, _) = array_multiplier(5);
+        let sim = CombSim::new(&nl);
+        let packed = Stimulus::uniform(10).packed(256, 21);
+        let blocks = [
+            packed.block(0),
+            packed.block(1),
+            packed.block(2),
+            packed.block(3),
+        ];
+        let mut wide = Vec::new();
+        let mut scratch = Vec::new();
+        sim.eval_words4_into(blocks, &mut wide, &mut scratch);
+        let mut narrow = Vec::new();
+        for (lane, block) in blocks.iter().enumerate() {
+            sim.eval_words_into(block, &mut narrow, &mut scratch);
+            for i in 0..nl.len() {
+                assert_eq!(wide[4 * i + lane], narrow[i], "net {i} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn quad_and_scalar_block_paths_agree() {
+        // 300 cycles: one quad group (256) plus scalar blocks including a
+        // partial tail — the boundary between the paths must not lose or
+        // double-count toggles.
+        let (nl, _) = ripple_adder(6);
+        let sim = CombSim::new(&nl);
+        let patterns = Stimulus::correlated(vec![0.3; 12]).patterns(300, 77);
+        let fast = sim.activity(&patterns);
+        // Reference: per-cycle scalar evaluation.
+        let mut toggles = vec![0u64; nl.len()];
+        let mut ones = vec![0u64; nl.len()];
+        let mut arena = CombArena::new();
+        let mut prev: Vec<u64> = Vec::new();
+        for (k, p) in patterns.iter().enumerate() {
+            pack_into(std::slice::from_ref(p), nl.num_inputs(), &mut arena.words);
+            sim.eval_words_into(&arena.words, &mut arena.values, &mut arena.scratch);
+            for i in 0..nl.len() {
+                let v = arena.values[i] & 1;
+                ones[i] += v;
+                if k > 0 && prev[i] != v {
+                    toggles[i] += 1;
+                }
+            }
+            prev = arena.values.iter().map(|&v| v & 1).collect();
+        }
+        let denom = (patterns.len() - 1) as f64;
+        for i in 0..nl.len() {
+            assert!((fast.toggles[i] - toggles[i] as f64 / denom).abs() < 1e-12, "net {i}");
+            assert!(
+                (fast.probability[i] - ones[i] as f64 / patterns.len() as f64).abs() < 1e-12,
+                "net {i}"
+            );
+        }
     }
 
     #[test]

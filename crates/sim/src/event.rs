@@ -6,26 +6,49 @@
 //! [`crate::comb`] isolates glitch power — the 10–40% of switching activity
 //! the survey attributes to spurious transitions (§III.A.2, \[16\]).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
 
 use crate::par;
-use crate::profile::ActivityProfile;
+use crate::profile::{ActivityProfile, QueueOccupancy};
+use crate::queue::{CalendarQueue, Scheduled};
 use crate::stimulus::PatternSet;
 
 /// Reusable per-worker buffers for the event loop: net values, the settled
-/// reference state, fanin scratch, and the event heap. Nothing in the
-/// per-cycle hot path allocates once the arena has warmed up.
+/// reference state, fanin scratch, the calendar queue and the per-bucket
+/// batch/dedup buffers. Nothing in the per-cycle hot path allocates once
+/// the arena has warmed up, and [`par_map_with`](crate::par::par_map_with)
+/// builds one arena per worker thread, not one per shard.
 #[derive(Debug, Default)]
 pub struct EventArena {
     values: Vec<bool>,
     settled: Vec<bool>,
     ins: Vec<bool>,
-    heap: BinaryHeap<Reverse<(u64, u32, u64, bool)>>,
+    queue: CalendarQueue,
+    /// Transitions drained from one popped bucket, sorted by net.
+    batch: Vec<(u32, bool)>,
+    /// Nets in the batch whose value actually changed.
+    toggled: Vec<u32>,
+    /// Current/next wave for the uniform-delay drain, packed
+    /// `net << 1 | value`.
+    wave: Vec<u32>,
+    wave_next: Vec<u32>,
+    /// Word-parallel state for the dense 64-transition blocks: current and
+    /// next per-net lane words, the block's initial settled words, and the
+    /// `(net, toggled-lane-count)` frontier lists.
+    wcur: Vec<u64>,
+    wnext: Vec<u64>,
+    wsettled: Vec<u64>,
+    wtoggled: Vec<(u32, u32)>,
+    wtoggled_next: Vec<(u32, u32)>,
+    win_init: Vec<u64>,
+    win_next: Vec<u64>,
+    /// Per-net stamp (`== sink_epoch`) marking sinks already evaluated for
+    /// the current bucket.
+    sink_stamp: Vec<u64>,
+    sink_epoch: u64,
 }
 
 impl EventArena {
@@ -40,16 +63,24 @@ struct EventCounts {
     total: Vec<u64>,
     functional: Vec<u64>,
     ones: Vec<u64>,
-    /// Events popped off the heap. Every enqueued event is eventually
-    /// popped (the per-cycle loop drains the heap), so across a successful
+    /// Events popped off the queue. Every enqueued event is eventually
+    /// popped (the per-cycle loop drains the queue), so across a successful
     /// run `processed == enqueued`.
     processed: u64,
-    /// Events pushed onto the heap (input changes + fanout evaluations).
+    /// Event nodes created (input changes + first-time fanout schedules).
     enqueued: u64,
-    /// Pops that caused no transition: coalesced same-instant duplicates
-    /// plus evaluations that matched the current value. Always
-    /// `<= processed`.
+    /// Pops that caused no transition: evaluations that matched the
+    /// current value by the time they applied. Always `<= processed`.
     cancelled: u64,
+    /// Work the calendar queue never had to carry: same-instant duplicate
+    /// schedules folded into a pending slot, fanout sinks already
+    /// evaluated in the current bucket's batch, and no-change evaluations
+    /// suppressed at schedule time. The old heap engine enqueued (and
+    /// popped, and mostly cancelled) each of these individually, so
+    /// `enqueued + coalesced` here equals the old engine's `enqueued`.
+    coalesced: u64,
+    /// Popped-bucket size histogram (empty unless obs is enabled).
+    occupancy: QueueOccupancy,
 }
 
 /// How per-gate delays are assigned.
@@ -133,10 +164,47 @@ impl TimingActivity {
 pub struct EventSim<'a> {
     nl: &'a Netlist,
     order: Vec<NetId>,
-    fanouts: Vec<Vec<NetId>>,
+    /// Flat copies of the netlist's per-net tables in CSR layout. The
+    /// event hot loop reads only these contiguous arrays — gate kind,
+    /// fanin ids and fanout ids are each one indexed load away, with none
+    /// of the netlist's per-gate vector indirections.
+    kinds: Vec<GateKind>,
+    fanin_off: Vec<u32>,
+    fanin_idx: Vec<u32>,
+    fanout_off: Vec<u32>,
+    fanout_idx: Vec<u32>,
     delays: Vec<u32>,
+    /// One packed record per net for the drain loop: a sink evaluation is
+    /// one 16-byte load plus two value loads and a shift.
+    sinks: Vec<SinkEval>,
+    /// Largest per-net delay; sizes the calendar queue's wheel.
+    max_delay: u32,
+    /// `Some(d)` when every net has the same delay `d`. Uniform delays
+    /// collapse the calendar queue to a two-array wavefront (see
+    /// [`EventSim::shard_counts`]); `None` takes the general queue path.
+    uniform_delay: Option<u32>,
     obs: obs::Obs,
 }
+
+/// Packed evaluation record for one net, sized to four per cache line.
+///
+/// Gates with one or two fanins — the overwhelming majority of real
+/// netlists — evaluate as a 4-entry truth table: `lut >> ((a << 1) | b)`,
+/// no gate-kind match, no fanin-slice walk. One-input gates duplicate
+/// their fanin into both slots so only the `a == b` LUT rows are ever
+/// addressed. `a == GENERIC` routes wider gates (e.g. `Mux`, n-ary
+/// `And`/`Xor`) to [`EventSim::eval_net`]. `delay` rides along so the
+/// reschedule that follows every evaluation hits the same cache line.
+#[derive(Debug, Clone, Copy)]
+struct SinkEval {
+    a: u32,
+    b: u32,
+    lut: u32,
+    delay: u32,
+}
+
+/// Marker in [`SinkEval::a`] for nets outside the 2-input LUT fast path.
+const GENERIC: u32 = u32::MAX;
 
 impl<'a> EventSim<'a> {
     /// Bind a simulator with the given delay model.
@@ -147,20 +215,160 @@ impl<'a> EventSim<'a> {
     pub fn new(nl: &'a Netlist, model: &DelayModel) -> EventSim<'a> {
         assert!(nl.is_combinational(), "EventSim requires combinational netlist");
         let order = nl.topo_order().expect("netlist must be acyclic");
-        let fanouts = nl.fanouts();
-        let delays = nl.iter_nets().map(|net| model.delay(nl, net)).collect();
+        let n = nl.len();
+        let mut kinds = Vec::with_capacity(n);
+        let mut fanin_off = Vec::with_capacity(n + 1);
+        let mut fanin_idx = Vec::new();
+        fanin_off.push(0u32);
+        for net in nl.iter_nets() {
+            kinds.push(nl.kind(net));
+            fanin_idx.extend(nl.fanins(net).iter().map(|x| x.index() as u32));
+            fanin_off.push(fanin_idx.len() as u32);
+        }
+        let mut fanout_off = Vec::with_capacity(n + 1);
+        let mut fanout_idx = Vec::new();
+        fanout_off.push(0u32);
+        for outs in &nl.fanouts() {
+            fanout_idx.extend(outs.iter().map(|x| x.index() as u32));
+            fanout_off.push(fanout_idx.len() as u32);
+        }
+        let delays: Vec<u32> = nl.iter_nets().map(|net| model.delay(nl, net)).collect();
+        let max_delay = delays.iter().copied().max().unwrap_or(1);
+        let uniform_delay = match delays.first() {
+            Some(&d) if delays.iter().all(|&x| x == d) => Some(d),
+            _ => None,
+        };
+        let mut sinks = Vec::with_capacity(n);
+        for si in 0..n {
+            let mut e = SinkEval { a: GENERIC, b: 0, lut: 0, delay: delays[si] };
+            let kind = kinds[si];
+            if !matches!(kind, GateKind::Input | GateKind::Const(_)) {
+                let ins = &fanin_idx[fanin_off[si] as usize..fanin_off[si + 1] as usize];
+                match *ins {
+                    [a] => {
+                        e.a = a;
+                        e.b = a;
+                        for bits in 0..4u32 {
+                            // Duplicated fanin: only rows with a == b occur.
+                            if bits >> 1 == bits & 1 && kind.eval(&[bits & 1 != 0]) {
+                                e.lut |= 1 << bits;
+                            }
+                        }
+                    }
+                    [a, b] => {
+                        e.a = a;
+                        e.b = b;
+                        for bits in 0..4u32 {
+                            if kind.eval(&[bits >> 1 != 0, bits & 1 != 0]) {
+                                e.lut |= 1 << bits;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            sinks.push(e);
+        }
         EventSim {
             nl,
             order,
-            fanouts,
+            kinds,
+            fanin_off,
+            fanin_idx,
+            fanout_off,
+            fanout_idx,
             delays,
+            sinks,
+            max_delay,
+            uniform_delay,
             obs: obs::Obs::disabled(),
         }
     }
 
+    /// Disable the uniform-delay wavefront fast path, forcing the general
+    /// calendar-queue drain. Only for equivalence tests: results must be
+    /// bit-identical either way.
+    #[cfg(test)]
+    pub(crate) fn force_general_queue(mut self) -> EventSim<'a> {
+        self.uniform_delay = None;
+        self
+    }
+
+    /// Evaluate net `si` straight off the CSR tables, reading fanin values
+    /// in place — no gather into a scratch buffer. Matches
+    /// [`GateKind::eval`] exactly for every evaluable kind.
+    ///
+    /// The n-ary kinds fold with non-short-circuiting `&`/`|`/`^`: fanin
+    /// values are effectively random, so `all`/`any`-style early exits
+    /// would cost a mispredicted branch per fanin where the plain bit op
+    /// costs one ALU instruction.
+    #[inline(always)]
+    fn eval_net(&self, si: usize, values: &[bool]) -> bool {
+        let ins = &self.fanin_idx[self.fanin_off[si] as usize..self.fanin_off[si + 1] as usize];
+        match self.kinds[si] {
+            GateKind::And => ins.iter().fold(true, |a, &x| a & values[x as usize]),
+            GateKind::Or => ins.iter().fold(false, |a, &x| a | values[x as usize]),
+            GateKind::Nand => !ins.iter().fold(true, |a, &x| a & values[x as usize]),
+            GateKind::Nor => !ins.iter().fold(false, |a, &x| a | values[x as usize]),
+            GateKind::Not => !values[ins[0] as usize],
+            GateKind::Buf | GateKind::Dff => values[ins[0] as usize],
+            GateKind::Xor => ins.iter().fold(false, |a, &x| a ^ values[x as usize]),
+            GateKind::Xnor => !ins.iter().fold(false, |a, &x| a ^ values[x as usize]),
+            GateKind::Mux => {
+                if values[ins[0] as usize] {
+                    values[ins[2] as usize]
+                } else {
+                    values[ins[1] as usize]
+                }
+            }
+            GateKind::Const(v) => v,
+            // Inputs have no fanin and are never anyone's fanout sink.
+            GateKind::Input => {
+                debug_assert!(false, "inputs are never evaluated as sinks");
+                values[si]
+            }
+        }
+    }
+
+    /// [`EventSim::eval_net`] on 64 lanes at once: same CSR walk, same
+    /// [`GateKind::eval_word`] semantics, one `u64` word per net.
+    #[inline(always)]
+    fn eval_net_word(&self, si: usize, w: &[u64]) -> u64 {
+        let ins = &self.fanin_idx[self.fanin_off[si] as usize..self.fanin_off[si + 1] as usize];
+        match self.kinds[si] {
+            GateKind::And => ins.iter().fold(u64::MAX, |a, &x| a & w[x as usize]),
+            GateKind::Or => ins.iter().fold(0, |a, &x| a | w[x as usize]),
+            GateKind::Nand => !ins.iter().fold(u64::MAX, |a, &x| a & w[x as usize]),
+            GateKind::Nor => !ins.iter().fold(0, |a, &x| a | w[x as usize]),
+            GateKind::Not => !w[ins[0] as usize],
+            GateKind::Buf | GateKind::Dff => w[ins[0] as usize],
+            GateKind::Xor => ins.iter().fold(0, |a, &x| a ^ w[x as usize]),
+            GateKind::Xnor => !ins.iter().fold(0, |a, &x| a ^ w[x as usize]),
+            GateKind::Mux => {
+                let s = w[ins[0] as usize];
+                (s & w[ins[2] as usize]) | (!s & w[ins[1] as usize])
+            }
+            GateKind::Const(v) => {
+                if v {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            GateKind::Input => {
+                debug_assert!(false, "inputs are never evaluated as sinks");
+                w[si]
+            }
+        }
+    }
+
     /// Attach an observability handle. Event counters (`sim.event.cycles`,
-    /// `.processed`, `.enqueued`, `.cancelled`) accumulate as plain `u64`s
-    /// inside each shard and flush once per successful activity run.
+    /// `.processed`, `.enqueued`, `.cancelled`, `.coalesced`) accumulate as
+    /// plain `u64`s inside each shard and flush once per successful
+    /// activity run, along with the `sim.event.occupancy.*` bucket-size
+    /// histogram gauges. The histogram profiles the queue, so runs that
+    /// qualify for the dense word path (uniform delays, unlimited
+    /// step/queue budgets) report counters only.
     pub fn with_obs(mut self, obs: obs::Obs) -> EventSim<'a> {
         self.obs = obs;
         self
@@ -186,6 +394,18 @@ impl<'a> EventSim<'a> {
         }
     }
 
+    /// Cross-check event-loop convergence against a real settle pass (the
+    /// invariant the settled-diff functional counting rests on).
+    #[cfg(debug_assertions)]
+    fn debug_check_settled(&self, pattern: &[bool], arena: &mut EventArena) {
+        let mut chk = arena.settled.clone();
+        for (i, &pi) in self.nl.inputs().iter().enumerate() {
+            chk[pi.index()] = pattern[i];
+        }
+        self.settle(&mut chk, &mut arena.ins);
+        debug_assert_eq!(chk, arena.values, "event sim must settle to functional values");
+    }
+
     /// Apply `pattern` to the inputs of `values` and settle in place.
     fn apply_and_settle(&self, pattern: &[bool], values: &mut [bool], ins: &mut Vec<bool>) {
         assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
@@ -193,6 +413,160 @@ impl<'a> EventSim<'a> {
             values[pi.index()] = pattern[i];
         }
         self.settle(values, ins);
+    }
+
+    /// Simulate 64 consecutive cycle transitions bit-parallel (lane `k` =
+    /// the transition into `chunk[k]`, starting from the settled state of
+    /// the pattern before it).
+    ///
+    /// Under a uniform delay, transport-delay event propagation *is*
+    /// synchronous relaxation: every net's value at tick `t` is its gate
+    /// function applied to its fanins' values at tick `t - 1`, and the
+    /// sparse event queue is merely a work-list implementation of that
+    /// iteration. Since a combinational cycle depends only on its
+    /// (previous, current) pattern pair, 64 independent transitions pack
+    /// into one `u64` lane word per net and relax together; per-net toggle
+    /// counts fall out of `popcount(prev ^ next)` per tick, functional
+    /// toggles and signal probabilities out of popcounts of the
+    /// settled-word diff. Results — activity *and* event counters — are
+    /// bit-identical to the wavefront path by construction (and by the
+    /// `dense_word_blocks_match_sparse_event_loop` test):
+    ///
+    /// * `processed`/`enqueued`: an event is enqueued exactly when an
+    ///   evaluation toggles, so both equal seed toggles + gate toggles —
+    ///   pure popcounts.
+    /// * `coalesced` (sink-stamp hits + suppressed no-change evals): each
+    ///   lane toggle of net `u` visits every fanout edge of `u` next tick,
+    ///   and each visit either enqueues or coalesces, so per tick it is
+    ///   `Σ_toggled popcount(u) · fanout(u) − next-tick enqueues`.
+    /// * `cancelled` is identically 0, as on the wavefront path.
+    ///
+    /// Only called when the queue/step budgets are unlimited
+    /// (budget-limited runs keep the event paths' exact enforcement
+    /// points); the deadline is still polled every tick. Obs counters are
+    /// derived exactly from the popcounts above at no marginal cost, so
+    /// the path runs under an enabled handle too; the per-wave occupancy
+    /// histogram is the one diagnostic this path does not produce — there
+    /// is no queue to profile, and recovering per-lane wave sizes costs
+    /// ~O(events), which would break the <2% obs overhead contract — so
+    /// dense-eligible runs skip it on every path (see `shard_counts`).
+    /// On return `arena.values` holds the settled state of `chunk[63]`,
+    /// ready for the sparse remainder loop or the next block.
+    fn dense_block(
+        &self,
+        prev: &[bool],
+        chunk: &[Vec<bool>],
+        arena: &mut EventArena,
+        counts: &mut EventCounts,
+        budget: &ResourceBudget,
+        local_steps: &mut u64,
+    ) -> Result<(), BudgetExceeded> {
+        debug_assert_eq!(chunk.len(), 64);
+        let n = self.nl.len();
+        let inputs = self.nl.inputs();
+        arena.wcur.clear();
+        arena.wcur.resize(n, 0);
+        arena.wnext.clear();
+        arena.wnext.resize(n, 0);
+        arena.wsettled.clear();
+        arena.wsettled.resize(n, 0);
+        arena.win_init.clear();
+        arena.win_init.resize(inputs.len(), 0);
+        arena.win_next.clear();
+        arena.win_next.resize(inputs.len(), 0);
+        for j in 0..inputs.len() {
+            let mut init = prev[j] as u64;
+            let mut next = 0u64;
+            for (k, pattern) in chunk.iter().enumerate() {
+                if k > 0 {
+                    init |= (chunk[k - 1][j] as u64) << k;
+                }
+                next |= (pattern[j] as u64) << k;
+            }
+            arena.win_init[j] = init;
+            arena.win_next[j] = next;
+        }
+        // Settle every lane's initial state in topological order.
+        for (j, &pi) in inputs.iter().enumerate() {
+            arena.wcur[pi.index()] = arena.win_init[j];
+        }
+        for &net in &self.order {
+            let si = net.index();
+            match self.kinds[si] {
+                GateKind::Input => {}
+                _ => arena.wcur[si] = self.eval_net_word(si, &arena.wcur),
+            }
+        }
+        arena.wsettled.copy_from_slice(&arena.wcur);
+        // Tick 0: the input transitions seed the frontier.
+        arena.wtoggled.clear();
+        for (j, &pi) in inputs.iter().enumerate() {
+            let i = pi.index();
+            let diff = arena.win_init[j] ^ arena.win_next[j];
+            if diff != 0 {
+                arena.wcur[i] = arena.win_next[j];
+                let pc = diff.count_ones();
+                counts.total[i] += pc as u64;
+                counts.processed += pc as u64;
+                counts.enqueued += pc as u64;
+                *local_steps += pc as u64;
+                arena.wtoggled.push((i as u32, pc));
+            }
+        }
+        // Jacobi relaxation: each tick evaluates the distinct sinks of the
+        // previous tick's toggled nets against the *old* words (double
+        // buffer), exactly the event engine's apply-then-evaluate order.
+        while !arena.wtoggled.is_empty() {
+            budget.check_deadline()?;
+            arena.wnext.copy_from_slice(&arena.wcur);
+            arena.sink_epoch += 1;
+            arena.wtoggled_next.clear();
+            let mut visits = 0u64;
+            let mut enq = 0u64;
+            for &(u, pc) in &arena.wtoggled {
+                let lo = self.fanout_off[u as usize] as usize;
+                let hi = self.fanout_off[u as usize + 1] as usize;
+                visits += (hi - lo) as u64 * pc as u64;
+                for &sink in &self.fanout_idx[lo..hi] {
+                    let si = sink as usize;
+                    if arena.sink_stamp[si] == arena.sink_epoch {
+                        continue;
+                    }
+                    arena.sink_stamp[si] = arena.sink_epoch;
+                    let out = self.eval_net_word(si, &arena.wcur);
+                    let diff = out ^ arena.wcur[si];
+                    if diff != 0 {
+                        arena.wnext[si] = out;
+                        let pc = diff.count_ones();
+                        counts.total[si] += pc as u64;
+                        enq += pc as u64;
+                        arena.wtoggled_next.push((sink, pc));
+                    }
+                }
+            }
+            counts.processed += enq;
+            counts.enqueued += enq;
+            counts.coalesced += visits - enq;
+            *local_steps += enq;
+            std::mem::swap(&mut arena.wcur, &mut arena.wnext);
+            std::mem::swap(&mut arena.wtoggled, &mut arena.wtoggled_next);
+        }
+        // Functional toggles and signal probabilities for all 64 lanes.
+        for i in 0..n {
+            counts.functional[i] += u64::from((arena.wsettled[i] ^ arena.wcur[i]).count_ones());
+            counts.ones[i] += u64::from(arena.wcur[i].count_ones());
+        }
+        // Hand the last lane's settled state back to the scalar loop.
+        for i in 0..n {
+            arena.values[i] = arena.wcur[i] >> 63 & 1 != 0;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut chk = vec![false; n];
+            self.apply_and_settle(&chunk[63], &mut chk, &mut arena.ins);
+            debug_assert_eq!(chk, arena.values, "dense block must exit on the settled state");
+        }
+        Ok(())
     }
 
     /// Count transitions over one contiguous shard.
@@ -204,12 +578,25 @@ impl<'a> EventSim<'a> {
     /// parallel and the merged counts stay bit-identical.
     /// Events processed count toward the shared `steps` tally (flushed
     /// every 1024 pops, so the atomic stays off the per-event path); queue
-    /// length is compared against the pre-resolved limit on every push
-    /// (one register compare); the wall clock is polled once per cycle and
-    /// once per flush. Unlike the cycle-based engines, event-driven cost is
-    /// unknowable up front — a glitchy circuit can schedule orders of
-    /// magnitude more events than cycles — so these are the runtime guards
-    /// that make the engine safe to call under a budget at all.
+    /// length is compared against the pre-resolved limit before every node
+    /// creation (one register compare); the wall clock is polled once per
+    /// cycle and once per flush. Unlike the cycle-based engines,
+    /// event-driven cost is unknowable up front — a glitchy circuit can
+    /// schedule orders of magnitude more events than cycles — so these are
+    /// the runtime guards that make the engine safe to call under a budget
+    /// at all.
+    ///
+    /// The inner loop drains the calendar queue one *timestamp* at a time:
+    /// first every transition in the bucket is applied (they touch
+    /// distinct nets, so application order is immaterial), then each
+    /// distinct fanout sink is evaluated exactly once and rescheduled.
+    /// This is bit-identical to the old per-event loop: the heap's
+    /// peek-ahead coalescing kept only the last same-instant evaluation of
+    /// a sink, which — because events at one instant popped in net order —
+    /// was always the one that saw every same-instant fanin transition
+    /// already applied. Evaluating once after applying the whole batch
+    /// computes exactly that value, while skipping the redundant earlier
+    /// evaluations instead of enqueueing and cancelling them.
     fn shard_counts(
         &self,
         prev_pattern: Option<&[bool]>,
@@ -223,6 +610,19 @@ impl<'a> EventSim<'a> {
         let max_queue = budget.max_event_queue_or(u64::MAX);
         let mut local_steps = 0u64;
         let n = self.nl.len();
+        // Dense 64-lane blocks need exact budget-enforcement points to be
+        // irrelevant: unlimited step/queue budgets. Observability is fine —
+        // the counters are derived exactly at no marginal cost.
+        let dense_ok =
+            self.uniform_delay.is_some() && max_steps == u64::MAX && max_queue == u64::MAX;
+        // The occupancy histogram profiles the *queue*: it is recorded only
+        // on runs that exercise the queue/wavefront engines. Dense-eligible
+        // runs skip it on every path — including each shard's sub-64
+        // remainder patterns, so the gauges stay `--jobs` invariant
+        // (eligibility depends on the delay model and budget, never on
+        // sharding) — and an exact dense histogram would cost ~O(events),
+        // violating the <2% enabled-obs overhead contract.
+        let record_occupancy = self.obs.is_enabled() && !dense_ok;
         let mut counts = EventCounts {
             total: vec![0u64; n],
             functional: vec![0u64; n],
@@ -230,18 +630,23 @@ impl<'a> EventSim<'a> {
             processed: 0,
             enqueued: 0,
             cancelled: 0,
+            coalesced: 0,
+            occupancy: QueueOccupancy::default(),
         };
         arena.values.clear();
         arena.values.resize(n, false);
         arena.settled.clear();
         arena.settled.resize(n, false);
-        arena.heap.clear();
-        let rest = match prev_pattern {
+        arena.queue.reset(n, self.max_delay);
+        arena.sink_stamp.clear();
+        arena.sink_stamp.resize(n, 0);
+        arena.sink_epoch = 0;
+        let (mut prev, rest): (&[bool], _) = match prev_pattern {
             Some(p) => {
                 // Reconstruct the pre-shard settled state; the previous
                 // shard already counted this cycle.
                 self.apply_and_settle(p, &mut arena.values, &mut arena.ins);
-                patterns
+                (p, patterns)
             }
             None => {
                 let Some((head, rest)) = patterns.split_first() else {
@@ -251,38 +656,155 @@ impl<'a> EventSim<'a> {
                 for i in 0..n {
                     counts.ones[i] += arena.values[i] as u64;
                 }
-                rest
+                (head, rest)
             }
         };
-        // (time, net, value) in a min-heap; seq breaks ties deterministically.
-        let mut seq = 0u64;
-        for pattern in rest {
+        let mut idx = 0;
+        while idx < rest.len() {
+            if dense_ok && rest.len() - idx >= 64 {
+                let chunk = &rest[idx..idx + 64];
+                for pattern in chunk {
+                    assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
+                }
+                self.dense_block(prev, chunk, arena, &mut counts, budget, &mut local_steps)?;
+                prev = &chunk[63];
+                idx += 64;
+                continue;
+            }
+            let pattern = &rest[idx];
+            idx += 1;
+            prev = pattern;
             assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
             budget.check_deadline()?;
-            // Functional toggles: compare settled states.
+            // Snapshot the previous settled state. Functional toggles are
+            // the settled-to-settled diff, and the event loop provably
+            // converges to the zero-delay settled state — so the diff is
+            // taken after the queue drains, replacing the full per-cycle
+            // settle pass the old engine ran just to count them.
             arena.settled.copy_from_slice(&arena.values);
-            for (i, &pi) in self.nl.inputs().iter().enumerate() {
-                arena.settled[pi.index()] = pattern[i];
-            }
-            self.settle(&mut arena.settled, &mut arena.ins);
-            for i in 0..n {
-                if arena.settled[i] != arena.values[i] {
-                    counts.functional[i] += 1;
+            if self.uniform_delay.is_some() {
+                // Uniform-delay wavefront drain. With one delay `d`
+                // everywhere, every event scheduled while draining wave `t`
+                // lands at exactly `t + d`, so the calendar queue
+                // degenerates to two flat arrays: the wave being applied
+                // and the wave being built. The general path's remaining
+                // queue work provably never happens here — slot coalescing
+                // needs one net scheduled twice at one instant (the sink
+                // stamp already dedups a wave's evaluations), a stale pop
+                // (`cancelled`) needs the net's value to change between
+                // schedule and pop (its next pop *is* that event), and an
+                // earlier-slot reschedule needs two live nodes per net.
+                // Entries pack `net << 1 | value` so the per-wave
+                // determinism sort is a plain `u32` sort.
+                arena.wave_next.clear();
+                for (i, &pi) in self.nl.inputs().iter().enumerate() {
+                    if arena.values[pi.index()] != pattern[i] {
+                        if arena.wave_next.len() as u64 >= max_queue {
+                            return Err(
+                                budget.event_queue_exceeded(arena.wave_next.len() as u64 + 1)
+                            );
+                        }
+                        arena.wave_next.push((pi.index() as u32) << 1 | pattern[i] as u32);
+                        counts.enqueued += 1;
+                    }
                 }
+                while !arena.wave_next.is_empty() {
+                    std::mem::swap(&mut arena.wave, &mut arena.wave_next);
+                    arena.wave_next.clear();
+                    // No per-wave net sort: unlike the calendar queue's
+                    // pop contract (which incremental wave *recording*
+                    // relies on), nothing here observes intra-wave order —
+                    // the whole wave is applied before any sink runs, and
+                    // the sink stamp dedups evaluations to the same value
+                    // whichever fanin visits first.
+                    if record_occupancy {
+                        counts.occupancy.record(arena.wave.len());
+                    }
+                    counts.processed += arena.wave.len() as u64;
+                    local_steps += arena.wave.len() as u64;
+                    if local_steps >= FLUSH {
+                        let tally = steps.fetch_add(local_steps, Ordering::Relaxed) + local_steps;
+                        local_steps = 0;
+                        if tally >= max_steps {
+                            return Err(budget.sim_steps_exceeded(tally));
+                        }
+                        budget.check_deadline()?;
+                    }
+                    for &packed in &arena.wave {
+                        let i = (packed >> 1) as usize;
+                        debug_assert_ne!(
+                            arena.values[i],
+                            packed & 1 != 0,
+                            "uniform-delay pops always toggle"
+                        );
+                        arena.values[i] = packed & 1 != 0;
+                        counts.total[i] += 1;
+                    }
+                    arena.sink_epoch += 1;
+                    for &packed in &arena.wave {
+                        let raw = (packed >> 1) as usize;
+                        let lo = self.fanout_off[raw] as usize;
+                        let hi = self.fanout_off[raw + 1] as usize;
+                        for &sink in &self.fanout_idx[lo..hi] {
+                            let si = sink as usize;
+                            if arena.sink_stamp[si] == arena.sink_epoch {
+                                counts.coalesced += 1;
+                                continue;
+                            }
+                            arena.sink_stamp[si] = arena.sink_epoch;
+                            let e = self.sinks[si];
+                            let out = if e.a != GENERIC {
+                                let row = ((arena.values[e.a as usize] as u32) << 1)
+                                    | arena.values[e.b as usize] as u32;
+                                e.lut >> row & 1 != 0
+                            } else {
+                                self.eval_net(si, &arena.values)
+                            };
+                            if out == arena.values[si] {
+                                // The general path's schedule-time
+                                // suppression: an unchanged sink with no
+                                // pending node cannot affect the run.
+                                counts.coalesced += 1;
+                                continue;
+                            }
+                            if arena.wave_next.len() as u64 >= max_queue {
+                                return Err(
+                                    budget.event_queue_exceeded(arena.wave_next.len() as u64 + 1)
+                                );
+                            }
+                            arena.wave_next.push(sink << 1 | out as u32);
+                            counts.enqueued += 1;
+                        }
+                    }
+                }
+                // Functional toggles and signal probabilities from the
+                // settled-state diff.
+                for i in 0..n {
+                    counts.functional[i] += (arena.settled[i] != arena.values[i]) as u64;
+                    counts.ones[i] += arena.values[i] as u64;
+                }
+                #[cfg(debug_assertions)]
+                self.debug_check_settled(pattern, arena);
+                continue;
             }
             // Event-driven propagation from the input changes.
-            debug_assert!(arena.heap.is_empty());
+            arena.queue.begin_cycle();
             for (i, &pi) in self.nl.inputs().iter().enumerate() {
                 if arena.values[pi.index()] != pattern[i] {
-                    arena.heap.push(Reverse((0, pi.index() as u32, seq, pattern[i])));
-                    seq += 1;
+                    if arena.queue.pending() >= max_queue {
+                        return Err(budget.event_queue_exceeded(arena.queue.pending() + 1));
+                    }
+                    arena.queue.schedule(pi.index() as u32, 0, pattern[i]);
                     counts.enqueued += 1;
                 }
             }
-            while let Some(Reverse((time, raw, _, value))) = arena.heap.pop() {
-                counts.processed += 1;
-                local_steps += 1;
-                if local_steps == FLUSH {
+            while let Some(time) = arena.queue.pop_bucket(&mut arena.batch) {
+                if record_occupancy {
+                    counts.occupancy.record(arena.batch.len());
+                }
+                counts.processed += arena.batch.len() as u64;
+                local_steps += arena.batch.len() as u64;
+                if local_steps >= FLUSH {
                     let tally = steps.fetch_add(local_steps, Ordering::Relaxed) + local_steps;
                     local_steps = 0;
                     if tally >= max_steps {
@@ -290,45 +812,62 @@ impl<'a> EventSim<'a> {
                     }
                     budget.check_deadline()?;
                 }
-                // Coalesce: if a later-scheduled evaluation of the same net
-                // lands at the same instant, only the freshest one counts
-                // (zero-width pulses are not physical transitions).
-                if let Some(Reverse((t2, r2, _, _))) = arena.heap.peek() {
-                    if *t2 == time && *r2 == raw {
+                // Apply the whole batch (one entry per net), remembering
+                // which nets actually changed.
+                arena.toggled.clear();
+                for &(raw, value) in &arena.batch {
+                    let i = raw as usize;
+                    if arena.values[i] == value {
                         counts.cancelled += 1;
                         continue;
                     }
+                    arena.values[i] = value;
+                    counts.total[i] += 1;
+                    arena.toggled.push(raw);
                 }
-                let net = NetId::from_index(raw as usize);
-                if arena.values[net.index()] == value {
-                    counts.cancelled += 1;
-                    continue;
-                }
-                arena.values[net.index()] = value;
-                counts.total[net.index()] += 1;
-                for &sink in &self.fanouts[net.index()] {
-                    let kind = self.nl.kind(sink);
-                    arena.ins.clear();
-                    arena
-                        .ins
-                        .extend(self.nl.fanins(sink).iter().map(|x| arena.values[x.index()]));
-                    let out = kind.eval(&arena.ins);
-                    let t = time + self.delays[sink.index()] as u64;
-                    if arena.heap.len() as u64 >= max_queue {
-                        return Err(budget.event_queue_exceeded(arena.heap.len() as u64 + 1));
+                // Evaluate each distinct sink of the changed nets once.
+                arena.sink_epoch += 1;
+                for &raw in &arena.toggled {
+                    let lo = self.fanout_off[raw as usize] as usize;
+                    let hi = self.fanout_off[raw as usize + 1] as usize;
+                    for &sink in &self.fanout_idx[lo..hi] {
+                        let si = sink as usize;
+                        if arena.sink_stamp[si] == arena.sink_epoch {
+                            counts.coalesced += 1;
+                            continue;
+                        }
+                        arena.sink_stamp[si] = arena.sink_epoch;
+                        let e = self.sinks[si];
+                        let out = if e.a != GENERIC {
+                            let row = ((arena.values[e.a as usize] as u32) << 1)
+                                | arena.values[e.b as usize] as u32;
+                            e.lut >> row & 1 != 0
+                        } else {
+                            self.eval_net(si, &arena.values)
+                        };
+                        let t = time + e.delay as u64;
+                        if arena.queue.pending() >= max_queue {
+                            return Err(budget.event_queue_exceeded(arena.queue.pending() + 1));
+                        }
+                        // No-change outputs on a sink with no pending
+                        // event are suppressed inside the queue (the old
+                        // engine enqueued, popped and cancelled them).
+                        match arena.queue.schedule_transition(sink, t, out, out == arena.values[si])
+                        {
+                            Scheduled::New => counts.enqueued += 1,
+                            Scheduled::Coalesced | Scheduled::Suppressed => counts.coalesced += 1,
+                        }
                     }
-                    arena.heap.push(Reverse((t, sink.index() as u32, seq, out)));
-                    seq += 1;
-                    counts.enqueued += 1;
                 }
             }
-            debug_assert_eq!(
-                arena.values, arena.settled,
-                "event sim must settle to functional values"
-            );
+            // Functional toggles and signal probabilities from the
+            // settled-state diff.
             for i in 0..n {
+                counts.functional[i] += (arena.settled[i] != arena.values[i]) as u64;
                 counts.ones[i] += arena.values[i] as u64;
             }
+            #[cfg(debug_assertions)]
+            self.debug_check_settled(pattern, arena);
         }
         let tally = steps.fetch_add(local_steps, Ordering::Relaxed) + local_steps;
         if local_steps > 0 && tally >= max_steps {
@@ -373,9 +912,10 @@ impl<'a> EventSim<'a> {
     ///
     /// The step limit counts *events processed* (summed across shards via
     /// a shared counter, flushed every 1024 pops), the queue limit bounds
-    /// the pending-event heap of each shard, and the deadline is polled per
-    /// cycle. On exhaustion the run stops with a typed [`BudgetExceeded`]
-    /// — a successful run is still bit-identical to the unbudgeted one.
+    /// the pending events of each shard's calendar queue, and the deadline
+    /// is polled per cycle. On exhaustion the run stops with a typed
+    /// [`BudgetExceeded`] — a successful run is still bit-identical to the
+    /// unbudgeted one.
     pub fn try_activity_jobs(
         &self,
         patterns: &PatternSet,
@@ -393,6 +933,8 @@ impl<'a> EventSim<'a> {
             par::record_shard_gauges(&self.obs, "event", &[transitions.max(1)]);
             vec![self.shard_counts(None, patterns, &mut EventArena::new(), budget, &steps)?]
         } else {
+            // Shards reuse one arena per worker thread (par_map_with), so
+            // queue wheels and value buffers warm up once per core.
             // Shard s covers transition range r => patterns[r.start+1 ..
             // r.end+1), seeded by patterns[r.start]; shard 0 also owns the
             // initialization cycle 0.
@@ -416,8 +958,8 @@ impl<'a> EventSim<'a> {
                 let sizes: Vec<usize> = work.iter().map(|(_, slice)| slice.len()).collect();
                 par::record_shard_gauges(&self.obs, "event", &sizes);
             }
-            par::par_map(&work, shards, |_, (prev, slice)| {
-                self.shard_counts(*prev, slice, &mut EventArena::new(), budget, &steps)
+            par::par_map_with(&work, shards, EventArena::new, |_, (prev, slice), arena| {
+                self.shard_counts(*prev, slice, arena, budget, &steps)
             })
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?
@@ -445,6 +987,13 @@ impl<'a> EventSim<'a> {
                 .add("sim.event.enqueued", counts.iter().map(|c| c.enqueued).sum());
             self.obs
                 .add("sim.event.cancelled", counts.iter().map(|c| c.cancelled).sum());
+            self.obs
+                .add("sim.event.coalesced", counts.iter().map(|c| c.coalesced).sum());
+            let mut occupancy = QueueOccupancy::default();
+            for c in &counts {
+                occupancy.merge(&c.occupancy);
+            }
+            occupancy.flush(&self.obs);
         }
         let cycles = patterns.len();
         let denom = cycles.saturating_sub(1).max(1) as f64;
@@ -512,6 +1061,76 @@ mod tests {
                 "net {i}"
             );
         }
+    }
+
+    #[test]
+    fn uniform_wavefront_matches_general_queue_bit_exactly() {
+        // Same netlist, same patterns: the uniform-delay wavefront drain
+        // and the general calendar-queue drain must agree on every
+        // activity number *and* every obs counter.
+        let (nl, _) = array_multiplier(5);
+        let patterns = Stimulus::uniform(10).patterns(300, 41);
+        for delay in [1u32, 3] {
+            let model = DelayModel::PerNet(vec![delay; nl.len()]);
+            let run = |sim: EventSim| {
+                let obs = obs::Obs::enabled();
+                let act = sim.with_obs(obs.clone()).activity(&patterns);
+                (act, obs.snapshot())
+            };
+            let (fast, fast_snap) = run(EventSim::new(&nl, &model));
+            let (gen, gen_snap) = run(EventSim::new(&nl, &model).force_general_queue());
+            assert_eq!(fast.total.toggles, gen.total.toggles, "delay {delay}");
+            assert_eq!(fast.functional.toggles, gen.functional.toggles);
+            assert_eq!(fast.total.probability, gen.total.probability);
+            for k in [
+                "sim.event.processed",
+                "sim.event.enqueued",
+                "sim.event.cancelled",
+                "sim.event.coalesced",
+            ] {
+                assert_eq!(fast_snap.counter(k), gen_snap.counter(k), "{k} at delay {delay}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_word_blocks_match_sparse_event_loop() {
+        // With no budget limits the unit-delay run takes the dense 64-lane
+        // word path; forcing the general queue runs the same patterns
+        // through the calendar queue, and a roomy-but-finite step budget
+        // forces the sparse wavefront. Every activity number and every
+        // derived event counter must agree exactly (obs is enabled, so the
+        // counters come from the real merge path). 150 patterns = two
+        // dense blocks plus a sparse remainder, so the block-chaining
+        // handoff is covered too.
+        let (nl, _) = array_multiplier(5);
+        let patterns = Stimulus::uniform(10).patterns(150, 59);
+        let run = |sim: EventSim, budget: &ResourceBudget| {
+            let mut arena = EventArena::new();
+            let steps = AtomicU64::new(0);
+            sim.with_obs(obs::Obs::enabled())
+                .shard_counts(None, &patterns, &mut arena, budget, &steps)
+                .expect("budget never trips")
+        };
+        let unlimited = ResourceBudget::unlimited();
+        let roomy = ResourceBudget::unlimited().with_max_sim_steps(1 << 40);
+        let fast = run(EventSim::new(&nl, &DelayModel::Unit), &unlimited);
+        let general = run(EventSim::new(&nl, &DelayModel::Unit).force_general_queue(), &unlimited);
+        let wavefront = run(EventSim::new(&nl, &DelayModel::Unit), &roomy);
+        for slow in [&general, &wavefront] {
+            assert_eq!(fast.total, slow.total);
+            assert_eq!(fast.functional, slow.functional);
+            assert_eq!(fast.ones, slow.ones);
+            assert_eq!(fast.processed, slow.processed);
+            assert_eq!(fast.enqueued, slow.enqueued);
+            assert_eq!(fast.cancelled, slow.cancelled);
+            assert_eq!(fast.coalesced, slow.coalesced);
+        }
+        // The occupancy histogram profiles the queue, so only the runs
+        // that exercised one record it — and those two agree exactly.
+        assert_eq!(fast.occupancy, QueueOccupancy::default());
+        assert_eq!(general.occupancy, wavefront.occupancy);
+        assert!(general.occupancy.total() > 0);
     }
 
     #[test]
@@ -596,23 +1215,52 @@ mod tests {
     fn event_counters_are_consistent_and_jobs_invariant() {
         let (nl, _) = array_multiplier(5);
         let patterns = Stimulus::uniform(10).patterns(150, 41);
-        let run = |jobs: usize| {
-            let obs = obs::Obs::enabled();
-            let sim = EventSim::new(&nl, &DelayModel::Unit).with_obs(obs.clone());
-            sim.activity_jobs(&patterns, jobs);
-            obs.snapshot()
-        };
-        let serial = run(1);
-        let processed = serial.counter("sim.event.processed").unwrap();
-        let enqueued = serial.counter("sim.event.enqueued").unwrap();
-        let cancelled = serial.counter("sim.event.cancelled").unwrap();
-        assert!(processed > 0);
-        assert_eq!(processed, enqueued, "every enqueued event is popped");
-        assert!(cancelled <= processed);
-        assert_eq!(serial.counter("sim.event.cycles"), Some(150));
-        for jobs in [2, 4] {
-            let par = run(jobs);
-            assert_eq!(par.counters, serial.counters, "jobs={jobs}");
+        // Mixed per-net delays exercise the general calendar queue; unit
+        // delays take the dense/wavefront fast paths. Counter invariants
+        // and jobs-invariance must hold on both.
+        let mixed = DelayModel::PerNet((0..nl.len()).map(|i| 1 + (i as u32 & 1)).collect());
+        for model in [DelayModel::Unit, mixed] {
+            let run = |jobs: usize| {
+                let obs = obs::Obs::enabled();
+                let sim = EventSim::new(&nl, &model).with_obs(obs.clone());
+                sim.activity_jobs(&patterns, jobs);
+                obs.snapshot()
+            };
+            let serial = run(1);
+            let processed = serial.counter("sim.event.processed").unwrap();
+            let enqueued = serial.counter("sim.event.enqueued").unwrap();
+            let cancelled = serial.counter("sim.event.cancelled").unwrap();
+            let coalesced = serial.counter("sim.event.coalesced").unwrap();
+            assert!(processed > 0);
+            assert_eq!(processed, enqueued, "every enqueued event is popped");
+            assert!(cancelled <= processed);
+            assert!(coalesced > 0, "a multiplier reconverges heavily");
+            assert_eq!(serial.counter("sim.event.cycles"), Some(150));
+            // The occupancy histogram covers every popped bucket — but
+            // only on runs that exercise a queue; the dense word path
+            // (unit delays, unlimited budget) reports counters only.
+            let buckets: u64 = ["le1", "le2", "le4", "le8", "le16", "gt16"]
+                .iter()
+                .map(|b| {
+                    serial
+                        .gauge(&format!("sim.event.occupancy.{b}"))
+                        .unwrap_or(0.0) as u64
+                })
+                .sum();
+            if matches!(model, DelayModel::Unit) {
+                assert_eq!(buckets, 0, "dense-eligible runs skip the histogram");
+            } else {
+                assert!(buckets > 0 && buckets <= processed);
+            }
+            for jobs in [2, 4] {
+                let par = run(jobs);
+                assert_eq!(par.counters, serial.counters, "jobs={jobs}");
+                assert_eq!(
+                    par.gauge("sim.event.occupancy.le1"),
+                    serial.gauge("sim.event.occupancy.le1"),
+                    "occupancy is jobs-invariant"
+                );
+            }
         }
     }
 

@@ -196,6 +196,15 @@ impl CampaignReport {
     }
 }
 
+/// Reusable scratch for faulty runs: the settled-value and fanin buffers
+/// survive across faults, so a campaign allocates once per worker thread
+/// instead of once per run.
+#[derive(Debug, Default)]
+pub struct FaultArena {
+    values: Vec<bool>,
+    ins: Vec<bool>,
+}
+
 /// Behavioral fault simulator bound to one netlist (combinational or
 /// sequential).
 #[derive(Debug)]
@@ -281,7 +290,7 @@ impl<'a> FaultSim<'a> {
 
     /// The fault-free output trace (and final register state) for a stream.
     pub fn golden(&self, patterns: &PatternSet) -> (Vec<Vec<bool>>, Vec<bool>) {
-        match self.trace(patterns, None) {
+        match self.trace(patterns, None, &mut FaultArena::default()) {
             Ok(t) => t,
             Err(e) => unreachable!("fault-free run failed: {e}"),
         }
@@ -293,13 +302,24 @@ impl<'a> FaultSim<'a> {
         patterns: &PatternSet,
         fault: Fault,
     ) -> Result<(Vec<Vec<bool>>, Vec<bool>), FaultError> {
-        self.trace(patterns, Some(fault))
+        self.trace(patterns, Some(fault), &mut FaultArena::default())
+    }
+
+    /// [`FaultSim::faulty`] reusing `arena`'s scratch buffers.
+    pub fn faulty_with(
+        &self,
+        patterns: &PatternSet,
+        fault: Fault,
+        arena: &mut FaultArena,
+    ) -> Result<(Vec<Vec<bool>>, Vec<bool>), FaultError> {
+        self.trace(patterns, Some(fault), arena)
     }
 
     fn trace(
         &self,
         patterns: &PatternSet,
         fault: Option<Fault>,
+        arena: &mut FaultArena,
     ) -> Result<(Vec<Vec<bool>>, Vec<bool>), FaultError> {
         if let Some(f) = fault {
             if f.net.index() >= self.nl.len() {
@@ -319,8 +339,7 @@ impl<'a> FaultSim<'a> {
         }
         let mut state: Vec<bool> =
             self.nl.dffs().iter().map(|&d| self.nl.dff_init(d)).collect();
-        let mut values = Vec::new();
-        let mut ins = Vec::new();
+        let FaultArena { values, ins } = arena;
         let mut trace = Vec::with_capacity(patterns.len());
         let dff_slot = fault.and_then(|f| {
             self.nl.dffs().iter().position(|&d| d == f.net)
@@ -331,7 +350,7 @@ impl<'a> FaultSim<'a> {
                 Some(Fault { net, kind: FaultKind::StuckAt1 }) => Some((net, true)),
                 Some(Fault { net, kind: FaultKind::BitFlip { cycle } }) if cycle == c => {
                     // Invert what the net would have carried this cycle.
-                    let clean = self.clean_value(net, &state, p, &mut values, &mut ins);
+                    let clean = self.clean_value(net, &state, p, values, ins);
                     Some((net, !clean))
                 }
                 _ => None,
@@ -341,7 +360,7 @@ impl<'a> FaultSim<'a> {
                 // stored bit so hold cycles keep the forced value.
                 state[slot] = v;
             }
-            self.settle_forced(&state, p, force, &mut values, &mut ins);
+            self.settle_forced(&state, p, force, values, ins);
             trace.push(
                 self.nl
                     .outputs()
@@ -349,7 +368,7 @@ impl<'a> FaultSim<'a> {
                     .map(|(net, _)| values[net.index()])
                     .collect(),
             );
-            state = self.next_state(&values);
+            state = self.next_state(values);
         }
         Ok((trace, state))
     }
@@ -374,7 +393,18 @@ impl<'a> FaultSim<'a> {
         fault: Fault,
         golden: &(Vec<Vec<bool>>, Vec<bool>),
     ) -> Result<FaultReport, FaultError> {
-        let (trace, end_state) = self.faulty(patterns, fault)?;
+        self.report_with(patterns, fault, golden, &mut FaultArena::default())
+    }
+
+    /// [`FaultSim::report`] reusing `arena`'s scratch buffers.
+    pub fn report_with(
+        &self,
+        patterns: &PatternSet,
+        fault: Fault,
+        golden: &(Vec<Vec<bool>>, Vec<bool>),
+        arena: &mut FaultArena,
+    ) -> Result<FaultReport, FaultError> {
+        let (trace, end_state) = self.faulty_with(patterns, fault, arena)?;
         let first_detected = trace
             .iter()
             .zip(golden.0.iter())
@@ -407,13 +437,13 @@ impl<'a> FaultSim<'a> {
         if run_cost >= max_steps {
             return Err(budget.sim_steps_exceeded(run_cost).into());
         }
-        let reports = par::par_map(faults, jobs, |_, &fault| {
+        let reports = par::par_map_with(faults, jobs, FaultArena::default, |_, &fault, arena| {
             let tally = steps.fetch_add(run_cost, Ordering::Relaxed) + run_cost;
             if tally >= max_steps {
                 return Err(FaultError::Budget(budget.sim_steps_exceeded(tally)));
             }
             budget.check_deadline()?;
-            self.report(patterns, fault, &golden)
+            self.report_with(patterns, fault, &golden, arena)
         })
         .into_iter()
         .collect::<Result<Vec<_>, _>>()?;

@@ -39,6 +39,7 @@ use netlist::{GateKind, NetId, Netlist};
 
 use crate::event::{DelayModel, TimingActivity};
 use crate::profile::ActivityProfile;
+use crate::queue::{CalendarQueue, Scheduled};
 use crate::stimulus::PackedPatterns;
 
 /// One structural edit inside a [`Delta`].
@@ -935,6 +936,10 @@ struct ReplayCounts {
     processed: u64,
     enqueued: u64,
     cancelled: u64,
+    /// Schedules the calendar queue folded into a pending slot plus fanout
+    /// sinks already evaluated in the current bucket (work the old heap
+    /// engine enqueued and then cancelled).
+    coalesced: u64,
 }
 
 /// Incremental event-driven (timing) engine.
@@ -964,7 +969,15 @@ pub struct IncrementalEventSim {
     cursors: Vec<usize>,
     values: Vec<bool>,
     ins: Vec<bool>,
-    heap: BinaryHeap<Reverse<(u64, u32, u64, bool)>>,
+    queue: CalendarQueue,
+    /// True when an aborted replay may have left events in the queue.
+    queue_dirty: bool,
+    /// Largest per-net delay ever seen (monotone; sizes the queue wheel).
+    max_delay: u32,
+    batch: Vec<(u32, bool)>,
+    toggled: Vec<u32>,
+    sink_stamp: Vec<u64>,
+    sink_epoch: u64,
     replay_total: Vec<u64>,
     wave_buf: Vec<Vec<Tr>>,
 }
@@ -1001,7 +1014,8 @@ impl IncrementalEventSim {
     ) -> Result<IncrementalEventSim, BudgetExceeded> {
         let func = IncrementalSim::build(nl, packed, budget, obs.clone())?;
         let n = nl.len();
-        let delays = nl.iter_nets().map(|net| model.delay(nl, net)).collect();
+        let delays: Vec<u32> = nl.iter_nets().map(|net| model.delay(nl, net)).collect();
+        let max_delay = delays.iter().copied().max().unwrap_or(1);
         let mut sim = IncrementalEventSim {
             func,
             model: model.clone(),
@@ -1017,7 +1031,13 @@ impl IncrementalEventSim {
             cursors: Vec::new(),
             values: Vec::new(),
             ins: Vec::new(),
-            heap: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
+            queue_dirty: true,
+            max_delay,
+            batch: Vec::new(),
+            toggled: Vec::new(),
+            sink_stamp: Vec::new(),
+            sink_epoch: 0,
             replay_total: vec![0; n],
             wave_buf: vec![Vec::new(); n],
         };
@@ -1042,6 +1062,7 @@ impl IncrementalEventSim {
             self.obs.add("sim.event.processed", counts.processed);
             self.obs.add("sim.event.enqueued", counts.enqueued);
             self.obs.add("sim.event.cancelled", counts.cancelled);
+            self.obs.add("sim.event.coalesced", counts.coalesced);
         }
     }
 
@@ -1123,6 +1144,15 @@ impl IncrementalEventSim {
         for &(net, _) in &undo.delays {
             self.delays[net.index()] = self.model.delay(&self.func.nl, net);
         }
+        // The queue wheel is sized by the largest delay ever seen; keeping
+        // the maximum monotone (reverts never shrink it) means a stale
+        // oversized wheel at worst, never an undersized one.
+        for idx in prev_len..n {
+            self.max_delay = self.max_delay.max(self.delays[idx]);
+        }
+        for &(net, _) in &undo.delays {
+            self.max_delay = self.max_delay.max(self.delays[net.index()]);
+        }
 
         // Event layer: replay the cone's waves.
         let counts = match self.replay(full, budget) {
@@ -1164,6 +1194,7 @@ impl IncrementalEventSim {
         self.wave_buf.truncate(prev_len);
         self.in_cone.truncate(prev_len);
         self.in_boundary.truncate(prev_len);
+        self.sink_stamp.truncate(prev_len);
     }
 
     /// Undo the most recent [`IncrementalEventSim::apply_delta`]. Returns
@@ -1240,11 +1271,18 @@ impl IncrementalEventSim {
         }
         self.cursors.clear();
         self.cursors.resize(self.boundary.len(), 0);
-        let mut seq = 0u64;
-        self.heap.clear();
+        // An early (budget) return below can leave scheduled events in the
+        // queue; the flag makes the next replay start from a full reset.
+        if self.queue_dirty {
+            self.queue.reset(n, self.max_delay);
+        } else {
+            self.queue.ensure(n, self.max_delay);
+        }
+        self.queue_dirty = true;
+        self.sink_stamp.resize(n, 0);
         for c in 1..cycles {
             budget.check_deadline()?;
-            debug_assert!(self.heap.is_empty());
+            self.queue.begin_cycle();
             if full {
                 // Seed from primary-input changes, in input order (the
                 // order EventSim assigns seed sequence numbers).
@@ -1252,21 +1290,29 @@ impl IncrementalEventSim {
                 for &pi in inputs {
                     let cur = self.func.word_bit(pi.index(), c);
                     if self.values[pi.index()] != cur {
-                        self.heap.push(Reverse((0, pi.index() as u32, seq, cur)));
-                        seq += 1;
+                        if self.queue.pending() >= max_queue {
+                            return Err(budget.event_queue_exceeded(self.queue.pending() + 1));
+                        }
+                        self.queue.schedule(pi.index() as u32, 0, cur);
                         counts.enqueued += 1;
                     }
                 }
             } else {
                 // Seed from the recorded boundary transitions of cycle c.
+                // Boundary nets sit outside the cone, so they are never
+                // rescheduled as sinks; their recorded per-cycle times are
+                // strictly increasing, satisfying the queue's per-net
+                // nondecreasing-time contract.
                 for bi in 0..self.boundary.len() {
                     let b = self.boundary[bi];
                     let wave = &self.waves[b.index()];
                     while self.cursors[bi] < wave.len() && wave[self.cursors[bi]].cycle == c as u32 {
                         let tr = wave[self.cursors[bi]];
                         self.cursors[bi] += 1;
-                        self.heap.push(Reverse((tr.time, b.index() as u32, seq, tr.value)));
-                        seq += 1;
+                        if self.queue.pending() >= max_queue {
+                            return Err(budget.event_queue_exceeded(self.queue.pending() + 1));
+                        }
+                        self.queue.schedule(b.index() as u32, tr.time, tr.value);
                         counts.enqueued += 1;
                     }
                     // Skip any transitions of cycles this replay never
@@ -1277,10 +1323,10 @@ impl IncrementalEventSim {
                     }
                 }
             }
-            while let Some(Reverse((time, raw, _, value))) = self.heap.pop() {
-                counts.processed += 1;
-                local_steps += 1;
-                if local_steps == FLUSH {
+            while let Some(time) = self.queue.pop_bucket(&mut self.batch) {
+                counts.processed += self.batch.len() as u64;
+                local_steps += self.batch.len() as u64;
+                if local_steps >= FLUSH {
                     tally += local_steps;
                     local_steps = 0;
                     if tally >= max_steps {
@@ -1288,47 +1334,59 @@ impl IncrementalEventSim {
                     }
                     budget.check_deadline()?;
                 }
-                if let Some(Reverse((t2, r2, _, _))) = self.heap.peek() {
-                    if *t2 == time && *r2 == raw {
+                // Apply the whole bucket (one entry per net, net order),
+                // recording waves for in-cone nets.
+                self.toggled.clear();
+                for &(raw, value) in &self.batch {
+                    let idx = raw as usize;
+                    if self.values[idx] == value {
                         counts.cancelled += 1;
                         continue;
                     }
-                }
-                let idx = raw as usize;
-                if self.values[idx] == value {
-                    counts.cancelled += 1;
-                    continue;
-                }
-                self.values[idx] = value;
-                if self.in_cone[idx] == self.sepoch {
-                    self.replay_total[idx] += 1;
-                    self.wave_buf[idx].push(Tr {
-                        cycle: c as u32,
-                        time,
-                        value,
-                    });
-                }
-                let net = NetId::from_index(idx);
-                for fi in 0..self.func.fanouts[idx].len() {
-                    let sink = self.func.fanouts[idx][fi];
-                    if self.in_cone[sink.index()] != self.sepoch {
-                        continue;
+                    self.values[idx] = value;
+                    if self.in_cone[idx] == self.sepoch {
+                        self.replay_total[idx] += 1;
+                        self.wave_buf[idx].push(Tr {
+                            cycle: c as u32,
+                            time,
+                            value,
+                        });
                     }
-                    let kind = self.func.nl.kind(sink);
-                    self.ins.clear();
-                    for &f in self.func.nl.fanins(sink) {
-                        self.ins.push(self.values[f.index()]);
-                    }
-                    let out = kind.eval(&self.ins);
-                    let t = time + self.delays[sink.index()] as u64;
-                    if self.heap.len() as u64 >= max_queue {
-                        return Err(budget.event_queue_exceeded(self.heap.len() as u64 + 1));
-                    }
-                    self.heap.push(Reverse((t, sink.index() as u32, seq, out)));
-                    seq += 1;
-                    counts.enqueued += 1;
+                    self.toggled.push(raw);
                 }
-                let _ = net;
+                // Evaluate each distinct in-cone sink once per bucket.
+                self.sink_epoch += 1;
+                for ti in 0..self.toggled.len() {
+                    let idx = self.toggled[ti] as usize;
+                    for fi in 0..self.func.fanouts[idx].len() {
+                        let sink = self.func.fanouts[idx][fi];
+                        let si = sink.index();
+                        if self.in_cone[si] != self.sepoch {
+                            continue;
+                        }
+                        if self.sink_stamp[si] == self.sink_epoch {
+                            counts.coalesced += 1;
+                            continue;
+                        }
+                        self.sink_stamp[si] = self.sink_epoch;
+                        let kind = self.func.nl.kind(sink);
+                        self.ins.clear();
+                        for &f in self.func.nl.fanins(sink) {
+                            self.ins.push(self.values[f.index()]);
+                        }
+                        let out = kind.eval(&self.ins);
+                        let t = time + self.delays[si] as u64;
+                        if self.queue.pending() >= max_queue {
+                            return Err(budget.event_queue_exceeded(self.queue.pending() + 1));
+                        }
+                        match self.queue.schedule(si as u32, t, out) {
+                            Scheduled::New => counts.enqueued += 1,
+                            // `schedule` never suppresses; only the fused
+                            // `schedule_transition` path does.
+                            Scheduled::Coalesced | Scheduled::Suppressed => counts.coalesced += 1,
+                        }
+                    }
+                }
             }
             #[cfg(debug_assertions)]
             {
@@ -1347,6 +1405,7 @@ impl IncrementalEventSim {
         if local_steps > 0 && tally >= max_steps {
             return Err(budget.sim_steps_exceeded(tally));
         }
+        self.queue_dirty = false;
         Ok(counts)
     }
 

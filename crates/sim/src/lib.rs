@@ -37,9 +37,10 @@ pub mod event;
 pub mod fault;
 pub mod incr;
 pub mod par;
+pub mod queue;
 pub mod seq;
 pub mod stimulus;
 
 mod profile;
 
-pub use profile::ActivityProfile;
+pub use profile::{ActivityProfile, QueueOccupancy};

@@ -10,9 +10,10 @@
 //! * **Determinism** — [`par_map`] returns results in item order, and the
 //!   simulators merge per-shard integer counts in fixed shard order, so an
 //!   [`crate::ActivityProfile`] is bit-identical for every thread count.
-//! * **Arena locality** — each worker builds its scratch buffers once and
-//!   reuses them across every item it steals, so the hot loops allocate
-//!   nothing per block.
+//! * **Arena locality** — [`par_map_with`] gives each worker one
+//!   `init()`-built state reused across every item it steals, so the hot
+//!   loops allocate nothing per shard: simulation arenas and event queues
+//!   warm up once per worker, not once per work item.
 //! * **Panic isolation** — a panic inside `f` on a worker thread does not
 //!   poison the other shards. [`par_map`] catches it, lets every healthy
 //!   shard finish, then retries the failed items serially in index order.
@@ -90,10 +91,37 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
+    par_map_with(items, jobs, || (), |i, t, _: &mut ()| f(i, t))
+}
+
+/// [`par_map`] with reusable per-worker state.
+///
+/// Each worker thread builds its state once with `init()` and threads it
+/// through every item it steals, so expensive scratch (simulation arenas,
+/// event queues) is constructed `threads` times instead of `items` times.
+/// The inline (`jobs <= 1`) path builds one state and reuses it across all
+/// items — exactly what a serial caller holding its own arena would do.
+///
+/// Panic isolation matches [`par_map`], with one addition: a caught panic
+/// may have left the worker's state torn mid-update, so the worker rebuilds
+/// it with `init()` before stealing the next item, and the serial retry
+/// pass runs with a fresh state of its own.
+pub fn par_map_with<T, U, S, F, I>(items: &[T], jobs: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &T, &mut S) -> U + Sync,
+{
     let n = items.len();
     let threads = num_threads(jobs).min(n);
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t, &mut state))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Option<U>)>();
@@ -105,16 +133,25 @@ where
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // Swallow the payload here; the serial retry below will
-                // reproduce it deterministically if the failure is real.
-                let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).ok();
-                if tx.send((i, out)).is_err() {
-                    break;
+            let init = &init;
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Swallow the payload here; the serial retry below will
+                    // reproduce it deterministically if the failure is real.
+                    let out =
+                        catch_unwind(AssertUnwindSafe(|| f(i, &items[i], &mut state))).ok();
+                    if out.is_none() {
+                        // The panic may have torn the state mid-update.
+                        state = init();
+                    }
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
                 }
             });
         }
@@ -126,11 +163,14 @@ where
             }
         }
     });
-    // Retry panicked items serially, in index order, on this thread. A
-    // second panic is deterministic and propagates to the caller.
+    // Retry panicked items serially, in index order, on this thread with a
+    // fresh state. A second panic is deterministic and propagates.
     failed.sort_unstable();
-    for i in failed {
-        results[i] = Some(f(i, &items[i]));
+    if !failed.is_empty() {
+        let mut state = init();
+        for i in failed {
+            results[i] = Some(f(i, &items[i], &mut state));
+        }
     }
     results
         .into_iter()
@@ -231,6 +271,60 @@ mod tests {
             })
         });
         assert_eq!(out, (0..32).map(|x| x * 10).collect::<Vec<_>>());
+        assert_eq!(attempts.load(Ordering::SeqCst), 2, "one retry");
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        // Count how many states are ever built: at most one per worker
+        // (plus none extra for the retry path, unused here).
+        use std::sync::atomic::AtomicUsize;
+        let builds = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..64).collect();
+        for jobs in [1, 4] {
+            builds.store(0, Ordering::SeqCst);
+            let out = par_map_with(
+                &items,
+                jobs,
+                || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    Vec::<usize>::new()
+                },
+                |i, &x, scratch| {
+                    scratch.push(i); // state persists across items
+                    x * 2
+                },
+            );
+            assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+            assert!(
+                builds.load(Ordering::SeqCst) <= jobs,
+                "jobs={jobs}: built {} states",
+                builds.load(Ordering::SeqCst)
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_with_rebuilds_state_after_panic() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..32).collect();
+        let attempts = AtomicUsize::new(0);
+        let out = with_quiet_panics(|| {
+            par_map_with(
+                &items,
+                4,
+                || 0usize,
+                |i, &x, poisoned| {
+                    assert_eq!(*poisoned, 0, "torn state must not leak across items");
+                    if i == 7 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        *poisoned = 1; // tear the state, then die
+                        panic!("transient shard failure");
+                    }
+                    x + 100
+                },
+            )
+        });
+        assert_eq!(out, (0..32).map(|x| x + 100).collect::<Vec<_>>());
         assert_eq!(attempts.load(Ordering::SeqCst), 2, "one retry");
     }
 

@@ -387,8 +387,8 @@ impl<'a> SeqSim<'a> {
                 let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
                 par::record_shard_gauges(&self.obs, "seq", &sizes);
             }
-            par::par_map(&work, shards, |_, (start, prev, slice)| {
-                self.shard_counts(start, *prev, slice, &mut SeqArena::default(), budget)
+            par::par_map_with(&work, shards, SeqArena::default, |_, (start, prev, slice), arena| {
+                self.shard_counts(start, *prev, slice, arena, budget)
             })
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?
