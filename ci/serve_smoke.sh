@@ -1,0 +1,155 @@
+#!/bin/sh
+# End-to-end smoke of the `lpopt serve` daemon over its real transports.
+#
+# Starts the daemon on a unix socket with a watched batch directory, a
+# snapshot directory and fault injection enabled, then fires a few hundred
+# mixed requests at it: valid power/stats/dontcare jobs over the CLI
+# client, malformed wire bytes, poison (inject-panic) jobs, and batch-dir
+# job files including garbage. The daemon must answer everything typed,
+# survive every panic, drain cleanly on SIGTERM, and warm-start from its
+# own snapshot on a second launch.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+LPOPT=target/release/lpopt
+[ -x "$LPOPT" ] || cargo build --release --bin lpopt
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/lpopt-serve-smoke.XXXXXX")
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+sock="$work/lpopt.sock"
+batch="$work/batch"
+snaps="$work/snaps"
+mkdir -p "$batch" "$snaps"
+
+"$LPOPT" gen adder 4 "$work/adder.blif" >/dev/null
+"$LPOPT" gen multiplier 4 "$work/mult.blif" >/dev/null
+"$LPOPT" gen parity 8 "$work/parity.blif" >/dev/null
+printf 'garbage payload, not BLIF\n' > "$work/garbage.blif"
+
+start_daemon() {
+    "$LPOPT" serve "$sock" --batch-dir "$batch" --snapshot-dir "$snaps" \
+        --queue 128 --checkpoint-every 16 --fault-injection > "$1" 2>&1 &
+    daemon_pid=$!
+    i=0
+    while [ ! -S "$sock" ]; do
+        i=$((i + 1))
+        [ "$i" -le 100 ] || { echo "ERROR: daemon never bound $sock" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+start_daemon "$work/serve1.log"
+
+# ---- A few hundred mixed requests over the socket client.
+ok=0
+typed=0
+for round in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+    for payload in adder mult parity garbage; do
+        for kind in power stats dontcare; do
+            if "$LPOPT" submit "$sock" "$kind" "$work/$payload.blif" 64 \
+                > "$work/last.out" 2>&1; then
+                ok=$((ok + 1))
+            else
+                # Refusals must be typed job failures, never daemon deaths.
+                grep -q 'failed \[' "$work/last.out" || {
+                    echo "ERROR: untyped failure:" >&2
+                    cat "$work/last.out" >&2
+                    exit 1
+                }
+                typed=$((typed + 1))
+            fi
+            kill -0 "$daemon_pid" 2>/dev/null || {
+                echo "ERROR: daemon died during round $round" >&2
+                cat "$work/serve1.log" >&2
+                exit 1
+            }
+        done
+    done
+done
+echo "socket stream: $ok ok, $typed typed failures (240 requests)"
+[ "$ok" -gt 0 ] || { echo "ERROR: nothing succeeded" >&2; exit 1; }
+[ "$typed" -gt 0 ] || { echo "ERROR: the garbage payloads never failed" >&2; exit 1; }
+
+# ---- Poison jobs: the panic must be isolated and the daemon keep serving.
+p=0
+while [ "$p" -lt 10 ]; do
+    p=$((p + 1))
+    "$LPOPT" submit "$sock" inject-panic "$work/adder.blif" > "$work/poison.out" 2>&1 && {
+        echo "ERROR: inject-panic reported success" >&2
+        exit 1
+    }
+    grep -q 'failed \[panic\]' "$work/poison.out" || {
+        echo "ERROR: poison came back untyped:" >&2
+        cat "$work/poison.out" >&2
+        exit 1
+    }
+done
+"$LPOPT" submit "$sock" power "$work/adder.blif" >/dev/null || {
+    echo "ERROR: daemon stopped serving after poison" >&2
+    exit 1
+}
+echo "poison: 10 injected panics isolated, daemon still serving"
+
+# ---- Batch directory: job files (including garbage) become result files.
+i=0
+while [ "$i" -lt 30 ]; do
+    i=$((i + 1))
+    printf 'JOB stats cycles=64 seed=%s payload=%s\n' "$i" "$(wc -c < "$work/adder.blif")" \
+        > "$batch/job-$i.job.tmp"
+    cat "$work/adder.blif" >> "$batch/job-$i.job.tmp"
+    printf '\n' >> "$batch/job-$i.job.tmp"
+    mv "$batch/job-$i.job.tmp" "$batch/job-$i.job"
+done
+printf 'not a request\n' > "$batch/bad.job"
+i=0
+while [ "$(ls "$batch" | grep -c '\.result$')" -lt 31 ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "ERROR: batch results never appeared" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q 'OK ' "$batch/job-1.result" || { echo "ERROR: batch job failed" >&2; exit 1; }
+grep -q 'class=protocol' "$batch/bad.result" || {
+    echo "ERROR: garbage batch file not flagged as protocol error" >&2
+    exit 1
+}
+echo "batch: 30 jobs answered, garbage flagged typed"
+
+# ---- Metrics endpoint, then a graceful drain on SIGTERM.
+"$LPOPT" metrics "$sock" | grep -q 'serve.jobs.completed' || {
+    echo "ERROR: metrics endpoint broken" >&2
+    exit 1
+}
+kill -TERM "$daemon_pid"
+i=0
+while kill -0 "$daemon_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "ERROR: daemon ignored SIGTERM" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q 'serve.panics 10' "$work/serve1.log" || {
+    echo "ERROR: drain stats missing the panic count:" >&2
+    cat "$work/serve1.log" >&2
+    exit 1
+}
+ls "$snaps" | grep -q '\.lpc$' || { echo "ERROR: no checkpoint written" >&2; exit 1; }
+echo "drain: SIGTERM honored, stats flushed, checkpoint on disk"
+
+# ---- Second launch warm-starts from the snapshot.
+start_daemon "$work/serve2.log"
+"$LPOPT" submit "$sock" power "$work/adder.blif" >/dev/null
+"$LPOPT" metrics "$sock" > "$work/metrics2.out"
+grep -q 'serve.cache.hits 1' "$work/metrics2.out" || {
+    echo "ERROR: warm start missed the cache:" >&2
+    cat "$work/metrics2.out" >&2
+    exit 1
+}
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+grep -q 'warm start: [1-9]' "$work/serve2.log" || {
+    echo "ERROR: second launch loaded no snapshot:" >&2
+    cat "$work/serve2.log" >&2
+    exit 1
+}
+echo "warm start: snapshot loaded, first job was a cache hit"
+echo "serve smoke: PASS"

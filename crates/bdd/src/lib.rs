@@ -32,6 +32,7 @@
 //! ```
 
 mod manager;
+pub mod store;
 
 pub use budget::{BudgetExceeded, Resource, ResourceBudget};
 pub use manager::{Bdd, BddStats, OpCounts, Ref};

@@ -78,6 +78,18 @@ impl Ref {
     fn complement(self) -> Ref {
         Ref(self.0 ^ 1)
     }
+
+    /// Plain node index, for the serialization layer (`crate::store`).
+    #[inline]
+    pub(crate) fn store_index(self) -> usize {
+        self.index()
+    }
+
+    /// Complement bit, for the serialization layer (`crate::store`).
+    #[inline]
+    pub(crate) fn store_complemented(self) -> bool {
+        self.is_complemented()
+    }
 }
 
 /// Variable tag of the terminal node.
@@ -393,6 +405,19 @@ impl Bdd {
     /// High (variable = 1) cofactor of the root node.
     pub fn high(&self, f: Ref) -> Ref {
         Ref(self.node(f).hi ^ (f.0 & 1))
+    }
+
+    /// Raw stored low edge of `f`'s node — the plain node's cofactor,
+    /// ignoring `f`'s own complement bit. Serialization walks plain nodes
+    /// so a function and its complement share one stored subgraph.
+    pub(crate) fn stored_low(&self, f: Ref) -> Ref {
+        Ref(self.node(f).lo)
+    }
+
+    /// Raw stored high edge of `f`'s node (regular by the canonicity
+    /// invariant), ignoring `f`'s own complement bit.
+    pub(crate) fn stored_high(&self, f: Ref) -> Ref {
+        Ref(self.node(f).hi)
     }
 
     // ------------------------------------------------------------------

@@ -33,18 +33,55 @@ use lowpower::sim::event::{DelayModel, EventSim};
 use lowpower::sim::seq::SeqSim;
 use lowpower::sim::stimulus::Stimulus;
 
-/// Timed repetitions per point; the minimum is reported.
-const REPS: usize = 5;
+/// Timed repetitions per point; the median is reported.
+const REPS: usize = 9;
+/// Untimed runs before measuring, so caches/allocators settle first.
+const WARMUPS: usize = 2;
 
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Median-of-N timing. The earlier min-of-5 scheme reported whichever run
+/// caught the quietest scheduler moment, which made paired measurements
+/// (guarded vs unguarded) non-comparable and produced nonsense negative
+/// overhead percentages; the median is stable against both tail stalls and
+/// lucky floors.
 fn best(f: impl Fn()) -> f64 {
-    f(); // warm-up
-    let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..WARMUPS {
+        f();
+    }
+    let mut samples = [0.0f64; REPS];
+    for s in &mut samples {
         let start = Instant::now();
         f();
-        best = best.min(start.elapsed().as_secs_f64());
+        *s = start.elapsed().as_secs_f64();
     }
-    best
+    median(&mut samples)
+}
+
+/// Interleaved median-of-N for an overhead comparison: reps of `a` and `b`
+/// alternate so clock ramps, cache state, and background load drift hit
+/// both sides equally. Timing the two sides in separate back-to-back
+/// blocks systematically favors whichever ran second (warmer), which is
+/// where the old negative "overhead" numbers came from.
+fn paired(a: impl Fn(), b: impl Fn()) -> (f64, f64) {
+    for _ in 0..WARMUPS {
+        a();
+        b();
+    }
+    let mut sa = [0.0f64; REPS];
+    let mut sb = [0.0f64; REPS];
+    for i in 0..REPS {
+        let start = Instant::now();
+        a();
+        sa[i] = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        b();
+        sb[i] = start.elapsed().as_secs_f64();
+    }
+    (median(&mut sa), median(&mut sb))
 }
 
 /// Every limit set, none reachable: the checks run, the branches never
@@ -80,36 +117,52 @@ fn overheads() -> Vec<Overhead> {
     let pipe_pat = Stimulus::uniform(pipe.num_inputs()).patterns(2048, 5);
 
     let comb = CombSim::new(&wallace);
-    let event = EventSim::new(&mult, &DelayModel::Unit);
+    // Analytic delays keep both runs on the event-queue engine: with a
+    // uniform (unit) delay model the unguarded run takes the dense 64-lane
+    // path that finite step/queue budgets are excluded from by design, and
+    // the comparison would measure engine choice, not check cost.
+    let event = EventSim::new(&mult, &DelayModel::Analytic { resolution: 4 });
     let seq = SeqSim::new(&pipe);
 
+    let (comb_un, comb_g) = paired(
+        || {
+            comb.activity_jobs(&wallace_pat, 1);
+        },
+        || {
+            comb.try_activity_jobs(&wallace_pat, 1, &budget).unwrap();
+        },
+    );
+    let (event_un, event_g) = paired(
+        || {
+            event.activity_jobs(&mult_pat, 1);
+        },
+        || {
+            event.try_activity_jobs(&mult_pat, 1, &budget).unwrap();
+        },
+    );
+    let (seq_un, seq_g) = paired(
+        || {
+            seq.activity_jobs(&pipe_pat, 1);
+        },
+        || {
+            seq.try_activity_jobs(&pipe_pat, 1, &budget).unwrap();
+        },
+    );
     vec![
         Overhead {
             name: "comb/wallace_multiplier_8",
-            unguarded_secs: best(|| {
-                comb.activity_jobs(&wallace_pat, 1);
-            }),
-            guarded_secs: best(|| {
-                comb.try_activity_jobs(&wallace_pat, 1, &budget).unwrap();
-            }),
+            unguarded_secs: comb_un,
+            guarded_secs: comb_g,
         },
         Overhead {
             name: "event/array_multiplier_6",
-            unguarded_secs: best(|| {
-                event.activity_jobs(&mult_pat, 1);
-            }),
-            guarded_secs: best(|| {
-                event.try_activity_jobs(&mult_pat, 1, &budget).unwrap();
-            }),
+            unguarded_secs: event_un,
+            guarded_secs: event_g,
         },
         Overhead {
             name: "seq/pipelined_multiplier_4",
-            unguarded_secs: best(|| {
-                seq.activity_jobs(&pipe_pat, 1);
-            }),
-            guarded_secs: best(|| {
-                seq.try_activity_jobs(&pipe_pat, 1, &budget).unwrap();
-            }),
+            unguarded_secs: seq_un,
+            guarded_secs: seq_g,
         },
     ]
 }
@@ -145,33 +198,45 @@ fn obs_overheads() -> Vec<ObsOverhead> {
     let seq = SeqSim::new(&pipe);
     let seq_obs = SeqSim::new(&pipe).with_obs(obs);
 
+    let (comb_off, comb_on) = paired(
+        || {
+            comb.activity_jobs(&wallace_pat, 1);
+        },
+        || {
+            comb_obs.activity_jobs(&wallace_pat, 1);
+        },
+    );
+    let (event_off, event_on) = paired(
+        || {
+            event.activity_jobs(&mult_pat, 1);
+        },
+        || {
+            event_obs.activity_jobs(&mult_pat, 1);
+        },
+    );
+    let (seq_off, seq_on) = paired(
+        || {
+            seq.activity_jobs(&pipe_pat, 1);
+        },
+        || {
+            seq_obs.activity_jobs(&pipe_pat, 1);
+        },
+    );
     vec![
         ObsOverhead {
             name: "comb/wallace_multiplier_8",
-            disabled_secs: best(|| {
-                comb.activity_jobs(&wallace_pat, 1);
-            }),
-            enabled_secs: best(|| {
-                comb_obs.activity_jobs(&wallace_pat, 1);
-            }),
+            disabled_secs: comb_off,
+            enabled_secs: comb_on,
         },
         ObsOverhead {
             name: "event/array_multiplier_6",
-            disabled_secs: best(|| {
-                event.activity_jobs(&mult_pat, 1);
-            }),
-            enabled_secs: best(|| {
-                event_obs.activity_jobs(&mult_pat, 1);
-            }),
+            disabled_secs: event_off,
+            enabled_secs: event_on,
         },
         ObsOverhead {
             name: "seq/pipelined_multiplier_4",
-            disabled_secs: best(|| {
-                seq.activity_jobs(&pipe_pat, 1);
-            }),
-            enabled_secs: best(|| {
-                seq_obs.activity_jobs(&pipe_pat, 1);
-            }),
+            disabled_secs: seq_off,
+            enabled_secs: seq_on,
         },
     ]
 }

@@ -37,6 +37,7 @@ pub use netlist;
 pub use obs;
 pub use power;
 pub use seqopt;
+pub use serve;
 pub use sim;
 pub use soft;
 

@@ -221,6 +221,12 @@ impl CircuitBdds {
 /// Structural fingerprint of a netlist: FNV-1a over everything that
 /// determines its circuit BDDs (gate kinds, fanin wiring, input/dff order).
 /// Names are deliberately excluded — renaming a net cannot change its BDD.
+/// Public because the serve layer keys snapshot entries and warm-start
+/// bookkeeping off the same value the cache uses internally.
+pub fn structural_fingerprint(nl: &Netlist) -> u64 {
+    fingerprint(nl)
+}
+
 fn fingerprint(nl: &Netlist) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -353,6 +359,13 @@ impl CircuitBddCache {
     /// miss, the underlying build's kernel counters (via
     /// [`try_circuit_bdds_obs`]). A hit publishes no kernel counters —
     /// they count actual work, and a hit does none.
+    ///
+    /// A hit still honors the caller's node budget: if the cached
+    /// manager's peak live count exceeds `max_bdd_nodes`, the entry is
+    /// *not* served and the call fails exactly as the build would have.
+    /// Without this check a warm cache would let a starved job succeed
+    /// that a cold process rejects, and budget verdicts would depend on
+    /// what ran before — the opposite of the fault-isolation contract.
     pub fn get_or_build_obs(
         &mut self,
         nl: &Netlist,
@@ -361,6 +374,10 @@ impl CircuitBddCache {
     ) -> Result<Rc<CircuitBdds>, BudgetExceeded> {
         let key = fingerprint(nl);
         if let Some(b) = self.entries.get(&key) {
+            let peak = b.mgr.peak_live_nodes() as u64;
+            if peak > budget.max_bdd_nodes_or(u64::MAX) {
+                return Err(budget.bdd_nodes_exceeded(peak));
+            }
             self.hits += 1;
             obs.add("bdd.circuit_cache.hits", 1);
             return Ok(Rc::clone(b));
@@ -380,6 +397,199 @@ impl CircuitBddCache {
         self.order.push_back(key);
         Ok(built)
     }
+}
+
+// ----------------------------------------------------------------------
+// Snapshot persistence (crash-safe warm starts for `lpopt serve`)
+// ----------------------------------------------------------------------
+
+/// Snapshot envelope version; bumped when the entry layout changes.
+const SNAPSHOT_VERSION: u32 = 1;
+
+impl CircuitBdds {
+    /// Serialize as one store entry: the per-net functions are the blob's
+    /// roots (in net-id order), prefixed by the input-variable map.
+    fn snapshot_entry(&self, key: u64) -> String {
+        let mut out = format!(".entry {key:016x} {}\n", self.input_vars.len());
+        out.push_str(".inputvars");
+        for &v in &self.input_vars {
+            out.push_str(&format!(" {v}"));
+        }
+        out.push('\n');
+        out.push_str(&bdd::store::write_bdd(&self.mgr, &self.funcs));
+        out
+    }
+
+    /// Rebuild from the front of `text` (one `.entry` record), returning
+    /// the fingerprint key, the circuit, and the bytes consumed.
+    fn from_snapshot_entry(text: &str) -> Result<(u64, CircuitBdds, usize), bdd::store::StoreError> {
+        use bdd::store::StoreError;
+        let malformed = |w: &str| StoreError::Malformed(w.to_string());
+        let header_end = text.find('\n').ok_or_else(|| malformed("truncated .entry header"))?;
+        let mut it = text[..header_end].split_ascii_whitespace();
+        if it.next() != Some(".entry") {
+            return Err(malformed("expected .entry header"));
+        }
+        let key = it
+            .next()
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| malformed("unreadable entry fingerprint"))?;
+        let n_inputs: usize = it
+            .next()
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| malformed("unreadable entry input count"))?;
+        let rest = &text[header_end + 1..];
+        let vars_end = rest.find('\n').ok_or_else(|| malformed("truncated .inputvars"))?;
+        let vars_line = &rest[..vars_end];
+        let mut vars_it = vars_line.split_ascii_whitespace();
+        if vars_it.next() != Some(".inputvars") {
+            return Err(malformed("expected .inputvars line"));
+        }
+        let input_vars: Vec<u32> = vars_it
+            .map(|t| t.parse().map_err(|_| malformed("unreadable input variable")))
+            .collect::<Result<_, _>>()?;
+        if input_vars.len() != n_inputs {
+            return Err(malformed("input variable count mismatch"));
+        }
+        let blob = &rest[vars_end + 1..];
+        let mut mgr = bdd::Bdd::new();
+        let (funcs, blob_consumed) = bdd::store::read_bdd_prefix(&mut mgr, blob)?;
+        // Mirror a fresh build: every net function is rooted, so a later
+        // consumer enabling auto-GC cannot sweep warm-started functions.
+        for &f in &funcs {
+            mgr.protect(f);
+        }
+        let consumed = header_end + 1 + vars_end + 1 + blob_consumed;
+        Ok((key, CircuitBdds { mgr, funcs, input_vars }, consumed))
+    }
+}
+
+impl CircuitBddCache {
+    /// Serialize every cached circuit as a versioned, checksummed snapshot
+    /// suitable for [`CircuitBddCache::load_snapshot_text`] after a process
+    /// restart. Entries appear oldest first, so reloading preserves the
+    /// eviction order.
+    pub fn snapshot_text(&self) -> String {
+        let mut out = format!(".lpsnap {SNAPSHOT_VERSION}\n.entries {}\n", self.order.len());
+        for key in &self.order {
+            if let Some(entry) = self.entries.get(key) {
+                out.push_str(&entry.snapshot_entry(*key));
+            }
+        }
+        let checksum = bdd::store::fnv1a(out.as_bytes());
+        out.push_str(&format!(".endsnap {checksum:016x}\n"));
+        out
+    }
+
+    /// Warm-start from a snapshot produced by
+    /// [`CircuitBddCache::snapshot_text`]. All-or-nothing: a version skew,
+    /// checksum mismatch or malformed entry rejects the whole snapshot
+    /// with a typed error and leaves the cache untouched — a corrupt
+    /// snapshot is discarded, never trusted. Returns the number of
+    /// circuits loaded; entries already present (by fingerprint) are
+    /// skipped, and capacity eviction applies as usual.
+    pub fn load_snapshot_text(&mut self, text: &str) -> Result<usize, bdd::store::StoreError> {
+        use bdd::store::StoreError;
+        let malformed = |w: &str| StoreError::Malformed(w.to_string());
+        let mut lines = text.lines();
+        let version_line = lines.next().ok_or_else(|| malformed("empty snapshot"))?;
+        let version = version_line
+            .strip_prefix(".lpsnap ")
+            .ok_or_else(|| StoreError::Version(version_line.to_string()))?;
+        if version.trim().parse::<u32>() != Ok(SNAPSHOT_VERSION) {
+            return Err(StoreError::Version(version.trim().to_string()));
+        }
+        let entries_line = lines.next().ok_or_else(|| malformed("missing .entries"))?;
+        let count: usize = entries_line
+            .strip_prefix(".entries ")
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| malformed("unreadable .entries line"))?;
+        // Verify the envelope checksum before rebuilding anything.
+        let end_at = text
+            .rfind("\n.endsnap ")
+            .ok_or_else(|| malformed("missing .endsnap trailer"))?;
+        let trailer = text[end_at + 1..].trim_end();
+        let stored = trailer
+            .strip_prefix(".endsnap ")
+            .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+            .ok_or_else(|| malformed("unreadable .endsnap trailer"))?;
+        let computed = bdd::store::fnv1a(&text.as_bytes()[..end_at + 1]);
+        if stored != computed {
+            return Err(StoreError::Checksum { stored, computed });
+        }
+        // Parse every entry before touching the cache (all-or-nothing).
+        let mut cursor = text
+            .find("\n.entry ")
+            .map(|i| i + 1)
+            .unwrap_or(end_at + 1);
+        let mut parsed = Vec::with_capacity(count);
+        for _ in 0..count {
+            if cursor >= end_at {
+                return Err(malformed("fewer entries than .entries declares"));
+            }
+            let (key, circuit, consumed) = CircuitBdds::from_snapshot_entry(&text[cursor..])?;
+            parsed.push((key, circuit));
+            cursor += consumed;
+        }
+        if text[cursor..end_at + 1].bytes().any(|b| !b.is_ascii_whitespace()) {
+            return Err(malformed("more entries than .entries declares"));
+        }
+        let mut loaded = 0;
+        for (key, circuit) in parsed {
+            if self.entries.contains_key(&key) {
+                continue;
+            }
+            while self.entries.len() >= self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.entries.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            self.entries.insert(key, Rc::new(circuit));
+            self.order.push_back(key);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+/// Validate a snapshot's envelope — format version, `.entries` header and
+/// checksum — without rebuilding any BDDs. This is the cheap admission
+/// check a daemon runs once per file before handing the text to per-worker
+/// caches (which cannot be shared across threads): any bit flip,
+/// truncation or version skew is caught here, and
+/// [`CircuitBddCache::load_snapshot_text`] re-verifies everything anyway.
+pub fn verify_snapshot_text(text: &str) -> Result<(), bdd::store::StoreError> {
+    use bdd::store::StoreError;
+    let malformed = |w: &str| StoreError::Malformed(w.to_string());
+    let mut lines = text.lines();
+    let version_line = lines.next().ok_or_else(|| malformed("empty snapshot"))?;
+    let version = version_line
+        .strip_prefix(".lpsnap ")
+        .ok_or_else(|| StoreError::Version(version_line.to_string()))?;
+    if version.trim().parse::<u32>() != Ok(SNAPSHOT_VERSION) {
+        return Err(StoreError::Version(version.trim().to_string()));
+    }
+    let entries_line = lines.next().ok_or_else(|| malformed("missing .entries"))?;
+    entries_line
+        .strip_prefix(".entries ")
+        .and_then(|n| n.trim().parse::<usize>().ok())
+        .ok_or_else(|| malformed("unreadable .entries line"))?;
+    let end_at = text
+        .rfind("\n.endsnap ")
+        .ok_or_else(|| malformed("missing .endsnap trailer"))?;
+    let trailer = text[end_at + 1..].trim_end();
+    let stored = trailer
+        .strip_prefix(".endsnap ")
+        .and_then(|h| u64::from_str_radix(h.trim(), 16).ok())
+        .ok_or_else(|| malformed("unreadable .endsnap trailer"))?;
+    let computed = bdd::store::fnv1a(&text.as_bytes()[..end_at + 1]);
+    if stored != computed {
+        return Err(StoreError::Checksum { stored, computed });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -548,6 +758,70 @@ mod tests {
         // The first build (parity 3) was evicted: rebuilding it misses.
         cache.get_or_build(&parity_tree(3), &unlimited).unwrap();
         assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_warm_starts_bit_identically() {
+        let circuits = [parity_tree(5), ripple_adder(4).0, netlist::gen::counter(3)];
+        let unlimited = ResourceBudget::unlimited();
+        let mut cache = CircuitBddCache::new();
+        for nl in &circuits {
+            cache.get_or_build(nl, &unlimited).unwrap();
+        }
+        let snap = cache.snapshot_text();
+
+        let mut warm = CircuitBddCache::new();
+        assert_eq!(warm.load_snapshot_text(&snap).unwrap(), circuits.len());
+        assert_eq!(warm.len(), circuits.len());
+        for nl in &circuits {
+            let cold = cache.get_or_build(nl, &unlimited).unwrap();
+            let loaded = warm.get_or_build(nl, &unlimited).unwrap();
+            let probs = vec![0.3; nl.num_inputs()];
+            for (a, b) in cold
+                .probabilities(&probs)
+                .iter()
+                .zip(loaded.probabilities(&probs).iter())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "warm start must be bit-identical");
+            }
+            assert_eq!(cold.input_vars, loaded.input_vars);
+        }
+        // Every lookup above was a warm hit: nothing was rebuilt.
+        assert_eq!(warm.misses(), 0);
+        assert_eq!(warm.hits(), circuits.len() as u64);
+        // Loading again is idempotent (entries already present are kept).
+        assert_eq!(warm.load_snapshot_text(&snap).unwrap(), 0);
+    }
+
+    #[test]
+    fn corrupt_or_skewed_snapshots_are_rejected_untouched() {
+        let mut cache = CircuitBddCache::new();
+        cache
+            .get_or_build(&parity_tree(4), &ResourceBudget::unlimited())
+            .unwrap();
+        let snap = cache.snapshot_text();
+
+        let mut target = CircuitBddCache::new();
+        // Version skew.
+        let skewed = snap.replace(".lpsnap 1", ".lpsnap 7");
+        assert!(matches!(
+            target.load_snapshot_text(&skewed),
+            Err(bdd::store::StoreError::Version(_))
+        ));
+        // Bit flip in the payload: the envelope checksum catches it.
+        let mut bytes = snap.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        if let Ok(corrupt) = String::from_utf8(bytes) {
+            assert!(target.load_snapshot_text(&corrupt).is_err());
+        }
+        // Truncation at every quarter.
+        for cut in [1, snap.len() / 4, snap.len() / 2, snap.len() - 3] {
+            assert!(target.load_snapshot_text(&snap[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(target.is_empty(), "rejected snapshots must not leak entries");
+        // The intact snapshot still loads afterwards.
+        assert_eq!(target.load_snapshot_text(&snap).unwrap(), 1);
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Watched-directory transport: drop `*.job` files in, collect `*.result`
+//! files out.
+//!
+//! A job file holds exactly one wire-format request (see
+//! [`crate::protocol`]); its answer is written atomically to
+//! `<stem>.result` and the job file is removed only after the result is
+//! durably in place — a crash between the two leaves the job file behind
+//! to be re-run, never a silently lost request. Files are processed in
+//! sorted name order; a full queue defers the remainder to the next scan
+//! instead of dropping anything (backpressure, directory-style).
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::protocol::{read_request, write_response, Request, Response};
+use crate::server::{PendingJob, Server};
+
+/// What one scan (or watch session) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Jobs answered (result files written).
+    pub processed: usize,
+    /// Job files left for a later scan because the queue was full.
+    pub deferred: usize,
+    /// Files that were not valid requests (answered with a protocol
+    /// error result).
+    pub malformed: usize,
+}
+
+/// Process every `*.job` file currently in `dir` once.
+pub fn process_batch_dir(server: &Server, dir: &Path) -> io::Result<BatchReport> {
+    let mut report = BatchReport::default();
+    let mut jobs: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "job"))
+        .collect();
+    jobs.sort();
+    // Submit everything first so independent jobs overlap across workers,
+    // then collect answers in file order.
+    let mut pending: Vec<(PathBuf, Result<PendingJob, Response>)> = Vec::new();
+    let mut queue_full = false;
+    for path in jobs {
+        if queue_full {
+            report.deferred += 1;
+            continue;
+        }
+        let request = std::fs::read(&path).map(|bytes| {
+            read_request(&mut io::Cursor::new(bytes), &|| false)
+        });
+        let outcome = match request {
+            Ok(Ok(Some(Request::Job(spec)))) => match server.submit(spec) {
+                Ok(p) => Ok(p),
+                Err(crate::job::JobError::QueueFull { .. }) => {
+                    // Leave this and every later file for the next scan.
+                    queue_full = true;
+                    report.deferred += 1;
+                    continue;
+                }
+                Err(e) => Err(Response::Err {
+                    id: 0,
+                    class: e.class().to_string(),
+                    attempts: 0,
+                    message: e.to_string(),
+                }),
+            },
+            Ok(Ok(Some(_other_control))) => {
+                report.malformed += 1;
+                Err(protocol_error("batch files must contain JOB requests"))
+            }
+            Ok(Ok(None)) => {
+                report.malformed += 1;
+                Err(protocol_error("empty job file"))
+            }
+            Ok(Err(e)) => {
+                report.malformed += 1;
+                Err(protocol_error(&e.to_string()))
+            }
+            Err(e) => {
+                report.malformed += 1;
+                Err(protocol_error(&e.to_string()))
+            }
+        };
+        pending.push((path, outcome));
+    }
+    for (path, outcome) in pending {
+        let response = match outcome {
+            Ok(p) => Response::from_job(&p.wait()),
+            Err(resp) => resp,
+        };
+        write_result(&path, &response)?;
+        report.processed += 1;
+    }
+    Ok(report)
+}
+
+fn protocol_error(message: &str) -> Response {
+    Response::Err {
+        id: 0,
+        class: "protocol".to_string(),
+        attempts: 0,
+        message: message.to_string(),
+    }
+}
+
+/// Atomically write `<stem>.result` next to the job file, then remove the
+/// job file.
+fn write_result(job_path: &Path, response: &Response) -> io::Result<()> {
+    let result_path = job_path.with_extension("result");
+    let tmp = job_path.with_extension(format!("result.tmp.{}", std::process::id()));
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, response)?;
+    if let Err(e) = std::fs::write(&tmp, bytes) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, &result_path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })?;
+    std::fs::remove_file(job_path)
+}
+
+/// Poll `dir` every `poll_ms` until `stop` rises, accumulating scan
+/// reports. The final scan after `stop` drains whatever is present so a
+/// graceful shutdown never strands submitted-but-unprocessed files.
+pub fn watch_batch_dir(
+    server: &Server,
+    dir: &Path,
+    stop: &AtomicBool,
+    poll_ms: u64,
+) -> io::Result<BatchReport> {
+    let mut total = BatchReport::default();
+    loop {
+        let done = stop.load(Ordering::SeqCst);
+        let scan = process_batch_dir(server, dir)?;
+        total.processed += scan.processed;
+        total.deferred += scan.deferred;
+        total.malformed += scan.malformed;
+        if done {
+            return Ok(total);
+        }
+        std::thread::sleep(Duration::from_millis(poll_ms.max(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobKind, JobSpec};
+    use crate::protocol::{read_response, write_request};
+    use crate::server::ServeConfig;
+    use netlist::blif::write_text;
+    use netlist::gen;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "serve-batch-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn drop_job(dir: &Path, name: &str, spec: &JobSpec) {
+        let mut bytes = Vec::new();
+        write_request(&mut bytes, &Request::Job(spec.clone())).unwrap();
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+
+    #[test]
+    fn batch_scan_answers_jobs_and_flags_garbage() {
+        let dir = tmpdir("scan");
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            retry_backoff_ms: 0,
+            ..ServeConfig::default()
+        });
+        let blif = write_text(&gen::ripple_adder(3).0);
+        drop_job(&dir, "a.job", &JobSpec::new(JobKind::Power, blif.clone()));
+        drop_job(&dir, "b.job", &JobSpec::new(JobKind::Stats, blif));
+        std::fs::write(dir.join("c.job"), b"not a request at all").unwrap();
+
+        let report = process_batch_dir(&server, &dir).unwrap();
+        assert_eq!(report.processed, 3);
+        assert_eq!(report.malformed, 1);
+        assert_eq!(report.deferred, 0);
+
+        for (name, want_ok) in [("a", true), ("b", true), ("c", false)] {
+            let path = dir.join(format!("{name}.result"));
+            let bytes = std::fs::read(&path).unwrap();
+            let resp = read_response(&mut io::Cursor::new(bytes)).unwrap();
+            match (want_ok, resp) {
+                (true, Response::Ok { .. }) => {}
+                (false, Response::Err { class, .. }) => assert_eq!(class, "protocol"),
+                (want, got) => panic!("{name}: want ok={want}, got {got:?}"),
+            }
+            assert!(
+                !dir.join(format!("{name}.job")).exists(),
+                "{name}.job must be consumed"
+            );
+        }
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn full_queue_defers_files_instead_of_dropping() {
+        let dir = tmpdir("defer");
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            retry_backoff_ms: 0,
+            ..ServeConfig::default()
+        });
+        let blif = write_text(&gen::array_multiplier(4).0);
+        for i in 0..6 {
+            drop_job(&dir, &format!("{i:02}.job"), &JobSpec::new(JobKind::Power, blif.clone()));
+        }
+        let mut processed = 0;
+        let mut scans = 0;
+        while processed < 6 {
+            let report = process_batch_dir(&server, &dir).unwrap();
+            processed += report.processed;
+            scans += 1;
+            assert!(scans < 50, "jobs must eventually drain");
+        }
+        assert!(scans > 1, "capacity 1 cannot swallow 6 jobs in one scan");
+        assert_eq!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| e.as_ref().unwrap().path().extension().unwrap() == "result")
+                .count(),
+            6
+        );
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,215 @@
+//! Job specifications, typed failure classes, and results.
+//!
+//! A job is one self-contained request against the resident service:
+//! a payload (BLIF netlist or KISS state machine), a kind, and its own
+//! resource limits. Every way a job can fail maps to a [`JobError`]
+//! variant with a stable kebab-case class — the daemon never lets a
+//! failure escape as anything else, and the soak bench audits exactly
+//! that.
+
+use std::fmt;
+
+/// What the service should do with a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Estimate power of a BLIF netlist through the degradation chain
+    /// (warm BDD cache feeds the exact tier).
+    Power,
+    /// Parse a BLIF netlist and report its statistics.
+    Stats,
+    /// Don't-care optimization of a BLIF netlist, reporting rewrite and
+    /// switched-capacitance numbers.
+    Dontcare,
+    /// Minimize a KISS state machine and report low-power encoding gains.
+    Fsm,
+    /// Deliberately panic inside the worker. Only honored when the server
+    /// runs with fault injection enabled (soak tests); otherwise rejected
+    /// with a typed error. Exists to prove panic isolation works.
+    InjectPanic,
+}
+
+impl JobKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Power => "power",
+            JobKind::Stats => "stats",
+            JobKind::Dontcare => "dontcare",
+            JobKind::Fsm => "fsm",
+            JobKind::InjectPanic => "inject-panic",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(name: &str) -> Option<JobKind> {
+        Some(match name {
+            "power" => JobKind::Power,
+            "stats" => JobKind::Stats,
+            "dontcare" => JobKind::Dontcare,
+            "fsm" => JobKind::Fsm,
+            "inject-panic" => JobKind::InjectPanic,
+            _ => return None,
+        })
+    }
+}
+
+/// One request. Limits are per-job: a hostile payload exhausts its own
+/// budget and nothing else.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// What to do.
+    pub kind: JobKind,
+    /// BLIF or KISS text.
+    pub payload: String,
+    /// Stimulus cycles for sampled estimation.
+    pub cycles: usize,
+    /// Stimulus seed.
+    pub seed: u64,
+    /// Wall-clock deadline for this job, measured from admission.
+    pub deadline_ms: Option<u64>,
+    /// BDD node cap for the exact tier.
+    pub max_bdd_nodes: Option<u64>,
+    /// Simulation step cap for the sampled tier.
+    pub max_sim_steps: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with default limits (none) and default stimulus.
+    pub fn new(kind: JobKind, payload: impl Into<String>) -> JobSpec {
+        JobSpec {
+            kind,
+            payload: payload.into(),
+            cycles: 256,
+            seed: 42,
+            deadline_ms: None,
+            max_bdd_nodes: None,
+            max_sim_steps: None,
+        }
+    }
+}
+
+/// Typed failure classes. `class()` is the stable wire identifier; the
+/// `Display` form carries the human diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The payload did not parse as the kind's format.
+    Parse(String),
+    /// The request is structurally valid but not servable (unknown kind
+    /// on the wire, fault injection disabled, pass limits exceeded).
+    Unsupported(String),
+    /// The job's resource budget was exhausted on every applicable tier,
+    /// after any degraded retries the policy allows.
+    Exhausted(String),
+    /// The job's deadline had already passed when a worker picked it up.
+    DeadlineExpired {
+        /// Deadline span the job asked for, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The job panicked inside the worker. The worker survives, discards
+    /// its caches (they may be torn mid-update), and keeps serving.
+    Panicked(String),
+    /// The bounded queue was full at admission — backpressure, try later.
+    QueueFull {
+        /// Queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is draining and accepts no new work, or dropped the job
+    /// without running it during a non-drain shutdown.
+    Shutdown,
+}
+
+impl JobError {
+    /// Stable kebab-case failure class (wire field, metric suffix).
+    pub fn class(&self) -> &'static str {
+        match self {
+            JobError::Parse(_) => "parse",
+            JobError::Unsupported(_) => "unsupported",
+            JobError::Exhausted(_) => "budget",
+            JobError::DeadlineExpired { .. } => "deadline",
+            JobError::Panicked(_) => "panic",
+            JobError::QueueFull { .. } => "queue-full",
+            JobError::Shutdown => "shutdown",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Parse(m) => write!(f, "payload did not parse: {m}"),
+            JobError::Unsupported(m) => write!(f, "unsupported request: {m}"),
+            JobError::Exhausted(m) => write!(f, "budget exhausted: {m}"),
+            JobError::DeadlineExpired { limit_ms } => {
+                write!(f, "deadline ({limit_ms} ms) expired before execution")
+            }
+            JobError::Panicked(m) => write!(f, "job panicked (worker recovered): {m}"),
+            JobError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity}), resubmit later")
+            }
+            JobError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A successful job's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// Deterministic report text (the same payload under the same limits
+    /// produces byte-identical text, warm or cold).
+    pub text: String,
+    /// Estimation tier that answered, when the job ran the chain.
+    pub tier: Option<String>,
+}
+
+/// Everything the service says about one admitted job.
+#[derive(Debug, Clone)]
+pub struct JobResponse {
+    /// Admission-assigned id (monotonic per server).
+    pub id: u64,
+    /// The answer or the typed failure.
+    pub result: Result<JobOutput, JobError>,
+    /// Execution attempts (1 = first try answered; 2 = one degraded retry).
+    pub attempts: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            JobKind::Power,
+            JobKind::Stats,
+            JobKind::Dontcare,
+            JobKind::Fsm,
+            JobKind::InjectPanic,
+        ] {
+            assert_eq!(JobKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(JobKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn error_classes_are_stable_kebab_case() {
+        let errors = [
+            JobError::Parse("x".into()),
+            JobError::Unsupported("x".into()),
+            JobError::Exhausted("x".into()),
+            JobError::DeadlineExpired { limit_ms: 5 },
+            JobError::Panicked("x".into()),
+            JobError::QueueFull { capacity: 4 },
+            JobError::Shutdown,
+        ];
+        for e in &errors {
+            assert!(
+                e.class().chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{}",
+                e.class()
+            );
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

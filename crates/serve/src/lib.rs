@@ -1,0 +1,45 @@
+//! A fault-isolated, long-running optimization service.
+//!
+//! The batch CLI pays the full cold-start price — process spawn, parse,
+//! BDD construction — for every request. This crate keeps the expensive
+//! state *resident*: a daemon owns a pool of worker threads, each with its
+//! own warm [`power::exact::CircuitBddCache`], and schedules independent
+//! jobs (power estimation, statistics, don't-care optimization, FSM
+//! re-encoding) over them. The survey's degradation chain and resource
+//! budgets apply per job, so one hostile payload exhausts its own budget
+//! and nothing else.
+//!
+//! Robustness contract, enforced by the soak bench and chaos tests:
+//!
+//! * **Typed failures only** — every way a job can die maps to a
+//!   [`JobError`] class; the daemon itself never crashes.
+//! * **Panic isolation** — a panicking job is caught, reported as
+//!   [`JobError::Panicked`], and the worker's (possibly torn) caches are
+//!   discarded before the next job runs.
+//! * **Bit-identity** — a successful job's answer is byte-identical to a
+//!   cold single-threaded run of the same request ([`worker::cold_run`]),
+//!   warm caches and concurrency notwithstanding.
+//! * **Crash-safe persistence** — workers checkpoint their caches with
+//!   atomic tmp+rename writes ([`snapshot`]); restart loads the union of
+//!   validated snapshots, and a corrupt or version-skewed file is
+//!   rejected, counted, and deleted, never trusted.
+//! * **Backpressure** — admission is a bounded queue; a full queue is a
+//!   typed refusal, not an unbounded buffer.
+//!
+//! Transports: a unix domain socket ([`socket`], request/response) and a
+//! watched batch directory ([`batch`], `*.job` in, `*.result` out), both
+//! speaking the same line-oriented [`protocol`].
+
+pub mod batch;
+pub mod job;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod snapshot;
+#[cfg(unix)]
+pub mod socket;
+pub mod worker;
+
+pub use job::{JobError, JobKind, JobOutput, JobResponse, JobSpec};
+pub use server::{PendingJob, ServeConfig, Server, ServerStats};

@@ -1,0 +1,174 @@
+//! Bounded MPMC job queue with explicit backpressure.
+//!
+//! `std::sync::mpsc` has no bounded multi-consumer variant, so the daemon
+//! uses the classic `Mutex<VecDeque>` + `Condvar` pair. Admission never
+//! blocks: a full queue is an immediate typed rejection ([`PushError::Full`])
+//! that the client can turn into retry-later backpressure. Workers block in
+//! [`JobQueue::pop`] until work arrives or the queue is closed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — backpressure, not failure.
+    Full {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The queue was closed (server draining); no new work is admitted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit one item, or refuse immediately with the typed reason.
+    pub fn push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err((item, PushError::Closed));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err((
+                item,
+                PushError::Full {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until an item is available (FIFO) or the queue is closed and
+    /// empty (`None` — the worker should exit its loop).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: no further pushes succeed, and once drained every
+    /// blocked and future [`JobQueue::pop`] returns `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Close the queue and take every still-pending item (abort path: the
+    /// caller fails them as dropped instead of running them).
+    pub fn close_and_drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        let items = inner.items.drain(..).collect();
+        drop(inner);
+        self.ready.notify_all();
+        items
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_refuses_with_capacity() {
+        let q = JobQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        let (item, err) = q.push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(err, PushError::Full { capacity: 2 });
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(JobQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.push(7).unwrap();
+        q.close();
+        let mut got: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(7)]);
+        assert_eq!(q.push(9).unwrap_err().1, PushError::Closed);
+    }
+
+    #[test]
+    fn close_and_drain_returns_pending() {
+        let q = JobQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let pending = q.close_and_drain();
+        assert_eq!(pending, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Crash-safe snapshot files for warm-starting worker caches.
+//!
+//! Each worker periodically serializes its [`CircuitBddCache`] to
+//! `snap-worker-<i>.lpc` in the snapshot directory, written atomically
+//! (temp file in the same directory, then rename) so a crash mid-write
+//! never leaves a truncated snapshot where a good one should be. On
+//! startup the server validates every file once on the main thread
+//! ([`read_valid_snapshots`] — cheap envelope checks, no BDD rebuilds)
+//! and hands the surviving texts to every worker, which loads the *union*
+//! into its own cache ([`load_texts`]): worker counts may differ across
+//! restarts, and duplicate circuits are skipped by fingerprint anyway.
+//!
+//! A snapshot that fails validation (version skew, checksum mismatch,
+//! truncation) is rejected as a unit, counted, and deleted: the daemon
+//! rebuilds the state it describes from live traffic instead of trusting
+//! a corrupt file twice.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use power::exact::{verify_snapshot_text, CircuitBddCache};
+
+/// The snapshot file for one worker index.
+pub fn worker_snapshot_path(dir: &Path, worker: usize) -> PathBuf {
+    dir.join(format!("snap-worker-{worker}.lpc"))
+}
+
+/// Atomically write `cache`'s snapshot for worker `worker`.
+pub fn save_worker_snapshot(
+    dir: &Path,
+    worker: usize,
+    cache: &CircuitBddCache,
+) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = worker_snapshot_path(dir, worker);
+    let tmp = dir.join(format!(
+        "snap-worker-{worker}.lpc.tmp.{}",
+        std::process::id()
+    ));
+    let text = cache.snapshot_text();
+    if let Err(e) = std::fs::write(&tmp, text) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, &path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// What scanning the snapshot directory found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotScan {
+    /// Snapshot files whose envelope validated.
+    pub files_valid: usize,
+    /// Corrupt or version-skewed files, rejected and deleted.
+    pub files_rejected: usize,
+}
+
+/// Scan `dir` for `snap-*.lpc` files (sorted order), validate each
+/// envelope, and return the texts that passed. Invalid files are deleted
+/// and counted, never trusted. A missing directory is an empty scan.
+pub fn read_valid_snapshots(dir: &Path) -> (Vec<String>, SnapshotScan) {
+    let mut scan = SnapshotScan::default();
+    let mut texts = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return (texts, scan),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".lpc"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let valid = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                verify_snapshot_text(&text)
+                    .map(|()| text)
+                    .map_err(|e| e.to_string())
+            });
+        match valid {
+            Ok(text) => {
+                scan.files_valid += 1;
+                texts.push(text);
+            }
+            Err(_) => {
+                scan.files_rejected += 1;
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    (texts, scan)
+}
+
+/// Load pre-validated snapshot texts into one worker's cache, returning
+/// the number of circuits added (duplicates skipped by fingerprint). A
+/// text that still fails the loader's own full validation — impossible
+/// unless the file changed between scan and load — is skipped.
+pub fn load_texts(texts: &[String], cache: &mut CircuitBddCache) -> usize {
+    let mut circuits = 0;
+    for text in texts {
+        if let Ok(n) = cache.load_snapshot_text(text) {
+            circuits += n;
+        }
+    }
+    circuits
+}
+
+/// Convenience for single-cache callers (tests, one-shot tools): scan,
+/// validate and load `dir` into `cache` in one step.
+pub fn load_snapshots(dir: &Path, cache: &mut CircuitBddCache) -> (SnapshotScan, usize) {
+    let (texts, scan) = read_valid_snapshots(dir);
+    let circuits = load_texts(&texts, cache);
+    (scan, circuits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use budget::ResourceBudget;
+    use netlist::gen;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "serve-snap-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn save_and_union_load_round_trip() {
+        let dir = tmpdir("rt");
+        let mut c0 = CircuitBddCache::new();
+        let mut c1 = CircuitBddCache::new();
+        c0.get_or_build(&gen::ripple_adder(3).0, &ResourceBudget::unlimited())
+            .unwrap();
+        c1.get_or_build(&gen::parity_tree(5), &ResourceBudget::unlimited())
+            .unwrap();
+        save_worker_snapshot(&dir, 0, &c0).unwrap();
+        save_worker_snapshot(&dir, 1, &c1).unwrap();
+
+        let mut warm = CircuitBddCache::new();
+        let (scan, circuits) = load_snapshots(&dir, &mut warm);
+        assert_eq!(scan.files_valid, 2);
+        assert_eq!(scan.files_rejected, 0);
+        assert_eq!(circuits, 2);
+        // Both circuits now hit without building.
+        warm.get_or_build(&gen::ripple_adder(3).0, &ResourceBudget::unlimited())
+            .unwrap();
+        warm.get_or_build(&gen::parity_tree(5), &ResourceBudget::unlimited())
+            .unwrap();
+        assert_eq!(warm.misses(), 0);
+        assert_eq!(warm.hits(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected_and_deleted() {
+        let dir = tmpdir("corrupt");
+        let mut c0 = CircuitBddCache::new();
+        c0.get_or_build(&gen::ripple_adder(3).0, &ResourceBudget::unlimited())
+            .unwrap();
+        save_worker_snapshot(&dir, 0, &c0).unwrap();
+        // Bit-flip the good snapshot into a bad one under another name.
+        let good = std::fs::read_to_string(worker_snapshot_path(&dir, 0)).unwrap();
+        let mut bad = good.into_bytes();
+        let mid = bad.len() / 2;
+        bad[mid] = bad[mid].wrapping_add(1);
+        let bad_path = dir.join("snap-worker-9.lpc");
+        std::fs::write(&bad_path, bad).unwrap();
+
+        let mut warm = CircuitBddCache::new();
+        let (scan, circuits) = load_snapshots(&dir, &mut warm);
+        assert_eq!(scan.files_valid, 1);
+        assert_eq!(scan.files_rejected, 1);
+        assert!(!bad_path.exists(), "rejected snapshot must be deleted");
+        assert_eq!(circuits, 1, "good snapshot still loads");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_load() {
+        let mut cache = CircuitBddCache::new();
+        let (scan, circuits) = load_snapshots(Path::new("/nonexistent/serve-snap"), &mut cache);
+        assert_eq!(scan, SnapshotScan::default());
+        assert_eq!(circuits, 0);
+    }
+}

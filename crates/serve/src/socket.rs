@@ -1,0 +1,233 @@
+//! Unix-domain-socket transport for the daemon.
+//!
+//! [`serve_socket`] runs the accept loop until the stop flag rises (via
+//! SIGTERM, a `SHUTDOWN` request, or the embedding test). Each connection
+//! gets its own handler thread so slow clients never block admission;
+//! handlers use short read timeouts to poll the stop flag between
+//! requests, and the protocol reader guarantees a started frame is always
+//! finished — shutdown never tears a request in half.
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::protocol::{read_request, read_response, write_request, write_response, Request, Response};
+use crate::server::Server;
+
+/// Accept connections on `path` and serve requests against `server` until
+/// `stop` becomes true. The socket file is created fresh (a stale one is
+/// removed) and cleaned up on exit. Returns how many requests were served.
+pub fn serve_socket(server: &Server, path: &Path, stop: &AtomicBool) -> io::Result<u64> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let served = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let served = &served;
+                    scope.spawn(move || {
+                        served.fetch_add(handle_connection(server, stream, stop), Ordering::Relaxed);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    });
+    let _ = std::fs::remove_file(path);
+    Ok(served.load(Ordering::Relaxed))
+}
+
+/// Serve one connection until EOF, a protocol error, or shutdown while
+/// idle. Returns the number of requests answered.
+fn handle_connection(server: &Server, stream: UnixStream, stop: &AtomicBool) -> u64 {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return 0,
+    };
+    let mut writer = stream;
+    let mut served = 0;
+    loop {
+        let request = match read_request(&mut reader, &|| stop.load(Ordering::SeqCst)) {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // clean EOF or idle shutdown
+            Err(e) => {
+                let _ = write_response(
+                    &mut writer,
+                    &Response::Err {
+                        id: 0,
+                        class: "protocol".to_string(),
+                        attempts: 0,
+                        message: e.to_string(),
+                    },
+                );
+                break;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Metrics => Response::Ok {
+                id: 0,
+                attempts: 0,
+                tier: None,
+                payload: server.stats().to_text(),
+            },
+            Request::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                Response::Ok {
+                    id: 0,
+                    attempts: 0,
+                    tier: None,
+                    payload: "draining\n".to_string(),
+                }
+            }
+            Request::Job(spec) => Response::from_job(&server.run(spec)),
+        };
+        served += 1;
+        if write_response(&mut writer, &response).is_err() {
+            break;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    served
+}
+
+/// Blocking client for `lpopt submit` / `lpopt metrics` and tests.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connect to a daemon's socket.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_request(&mut self.stream, request)?;
+        read_response(&mut self.stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobKind, JobSpec};
+    use crate::server::{ServeConfig, ServerStats};
+    use netlist::blif::write_text;
+    use netlist::gen;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicBool;
+
+    fn socket_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lpopt-serve-{tag}-{}.sock", std::process::id()))
+    }
+
+    #[test]
+    fn socket_serves_jobs_metrics_and_shutdown() {
+        let path = socket_path("basic");
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            retry_backoff_ms: 0,
+            ..ServeConfig::default()
+        });
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let server = &server;
+            let stop = &stop;
+            let sock = path.clone();
+            let daemon = scope.spawn(move || serve_socket(server, &sock, stop).unwrap());
+            // Wait for the socket to appear.
+            let mut client = loop {
+                match Client::connect(&path) {
+                    Ok(c) => break c,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+
+            let blif = write_text(&gen::ripple_adder(4).0);
+            let resp = client
+                .request(&Request::Job(JobSpec::new(JobKind::Power, blif)))
+                .unwrap();
+            match resp {
+                Response::Ok { tier, payload, .. } => {
+                    assert_eq!(tier.as_deref(), Some("exact-bdd"));
+                    assert!(payload.contains("P ="), "{payload}");
+                }
+                other => panic!("expected OK, got {other:?}"),
+            }
+
+            let resp = client
+                .request(&Request::Job(JobSpec::new(JobKind::Power, "garbage")))
+                .unwrap();
+            match resp {
+                Response::Err { class, .. } => assert_eq!(class, "parse"),
+                other => panic!("expected ERR, got {other:?}"),
+            }
+
+            let metrics = client.request(&Request::Metrics).unwrap();
+            let Response::Ok { payload, .. } = metrics else {
+                panic!("expected metrics payload");
+            };
+            let stats = ServerStats::from_text(&payload);
+            assert_eq!(stats.completed, 1);
+            assert_eq!(stats.failed, 1);
+
+            // SHUTDOWN stops the accept loop and unparks the daemon thread.
+            let resp = client.request(&Request::Shutdown).unwrap();
+            assert!(matches!(resp, Response::Ok { .. }));
+            let served = daemon.join().unwrap();
+            assert_eq!(served, 5);
+        });
+        let stats = server.shutdown_drain();
+        assert_eq!(stats.completed, 1);
+        assert!(!path.exists(), "socket file must be cleaned up");
+    }
+
+    #[test]
+    fn malformed_wire_bytes_get_protocol_error() {
+        use std::io::Write;
+        let path = socket_path("proto");
+        let server = Server::start(ServeConfig {
+            workers: 1,
+            retry_backoff_ms: 0,
+            ..ServeConfig::default()
+        });
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let server = &server;
+            let stop = &stop;
+            let sock = path.clone();
+            scope.spawn(move || serve_socket(server, &sock, stop).unwrap());
+            let mut stream = loop {
+                match UnixStream::connect(&path) {
+                    Ok(s) => break s,
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            };
+            stream.write_all(b"GIBBERISH request\n").unwrap();
+            let resp = read_response(&mut stream).unwrap();
+            match resp {
+                Response::Err { class, .. } => assert_eq!(class, "protocol"),
+                other => panic!("expected protocol error, got {other:?}"),
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        drop(server);
+    }
+}

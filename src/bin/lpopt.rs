@@ -9,6 +9,9 @@
 //! lpopt [flags] map <in.blif> <area|delay|power>
 //! lpopt [flags] fsm <in.kiss> [out.blif]
 //! lpopt [flags] fault <in.blif> [cycles] [--seu N]
+//! lpopt [flags] serve <socket> [--batch-dir D] [--snapshot-dir D] [--queue N] [--checkpoint-every N] [--fault-injection]
+//! lpopt [flags] submit <socket> <kind> <payload-file> [cycles]
+//! lpopt [flags] metrics <socket>
 //! ```
 //!
 //! `--jobs N` shards simulation-heavy commands over up to `N` worker
@@ -75,6 +78,10 @@ const USAGE: &str = "usage:
   lpopt [flags] map <in.blif> <area|delay|power>
   lpopt [flags] fsm <in.kiss> [out.blif]
   lpopt [flags] fault <in.blif> [cycles] [--seu N]
+  lpopt [flags] serve <socket> [--batch-dir D] [--snapshot-dir D] [--queue N]
+                      [--checkpoint-every N] [--fault-injection]
+  lpopt [flags] submit <socket> <power|stats|dontcare|fsm> <payload-file> [cycles]
+  lpopt [flags] metrics <socket>
 flags:
   --jobs N          worker threads (0 or omitted = all cores; LPOPT_JOBS env)
   --budget-nodes N  give up on exact BDD estimation past N manager nodes
@@ -532,7 +539,168 @@ fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, Cl
                 }
             }
         }
+        #[cfg(unix)]
+        "serve" => run_serve(opts, args),
+        #[cfg(unix)]
+        "submit" => run_submit(opts, args),
+        #[cfg(unix)]
+        "metrics" => {
+            use lowpower::serve::protocol::{Request, Response};
+            use lowpower::serve::socket::Client;
+            let socket = args.get(1).ok_or_else(|| usage("metrics: missing socket path"))?;
+            let mut client = Client::connect(std::path::Path::new(socket))
+                .map_err(|e| fail(format!("cannot connect to {socket}: {e}")))?;
+            match client.request(&Request::Metrics) {
+                Ok(Response::Ok { payload, .. }) => Ok(payload),
+                Ok(other) => Err(fail(format!("metrics: unexpected response {other:?}"))),
+                Err(e) => Err(fail(format!("metrics: {e}"))),
+            }
+        }
         other => Err(usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// `lpopt serve <socket>`: run the resident daemon until SIGTERM/SIGINT or
+/// a `SHUTDOWN` request, then drain, checkpoint and report.
+#[cfg(unix)]
+fn run_serve(opts: &Opts, args: &[String]) -> Result<String, CliError> {
+    use lowpower::serve::batch::watch_batch_dir;
+    use lowpower::serve::signal;
+    use lowpower::serve::socket::serve_socket;
+    use lowpower::serve::{ServeConfig, Server};
+    use std::path::{Path, PathBuf};
+
+    let socket = args.get(1).ok_or_else(|| usage("serve: missing socket path"))?;
+    let mut batch_dir: Option<String> = None;
+    let mut snapshot_dir: Option<String> = None;
+    let mut queue_capacity = 64usize;
+    let mut checkpoint_every = 32u64;
+    let mut fault_injection = false;
+    let mut rest = &args[2..];
+    while let Some(arg) = rest.first() {
+        let (name, inline) = match arg.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        if name == "--fault-injection" {
+            fault_injection = true;
+            rest = &rest[1..];
+            continue;
+        }
+        let (value, consumed) = match inline {
+            Some(v) => (v, 1),
+            None => match rest.get(1) {
+                Some(v) => (v.clone(), 2),
+                None => return Err(usage(format!("serve: {name}: missing value"))),
+            },
+        };
+        match name {
+            "--batch-dir" => batch_dir = Some(value),
+            "--snapshot-dir" => snapshot_dir = Some(value),
+            "--queue" => {
+                queue_capacity = value
+                    .parse()
+                    .map_err(|e| usage(format!("serve: --queue: {e}")))?
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = value
+                    .parse()
+                    .map_err(|e| usage(format!("serve: --checkpoint-every: {e}")))?
+            }
+            other => return Err(usage(format!("serve: unknown flag {other:?}"))),
+        }
+        rest = &rest[consumed..];
+    }
+
+    signal::install_termination_handler();
+    let stop = signal::termination_flag();
+    let server = Server::start(ServeConfig {
+        workers: opts.jobs,
+        queue_capacity,
+        snapshot_dir: snapshot_dir.map(PathBuf::from),
+        checkpoint_every,
+        fault_injection,
+        obs: opts.obs.clone(),
+        ..ServeConfig::default()
+    });
+    let scan = server.snapshot_scan();
+    let served = std::thread::scope(|scope| {
+        let batch = batch_dir.as_ref().map(|dir| {
+            let server = &server;
+            scope.spawn(move || watch_batch_dir(server, Path::new(dir), stop, 50))
+        });
+        let served = serve_socket(&server, Path::new(socket), stop);
+        let batch_report = batch.map(|handle| handle.join());
+        (served, batch_report)
+    });
+    let (served, batch_report) = served;
+    let served = served.map_err(|e| fail(format!("serve: {e}")))?;
+    let mut out = format!(
+        "warm start: {} snapshot file(s) loaded, {} rejected\n",
+        scan.files_valid, scan.files_rejected
+    );
+    out.push_str(&format!("socket requests served: {served}\n"));
+    if let Some(joined) = batch_report {
+        match joined {
+            Ok(Ok(report)) => out.push_str(&format!(
+                "batch jobs: {} processed, {} deferred, {} malformed\n",
+                report.processed, report.deferred, report.malformed
+            )),
+            Ok(Err(e)) => out.push_str(&format!("batch watcher failed: {e}\n")),
+            Err(_) => out.push_str("batch watcher panicked\n"),
+        }
+    }
+    let stats = server.shutdown_drain();
+    out.push_str(&stats.to_text());
+    Ok(out)
+}
+
+/// `lpopt submit <socket> <kind> <file>`: one synchronous job against a
+/// running daemon, with the global budget flags as per-job limits.
+#[cfg(unix)]
+fn run_submit(opts: &Opts, args: &[String]) -> Result<String, CliError> {
+    use lowpower::serve::protocol::{Request, Response};
+    use lowpower::serve::socket::Client;
+    use lowpower::serve::{JobKind, JobSpec};
+
+    let socket = args.get(1).ok_or_else(|| usage("submit: missing socket path"))?;
+    let kind_name = args.get(2).ok_or_else(|| usage("submit: missing job kind"))?;
+    let kind = JobKind::from_name(kind_name)
+        .ok_or_else(|| usage(format!("submit: unknown kind {kind_name:?}")))?;
+    let path = args.get(3).ok_or_else(|| usage("submit: missing payload file"))?;
+    let payload = std::fs::read_to_string(path)
+        .map_err(|e| fail(format!("cannot read {path}: {e}")))?;
+    let mut spec = JobSpec::new(kind, payload);
+    if let Some(cycles) = args.get(4) {
+        spec.cycles = cycles
+            .parse()
+            .map_err(|e| fail(format!("submit: bad cycles: {e}")))?;
+    }
+    spec.deadline_ms = opts.budget.deadline.map(|d| d.total_millis());
+    spec.max_bdd_nodes = opts.budget.max_bdd_nodes;
+    spec.max_sim_steps = opts.budget.max_sim_steps;
+    let mut client = Client::connect(std::path::Path::new(socket))
+        .map_err(|e| fail(format!("cannot connect to {socket}: {e}")))?;
+    match client.request(&Request::Job(spec)) {
+        Ok(Response::Ok {
+            id,
+            attempts,
+            tier,
+            payload,
+        }) => {
+            let tier = tier.map(|t| format!(" via {t}")).unwrap_or_default();
+            Ok(format!("job {id} ok in {attempts} attempt(s){tier}\n{payload}"))
+        }
+        Ok(Response::Err {
+            id,
+            class,
+            attempts,
+            message,
+        }) => Err(fail(format!(
+            "job {id} failed [{class}] after {attempts} attempt(s): {message}"
+        ))),
+        Ok(Response::Pong) => Err(fail("submit: unexpected PONG")),
+        Err(e) => Err(fail(format!("submit: {e}"))),
     }
 }
 

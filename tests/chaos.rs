@@ -245,3 +245,250 @@ fn stuck_at_everything_still_yields_typed_results() {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Serve-loop chaos: the same hostility, aimed at the resident daemon.
+// ----------------------------------------------------------------------
+
+use lowpower::netlist::blif::write_text;
+use lowpower::serve::worker::{cold_run, ExecPolicy};
+use lowpower::serve::{JobError, JobKind, JobSpec, ServeConfig, Server};
+
+const CHAOS_KISS: &str = "0 s0 s0 0\n1 s0 s1 0\n0 s1 s1 0\n1 s1 s2 0\n0 s2 s2 1\n1 s2 s0 1\n";
+
+/// A random job: mostly well-formed requests over the circuit pool, with
+/// poison payloads, injected panics, starved budgets, and already-expired
+/// deadlines mixed in. The bool says whether the job is deterministic
+/// (eligible for the bit-identity check against a cold run).
+fn random_job(rng: &mut Rng64, blifs: &[String]) -> (JobSpec, bool) {
+    let mut payload = match rng.range(0, 10) {
+        0 => "telnet, not BLIF\n".to_string(),
+        1 => {
+            // Truncated mid-gate: parses must fail typed.
+            let full = &blifs[rng.range(0, blifs.len())];
+            full[..full.len() / 2].to_string()
+        }
+        _ => blifs[rng.range(0, blifs.len())].clone(),
+    };
+    let kind = match rng.range(0, 12) {
+        0 => JobKind::InjectPanic,
+        1 => JobKind::Fsm, // BLIF payload under a KISS kind: typed parse error
+        2..=3 => JobKind::Stats,
+        4 => JobKind::Dontcare,
+        _ => JobKind::Power,
+    };
+    if kind == JobKind::Fsm && rng.chance(0.5) {
+        // Half the FSM jobs get a well-formed KISS payload and must succeed.
+        payload = CHAOS_KISS.to_string();
+    }
+    let mut spec = JobSpec::new(kind, payload);
+    spec.cycles = rng.range(8, 65);
+    spec.seed = rng.next_u64();
+    // Budget churn: every job carries its own limits, some hostile.
+    if rng.chance(0.25) {
+        spec.max_bdd_nodes = Some(1 << rng.range(2, 10));
+    }
+    if rng.chance(0.2) {
+        spec.max_sim_steps = Some(1 << rng.range(4, 16));
+    }
+    let deterministic = spec.deadline_ms.is_none();
+    if rng.chance(0.15) {
+        // Already expired at admission for the zero case.
+        spec.deadline_ms = Some(if rng.chance(0.5) { 0 } else { 5_000 });
+        return (spec, false);
+    }
+    (spec, deterministic)
+}
+
+/// 150 hostile jobs against one resident server: panics stay isolated,
+/// every failure is typed, and each deterministic success is bit-identical
+/// to a cold single-process run of the same spec.
+#[test]
+fn serve_loop_survives_hostile_job_stream() {
+    let blifs: Vec<String> = circuit_pool().iter().map(write_text).collect();
+    let server = Server::start(ServeConfig {
+        workers: 3,
+        queue_capacity: 256,
+        fault_injection: true,
+        retry_backoff_ms: 0,
+        ..ServeConfig::default()
+    });
+    let mut rng = Rng64::new(0x5EE7_C0DE);
+    let mut jobs = Vec::new();
+    let mut pending = Vec::new();
+    for _ in 0..150 {
+        let (spec, deterministic) = random_job(&mut rng, &blifs);
+        pending.push(server.submit(spec.clone()).expect("queue sized for the stream"));
+        jobs.push((spec, deterministic));
+    }
+    let mut injected = 0;
+    for ((spec, deterministic), pending) in jobs.into_iter().zip(pending) {
+        let response = pending.wait();
+        match response.result {
+            Ok(ref output) => {
+                assert!(!output.text.is_empty());
+                if deterministic {
+                    let (cold, _) = cold_run(&spec, &ExecPolicy::default());
+                    assert_eq!(
+                        cold.as_ref().expect("cold run of a served job"),
+                        output,
+                        "served answer must be bit-identical to a cold run"
+                    );
+                }
+            }
+            Err(ref e) => {
+                // Typed, classified, non-empty: the whole robustness deal.
+                assert!(!e.class().is_empty());
+                assert!(!e.to_string().is_empty());
+                if spec.kind == JobKind::InjectPanic {
+                    // A poison job whose deadline expired first is refused
+                    // before it can blow up; otherwise it must be caught.
+                    assert!(
+                        matches!(e.class(), "panic" | "deadline"),
+                        "inject-panic came back as {}",
+                        e.class()
+                    );
+                    if e.class() == "panic" {
+                        injected += 1;
+                    }
+                } else {
+                    assert_ne!(
+                        e.class(),
+                        "panic",
+                        "a {} job panicked instead of failing typed: {e} \
+                         (payload starts {:?})",
+                        spec.kind.name(),
+                        &spec.payload[..spec.payload.len().min(60)]
+                    );
+                }
+            }
+        }
+    }
+    assert!(injected > 0, "the stream must have exercised panic isolation");
+    // The daemon is still healthy after every panic: one more clean job.
+    let clean = server.run(JobSpec::new(JobKind::Stats, blifs[0].clone()));
+    assert!(clean.result.is_ok(), "server must keep serving after panics");
+    let stats = server.shutdown_drain();
+    assert_eq!(stats.panics, injected);
+    assert_eq!(stats.submitted, 151);
+    assert_eq!(stats.completed + stats.failed, 151);
+}
+
+/// Submitters keep hammering while the server drains: everything admitted
+/// before the drain is answered, everything after is refused with a typed
+/// shutdown error, and nothing panics or hangs.
+#[test]
+fn shutdown_while_draining_stays_typed() {
+    let blifs: Vec<String> = circuit_pool().iter().map(write_text).collect();
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 512,
+        retry_backoff_ms: 0,
+        ..ServeConfig::default()
+    });
+    let answered = std::sync::atomic::AtomicUsize::new(0);
+    let refused = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..3 {
+            let server = &server;
+            let blifs = &blifs;
+            let answered = &answered;
+            let refused = &refused;
+            scope.spawn(move || {
+                let mut rng = Rng64::new(0x00D1_2A17 + t);
+                loop {
+                    let spec = JobSpec::new(
+                        JobKind::Stats,
+                        blifs[rng.range(0, blifs.len())].clone(),
+                    );
+                    match server.submit(spec) {
+                        Ok(pending) => {
+                            assert!(
+                                pending.wait().result.is_ok(),
+                                "admitted jobs must be answered even mid-drain"
+                            );
+                            answered.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(JobError::Shutdown) => {
+                            refused.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            break;
+                        }
+                        Err(JobError::QueueFull { .. }) => std::thread::yield_now(),
+                        Err(other) => panic!("unexpected admission error: {other}"),
+                    }
+                }
+            });
+        }
+        // Let the submitters get some work admitted, then pull the plug
+        // while they are still pushing.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        server.begin_drain();
+    });
+    let stats = server.shutdown_drain();
+    assert!(answered.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    assert_eq!(refused.load(std::sync::atomic::Ordering::Relaxed), 3);
+    assert_eq!(stats.completed, answered.load(std::sync::atomic::Ordering::Relaxed) as u64);
+    assert_eq!(stats.failed, 0, "a drain drops nothing");
+}
+
+/// Mid-stream budget churn never poisons a neighbor: the same payload
+/// alternates between a starved and a generous budget, and every generous
+/// run answers bit-identically to a cold process while every starved run
+/// fails typed.
+#[test]
+fn budget_churn_does_not_leak_between_jobs() {
+    let (mult, _) = gen::array_multiplier(5);
+    let blif = write_text(&mult);
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        retry_backoff_ms: 0,
+        ..ServeConfig::default()
+    });
+    let generous = JobSpec::new(JobKind::Power, blif.clone());
+    let mut starved = JobSpec::new(JobKind::Power, blif);
+    starved.max_bdd_nodes = Some(16);
+    starved.max_sim_steps = Some(16);
+    let (cold, _) = cold_run(&generous, &ExecPolicy::default());
+    let cold = cold.unwrap();
+    let pending: Vec<_> = (0..20)
+        .map(|i| {
+            let spec = if i % 2 == 0 { generous.clone() } else { starved.clone() };
+            (i, server.submit(spec).unwrap())
+        })
+        .collect();
+    for (i, p) in pending {
+        let response = p.wait();
+        if i % 2 == 0 {
+            assert_eq!(
+                response.result.as_ref().expect("generous budget must answer"),
+                &cold,
+                "budget churn on neighbors must not change job {i}"
+            );
+        } else {
+            let err = response.result.expect_err("starved budget must fail");
+            assert_eq!(err.class(), "budget", "job {i}: {err}");
+        }
+    }
+    drop(server);
+}
+
+/// A deadline that is already over at admission is refused before any
+/// work happens, with the typed deadline class and zero attempts.
+#[test]
+fn expired_deadline_at_admission_is_refused_typed() {
+    let blif = write_text(&gen::ripple_adder(4).0);
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        retry_backoff_ms: 0,
+        ..ServeConfig::default()
+    });
+    let mut spec = JobSpec::new(JobKind::Power, blif);
+    spec.deadline_ms = Some(0);
+    let response = server.run(spec);
+    let err = response.result.expect_err("expired deadline must refuse");
+    assert_eq!(err.class(), "deadline");
+    assert_eq!(response.attempts, 0, "no execution may be attempted");
+    let stats = server.shutdown_drain();
+    assert_eq!(stats.failed_by_class.get("deadline"), Some(&1));
+}
