@@ -35,4 +35,4 @@ mod manager;
 pub mod store;
 
 pub use budget::{BudgetExceeded, Resource, ResourceBudget};
-pub use manager::{Bdd, BddStats, OpCounts, Ref};
+pub use manager::{Bdd, BddStats, OpCounts, Ref, ReorderSchedule};

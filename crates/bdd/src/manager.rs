@@ -185,6 +185,104 @@ pub struct OpCounts {
     pub gc_runs: u64,
     /// Nodes reclaimed by garbage collection over the manager's lifetime.
     pub nodes_freed: u64,
+    /// Dynamic-reorder passes run (growth-triggered or explicit).
+    pub reorder_runs: u64,
+    /// Adjacent-level swaps performed across all reorder passes.
+    pub reorder_swaps: u64,
+    /// Sum over passes of the reachable node count entering each pass.
+    pub reorder_nodes_before: u64,
+    /// Sum over passes of the reachable node count leaving each pass.
+    pub reorder_nodes_after: u64,
+}
+
+/// When the manager runs an in-place reorder pass ([`Bdd::reorder_now`])
+/// automatically. Checked at the top of every [`Bdd::try_ite`] — a safe
+/// point where no ITE recursion is in flight — so a pass can rewrite the
+/// level structure without invalidating in-flight cofactors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReorderSchedule {
+    /// Never reorder automatically (the fixed-order kernel behavior).
+    #[default]
+    Off,
+    /// Reorder whenever live nodes grew at all since the last pass.
+    Always,
+    /// Reorder when live nodes reach `min_nodes` and have grown by
+    /// `growth_percent` percent since the last pass ended.
+    Threshold {
+        /// Growth since the last pass that triggers the next one (percent).
+        growth_percent: u32,
+        /// Floor below which no pass ever triggers (tiny graphs never pay).
+        min_nodes: usize,
+    },
+    /// Like [`ReorderSchedule::Threshold`] with the default growth factor,
+    /// but each pass stops starting new sift walks once `slice_ms` of wall
+    /// time has elapsed (OBDDimal-style time-sliced reordering). The walk
+    /// in progress always completes, so the manager is never left
+    /// mid-swap.
+    TimeSliced {
+        /// Wall-clock slice per pass, in milliseconds.
+        slice_ms: u64,
+    },
+}
+
+/// Default growth trigger: reorder when live nodes double.
+const REORDER_GROWTH_PERCENT: u32 = 100;
+/// Default floor: never reorder managers smaller than this.
+const REORDER_MIN_NODES: usize = 512;
+/// A sift walk abandons a direction once the graph grows past
+/// `size * REORDER_MAX_GROWTH_NUM / REORDER_MAX_GROWTH_DEN`.
+const REORDER_MAX_GROWTH_NUM: usize = 6;
+const REORDER_MAX_GROWTH_DEN: usize = 5;
+
+impl ReorderSchedule {
+    /// [`ReorderSchedule::Threshold`] with the default trigger parameters
+    /// (double-the-nodes growth, 512-node floor).
+    pub fn threshold() -> ReorderSchedule {
+        ReorderSchedule::Threshold {
+            growth_percent: REORDER_GROWTH_PERCENT,
+            min_nodes: REORDER_MIN_NODES,
+        }
+    }
+
+    /// Parse a schedule spec: `off`, `always`, `threshold`,
+    /// `threshold:<min_nodes>`, `timeslice` or `timeslice:<ms>`.
+    pub fn parse(spec: &str) -> Result<ReorderSchedule, String> {
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (spec, None),
+        };
+        match (head, arg) {
+            ("off", None) => Ok(ReorderSchedule::Off),
+            ("always", None) => Ok(ReorderSchedule::Always),
+            ("threshold", None) => Ok(ReorderSchedule::threshold()),
+            ("threshold", Some(n)) => n
+                .parse()
+                .map(|min_nodes| ReorderSchedule::Threshold {
+                    growth_percent: REORDER_GROWTH_PERCENT,
+                    min_nodes,
+                })
+                .map_err(|_| format!("bad threshold node count: {n:?}")),
+            ("timeslice", None) => Ok(ReorderSchedule::TimeSliced { slice_ms: 50 }),
+            ("timeslice", Some(ms)) => ms
+                .parse()
+                .map(|slice_ms| ReorderSchedule::TimeSliced { slice_ms })
+                .map_err(|_| format!("bad timeslice milliseconds: {ms:?}")),
+            _ => Err(format!(
+                "unknown reorder schedule {spec:?} (want off|always|threshold[:N]|timeslice[:MS])"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ReorderSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReorderSchedule::Off => write!(f, "off"),
+            ReorderSchedule::Always => write!(f, "always"),
+            ReorderSchedule::Threshold { min_nodes, .. } => write!(f, "threshold:{min_nodes}"),
+            ReorderSchedule::TimeSliced { slice_ms } => write!(f, "timeslice:{slice_ms}"),
+        }
+    }
 }
 
 /// A reduced ordered BDD manager (arena + unique table + ITE cache).
@@ -215,6 +313,19 @@ pub struct Bdd {
     /// Collect under node-budget pressure (and under the stress env var).
     auto_gc: bool,
     stress_gc: bool,
+    /// `var2level[v]` = level of variable `v` (smaller = nearer the root).
+    /// Extended lazily as variables appear; vars beyond the vector sit at
+    /// their identity level.
+    var2level: Vec<u32>,
+    /// Inverse permutation of `var2level`.
+    level2var: Vec<u32>,
+    /// Automatic in-place reorder policy (see [`ReorderSchedule`]).
+    schedule: ReorderSchedule,
+    /// Live-node count when the last reorder pass finished (trigger base).
+    reorder_baseline: usize,
+    /// A reorder pass is running: suppress stress-GC inside swap `mk`s so
+    /// the snapshotted candidate lists stay valid.
+    in_reorder: bool,
 }
 
 impl Default for Bdd {
@@ -251,6 +362,11 @@ impl Bdd {
             guard: Vec::new(),
             auto_gc: false,
             stress_gc: false,
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            schedule: ReorderSchedule::Off,
+            reorder_baseline: 1,
+            in_reorder: false,
         }
     }
 
@@ -283,6 +399,12 @@ impl Bdd {
         self.num_vars as usize
     }
 
+    /// Whether the manager holds nothing but the terminal — the state in
+    /// which [`Bdd::set_order`] may install a custom variable order.
+    pub fn is_empty(&self) -> bool {
+        self.live_nodes == 1 && self.nodes.len() == 1
+    }
+
     /// Manager statistics.
     pub fn stats(&self) -> BddStats {
         BddStats {
@@ -313,8 +435,10 @@ impl Bdd {
     fn mk_raw(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
         debug_assert!(!hi.is_complemented());
         debug_assert_ne!(lo, hi);
-        if self.stress_gc {
-            // Pin the children: the caller may hold them unrooted.
+        if self.stress_gc && !self.in_reorder {
+            // Pin the children: the caller may hold them unrooted. During a
+            // reorder pass collection is deferred to the swap boundaries —
+            // a mid-swap sweep could free a not-yet-rewritten candidate.
             let base = self.guard.len();
             self.guard.push(lo.0);
             self.guard.push(hi.0);
@@ -322,6 +446,15 @@ impl Bdd {
             self.guard.truncate(base);
         }
         self.num_vars = self.num_vars.max(var + 1);
+        if (self.var2level.len() as u32) < self.num_vars && !self.var2level.is_empty() {
+            // A custom order is in force: append the new variables at the
+            // bottom identity levels so the maps stay inverse permutations.
+            while (self.var2level.len() as u32) < self.num_vars {
+                let v = self.var2level.len() as u32;
+                self.var2level.push(v);
+                self.level2var.push(v);
+            }
+        }
         self.counts.unique_lookups += 1;
         let mask = self.table_mask;
         let mut slot = triple_hash(var, lo.0, hi.0) as usize & mask;
@@ -535,6 +668,19 @@ impl Bdd {
         h: Ref,
         budget: &ResourceBudget,
     ) -> Result<Ref, BudgetExceeded> {
+        // Top of a fresh recursion is the one safe point for an automatic
+        // in-place reorder: no cofactor pair chosen under the old order is
+        // held by a caller frame. The operands are pinned first — a reorder
+        // pass ends with a collection, and e.g. an n-ary fold's accumulator
+        // may be neither rooted nor anyone's child.
+        if self.reorder_due() {
+            let base = self.guard.len();
+            self.guard.push(f.0);
+            self.guard.push(g.0);
+            self.guard.push(h.0);
+            self.reorder_now();
+            self.guard.truncate(base);
+        }
         let limit = budget.max_bdd_nodes_or(u64::MAX);
         self.ite_guarded(f, g, h, budget, &mut 0, limit)
     }
@@ -651,10 +797,16 @@ impl Bdd {
                 return Err(e);
             }
         }
-        let v = self
-            .top_var(f)
-            .min(self.top_var(g))
-            .min(self.top_var(h));
+        let (vf, vg, vh) = (self.top_var(f), self.top_var(g), self.top_var(h));
+        let (lf, lg, lh) = (self.level_of(vf), self.level_of(vg), self.level_of(vh));
+        let lv = lf.min(lg).min(lh);
+        let v = if lf == lv {
+            vf
+        } else if lg == lv {
+            vg
+        } else {
+            vh
+        };
         let (f0, f1) = self.cofactors_at(f, v);
         let (g0, g1) = self.cofactors_at(g, v);
         let (h0, h1) = self.cofactors_at(h, v);
@@ -683,8 +835,23 @@ impl Bdd {
     /// variable level first, allocation index as tie-break.
     #[inline]
     fn precedes(&self, a: Ref, b: Ref) -> bool {
-        let (av, bv) = (self.top_var(a), self.top_var(b));
+        let (av, bv) = (
+            self.level_of(self.top_var(a)),
+            self.level_of(self.top_var(b)),
+        );
         av < bv || (av == bv && a.index() < b.index())
+    }
+
+    /// Level of variable `var` under the current order (identity until a
+    /// custom order or a reorder pass changes it). Sentinel tags
+    /// ([`TERMINAL_VAR`], [`FREE_VAR`]) map to themselves, keeping
+    /// terminals below every real level.
+    #[inline]
+    fn level_of(&self, var: u32) -> u32 {
+        match self.var2level.get(var as usize) {
+            Some(&l) => l,
+            None => var,
+        }
     }
 
     fn cache_insert(&mut self, f: Ref, g: Ref, h: Ref, r: Ref) {
@@ -869,7 +1036,7 @@ impl Bdd {
             return f;
         }
         let n = self.node(f);
-        if n.var > var {
+        if self.level_of(n.var) > self.level_of(var) {
             return f; // var does not appear
         }
         let s = f.0 & 1;
@@ -1531,6 +1698,266 @@ mod tests {
     }
 }
 
+// ----------------------------------------------------------------------
+// Dynamic (in-place) variable reordering
+// ----------------------------------------------------------------------
+
+impl Bdd {
+    /// Extend the level maps with identity entries up to `num_vars`.
+    fn ensure_level_maps(&mut self) {
+        while (self.var2level.len() as u32) < self.num_vars {
+            let v = self.var2level.len() as u32;
+            self.var2level.push(v);
+            self.level2var.push(v);
+        }
+    }
+
+    /// Install a variable order on an **empty** manager: `var2level[v]` is
+    /// the level variable `v` will occupy (level 0 is the root). Used to
+    /// seed a build with a netlist-derived static order, and by the store
+    /// layer to replay a snapshot under the order it was written with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var2level` is not a permutation or the manager already
+    /// holds interior nodes (reordering a populated manager is
+    /// [`Bdd::reorder_now`]'s job — it keeps every [`Ref`] valid).
+    pub fn set_order(&mut self, var2level: &[u32]) {
+        assert!(
+            self.live_nodes == 1 && self.nodes.len() == 1,
+            "set_order requires an empty manager"
+        );
+        let n = var2level.len();
+        let mut level2var = vec![u32::MAX; n];
+        for (v, &l) in var2level.iter().enumerate() {
+            assert!(
+                (l as usize) < n && level2var[l as usize] == u32::MAX,
+                "order must be a permutation"
+            );
+            level2var[l as usize] = v as u32;
+        }
+        self.var2level = var2level.to_vec();
+        self.level2var = level2var;
+        // The order declares the variable domain up front, so a reloaded
+        // manager reports the same `var_order` arity as the one that
+        // wrote it even when some variables go unreferenced.
+        self.num_vars = self.num_vars.max(n as u32);
+    }
+
+    /// The current `var2level` permutation over the variables seen so far
+    /// (identity until a custom order or a reorder pass changes it).
+    pub fn var_order(&self) -> Vec<u32> {
+        (0..self.num_vars).map(|v| self.level_of(v)).collect()
+    }
+
+    /// Whether any variable sits away from its identity level.
+    pub fn has_custom_order(&self) -> bool {
+        (0..self.num_vars).any(|v| self.level_of(v) != v)
+    }
+
+    /// Install an automatic reorder policy. Like [`Bdd::set_auto_gc`], any
+    /// schedule other than [`ReorderSchedule::Off`] requires every [`Ref`]
+    /// held across an allocating call to be kept alive via
+    /// [`Bdd::protect`]: a pass begins and ends with a collection.
+    pub fn set_reorder_schedule(&mut self, schedule: ReorderSchedule) {
+        self.schedule = schedule;
+        self.reorder_baseline = self.live_nodes.max(1);
+    }
+
+    /// The installed automatic reorder policy.
+    pub fn reorder_schedule(&self) -> ReorderSchedule {
+        self.schedule
+    }
+
+    /// Whether the schedule wants a pass before the next top-level ITE.
+    fn reorder_due(&self) -> bool {
+        if self.in_reorder || self.num_vars < 2 {
+            return false;
+        }
+        match self.schedule {
+            ReorderSchedule::Off => false,
+            ReorderSchedule::Always => self.live_nodes > self.reorder_baseline,
+            ReorderSchedule::Threshold {
+                growth_percent,
+                min_nodes,
+            } => {
+                self.live_nodes >= min_nodes.max(2)
+                    && self.live_nodes
+                        >= self.reorder_baseline
+                            + self.reorder_baseline * growth_percent as usize / 100
+            }
+            ReorderSchedule::TimeSliced { .. } => {
+                self.live_nodes >= REORDER_MIN_NODES
+                    && self.live_nodes
+                        >= self.reorder_baseline
+                            + self.reorder_baseline * REORDER_GROWTH_PERCENT as usize / 100
+            }
+        }
+    }
+
+    /// Run one in-place sifting pass now, regardless of the schedule.
+    ///
+    /// Every variable is sifted (densest first) through adjacent-level
+    /// swaps and parked at the level minimizing the live node count. All
+    /// [`Ref`]s stay valid — nodes are rewritten in place, so a ref keeps
+    /// denoting the same Boolean function — but the pass begins and ends
+    /// with a collection, so unprotected refs follow the same rooting
+    /// contract as [`Bdd::set_auto_gc`]. Returns `(nodes_before,
+    /// nodes_after)` live counts.
+    pub fn reorder_now(&mut self) -> (usize, usize) {
+        self.ensure_level_maps();
+        self.counts.reorder_runs += 1;
+        self.in_reorder = true;
+        // Collect first so occupancy and sizes reflect reachable structure
+        // only (swap garbage from a previous pass, dead intermediates).
+        self.gc_run();
+        let before = self.live_nodes;
+        let n = self.num_vars as usize;
+        if n >= 2 {
+            // Sift densest variables first: moving them is where the big
+            // wins are, and a fixed order keeps passes deterministic.
+            let mut occupancy = vec![0usize; n];
+            for node in self.nodes.iter().skip(1) {
+                if node.var != FREE_VAR {
+                    occupancy[node.var as usize] += 1;
+                }
+            }
+            let mut vars: Vec<u32> = (0..n as u32).collect();
+            vars.sort_by(|&a, &b| {
+                occupancy[b as usize]
+                    .cmp(&occupancy[a as usize])
+                    .then(a.cmp(&b))
+            });
+            let slice_ends = match self.schedule {
+                ReorderSchedule::TimeSliced { slice_ms } => Some(
+                    std::time::Instant::now() + std::time::Duration::from_millis(slice_ms),
+                ),
+                _ => None,
+            };
+            for var in vars {
+                if occupancy[var as usize] == 0 {
+                    continue;
+                }
+                // Time-sliced: stop *starting* walks past the slice; the
+                // walk in progress always completes, so the level maps and
+                // table are never left mid-swap.
+                if let Some(ends) = slice_ends {
+                    if std::time::Instant::now() >= ends {
+                        break;
+                    }
+                }
+                self.sift_one(var);
+            }
+        }
+        let after = self.live_nodes;
+        self.counts.reorder_nodes_before += before as u64;
+        self.counts.reorder_nodes_after += after as u64;
+        self.reorder_baseline = after.max(1);
+        self.in_reorder = false;
+        (before, after)
+    }
+
+    /// Sift one variable: walk it to the bottom, then to the top, then
+    /// back to the best level seen. Each step is one adjacent-level swap;
+    /// a direction is abandoned once the graph grows 20% past the best.
+    fn sift_one(&mut self, var: u32) {
+        let n = self.num_vars as usize;
+        let mut level = self.var2level[var as usize] as usize;
+        let mut best_size = self.live_nodes;
+        let mut best_level = level;
+        let grow_limit =
+            |best: usize| best * REORDER_MAX_GROWTH_NUM / REORDER_MAX_GROWTH_DEN + 2;
+        while level + 1 < n {
+            self.swap_levels(level);
+            level += 1;
+            if self.live_nodes < best_size {
+                best_size = self.live_nodes;
+                best_level = level;
+            } else if self.live_nodes > grow_limit(best_size) {
+                break;
+            }
+        }
+        while level > 0 {
+            self.swap_levels(level - 1);
+            level -= 1;
+            if self.live_nodes < best_size {
+                best_size = self.live_nodes;
+                best_level = level;
+            } else if self.live_nodes > grow_limit(best_size) {
+                break;
+            }
+        }
+        while level < best_level {
+            self.swap_levels(level);
+            level += 1;
+        }
+        while level > best_level {
+            self.swap_levels(level - 1);
+            level -= 1;
+        }
+    }
+
+    /// Swap adjacent levels `level` and `level + 1` in place.
+    ///
+    /// Let `u`/`w` be the variables at the two levels. Every `u`-node with
+    /// a `w`-topped child is rewritten in place to a `w`-node over fresh
+    /// `u`-children (`f = w'·(u', f00, f10) + w·(u', f01, f11)`); nodes of
+    /// either variable not entangled with the other just have their level
+    /// reassigned via the maps. Rewriting in place keeps every external
+    /// [`Ref`] — GC roots, guard pins, cached ITE results — valid, because
+    /// a ref's function never changes; complement-edge canonicity is
+    /// preserved because the new hi child is built from the old (regular)
+    /// stored-hi cofactors, so it is always regular itself.
+    fn swap_levels(&mut self, level: usize) {
+        let u = self.level2var[level];
+        let w = self.level2var[level + 1];
+        // Snapshot the candidates before allocating: new u-children created
+        // below have all their children strictly under `w`, so they are
+        // never candidates themselves.
+        let mut candidates: Vec<u32> = Vec::new();
+        for i in 1..self.nodes.len() {
+            let node = self.nodes[i];
+            if node.var != u {
+                continue;
+            }
+            let lo_var = self.nodes[(node.lo >> 1) as usize].var;
+            let hi_var = self.nodes[(node.hi >> 1) as usize].var;
+            if lo_var == w || hi_var == w {
+                candidates.push(i as u32);
+            }
+        }
+        for &ci in &candidates {
+            let node = self.nodes[ci as usize];
+            let (f00, f01) = self.cofactors_at(Ref(node.lo), w);
+            let (f10, f11) = self.cofactors_at(Ref(node.hi), w);
+            let g0 = self.mk(u, f00, f10);
+            let g1 = self.mk(u, f01, f11);
+            // The candidate depends on `w`, so its two new cofactors
+            // differ; and g1 is built from regular stored-hi edges, so the
+            // rewritten node keeps the hi-regular invariant.
+            debug_assert_ne!(g0, g1);
+            debug_assert!(!g1.is_complemented());
+            self.nodes[ci as usize] = Node {
+                var: w,
+                lo: g0.0,
+                hi: g1.0,
+            };
+        }
+        self.level2var.swap(level, level + 1);
+        self.var2level[u as usize] = (level + 1) as u32;
+        self.var2level[w as usize] = level as u32;
+        self.counts.reorder_swaps += 1;
+        // Rewritten nodes sit in the table under their old hash and the
+        // swap's dead children inflate the live count: one collection
+        // frees the garbage and rebuilds the table. If nothing was freed
+        // the table still holds stale slots — rebuild explicitly.
+        let freed = self.gc_run();
+        if freed == 0 {
+            self.rebuild_table(self.table_mask + 1);
+        }
+    }
+}
+
 impl Bdd {
     /// Rebuild `roots` in a fresh manager under a new variable order.
     ///
@@ -1784,5 +2211,209 @@ mod reorder_tests {
         let b = mgr.var(1);
         let f = mgr.and(a, b);
         mgr.rebuild_with_order(&[f], &[0, 0]);
+    }
+
+    // ------------------------------------------------------------------
+    // In-place dynamic reordering
+    // ------------------------------------------------------------------
+
+    /// [`chain_function`] under the auto-GC/reorder rooting contract:
+    /// every ref held across an allocating call is protected, so a pass
+    /// (which begins with a collection) can fire inside any operation.
+    fn chain_function_rooted(mgr: &mut Bdd, pairs: &[(u32, u32)]) -> Ref {
+        let mut f = Ref::FALSE;
+        mgr.protect(f);
+        for &(a, b) in pairs {
+            let va = mgr.var(a);
+            mgr.protect(va);
+            let vb = mgr.var(b);
+            mgr.protect(vb);
+            let t = mgr.and(va, vb);
+            mgr.protect(t);
+            let nf = mgr.or(f, t);
+            mgr.unprotect(t);
+            mgr.unprotect(vb);
+            mgr.unprotect(va);
+            mgr.unprotect(f);
+            f = nf;
+            mgr.protect(f);
+        }
+        f
+    }
+
+    fn truth_table(mgr: &Bdd, f: Ref, nvars: u32) -> Vec<bool> {
+        (0u32..1 << nvars)
+            .map(|bits| {
+                let env: Vec<bool> = (0..nvars).map(|i| bits >> i & 1 == 1).collect();
+                mgr.eval(f, &env)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_swap_preserves_semantics_in_place() {
+        let mut mgr = Bdd::new();
+        let f = chain_function(&mut mgr, &[(0, 1), (2, 3), (4, 5)]);
+        let nf = mgr.not(f);
+        mgr.protect(f);
+        mgr.protect(nf);
+        let want_f = truth_table(&mgr, f, 6);
+        mgr.ensure_level_maps();
+        // Walk every adjacent pair, twice — same external refs throughout.
+        for pass in 0..2 {
+            for l in 0..5 {
+                mgr.swap_levels(l);
+                assert_eq!(truth_table(&mgr, f, 6), want_f, "pass {pass} swap {l}");
+                let got_nf = truth_table(&mgr, nf, 6);
+                assert!(got_nf.iter().zip(&want_f).all(|(a, b)| *a != *b));
+            }
+        }
+        assert!(mgr.op_counts().reorder_swaps >= 10);
+    }
+
+    #[test]
+    fn reorder_now_recovers_linear_size() {
+        let mut mgr = Bdd::new();
+        let f = chain_function(&mut mgr, &[(0, 3), (1, 4), (2, 5)]);
+        mgr.protect(f);
+        let want = truth_table(&mgr, f, 6);
+        let before_size = mgr.size(f);
+        let (before, after) = mgr.reorder_now();
+        assert!(after < before, "reorder {before} -> {after}");
+        // Sifting should find a pairing order: 6 internal nodes.
+        assert_eq!(mgr.size(f), 6, "was {before_size}");
+        assert!(mgr.has_custom_order());
+        // The same Ref still denotes the same function.
+        assert_eq!(truth_table(&mgr, f, 6), want);
+        let c = mgr.op_counts();
+        assert_eq!(c.reorder_runs, 1);
+        assert!(c.reorder_swaps > 0);
+        assert!(c.reorder_nodes_after < c.reorder_nodes_before);
+    }
+
+    #[test]
+    fn reorder_preserves_probability_and_counts() {
+        let mut mgr = Bdd::new();
+        let f = chain_function(&mut mgr, &[(0, 4), (1, 5), (2, 6), (3, 7)]);
+        mgr.protect(f);
+        // Dyadic biases: every intermediate probability is an exactly
+        // representable dyadic, so reordering is bit-identical.
+        let p: Vec<f64> = (0..8).map(|i| (i + 4) as f64 / 16.0).collect();
+        let prob = mgr.probability(f, &p);
+        let sat = mgr.sat_count(f, 8);
+        let sup = mgr.support(f);
+        mgr.reorder_now();
+        assert_eq!(mgr.probability(f, &p).to_bits(), prob.to_bits());
+        assert_eq!(mgr.sat_count(f, 8).to_bits(), sat.to_bits());
+        assert_eq!(mgr.support(f), sup);
+    }
+
+    #[test]
+    fn threshold_schedule_fires_during_growth() {
+        let mut mgr = Bdd::new();
+        mgr.set_auto_gc(true);
+        mgr.set_reorder_schedule(ReorderSchedule::Threshold {
+            growth_percent: 20,
+            min_nodes: 8,
+        });
+        let f = chain_function_rooted(&mut mgr, &[(0, 4), (1, 5), (2, 6), (3, 7)]);
+        mgr.protect(f);
+        // Keep building so post-install growth trips the trigger.
+        let g = chain_function_rooted(&mut mgr, &[(0, 6), (1, 7), (2, 4), (3, 5)]);
+        mgr.protect(g);
+        assert!(mgr.op_counts().reorder_runs >= 1, "threshold never fired");
+        // Both functions match fixed-order reference managers.
+        let mut fix = Bdd::new();
+        let ff = chain_function(&mut fix, &[(0, 4), (1, 5), (2, 6), (3, 7)]);
+        let gg = chain_function(&mut fix, &[(0, 6), (1, 7), (2, 4), (3, 5)]);
+        assert_eq!(truth_table(&mgr, f, 8), truth_table(&fix, ff, 8));
+        assert_eq!(truth_table(&mgr, g, 8), truth_table(&fix, gg, 8));
+    }
+
+    #[test]
+    fn always_schedule_matches_fixed_order() {
+        let mut mgr = Bdd::new();
+        mgr.set_reorder_schedule(ReorderSchedule::Always);
+        let f = chain_function_rooted(&mut mgr, &[(0, 2), (1, 3)]);
+        mgr.protect(f);
+        let mut fix = Bdd::new();
+        let ff = chain_function(&mut fix, &[(0, 2), (1, 3)]);
+        assert_eq!(truth_table(&mgr, f, 4), truth_table(&fix, ff, 4));
+    }
+
+    #[test]
+    fn timesliced_schedule_completes_current_walk() {
+        let mut mgr = Bdd::new();
+        mgr.set_reorder_schedule(ReorderSchedule::TimeSliced { slice_ms: 1000 });
+        let f = chain_function_rooted(&mut mgr, &[(0, 3), (1, 4), (2, 5)]);
+        mgr.protect(f);
+        let want = truth_table(&mgr, f, 6);
+        mgr.reorder_now();
+        assert_eq!(truth_table(&mgr, f, 6), want);
+    }
+
+    #[test]
+    fn set_order_seeds_build_and_round_trips() {
+        let mut mgr = Bdd::new();
+        let order: Vec<u32> = (0..6).rev().collect();
+        mgr.set_order(&order);
+        let f = chain_function(&mut mgr, &[(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(mgr.var_order(), order);
+        assert!(mgr.has_custom_order());
+        // Pairs stay adjacent under full reversal: still the linear size.
+        assert_eq!(mgr.size(f), 6);
+        let mut fix = Bdd::new();
+        let ff = chain_function(&mut fix, &[(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(truth_table(&mgr, f, 6), truth_table(&fix, ff, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn set_order_rejects_non_permutation() {
+        let mut mgr = Bdd::new();
+        mgr.set_order(&[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty manager")]
+    fn set_order_rejects_populated_manager() {
+        let mut mgr = Bdd::new();
+        let _ = mgr.var(0);
+        mgr.set_order(&[0]);
+    }
+
+    #[test]
+    fn reorder_schedule_parse_round_trip() {
+        for spec in ["off", "always", "threshold", "threshold:64", "timeslice:25"] {
+            let s = ReorderSchedule::parse(spec).unwrap();
+            let shown = s.to_string();
+            assert_eq!(ReorderSchedule::parse(&shown).unwrap(), s);
+        }
+        assert_eq!(
+            ReorderSchedule::parse("threshold").unwrap(),
+            ReorderSchedule::threshold()
+        );
+        assert!(ReorderSchedule::parse("sift-harder").is_err());
+        assert!(ReorderSchedule::parse("threshold:x").is_err());
+    }
+
+    #[test]
+    fn reorder_under_restrict_and_exists() {
+        // Quantification recurses through ops that may trigger a reorder;
+        // results must match a fixed-order manager.
+        let mut mgr = Bdd::new();
+        mgr.set_reorder_schedule(ReorderSchedule::Always);
+        let f = chain_function_rooted(&mut mgr, &[(0, 3), (1, 4), (2, 5)]);
+        mgr.protect(f);
+        let e = mgr.exists(f, 3);
+        mgr.protect(e);
+        let r = mgr.restrict(f, 0, true);
+        mgr.protect(r);
+        let mut fix = Bdd::new();
+        let ff = chain_function(&mut fix, &[(0, 3), (1, 4), (2, 5)]);
+        let ee = fix.exists(ff, 3);
+        let rr = fix.restrict(ff, 0, true);
+        assert_eq!(truth_table(&mgr, e, 6), truth_table(&fix, ee, 6));
+        assert_eq!(truth_table(&mgr, r, 6), truth_table(&fix, rr, 6));
     }
 }

@@ -30,6 +30,15 @@
 //! and — canonicity being unique — produces bit-identical
 //! `probability` / `sat_count` / `support` answers.
 //!
+//! A manager whose variable order was changed (statically seeded or by a
+//! dynamic-reorder pass) writes one extra header line between `.nroots`
+//! and `.nodes`: `.order l0 l1 …` — the var→level permutation. Reading
+//! such a blob into a **fresh** manager replays the build under that
+//! order, so the restored graph is node-for-node the writer's; loading
+//! into a populated manager ignores the line (functions do not depend on
+//! it). Identity-order managers never emit the line, so their blobs are
+//! byte-identical to pre-order-aware builds and still version 1.
+//!
 //! ```
 //! use bdd::{Bdd, store};
 //!
@@ -131,6 +140,13 @@ pub fn write_bdd(mgr: &Bdd, roots: &[Ref]) -> String {
     out.push_str(&format!(".nvars {}\n", mgr.num_vars()));
     out.push_str(&format!(".nnodes {}\n", lines.len()));
     out.push_str(&format!(".nroots {}\n", roots.len()));
+    if mgr.has_custom_order() {
+        out.push_str(".order");
+        for level in mgr.var_order() {
+            out.push_str(&format!(" {level}"));
+        }
+        out.push('\n');
+    }
     out.push_str(".nodes\n");
     for (var, lo, hi) in &lines {
         out.push_str(&format!("{var} {lo} {hi}\n"));
@@ -184,7 +200,39 @@ pub fn read_bdd_prefix(mgr: &mut Bdd, text: &str) -> Result<(Vec<Ref>, usize), S
     let nvars = parser.header_line(".nvars")?;
     let nnodes = parser.header_line(".nnodes")?;
     let nroots = parser.header_line(".nroots")?;
-    parser.expect_line(".nodes")?;
+    let line = parser
+        .next_line()
+        .ok_or_else(|| malformed("missing .nodes section"))?;
+    match line.trim_end() {
+        ".nodes" => {}
+        l if l.starts_with(".order") => {
+            let mut levels: Vec<u32> = Vec::with_capacity(nvars as usize);
+            for tok in l[".order".len()..].split_ascii_whitespace() {
+                levels.push(parse_num(Some(tok), ".order level")? as u32);
+            }
+            if levels.len() as u64 != nvars {
+                return Err(malformed(format!(
+                    ".order lists {} levels for {nvars} variables",
+                    levels.len()
+                )));
+            }
+            let mut seen = vec![false; levels.len()];
+            for &l in &levels {
+                if (l as usize) >= levels.len() || seen[l as usize] {
+                    return Err(malformed(".order is not a permutation"));
+                }
+                seen[l as usize] = true;
+            }
+            // Replay the build under the writer's order so the restored
+            // graph matches node for node. A populated manager keeps its
+            // own order — the functions read back identically either way.
+            if mgr.is_empty() {
+                mgr.set_order(&levels);
+            }
+            parser.expect_line(".nodes")?;
+        }
+        _ => return Err(malformed(format!("expected .nodes, found {line:?}"))),
+    }
     // refs[serial]: serial 0 is the terminal FALSE.
     let mut refs: Vec<Ref> = Vec::with_capacity(nnodes as usize + 1);
     refs.push(Ref::FALSE);
@@ -393,5 +441,130 @@ mod tests {
         for garbage in ["", "hello", ".lpbdd one\n", ".lpbdd 1\n.nvars x\n"] {
             assert!(read_bdd(garbage).is_err(), "{garbage:?}");
         }
+    }
+
+    fn reordered_sample() -> (Bdd, Vec<Ref>) {
+        let mut mgr = Bdd::new();
+        // Non-identity order: interleaved pair partners become adjacent.
+        mgr.set_order(&[0, 2, 1, 3]);
+        let a = mgr.var(0);
+        let b = mgr.var(1);
+        let c = mgr.var(2);
+        let d = mgr.var(3);
+        let ac = mgr.and(a, c);
+        let bd = mgr.and(b, d);
+        let f = mgr.or(ac, bd);
+        let g = mgr.xor(f, a);
+        (mgr, vec![f, g])
+    }
+
+    #[test]
+    fn identity_order_writes_no_order_line() {
+        let (mgr, roots) = sample();
+        assert!(!write_bdd(&mgr, &roots).contains(".order"));
+    }
+
+    #[test]
+    fn reordered_round_trip_restores_order_and_semantics() {
+        let (mgr, roots) = reordered_sample();
+        let blob = write_bdd(&mgr, &roots);
+        assert!(blob.contains(".order 0 2 1 3\n"), "order must be recorded");
+        let (back, rebuilt) = read_bdd(&blob).expect("round trip");
+        assert_eq!(back.var_order(), mgr.var_order());
+        let p = [0.25, 0.75, 0.5, 0.125];
+        for (&orig, &new) in roots.iter().zip(&rebuilt) {
+            assert_eq!(
+                mgr.probability(orig, &p).to_bits(),
+                back.probability(new, &p).to_bits()
+            );
+            assert_eq!(
+                mgr.sat_count(orig, 4).to_bits(),
+                back.sat_count(new, 4).to_bits()
+            );
+            assert_eq!(mgr.support(orig), back.support(new));
+        }
+        // Node-for-node replay: the rebuilt graph is the writer's size.
+        assert_eq!(back.size_many(&rebuilt), mgr.size_many(&roots));
+    }
+
+    #[test]
+    fn order_line_into_populated_manager_is_ignored_but_correct() {
+        let (mgr, roots) = reordered_sample();
+        let blob = write_bdd(&mgr, &roots);
+        let mut target = Bdd::new();
+        let x = target.var(0);
+        let y = target.var(1);
+        let keep = target.and(x, y);
+        let rebuilt = read_bdd_into(&mut target, &blob).unwrap();
+        assert!(!target.has_custom_order(), "populated manager keeps its order");
+        for (&orig, &new) in roots.iter().zip(&rebuilt) {
+            for bits in 0u32..16 {
+                let env: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(mgr.eval(orig, &env), target.eval(new, &env));
+            }
+        }
+        assert!(target.eval(keep, &[true, true]));
+    }
+
+    #[test]
+    fn corrupt_order_line_is_rejected() {
+        let (mgr, roots) = reordered_sample();
+        let blob = write_bdd(&mgr, &roots);
+        let order_start = blob.find(".order").expect("reordered blob has .order");
+        let line_end = blob[order_start..].find('\n').unwrap() + order_start;
+        // Duplicate level: parseable but not a permutation.
+        let dup = format!(
+            "{}.order 0 0 1 2\n{}",
+            &blob[..order_start],
+            &blob[line_end + 1..]
+        );
+        assert!(matches!(read_bdd(&dup), Err(StoreError::Malformed(_))));
+        // Wrong arity.
+        let short = format!(
+            "{}.order 0 1\n{}",
+            &blob[..order_start],
+            &blob[line_end + 1..]
+        );
+        assert!(matches!(read_bdd(&short), Err(StoreError::Malformed(_))));
+        // Bit-flip inside the order digits: caught by checksum (or parse).
+        let mut bytes = blob.clone().into_bytes();
+        let digit = (order_start..line_end)
+            .find(|&i| bytes[i].is_ascii_digit())
+            .unwrap();
+        bytes[digit] = if bytes[digit] == b'0' { b'1' } else { b'0' };
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(read_bdd(&flipped).is_err(), "order corruption must be rejected");
+    }
+
+    #[test]
+    fn sifted_manager_round_trips() {
+        // An order produced by an actual reorder pass (not a seeded one)
+        // must round-trip the same way.
+        let mut mgr = Bdd::new();
+        let pairs = [(0u32, 3u32), (1, 4), (2, 5)];
+        let mut f = Ref::FALSE;
+        for (a, b) in pairs {
+            let va = mgr.var(a);
+            let vb = mgr.var(b);
+            let t = mgr.and(va, vb);
+            f = mgr.or(f, t);
+        }
+        mgr.protect(f);
+        mgr.reorder_now();
+        let blob = write_bdd(&mgr, &[f]);
+        let (back, rebuilt) = read_bdd(&blob).unwrap();
+        assert_eq!(back.var_order(), mgr.var_order());
+        assert_eq!(back.size(rebuilt[0]), mgr.size(f));
+        for bits in 0u32..64 {
+            let env: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(mgr.eval(f, &env), back.eval(rebuilt[0], &env));
+        }
+    }
+
+    #[test]
+    fn version_skew_rejected_on_order_carrying_blob() {
+        let (mgr, roots) = reordered_sample();
+        let blob = write_bdd(&mgr, &roots).replace(".lpbdd 1", ".lpbdd 2");
+        assert!(matches!(read_bdd(&blob), Err(StoreError::Version(_))));
     }
 }

@@ -16,6 +16,13 @@
 //! the old kernel's, or wall-clock at least 1.5x faster. Misses are the
 //! primary criterion — they are deterministic, so the check is meaningful
 //! on a noisy CI box where timings are not.
+//!
+//! A second section exercises dynamic variable ordering on an 8×8 array
+//! multiplier under a committed node budget sized between the sifted
+//! peak and the natural-order peak: the fixed-order build must exhaust
+//! the budget while the reorder-enabled build completes the exact tier.
+//! `--check` enforces that separation too — both halves are
+//! deterministic node counts, immune to CI timing noise.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -23,7 +30,8 @@ use std::time::Instant;
 use budget::ResourceBudget;
 use netlist::blif::parse_text;
 use netlist::Netlist;
-use power::exact::try_circuit_bdds;
+use power::exact::{try_circuit_bdds, try_circuit_bdds_reorder};
+use power::order::ReorderConfig;
 
 /// Pre-rewrite kernel numbers, captured on the same golden circuits with
 /// the same build-everything workload (wall-clock: best of 5 on the
@@ -121,7 +129,71 @@ fn measure(base: &Baseline) -> Measured {
     }
 }
 
-fn to_json(results: &[Measured]) -> String {
+/// The reorder exhibit's ordering policy and the committed node budget.
+/// 40k sits between the `dfs+threshold:256` sifted peak (36 339 live
+/// nodes, measured) and the natural-order peak (52 412): the margin is
+/// ~10% on one side and ~30% on the other, so an ordering regression in
+/// either direction trips the gate before it halves the win.
+const REORDER_SPEC: &str = "dfs+threshold:256";
+const REORDER_NODE_BUDGET: u64 = 40_000;
+
+struct ReorderMeasured {
+    fixed_peak: u64,
+    reordered_peak: u64,
+    reorder_runs: u64,
+    reorder_swaps: u64,
+    seconds: f64,
+    /// The natural order must blow the committed budget…
+    fixed_exhausts_budget: bool,
+    /// …and sifting must finish the exact tier under the same budget.
+    reordered_completes_budget: bool,
+}
+
+fn measure_reorder() -> ReorderMeasured {
+    let (nl, _) = netlist::gen::array_multiplier(8);
+    let unlimited = ResourceBudget::unlimited();
+    let nobs = lowpower::obs::Obs::disabled();
+    let cfg = ReorderConfig::parse(REORDER_SPEC).expect("committed reorder spec parses");
+    let fixed = try_circuit_bdds(&nl, &unlimited).expect("unlimited fixed-order build");
+    let start = Instant::now();
+    let reordered =
+        try_circuit_bdds_reorder(&nl, &unlimited, &cfg, &nobs).expect("unlimited sifted build");
+    let seconds = start.elapsed().as_secs_f64();
+    let counts = reordered.mgr.op_counts();
+    let budget = ResourceBudget::unlimited().with_max_bdd_nodes(REORDER_NODE_BUDGET);
+    ReorderMeasured {
+        fixed_peak: fixed.mgr.peak_live_nodes() as u64,
+        reordered_peak: reordered.mgr.peak_live_nodes() as u64,
+        reorder_runs: counts.reorder_runs,
+        reorder_swaps: counts.reorder_swaps,
+        seconds,
+        fixed_exhausts_budget: try_circuit_bdds(&nl, &budget).is_err(),
+        reordered_completes_budget: try_circuit_bdds_reorder(&nl, &budget, &cfg, &nobs).is_ok(),
+    }
+}
+
+fn reorder_json(r: &ReorderMeasured) -> String {
+    let mut out = String::new();
+    out.push_str("  \"reorder\": {\n");
+    let _ = writeln!(out, "    \"circuit\": \"mult8 (8x8 array multiplier)\",");
+    let _ = writeln!(out, "    \"spec\": \"{REORDER_SPEC}\",");
+    let _ = writeln!(out, "    \"node_budget\": {REORDER_NODE_BUDGET},");
+    let _ = writeln!(out, "    \"fixed_peak_live_nodes\": {},", r.fixed_peak);
+    let _ = writeln!(out, "    \"reordered_peak_live_nodes\": {},", r.reordered_peak);
+    let _ = writeln!(out, "    \"reorder_runs\": {},", r.reorder_runs);
+    let _ = writeln!(out, "    \"reorder_swaps\": {},", r.reorder_swaps);
+    let _ = writeln!(out, "    \"seconds\": {:.3e},", r.seconds);
+    let _ = writeln!(out, "    \"fixed_exhausts_budget\": {},", r.fixed_exhausts_budget);
+    let _ = writeln!(
+        out,
+        "    \"reordered_completes_budget\": {}",
+        r.reordered_completes_budget
+    );
+    out.push_str("  }\n");
+    out
+}
+
+fn to_json(results: &[Measured], reorder: &ReorderMeasured) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"bdd\",\n");
     out.push_str(
@@ -149,7 +221,9 @@ fn to_json(results: &[Measured]) -> String {
         );
         out.push_str(if i + 1 < results.len() { "    },\n" } else { "    }\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&reorder_json(reorder));
+    out.push_str("}\n");
     out
 }
 
@@ -165,7 +239,8 @@ fn main() {
     }
 
     let results: Vec<Measured> = BASELINES.iter().map(measure).collect();
-    std::fs::write(&out_path, to_json(&results)).expect("write benchmark JSON");
+    let reorder = measure_reorder();
+    std::fs::write(&out_path, to_json(&results, &reorder)).expect("write benchmark JSON");
 
     println!("wrote {out_path}");
     for m in &results {
@@ -174,6 +249,16 @@ fn main() {
             m.name, m.ite_calls, m.cache_misses, m.miss_ratio, m.seconds, m.speedup
         );
     }
+    println!(
+        "  mult8    peak {} -> {} under {REORDER_SPEC} ({} runs, {} swaps); \
+         budget {REORDER_NODE_BUDGET}: fixed {}, reordered {}",
+        reorder.fixed_peak,
+        reorder.reordered_peak,
+        reorder.reorder_runs,
+        reorder.reorder_swaps,
+        if reorder.fixed_exhausts_budget { "exhausts" } else { "COMPLETES" },
+        if reorder.reordered_completes_budget { "completes" } else { "EXHAUSTS" },
+    );
 
     if check {
         let mult4 = results
@@ -191,6 +276,23 @@ fn main() {
         println!(
             "check ok: mult4 miss reduction {:.2}x, speedup {:.2}x",
             mult4.miss_ratio, mult4.speedup
+        );
+        if !reorder.fixed_exhausts_budget || !reorder.reordered_completes_budget {
+            eprintln!(
+                "check FAILED: mult8 under {} nodes — fixed order {} the budget \
+                 (want exhaust), {REORDER_SPEC} {} (want complete); peaks {} vs {}",
+                REORDER_NODE_BUDGET,
+                if reorder.fixed_exhausts_budget { "exhausts" } else { "survives" },
+                if reorder.reordered_completes_budget { "completes" } else { "exhausts" },
+                reorder.fixed_peak,
+                reorder.reordered_peak,
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "check ok: mult8 exact tier completes under {REORDER_NODE_BUDGET} nodes \
+             only with {REORDER_SPEC} (peak {} vs fixed {})",
+            reorder.reordered_peak, reorder.fixed_peak
         );
     }
 }

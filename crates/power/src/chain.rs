@@ -117,6 +117,10 @@ pub struct ChainConfig {
     pub max_sweeps: usize,
     /// Fixpoint convergence tolerance for the probabilistic tier.
     pub tolerance: f64,
+    /// Variable-ordering policy for the exact tier: a static seed order
+    /// plus a dynamic reorder schedule (see [`crate::order`]). The
+    /// default (`natural+off`) is the fixed-order build, bit for bit.
+    pub reorder: crate::order::ReorderConfig,
     /// Observability handle threaded into every tier: per-tier spans
     /// (`tier.<name>`), attempt counters (`chain.attempts`,
     /// `chain.answered`, `chain.abandoned.<resource>`), BDD manager
@@ -135,6 +139,7 @@ impl Default for ChainConfig {
             tiers: vec![Tier::ExactBdd, Tier::Probabilistic, Tier::SampledSim],
             max_sweeps: 50,
             tolerance: 1e-9,
+            reorder: crate::order::ReorderConfig::default(),
             obs: obs::Obs::disabled(),
         }
     }
@@ -229,7 +234,7 @@ pub fn estimate_activity_cached(
         let t0 = obs.now();
         let result = match tier {
             Tier::ExactBdd => cache
-                .get_or_build_obs(nl, budget, obs)
+                .get_or_build_reorder(nl, budget, &cfg.reorder, obs)
                 .map(|b| b.activity(&probs)),
             Tier::Probabilistic => {
                 prob::try_activity(nl, &probs, cfg.max_sweeps, cfg.tolerance, budget)

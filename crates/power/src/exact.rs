@@ -15,6 +15,8 @@ use budget::{BudgetExceeded, ResourceBudget};
 use netlist::{GateKind, NetId, Netlist};
 use sim::ActivityProfile;
 
+use crate::order::{static_order, ReorderConfig};
+
 /// BDDs for every net of a combinational netlist.
 #[derive(Debug)]
 pub struct CircuitBdds {
@@ -83,11 +85,33 @@ pub fn try_circuit_bdds_obs(
     budget: &ResourceBudget,
     obs: &obs::Obs,
 ) -> Result<CircuitBdds, BudgetExceeded> {
+    try_circuit_bdds_reorder(nl, budget, &ReorderConfig::default(), obs)
+}
+
+/// [`try_circuit_bdds_obs`] under an explicit [`ReorderConfig`]: the
+/// manager is seeded with the config's static order (fanin-DFS or FORCE,
+/// computed from the netlist) and runs its dynamic schedule during the
+/// build, publishing the pass counters as `bdd.reorder.runs`,
+/// `bdd.reorder.swaps`, `bdd.reorder.nodes_before` and
+/// `bdd.reorder.nodes_after`. The default config reproduces the fixed
+/// natural-order build bit for bit.
+pub fn try_circuit_bdds_reorder(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    reorder: &ReorderConfig,
+    obs: &obs::Obs,
+) -> Result<CircuitBdds, BudgetExceeded> {
     let mut mgr = Bdd::new();
     // Every completed net function is rooted below, so under node-budget
     // pressure the manager can sweep dead intermediates and the budget
-    // meters live nodes, not lifetime allocations.
+    // meters live nodes, not lifetime allocations. The same rooting makes
+    // reorder passes safe: a pass collects, and only unrooted abandoned
+    // intermediates can be swept.
     mgr.set_auto_gc(true);
+    if let Some(order) = static_order(nl, reorder.initial) {
+        mgr.set_order(&order);
+    }
+    mgr.set_reorder_schedule(reorder.schedule);
     let result = build_funcs(&mut mgr, nl, budget);
     if obs.is_enabled() {
         let c = mgr.op_counts();
@@ -100,6 +124,10 @@ pub fn try_circuit_bdds_obs(
         obs.add("bdd.nodes_created", c.nodes_created);
         obs.add("bdd.gc_runs", c.gc_runs);
         obs.add("bdd.nodes_freed", c.nodes_freed);
+        obs.add("bdd.reorder.runs", c.reorder_runs);
+        obs.add("bdd.reorder.swaps", c.reorder_swaps);
+        obs.add("bdd.reorder.nodes_before", c.reorder_nodes_before);
+        obs.add("bdd.reorder.nodes_after", c.reorder_nodes_after);
         obs.gauge_max("bdd.peak_nodes", mgr.peak_live_nodes() as f64);
     }
     let (funcs, input_vars) = result?;
@@ -215,6 +243,14 @@ impl CircuitBdds {
     /// Check two nets for functional equivalence (canonical compare).
     pub fn equivalent(&self, a: NetId, b: NetId) -> bool {
         self.funcs[a.index()] == self.funcs[b.index()]
+    }
+
+    /// The manager's final var→level permutation — identity unless a
+    /// static seed order or a dynamic reorder pass moved variables.
+    /// Snapshot entries carry it (via the store's `.order` line), so a
+    /// warm start replays under the same order this build ended with.
+    pub fn variable_order(&self) -> Vec<u32> {
+        self.mgr.var_order()
     }
 }
 
@@ -372,7 +408,25 @@ impl CircuitBddCache {
         budget: &ResourceBudget,
         obs: &obs::Obs,
     ) -> Result<Rc<CircuitBdds>, BudgetExceeded> {
-        let key = fingerprint(nl);
+        self.get_or_build_reorder(nl, budget, &ReorderConfig::default(), obs)
+    }
+
+    /// [`CircuitBddCache::get_or_build_obs`] under an explicit
+    /// [`ReorderConfig`]. The config is mixed into the cache key, so the
+    /// same circuit built under different ordering policies occupies
+    /// distinct entries — a warm hit always replays the order it was
+    /// built (and snapshotted) with, and never serves a fixed-order build
+    /// to a reorder-enabled caller or vice versa. The default config's
+    /// key is the bare structural fingerprint, keeping snapshots from
+    /// order-unaware builds warm.
+    pub fn get_or_build_reorder(
+        &mut self,
+        nl: &Netlist,
+        budget: &ResourceBudget,
+        reorder: &ReorderConfig,
+        obs: &obs::Obs,
+    ) -> Result<Rc<CircuitBdds>, BudgetExceeded> {
+        let key = fingerprint(nl) ^ reorder.cache_key();
         if let Some(b) = self.entries.get(&key) {
             let peak = b.mgr.peak_live_nodes() as u64;
             if peak > budget.max_bdd_nodes_or(u64::MAX) {
@@ -384,7 +438,7 @@ impl CircuitBddCache {
         }
         self.misses += 1;
         obs.add("bdd.circuit_cache.misses", 1);
-        let built = Rc::new(try_circuit_bdds_obs(nl, budget, obs)?);
+        let built = Rc::new(try_circuit_bdds_reorder(nl, budget, reorder, obs)?);
         while self.entries.len() >= self.capacity {
             match self.order.pop_front() {
                 Some(old) => {
@@ -822,6 +876,95 @@ mod tests {
         assert!(target.is_empty(), "rejected snapshots must not leak entries");
         // The intact snapshot still loads afterwards.
         assert_eq!(target.load_snapshot_text(&snap).unwrap(), 1);
+    }
+
+    #[test]
+    fn reordered_build_matches_fixed_order_bit_identically() {
+        use crate::order::ReorderConfig;
+        let (nl, _) = ripple_adder(6);
+        let unlimited = ResourceBudget::unlimited();
+        let fixed = circuit_bdds(&nl);
+        let probs = vec![0.5; nl.num_inputs()];
+        let want = fixed.probabilities(&probs);
+        for spec in ["dfs", "force", "always", "dfs+threshold:64", "force+always"] {
+            let cfg = ReorderConfig::parse(spec).unwrap();
+            let b = try_circuit_bdds_reorder(&nl, &unlimited, &cfg, &obs::Obs::disabled())
+                .unwrap();
+            for (a, g) in want.iter().zip(b.probabilities(&probs).iter()) {
+                assert_eq!(a.to_bits(), g.to_bits(), "{spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_order_shrinks_adder_peak() {
+        use crate::order::ReorderConfig;
+        let (nl, _) = ripple_adder(10);
+        let unlimited = ResourceBudget::unlimited();
+        let fixed = circuit_bdds(&nl);
+        let cfg = ReorderConfig::parse("dfs").unwrap();
+        let seeded =
+            try_circuit_bdds_reorder(&nl, &unlimited, &cfg, &obs::Obs::disabled()).unwrap();
+        assert!(
+            seeded.mgr.peak_live_nodes() < fixed.mgr.peak_live_nodes(),
+            "dfs seed {} vs natural {}",
+            seeded.mgr.peak_live_nodes(),
+            fixed.mgr.peak_live_nodes()
+        );
+        assert!(seeded.mgr.has_custom_order());
+    }
+
+    #[test]
+    fn cache_keeps_reorder_configs_separate() {
+        use crate::order::ReorderConfig;
+        let (nl, _) = ripple_adder(4);
+        let mut cache = CircuitBddCache::new();
+        let unlimited = ResourceBudget::unlimited();
+        let off = ReorderConfig::default();
+        let dfs = ReorderConfig::parse("dfs").unwrap();
+        let o = &obs::Obs::disabled();
+        let a = cache.get_or_build_reorder(&nl, &unlimited, &off, o).unwrap();
+        let b = cache.get_or_build_reorder(&nl, &unlimited, &dfs, o).unwrap();
+        assert!(!Rc::ptr_eq(&a, &b), "configs must not share entries");
+        assert_eq!(cache.misses(), 2);
+        // Each config warm-hits its own entry.
+        let a2 = cache.get_or_build_reorder(&nl, &unlimited, &off, o).unwrap();
+        let b2 = cache.get_or_build_reorder(&nl, &unlimited, &dfs, o).unwrap();
+        assert!(Rc::ptr_eq(&a, &a2));
+        assert!(Rc::ptr_eq(&b, &b2));
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn reordered_snapshot_warm_starts_bit_identically() {
+        use crate::order::ReorderConfig;
+        let (nl, _) = ripple_adder(6);
+        let unlimited = ResourceBudget::unlimited();
+        let cfg = ReorderConfig::parse("dfs+always").unwrap();
+        let o = &obs::Obs::disabled();
+        let mut cache = CircuitBddCache::new();
+        let cold = cache.get_or_build_reorder(&nl, &unlimited, &cfg, o).unwrap();
+        assert!(cold.mgr.has_custom_order(), "test needs a non-identity order");
+        let snap = cache.snapshot_text();
+
+        let mut warm = CircuitBddCache::new();
+        assert_eq!(warm.load_snapshot_text(&snap).unwrap(), 1);
+        let loaded = warm.get_or_build_reorder(&nl, &unlimited, &cfg, o).unwrap();
+        assert_eq!(warm.misses(), 0, "order-carrying snapshot must warm-hit");
+        assert_eq!(loaded.variable_order(), cold.variable_order());
+        let probs = vec![0.5; nl.num_inputs()];
+        for (a, b) in cold
+            .probabilities(&probs)
+            .iter()
+            .zip(loaded.probabilities(&probs).iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // A different config against the same warm cache misses — a
+        // fixed-order caller never gets served the reordered build.
+        warm.get_or_build_reorder(&nl, &unlimited, &ReorderConfig::default(), o)
+            .unwrap();
+        assert_eq!(warm.misses(), 1);
     }
 
     #[test]

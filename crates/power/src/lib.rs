@@ -17,6 +17,8 @@
 //!   differences (Najm-style, cited in the survey as \[31\]);
 //! * [`macro_model`] — architecture-level per-module capacitance models
 //!   (PFA-style \[15\], activity-weighted \[21\]\[22\], isolated-average \[36\]);
+//! * [`order`] — netlist-seeded BDD variable orders (fanin-DFS, FORCE)
+//!   and the exact tier's dynamic-reorder policy;
 //! * [`estimate`] — sequential power under user-specified input sequences
 //!   (\[28\]): measured vs sequence-aware vs workload-blind.
 //! * [`chain`] — graceful degradation across the estimators: exact BDD →
@@ -44,4 +46,5 @@ pub mod estimate;
 pub mod exact;
 pub mod macro_model;
 pub mod model;
+pub mod order;
 pub mod prob;

@@ -45,6 +45,9 @@ pub struct ServeConfig {
     pub fault_injection: bool,
     /// Backoff before the one degraded retry of a transient failure.
     pub retry_backoff_ms: u64,
+    /// Variable-ordering policy for the exact tier of power jobs (see
+    /// [`power::order::ReorderConfig`]); the default is the fixed order.
+    pub reorder: power::order::ReorderConfig,
     /// Observability handle; all `serve.*` metrics flow through it.
     pub obs: obs::Obs,
 }
@@ -59,6 +62,7 @@ impl Default for ServeConfig {
             checkpoint_every: 32,
             fault_injection: false,
             retry_backoff_ms: 25,
+            reorder: power::order::ReorderConfig::default(),
             obs: obs::Obs::disabled(),
         }
     }
@@ -248,6 +252,7 @@ impl Server {
         let policy = ExecPolicy {
             fault_injection: cfg.fault_injection,
             retry_backoff_ms: cfg.retry_backoff_ms,
+            reorder: cfg.reorder,
             obs: cfg.obs.clone(),
         };
         let handles = (0..workers)

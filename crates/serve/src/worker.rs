@@ -65,6 +65,11 @@ pub struct ExecPolicy {
     pub fault_injection: bool,
     /// Sleep before the one degraded retry of a transient failure.
     pub retry_backoff_ms: u64,
+    /// Variable-ordering policy for the exact tier of power jobs. Part of
+    /// the warm cache key, so a warm hit always replays the policy it was
+    /// built under and stays bit-identical to a cold run with the same
+    /// policy.
+    pub reorder: power::order::ReorderConfig,
     /// Observability handle for the estimation chain's own counters.
     pub obs: obs::Obs,
 }
@@ -74,6 +79,7 @@ impl Default for ExecPolicy {
         ExecPolicy {
             fault_injection: false,
             retry_backoff_ms: 25,
+            reorder: power::order::ReorderConfig::default(),
             obs: obs::Obs::disabled(),
         }
     }
@@ -215,6 +221,7 @@ fn run_power(
         sample_cycles: spec.cycles,
         seed: spec.seed,
         jobs: 1, // concurrency lives across jobs, not inside one
+        reorder: policy.reorder,
         obs: policy.obs.clone(),
         ..ChainConfig::default()
     };

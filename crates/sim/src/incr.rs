@@ -786,7 +786,10 @@ impl IncrementalSim {
                 self.fanouts[f.index()].push(net);
             }
         }
-        for (idx, net) in undo.outputs {
+        // Reverse order: a chained `ReplaceUses` (x→y, then y→z) journals
+        // the same slot twice ((idx,x) then (idx,y)); the oldest snapshot
+        // must be the one that sticks.
+        for (idx, net) in undo.outputs.into_iter().rev() {
             self.nl.set_output_net(idx, net);
         }
         for (net, lvl) in undo.levels {

@@ -88,6 +88,10 @@ flags:
   --budget-steps N  cap total simulation work (cycles x nets, events)
   --budget-queue N  cap the timing simulator's event-queue length
   --deadline-ms N   wall-clock budget for the whole command
+  --reorder SPEC    BDD variable-ordering policy for exact estimation:
+                    static seed (natural|dfs|force) and/or dynamic schedule
+                    (off|always|threshold[:N]|timeslice[:MS]), joined by
+                    '+' (e.g. dfs+threshold:512); default natural+off
   --trace FILE      write a JSONL span/counter trace
   --metrics-json FILE  write aggregate metrics (schema lpopt-metrics-v1)
   --report          append a span tree and counter summary to the output";
@@ -111,6 +115,7 @@ fn fail(message: impl Into<String>) -> CliError {
 struct Opts {
     jobs: usize,
     budget: ResourceBudget,
+    reorder: lowpower::power::order::ReorderConfig,
     obs: obs::Obs,
     trace: Option<String>,
     metrics_json: Option<String>,
@@ -122,6 +127,7 @@ struct Opts {
 fn parse_flags(args: &[String]) -> Result<(Opts, &[String]), CliError> {
     let mut jobs: Option<usize> = None;
     let mut budget = ResourceBudget::unlimited();
+    let mut reorder = lowpower::power::order::ReorderConfig::default();
     let mut trace: Option<String> = None;
     let mut metrics_json: Option<String> = None;
     let mut report = false;
@@ -161,6 +167,10 @@ fn parse_flags(args: &[String]) -> Result<(Opts, &[String]), CliError> {
             "--budget-steps" => budget = budget.with_max_sim_steps(parse_u64(name, &value)?),
             "--budget-queue" => budget = budget.with_max_event_queue(parse_u64(name, &value)?),
             "--deadline-ms" => budget = budget.with_deadline_ms(parse_u64(name, &value)?),
+            "--reorder" => {
+                reorder = lowpower::power::order::ReorderConfig::parse(&value)
+                    .map_err(|e| usage(format!("--reorder: {e}")))?
+            }
             "--trace" => trace = Some(value),
             "--metrics-json" => metrics_json = Some(value),
             other => return Err(usage(format!("unknown flag {other:?}"))),
@@ -182,6 +192,7 @@ fn parse_flags(args: &[String]) -> Result<(Opts, &[String]), CliError> {
         Opts {
             jobs,
             budget,
+            reorder,
             obs,
             trace,
             metrics_json,
@@ -295,6 +306,7 @@ fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, Cl
             let cfg = ChainConfig {
                 sample_cycles: cycles,
                 jobs: opts.jobs,
+                reorder: opts.reorder,
                 obs: opts.obs.clone(),
                 ..ChainConfig::default()
             };
@@ -389,6 +401,7 @@ fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, Cl
             let params = PowerParams::default();
             let cfg = ChainConfig {
                 jobs: opts.jobs,
+                reorder: opts.reorder,
                 obs: opts.obs.clone(),
                 ..ChainConfig::default()
             };
@@ -620,6 +633,7 @@ fn run_serve(opts: &Opts, args: &[String]) -> Result<String, CliError> {
         snapshot_dir: snapshot_dir.map(PathBuf::from),
         checkpoint_every,
         fault_injection,
+        reorder: opts.reorder,
         obs: opts.obs.clone(),
         ..ServeConfig::default()
     });

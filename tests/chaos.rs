@@ -473,6 +473,87 @@ fn budget_churn_does_not_leak_between_jobs() {
     drop(server);
 }
 
+/// The hostile stream again, served under a reorder-enabled policy: BDD
+/// sifting fires inside worker threads while budgets churn, panics
+/// inject, and payloads poison — yet every deterministic success is
+/// bit-identical to a cold single-process run under the *same* reorder
+/// policy, and no reorder pass ever turns into a stray panic. (Cold
+/// references share the policy because budget verdicts are trip-point
+/// sensitive: a reordered build peaks at different node counts, so a
+/// starved job may exhaust at a different tier than a fixed-order one.
+/// That is a resource outcome, not a semantic one.)
+#[test]
+fn serve_with_reordering_is_bit_identical_to_cold_runs() {
+    let blifs: Vec<String> = circuit_pool().iter().map(write_text).collect();
+    let reorder = lowpower::power::order::ReorderConfig::parse("dfs+threshold:64").unwrap();
+    let server = Server::start(ServeConfig {
+        workers: 3,
+        queue_capacity: 256,
+        fault_injection: true,
+        retry_backoff_ms: 0,
+        reorder,
+        ..ServeConfig::default()
+    });
+    let policy = ExecPolicy {
+        fault_injection: true,
+        retry_backoff_ms: 0,
+        reorder,
+        ..ExecPolicy::default()
+    };
+    let mut rng = Rng64::new(0x0D05_51F7);
+    let mut jobs = Vec::new();
+    let mut pending = Vec::new();
+    for _ in 0..120 {
+        let (spec, deterministic) = random_job(&mut rng, &blifs);
+        pending.push(server.submit(spec.clone()).expect("queue sized for the stream"));
+        jobs.push((spec, deterministic));
+    }
+    let mut compared = 0;
+    for ((spec, deterministic), pending) in jobs.into_iter().zip(pending) {
+        let response = pending.wait();
+        match response.result {
+            Ok(ref output) => {
+                if deterministic {
+                    let (cold, _) = cold_run(&spec, &policy);
+                    assert_eq!(
+                        cold.as_ref().expect("cold run of a served job"),
+                        output,
+                        "reordered served answer must be bit-identical to a \
+                         cold run under the same policy"
+                    );
+                    compared += 1;
+                }
+            }
+            Err(ref e) => {
+                assert!(!e.class().is_empty());
+                if spec.kind != JobKind::InjectPanic {
+                    assert_ne!(
+                        e.class(),
+                        "panic",
+                        "a {} job panicked under reordering: {e}",
+                        spec.kind.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(compared > 20, "the stream must have exercised reordered serving");
+    // Under a generous budget the exact tier completes whatever the
+    // order, and reordering changes the diagram, never the verdict: the
+    // reorder-policy answer equals the fixed-order answer outright.
+    let generous = JobSpec::new(JobKind::Power, blifs[0].clone());
+    let (reordered, _) = cold_run(&generous, &policy);
+    let (fixed, _) = cold_run(&generous, &ExecPolicy::default());
+    assert_eq!(
+        reordered.expect("generous reordered run"),
+        fixed.expect("generous fixed-order run"),
+        "order policy must not change a generously-budgeted verdict"
+    );
+    let stats = server.shutdown_drain();
+    assert_eq!(stats.submitted, 120);
+    assert_eq!(stats.completed + stats.failed, 120);
+}
+
 /// A deadline that is already over at admission is refused before any
 /// work happens, with the typed deadline class and zero attempts.
 #[test]
