@@ -25,8 +25,15 @@
 //! engine loses its rewrite win: work ratio above [`MAX_WORK_RATIO`]
 //! without the wall-clock rescue of [`RESCUE_PATTERNS_PER_SEC`]. The
 //! deterministic ratio is the primary criterion — it is meaningful on a
-//! noisy CI box where timings are not. On hosts with 4+ cores the
-//! `--jobs 4` speedup must also clear [`MIN_SPEEDUP_4CORE`].
+//! noisy CI box where timings are not. The comb workloads also time a
+//! serial run with the scalar `u64` reference path
+//! (`with_scalar_reference(true)`): the wide/scalar throughput **ratio**
+//! compares two runs on the same machine in the same process, so like the
+//! work ratio it survives slow CI hardware, and on the primary wallace
+//! workload it must clear [`MIN_WIDE_RATIO`] (wall-clock rescue:
+//! [`WIDE_RESCUE_PATTERNS_PER_SEC`]). The `--jobs 4` speedup gate
+//! [`MIN_SPEEDUP_4CORE`] fires only when that run actually had 4 cores to
+//! itself (`oversubscribed: false`).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -57,10 +64,25 @@ const MAX_WORK_RATIO: f64 = 0.75;
 /// >=10x the pre-rewrite engine's ~38k patterns/s on the glitch workload.
 const RESCUE_PATTERNS_PER_SEC: f64 = 380_000.0;
 
-/// `--check`: required `--jobs 4` speedup, enforced only when the host
-/// has at least 4 cores (an oversubscribed sweep says nothing about
-/// sharding).
+/// `--check`: required `--jobs 4` speedup, enforced only when the 4-job
+/// run was not oversubscribed (an oversubscribed sweep says nothing
+/// about sharding).
 const MIN_SPEEDUP_4CORE: f64 = 1.5;
+
+/// `--check`: required serial wide/scalar throughput ratio on the
+/// primary comb workload (`comb/wallace_multiplier_8`). The 256-bit path
+/// evaluates four blocks per sweep; 2x leaves room for memory-bound
+/// netlists while still proving the lanes are engaged. Ratio of two runs
+/// in the same process, so it is robust to slow CI hardware.
+const MIN_WIDE_RATIO: f64 = 2.0;
+
+/// `--check`: wall-clock rescue for a wide-ratio miss — 2.5x the
+/// pre-wide committed wallace baseline of ~15.2M patterns/s. A host fast
+/// enough to clear this absolute bar has nothing to prove about lanes.
+const WIDE_RESCUE_PATTERNS_PER_SEC: f64 = 38_000_000.0;
+
+/// Workload gated by [`MIN_WIDE_RATIO`].
+const WIDE_PRIMARY_WORKLOAD: &str = "comb/wallace_multiplier_8";
 
 struct Run {
     jobs: usize,
@@ -84,11 +106,21 @@ struct EventStats {
     work_ratio: f64,
 }
 
+/// Serial wide-vs-scalar comparison for a comb workload.
+struct WideStats {
+    /// Serial throughput with the scalar `u64` reference path forced.
+    scalar_patterns_per_sec: f64,
+    /// Serial wide throughput / scalar throughput (same process, same
+    /// machine — robust to absolute host speed).
+    ratio: f64,
+}
+
 struct Workload {
     name: &'static str,
     patterns: usize,
     runs: Vec<Run>,
     events: Option<EventStats>,
+    wide: Option<WideStats>,
 }
 
 /// Exact bit pattern of a profile: the determinism contract is that these
@@ -139,7 +171,7 @@ fn measure(
             }
         })
         .collect();
-    Workload { name, patterns, runs, events: None }
+    Workload { name, patterns, runs, events: None, wide: None }
 }
 
 /// One serial obs-enabled run to collect the event engine's counters.
@@ -204,6 +236,39 @@ fn workloads(host_cores: usize) -> Vec<Workload> {
             _ => {}
         }
     }
+    // Serial wide-vs-scalar ratio on the comb workloads: same netlist,
+    // same stream, scalar `u64` reference path forced in-process. The two
+    // sides are timed interleaved, back to back, best-of-many — a comb
+    // rep is sub-millisecond, so measuring the sides minutes apart (as
+    // reusing the main sweep's serial time would) lets box-level drift
+    // pollute the ratio the gate rides on.
+    let scalar_wallace = CombSim::new(&wallace).with_scalar_reference(true);
+    let scalar_ks = CombSim::new(&ks).with_scalar_reference(true);
+    for (name, scalar_sim, wide_sim, pat) in [
+        ("comb/wallace_multiplier_8", &scalar_wallace, &comb_wallace, &wallace_pat),
+        ("comb/kogge_stone_adder_16", &scalar_ks, &comb_ks, &ks_pat),
+    ] {
+        // Pre-pack once: pattern packing costs the same on both sides and
+        // would only dilute the evaluation ratio the gate is about.
+        let packed = lowpower::sim::stimulus::PackedPatterns::pack(pat);
+        let _ = (scalar_sim.activity_packed(&packed), wide_sim.activity_packed(&packed));
+        let (mut wide_secs, mut scalar_secs) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..4 * REPS {
+            let start = Instant::now();
+            let _ = wide_sim.activity_packed(&packed);
+            wide_secs = wide_secs.min(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            let _ = scalar_sim.activity_packed(&packed);
+            scalar_secs = scalar_secs.min(start.elapsed().as_secs_f64());
+        }
+        let scalar_pps = pat.len() as f64 / scalar_secs;
+        if let Some(wl) = loads.iter_mut().find(|wl| wl.name == name) {
+            wl.wide = Some(WideStats {
+                scalar_patterns_per_sec: scalar_pps,
+                ratio: scalar_secs / wide_secs,
+            });
+        }
+    }
     loads
 }
 
@@ -228,6 +293,13 @@ fn to_json(host_cores: usize, loads: &[Workload]) -> String {
                 "      \"events\": {{\"processed\": {}, \"enqueued\": {}, \"cancelled\": {}, \
                  \"coalesced\": {}, \"work_ratio\": {:.4}}},",
                 ev.processed, ev.enqueued, ev.cancelled, ev.coalesced, ev.work_ratio
+            );
+        }
+        if let Some(w) = &wl.wide {
+            let _ = writeln!(
+                out,
+                "      \"wide\": {{\"scalar_patterns_per_sec\": {:.1}, \"ratio\": {:.3}}},",
+                w.scalar_patterns_per_sec, w.ratio
             );
         }
         out.push_str("      \"runs\": [\n");
@@ -286,6 +358,12 @@ fn main() {
                 "", ev.processed, ev.work_ratio
             );
         }
+        if let Some(w) = &wl.wide {
+            println!(
+                "  {:<36} {:>10.0} pat/s scalar reference, wide ratio {:.2}x",
+                "", w.scalar_patterns_per_sec, w.ratio
+            );
+        }
     }
 
     if check {
@@ -327,22 +405,43 @@ fn main() {
                     ok = false;
                 }
             }
-            if host_cores >= 4 {
-                if let Some(run4) = wl.runs.iter().find(|r| r.jobs == 4) {
-                    if run4.speedup < MIN_SPEEDUP_4CORE {
-                        eprintln!(
-                            "check FAILED: {} speedup {:.2}x at 4 jobs < {MIN_SPEEDUP_4CORE}x \
-                             on a {host_cores}-core host",
-                            wl.name, run4.speedup
-                        );
-                        ok = false;
-                    }
+            if let Some(w) = &wl.wide {
+                // Like the work ratio, the wide ratio compares two runs
+                // on the same host, so it is the primary criterion; the
+                // absolute bar rescues machines whose memory system (not
+                // ALU width) bounds the packed sweep.
+                let serial = wl.runs[0].patterns_per_sec;
+                if wl.name == WIDE_PRIMARY_WORKLOAD
+                    && w.ratio < MIN_WIDE_RATIO
+                    && serial < WIDE_RESCUE_PATTERNS_PER_SEC
+                {
+                    eprintln!(
+                        "check FAILED: {} wide/scalar ratio {:.2}x < {MIN_WIDE_RATIO}x and \
+                         serial {serial:.0} pat/s < {WIDE_RESCUE_PATTERNS_PER_SEC:.0}",
+                        wl.name, w.ratio
+                    );
+                    ok = false;
+                }
+            }
+            // Only a non-oversubscribed 4-job run says anything about
+            // sharding quality; on smaller hosts the run still executes
+            // (bit-identity above) but its timing is not gated.
+            if let Some(run4) = wl.runs.iter().find(|r| r.jobs == 4 && !r.oversubscribed) {
+                if run4.speedup < MIN_SPEEDUP_4CORE {
+                    eprintln!(
+                        "check FAILED: {} speedup {:.2}x at 4 jobs < {MIN_SPEEDUP_4CORE}x \
+                         on a {host_cores}-core host",
+                        wl.name, run4.speedup
+                    );
+                    ok = false;
                 }
             }
         }
         if !ok {
             std::process::exit(1);
         }
-        println!("check ok: event rewrite holds its win, shards stay bit-identical");
+        println!(
+            "check ok: event rewrite holds its win, wide lanes engaged, shards stay bit-identical"
+        );
     }
 }

@@ -110,46 +110,67 @@ impl GateKind {
 
     /// Evaluate four 64-pattern words at once (256 patterns per call).
     ///
+    /// Thin wrapper over [`GateKind::eval_wide`] at the default lane count.
+    pub fn eval_word4(self, inputs: &[u64]) -> [u64; 4] {
+        self.eval_wide::<4>(inputs)
+    }
+
+    /// Evaluate `L` 64-pattern words at once (`64 * L` patterns per call).
+    ///
     /// `inputs` holds the fanin words lane-grouped: fanin `f` occupies
-    /// `inputs[4*f .. 4*f+4]`. Lane `l` of the result is exactly
-    /// `eval_word` over lane `l` of every fanin — the 4-wide unroll exists
-    /// so the compiler can keep the fold in one 256-bit vector register
-    /// instead of chasing a serial dependency chain of single words.
+    /// `inputs[L*f .. L*f+L]`. Lane `l` of the result is exactly
+    /// `eval_word` over lane `l` of every fanin — the L-wide unroll exists
+    /// so the compiler can keep the fold in one wide vector register
+    /// (256-bit at `L = 4`) instead of chasing a serial dependency chain
+    /// of single words. Plain array loops only: rustc autovectorizes this
+    /// on stable, and widening to 512-bit is `L = 8` at the call site.
     ///
     /// # Panics
     ///
     /// Panics for [`GateKind::Input`], which has no evaluation.
-    pub fn eval_word4(self, inputs: &[u64]) -> [u64; 4] {
+    pub fn eval_wide<const L: usize>(self, inputs: &[u64]) -> [u64; L] {
         #[inline(always)]
-        fn fold4(inputs: &[u64], init: u64, f: impl Fn(u64, u64) -> u64) -> [u64; 4] {
-            let mut acc = [init; 4];
-            for fanin in inputs.chunks_exact(4) {
-                acc[0] = f(acc[0], fanin[0]);
-                acc[1] = f(acc[1], fanin[1]);
-                acc[2] = f(acc[2], fanin[2]);
-                acc[3] = f(acc[3], fanin[3]);
+        fn fold<const L: usize>(
+            inputs: &[u64],
+            init: u64,
+            f: impl Fn(u64, u64) -> u64,
+        ) -> [u64; L] {
+            let mut acc = [init; L];
+            for fanin in inputs.chunks_exact(L) {
+                for l in 0..L {
+                    acc[l] = f(acc[l], fanin[l]);
+                }
             }
             acc
         }
         #[inline(always)]
-        fn not4(w: [u64; 4]) -> [u64; 4] {
-            [!w[0], !w[1], !w[2], !w[3]]
+        fn notl<const L: usize>(mut w: [u64; L]) -> [u64; L] {
+            for l in 0..L {
+                w[l] = !w[l];
+            }
+            w
+        }
+        #[inline(always)]
+        fn first<const L: usize>(inputs: &[u64]) -> [u64; L] {
+            let mut out = [0u64; L];
+            out.copy_from_slice(&inputs[..L]);
+            out
         }
         match self {
             GateKind::Input => panic!("primary inputs have no evaluation"),
-            GateKind::Const(v) => [if v { u64::MAX } else { 0 }; 4],
-            GateKind::Buf | GateKind::Dff => [inputs[0], inputs[1], inputs[2], inputs[3]],
-            GateKind::Not => not4([inputs[0], inputs[1], inputs[2], inputs[3]]),
-            GateKind::And => fold4(inputs, u64::MAX, |a, w| a & w),
-            GateKind::Or => fold4(inputs, 0, |a, w| a | w),
-            GateKind::Nand => not4(fold4(inputs, u64::MAX, |a, w| a & w)),
-            GateKind::Nor => not4(fold4(inputs, 0, |a, w| a | w)),
-            GateKind::Xor => fold4(inputs, 0, |a, w| a ^ w),
-            GateKind::Xnor => not4(fold4(inputs, 0, |a, w| a ^ w)),
+            GateKind::Const(v) => [if v { u64::MAX } else { 0 }; L],
+            GateKind::Buf | GateKind::Dff => first(inputs),
+            GateKind::Not => notl(first::<L>(inputs)),
+            GateKind::And => fold(inputs, u64::MAX, |a, w| a & w),
+            GateKind::Or => fold(inputs, 0, |a, w| a | w),
+            GateKind::Nand => notl(fold(inputs, u64::MAX, |a, w| a & w)),
+            GateKind::Nor => notl(fold(inputs, 0, |a, w| a | w)),
+            GateKind::Xor => fold(inputs, 0, |a, w| a ^ w),
+            GateKind::Xnor => notl(fold(inputs, 0, |a, w| a ^ w)),
             GateKind::Mux => {
-                let mut out = [0u64; 4];
-                for l in 0..4 {
-                    let (sel, a, b) = (inputs[l], inputs[4 + l], inputs[8 + l]);
+                let mut out = [0u64; L];
+                for l in 0..L {
+                    let (sel, a, b) = (inputs[l], inputs[L + l], inputs[2 * L + l]);
                     out[l] = (sel & b) | (!sel & a);
                 }
                 out

@@ -24,7 +24,7 @@ use budget::{BudgetExceeded, ResourceBudget};
 use netlist::Netlist;
 use sim::comb::CombSim;
 use sim::seq::SeqSim;
-use sim::stimulus::Stimulus;
+use sim::stimulus::{PackedPatterns, PatternSet, Stimulus};
 use sim::ActivityProfile;
 
 use crate::exact;
@@ -185,6 +185,91 @@ impl std::fmt::Display for ChainError {
 
 impl std::error::Error for ChainError {}
 
+/// Everything that determines a generated stimulus stream, so a resident
+/// cache can tell "same stream again" from "new stream".
+#[derive(Debug, Clone, PartialEq)]
+struct StimKey {
+    width: usize,
+    cycles: usize,
+    seed: u64,
+    /// Bit patterns of the biased per-input probabilities; `None` for the
+    /// uniform stimulus. Bits, not floats, so the key stays `Eq`-clean.
+    bias: Option<Vec<u64>>,
+}
+
+impl StimKey {
+    fn new(cfg: &ChainConfig, probs: &[f64], width: usize, cycles: usize) -> StimKey {
+        StimKey {
+            width,
+            cycles,
+            seed: cfg.seed,
+            bias: cfg
+                .input_probs
+                .is_some()
+                .then(|| probs.iter().map(|p| p.to_bits()).collect()),
+        }
+    }
+}
+
+/// Resident stimulus for the sampled tier: the packed (combinational) and
+/// per-cycle (sequential) forms of the last stream generated, keyed on
+/// everything that determines the stream. Long-lived callers — the serve
+/// workers hold one next to their [`exact::CircuitBddCache`] — regenerate
+/// and re-transpose nothing when consecutive jobs share a stimulus spec,
+/// which is the common case for optimization loops hammering one circuit
+/// family with a fixed seed.
+#[derive(Debug, Default)]
+pub struct StimulusCache {
+    packed_key: Option<StimKey>,
+    packed: Option<PackedPatterns>,
+    seq_key: Option<StimKey>,
+    seq: Option<PatternSet>,
+    hits: u64,
+}
+
+impl StimulusCache {
+    /// An empty cache.
+    pub fn new() -> StimulusCache {
+        StimulusCache::default()
+    }
+
+    /// Streams served from the cache instead of regenerated, over the
+    /// cache's lifetime. Serve workers report the per-job delta as the
+    /// `serve.patterns.reuse` counter.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Drop all resident streams (the hit count survives). Used by the
+    /// serve workers' post-panic quarantine reset.
+    pub fn clear(&mut self) {
+        self.packed_key = None;
+        self.packed = None;
+        self.seq_key = None;
+        self.seq = None;
+    }
+
+    fn packed_for(&mut self, stimulus: &Stimulus, key: StimKey) -> &PackedPatterns {
+        if self.packed.is_some() && self.packed_key.as_ref() == Some(&key) {
+            self.hits += 1;
+        } else {
+            self.packed = Some(stimulus.packed(key.cycles, key.seed));
+            self.packed_key = Some(key);
+        }
+        self.packed.as_ref().expect("filled above")
+    }
+
+    fn patterns_for(&mut self, stimulus: &Stimulus, key: StimKey) -> &PatternSet {
+        if self.seq.is_some() && self.seq_key.as_ref() == Some(&key) {
+            self.hits += 1;
+        } else {
+            self.seq = Some(stimulus.patterns(key.cycles, key.seed));
+            self.seq_key = Some(key);
+        }
+        self.seq.as_ref().expect("filled above")
+    }
+}
+
 /// `input_probs` normalized to exactly `width` entries (0.5 fills gaps).
 fn normalized_probs(cfg: &ChainConfig, width: usize) -> Vec<f64> {
     let mut probs = vec![0.5; width];
@@ -225,6 +310,20 @@ pub fn estimate_activity_cached(
     cfg: &ChainConfig,
     cache: &mut exact::CircuitBddCache,
 ) -> Result<ChainEstimate, ChainError> {
+    estimate_activity_resident(nl, budget, cfg, cache, None)
+}
+
+/// [`estimate_activity_cached`] plus a resident [`StimulusCache`] for the
+/// sampled tier: when consecutive calls share a stimulus spec (width,
+/// cycles after budget fitting, seed, bias), the generated — and, for
+/// combinational circuits, packed — stream is reused instead of rebuilt.
+pub fn estimate_activity_resident(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    cfg: &ChainConfig,
+    cache: &mut exact::CircuitBddCache,
+    mut stim: Option<&mut StimulusCache>,
+) -> Result<ChainEstimate, ChainError> {
     let probs = normalized_probs(cfg, nl.num_inputs());
     let obs = &cfg.obs;
     let _chain_span = obs.span("chain.estimate");
@@ -239,7 +338,7 @@ pub fn estimate_activity_cached(
             Tier::Probabilistic => {
                 prob::try_activity(nl, &probs, cfg.max_sweeps, cfg.tolerance, budget)
             }
-            Tier::SampledSim => sampled_activity(nl, budget, cfg, &probs),
+            Tier::SampledSim => sampled_activity(nl, budget, cfg, &probs, stim.as_deref_mut()),
         };
         let elapsed = obs.now().saturating_sub(t0);
         span.close();
@@ -286,6 +385,7 @@ fn sampled_activity(
     budget: &ResourceBudget,
     cfg: &ChainConfig,
     probs: &[f64],
+    stim: Option<&mut StimulusCache>,
 ) -> Result<ActivityProfile, BudgetExceeded> {
     let nets = nl.len().max(1) as u64;
     let fit = (budget.max_sim_steps_or(u64::MAX).saturating_sub(1) / nets) as usize;
@@ -298,18 +398,29 @@ fn sampled_activity(
     } else {
         Stimulus::uniform(nl.num_inputs())
     };
+    // The key holds post-fitting cycles: a budget that shrinks the sample
+    // is a different stream, never a false cache hit.
+    let key = StimKey::new(cfg, probs, nl.num_inputs(), cycles);
     if nl.is_combinational() {
         // Pack straight into the engine's word layout; the per-call
         // transpose in try_activity_jobs is skipped.
-        let packed = stimulus.packed(cycles, cfg.seed);
+        let mut local = None;
+        let packed: &PackedPatterns = match stim {
+            Some(cache) => cache.packed_for(&stimulus, key),
+            None => local.insert(stimulus.packed(cycles, cfg.seed)),
+        };
         CombSim::new(nl)
             .with_obs(cfg.obs.clone())
-            .try_activity_packed_jobs(&packed, cfg.jobs, budget)
+            .try_activity_packed_jobs(packed, cfg.jobs, budget)
     } else {
-        let patterns = stimulus.patterns(cycles, cfg.seed);
+        let mut local = None;
+        let patterns: &PatternSet = match stim {
+            Some(cache) => cache.patterns_for(&stimulus, key),
+            None => local.insert(stimulus.patterns(cycles, cfg.seed)),
+        };
         Ok(SeqSim::new(nl)
             .with_obs(cfg.obs.clone())
-            .try_activity_jobs(&patterns, cfg.jobs, budget)?
+            .try_activity_jobs(patterns, cfg.jobs, budget)?
             .profile)
     }
 }
@@ -338,6 +449,23 @@ pub fn estimate_power_cached(
     cache: &mut exact::CircuitBddCache,
 ) -> Result<(PowerReport, ChainEstimate), ChainError> {
     let estimate = estimate_activity_cached(nl, budget, cfg, cache)?;
+    let report = PowerReport::from_activity(nl, &estimate.profile, params);
+    Ok((report, estimate))
+}
+
+/// [`estimate_power_cached`] plus a resident [`StimulusCache`]. This is
+/// the serve workers' entry point: both caches live for the worker's
+/// lifetime, so back-to-back jobs with a shared stimulus spec skip the
+/// stream generation and pack entirely.
+pub fn estimate_power_resident(
+    nl: &Netlist,
+    budget: &ResourceBudget,
+    cfg: &ChainConfig,
+    params: &PowerParams,
+    cache: &mut exact::CircuitBddCache,
+    stim: &mut StimulusCache,
+) -> Result<(PowerReport, ChainEstimate), ChainError> {
+    let estimate = estimate_activity_resident(nl, budget, cfg, cache, Some(stim))?;
     let report = PowerReport::from_activity(nl, &estimate.profile, params);
     Ok((report, estimate))
 }
@@ -449,6 +577,49 @@ mod tests {
             reference.total().to_bits(),
             "chain sampled tier must equal measure_sequence bit-for-bit"
         );
+    }
+
+    #[test]
+    fn resident_stimulus_cache_reuses_streams_bit_identically() {
+        let (comb, _) = ripple_adder(4);
+        let seq = pipelined_multiplier(3);
+        let cfg = ChainConfig {
+            tiers: vec![Tier::SampledSim],
+            sample_cycles: 200,
+            seed: 9,
+            ..ChainConfig::default()
+        };
+        let budget = ResourceBudget::unlimited();
+        let mut bdd = exact::CircuitBddCache::with_capacity(1);
+        let mut stim = StimulusCache::new();
+        let first =
+            estimate_activity_resident(&comb, &budget, &cfg, &mut bdd, Some(&mut stim)).unwrap();
+        assert_eq!(stim.hits(), 0, "first stream is a miss");
+        let again =
+            estimate_activity_resident(&comb, &budget, &cfg, &mut bdd, Some(&mut stim)).unwrap();
+        assert_eq!(stim.hits(), 1, "same spec reuses the packed stream");
+        assert_eq!(first.profile, again.profile);
+        assert_eq!(
+            first.profile,
+            estimate_activity(&comb, &budget, &cfg).unwrap().profile,
+            "cached stream must not change the answer"
+        );
+        // Sequential streams cache independently of packed ones.
+        let seq_first =
+            estimate_activity_resident(&seq, &budget, &cfg, &mut bdd, Some(&mut stim)).unwrap();
+        assert_eq!(stim.hits(), 1, "different form, different slot: miss");
+        let seq_again =
+            estimate_activity_resident(&seq, &budget, &cfg, &mut bdd, Some(&mut stim)).unwrap();
+        assert_eq!(stim.hits(), 2);
+        assert_eq!(seq_first.profile, seq_again.profile);
+        // A different seed is a different stream, never a false hit.
+        let reseeded = ChainConfig { seed: 10, ..cfg.clone() };
+        estimate_activity_resident(&comb, &budget, &reseeded, &mut bdd, Some(&mut stim)).unwrap();
+        assert_eq!(stim.hits(), 2, "seed change must miss");
+        // clear() drops the streams but keeps the lifetime hit count.
+        stim.clear();
+        estimate_activity_resident(&comb, &budget, &reseeded, &mut bdd, Some(&mut stim)).unwrap();
+        assert_eq!(stim.hits(), 2, "cleared cache rebuilds");
     }
 
     #[test]

@@ -21,7 +21,9 @@ use std::time::Instant;
 use budget::{Resource, ResourceBudget};
 use netlist::blif::parse_text;
 use netlist::NetlistStats;
-use power::chain::{estimate_power_cached, ChainConfig, ChainError, ChainEstimate, Tier};
+use power::chain::{
+    estimate_power_resident, ChainConfig, ChainError, ChainEstimate, StimulusCache, Tier,
+};
 use power::exact::CircuitBddCache;
 use power::model::PowerParams;
 
@@ -36,6 +38,10 @@ const DONTCARE_INPUT_LIMIT: usize = 18;
 pub struct WorkerState {
     /// Warm circuit-BDD cache feeding the exact estimation tier.
     pub cache: CircuitBddCache,
+    /// Resident stimulus for the sampled tier: built once, reused across
+    /// every job on this worker that shares a stimulus spec. Reuse is
+    /// surfaced as the `serve.patterns.reuse` counter.
+    pub patterns: StimulusCache,
     /// Jobs this worker has finished (drives periodic checkpoints).
     pub jobs_done: u64,
     cache_capacity: usize,
@@ -46,6 +52,7 @@ impl WorkerState {
     pub fn new(cache_capacity: usize) -> WorkerState {
         WorkerState {
             cache: CircuitBddCache::with_capacity(cache_capacity),
+            patterns: StimulusCache::new(),
             jobs_done: 0,
             cache_capacity,
         }
@@ -54,6 +61,7 @@ impl WorkerState {
     /// Discard every cache (after a caught panic may have torn them).
     pub fn reset_caches(&mut self) {
         self.cache = CircuitBddCache::with_capacity(self.cache_capacity);
+        self.patterns.clear();
     }
 }
 
@@ -229,8 +237,20 @@ fn run_power(
         cfg.tiers = vec![Tier::Probabilistic, Tier::SampledSim];
     }
     let params = PowerParams::default();
-    let (report, est) = estimate_power_cached(&nl, budget, &cfg, &params, &mut state.cache)
-        .map_err(RunError::Chain)?;
+    let hits_before = state.patterns.hits();
+    let (report, est) = estimate_power_resident(
+        &nl,
+        budget,
+        &cfg,
+        &params,
+        &mut state.cache,
+        &mut state.patterns,
+    )
+    .map_err(RunError::Chain)?;
+    let reused = state.patterns.hits() - hits_before;
+    if reused > 0 {
+        policy.obs.add("serve.patterns.reuse", reused);
+    }
     Ok(JobOutput {
         text: describe_power(&report.to_string(), &est),
         tier: Some(est.tier.name().to_string()),

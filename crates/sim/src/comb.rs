@@ -11,6 +11,7 @@ use netlist::{GateKind, NetId, Netlist};
 use crate::par;
 use crate::profile::ActivityProfile;
 use crate::stimulus::{PackedPatterns, PatternSet};
+use crate::wide::{self, LANES};
 
 /// Reusable scratch buffers for [`CombSim`] hot loops.
 ///
@@ -49,6 +50,11 @@ pub struct CombSim<'a> {
     nl: &'a Netlist,
     order: Vec<NetId>,
     obs: obs::Obs,
+    /// Use the wide ([`LANES`]-block) evaluation path for full groups.
+    /// `LPOPT_WIDE_SCALAR=1` (or [`CombSim::with_scalar_reference`]) forces
+    /// the scalar `u64` reference path instead; both produce bit-identical
+    /// counts.
+    wide: bool,
 }
 
 impl<'a> CombSim<'a> {
@@ -65,7 +71,16 @@ impl<'a> CombSim<'a> {
             nl,
             order,
             obs: obs::Obs::disabled(),
+            wide: !wide::scalar_env(),
         }
+    }
+
+    /// Force (or lift) the scalar one-word-at-a-time reference path. The
+    /// wide path is the default; benchmarks use this to measure the wide
+    /// speedup in-process, tests to pin bit-identity.
+    pub fn with_scalar_reference(mut self, scalar: bool) -> CombSim<'a> {
+        self.wide = !scalar;
+        self
     }
 
     /// Attach an observability handle. Work counters (`sim.comb.cycles`,
@@ -108,46 +123,66 @@ impl<'a> CombSim<'a> {
         }
     }
 
-    /// Evaluate four 64-pattern blocks at once (256 patterns per pass over
-    /// the netlist), the 4-word-unrolled sibling of
+    /// Evaluate [`LANES`] 64-pattern blocks at once (one wide word — 256
+    /// patterns — per pass over the netlist), the wide sibling of
     /// [`CombSim::eval_words_into`].
     ///
-    /// `blocks` are four consecutive packed input blocks; `values` comes
-    /// back lane-interleaved (`values[4*net + lane]` is block `lane`'s word
-    /// for `net`), so each gate's four words sit in one cache line and the
-    /// per-gate fold vectorizes to 256-bit ops. Lane `lane` is bit-identical
-    /// to `eval_words_into(blocks[lane], ..)`.
-    pub fn eval_words4_into(
-        &self,
-        blocks: [&[u64]; 4],
-        values: &mut Vec<u64>,
-        scratch: &mut Vec<u64>,
-    ) {
-        for b in &blocks {
-            assert_eq!(b.len(), self.nl.num_inputs(), "input word count");
-        }
+    /// `inputs` is one wide group straight out of
+    /// [`PackedPatterns::wide_block`]: `width * LANES` words with input
+    /// `i`'s lanes contiguous at `[i * LANES ..]`. `values` comes back
+    /// lane-grouped the same way (`values[LANES*net + lane]` is block
+    /// `lane`'s word for `net`), so each gate's lanes sit in one cache
+    /// line and the per-gate fold vectorizes to 256-bit ops with **no
+    /// per-block gather**. Lane `lane` is bit-identical to
+    /// `eval_words_into` over that lane's block.
+    pub fn eval_wide_into(&self, inputs: &[u64], values: &mut Vec<u64>, scratch: &mut Vec<u64>) {
+        assert_eq!(
+            inputs.len(),
+            self.nl.num_inputs() * LANES,
+            "input word count"
+        );
         values.clear();
-        values.resize(4 * self.nl.len(), 0);
+        values.resize(LANES * self.nl.len(), 0);
         for (i, &pi) in self.nl.inputs().iter().enumerate() {
-            let base = 4 * pi.index();
-            values[base] = blocks[0][i];
-            values[base + 1] = blocks[1][i];
-            values[base + 2] = blocks[2][i];
-            values[base + 3] = blocks[3][i];
+            let base = LANES * pi.index();
+            values[base..base + LANES].copy_from_slice(&inputs[i * LANES..(i + 1) * LANES]);
+        }
+        // The common arities (1..=3 cover every gate the generators emit)
+        // gather fanin lanes into fixed-size stack buffers, so the slice
+        // length reaching `eval_wide` is a compile-time constant and the
+        // whole gather + fold stays unrolled in vector registers. The heap
+        // scratch remains as the any-arity spill path.
+        #[inline(always)]
+        fn gather<const F: usize>(values: &[u64], fanins: &[NetId]) -> [u64; F] {
+            let mut buf = [0u64; F];
+            for (f, &x) in fanins.iter().enumerate() {
+                let base = LANES * x.index();
+                buf[f * LANES..(f + 1) * LANES]
+                    .copy_from_slice(&values[base..base + LANES]);
+            }
+            buf
         }
         for &net in &self.order {
             let kind = self.nl.kind(net);
             if kind == GateKind::Input {
                 continue;
             }
-            scratch.clear();
-            for &x in self.nl.fanins(net) {
-                let base = 4 * x.index();
-                scratch.extend_from_slice(&values[base..base + 4]);
-            }
-            let out = kind.eval_word4(scratch);
-            let base = 4 * net.index();
-            values[base..base + 4].copy_from_slice(&out);
+            let fanins = self.nl.fanins(net);
+            let out = match fanins.len() {
+                1 => kind.eval_wide::<LANES>(&gather::<LANES>(values, fanins)),
+                2 => kind.eval_wide::<LANES>(&gather::<{ 2 * LANES }>(values, fanins)),
+                3 => kind.eval_wide::<LANES>(&gather::<{ 3 * LANES }>(values, fanins)),
+                _ => {
+                    scratch.clear();
+                    for &x in fanins {
+                        let base = LANES * x.index();
+                        scratch.extend_from_slice(&values[base..base + LANES]);
+                    }
+                    kind.eval_wide::<LANES>(scratch)
+                }
+            };
+            let base = LANES * net.index();
+            values[base..base + LANES].copy_from_slice(&out);
         }
     }
 
@@ -176,11 +211,15 @@ impl<'a> CombSim<'a> {
     /// to one clock read per ~16 blocks (~1024 cycles) so the budgeted
     /// path adds nothing measurable to the hot loop.
     ///
-    /// Runs of four consecutive full blocks go through the 4-word-unrolled
-    /// [`CombSim::eval_words4_into`] (one netlist walk per 256 patterns);
-    /// the remainder — and any partial tail block — falls back to the
+    /// Aligned runs of [`LANES`] full blocks go through the wide path
+    /// ([`CombSim::eval_wide_into`], one netlist walk per 256 patterns,
+    /// zero input gather); the remainder — any partial tail block, or
+    /// everything under the scalar-reference flag — falls back to the
     /// single-block path. Counting happens per lane with the same bit
     /// tricks either way, so the totals are bit-identical.
+    ///
+    /// Shard boundaries are aligned to wide groups by the caller, so
+    /// `blocks.start % LANES == 0` whenever the wide path is live.
     fn shard_counts(
         &self,
         packed: &PackedPatterns,
@@ -205,27 +244,27 @@ impl<'a> CombSim<'a> {
                 budget.check_deadline()?;
             }
             // Only the stream's final block can be partial, so checking
-            // the fourth block covers all four.
-            if block + 4 <= blocks.end && packed.block_cycles(block + 3) == 64 {
-                self.eval_words4_into(
-                    [
-                        packed.block(block),
-                        packed.block(block + 1),
-                        packed.block(block + 2),
-                        packed.block(block + 3),
-                    ],
+            // the group's last block covers the whole group.
+            if self.wide
+                && block.is_multiple_of(LANES)
+                && block + LANES <= blocks.end
+                && packed.block_cycles(block + LANES - 1) == 64
+            {
+                self.eval_wide_into(
+                    packed.wide_block(block / LANES),
                     &mut arena.values,
                     &mut arena.scratch,
                 );
-                for lane in 0..4 {
-                    accumulate_lane(&mut counts, &arena.values, 4, lane, 64, have_prev);
-                    have_prev = true;
-                }
-                cycles += 256;
-                block += 4;
-                step += 4;
+                accumulate_group(&mut counts, &arena.values, have_prev);
+                have_prev = true;
+                cycles += 64 * LANES;
+                block += LANES;
+                step += LANES;
             } else {
-                self.eval_words_into(packed.block(block), &mut arena.values, &mut arena.scratch);
+                arena.words.clear();
+                arena.words.resize(packed.width(), 0);
+                packed.block_into(block, &mut arena.words);
+                self.eval_words_into(&arena.words, &mut arena.values, &mut arena.scratch);
                 let w = packed.block_cycles(block);
                 cycles += w;
                 accumulate_lane(&mut counts, &arena.values, 1, 0, w, have_prev);
@@ -314,12 +353,18 @@ impl<'a> CombSim<'a> {
         budget.check_sim_steps(packed.cycles() as u64 * n.max(1) as u64)?;
         budget.check_deadline()?;
         let blocks = packed.num_blocks();
-        let shards = par::num_threads(jobs).min(blocks).max(1);
+        // Shard over wide groups so every shard's block range starts
+        // group-aligned and the wide path covers all its full groups.
+        let groups = packed.num_wide_blocks();
+        let shards = par::num_threads(jobs).min(groups).max(1);
         let counts = if shards <= 1 {
             par::record_shard_gauges(&self.obs, "comb", &[packed.cycles()]);
             vec![self.shard_counts(packed, 0..blocks, &mut CombArena::new(), budget)?]
         } else {
-            let ranges = par::shard_ranges(blocks, shards);
+            let ranges: Vec<std::ops::Range<usize>> = par::shard_ranges(groups, shards)
+                .into_iter()
+                .map(|r| (r.start * LANES)..(r.end * LANES).min(blocks))
+                .collect();
             if self.obs.is_enabled() {
                 let sizes: Vec<usize> = ranges
                     .iter()
@@ -406,6 +451,42 @@ fn accumulate_lane(
             counts.first[i] = v & 1 == 1;
         }
         counts.last[i] = v >> (w - 1) & 1 == 1;
+    }
+}
+
+/// Fold one full wide group (all [`LANES`] blocks at 64 valid cycles,
+/// lane-grouped as produced by [`CombSim::eval_wide_into`]) into the shard
+/// counts in a single pass over `values`. The per-lane bit tricks are the
+/// same as [`accumulate_lane`]'s, and the cross-lane boundary toggles are
+/// the same comparisons `accumulate_lane` makes through `counts.last`, so
+/// the integer sums — and therefore the profile — are bit-identical to
+/// folding the lanes one at a time. One pass instead of [`LANES`] strided
+/// ones matters: accumulation is roughly half the packed sweep, and this
+/// keeps each net's lanes in one cache line with the popcounts pipelined.
+#[inline(always)]
+fn accumulate_group(counts: &mut ShardCounts, values: &[u64], have_prev: bool) {
+    let n = counts.toggles.len();
+    const WITHIN: u64 = (1u64 << 63) - 1;
+    for i in 0..n {
+        let v: &[u64] = &values[i * LANES..(i + 1) * LANES];
+        let mut ones = 0u64;
+        let mut toggles = 0u64;
+        for l in 0..LANES {
+            ones += v[l].count_ones() as u64;
+            toggles += ((v[l] ^ (v[l] >> 1)) & WITHIN).count_ones() as u64;
+        }
+        for l in 1..LANES {
+            toggles += (v[l - 1] >> 63) ^ (v[l] & 1);
+        }
+        if have_prev && counts.last[i] != (v[0] & 1 == 1) {
+            toggles += 1;
+        }
+        if !have_prev {
+            counts.first[i] = v[0] & 1 == 1;
+        }
+        counts.last[i] = v[LANES - 1] >> 63 & 1 == 1;
+        counts.ones[i] += ones;
+        counts.toggles[i] += toggles;
     }
 }
 
@@ -557,26 +638,33 @@ mod tests {
     }
 
     #[test]
-    fn eval_words4_matches_single_block_lanes() {
+    fn eval_wide_matches_single_block_lanes() {
         let (nl, _) = array_multiplier(5);
         let sim = CombSim::new(&nl);
-        let packed = Stimulus::uniform(10).packed(256, 21);
-        let blocks = [
-            packed.block(0),
-            packed.block(1),
-            packed.block(2),
-            packed.block(3),
-        ];
+        let packed = Stimulus::uniform(10).packed(64 * LANES, 21);
         let mut wide = Vec::new();
         let mut scratch = Vec::new();
-        sim.eval_words4_into(blocks, &mut wide, &mut scratch);
+        sim.eval_wide_into(packed.wide_block(0), &mut wide, &mut scratch);
         let mut narrow = Vec::new();
-        for (lane, block) in blocks.iter().enumerate() {
-            sim.eval_words_into(block, &mut narrow, &mut scratch);
+        let mut words = vec![0u64; 10];
+        for lane in 0..LANES {
+            packed.block_into(lane, &mut words);
+            sim.eval_words_into(&words, &mut narrow, &mut scratch);
             for i in 0..nl.len() {
-                assert_eq!(wide[4 * i + lane], narrow[i], "net {i} lane {lane}");
+                assert_eq!(wide[LANES * i + lane], narrow[i], "net {i} lane {lane}");
             }
         }
+    }
+
+    #[test]
+    fn scalar_reference_is_bit_identical() {
+        let (nl, _) = array_multiplier(5);
+        let patterns = Stimulus::correlated(vec![0.4; 10]).patterns(777, 19);
+        let fast = CombSim::new(&nl).activity(&patterns);
+        let scalar = CombSim::new(&nl)
+            .with_scalar_reference(true)
+            .activity(&patterns);
+        assert_eq!(fast, scalar);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::par;
 use crate::profile::{ActivityProfile, QueueOccupancy};
 use crate::queue::{CalendarQueue, Scheduled};
 use crate::stimulus::PatternSet;
+use crate::wide::{self, LANES};
 
 /// Reusable per-worker buffers for the event loop: net values, the settled
 /// reference state, fanin scratch, the calendar queue and the per-bucket
@@ -183,6 +184,11 @@ pub struct EventSim<'a> {
     /// collapse the calendar queue to a two-array wavefront (see
     /// [`EventSim::shard_counts`]); `None` takes the general queue path.
     uniform_delay: Option<u32>,
+    /// Use the [`LANES`]-word (256-lane) dense blocks ahead of the 64-lane
+    /// ones. Off under `LPOPT_WIDE_SCALAR=1`; counters and activity are
+    /// bit-identical either way (lanes evolve independently, so the wide
+    /// popcount sums decompose exactly into the 64-lane ones).
+    wide: bool,
     obs: obs::Obs,
 }
 
@@ -281,6 +287,7 @@ impl<'a> EventSim<'a> {
             sinks,
             max_delay,
             uniform_delay,
+            wide: !wide::scalar_env(),
             obs: obs::Obs::disabled(),
         }
     }
@@ -291,6 +298,14 @@ impl<'a> EventSim<'a> {
     #[cfg(test)]
     pub(crate) fn force_general_queue(mut self) -> EventSim<'a> {
         self.uniform_delay = None;
+        self
+    }
+
+    /// Force (or lift) the 64-lane reference path (no 256-lane dense
+    /// blocks). Benchmarks use this to measure the wide speedup
+    /// in-process, tests to pin bit-identity.
+    pub fn with_scalar_reference(mut self, scalar: bool) -> EventSim<'a> {
+        self.wide = !scalar;
         self
     }
 
@@ -358,6 +373,61 @@ impl<'a> EventSim<'a> {
             GateKind::Input => {
                 debug_assert!(false, "inputs are never evaluated as sinks");
                 w[si]
+            }
+        }
+    }
+
+    /// [`EventSim::eval_net_word`] on [`LANES`] words (256 lanes) at once.
+    /// `w` is lane-grouped: net `x`'s words sit at `w[x*LANES .. +LANES]`.
+    /// Lane `l` is exactly `eval_net_word` over lane `l` of every net.
+    #[inline(always)]
+    fn eval_net_wide(&self, si: usize, w: &[u64]) -> [u64; LANES] {
+        #[inline(always)]
+        fn ld(w: &[u64], x: u32) -> [u64; LANES] {
+            let mut out = [0u64; LANES];
+            out.copy_from_slice(&w[x as usize * LANES..][..LANES]);
+            out
+        }
+        #[inline(always)]
+        fn fold(ins: &[u32], w: &[u64], init: u64, f: impl Fn(u64, u64) -> u64) -> [u64; LANES] {
+            let mut acc = [init; LANES];
+            for &x in ins {
+                let base = x as usize * LANES;
+                for l in 0..LANES {
+                    acc[l] = f(acc[l], w[base + l]);
+                }
+            }
+            acc
+        }
+        #[inline(always)]
+        fn notl(mut a: [u64; LANES]) -> [u64; LANES] {
+            for l in 0..LANES {
+                a[l] = !a[l];
+            }
+            a
+        }
+        let ins = &self.fanin_idx[self.fanin_off[si] as usize..self.fanin_off[si + 1] as usize];
+        match self.kinds[si] {
+            GateKind::And => fold(ins, w, u64::MAX, |a, x| a & x),
+            GateKind::Or => fold(ins, w, 0, |a, x| a | x),
+            GateKind::Nand => notl(fold(ins, w, u64::MAX, |a, x| a & x)),
+            GateKind::Nor => notl(fold(ins, w, 0, |a, x| a | x)),
+            GateKind::Not => notl(ld(w, ins[0])),
+            GateKind::Buf | GateKind::Dff => ld(w, ins[0]),
+            GateKind::Xor => fold(ins, w, 0, |a, x| a ^ x),
+            GateKind::Xnor => notl(fold(ins, w, 0, |a, x| a ^ x)),
+            GateKind::Mux => {
+                let (s, a, b) = (ld(w, ins[0]), ld(w, ins[1]), ld(w, ins[2]));
+                let mut out = [0u64; LANES];
+                for l in 0..LANES {
+                    out[l] = (s[l] & b[l]) | (!s[l] & a[l]);
+                }
+                out
+            }
+            GateKind::Const(v) => [if v { u64::MAX } else { 0 }; LANES],
+            GateKind::Input => {
+                debug_assert!(false, "inputs are never evaluated as sinks");
+                ld(w, si as u32)
             }
         }
     }
@@ -569,6 +639,146 @@ impl<'a> EventSim<'a> {
         Ok(())
     }
 
+    /// [`EventSim::dense_block`] on `64 * LANES` consecutive transitions
+    /// (256 lanes at the default [`LANES`]), with lane-grouped wide words
+    /// per net so each relaxation step folds whole [`crate::wide::WideWord`]s.
+    ///
+    /// Counters stay bit-identical to running the [`LANES`] 64-lane blocks
+    /// separately: lanes evolve independently under the Jacobi iteration,
+    /// every per-tick count is a popcount sum over lanes (which decomposes
+    /// exactly), and a lane whose block has already settled contributes
+    /// zero toggles, zero visits and zero enqueues to the extra ticks.
+    fn dense_block_wide(
+        &self,
+        prev: &[bool],
+        chunk: &[Vec<bool>],
+        arena: &mut EventArena,
+        counts: &mut EventCounts,
+        budget: &ResourceBudget,
+        local_steps: &mut u64,
+    ) -> Result<(), BudgetExceeded> {
+        debug_assert_eq!(chunk.len(), 64 * LANES);
+        let n = self.nl.len();
+        let inputs = self.nl.inputs();
+        arena.wcur.clear();
+        arena.wcur.resize(n * LANES, 0);
+        arena.wnext.clear();
+        arena.wnext.resize(n * LANES, 0);
+        arena.wsettled.clear();
+        arena.wsettled.resize(n * LANES, 0);
+        arena.win_init.clear();
+        arena.win_init.resize(inputs.len() * LANES, 0);
+        arena.win_next.clear();
+        arena.win_next.resize(inputs.len() * LANES, 0);
+        for j in 0..inputs.len() {
+            for l in 0..LANES {
+                let base = 64 * l;
+                let mut init = if l == 0 {
+                    prev[j] as u64
+                } else {
+                    chunk[base - 1][j] as u64
+                };
+                let mut next = 0u64;
+                for k in 0..64 {
+                    if k > 0 {
+                        init |= (chunk[base + k - 1][j] as u64) << k;
+                    }
+                    next |= (chunk[base + k][j] as u64) << k;
+                }
+                arena.win_init[j * LANES + l] = init;
+                arena.win_next[j * LANES + l] = next;
+            }
+        }
+        // Settle every lane's initial state in topological order.
+        for (j, &pi) in inputs.iter().enumerate() {
+            arena.wcur[pi.index() * LANES..][..LANES]
+                .copy_from_slice(&arena.win_init[j * LANES..][..LANES]);
+        }
+        for &net in &self.order {
+            let si = net.index();
+            if self.kinds[si] != GateKind::Input {
+                let out = self.eval_net_wide(si, &arena.wcur);
+                arena.wcur[si * LANES..][..LANES].copy_from_slice(&out);
+            }
+        }
+        arena.wsettled.copy_from_slice(&arena.wcur);
+        // Tick 0: the input transitions seed the frontier.
+        arena.wtoggled.clear();
+        for (j, &pi) in inputs.iter().enumerate() {
+            let i = pi.index();
+            let mut pc = 0u32;
+            for l in 0..LANES {
+                pc += (arena.win_init[j * LANES + l] ^ arena.win_next[j * LANES + l]).count_ones();
+            }
+            if pc != 0 {
+                arena.wcur[i * LANES..][..LANES]
+                    .copy_from_slice(&arena.win_next[j * LANES..][..LANES]);
+                counts.total[i] += pc as u64;
+                counts.processed += pc as u64;
+                counts.enqueued += pc as u64;
+                *local_steps += pc as u64;
+                arena.wtoggled.push((i as u32, pc));
+            }
+        }
+        // Jacobi relaxation, double-buffered exactly like the 64-lane path.
+        while !arena.wtoggled.is_empty() {
+            budget.check_deadline()?;
+            arena.wnext.copy_from_slice(&arena.wcur);
+            arena.sink_epoch += 1;
+            arena.wtoggled_next.clear();
+            let mut visits = 0u64;
+            let mut enq = 0u64;
+            for &(u, pc) in &arena.wtoggled {
+                let lo = self.fanout_off[u as usize] as usize;
+                let hi = self.fanout_off[u as usize + 1] as usize;
+                visits += (hi - lo) as u64 * pc as u64;
+                for &sink in &self.fanout_idx[lo..hi] {
+                    let si = sink as usize;
+                    if arena.sink_stamp[si] == arena.sink_epoch {
+                        continue;
+                    }
+                    arena.sink_stamp[si] = arena.sink_epoch;
+                    let out = self.eval_net_wide(si, &arena.wcur);
+                    let mut pc = 0u32;
+                    for l in 0..LANES {
+                        pc += (out[l] ^ arena.wcur[si * LANES + l]).count_ones();
+                    }
+                    if pc != 0 {
+                        arena.wnext[si * LANES..][..LANES].copy_from_slice(&out);
+                        counts.total[si] += pc as u64;
+                        enq += pc as u64;
+                        arena.wtoggled_next.push((sink, pc));
+                    }
+                }
+            }
+            counts.processed += enq;
+            counts.enqueued += enq;
+            counts.coalesced += visits - enq;
+            *local_steps += enq;
+            std::mem::swap(&mut arena.wcur, &mut arena.wnext);
+            std::mem::swap(&mut arena.wtoggled, &mut arena.wtoggled_next);
+        }
+        // Functional toggles and signal probabilities for all lanes.
+        for i in 0..n {
+            for l in 0..LANES {
+                counts.functional[i] +=
+                    u64::from((arena.wsettled[i * LANES + l] ^ arena.wcur[i * LANES + l]).count_ones());
+                counts.ones[i] += u64::from(arena.wcur[i * LANES + l].count_ones());
+            }
+        }
+        // Hand the last lane's settled state back to the scalar loop.
+        for i in 0..n {
+            arena.values[i] = arena.wcur[i * LANES + LANES - 1] >> 63 & 1 != 0;
+        }
+        #[cfg(debug_assertions)]
+        {
+            let mut chk = vec![false; n];
+            self.apply_and_settle(&chunk[64 * LANES - 1], &mut chk, &mut arena.ins);
+            debug_assert_eq!(chk, arena.values, "wide block must exit on the settled state");
+        }
+        Ok(())
+    }
+
     /// Count transitions over one contiguous shard.
     ///
     /// `prev_pattern` is the pattern applied in the cycle just before this
@@ -661,6 +871,16 @@ impl<'a> EventSim<'a> {
         };
         let mut idx = 0;
         while idx < rest.len() {
+            if dense_ok && self.wide && rest.len() - idx >= 64 * LANES {
+                let chunk = &rest[idx..idx + 64 * LANES];
+                for pattern in chunk {
+                    assert_eq!(pattern.len(), self.nl.num_inputs(), "pattern width");
+                }
+                self.dense_block_wide(prev, chunk, arena, &mut counts, budget, &mut local_steps)?;
+                prev = &chunk[64 * LANES - 1];
+                idx += 64 * LANES;
+                continue;
+            }
             if dense_ok && rest.len() - idx >= 64 {
                 let chunk = &rest[idx..idx + 64];
                 for pattern in chunk {

@@ -25,6 +25,7 @@ use netlist::{GateKind, NetId, Netlist};
 
 use crate::par;
 use crate::stimulus::PatternSet;
+use crate::wide::{self, LANES};
 
 /// The supported fault models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,6 +204,9 @@ impl CampaignReport {
 pub struct FaultArena {
     values: Vec<bool>,
     ins: Vec<bool>,
+    /// Lane-grouped word buffers for the packed combinational campaign.
+    w_vals: Vec<u64>,
+    w_ins: Vec<u64>,
 }
 
 /// Behavioral fault simulator bound to one netlist (combinational or
@@ -211,6 +215,7 @@ pub struct FaultArena {
 pub struct FaultSim<'a> {
     nl: &'a Netlist,
     order: Vec<NetId>,
+    wide: bool,
 }
 
 impl<'a> FaultSim<'a> {
@@ -221,7 +226,20 @@ impl<'a> FaultSim<'a> {
     /// Panics if the combinational part of the netlist is cyclic.
     pub fn new(nl: &'a Netlist) -> FaultSim<'a> {
         let order = nl.topo_order().expect("combinational part must be acyclic");
-        FaultSim { nl, order }
+        FaultSim {
+            nl,
+            order,
+            wide: !wide::scalar_env(),
+        }
+    }
+
+    /// Force (`true`) or re-enable the default for the scalar one-cycle
+    /// reference campaign. The packed campaign is bit-identical; this is
+    /// the in-process hook tests and benches use instead of
+    /// `LPOPT_WIDE_SCALAR`.
+    pub fn with_scalar_reference(mut self, scalar: bool) -> FaultSim<'a> {
+        self.wide = if scalar { false } else { !wide::scalar_env() };
+        self
     }
 
     /// Settle one cycle with an optional forced net value, writing all net
@@ -339,7 +357,7 @@ impl<'a> FaultSim<'a> {
         }
         let mut state: Vec<bool> =
             self.nl.dffs().iter().map(|&d| self.nl.dff_init(d)).collect();
-        let FaultArena { values, ins } = arena;
+        let FaultArena { values, ins, .. } = arena;
         let mut trace = Vec::with_capacity(patterns.len());
         let dff_slot = fault.and_then(|f| {
             self.nl.dffs().iter().position(|&d| d == f.net)
@@ -429,6 +447,24 @@ impl<'a> FaultSim<'a> {
         jobs: usize,
         budget: &ResourceBudget,
     ) -> Result<CampaignReport, FaultError> {
+        // Combinational campaigns run word-parallel: a faulty settle
+        // covers 64·LANES cycles at once, and a stuck-at run stops at the
+        // first differing group. State feedback makes the packed scheme
+        // unsound for sequential netlists, so those keep the scalar path.
+        if self.wide && self.nl.num_dffs() == 0 && !patterns.is_empty() {
+            self.campaign_packed(patterns, faults, jobs, budget)
+        } else {
+            self.campaign_scalar(patterns, faults, jobs, budget)
+        }
+    }
+
+    fn campaign_scalar(
+        &self,
+        patterns: &PatternSet,
+        faults: &[Fault],
+        jobs: usize,
+        budget: &ResourceBudget,
+    ) -> Result<CampaignReport, FaultError> {
         budget.check_deadline()?;
         let golden = self.golden(patterns);
         let run_cost = patterns.len() as u64 * self.nl.len().max(1) as u64;
@@ -450,6 +486,213 @@ impl<'a> FaultSim<'a> {
         Ok(CampaignReport {
             reports,
             cycles: patterns.len(),
+        })
+    }
+
+    /// Settle one wide group (64·LANES consecutive cycles) with an
+    /// optional forced net word. `input_words` is lane-grouped
+    /// (`input * LANES + lane`), as is the `values` output
+    /// (`net * LANES + lane`). Mirrors [`FaultSim::settle_forced`]:
+    /// the force lands before downstream gates read it and survives the
+    /// sweep even on sources.
+    fn settle_words_forced(
+        &self,
+        input_words: &[u64],
+        force: Option<(NetId, [u64; LANES])>,
+        values: &mut Vec<u64>,
+        ins: &mut Vec<u64>,
+    ) {
+        values.clear();
+        values.resize(self.nl.len() * LANES, 0);
+        for (i, &pi) in self.nl.inputs().iter().enumerate() {
+            values[pi.index() * LANES..][..LANES]
+                .copy_from_slice(&input_words[i * LANES..][..LANES]);
+        }
+        if let Some((net, w)) = force {
+            values[net.index() * LANES..][..LANES].copy_from_slice(&w);
+        }
+        for &net in &self.order {
+            let kind = self.nl.kind(net);
+            if kind.is_source() {
+                if let GateKind::Const(c) = kind {
+                    if force.map(|(f, _)| f) != Some(net) {
+                        values[net.index() * LANES..][..LANES]
+                            .fill(if c { u64::MAX } else { 0 });
+                    }
+                }
+                continue;
+            }
+            ins.clear();
+            for f in self.nl.fanins(net) {
+                ins.extend_from_slice(&values[f.index() * LANES..][..LANES]);
+            }
+            let out = kind.eval_wide::<LANES>(ins);
+            values[net.index() * LANES..][..LANES].copy_from_slice(&out);
+            if let Some((fnet, w)) = force {
+                if fnet == net {
+                    values[net.index() * LANES..][..LANES].copy_from_slice(&w);
+                }
+            }
+        }
+    }
+
+    /// Word-parallel campaign over a combinational netlist. Bit-identical
+    /// to [`FaultSim::campaign_scalar`]: a stuck-at fault settles group
+    /// by group against the packed golden outputs and reports the first
+    /// differing cycle bit; a transient flip only ever differs in its own
+    /// cycle's bit column, so a single group settles with the clean word
+    /// xor'd at that bit. Work metering is unchanged
+    /// (`cycles × nets` per fault, golden counted once).
+    fn campaign_packed(
+        &self,
+        patterns: &PatternSet,
+        faults: &[Fault],
+        jobs: usize,
+        budget: &ResourceBudget,
+    ) -> Result<CampaignReport, FaultError> {
+        budget.check_deadline()?;
+        let cycles = patterns.len();
+        let ninp = self.nl.num_inputs();
+        let nout = self.nl.num_outputs();
+        let ngroups = cycles.div_ceil(64).div_ceil(LANES);
+        let gsize = ninp * LANES;
+        let osize = nout * LANES;
+        // Pack the stream lane-grouped: group g, input i, lane w holds
+        // cycles `(g*LANES + w)*64 .. +64`; tail bits stay zero.
+        let mut iw = vec![0u64; ngroups * gsize];
+        for (c, p) in patterns.iter().enumerate() {
+            let b = c / 64;
+            let (g, w, bit) = (b / LANES, b % LANES, c % 64);
+            for (i, &v) in p.iter().enumerate() {
+                if v {
+                    iw[g * gsize + i * LANES + w] |= 1 << bit;
+                }
+            }
+        }
+        let mut golden = vec![0u64; ngroups * osize];
+        {
+            let mut vals = Vec::new();
+            let mut ins = Vec::new();
+            for g in 0..ngroups {
+                self.settle_words_forced(&iw[g * gsize..][..gsize], None, &mut vals, &mut ins);
+                for (o, (net, _)) in self.nl.outputs().iter().enumerate() {
+                    golden[g * osize + o * LANES..][..LANES]
+                        .copy_from_slice(&vals[net.index() * LANES..][..LANES]);
+                }
+            }
+        }
+        let run_cost = cycles as u64 * self.nl.len().max(1) as u64;
+        let max_steps = budget.max_sim_steps_or(u64::MAX);
+        let steps = AtomicU64::new(run_cost); // the golden run counts too
+        if run_cost >= max_steps {
+            return Err(budget.sim_steps_exceeded(run_cost).into());
+        }
+        let reports = par::par_map_with(faults, jobs, FaultArena::default, |_, &fault, arena| {
+            let tally = steps.fetch_add(run_cost, Ordering::Relaxed) + run_cost;
+            if tally >= max_steps {
+                return Err(FaultError::Budget(budget.sim_steps_exceeded(tally)));
+            }
+            budget.check_deadline()?;
+            self.report_packed(fault, cycles, &iw, gsize, &golden, osize, ngroups, arena)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignReport { reports, cycles })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report_packed(
+        &self,
+        fault: Fault,
+        cycles: usize,
+        iw: &[u64],
+        gsize: usize,
+        golden: &[u64],
+        osize: usize,
+        ngroups: usize,
+        arena: &mut FaultArena,
+    ) -> Result<FaultReport, FaultError> {
+        if fault.net.index() >= self.nl.len() {
+            return Err(FaultError::UnknownNet {
+                net: fault.net.index(),
+                len: self.nl.len(),
+            });
+        }
+        let bmask = |b: usize| -> u64 {
+            let used = cycles - b * 64;
+            if used >= 64 { u64::MAX } else { (1u64 << used) - 1 }
+        };
+        let first_detected = match fault.kind {
+            FaultKind::StuckAt0 | FaultKind::StuckAt1 => {
+                let fw = if fault.kind == FaultKind::StuckAt1 {
+                    [u64::MAX; LANES]
+                } else {
+                    [0u64; LANES]
+                };
+                let mut hit = None;
+                'groups: for g in 0..ngroups {
+                    self.settle_words_forced(
+                        &iw[g * gsize..][..gsize],
+                        Some((fault.net, fw)),
+                        &mut arena.w_vals,
+                        &mut arena.w_ins,
+                    );
+                    for w in 0..LANES {
+                        let b = g * LANES + w;
+                        if b * 64 >= cycles {
+                            break;
+                        }
+                        let mut diff = 0u64;
+                        for (o, (net, _)) in self.nl.outputs().iter().enumerate() {
+                            diff |= arena.w_vals[net.index() * LANES + w]
+                                ^ golden[g * osize + o * LANES + w];
+                        }
+                        diff &= bmask(b);
+                        if diff != 0 {
+                            hit = Some(b * 64 + diff.trailing_zeros() as usize);
+                            break 'groups;
+                        }
+                    }
+                }
+                hit
+            }
+            FaultKind::BitFlip { cycle } => {
+                if cycle >= cycles {
+                    return Err(FaultError::CycleOutOfRange { cycle, cycles });
+                }
+                let b = cycle / 64;
+                let (g, w, bit) = (b / LANES, b % LANES, cycle % 64);
+                // Clean settle of the flip's group to learn the net's
+                // word, then re-settle with that one bit inverted. Every
+                // other bit column sees clean values, so the diff is
+                // confined to the flip's own column.
+                self.settle_words_forced(
+                    &iw[g * gsize..][..gsize],
+                    None,
+                    &mut arena.w_vals,
+                    &mut arena.w_ins,
+                );
+                let mut fw = [0u64; LANES];
+                fw.copy_from_slice(&arena.w_vals[fault.net.index() * LANES..][..LANES]);
+                fw[w] ^= 1 << bit;
+                self.settle_words_forced(
+                    &iw[g * gsize..][..gsize],
+                    Some((fault.net, fw)),
+                    &mut arena.w_vals,
+                    &mut arena.w_ins,
+                );
+                let mut diff = 0u64;
+                for (o, (net, _)) in self.nl.outputs().iter().enumerate() {
+                    diff |= arena.w_vals[net.index() * LANES + w]
+                        ^ golden[g * osize + o * LANES + w];
+                }
+                if diff & (1 << bit) != 0 { Some(cycle) } else { None }
+            }
+        };
+        Ok(FaultReport {
+            fault,
+            first_detected,
+            state_corrupted: false,
         })
     }
 
@@ -557,6 +800,30 @@ mod tests {
             .faulty(&patterns, Fault { net: lsb, kind: FaultKind::BitFlip { cycle: 99 } })
             .unwrap_err();
         assert!(matches!(err, FaultError::CycleOutOfRange { .. }));
+    }
+
+    #[test]
+    fn packed_campaign_matches_scalar_reference() {
+        // Cycle counts straddling block and group boundaries, including a
+        // ragged tail; every stuck-at plus a deterministic SEU mix.
+        let (nl, _) = ripple_adder(5);
+        for cycles in [63, 64, 200, 256, 300] {
+            let patterns = Stimulus::uniform(10).patterns(cycles, 17);
+            let mut faults = all_stuck_at_faults(&nl);
+            let mut rng = netlist::Rng64::new(41);
+            faults.extend((0..40).map(|_| Fault {
+                net: NetId::from_index(rng.range(0, nl.len())),
+                kind: FaultKind::BitFlip { cycle: rng.range(0, cycles) },
+            }));
+            let packed = FaultSim::new(&nl)
+                .campaign(&patterns, &faults, 2, &ResourceBudget::unlimited())
+                .unwrap();
+            let scalar = FaultSim::new(&nl)
+                .with_scalar_reference(true)
+                .campaign(&patterns, &faults, 1, &ResourceBudget::unlimited())
+                .unwrap();
+            assert_eq!(packed.reports, scalar.reports, "cycles={cycles}");
+        }
     }
 
     #[test]

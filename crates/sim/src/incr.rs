@@ -41,6 +41,7 @@ use crate::event::{DelayModel, TimingActivity};
 use crate::profile::ActivityProfile;
 use crate::queue::{CalendarQueue, Scheduled};
 use crate::stimulus::PackedPatterns;
+use crate::wide::{self, LANES};
 
 /// One structural edit inside a [`Delta`].
 #[derive(Debug, Clone)]
@@ -243,6 +244,10 @@ pub struct IncrementalSim {
     levels: Vec<u32>,
     fanouts: Vec<Vec<NetId>>,
     force_full: bool,
+    /// Evaluate aligned [`LANES`]-block groups with the wide path (each
+    /// net's blocks are contiguous in `words`, so the lanes need no
+    /// gather). Off under `LPOPT_WIDE_SCALAR=1`; bit-identical either way.
+    wide: bool,
     obs: obs::Obs,
     stats: IncrStats,
     undo: Option<Undo>,
@@ -327,9 +332,14 @@ impl IncrementalSim {
         let mut words = vec![0u64; n * nblocks];
         for (i, &pi) in nl.inputs().iter().enumerate() {
             for b in 0..nblocks {
-                words[pi.index() * nblocks + b] = packed.block(b)[i];
+                words[pi.index() * nblocks + b] = packed.word(i, b);
             }
         }
+        // Each net's blocks are contiguous, so an aligned group of LANES
+        // blocks is a ready-made wide word; only the stream's partial tail
+        // (if any) needs the masked scalar path.
+        let wide_on = !wide::scalar_env();
+        let full_blocks = cycles / 64;
         let mut ins = Vec::new();
         for (step, &net) in order.iter().enumerate() {
             if step & 0xF == 0 {
@@ -339,12 +349,24 @@ impl IncrementalSim {
             if kind == GateKind::Input {
                 continue;
             }
-            for b in 0..nblocks {
-                ins.clear();
-                ins.extend(nl.fanins(net).iter().map(|f| words[f.index() * nblocks + b]));
-                let w = (cycles - b * 64).min(64);
-                let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-                words[net.index() * nblocks + b] = kind.eval_word(&ins) & mask;
+            let mut b = 0;
+            while b < nblocks {
+                if wide_on && b % LANES == 0 && b + LANES <= full_blocks {
+                    ins.clear();
+                    for &f in nl.fanins(net) {
+                        ins.extend_from_slice(&words[f.index() * nblocks + b..][..LANES]);
+                    }
+                    let out = kind.eval_wide::<LANES>(&ins);
+                    words[net.index() * nblocks + b..][..LANES].copy_from_slice(&out);
+                    b += LANES;
+                } else {
+                    ins.clear();
+                    ins.extend(nl.fanins(net).iter().map(|f| words[f.index() * nblocks + b]));
+                    let w = (cycles - b * 64).min(64);
+                    let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+                    words[net.index() * nblocks + b] = kind.eval_word(&ins) & mask;
+                    b += 1;
+                }
             }
         }
         let mut toggles = vec![0u64; n];
@@ -370,6 +392,7 @@ impl IncrementalSim {
             ones,
             levels,
             force_full: stress_env(),
+            wide: wide_on,
             obs,
             stats: IncrStats::default(),
             undo: None,
@@ -625,16 +648,33 @@ impl IncrementalSim {
             let net = NetId::from_index(idx);
             let kind = self.nl.kind(net);
             let mut changed = false;
-            for b in 0..self.nblocks {
-                self.ins.clear();
-                for &f in self.nl.fanins(net) {
-                    self.ins.push(self.words[f.index() * self.nblocks + b]);
+            let full_blocks = self.cycles / 64;
+            let mut b = 0;
+            while b < self.nblocks {
+                if self.wide && b % LANES == 0 && b + LANES <= full_blocks {
+                    self.ins.clear();
+                    for &f in self.nl.fanins(net) {
+                        self.ins
+                            .extend_from_slice(&self.words[f.index() * self.nblocks + b..][..LANES]);
+                    }
+                    let out = kind.eval_wide::<LANES>(&self.ins);
+                    self.new_words[b..b + LANES].copy_from_slice(&out);
+                    // Wide word-equality early cut-off: all lanes at once.
+                    changed |=
+                        out.as_slice() != &self.words[idx * self.nblocks + b..][..LANES];
+                    b += LANES;
+                } else {
+                    self.ins.clear();
+                    for &f in self.nl.fanins(net) {
+                        self.ins.push(self.words[f.index() * self.nblocks + b]);
+                    }
+                    let w = (self.cycles - b * 64).min(64);
+                    let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+                    let v = kind.eval_word(&self.ins) & mask;
+                    self.new_words[b] = v;
+                    changed |= v != self.words[idx * self.nblocks + b];
+                    b += 1;
                 }
-                let w = (self.cycles - b * 64).min(64);
-                let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-                let v = kind.eval_word(&self.ins) & mask;
-                self.new_words[b] = v;
-                changed |= v != self.words[idx * self.nblocks + b];
             }
             if !changed {
                 cutoffs += 1;

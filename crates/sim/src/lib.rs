@@ -40,6 +40,7 @@ pub mod par;
 pub mod queue;
 pub mod seq;
 pub mod stimulus;
+pub mod wide;
 
 mod profile;
 

@@ -7,6 +7,8 @@
 
 use netlist::Rng64;
 
+use crate::wide::LANES;
+
 /// A stream of input patterns (one `Vec<bool>` per clock cycle).
 pub type PatternSet = Vec<Vec<bool>>;
 
@@ -114,18 +116,25 @@ impl Stimulus {
     }
 }
 
-/// A pattern set pre-packed into 64-cycle words, one `u64` per input per
-/// block (bit `k` of block `b` is the input's value in cycle `64*b + k`).
+/// A pattern set pre-packed into 64-cycle words (bit `k` of block `b` is
+/// the input's value in cycle `64*b + k`).
 ///
 /// The bit-parallel engines consume patterns in exactly this layout;
 /// packing once per pass instead of once per `activity` call removes a
 /// per-candidate O(cycles × width) transpose from the optimization inner
 /// loops.
+///
+/// Storage is **wide-word-major**: blocks are grouped [`LANES`] at a time,
+/// and within a group each input's lanes sit contiguously —
+/// `words[wb * width * LANES + input * LANES + lane]` holds block
+/// `wb * LANES + lane`. A gate's wide evaluation therefore reads its
+/// fanin group as one contiguous `[u64; LANES]` with no per-block gather;
+/// blocks past the stream's end pad their lanes with zeros.
 #[derive(Debug, Clone)]
 pub struct PackedPatterns {
     width: usize,
     cycles: usize,
-    /// Block-major: `words[block * width + input]`.
+    /// Wide-word-major, lane-grouped per input (see the type docs).
     words: Vec<u64>,
 }
 
@@ -138,14 +147,15 @@ impl PackedPatterns {
     pub fn pack(patterns: &PatternSet) -> PackedPatterns {
         let width = patterns.first().map_or(0, Vec::len);
         let cycles = patterns.len();
-        let nblocks = cycles.div_ceil(64);
-        let mut words = vec![0u64; nblocks * width];
+        let nwide = cycles.div_ceil(64).div_ceil(LANES);
+        let mut words = vec![0u64; nwide * width * LANES];
         for (k, p) in patterns.iter().enumerate() {
             assert_eq!(p.len(), width, "ragged pattern set");
-            let base = (k / 64) * width;
+            let block = k / 64;
+            let base = (block / LANES) * width * LANES + block % LANES;
             let bit = k % 64;
             for (i, &b) in p.iter().enumerate() {
-                words[base + i] |= (b as u64) << bit;
+                words[base + i * LANES] |= (b as u64) << bit;
             }
         }
         PackedPatterns {
@@ -175,15 +185,39 @@ impl PackedPatterns {
         (self.cycles - b * 64).min(64)
     }
 
-    /// The packed input words of block `b`, one `u64` per input.
-    pub fn block(&self, b: usize) -> &[u64] {
-        &self.words[b * self.width..(b + 1) * self.width]
+    /// Number of [`LANES`]-block wide groups (the last may cover blocks
+    /// past the stream's end; their lanes are zero).
+    pub fn num_wide_blocks(&self) -> usize {
+        self.num_blocks().div_ceil(LANES)
+    }
+
+    /// The packed words of wide group `wb`: `width * LANES` words, input
+    /// `i`'s lanes at `[i * LANES .. (i + 1) * LANES]`.
+    pub fn wide_block(&self, wb: usize) -> &[u64] {
+        let stride = self.width * LANES;
+        &self.words[wb * stride..(wb + 1) * stride]
+    }
+
+    /// The packed word of `input` in block `b`.
+    pub fn word(&self, input: usize, b: usize) -> u64 {
+        debug_assert!(input < self.width && b < self.num_blocks());
+        self.words[(b / LANES) * self.width * LANES + input * LANES + b % LANES]
+    }
+
+    /// Copy block `b`'s words into `out` (one `u64` per input) — the
+    /// scalar engines' view of a single 64-cycle block.
+    pub fn block_into(&self, b: usize, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.width);
+        let base = (b / LANES) * self.width * LANES + b % LANES;
+        for (i, w) in out.iter_mut().enumerate() {
+            *w = self.words[base + i * LANES];
+        }
     }
 
     /// Value of `input` in `cycle`.
     pub fn bit(&self, input: usize, cycle: usize) -> bool {
         debug_assert!(input < self.width && cycle < self.cycles);
-        self.words[(cycle / 64) * self.width + input] >> (cycle % 64) & 1 == 1
+        self.word(input, cycle / 64) >> (cycle % 64) & 1 == 1
     }
 }
 
@@ -299,8 +333,19 @@ mod tests {
             }
         }
         // Tail bits beyond the stream are zero.
-        for &w in packed.block(1) {
+        let mut tail = vec![0u64; packed.width()];
+        packed.block_into(1, &mut tail);
+        for &w in &tail {
             assert_eq!(w >> 36, 0);
+        }
+        // Padding lanes of the last wide group are zero too.
+        assert_eq!(packed.num_wide_blocks(), 1);
+        let wide = packed.wide_block(0);
+        for i in 0..packed.width() {
+            assert_eq!(wide[i * LANES], packed.word(i, 0));
+            assert_eq!(wide[i * LANES + 1], packed.word(i, 1));
+            assert_eq!(wide[i * LANES + 2], 0);
+            assert_eq!(wide[i * LANES + 3], 0);
         }
     }
 

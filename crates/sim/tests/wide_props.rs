@@ -1,0 +1,255 @@
+//! Property tests pinning the wide-word engines to the scalar reference.
+//!
+//! Every engine that grew a 256-bit path in the wide-word rework — comb,
+//! event, seq, incr, fault — is checked for bit-identity against the
+//! scalar `u64` path on random DAGs, with cycle counts deliberately
+//! straddling block (64) and wide-group (256) boundaries so tail masking
+//! is always in play. The scalar side goes through
+//! `with_scalar_reference(true)` where the engine exposes it; the
+//! incremental engine (env-flag only) is pinned against an always-scalar
+//! `CombSim` oracle instead, which covers both CI modes: with
+//! `LPOPT_WIDE_SCALAR` unset this compares wide vs scalar, and with it
+//! set it compares scalar vs scalar.
+
+use budget::ResourceBudget;
+use netlist::gen::{random_dag, RandomDagConfig};
+use netlist::{GateKind, NetId, Netlist, Rng64};
+use proptest::prelude::*;
+use sim::comb::CombSim;
+use sim::event::{DelayModel, EventSim};
+use sim::fault::{all_stuck_at_faults, Fault, FaultKind, FaultSim};
+use sim::incr::{Delta, IncrementalSim};
+use sim::seq::SeqSim;
+use sim::stimulus::{PackedPatterns, Stimulus};
+
+/// A small random combinational DAG; sized so a case stays cheap even on
+/// a one-core CI host while still covering multi-level reconvergence.
+fn small_dag(seed: u64, inputs: usize, gates: usize) -> Netlist {
+    random_dag(
+        &RandomDagConfig {
+            inputs,
+            gates,
+            outputs: 4.min(gates),
+            max_fanin: 3,
+            window: 24,
+        },
+        seed,
+    )
+}
+
+/// A random sequential netlist: `dffs` feedback registers over a random
+/// gate cloud, some with load-enables, registers and late gates marked
+/// as outputs. Placeholder flops keep the graph acyclic at build time.
+fn random_seq(seed: u64, inputs: usize, gates: usize, dffs: usize) -> Netlist {
+    let mut rng = Rng64::new(seed);
+    let mut nl = Netlist::new(format!("random_seq_s{seed}"));
+    let ins: Vec<NetId> = (0..inputs).map(|i| nl.add_input(format!("x{i}"))).collect();
+    let regs: Vec<NetId> = (0..dffs)
+        .map(|_| nl.add_dff_placeholder(rng.next_u64() & 1 == 1))
+        .collect();
+    let mut pool: Vec<NetId> = ins.iter().chain(regs.iter()).copied().collect();
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Xor,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xnor,
+    ];
+    for _ in 0..gates {
+        let kind = kinds[rng.range(0, kinds.len())];
+        let a = pool[rng.range(0, pool.len())];
+        let b = pool[rng.range(0, pool.len())];
+        pool.push(nl.add_gate(kind, &[a, b]));
+    }
+    for (i, &q) in regs.iter().enumerate() {
+        // Feed each register from one of the last few gates so the
+        // feedback cone is non-trivial; give a quarter of them enables.
+        let d = pool[pool.len() - 1 - rng.range(0, gates.min(8))];
+        nl.set_dff_data(q, d);
+        if rng.next_u64() & 3 == 0 {
+            let en = pool[rng.range(0, pool.len())];
+            nl.set_dff_enable(q, en);
+        }
+        nl.mark_output(q, format!("q{i}"));
+    }
+    for i in 0..2 {
+        nl.mark_output(pool[pool.len() - 1 - i], format!("y{i}"));
+    }
+    nl
+}
+
+/// Cycle counts that straddle the interesting boundaries: sub-block,
+/// exact block, ragged wide group, exact wide group, multi-group tails.
+fn ragged_cycles() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..64,
+        Just(64usize),
+        65usize..256,
+        Just(256usize),
+        257usize..700,
+        Just(512usize),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Comb: the packed wide path reports exactly the scalar profile, and
+    /// both agree with the (independent) unpacked PatternSet path, so
+    /// toggle counts are conserved across all three implementations.
+    #[test]
+    fn comb_wide_matches_scalar(
+        seed in 0u64..1 << 48,
+        inputs in 4usize..12,
+        gates in 12usize..120,
+        cycles in ragged_cycles(),
+        jobs in 1usize..4,
+    ) {
+        let nl = small_dag(seed, inputs, gates);
+        let patterns = Stimulus::uniform(inputs).patterns(cycles, seed ^ 0x9e37);
+        let packed = PackedPatterns::pack(&patterns);
+        let wide = CombSim::new(&nl).activity_packed(&packed);
+        let scalar = CombSim::new(&nl)
+            .with_scalar_reference(true)
+            .activity_packed(&packed);
+        prop_assert_eq!(&wide, &scalar);
+        // Conservation: the bool-vector path counts the same transitions.
+        let unpacked = CombSim::new(&nl).activity_jobs(&patterns, jobs);
+        prop_assert_eq!(&wide, &unpacked);
+        // Per-net toggle totals are integral transition counts: toggles
+        // are normalized over the cycles-1 consecutive-pattern pairs.
+        let pairs = cycles.saturating_sub(1).max(1);
+        for &t in &wide.toggles {
+            let total = t * pairs as f64;
+            prop_assert!((total - total.round()).abs() < 1e-6);
+            prop_assert!(total.round() as usize <= pairs);
+        }
+    }
+
+    /// Event: dense Jacobi blocks evaluated 256 lanes at a time produce
+    /// the same timing activity (total and functional) as the scalar
+    /// word loop, including glitch counts.
+    #[test]
+    fn event_wide_matches_scalar(
+        seed in 0u64..1 << 48,
+        inputs in 4usize..10,
+        gates in 12usize..80,
+        cycles in 200usize..600,
+        unit in any::<bool>(),
+    ) {
+        let nl = small_dag(seed, inputs, gates);
+        let model = if unit {
+            DelayModel::Unit
+        } else {
+            DelayModel::Analytic { resolution: 4 }
+        };
+        let patterns = Stimulus::uniform(inputs).patterns(cycles, seed ^ 0x51ed);
+        let wide = EventSim::new(&nl, &model).activity(&patterns);
+        let scalar = EventSim::new(&nl, &model)
+            .with_scalar_reference(true)
+            .activity(&patterns);
+        prop_assert_eq!(&wide.total, &scalar.total);
+        prop_assert_eq!(&wide.functional, &scalar.functional);
+    }
+
+    /// Incr: resident packed words and the wide early cut-off reproduce
+    /// the always-scalar full-eval profile, both at build time and after
+    /// random rewire deltas.
+    #[test]
+    fn incr_wide_matches_scalar_oracle(
+        seed in 0u64..1 << 48,
+        inputs in 4usize..10,
+        gates in 20usize..90,
+        cycles in ragged_cycles(),
+        edits in 1usize..4,
+    ) {
+        let nl = small_dag(seed, inputs, gates);
+        let packed = Stimulus::uniform(inputs).packed(cycles, seed ^ 0xabcd);
+        let mut incr = IncrementalSim::from_full_eval(&nl, &packed);
+        let oracle = CombSim::new(&nl)
+            .with_scalar_reference(true)
+            .activity_packed(&packed);
+        prop_assert_eq!(&incr.activity(), &oracle);
+
+        let mut rng = Rng64::new(seed ^ 0xfeed);
+        let mut current = nl.clone();
+        let kinds = [GateKind::And, GateKind::Or, GateKind::Xor, GateKind::Nand];
+        for _ in 0..edits {
+            // Rewire a random gate to earlier nets: indices stay strictly
+            // decreasing along fanin edges, so the DAG stays acyclic.
+            let target = rng.range(inputs, current.len());
+            let a = NetId::from_index(rng.range(0, target));
+            let b = NetId::from_index(rng.range(0, target));
+            let kind = kinds[rng.range(0, kinds.len())];
+            let mut delta = Delta::for_netlist(incr.netlist());
+            delta.set_gate(NetId::from_index(target), kind, &[a, b]);
+            incr.apply_delta(&delta);
+            delta.apply_to(&mut current);
+            let oracle = CombSim::new(&current)
+                .with_scalar_reference(true)
+                .activity_packed(&packed);
+            prop_assert_eq!(&incr.activity(), &oracle);
+        }
+    }
+
+    /// Fault: the packed combinational campaign reports the same
+    /// first-detection cycle for every stuck-at and bit-flip as the
+    /// scalar per-cycle campaign.
+    #[test]
+    fn fault_packed_matches_scalar(
+        seed in 0u64..1 << 48,
+        inputs in 4usize..10,
+        gates in 10usize..60,
+        cycles in 1usize..420,
+        flips in 0usize..12,
+        jobs in 1usize..3,
+    ) {
+        let nl = small_dag(seed, inputs, gates);
+        let patterns = Stimulus::uniform(inputs).patterns(cycles, seed ^ 0x7777);
+        let mut faults = all_stuck_at_faults(&nl);
+        let mut rng = Rng64::new(seed ^ 0x1234);
+        faults.extend((0..flips).map(|_| Fault {
+            net: NetId::from_index(rng.range(0, nl.len())),
+            kind: FaultKind::BitFlip { cycle: rng.range(0, cycles) },
+        }));
+        let packed = FaultSim::new(&nl)
+            .campaign(&patterns, &faults, jobs, &ResourceBudget::unlimited())
+            .unwrap();
+        let scalar = FaultSim::new(&nl)
+            .with_scalar_reference(true)
+            .campaign(&patterns, &faults, 1, &ResourceBudget::unlimited())
+            .unwrap();
+        prop_assert_eq!(&packed.reports, &scalar.reports);
+    }
+}
+
+proptest! {
+    // Seq cases cost cycles × nets × 2 engines each; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seq: the virtual-stream wide path (engaged at ≥1024 cycles)
+    /// reproduces the serial scalar run exactly — net activity, register
+    /// D/Q toggles, and load fractions — across chunk boundaries and
+    /// ragged tails, in and out of sharded (`jobs`) mode.
+    #[test]
+    fn seq_wide_matches_scalar(
+        seed in 0u64..1 << 48,
+        inputs in 3usize..8,
+        gates in 10usize..50,
+        dffs in 1usize..6,
+        cycles in 1024usize..1600,
+        jobs in 1usize..4,
+    ) {
+        let nl = random_seq(seed, inputs, gates, dffs);
+        let patterns = Stimulus::uniform(inputs).patterns(cycles, seed ^ 0xbeef);
+        let wide = SeqSim::new(&nl).activity_jobs(&patterns, jobs);
+        let scalar = SeqSim::new(&nl)
+            .with_scalar_reference(true)
+            .activity(&patterns);
+        prop_assert_eq!(&wide.profile, &scalar.profile);
+        prop_assert_eq!(&wide.ff_output_toggles, &scalar.ff_output_toggles);
+        prop_assert_eq!(&wide.ff_input_toggles, &scalar.ff_input_toggles);
+        prop_assert_eq!(&wide.ff_load_fraction, &scalar.ff_load_fraction);
+    }
+}
