@@ -16,6 +16,15 @@
 //!   simulation-driven don't-care driver judging every rewrite on a
 //!   resident [`IncrementalSim`] vs the reference driver that
 //!   re-simulates the edited netlist from scratch.
+//! * **rewrite-search** (`rand200`, a larger seeded random DAG, and
+//!   `wallace8`, the 8-bit Wallace-tree multiplier): the activity-driven
+//!   rewriting search on its resident incremental engine vs its
+//!   `force_full` twin that makes identical decisions while re-evaluating
+//!   the whole netlist per speculative move.
+//! * **rewrite-flow** (same circuits): the combined rewriting pass
+//!   (rewrite → balance → size) against the sequential pipeline
+//!   (balance → don't-cares → size), both sized to one shared delay
+//!   constraint, compared on glitch-aware switched capacitance.
 //!
 //! Emits `BENCH_incr.json` (override with the first non-flag argument).
 //!
@@ -23,13 +32,16 @@
 //! cargo run --release -p bench --bin bench_incr [out.json] [--check]
 //! ```
 //!
-//! With `--check` the harness exits nonzero unless the balance and sizing
-//! loops hold their headline win: work ratio (incremental evaluations per
-//! from-scratch evaluation) at most 1/3, or wall-clock at least 3x
-//! faster. The work ratios are the primary criterion — they are
-//! deterministic, so the check is meaningful on a noisy CI box where
-//! timings are not. Result identity (bitwise sizes, bitwise capacitance,
-//! glitch totals to 1e-9) is always enforced.
+//! With `--check` the harness exits nonzero unless the balance, sizing
+//! and rewrite-search loops hold their headline win: work ratio
+//! (incremental evaluations per from-scratch evaluation) at most 1/3, or
+//! wall-clock at least 3x faster. The work ratios are the primary
+//! criterion — they are deterministic, so the check is meaningful on a
+//! noisy CI box where timings are not. Result identity (bitwise sizes,
+//! bitwise capacitance, glitch totals to 1e-9, node-for-node netlists
+//! from the rewrite twins) is always enforced, as is the rewrite-flow
+//! criterion: combined switched capacitance no worse than the sequential
+//! pipeline's at the shared delay constraint.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,6 +49,7 @@ use std::time::Instant;
 use circuit::sizing::SizedCircuit;
 use logicopt::balance::{balance_delta, balance_paths_with_threshold, tighten_balance_delta};
 use logicopt::dontcare::{optimize_dontcares_sim, optimize_dontcares_sim_reference};
+use logicopt::rewrite::{rewrite_sim, RewriteConfig};
 use netlist::blif::parse_text;
 use netlist::Netlist;
 use sim::event::{DelayModel, EventSim};
@@ -255,7 +268,130 @@ fn bench_dontcare() -> Section {
     }
 }
 
-fn to_json(sections: &[Section]) -> String {
+/// The larger random DAG the search sections run on: enough gates that
+/// search-phase wins clear timer noise, wide enough (16 inputs, window
+/// 24) that edit cones stay local instead of sweeping the whole DAG.
+fn rand200() -> Netlist {
+    let config = netlist::gen::RandomDagConfig {
+        inputs: 16,
+        gates: 200,
+        outputs: 8,
+        max_fanin: 3,
+        window: 24,
+    };
+    netlist::gen::random_dag(&config, 7)
+}
+
+fn search_config() -> RewriteConfig {
+    RewriteConfig {
+        max_fanin: 5,
+        ..RewriteConfig::default()
+    }
+}
+
+/// Rewriting search on the resident incremental engine vs the
+/// `force_full` twin: same moves, same decisions, whole-netlist
+/// re-evaluation per speculative apply.
+fn bench_rewrite_search(circuit: &'static str, nl: &Netlist) -> Section {
+    let probs = vec![0.5; nl.num_inputs()];
+    let packed = Stimulus::uniform(nl.num_inputs()).packed(CYCLES, SEED);
+    let cfg = search_config();
+    let full_cfg = RewriteConfig {
+        force_full: true,
+        ..cfg.clone()
+    };
+
+    let (incr_nl, incr_report) = rewrite_sim(nl, &probs, &packed, &cfg);
+    let (full_nl, full_report) = rewrite_sim(nl, &probs, &packed, &full_cfg);
+    let identical = incr_report.cap_after.to_bits() == full_report.cap_after.to_bits()
+        && incr_report.chains_accepted == full_report.chains_accepted
+        && incr_nl.len() == full_nl.len()
+        && incr_nl
+            .iter_nets()
+            .all(|n| incr_nl.kind(n) == full_nl.kind(n) && incr_nl.fanins(n) == full_nl.fanins(n));
+
+    let scratch_seconds = time_it(|| {
+        std::hint::black_box(rewrite_sim(nl, &probs, &packed, &full_cfg));
+    });
+    let incr_seconds = time_it(|| {
+        std::hint::black_box(rewrite_sim(nl, &probs, &packed, &cfg));
+    });
+    Section {
+        name: "rewrite-search",
+        circuit,
+        scratch_seconds,
+        incr_seconds,
+        speedup: scratch_seconds / incr_seconds,
+        work_ratio: incr_report.nets_reevaluated as f64 / full_report.nets_reevaluated.max(1) as f64,
+        work_unit: "net evaluations",
+        identical,
+    }
+}
+
+/// One combined-vs-sequential quality comparison at a shared delay
+/// constraint.
+struct FlowSection {
+    circuit: &'static str,
+    /// Shared timing constraint both variants are sized to (1.15x the
+    /// slower variant's fastest achievable critical path at max size).
+    constraint: f64,
+    /// Glitch-aware switched capacitance, balance → don't-cares → size.
+    sequential_cap: f64,
+    /// Glitch-aware switched capacitance, rewrite → balance → size.
+    combined_cap: f64,
+    /// Single-run pipeline seconds (the flow runs once; speed claims live
+    /// in the rewrite-search section).
+    sequential_seconds: f64,
+    combined_seconds: f64,
+    /// Both sized variants meet the shared constraint.
+    meets_constraint: bool,
+}
+
+/// Size `nl` for minimum power at `constraint` and report its switched
+/// capacitance under unit-delay event activity (glitches included).
+fn sized_cap(nl: &Netlist, patterns: &sim::stimulus::PatternSet, constraint: f64) -> (f64, bool) {
+    let mut sized = SizedCircuit::new(nl, 4.0);
+    sized.downsize_for_power(constraint);
+    let activity = EventSim::new(nl, &DelayModel::Unit).activity(patterns).total;
+    (
+        sized.switched_capacitance(&activity),
+        sized.timing(constraint).critical <= constraint + 1e-9,
+    )
+}
+
+fn bench_rewrite_flow(circuit: &'static str, nl: &Netlist) -> FlowSection {
+    let probs = vec![0.5; nl.num_inputs()];
+    let patterns = Stimulus::uniform(nl.num_inputs()).patterns(CYCLES, SEED);
+    let packed = PackedPatterns::pack(&patterns);
+
+    let start = Instant::now();
+    let (balanced, _) = balance_paths_with_threshold(nl, 0);
+    let (seq_nl, _) = optimize_dontcares_sim(&balanced, &probs, 5, &packed);
+    let sequential_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let (rewritten, _) = rewrite_sim(nl, &probs, &packed, &search_config());
+    let (comb_nl, _) = balance_paths_with_threshold(&rewritten, 0);
+    let combined_seconds = start.elapsed().as_secs_f64();
+
+    // Equal delay: one constraint, derived from whichever variant is
+    // slower at maximum drive, with the sizing benches' usual 15% margin.
+    let fastest = |n: &Netlist| SizedCircuit::new(n, 4.0).timing(1e9).critical;
+    let constraint = 1.15 * fastest(&seq_nl).max(fastest(&comb_nl));
+    let (sequential_cap, seq_ok) = sized_cap(&seq_nl, &patterns, constraint);
+    let (combined_cap, comb_ok) = sized_cap(&comb_nl, &patterns, constraint);
+    FlowSection {
+        circuit,
+        constraint,
+        sequential_cap,
+        combined_cap,
+        sequential_seconds,
+        combined_seconds,
+        meets_constraint: seq_ok && comb_ok,
+    }
+}
+
+fn to_json(sections: &[Section], flows: &[FlowSection]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"incr\",\n");
     out.push_str(
@@ -274,6 +410,24 @@ fn to_json(sections: &[Section]) -> String {
         let _ = writeln!(out, "      \"identical\": {}", s.identical);
         out.push_str(if i + 1 < sections.len() { "    },\n" } else { "    }\n" });
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"flow_sections\": [\n");
+    for (i, f) in flows.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"rewrite-flow\",");
+        let _ = writeln!(out, "      \"circuit\": \"{}\",", f.circuit);
+        let _ = writeln!(out, "      \"constraint\": {:.4},", f.constraint);
+        let _ = writeln!(out, "      \"sequential_cap\": {:.4},", f.sequential_cap);
+        let _ = writeln!(out, "      \"combined_cap\": {:.4},", f.combined_cap);
+        let _ = writeln!(
+            out,
+            "      \"sequential_seconds\": {:.3e},",
+            f.sequential_seconds
+        );
+        let _ = writeln!(out, "      \"combined_seconds\": {:.3e},", f.combined_seconds);
+        let _ = writeln!(out, "      \"meets_constraint\": {}", f.meets_constraint);
+        out.push_str(if i + 1 < flows.len() { "    },\n" } else { "    }\n" });
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -289,8 +443,20 @@ fn main() {
         }
     }
 
-    let sections = vec![bench_balance(), bench_sizing(), bench_dontcare()];
-    std::fs::write(&out_path, to_json(&sections)).expect("write benchmark JSON");
+    let rand = rand200();
+    let (wallace, _) = netlist::gen::wallace_multiplier(8);
+    let sections = vec![
+        bench_balance(),
+        bench_sizing(),
+        bench_dontcare(),
+        bench_rewrite_search("rand200", &rand),
+        bench_rewrite_search("wallace8", &wallace),
+    ];
+    let flows = vec![
+        bench_rewrite_flow("rand200", &rand),
+        bench_rewrite_flow("wallace8", &wallace),
+    ];
+    std::fs::write(&out_path, to_json(&sections, &flows)).expect("write benchmark JSON");
 
     println!("wrote {out_path}");
     for s in &sections {
@@ -306,12 +472,28 @@ fn main() {
             s.identical,
         );
     }
+    for f in &flows {
+        println!(
+            "  {:<14} {:<8} sequential {:>8.1} fF/cycle  combined {:>8.1} fF/cycle \
+             ({:+.1}%) at delay {:.1}  meets constraint: {}",
+            "rewrite-flow",
+            f.circuit,
+            f.sequential_cap,
+            f.combined_cap,
+            100.0 * (f.combined_cap - f.sequential_cap) / f.sequential_cap,
+            f.constraint,
+            f.meets_constraint,
+        );
+    }
 
     if check {
         let mut ok = true;
         for s in &sections {
             if !s.identical {
-                eprintln!("check FAILED: {} results diverged from from-scratch", s.name);
+                eprintln!(
+                    "check FAILED: {} ({}) results diverged from from-scratch",
+                    s.name, s.circuit
+                );
                 ok = false;
             }
         }
@@ -320,8 +502,28 @@ fn main() {
             // run on a machine with different constant factors.
             if s.work_ratio > 1.0 / 3.0 && s.speedup < 3.0 {
                 eprintln!(
-                    "check FAILED: {} work ratio {:.3} > 0.333 and speedup {:.2}x < 3.0x",
-                    s.name, s.work_ratio, s.speedup
+                    "check FAILED: {} ({}) work ratio {:.3} > 0.333 and speedup {:.2}x < 3.0x",
+                    s.name, s.circuit, s.work_ratio, s.speedup
+                );
+                ok = false;
+            }
+        }
+        for f in &flows {
+            // The combined pass must hold the ROADMAP's quality bar:
+            // no worse than the sequential pipeline on switched
+            // capacitance at the shared delay constraint. Both inputs
+            // are deterministic, so equality-with-epsilon is stable.
+            if !f.meets_constraint {
+                eprintln!(
+                    "check FAILED: rewrite-flow ({}) missed the shared delay constraint",
+                    f.circuit
+                );
+                ok = false;
+            }
+            if f.combined_cap > f.sequential_cap + 1e-9 {
+                eprintln!(
+                    "check FAILED: rewrite-flow ({}) combined cap {:.4} exceeds sequential {:.4}",
+                    f.circuit, f.combined_cap, f.sequential_cap
                 );
                 ok = false;
             }

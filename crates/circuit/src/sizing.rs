@@ -287,8 +287,10 @@ impl<'a> SizedCircuit<'a> {
             heap: BinaryHeap::new(),
             queued: vec![0; n],
             epoch: 0,
-            size_undo: None,
-            arrival_undo: Vec::new(),
+            undo: Vec::new(),
+            applied: 0,
+            floor: 0,
+            cps: Vec::new(),
             trials: 0,
             arrival_evals: 0,
         }
@@ -313,6 +315,13 @@ impl<'a> SizedCircuit<'a> {
 /// uses (same fanin order, same `max` fold), so the returned critical delay
 /// is bit-identical to a from-scratch analysis and every accept/reject
 /// decision made through the cache matches the full-STA driver.
+///
+/// Trials journal onto a multi-slot undo **stack**: [`StaCache::checkpoint`]
+/// mints a [`StaMark`], chains of speculative resizes can be unwound to any
+/// live mark with [`StaCache::rollback_to`] (restoring sizes and arrivals
+/// bit-identically) or sealed with [`StaCache::commit`]. Callers that never
+/// checkpoint keep the old single-slot cost: the stack auto-trims to one
+/// frame per trial, and [`StaCache::revert`] undoes the latest resize.
 #[derive(Debug)]
 pub struct StaCache {
     arrival: Vec<f64>,
@@ -320,8 +329,15 @@ pub struct StaCache {
     heap: BinaryHeap<Reverse<(u32, u32)>>,
     queued: Vec<u64>,
     epoch: u64,
-    size_undo: Option<(usize, f64)>,
-    arrival_undo: Vec<(usize, f64)>,
+    /// Journal frames for trials in `(floor, applied]`, oldest first.
+    undo: Vec<StaFrame>,
+    /// Resize trials applied over the cache's lifetime (monotone).
+    applied: u64,
+    /// Committed floor: trials at or below it can no longer be unwound.
+    floor: u64,
+    /// Outstanding checkpoint marks (nondecreasing); the oldest pins the
+    /// auto-trim.
+    cps: Vec<u64>,
     /// Resize trials performed.
     pub trials: u64,
     /// Arrival recomputations across all trials (the full-STA equivalent
@@ -329,10 +345,27 @@ pub struct StaCache {
     pub arrival_evals: u64,
 }
 
+/// Undo journal frame for one [`StaCache::resize`] trial. Frames stack:
+/// the cache keeps one per trial above the committed floor, undone LIFO.
+#[derive(Debug)]
+struct StaFrame {
+    /// `(net index, previous size)` of the resized gate.
+    size: (usize, f64),
+    /// `(net index, previous arrival)` for every arrival that moved.
+    arrivals: Vec<(usize, f64)>,
+}
+
+/// A position in a [`StaCache`] undo stack, minted by
+/// [`StaCache::checkpoint`]. Absolute and totally ordered: a later
+/// checkpoint compares greater.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StaMark(u64);
+
 impl StaCache {
     /// Set `net`'s size and propagate arrivals; returns the new critical
     /// delay. The previous size and arrivals are journaled — call
-    /// [`StaCache::revert`] to undo this trial in place.
+    /// [`StaCache::revert`] to undo this trial in place, or unwind a whole
+    /// chain of trials with [`StaCache::rollback_to`].
     ///
     /// # Panics
     ///
@@ -341,8 +374,10 @@ impl StaCache {
         assert!(!c.nl.kind(net).is_source(), "sources are never sized");
         self.trials += 1;
         self.epoch += 1;
-        self.arrival_undo.clear();
-        self.size_undo = Some((net.index(), c.sizes[net.index()]));
+        self.undo.push(StaFrame {
+            size: (net.index(), c.sizes[net.index()]),
+            arrivals: Vec::new(),
+        });
         c.sizes[net.index()] = new_size;
         self.heap.clear();
         // The resized gate's delay changed; so did its fanins' (their load
@@ -367,13 +402,17 @@ impl StaCache {
             if a.to_bits() == self.arrival[idx].to_bits() {
                 continue; // early cut-off: nothing downstream can move
             }
-            self.arrival_undo.push((idx, self.arrival[idx]));
+            if let Some(frame) = self.undo.last_mut() {
+                frame.arrivals.push((idx, self.arrival[idx]));
+            }
             self.arrival[idx] = a;
             for fi in 0..c.fanouts[idx].len() {
                 let sink = c.fanouts[idx][fi];
                 self.enqueue(sink);
             }
         }
+        self.applied += 1;
+        self.auto_trim();
         self.critical(c)
     }
 
@@ -394,18 +433,86 @@ impl StaCache {
             .fold(0.0f64, f64::max)
     }
 
-    /// Undo the most recent [`StaCache::resize`]. Returns false if there is
-    /// nothing to revert (single-slot journal).
-    pub fn revert(&mut self, c: &mut SizedCircuit<'_>) -> bool {
-        let Some((idx, old)) = self.size_undo.take() else {
+    /// Mark the current state for a later [`StaCache::rollback_to`] or
+    /// [`StaCache::commit`]. While a mark is outstanding, every frame above
+    /// it is retained, so chains of speculative resizes can be unwound to
+    /// any mark between the checkpoint and the present.
+    pub fn checkpoint(&mut self) -> StaMark {
+        self.cps.push(self.applied);
+        StaMark(self.applied)
+    }
+
+    /// Unwind every resize applied after `mark`, restoring sizes and
+    /// arrivals bit-identically to the state at the checkpoint.
+    ///
+    /// Returns false (and changes nothing) if a [`StaCache::commit`] has
+    /// passed the mark — rollback past the committed floor is rejected.
+    /// The mark itself stays live and can be rolled back to repeatedly;
+    /// marks above it are released.
+    pub fn rollback_to(&mut self, c: &mut SizedCircuit<'_>, mark: StaMark) -> bool {
+        if mark.0 < self.floor || mark.0 > self.applied {
             return false;
-        };
+        }
+        while self.applied > mark.0 {
+            if let Some(frame) = self.undo.pop() {
+                self.undo_frame(c, frame);
+            }
+            self.applied -= 1;
+        }
+        while self.cps.last().is_some_and(|&m| m > mark.0) {
+            self.cps.pop();
+        }
+        true
+    }
+
+    /// Make every resize at or below `mark` permanent: frames are dropped,
+    /// the floor rises to the mark, and later rollbacks past it are
+    /// rejected. Releases every outstanding mark at or below `mark`.
+    /// Returns false (and changes nothing) if the mark is already below
+    /// the floor.
+    pub fn commit(&mut self, mark: StaMark) -> bool {
+        if mark.0 < self.floor || mark.0 > self.applied {
+            return false;
+        }
+        self.undo.drain(..(mark.0 - self.floor) as usize);
+        self.floor = mark.0;
+        self.cps.retain(|&m| m > mark.0);
+        true
+    }
+
+    /// Undo the most recent [`StaCache::resize`] still on the stack — a
+    /// thin alias for rolling back one frame. Returns false if everything
+    /// up to the present has been committed (or auto-trimmed) and there is
+    /// nothing left to revert.
+    pub fn revert(&mut self, c: &mut SizedCircuit<'_>) -> bool {
+        if self.applied == self.floor || self.undo.is_empty() {
+            return false;
+        }
+        self.rollback_to(c, StaMark(self.applied - 1))
+    }
+
+    /// Restore the state journaled in one frame (frames undo LIFO).
+    fn undo_frame(&mut self, c: &mut SizedCircuit<'_>, frame: StaFrame) {
+        let (idx, old) = frame.size;
         c.sizes[idx] = old;
-        for &(i, a) in &self.arrival_undo {
+        for &(i, a) in &frame.arrivals {
             self.arrival[i] = a;
         }
-        self.arrival_undo.clear();
-        true
+    }
+
+    /// Drop frames no outstanding checkpoint can reach. With no
+    /// checkpoints this keeps exactly one frame — the legacy single-slot
+    /// behaviour (constant memory, `revert` undoes the latest trial).
+    fn auto_trim(&mut self) {
+        let keep_from = match self.cps.first() {
+            Some(&m) => m.min(self.applied.saturating_sub(1)),
+            None => self.applied.saturating_sub(1),
+        };
+        if keep_from > self.floor {
+            let frames = (keep_from - self.floor) as usize;
+            self.undo.drain(..frames);
+            self.floor = keep_from;
+        }
     }
 }
 
@@ -545,11 +652,15 @@ impl<'a> SizedCircuit<'a> {
             if critical.is_empty() {
                 return false; // stuck: nothing left to upsize
             }
+            // Every what-if trial unwinds to the round's mark; the chosen
+            // upsize is applied for real and the round sealed with a
+            // commit, so the journal never outgrows one round.
+            let round = sta.checkpoint();
             let mut best: Option<(NetId, f64)> = None;
             for &net in &critical {
                 let old = self.sizes[net.index()];
                 let new_critical = sta.resize(self, net, old * step);
-                sta.revert(self);
+                sta.rollback_to(self, round);
                 let gain = timing.critical - new_critical;
                 // Cost: the capacitance the upsizing adds (intrinsic growth).
                 let kind = self.nl.kind(net);
@@ -565,6 +676,8 @@ impl<'a> SizedCircuit<'a> {
             }
             // Commit through the cache so its arrivals stay current.
             sta.resize(self, chosen, self.sizes[chosen.index()] * step);
+            let sealed = sta.checkpoint();
+            sta.commit(sealed);
         }
     }
 
@@ -700,7 +813,51 @@ mod upsize_tests {
         assert!(sta.revert(&mut c));
         assert_eq!(sta.critical(&c).to_bits(), before.to_bits());
         assert_eq!(c.sizes[victim.index()], 2.0);
-        assert!(!sta.revert(&mut c), "journal is single-slot");
+        assert!(!sta.revert(&mut c), "nothing left on the undo stack");
+    }
+
+    #[test]
+    fn sta_checkpoint_rollback_commit_stack() {
+        let (nl, _) = ripple_adder(6);
+        let mut c = SizedCircuit::new(&nl, 2.0);
+        let mut sta = c.sta_cache();
+        let gates: Vec<NetId> = nl
+            .iter_nets()
+            .filter(|&net| !nl.kind(net).is_source())
+            .take(3)
+            .collect();
+        let m0 = sta.checkpoint();
+        let base_crit = sta.critical(&c);
+        let base_sizes = c.sizes.clone();
+        // Speculate a three-deep shrink chain with a mark per depth.
+        let mut marks = vec![m0];
+        let mut crits = vec![base_crit];
+        for &g in &gates {
+            sta.resize(&mut c, g, 1.0);
+            marks.push(sta.checkpoint());
+            crits.push(sta.critical(&c));
+        }
+        // Unwind to the middle: arrivals and sizes bit-identical.
+        assert!(sta.rollback_to(&mut c, marks[1]));
+        assert_eq!(sta.critical(&c).to_bits(), crits[1].to_bits());
+        assert_eq!(c.sizes[gates[0].index()], 1.0);
+        assert_eq!(c.sizes[gates[1].index()], 2.0);
+        // Unwind home and check against a fresh cache.
+        assert!(sta.rollback_to(&mut c, m0));
+        assert_eq!(sta.critical(&c).to_bits(), base_crit.to_bits());
+        for (a, b) in c.sizes.iter().zip(base_sizes.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(c.sta_cache().critical(&c).to_bits(), base_crit.to_bits());
+        // Commit a chain; rollback past the floor is rejected.
+        sta.resize(&mut c, gates[2], 1.5);
+        let sealed = sta.checkpoint();
+        assert!(sta.commit(sealed));
+        let after = sta.critical(&c);
+        assert!(!sta.rollback_to(&mut c, m0), "rollback past commit must fail");
+        assert!(!sta.revert(&mut c), "committed frames are gone");
+        assert_eq!(sta.critical(&c).to_bits(), after.to_bits());
+        assert_eq!(c.sizes[gates[2].index()], 1.5);
     }
 
     #[test]

@@ -307,7 +307,7 @@ pub fn optimize_dontcares_sim_reference(
 
 /// Candidate nodes for the simulation-driven pass: live internal gates
 /// small enough to enumerate.
-fn sim_candidates(nl: &Netlist, max_fanin: usize) -> Vec<NetId> {
+pub(crate) fn sim_candidates(nl: &Netlist, max_fanin: usize) -> Vec<NetId> {
     let mut live = vec![false; nl.len()];
     let mut stack: Vec<usize> = Vec::new();
     for (net, _) in nl.outputs() {
@@ -340,7 +340,7 @@ fn sim_candidates(nl: &Netlist, max_fanin: usize) -> Vec<NetId> {
 /// [`synthesize_table`] recorded into a [`Delta`] instead of applied to a
 /// netlist (same gates in the same order, so replaying the delta matches
 /// the direct construction node for node).
-fn synthesize_table_delta(delta: &mut Delta, fanins: &[NetId], table: &[bool]) -> NetId {
+pub(crate) fn synthesize_table_delta(delta: &mut Delta, fanins: &[NetId], table: &[bool]) -> NetId {
     let k = fanins.len();
     let ones = table.iter().filter(|&&b| b).count();
     if ones == 0 {
@@ -427,16 +427,16 @@ fn try_rewrite(
 
 /// A profitable node rewrite found by the ODC analysis: replace `node`
 /// with the truth table `table` over `fanins`.
-struct Rewrite {
-    fanins: Vec<NetId>,
-    table: Vec<bool>,
+pub(crate) struct Rewrite {
+    pub(crate) fanins: Vec<NetId>,
+    pub(crate) table: Vec<bool>,
 }
 
 /// The don't-care analysis shared by the estimate-driven and the
 /// simulation-driven pass drivers: compute `node`'s observability
 /// don't-cares and, if its one-probability can be pushed further from 0.5
 /// inside them, return the rebiased local truth table.
-fn find_rewrite(
+pub(crate) fn find_rewrite(
     nl: &Netlist,
     bdds: &power::exact::CircuitBdds,
     node: NetId,

@@ -13,6 +13,10 @@
 //!   \[20\]\[43\]\[48\]\[26\]).
 //! * [`guard`] — guarded evaluation: freeze the inputs of subcircuits whose
 //!   outputs are unobservable this cycle (§III.C.4, \[44\]).
+//! * [`rewrite`] — activity-driven rewriting search: resubstitution,
+//!   kernel/cube extraction and don't-care rewrites as one move pool,
+//!   searched greedily with lookahead over a resident incremental
+//!   simulator's live switched capacitance under an equal-delay guard.
 //! * [`twolevel`] — espresso-lite two-level minimization with don't-cares,
 //!   the foundation the node-level passes and FSM synthesis build on.
 
@@ -25,4 +29,5 @@ pub mod dontcare;
 pub mod factor;
 pub mod guard;
 pub mod mapping;
+pub mod rewrite;
 pub mod twolevel;

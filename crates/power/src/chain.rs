@@ -250,23 +250,27 @@ impl StimulusCache {
     }
 
     fn packed_for(&mut self, stimulus: &Stimulus, key: StimKey) -> &PackedPatterns {
+        let (cycles, seed) = (key.cycles, key.seed);
         if self.packed.is_some() && self.packed_key.as_ref() == Some(&key) {
             self.hits += 1;
         } else {
-            self.packed = Some(stimulus.packed(key.cycles, key.seed));
             self.packed_key = Some(key);
+            self.packed = None;
         }
-        self.packed.as_ref().expect("filled above")
+        self.packed
+            .get_or_insert_with(|| stimulus.packed(cycles, seed))
     }
 
     fn patterns_for(&mut self, stimulus: &Stimulus, key: StimKey) -> &PatternSet {
+        let (cycles, seed) = (key.cycles, key.seed);
         if self.seq.is_some() && self.seq_key.as_ref() == Some(&key) {
             self.hits += 1;
         } else {
-            self.seq = Some(stimulus.patterns(key.cycles, key.seed));
             self.seq_key = Some(key);
+            self.seq = None;
         }
-        self.seq.as_ref().expect("filled above")
+        self.seq
+            .get_or_insert_with(|| stimulus.patterns(cycles, seed))
     }
 }
 

@@ -26,10 +26,22 @@
 //! through the same code path — results are identical either way, the
 //! fallback merely skips pointless cone bookkeeping.
 //!
+//! Applied deltas are journaled on a multi-slot **undo stack**: a search
+//! can take a [`Mark`] with [`IncrementalSim::checkpoint`], speculatively
+//! apply a chain of deltas, score each state on the resident engine, and
+//! either unwind to any live mark with [`IncrementalSim::rollback_to`]
+//! (bit-identical to never having applied the chain) or make the chain
+//! permanent with [`IncrementalSim::commit`]. Callers that never
+//! checkpoint keep the old single-slot cost: with no outstanding marks
+//! the stack is trimmed to one frame per apply, so [`IncrementalSim::revert`]
+//! still undoes the most recent delta and memory stays constant.
+//!
 //! Observability: every applied delta publishes `sim.incr.deltas`,
 //! `sim.incr.nets_dirtied`, `sim.incr.nets_reevaluated`,
-//! `sim.incr.cutoffs`, and `sim.incr.full_evals`; the event engine also
-//! publishes the usual `sim.event.*` counters for its (restricted) replays.
+//! `sim.incr.cutoffs`, and `sim.incr.full_evals`; the undo stack adds
+//! `sim.incr.checkpoints`, `sim.incr.rollbacks`, and `sim.incr.commits`;
+//! the event engine also publishes the usual `sim.event.*` counters for
+//! its (restricted) replays.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -208,10 +220,26 @@ pub struct IncrStats {
     pub cutoffs: u64,
     /// Deltas that took the full re-evaluation fallback.
     pub full_evals: u64,
+    /// Checkpoints taken ([`IncrementalSim::checkpoint`]).
+    pub checkpoints: u64,
+    /// Rollbacks performed (`rollback_to` / `revert` calls that unwound).
+    pub rollbacks: u64,
+    /// Commits performed (`commit` calls that raised the floor).
+    pub commits: u64,
 }
 
-/// Undo journal for one applied delta (single slot: only the most recent
-/// apply can be reverted).
+/// A position in an engine's undo stack, minted by `checkpoint()`.
+///
+/// Marks are absolute (the number of deltas applied when the checkpoint
+/// was taken) and totally ordered: a later checkpoint compares greater.
+/// A mark stays valid until a `commit` at or above it raises the
+/// journal floor past it, or — for marks released by a rollback/commit —
+/// until the auto-trim on a later apply drops its frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Mark(u64);
+
+/// Undo journal frame for one applied delta. Frames stack: the engines
+/// keep one per apply above the committed floor, undone LIFO.
 #[derive(Debug, Default)]
 struct Undo {
     prev_len: usize,
@@ -250,7 +278,15 @@ pub struct IncrementalSim {
     wide: bool,
     obs: obs::Obs,
     stats: IncrStats,
-    undo: Option<Undo>,
+    /// Journal frames for applies in `(floor, applied]`, oldest first.
+    undo: Vec<Undo>,
+    /// Deltas applied over the engine's lifetime (monotone).
+    applied: u64,
+    /// Committed floor: applies at or below it can no longer be unwound.
+    floor: u64,
+    /// Outstanding checkpoint marks (nondecreasing). The oldest entry
+    /// pins the auto-trim: frames at or above it survive new applies.
+    cps: Vec<u64>,
     // Last-apply info consumed by the event engine.
     cone: Vec<NetId>,
     touched: Vec<NetId>,
@@ -395,7 +431,10 @@ impl IncrementalSim {
             wide: wide_on,
             obs,
             stats: IncrStats::default(),
-            undo: None,
+            undo: Vec::new(),
+            applied: 0,
+            floor: 0,
+            cps: Vec::new(),
             cone: Vec::new(),
             touched: Vec::new(),
             last_full: false,
@@ -467,6 +506,7 @@ impl IncrementalSim {
         budget: &ResourceBudget,
     ) -> Result<ApplyInfo, BudgetExceeded> {
         let info = self.try_apply_delta_noflush(delta, budget)?;
+        self.auto_trim();
         self.flush_incr(&info);
         Ok(info)
     }
@@ -496,7 +536,7 @@ impl IncrementalSim {
         let new_len = prev_len + delta.added;
         self.epoch += 1;
         self.grow_scratch(new_len);
-        self.undo = Some(Undo {
+        self.undo.push(Undo {
             prev_len,
             ..Undo::default()
         });
@@ -536,7 +576,7 @@ impl IncrementalSim {
                     assert!(new.index() < self.nl.len(), "replacement {new} out of range");
                     for (idx, (net, _)) in self.nl.outputs().iter().enumerate() {
                         if net == old {
-                            self.undo.as_mut().expect("undo live").outputs.push((idx, *old));
+                            self.undo.last_mut().expect("undo live").outputs.push((idx, *old));
                         }
                     }
                     let users = std::mem::take(&mut self.fanouts[old.index()]);
@@ -597,7 +637,7 @@ impl IncrementalSim {
                 if self.levels[i] != l {
                     if i < prev_len {
                         self.undo
-                            .as_mut()
+                            .last_mut()
                             .expect("undo live")
                             .levels
                             .push((NetId::from_index(i), self.levels[i]));
@@ -636,11 +676,11 @@ impl IncrementalSim {
             tally += self.cycles as u64;
             if reevaluated & 0xF == 0 {
                 if tally >= max_steps {
-                    self.revert();
+                    self.pop_frame();
                     return Err(budget.sim_steps_exceeded(tally));
                 }
                 if let Err(e) = budget.check_deadline() {
-                    self.revert();
+                    self.pop_frame();
                     return Err(e);
                 }
             }
@@ -682,7 +722,7 @@ impl IncrementalSim {
             }
             let slot = &mut self.words[idx * self.nblocks..(idx + 1) * self.nblocks];
             if idx < prev_len {
-                self.undo.as_mut().expect("undo live").words.push((
+                self.undo.last_mut().expect("undo live").words.push((
                     net,
                     slot.to_vec(),
                     self.toggles[idx],
@@ -711,6 +751,7 @@ impl IncrementalSim {
         } else {
             self.cone.len()
         };
+        self.applied += 1;
         self.stats.deltas += 1;
         self.stats.nets_dirtied += dirtied as u64;
         self.stats.nets_reevaluated += reevaluated as u64;
@@ -733,14 +774,14 @@ impl IncrementalSim {
     }
 
     fn journal_structure(&mut self, net: NetId) {
-        if net.index() >= self.undo.as_ref().expect("undo live").prev_len {
+        if net.index() >= self.undo.last().expect("undo live").prev_len {
             return; // appended this delta; truncation reverts it
         }
         if self.struct_stamp[net.index()] == self.epoch {
             return;
         }
         self.struct_stamp[net.index()] = self.epoch;
-        self.undo.as_mut().expect("undo live").structure.push((
+        self.undo.last_mut().expect("undo live").structure.push((
             net,
             self.nl.kind(net),
             self.nl.fanins(net).to_vec(),
@@ -790,7 +831,7 @@ impl IncrementalSim {
                     if self.levels[idx] != lvl {
                         if idx < prev_len {
                             self.undo
-                                .as_mut()
+                                .last_mut()
                                 .expect("undo live")
                                 .levels
                                 .push((net, self.levels[idx]));
@@ -804,12 +845,116 @@ impl IncrementalSim {
         }
     }
 
-    /// Undo the most recent [`IncrementalSim::apply_delta`]. Returns false
-    /// if there is nothing to revert (single-slot journal).
-    pub fn revert(&mut self) -> bool {
-        let Some(undo) = self.undo.take() else {
+    /// Mark the current state for a later [`IncrementalSim::rollback_to`]
+    /// or [`IncrementalSim::commit`]. While a mark is outstanding, every
+    /// frame above it is retained, so chains of speculative applies can be
+    /// unwound to any mark between the checkpoint and the present.
+    pub fn checkpoint(&mut self) -> Mark {
+        self.stats.checkpoints += 1;
+        if self.obs.is_enabled() {
+            self.obs.add("sim.incr.checkpoints", 1);
+        }
+        self.cps.push(self.applied);
+        Mark(self.applied)
+    }
+
+    /// Unwind every delta applied after `mark`, restoring the engine
+    /// bit-identically to its state when the checkpoint was taken.
+    ///
+    /// Returns false (and changes nothing) if the mark has been passed by
+    /// a [`IncrementalSim::commit`] — rollback past the committed floor is
+    /// rejected, never partially applied. The mark itself stays live: the
+    /// same mark can be rolled back to repeatedly (speculate, unwind,
+    /// speculate again), but marks *above* it are released.
+    pub fn rollback_to(&mut self, mark: Mark) -> bool {
+        if mark.0 < self.floor || mark.0 > self.applied {
             return false;
+        }
+        while self.applied > mark.0 {
+            self.pop_frame();
+            self.applied -= 1;
+        }
+        while self.cps.last().is_some_and(|&m| m > mark.0) {
+            self.cps.pop();
+        }
+        self.stats.rollbacks += 1;
+        if self.obs.is_enabled() {
+            self.obs.add("sim.incr.rollbacks", 1);
+        }
+        true
+    }
+
+    /// Make every delta at or below `mark` permanent: their journal frames
+    /// are dropped, the floor rises to the mark, and later rollbacks past
+    /// it are rejected. Releases every outstanding mark at or below `mark`.
+    ///
+    /// Returns false (and changes nothing) if the mark is already below
+    /// the floor.
+    pub fn commit(&mut self, mark: Mark) -> bool {
+        if mark.0 < self.floor || mark.0 > self.applied {
+            return false;
+        }
+        let frames = (mark.0 - self.floor) as usize;
+        self.undo.drain(..frames);
+        self.floor = mark.0;
+        self.cps.retain(|&m| m > mark.0);
+        self.stats.commits += 1;
+        if self.obs.is_enabled() {
+            self.obs.add("sim.incr.commits", 1);
+        }
+        true
+    }
+
+    /// Number of journal frames currently held (applies above the floor).
+    pub fn pending_frames(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Drop journal frames no outstanding checkpoint can reach. With no
+    /// checkpoints this keeps exactly one frame — the legacy single-slot
+    /// behaviour: [`IncrementalSim::revert`] undoes the latest apply and
+    /// memory stays constant no matter how many deltas are accepted.
+    fn auto_trim(&mut self) -> usize {
+        let keep_from = match self.cps.first() {
+            Some(&m) => m.min(self.applied.saturating_sub(1)),
+            None => self.applied.saturating_sub(1),
         };
+        if keep_from > self.floor {
+            let frames = (keep_from - self.floor) as usize;
+            self.undo.drain(..frames);
+            self.floor = keep_from;
+            frames
+        } else {
+            0
+        }
+    }
+
+    /// Pop and undo the top journal frame (no `applied` bookkeeping);
+    /// false if the stack is empty.
+    fn pop_frame(&mut self) -> bool {
+        match self.undo.pop() {
+            Some(undo) => {
+                self.undo_frame(undo);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Undo the most recent [`IncrementalSim::apply_delta`] still on the
+    /// stack — a thin alias for rolling back one frame. Returns false if
+    /// everything up to the present has been committed (or auto-trimmed)
+    /// and there is nothing left to revert.
+    pub fn revert(&mut self) -> bool {
+        if self.applied == self.floor || self.undo.is_empty() {
+            return false;
+        }
+        self.rollback_to(Mark(self.applied - 1))
+    }
+
+    /// Restore the state journaled in one frame (the inverse of the apply
+    /// that produced it; frames must be undone LIFO).
+    fn undo_frame(&mut self, undo: Undo) {
         let prev_len = undo.prev_len;
         for (net, old_words, t, o) in undo.words {
             let idx = net.index();
@@ -851,7 +996,6 @@ impl IncrementalSim {
         self.toggles.truncate(prev_len);
         self.ones.truncate(prev_len);
         self.words.truncate(prev_len * self.nblocks);
-        true
     }
 
     /// The functional activity profile, bit-identical to
@@ -964,7 +1108,8 @@ struct Tr {
     value: bool,
 }
 
-/// Undo journal for the event layer of one applied delta.
+/// Undo journal frame for the event layer of one applied delta; stacks in
+/// lockstep with the functional layer's frames.
 #[derive(Debug, Default)]
 struct EventUndo {
     prev_len: usize,
@@ -1003,7 +1148,8 @@ pub struct IncrementalEventSim {
     /// Recorded applied transitions per net, ordered by (cycle, time).
     waves: Vec<Vec<Tr>>,
     obs: obs::Obs,
-    undo: Option<EventUndo>,
+    /// Event-layer journal frames, one per functional frame, oldest first.
+    undo: Vec<EventUndo>,
     // Scratch.
     sepoch: u64,
     in_cone: Vec<u64>,
@@ -1066,7 +1212,7 @@ impl IncrementalEventSim {
             total: vec![0; n],
             waves: vec![Vec::new(); n],
             obs,
-            undo: None,
+            undo: Vec::new(),
             sepoch: 0,
             in_cone: vec![0; n],
             in_boundary: vec![0; n],
@@ -1205,7 +1351,10 @@ impl IncrementalEventSim {
                     self.delays[net.index()] = d;
                 }
                 self.truncate_event(prev_len);
-                self.func.revert();
+                // The functional apply succeeded; unwind just that frame
+                // (earlier frames stay intact for outstanding marks).
+                self.func.pop_frame();
+                self.func.applied -= 1;
                 return Err(e);
             }
         };
@@ -1223,7 +1372,9 @@ impl IncrementalEventSim {
             }
             self.total[idx] = self.replay_total[idx];
         }
-        self.undo = Some(undo);
+        self.undo.push(undo);
+        let dropped = self.func.auto_trim();
+        self.undo.drain(..dropped);
         self.func.flush_incr(&info);
         self.flush_event(&counts);
         Ok(info)
@@ -1240,21 +1391,66 @@ impl IncrementalEventSim {
         self.sink_stamp.truncate(prev_len);
     }
 
-    /// Undo the most recent [`IncrementalEventSim::apply_delta`]. Returns
-    /// false if there is nothing to revert.
-    pub fn revert(&mut self) -> bool {
-        let Some(undo) = self.undo.take() else {
+    /// Mark the current state for a later rollback or commit; shares the
+    /// functional layer's mark space (see [`IncrementalSim::checkpoint`]).
+    pub fn checkpoint(&mut self) -> Mark {
+        self.func.checkpoint()
+    }
+
+    /// Unwind both layers to `mark`, bit-identical to the state at the
+    /// checkpoint. Rejects (returns false, changes nothing) marks below
+    /// the committed floor; see [`IncrementalSim::rollback_to`].
+    pub fn rollback_to(&mut self, mark: Mark) -> bool {
+        if mark.0 < self.func.floor || mark.0 > self.func.applied {
             return false;
-        };
-        for &(net, d) in &undo.delays {
-            self.delays[net.index()] = d;
         }
-        for (net, t, wave) in undo.totals {
-            self.total[net.index()] = t;
-            self.waves[net.index()] = wave;
+        while self.func.applied > mark.0 {
+            self.pop_event_frame();
+            self.func.pop_frame();
+            self.func.applied -= 1;
         }
-        self.truncate_event(undo.prev_len);
-        self.func.revert()
+        while self.func.cps.last().is_some_and(|&m| m > mark.0) {
+            self.func.cps.pop();
+        }
+        self.func.stats.rollbacks += 1;
+        if self.obs.is_enabled() {
+            self.obs.add("sim.incr.rollbacks", 1);
+        }
+        true
+    }
+
+    /// Make every delta at or below `mark` permanent in both layers; see
+    /// [`IncrementalSim::commit`].
+    pub fn commit(&mut self, mark: Mark) -> bool {
+        if mark.0 < self.func.floor || mark.0 > self.func.applied {
+            return false;
+        }
+        let frames = (mark.0 - self.func.floor) as usize;
+        self.undo.drain(..frames);
+        self.func.commit(mark)
+    }
+
+    /// Undo the most recent [`IncrementalEventSim::apply_delta`] still on
+    /// the stack. Returns false if there is nothing left to revert.
+    pub fn revert(&mut self) -> bool {
+        if self.func.applied == self.func.floor || self.undo.is_empty() {
+            return false;
+        }
+        self.rollback_to(Mark(self.func.applied - 1))
+    }
+
+    /// Pop and undo the top event-layer frame (delays, totals, waves).
+    fn pop_event_frame(&mut self) {
+        if let Some(undo) = self.undo.pop() {
+            for &(net, d) in &undo.delays {
+                self.delays[net.index()] = d;
+            }
+            for (net, t, wave) in undo.totals {
+                self.total[net.index()] = t;
+                self.waves[net.index()] = wave;
+            }
+            self.truncate_event(undo.prev_len);
+        }
     }
 
     /// Replay event waves. With `full` set, every net is in the cone and
@@ -1550,7 +1746,105 @@ mod tests {
         assert!(engine.revert());
         let original = CombSim::new(&nl).activity(&patterns);
         assert_eq!(bits(&engine.activity()), bits(&original));
-        assert!(!engine.revert(), "journal is single-slot");
+        assert!(!engine.revert(), "nothing left on the undo stack");
+    }
+
+    #[test]
+    fn checkpoint_rollback_commit_stack() {
+        let (nl, _) = ripple_adder(4);
+        let patterns = Stimulus::uniform(8).patterns(130, 17);
+        let packed = PackedPatterns::pack(&patterns);
+        let mut engine = IncrementalSim::from_full_eval(&nl, &packed);
+        let base = bits(&engine.activity());
+        let gates: Vec<NetId> = nl
+            .iter_nets()
+            .filter(|&g| nl.kind(g) == GateKind::And)
+            .take(3)
+            .collect();
+        assert_eq!(gates.len(), 3, "adder has three AND gates");
+
+        // Speculate a three-deep chain with a mark at every depth.
+        let m0 = engine.checkpoint();
+        let mut marks = vec![m0];
+        let mut states = vec![base.clone()];
+        for &g in &gates {
+            let mut delta = Delta::for_netlist(engine.netlist());
+            delta.set_gate(g, GateKind::Or, engine.netlist().fanins(g));
+            engine.apply_delta(&delta);
+            marks.push(engine.checkpoint());
+            states.push(bits(&engine.activity()));
+        }
+        // Unwind to the middle mark: bit-identical to that depth.
+        assert!(engine.rollback_to(marks[1]));
+        assert_eq!(bits(&engine.activity()), states[1]);
+        // Re-speculate from there, then unwind all the way home.
+        let mut delta = Delta::for_netlist(engine.netlist());
+        delta.set_gate(gates[2], GateKind::Nand, engine.netlist().fanins(gates[2]));
+        engine.apply_delta(&delta);
+        assert!(engine.rollback_to(m0));
+        assert_eq!(bits(&engine.activity()), base);
+
+        // Commit a one-move chain; rollback past the floor is rejected.
+        let mut delta = Delta::for_netlist(engine.netlist());
+        delta.set_gate(gates[0], GateKind::Or, engine.netlist().fanins(gates[0]));
+        engine.apply_delta(&delta);
+        let committed = bits(&engine.activity());
+        let m_done = engine.checkpoint();
+        assert!(engine.commit(m_done));
+        assert!(!engine.rollback_to(m0), "rollback past commit must fail");
+        assert!(!engine.revert(), "committed frames are gone");
+        assert_eq!(bits(&engine.activity()), committed, "rejection changed nothing");
+
+        let mut edited = nl.clone();
+        edited.set_kind(gates[0], GateKind::Or);
+        let reference = CombSim::new(&edited).activity(&patterns);
+        assert_eq!(bits(&engine.activity()), bits(&reference));
+        let stats = engine.stats();
+        assert!(stats.checkpoints >= 5 && stats.rollbacks >= 2 && stats.commits == 1);
+    }
+
+    #[test]
+    fn event_stack_matches_from_scratch_at_every_depth() {
+        let (nl, _) = ripple_adder(4);
+        let patterns = Stimulus::uniform(8).patterns(110, 23);
+        let packed = PackedPatterns::pack(&patterns);
+        let model = DelayModel::Analytic { resolution: 4 };
+        let mut engine = IncrementalEventSim::from_full_eval(&nl, &model, &packed);
+        let m0 = engine.checkpoint();
+        let base = bits(&engine.activity().total);
+        // Chain: rewire one gate, then buffer another's fanin.
+        let victim = nl
+            .iter_nets()
+            .find(|&g| nl.kind(g) == GateKind::And)
+            .expect("adder has AND gates");
+        let mut d1 = Delta::for_netlist(engine.netlist());
+        d1.set_gate(victim, GateKind::Or, nl.fanins(victim));
+        engine.apply_delta(&d1);
+        let m1 = engine.checkpoint();
+        let sink = iter_rev(&nl)
+            .find(|&g| !nl.kind(g).is_source() && nl.fanins(g).len() >= 2)
+            .expect("gate with fanins");
+        let mut d2 = Delta::for_netlist(engine.netlist());
+        let mut fanins = engine.netlist().fanins(sink).to_vec();
+        let buf = d2.add_gate(GateKind::Buf, &[fanins[0]]);
+        fanins[0] = buf;
+        d2.set_gate(sink, engine.netlist().kind(sink), &fanins);
+        engine.apply_delta(&d2);
+        // Depth 2 matches a from-scratch run on the doubly-edited netlist.
+        let mut edited = nl.clone();
+        d1.apply_to(&mut edited);
+        d2.apply_to(&mut edited);
+        let ref2 = EventSim::new(&edited, &model).activity(&patterns);
+        assert_eq!(bits(&engine.activity().total), bits(&ref2.total));
+        // Unwind one frame: matches depth 1; unwind home: matches base.
+        assert!(engine.rollback_to(m1));
+        let mut once = nl.clone();
+        d1.apply_to(&mut once);
+        let ref1 = EventSim::new(&once, &model).activity(&patterns);
+        assert_eq!(bits(&engine.activity().total), bits(&ref1.total));
+        assert!(engine.rollback_to(m0));
+        assert_eq!(bits(&engine.activity().total), base);
+        assert_eq!(engine.netlist().len(), nl.len());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! lpopt [flags] power <in.blif> [cycles]
 //! lpopt [flags] balance <in.blif> <out.blif> [threshold]
 //! lpopt [flags] dontcare <in.blif> <out.blif>
+//! lpopt [flags] rewrite <in.blif> <out.blif> [cycles]
 //! lpopt [flags] map <in.blif> <area|delay|power>
 //! lpopt [flags] fsm <in.kiss> [out.blif]
 //! lpopt [flags] fault <in.blif> [cycles] [--seu N]
@@ -40,6 +41,7 @@ use lowpower::obs;
 use lowpower::logicopt::balance::balance_delta;
 use lowpower::logicopt::dontcare::{optimize_dontcares_cached, Mode};
 use lowpower::logicopt::mapping::{map, standard_library, MapObjective};
+use lowpower::logicopt::rewrite::{try_rewrite_sim, RewriteConfig};
 use lowpower::netlist::blif::{parse_text, write_text};
 use lowpower::netlist::{gen, Netlist, NetlistStats};
 use lowpower::power::chain::{estimate_power, estimate_power_cached, ChainConfig, ChainEstimate};
@@ -75,6 +77,7 @@ const USAGE: &str = "usage:
   lpopt [flags] power <in.blif> [cycles]
   lpopt [flags] balance <in.blif> <out.blif> [threshold]
   lpopt [flags] dontcare <in.blif> <out.blif>
+  lpopt [flags] rewrite <in.blif> <out.blif> [cycles]
   lpopt [flags] map <in.blif> <area|delay|power>
   lpopt [flags] fsm <in.kiss> [out.blif]
   lpopt [flags] fault <in.blif> [cycles] [--seu N]
@@ -431,6 +434,46 @@ fn run_command(opts: &Opts, command: &str, args: &[String]) -> Result<String, Cl
             Ok(format!(
                 "wrote {out}: {} nodes rewritten, estimated switched cap {:.1} -> {:.1} fF/cycle\n{verdict}",
                 report.nodes_changed, report.cap_before, report.cap_after
+            ))
+        }
+        "rewrite" => {
+            let nl = load(args.get(1).ok_or_else(|| usage("rewrite: missing input"))?)?;
+            let out = args.get(2).ok_or_else(|| usage("rewrite: missing output path"))?;
+            let cycles = match args.get(3) {
+                Some(c) => c
+                    .parse::<usize>()
+                    .map_err(|_| usage(format!("rewrite: bad cycle count {c:?}")))?,
+                None => 512,
+            };
+            if nl.num_inputs() > 18 {
+                return Err(fail("rewrite: BDD-guided search limited to 18 inputs"));
+            }
+            let probs = vec![0.5; nl.num_inputs()];
+            let packed = Stimulus::uniform(nl.num_inputs()).packed(cycles, 42);
+            let cfg = RewriteConfig {
+                obs: opts.obs.clone(),
+                ..RewriteConfig::default()
+            };
+            let (optimized, report) = try_rewrite_sim(&nl, &probs, &packed, &opts.budget, &cfg)
+                .map_err(|e| fail(format!("rewrite: {e}")))?;
+            save(&optimized, out)?;
+            let exhausted = if report.budget_exhausted {
+                " (budget exhausted: last committed state kept)"
+            } else {
+                ""
+            };
+            Ok(format!(
+                "wrote {out}: {} chains accepted ({} resub, {} extract, {} dontcare of {} moves tried)\n\
+                 switched cap {:.1} -> {:.1} fF/cycle, unit critical path {:.2} -> {:.2}{exhausted}\n",
+                report.chains_accepted,
+                report.accepted.resub,
+                report.accepted.extract,
+                report.accepted.dontcare,
+                report.tried.total(),
+                report.cap_before,
+                report.cap_after,
+                report.crit_before,
+                report.crit_after,
             ))
         }
         "map" => {

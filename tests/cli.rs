@@ -68,6 +68,21 @@ fn dontcare_pass_runs_on_small_circuit() {
 }
 
 #[test]
+fn rewrite_search_runs_and_preserves_function() {
+    let input = temp_path("wal4.blif");
+    let output = temp_path("wal4_rw.blif");
+    assert!(lpopt(&["gen", "wallace", "4", &input]).0);
+    let (ok, out, err) = lpopt(&["rewrite", &input, &output, "256"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("chains accepted"), "{out}");
+    assert!(out.contains("switched cap"), "{out}");
+    let a = lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&input).unwrap()).unwrap();
+    let b =
+        lowpower::netlist::blif::parse_text(&std::fs::read_to_string(&output).unwrap()).unwrap();
+    assert!(lowpower::sim::comb::equivalent_exhaustive(&a, &b));
+}
+
+#[test]
 fn map_reports_cover() {
     let input = temp_path("ks8.blif");
     assert!(lpopt(&["gen", "ksadder", "8", &input]).0);

@@ -1,0 +1,257 @@
+//! Property tests of the multi-slot undo stacks and the rewriting search
+//! built on them: for random netlists and random interleavings of
+//! apply / checkpoint / rollback_to / commit, the resident engines must
+//! stay **bit-identical** to from-scratch simulation of the matching
+//! netlist snapshot after every single step. Rolling back past a commit
+//! must be rejected without touching the engine, and a starved budget
+//! must unwind the search to its last committed state, never a torn one.
+//!
+//! Deltas are generated acyclic by construction, mirroring
+//! `incr_props.rs`: rewires draw fanins from strictly lower indices,
+//! buffer chains feed forward, and `replace_uses` replacements read
+//! primary inputs only.
+
+use lowpower::bdd::ResourceBudget;
+use lowpower::logicopt::rewrite::{try_rewrite_sim, RewriteConfig};
+use lowpower::netlist::gen::{random_dag, RandomDagConfig};
+use lowpower::netlist::{GateKind, NetId, Netlist, Rng64};
+use lowpower::sim::comb::{equivalent_exhaustive, CombSim};
+use lowpower::sim::event::{DelayModel, EventSim};
+use lowpower::sim::incr::{Delta, IncrementalEventSim, IncrementalSim, Mark};
+use lowpower::sim::stimulus::{PackedPatterns, PatternSet, Stimulus};
+use lowpower::sim::ActivityProfile;
+use proptest::prelude::*;
+
+fn bits(p: &ActivityProfile) -> (Vec<u64>, Vec<u64>, usize) {
+    (
+        p.toggles.iter().map(|x| x.to_bits()).collect(),
+        p.probability.iter().map(|x| x.to_bits()).collect(),
+        p.cycles,
+    )
+}
+
+fn comb_dag(seed: u64, gates: usize) -> Netlist {
+    let config = RandomDagConfig {
+        inputs: 8,
+        gates,
+        outputs: 4,
+        max_fanin: 3,
+        window: 12,
+    };
+    random_dag(&config, seed)
+}
+
+const NARY: [GateKind; 6] = [
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+];
+
+fn editable(nl: &Netlist, base_len: usize) -> Vec<NetId> {
+    nl.iter_nets()
+        .filter(|&g| {
+            g.index() < base_len && NARY.contains(&nl.kind(g)) && nl.fanins(g).len() >= 2
+        })
+        .collect()
+}
+
+/// One random acyclic edit against `nl` (see module docs for why each
+/// variant cannot close a cycle), or `None` if nothing is editable.
+fn random_delta(nl: &Netlist, base_len: usize, rng: &mut Rng64) -> Option<Delta> {
+    let targets = editable(nl, base_len);
+    if targets.is_empty() {
+        return None;
+    }
+    let victim = *rng.choose(&targets);
+    let mut delta = Delta::for_netlist(nl);
+    match rng.range(0, 4) {
+        0 => {
+            let mut kind = *rng.choose(&NARY);
+            if kind == nl.kind(victim) {
+                kind = GateKind::Xor;
+            }
+            if kind == nl.kind(victim) {
+                kind = GateKind::Nand;
+            }
+            delta.set_gate(victim, kind, nl.fanins(victim));
+        }
+        1 => {
+            let lo = victim.index();
+            let fanins: Vec<NetId> = (0..rng.range(2, 4))
+                .map(|_| NetId::from_index(rng.range(0, lo)))
+                .collect();
+            delta.set_gate(victim, *rng.choose(&NARY), &fanins);
+        }
+        2 => {
+            let edge = rng.range(0, nl.fanins(victim).len());
+            let mut head = nl.fanins(victim)[edge];
+            for _ in 0..rng.range(1, 3) {
+                head = delta.add_gate(GateKind::Buf, &[head]);
+            }
+            let mut fanins = nl.fanins(victim).to_vec();
+            fanins[edge] = head;
+            delta.set_gate(victim, nl.kind(victim), &fanins);
+        }
+        _ => {
+            let ins = nl.inputs();
+            let a = *rng.choose(ins);
+            let b = *rng.choose(ins);
+            let fresh = delta.add_gate(*rng.choose(&NARY), &[a, b]);
+            delta.replace_uses(victim, fresh);
+        }
+    }
+    Some(delta)
+}
+
+/// Assert both engines match from-scratch simulation of `reference`.
+fn check_engines(
+    engine: &IncrementalSim,
+    event: &IncrementalEventSim,
+    reference: &Netlist,
+    patterns: &PatternSet,
+) -> Result<(), TestCaseError> {
+    let comb = CombSim::new(reference).activity(patterns);
+    prop_assert_eq!(bits(&engine.activity()), bits(&comb));
+    prop_assert_eq!(
+        engine.switched_cap().to_bits(),
+        comb.switched_capacitance(reference).to_bits()
+    );
+    let timing = EventSim::new(reference, &DelayModel::Unit).activity(patterns);
+    let got = event.activity();
+    prop_assert_eq!(bits(&got.total), bits(&timing.total));
+    prop_assert_eq!(bits(&got.functional), bits(&timing.functional));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The undo-stack contract under arbitrary interleavings: after every
+    /// apply, rollback_to and commit, both engines are bit-identical to
+    /// from-scratch simulation of the netlist snapshot the surviving
+    /// marks describe. Marks invalidated by a commit are rejected and the
+    /// failed call leaves the engine untouched.
+    #[test]
+    fn checkpoint_interleavings_are_bit_identical_to_from_scratch(
+        seed in 0u64..5000,
+        gates in 12usize..48,
+        cycles in 2usize..120,
+        ops in 3usize..10,
+        op_seed in any::<u64>(),
+    ) {
+        let nl = comb_dag(seed, gates);
+        let patterns = Stimulus::uniform(8).patterns(cycles, seed ^ 0x5EED);
+        let packed = PackedPatterns::pack(&patterns);
+        let mut engine = IncrementalSim::from_full_eval(&nl, &packed);
+        let mut event = IncrementalEventSim::from_full_eval(&nl, &DelayModel::Unit, &packed);
+
+        let mut rng = Rng64::new(op_seed);
+        let base_len = nl.len();
+        // Live checkpoints, innermost last: the netlist snapshot each
+        // mark must restore. Marks below `dead` (committed away) must be
+        // rejected by rollback_to.
+        let mut stack: Vec<(Mark, Mark, Netlist)> = Vec::new();
+        let mut dead: Vec<(Mark, Mark)> = Vec::new();
+        let mut current = nl;
+        for _ in 0..ops {
+            match rng.range(0, 5) {
+                // Speculative apply.
+                0 | 1 => {
+                    let Some(delta) = random_delta(&current, base_len, &mut rng) else {
+                        continue;
+                    };
+                    let mut edited = current.clone();
+                    delta.apply_to(&mut edited);
+                    prop_assert!(edited.topo_order().is_ok(), "generator produced a cycle");
+                    engine.apply_delta(&delta);
+                    event.apply_delta(&delta);
+                    current = edited;
+                    check_engines(&engine, &event, &current, &patterns)?;
+                }
+                // Push a checkpoint.
+                2 => {
+                    stack.push((engine.checkpoint(), event.checkpoint(), current.clone()));
+                }
+                // Roll back to a random live mark; it stays live.
+                3 => {
+                    if stack.is_empty() {
+                        continue;
+                    }
+                    let pick = rng.range(0, stack.len());
+                    stack.truncate(pick + 1);
+                    let (m, em, snapshot) = stack.last().expect("picked live mark");
+                    prop_assert!(engine.rollback_to(*m), "live mark must roll back");
+                    prop_assert!(event.rollback_to(*em), "live mark must roll back");
+                    current = snapshot.clone();
+                    check_engines(&engine, &event, &current, &patterns)?;
+                }
+                // Commit a random live mark: everything at or below it
+                // becomes permanent and those marks die.
+                _ => {
+                    if stack.is_empty() {
+                        continue;
+                    }
+                    let pick = rng.range(0, stack.len());
+                    let committed: Vec<(Mark, Mark, Netlist)> =
+                        stack.drain(..=pick).collect();
+                    let (m, em, _) = committed.last().expect("picked live mark");
+                    prop_assert!(engine.commit(*m), "live mark must commit");
+                    prop_assert!(event.commit(*em), "live mark must commit");
+                    // The commit floor is `m` itself; only marks strictly
+                    // below it are invalidated (a duplicate mark minted at
+                    // the same depth as `m` is still the floor, not past it).
+                    dead.extend(
+                        committed[..committed.len() - 1]
+                            .iter()
+                            .filter(|(a, _, _)| a < m)
+                            .map(|(a, b, _)| (*a, *b)),
+                    );
+                    // Committing never moves the evaluated state.
+                    check_engines(&engine, &event, &current, &patterns)?;
+                }
+            }
+            // Rolling back past the committed floor is rejected and the
+            // rejected call changes nothing.
+            if let Some(&(m, em)) = dead.last() {
+                prop_assert!(!engine.rollback_to(m), "committed-away mark must be rejected");
+                prop_assert!(!event.rollback_to(em), "committed-away mark must be rejected");
+                check_engines(&engine, &event, &current, &patterns)?;
+            }
+        }
+    }
+
+    /// Budget exhaustion mid-search unwinds the rewriting pass to its
+    /// last committed state: whatever netlist comes back is functionally
+    /// equivalent to the input, never a torn intermediate.
+    #[test]
+    fn starved_rewrite_search_unwinds_to_safe_state(
+        seed in 0u64..5000,
+        divisor in 1u64..40,
+    ) {
+        let nl = comb_dag(seed, 30);
+        let probs = vec![0.5; nl.num_inputs()];
+        let packed = Stimulus::uniform(nl.num_inputs()).packed(64, seed ^ 0xB0D);
+        let cfg = RewriteConfig {
+            max_rounds: 4,
+            ..RewriteConfig::default()
+        };
+        // Scale the starvation off the unlimited run's true appetite:
+        // enough for the initial build plus a shrinking slice of the
+        // search, so large divisors exhaust genuinely mid-search.
+        let (_, reference) = lowpower::logicopt::rewrite::rewrite_sim(&nl, &probs, &packed, &cfg);
+        let steps = (64 * nl.len() as u64 + reference.nets_reevaluated / divisor).max(1);
+        let budget = ResourceBudget::unlimited().with_max_sim_steps(steps);
+        // The initial full build alone can exceed a starved budget; a
+        // typed error (not a panic, not a torn result) is the contract
+        // there, so only an Ok result carries obligations.
+        if let Ok((out, report)) = try_rewrite_sim(&nl, &probs, &packed, &budget, &cfg) {
+            prop_assert!(equivalent_exhaustive(&nl, &out));
+            if !report.budget_exhausted {
+                prop_assert_eq!(report.chains_accepted, reference.chains_accepted);
+            }
+        }
+    }
+}
